@@ -1,0 +1,78 @@
+//! Application-level microbenchmarks over the real kernel substrate:
+//! the per-operation cost of each MOSBENCH-style op on one core, stock
+//! vs PK. (Cross-core scalability is the simulator's job; these measure
+//! the straight-line price of the two kernels' code paths.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pk_percpu::CoreId;
+use pk_workloads::exim::EximDriver;
+use pk_workloads::gmake_exec::{BuildGraph, ParallelMake};
+use pk_workloads::memcached::MemcachedDriver;
+use pk_workloads::KernelChoice;
+use std::sync::Arc;
+
+fn bench_exim_message(c: &mut Criterion) {
+    let mut g = c.benchmark_group("exim_message");
+    g.sample_size(20);
+    for choice in [KernelChoice::Stock, KernelChoice::Pk] {
+        let d = EximDriver::new(choice, 4);
+        let conn = d.kernel().fork(pk_proc::Pid(1), CoreId(0)).unwrap();
+        let mut msg = 0u64;
+        g.bench_function(BenchmarkId::from_parameter(choice.label()), |b| {
+            b.iter(|| {
+                msg += 1;
+                d.deliver_message(CoreId(0), conn, msg, (msg % 8) as usize)
+                    .unwrap();
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_memcached_batch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("memcached_batch20");
+    g.sample_size(20);
+    for choice in [KernelChoice::Stock, KernelChoice::Pk] {
+        let d = MemcachedDriver::new(choice, 4);
+        let mut client = 0u32;
+        g.bench_function(BenchmarkId::from_parameter(choice.label()), |b| {
+            b.iter(|| {
+                client += 1;
+                d.client_batch(client, (client % 4) as usize);
+                d.drain_all()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_small_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gmake_build_8_objects");
+    g.sample_size(20);
+    for choice in [KernelChoice::Stock, KernelChoice::Pk] {
+        let kernel = Arc::new(pk_kernel::Kernel::new(choice.config(4)));
+        kernel.vfs().mkdir_p("/src", CoreId(0)).unwrap();
+        for i in 0..8 {
+            kernel
+                .vfs()
+                .write_file(&format!("/src/f{i}.c"), b"int x;", CoreId(0))
+                .unwrap();
+        }
+        let graph = BuildGraph::kernel_build(8);
+        let make = ParallelMake::new(4);
+        g.bench_function(BenchmarkId::from_parameter(choice.label()), |b| {
+            b.iter(|| make.build(&kernel, &graph))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .sample_size(20);
+    targets = bench_exim_message, bench_memcached_batch, bench_small_build
+}
+criterion_main!(benches);

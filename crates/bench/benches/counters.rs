@@ -1,0 +1,70 @@
+//! Microbenchmarks of the counter designs (section 4.3): atomic vs
+//! sloppy vs SNZI vs distributed vs approximate, on the fast path and on
+//! the expensive exact read.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pk_percpu::CoreId;
+use pk_sloppy::{
+    ApproxCounter, AtomicCounter, Counter, DistributedCounter, SloppyCounter, SnziCounter,
+};
+use std::hint::black_box;
+
+fn counters(cores: usize) -> Vec<Box<dyn Counter>> {
+    vec![
+        Box::new(AtomicCounter::new()),
+        Box::new(DistributedCounter::new(cores)),
+        Box::new(ApproxCounter::new(cores, 16)),
+        Box::new(SloppyCounter::new(cores)),
+        Box::new(SnziCounter::new(cores)),
+    ]
+}
+
+fn bench_fast_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("counter_inc_dec");
+    for counter in counters(48) {
+        // Warm one spare so the sloppy counter's steady state is local.
+        counter.add(CoreId(0), 1);
+        counter.add(CoreId(0), -1);
+        g.bench_function(BenchmarkId::from_parameter(counter.name()), |b| {
+            b.iter(|| {
+                counter.add(CoreId(0), 1);
+                counter.add(CoreId(0), -1);
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_exact_read(c: &mut Criterion) {
+    let mut g = c.benchmark_group("counter_exact_read");
+    for counter in counters(48) {
+        for core in 0..48 {
+            counter.add(CoreId(core), 3);
+        }
+        g.bench_function(BenchmarkId::from_parameter(counter.name()), |b| {
+            b.iter(|| black_box(counter.value()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_nonzero_query(c: &mut Criterion) {
+    let mut g = c.benchmark_group("counter_is_nonzero");
+    for counter in counters(48) {
+        counter.add(CoreId(7), 1);
+        g.bench_function(BenchmarkId::from_parameter(counter.name()), |b| {
+            b.iter(|| black_box(counter.is_nonzero()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .sample_size(20);
+    targets = bench_fast_path, bench_exact_read, bench_nonzero_query
+}
+criterion_main!(benches);

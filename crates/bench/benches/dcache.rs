@@ -1,0 +1,58 @@
+//! Microbenchmarks of the dentry cache (section 4.4): locked vs
+//! lock-free lookup protocols, hit and miss paths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pk_percpu::CoreId;
+use pk_vfs::{Dcache, DentryKey, InodeId, VfsConfig, VfsStats};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn cache(lockfree: bool) -> Dcache {
+    let mut cfg = VfsConfig::pk(48);
+    cfg.lockfree_dlookup = lockfree;
+    let c = Dcache::new(4096, cfg, Arc::new(VfsStats::new()));
+    for i in 0..256u64 {
+        let d = c.insert(DentryKey::new(InodeId(1), format!("file{i}")), InodeId(100 + i), CoreId(0));
+        d.put(CoreId(0));
+    }
+    c
+}
+
+fn bench_lookup_hit(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dcache_lookup_hit");
+    for lockfree in [false, true] {
+        let cache = cache(lockfree);
+        let key = DentryKey::new(InodeId(1), "file17");
+        let name = if lockfree { "lock-free (PK)" } else { "locked (stock)" };
+        g.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                let d = cache.lookup(black_box(&key), CoreId(0)).unwrap();
+                d.put(CoreId(0));
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_lookup_miss(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dcache_lookup_miss");
+    for lockfree in [false, true] {
+        let cache = cache(lockfree);
+        let key = DentryKey::new(InodeId(1), "no-such-file");
+        let name = if lockfree { "lock-free (PK)" } else { "locked (stock)" };
+        g.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| black_box(cache.lookup(&key, CoreId(0))))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .sample_size(20);
+    targets = bench_lookup_hit, bench_lookup_miss
+}
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Microbenchmark of the struct-page false-sharing fix (section 4.6):
+//! a reader of `flags` next to a writer of `refcount`, packed vs split
+//! layouts. (On a multi-core host the packed layout's reader slows down
+//! dramatically; the structure of the benchmark is identical here.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pk_mm::page::{PackedPage, PageLayout, SplitPage};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+fn bench_layout<P: PageLayout + 'static>(g: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>) {
+    let page = Arc::new(P::default());
+    let stop = Arc::new(AtomicBool::new(false));
+    // A background writer hammers the refcount while we time flag reads.
+    let writer = {
+        let page = Arc::clone(&page);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                page.bump_refcount();
+            }
+        })
+    };
+    g.bench_function(BenchmarkId::from_parameter(P::name()), |b| {
+        b.iter(|| black_box(page.read_flags()))
+    });
+    stop.store(true, Ordering::Relaxed);
+    writer.join().unwrap();
+}
+
+fn bench_false_sharing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("page_flags_read_under_refcount_writes");
+    bench_layout::<PackedPage>(&mut g);
+    bench_layout::<SplitPage>(&mut g);
+    g.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .sample_size(20);
+    targets = bench_false_sharing
+}
+criterion_main!(benches);

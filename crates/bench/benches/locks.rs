@@ -1,0 +1,53 @@
+//! Microbenchmarks of the lock zoo (section 4.1): uncontended
+//! acquire/release cost of each design.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pk_sync::{AdaptiveMutex, McsLock, SeqLock, SpinLock, TicketLock};
+use std::hint::black_box;
+
+fn bench_uncontended(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lock_uncontended");
+    let spin = SpinLock::new(0u64);
+    g.bench_function("spinlock(TAS)", |b| b.iter(|| *spin.lock() += 1));
+    let ticket = TicketLock::new(0u64);
+    g.bench_function("ticket", |b| b.iter(|| *ticket.lock() += 1));
+    let mcs = McsLock::new(0u64);
+    g.bench_function("mcs", |b| b.iter(|| *mcs.lock() += 1));
+    let adaptive = AdaptiveMutex::new(0u64);
+    g.bench_function("adaptive-mutex", |b| b.iter(|| *adaptive.lock() += 1));
+    let std_mutex = std::sync::Mutex::new(0u64);
+    g.bench_function("std::sync::Mutex (reference)", |b| {
+        b.iter(|| *std_mutex.lock().unwrap() += 1)
+    });
+    g.finish();
+}
+
+fn bench_seqlock(c: &mut Criterion) {
+    let mut g = c.benchmark_group("seqlock");
+    let sl = SeqLock::new((1u64, 2u64));
+    g.bench_function("read", |b| b.iter(|| black_box(sl.read())));
+    g.bench_function("write", |b| b.iter(|| *sl.write() = (3, 4)));
+    g.finish();
+}
+
+fn bench_rcu(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rcu");
+    let cell = pk_sync::rcu::RcuCell::new(42u64);
+    g.bench_function("read_lock+deref", |b| {
+        b.iter(|| {
+            let guard = pk_sync::rcu::read_lock();
+            black_box(*cell.read(&guard))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .sample_size(20);
+    targets = bench_uncontended, bench_seqlock, bench_rcu
+}
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Microbenchmarks of per-core structures (section 4.5): global vs
+//! per-core mount caches and open-file lists.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pk_percpu::CoreId;
+use pk_vfs::{MountTable, SuperBlock, VfsConfig, VfsStats};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_mount_resolution(c: &mut Criterion) {
+    let mut g = c.benchmark_group("vfsmount_resolve");
+    for percore in [false, true] {
+        let mut cfg = VfsConfig::pk(48);
+        cfg.percore_mount_cache = percore;
+        let t = MountTable::new(cfg, Arc::new(VfsStats::new()));
+        t.mount("/var/spool");
+        let name = if percore { "per-core cache (PK)" } else { "central table (stock)" };
+        g.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                let m = t.resolve(black_box("/var/spool/input/m1"), CoreId(3)).unwrap();
+                m.put(CoreId(3));
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_open_file_list(c: &mut Criterion) {
+    let mut g = c.benchmark_group("open_file_list");
+    for percore in [false, true] {
+        let mut cfg = VfsConfig::pk(48);
+        cfg.percore_open_lists = percore;
+        let sb = SuperBlock::new(cfg, Arc::new(VfsStats::new()));
+        let name = if percore { "per-core lists (PK)" } else { "global list (stock)" };
+        g.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                let (id, home) = sb.add_open_file(CoreId(5));
+                sb.remove_open_file(id, home, CoreId(5));
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .sample_size(20);
+    targets = bench_mount_resolution, bench_open_file_list
+}
+criterion_main!(benches);

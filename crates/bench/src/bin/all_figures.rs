@@ -1,0 +1,41 @@
+//! Artifact entry point: regenerates every figure and table in one run
+//! by invoking the per-figure binaries' logic in sequence.
+//!
+//! `cargo run --release -p pk-bench --bin all_figures > figures.txt`
+
+use std::process::Command;
+
+fn main() {
+    let bins = [
+        "machine_check",
+        "fig1",
+        "fig2",
+        "fig3",
+        "fig4",
+        "fig5",
+        "fig6",
+        "fig7",
+        "fig8",
+        "fig9",
+        "fig10",
+        "fig11",
+        "fig12",
+        "validate_sim",
+        "ablate_threshold",
+        "ablate_dlookup",
+        "ablate_accept",
+        "ablate_fixes",
+        "ablate_flowsteer",
+        "udpmicro",
+    ];
+    let me = std::env::current_exe().expect("own path");
+    let dir = me.parent().expect("bin dir");
+    for bin in bins {
+        let path = dir.join(bin);
+        let status = Command::new(&path)
+            .status()
+            .unwrap_or_else(|e| panic!("running {bin}: {e}"));
+        assert!(status.success(), "{bin} failed");
+    }
+    println!("\nAll figures and ablations regenerated.");
+}

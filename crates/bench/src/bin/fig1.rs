@@ -1,0 +1,23 @@
+//! Regenerates Figure 1: the table of 16 kernel scalability problems,
+//! affected applications, and fixes.
+
+use pk_kernel::{FIXES, LINES_ADDED, LINES_REMOVED};
+
+fn main() {
+    pk_bench::header(
+        "Figure 1",
+        "Linux scalability problems encountered by MOSBENCH applications \
+         and their corresponding fixes.",
+    );
+    for fix in FIXES {
+        let apps: Vec<String> = fix.apps.iter().map(|a| a.to_string()).collect();
+        println!("{}   [{}]", fix.name, apps.join(", "));
+        println!("  {}", fix.problem);
+        println!("  => {}", fix.solution);
+        println!();
+    }
+    println!(
+        "The fixes add {LINES_ADDED} lines of code to Linux and remove \
+         {LINES_REMOVED} lines of code from Linux."
+    );
+}

@@ -1,0 +1,26 @@
+//! Regenerates Figure 10: pedsort throughput and runtime breakdown.
+
+use pk_workloads::pedsort::{self, PedsortVariant};
+
+fn main() {
+    pk_bench::header(
+        "Figure 10",
+        "pedsort throughput (jobs/hour/core) and CPU time (sec/job), \
+         1-48 cores: threads vs processes vs round-robin placement.",
+    );
+    let series: Vec<(String, Vec<pk_sim::SweepPoint>)> = [
+        PedsortVariant::Threads,
+        PedsortVariant::Procs,
+        PedsortVariant::ProcsRoundRobin,
+    ]
+    .into_iter()
+    .map(|v| (v.label().to_string(), pedsort::figure10(v)))
+    .collect();
+    pk_bench::print_throughput("jobs/hour/core", 3600.0, &series);
+    pk_bench::print_cpu_breakdown("Stock + Procs RR", "sec/job", 1e-6, &series[2].1);
+    pk_bench::print_cpu_breakdown("Stock + Threads", "sec/job", 1e-6, &series[0].1);
+    println!();
+    for (label, sweep) in &series {
+        pk_bench::print_ratio(label, sweep);
+    }
+}

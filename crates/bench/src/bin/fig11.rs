@@ -1,0 +1,24 @@
+//! Regenerates Figure 11: Metis throughput and runtime breakdown.
+
+use pk_workloads::metis::{self, MetisVariant};
+
+fn main() {
+    pk_bench::header(
+        "Figure 11",
+        "Metis throughput (jobs/hour/core) and CPU time (sec/job), \
+         1-48 cores: 4 KB pages vs 2 MB super-pages. With super-pages the \
+         reduce phase runs into DRAM bandwidth (50.0 of 51.5 GB/s).",
+    );
+    let series: Vec<(String, Vec<pk_sim::SweepPoint>)> =
+        [MetisVariant::StockSmallPages, MetisVariant::PkSuperPages]
+            .into_iter()
+            .map(|v| (v.label().to_string(), metis::figure11(v)))
+            .collect();
+    pk_bench::print_throughput("jobs/hour/core", 3600.0, &series);
+    pk_bench::print_cpu_breakdown("Stock + 4KB pages", "sec/job", 1e-6, &series[0].1);
+    pk_bench::print_cpu_breakdown("PK + 2MB pages", "sec/job", 1e-6, &series[1].1);
+    println!();
+    for (label, sweep) in &series {
+        pk_bench::print_ratio(label, sweep);
+    }
+}

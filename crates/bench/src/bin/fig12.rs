@@ -1,0 +1,15 @@
+//! Regenerates Figure 12: the residual bottleneck summary.
+
+use pk_workloads::summary;
+
+fn main() {
+    pk_bench::header(
+        "Figure 12",
+        "Summary of the current bottlenecks in MOSBENCH, attributed \
+         either to hardware (HW) or application structure (App).",
+    );
+    println!("{:<12} {:<42} model diagnostic at 48 cores", "Application", "Bottleneck");
+    for row in summary::figure12() {
+        println!("{:<12} {:<42} {}", row.app, row.description, row.observed);
+    }
+}

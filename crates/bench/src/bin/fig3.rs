@@ -1,0 +1,27 @@
+//! Regenerates Figure 3: the MOSBENCH summary — per-core throughput at
+//! 48 cores relative to one core, stock vs PK, for all seven
+//! applications.
+
+use pk_workloads::summary;
+
+fn main() {
+    pk_bench::header(
+        "Figure 3",
+        "MOSBENCH results summary. 1.0 indicates perfect scalability \
+         (48 cores yielding a speedup of 48). Each pair of bars compares \
+         an application before and after the kernel and application \
+         modifications.",
+    );
+    println!("{:<12} {:>8} {:>8}", "app", "Stock", "PK");
+    let bars = summary::figure3(48);
+    for b in &bars {
+        let bar = |v: f64| "#".repeat((v * 40.0).round() as usize);
+        println!("{:<12} {:>8.2} {:>8.2}", b.app, b.stock, b.pk);
+        println!("{:<12} {}", "", bar(b.stock));
+        println!("{:<12} {}", "", bar(b.pk));
+    }
+    println!(
+        "\nMost applications scale significantly better with the \
+         modifications; all fall short of perfect scalability."
+    );
+}

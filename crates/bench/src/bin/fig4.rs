@@ -1,0 +1,22 @@
+//! Regenerates Figure 4: Exim throughput and runtime breakdown.
+
+use pk_workloads::exim;
+use pk_workloads::KernelChoice;
+
+fn main() {
+    pk_bench::header(
+        "Figure 4",
+        "Exim throughput (messages/sec/core) and CPU time (usec/message), 1-48 cores.",
+    );
+    let stock = exim::figure4(KernelChoice::Stock);
+    let pk = exim::figure4(KernelChoice::Pk);
+    pk_bench::print_throughput(
+        "messages/sec/core",
+        1.0,
+        &[("Stock".to_string(), stock.clone()), ("PK".to_string(), pk.clone())],
+    );
+    pk_bench::print_cpu_breakdown("PK", "usec/message", 1.0, &pk);
+    println!();
+    pk_bench::print_ratio("Stock", &stock);
+    pk_bench::print_ratio("PK", &pk);
+}

@@ -1,0 +1,22 @@
+//! Regenerates Figure 5: memcached throughput.
+
+use pk_workloads::memcached;
+use pk_workloads::KernelChoice;
+
+fn main() {
+    pk_bench::header(
+        "Figure 5",
+        "memcached throughput (requests/sec/core), 1-48 cores. The PK \
+         decline past 16 cores is the IXGBE card, not the kernel.",
+    );
+    let stock = memcached::figure5(KernelChoice::Stock);
+    let pk = memcached::figure5(KernelChoice::Pk);
+    pk_bench::print_throughput(
+        "requests/sec/core",
+        1.0,
+        &[("Stock".to_string(), stock.clone()), ("PK".to_string(), pk.clone())],
+    );
+    println!();
+    pk_bench::print_ratio("Stock", &stock);
+    pk_bench::print_ratio("PK", &pk);
+}

@@ -1,0 +1,26 @@
+//! Regenerates Figure 6: Apache throughput and runtime breakdown.
+
+use pk_workloads::apache;
+use pk_workloads::KernelChoice;
+
+fn main() {
+    pk_bench::header(
+        "Figure 6",
+        "Apache throughput (requests/sec/core) and CPU time \
+         (usec/request), 1-48 cores. Past 36 cores the card's receive \
+         FIFO overflows.",
+    );
+    let stock = apache::figure6(KernelChoice::Stock);
+    let pk = apache::figure6(KernelChoice::Pk);
+    pk_bench::print_throughput(
+        "requests/sec/core",
+        1.0,
+        &[("Stock".to_string(), stock.clone()), ("PK".to_string(), pk.clone())],
+    );
+    pk_bench::print_cpu_breakdown("PK", "usec/request", 1.0, &pk);
+    let idle48 = pk.last().unwrap().idle_fraction;
+    println!("\nPK server idle time at 48 cores: {:.0}% (paper reports 18%)", idle48 * 100.0);
+    println!();
+    pk_bench::print_ratio("Stock", &stock);
+    pk_bench::print_ratio("PK", &pk);
+}

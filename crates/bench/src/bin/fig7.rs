@@ -1,0 +1,23 @@
+//! Regenerates Figure 7: PostgreSQL read-only workload.
+
+use pk_workloads::postgres::{self, PgVariant};
+
+fn main() {
+    pk_bench::header(
+        "Figure 7",
+        "PostgreSQL read-only workload throughput (queries/sec/core) and \
+         runtime breakdown, 1-48 cores.",
+    );
+    let series: Vec<(String, Vec<pk_sim::SweepPoint>)> =
+        [PgVariant::Stock, PgVariant::StockModPg, PgVariant::PkModPg]
+            .into_iter()
+            .map(|v| (v.label().to_string(), postgres::figure(v, true)))
+            .collect();
+    pk_bench::print_throughput("queries/sec/core", 1.0, &series);
+    pk_bench::print_cpu_breakdown("Stock + mod PG", "usec/query", 1.0, &series[1].1);
+    pk_bench::print_cpu_breakdown("PK + mod PG", "usec/query", 1.0, &series[2].1);
+    println!();
+    for (label, sweep) in &series {
+        pk_bench::print_ratio(label, sweep);
+    }
+}

@@ -1,0 +1,23 @@
+//! Regenerates Figure 8: PostgreSQL 95%/5% read/write workload.
+
+use pk_workloads::postgres::{self, PgVariant};
+
+fn main() {
+    pk_bench::header(
+        "Figure 8",
+        "PostgreSQL read/write workload throughput (queries/sec/core) and \
+         runtime breakdown, 1-48 cores. Unmodified PostgreSQL peaks at 28 \
+         cores on its own 16-mutex lock manager.",
+    );
+    let series: Vec<(String, Vec<pk_sim::SweepPoint>)> =
+        [PgVariant::Stock, PgVariant::StockModPg, PgVariant::PkModPg]
+            .into_iter()
+            .map(|v| (v.label().to_string(), postgres::figure(v, false)))
+            .collect();
+    pk_bench::print_throughput("queries/sec/core", 1.0, &series);
+    pk_bench::print_cpu_breakdown("Stock (unmodified PG)", "usec/query", 1.0, &series[0].1);
+    println!();
+    for (label, sweep) in &series {
+        pk_bench::print_ratio(label, sweep);
+    }
+}

@@ -1,0 +1,27 @@
+//! Regenerates Figure 9: gmake throughput and runtime breakdown.
+
+use pk_workloads::gmake;
+use pk_workloads::KernelChoice;
+
+fn main() {
+    pk_bench::header(
+        "Figure 9",
+        "gmake throughput (builds/hour/core) and CPU time (sec/build), \
+         1-48 cores. gmake scales well on both kernels (35x at 48 cores).",
+    );
+    let stock = gmake::figure9(KernelChoice::Stock);
+    let pk = gmake::figure9(KernelChoice::Pk);
+    // Builds/hour = per-second * 3600.
+    pk_bench::print_throughput(
+        "builds/hour/core",
+        3600.0,
+        &[("Stock".to_string(), stock.clone()), ("PK".to_string(), pk.clone())],
+    );
+    // Seconds/build = usec * 1e-6.
+    pk_bench::print_cpu_breakdown("PK", "sec/build", 1e-6, &pk);
+    println!();
+    let speedup = pk.last().unwrap().total_per_sec / pk[0].total_per_sec;
+    println!("PK speedup at 48 cores: {speedup:.1}x");
+    pk_bench::print_ratio("Stock", &stock);
+    pk_bench::print_ratio("PK", &pk);
+}

@@ -1,0 +1,106 @@
+//! General-purpose sweep CLI: run any MOSBENCH model at any core counts.
+//!
+//! Usage:
+//!
+//! ```text
+//! sweep <app> [--kernel stock|pk] [--cores N[,N,...]] [--rw]
+//!
+//! apps: exim, memcached, apache, postgres, gmake, pedsort-threads,
+//!       pedsort-procs, pedsort-rr, metis-4k, metis-2m
+//! ```
+//!
+//! Examples:
+//!
+//! ```text
+//! sweep exim --kernel stock --cores 1,12,24,48
+//! sweep postgres --rw --kernel pk
+//! ```
+
+use pk_sim::{CoreSweep, WorkloadModel};
+use pk_workloads::{apache, exim, gmake, memcached, metis, pedsort, postgres, KernelChoice};
+
+fn model(app: &str, choice: KernelChoice, rw: bool) -> Option<Box<dyn WorkloadModel>> {
+    Some(match app {
+        "exim" => Box::new(exim::EximModel::new(choice)),
+        "memcached" => Box::new(memcached::MemcachedModel::new(choice)),
+        "apache" => Box::new(apache::ApacheModel::new(choice)),
+        "postgres" => {
+            let variant = match choice {
+                KernelChoice::Stock => postgres::PgVariant::StockModPg,
+                KernelChoice::Pk => postgres::PgVariant::PkModPg,
+            };
+            Box::new(postgres::PostgresModel::new(variant, !rw))
+        }
+        "gmake" => Box::new(gmake::GmakeModel::new(choice)),
+        "pedsort-threads" => Box::new(pedsort::PedsortModel::new(pedsort::PedsortVariant::Threads)),
+        "pedsort-procs" => Box::new(pedsort::PedsortModel::new(pedsort::PedsortVariant::Procs)),
+        "pedsort-rr" => Box::new(pedsort::PedsortModel::new(
+            pedsort::PedsortVariant::ProcsRoundRobin,
+        )),
+        "metis-4k" => Box::new(metis::MetisModel::new(metis::MetisVariant::StockSmallPages)),
+        "metis-2m" => Box::new(metis::MetisModel::new(metis::MetisVariant::PkSuperPages)),
+        _ => return None,
+    })
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: sweep <app> [--kernel stock|pk] [--cores N[,N,...]] [--rw]\n\
+         apps: exim, memcached, apache, postgres, gmake, pedsort-threads,\n\
+         \u{20}      pedsort-procs, pedsort-rr, metis-4k, metis-2m"
+    );
+    std::process::exit(2)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut app = None;
+    let mut choice = KernelChoice::Pk;
+    let mut cores: Option<Vec<usize>> = None;
+    let mut rw = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--kernel" => match it.next().map(String::as_str) {
+                Some("stock") => choice = KernelChoice::Stock,
+                Some("pk") => choice = KernelChoice::Pk,
+                _ => usage(),
+            },
+            "--cores" => {
+                let spec = it.next().unwrap_or_else(|| usage());
+                cores = Some(
+                    spec.split(',')
+                        .map(|s| s.parse().unwrap_or_else(|_| usage()))
+                        .collect(),
+                );
+            }
+            "--rw" => rw = true,
+            "--help" | "-h" => usage(),
+            a if app.is_none() && !a.starts_with('-') => app = Some(a.to_string()),
+            _ => usage(),
+        }
+    }
+    let Some(app) = app else { usage() };
+    let Some(m) = model(&app, choice, rw) else {
+        eprintln!("unknown app: {app}");
+        usage()
+    };
+    let counts = cores.unwrap_or_else(CoreSweep::paper_core_counts);
+    println!("{}", m.name());
+    println!(
+        "{:>6} {:>16} {:>16} {:>12} {:>12} {:>6}",
+        "cores", "total/s", "per-core/s", "user µs", "sys µs", "cap?"
+    );
+    for n in counts {
+        let p = CoreSweep::point(m.as_ref(), n);
+        println!(
+            "{:>6} {:>16.1} {:>16.1} {:>12.2} {:>12.2} {:>6}",
+            p.cores,
+            p.total_per_sec,
+            p.per_core_per_sec,
+            p.user_usec,
+            p.system_usec,
+            if p.hw_capped { "HW" } else { "" }
+        );
+    }
+}

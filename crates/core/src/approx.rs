@@ -1,0 +1,133 @@
+//! Batched approximate counter (Linux `percpu_counter`).
+
+use crate::traits::Counter;
+use pk_percpu::{CoreId, PerCore};
+use std::sync::atomic::{AtomicI64, Ordering};
+
+/// A counter with per-core deltas flushed to a global value in batches.
+///
+/// This is the design of Linux's `percpu_counter` and the "approximate
+/// counters" the paper cites (\[5\]): each core accumulates a signed local
+/// delta and folds it into the global counter once its magnitude reaches
+/// the batch size. The global value is therefore within
+/// `cores × (batch − 1)` of the truth at all times — a cheap approximate
+/// read — while [`Counter::value`] sums everything for an exact read.
+#[derive(Debug)]
+pub struct ApproxCounter {
+    global: AtomicI64,
+    local: PerCore<AtomicI64>,
+    batch: i64,
+}
+
+impl ApproxCounter {
+    /// Creates a counter over `cores` slots with the given batch size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch == 0`.
+    pub fn new(cores: usize, batch: i64) -> Self {
+        assert!(batch > 0, "batch must be positive");
+        Self {
+            global: AtomicI64::new(0),
+            local: PerCore::new_with(cores, |_| AtomicI64::new(0)),
+            batch,
+        }
+    }
+
+    /// Returns the cheap, possibly stale global value.
+    ///
+    /// Guaranteed to be within `cores × (batch − 1)` of the exact value.
+    pub fn approx_value(&self) -> i64 {
+        self.global.load(Ordering::Acquire)
+    }
+
+    /// Returns the maximum error of [`Self::approx_value`].
+    pub fn max_error(&self) -> i64 {
+        self.local.cores() as i64 * (self.batch - 1)
+    }
+
+    /// Flushes all local deltas into the global counter and returns the
+    /// exact value.
+    pub fn flush(&self) -> i64 {
+        for slot in self.local.iter() {
+            let delta = slot.swap(0, Ordering::AcqRel);
+            if delta != 0 {
+                self.global.fetch_add(delta, Ordering::AcqRel);
+            }
+        }
+        self.approx_value()
+    }
+}
+
+impl Counter for ApproxCounter {
+    fn add(&self, core: CoreId, delta: i64) {
+        let slot = self.local.get(core);
+        let after = slot.fetch_add(delta, Ordering::AcqRel) + delta;
+        if after.abs() >= self.batch {
+            // Claim the whole local delta and fold it into the global.
+            let claimed = slot.swap(0, Ordering::AcqRel);
+            if claimed != 0 {
+                self.global.fetch_add(claimed, Ordering::AcqRel);
+            }
+        }
+    }
+
+    fn value(&self) -> i64 {
+        self.approx_value() + self.local.fold(0, |a, s| a + s.load(Ordering::Acquire))
+    }
+
+    fn name(&self) -> &'static str {
+        "approximate"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_updates_stay_local() {
+        let c = ApproxCounter::new(2, 10);
+        c.add(CoreId(0), 3);
+        assert_eq!(c.approx_value(), 0, "below batch: global untouched");
+        assert_eq!(c.value(), 3, "exact read sees local delta");
+    }
+
+    #[test]
+    fn batch_flushes_to_global() {
+        let c = ApproxCounter::new(2, 4);
+        c.add(CoreId(0), 4);
+        assert_eq!(c.approx_value(), 4);
+        assert_eq!(c.value(), 4);
+    }
+
+    #[test]
+    fn negative_batches_flush_too() {
+        let c = ApproxCounter::new(2, 4);
+        c.add(CoreId(1), -5);
+        assert_eq!(c.approx_value(), -5);
+    }
+
+    #[test]
+    fn approx_error_is_bounded() {
+        let c = ApproxCounter::new(4, 8);
+        for core in 0..4 {
+            for _ in 0..100 {
+                c.add(CoreId(core), 1);
+            }
+        }
+        let exact = c.value();
+        assert_eq!(exact, 400);
+        assert!((exact - c.approx_value()).abs() <= c.max_error());
+    }
+
+    #[test]
+    fn flush_makes_global_exact() {
+        let c = ApproxCounter::new(4, 1000);
+        for core in 0..4 {
+            c.add(CoreId(core), 7);
+        }
+        assert_eq!(c.flush(), 28);
+        assert_eq!(c.approx_value(), 28);
+    }
+}

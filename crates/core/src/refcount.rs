@@ -1,0 +1,341 @@
+//! Reference counting with a sloppy counter: the dentry lifecycle.
+
+use crate::sloppy::{SloppyConfig, SloppyCounter};
+use pk_percpu::CoreId;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+/// Error returned when deallocation cannot proceed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeallocError {
+    /// The object still has live references after reconciliation.
+    InUse {
+        /// How many references remain.
+        remaining: i64,
+    },
+    /// The object was already deallocated.
+    AlreadyDead,
+}
+
+impl fmt::Display for DeallocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InUse { remaining } => {
+                write!(f, "object still has {remaining} live references")
+            }
+            Self::AlreadyDead => f.write_str("object was already deallocated"),
+        }
+    }
+}
+
+impl std::error::Error for DeallocError {}
+
+/// A sloppy reference count with the paper's deallocation protocol.
+///
+/// This is the structure PK uses for `dentry`, `vfsmount`, and
+/// `dst_entry` reference counts (§4.3): gets and puts are core-local in
+/// the common case, and the expensive central/per-core reconciliation
+/// happens only "when deciding whether an object can be de-allocated" —
+/// which is why "sloppy counters should only be used for objects that are
+/// relatively infrequently de-allocated."
+///
+/// The count starts at 1 (the creator's reference), like kernel objects.
+///
+/// # Examples
+///
+/// ```
+/// use pk_percpu::CoreId;
+/// use pk_sloppy::SloppyRefCount;
+///
+/// let rc = SloppyRefCount::new(4);
+/// rc.get(CoreId(1)).unwrap();
+/// rc.put(CoreId(2));
+/// rc.put(CoreId(0)); // drops the creator's reference
+/// assert_eq!(rc.try_dealloc(), Ok(()));
+/// assert!(rc.get(CoreId(1)).is_err()); // no resurrection
+/// ```
+#[derive(Debug)]
+pub struct SloppyRefCount {
+    counter: SloppyCounter,
+    dead: AtomicBool,
+    // Serializes the reconcile-and-check against concurrent gets that
+    // would otherwise resurrect a zero count (the paper's lock-free
+    // protocol falls back to locking when the refcount is 0; this mutex
+    // plays that role).
+    dealloc: Mutex<()>,
+}
+
+impl SloppyRefCount {
+    /// Creates a refcount of 1 (the creator's reference) over `cores`.
+    pub fn new(cores: usize) -> Self {
+        Self::with_config(cores, SloppyConfig::default())
+    }
+
+    /// As [`SloppyRefCount::new`] with explicit sloppy-counter tuning.
+    pub fn with_config(cores: usize, config: SloppyConfig) -> Self {
+        let counter = SloppyCounter::with_config(cores, config);
+        counter.acquire(CoreId(0), 1);
+        Self {
+            counter,
+            dead: AtomicBool::new(false),
+            dealloc: Mutex::new(()),
+        }
+    }
+
+    /// Acquires one reference on behalf of `core`.
+    ///
+    /// Fails if the object has already been deallocated (matching the
+    /// §4.4 rule: "increment the reference count unless it is 0").
+    pub fn get(&self, core: CoreId) -> Result<(), DeallocError> {
+        // Fast path: not dead. The dealloc path re-checks under its lock.
+        if self.dead.load(Ordering::Acquire) {
+            return Err(DeallocError::AlreadyDead);
+        }
+        self.counter.acquire(core, 1);
+        // A dealloc may have completed between the check and the acquire;
+        // back out if so.
+        if self.dead.load(Ordering::Acquire) {
+            self.counter.release(core, 1);
+            return Err(DeallocError::AlreadyDead);
+        }
+        Ok(())
+    }
+
+    /// Releases one reference on behalf of `core`.
+    pub fn put(&self, core: CoreId) {
+        self.counter.release(core, 1);
+    }
+
+    /// Attempts to deallocate: reconciles all per-core spares and succeeds
+    /// only if no references remain. On success the object is dead and
+    /// all future [`SloppyRefCount::get`] calls fail.
+    pub fn try_dealloc(&self) -> Result<(), DeallocError> {
+        let _g = self.dealloc.lock().unwrap();
+        if self.dead.load(Ordering::Acquire) {
+            return Err(DeallocError::AlreadyDead);
+        }
+        let remaining = self.counter.reconcile();
+        if remaining == 0 {
+            self.dead.store(true, Ordering::Release);
+            Ok(())
+        } else {
+            Err(DeallocError::InUse { remaining })
+        }
+    }
+
+    /// Returns whether the object has been deallocated.
+    pub fn is_dead(&self) -> bool {
+        self.dead.load(Ordering::Acquire)
+    }
+
+    /// Returns the current exact reference count (expensive: reconciling
+    /// read across all cores).
+    pub fn references(&self) -> i64 {
+        self.counter.in_use()
+    }
+
+    /// Returns `(central_ops, local_ops)` from the underlying counter.
+    pub fn op_counts(&self) -> (u64, u64) {
+        self.counter.op_counts()
+    }
+}
+
+/// A reference count whose backing is chosen at object-creation time:
+/// a single shared atomic (the stock kernel) or a sloppy counter (PK).
+///
+/// This is the switch Figure 1 toggles for `dentry`, `vfsmount`, and
+/// `dst_entry` objects. Both variants expose the same lifecycle so kernel
+/// code is oblivious to which one it got — the backwards compatibility
+/// that makes sloppy counters deployable piecemeal.
+#[derive(Debug)]
+pub enum RefCount {
+    /// One shared atomic counter; every get/put bounces its cache line.
+    Atomic {
+        /// The shared count (starts at 1, the creator's reference).
+        count: std::sync::atomic::AtomicI64,
+        /// Whether the object has been deallocated.
+        dead: AtomicBool,
+        /// Number of operations performed (all of them shared).
+        ops: std::sync::atomic::AtomicU64,
+    },
+    /// A sloppy counter (PK).
+    Sloppy(SloppyRefCount),
+}
+
+impl RefCount {
+    /// Creates an atomic-backed refcount of 1.
+    pub fn new_atomic() -> Self {
+        Self::Atomic {
+            count: std::sync::atomic::AtomicI64::new(1),
+            dead: AtomicBool::new(false),
+            ops: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// Creates a sloppy-backed refcount of 1 over `cores`.
+    pub fn new_sloppy(cores: usize) -> Self {
+        Self::Sloppy(SloppyRefCount::new(cores))
+    }
+
+    /// Creates the variant selected by `sloppy`.
+    pub fn new(sloppy: bool, cores: usize) -> Self {
+        if sloppy {
+            Self::new_sloppy(cores)
+        } else {
+            Self::new_atomic()
+        }
+    }
+
+    /// Acquires a reference on behalf of `core`.
+    pub fn get(&self, core: CoreId) -> Result<(), DeallocError> {
+        match self {
+            Self::Atomic { count, dead, ops } => {
+                if dead.load(Ordering::Acquire) {
+                    return Err(DeallocError::AlreadyDead);
+                }
+                ops.fetch_add(1, Ordering::Relaxed);
+                count.fetch_add(1, Ordering::AcqRel);
+                if dead.load(Ordering::Acquire) {
+                    count.fetch_sub(1, Ordering::AcqRel);
+                    return Err(DeallocError::AlreadyDead);
+                }
+                Ok(())
+            }
+            Self::Sloppy(rc) => rc.get(core),
+        }
+    }
+
+    /// Releases a reference on behalf of `core`.
+    pub fn put(&self, core: CoreId) {
+        match self {
+            Self::Atomic { count, ops, .. } => {
+                ops.fetch_add(1, Ordering::Relaxed);
+                count.fetch_sub(1, Ordering::AcqRel);
+            }
+            Self::Sloppy(rc) => rc.put(core),
+        }
+    }
+
+    /// Attempts to deallocate (reconciling if sloppy).
+    pub fn try_dealloc(&self) -> Result<(), DeallocError> {
+        match self {
+            Self::Atomic { count, dead, .. } => {
+                if dead.load(Ordering::Acquire) {
+                    return Err(DeallocError::AlreadyDead);
+                }
+                match count.compare_exchange(0, 0, Ordering::AcqRel, Ordering::Acquire) {
+                    Ok(_) => {
+                        dead.store(true, Ordering::Release);
+                        Ok(())
+                    }
+                    Err(remaining) => Err(DeallocError::InUse { remaining }),
+                }
+            }
+            Self::Sloppy(rc) => rc.try_dealloc(),
+        }
+    }
+
+    /// Returns the exact current reference count (expensive if sloppy).
+    pub fn references(&self) -> i64 {
+        match self {
+            Self::Atomic { count, .. } => count.load(Ordering::Acquire),
+            Self::Sloppy(rc) => rc.references(),
+        }
+    }
+
+    /// Returns how many operations touched shared cache lines versus
+    /// stayed core-local. For the atomic variant every operation is a
+    /// shared (central) operation.
+    pub fn op_counts(&self) -> (u64, u64) {
+        match self {
+            Self::Atomic { ops, .. } => (ops.load(Ordering::Relaxed), 0),
+            Self::Sloppy(rc) => rc.op_counts(),
+        }
+    }
+
+    /// Returns whether this refcount is sloppy-backed.
+    pub fn is_sloppy(&self) -> bool {
+        matches!(self, Self::Sloppy(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn starts_with_one_reference() {
+        let rc = SloppyRefCount::new(2);
+        assert_eq!(rc.references(), 1);
+        assert!(!rc.is_dead());
+    }
+
+    #[test]
+    fn dealloc_fails_while_referenced() {
+        let rc = SloppyRefCount::new(2);
+        rc.get(CoreId(1)).unwrap();
+        assert_eq!(rc.try_dealloc(), Err(DeallocError::InUse { remaining: 2 }));
+        rc.put(CoreId(1));
+        rc.put(CoreId(0));
+        assert_eq!(rc.try_dealloc(), Ok(()));
+        assert_eq!(rc.try_dealloc(), Err(DeallocError::AlreadyDead));
+    }
+
+    #[test]
+    fn get_after_dealloc_fails() {
+        let rc = SloppyRefCount::new(2);
+        rc.put(CoreId(0));
+        rc.try_dealloc().unwrap();
+        assert_eq!(rc.get(CoreId(1)), Err(DeallocError::AlreadyDead));
+        assert_eq!(rc.references(), 0, "failed get must not leak");
+    }
+
+    #[test]
+    fn cross_core_get_put_balances() {
+        let rc = SloppyRefCount::new(4);
+        rc.get(CoreId(1)).unwrap();
+        rc.put(CoreId(3)); // released on a different core
+        assert_eq!(rc.references(), 1);
+        rc.put(CoreId(0));
+        assert_eq!(rc.try_dealloc(), Ok(()));
+    }
+
+    #[test]
+    fn hot_get_put_stays_core_local() {
+        let rc = SloppyRefCount::new(2);
+        // Warm up one spare, then hammer get/put on the same core.
+        rc.get(CoreId(1)).unwrap();
+        rc.put(CoreId(1));
+        let (central_before, _) = rc.op_counts();
+        for _ in 0..10_000 {
+            rc.get(CoreId(1)).unwrap();
+            rc.put(CoreId(1));
+        }
+        let (central_after, _) = rc.op_counts();
+        assert_eq!(central_before, central_after);
+    }
+
+    #[test]
+    fn concurrent_get_put_then_dealloc() {
+        let rc = Arc::new(SloppyRefCount::new(8));
+        let handles: Vec<_> = (0..8)
+            .map(|core| {
+                let rc = Arc::clone(&rc);
+                std::thread::spawn(move || {
+                    for _ in 0..2_000 {
+                        rc.get(CoreId(core)).unwrap();
+                        rc.put(CoreId(core));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(rc.references(), 1);
+        rc.put(CoreId(0));
+        assert_eq!(rc.try_dealloc(), Ok(()));
+    }
+}

@@ -1,0 +1,136 @@
+//! Kernel-wide configuration: which of the 16 fixes are applied.
+
+use crate::fixes::FixId;
+use pk_mm::MmConfig;
+use pk_net::NetConfig;
+use pk_vfs::VfsConfig;
+
+/// A kernel build: core count plus the enabled fix set.
+///
+/// [`KernelConfig::stock`] is Linux 2.6.35-rc5; [`KernelConfig::pk`]
+/// enables all 16 Figure-1 fixes; [`KernelConfig::with_fix`] toggles
+/// individual fixes for ablation studies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelConfig {
+    /// Number of cores the kernel serves.
+    pub cores: usize,
+    /// Which fixes are enabled.
+    fixes: [bool; 16],
+}
+
+impl KernelConfig {
+    /// Stock Linux 2.6.35-rc5: no fixes.
+    pub fn stock(cores: usize) -> Self {
+        Self {
+            cores,
+            fixes: [false; 16],
+        }
+    }
+
+    /// The PK kernel: all 16 fixes.
+    pub fn pk(cores: usize) -> Self {
+        Self {
+            cores,
+            fixes: [true; 16],
+        }
+    }
+
+    fn index(fix: FixId) -> usize {
+        crate::fixes::FIXES
+            .iter()
+            .position(|f| f.id == fix)
+            .expect("every FixId appears in FIXES")
+    }
+
+    /// Returns whether `fix` is enabled.
+    pub fn has(&self, fix: FixId) -> bool {
+        self.fixes[Self::index(fix)]
+    }
+
+    /// Returns a copy with `fix` set to `enabled`.
+    pub fn with_fix(mut self, fix: FixId, enabled: bool) -> Self {
+        self.fixes[Self::index(fix)] = enabled;
+        self
+    }
+
+    /// Number of enabled fixes.
+    pub fn enabled_count(&self) -> usize {
+        self.fixes.iter().filter(|&&b| b).count()
+    }
+
+    /// Lowers the fix set onto the VFS substrate's configuration.
+    pub fn vfs(&self) -> VfsConfig {
+        VfsConfig {
+            cores: self.cores,
+            sloppy_dentry_refs: self.has(FixId::SloppyDentryRefs),
+            sloppy_vfsmount_refs: self.has(FixId::SloppyVfsmountRefs),
+            lockfree_dlookup: self.has(FixId::LockFreeDlookup),
+            percore_mount_cache: self.has(FixId::PerCoreMountCache),
+            percore_open_lists: self.has(FixId::PerCoreOpenLists),
+            atomic_lseek: self.has(FixId::AtomicLseek),
+            avoid_inode_list_locks: self.has(FixId::AvoidInodeListLocks),
+            avoid_dcache_list_locks: self.has(FixId::AvoidDcacheListLocks),
+        }
+    }
+
+    /// Lowers the fix set onto the network substrate's configuration.
+    pub fn net(&self) -> NetConfig {
+        NetConfig {
+            cores: self.cores,
+            numa_nodes: 8,
+            sloppy_dst_refs: self.has(FixId::SloppyDstRefs),
+            sloppy_proto_accounting: self.has(FixId::SloppyProtoAccounting),
+            percore_skb_pools: self.has(FixId::LocalDmaBuffers),
+            local_dma_alloc: self.has(FixId::LocalDmaBuffers),
+            percore_accept_queues: self.has(FixId::ParallelAccept),
+            hash_flow_steering: self.has(FixId::ParallelAccept),
+            isolate_false_sharing: self.has(FixId::NetDeviceFalseSharing),
+            // RFS is a software alternative the paper cites but PK does
+            // not enable (it relies on hardware steering instead).
+            software_rfs: false,
+        }
+    }
+
+    /// Lowers the fix set onto the memory substrate's configuration.
+    pub fn mm(&self) -> MmConfig {
+        let base = MmConfig::stock(self.cores);
+        MmConfig {
+            per_mapping_superpage_mutex: self.has(FixId::SuperPageFineLocking),
+            nocache_superpage_zeroing: self.has(FixId::NoCacheSuperPageZeroing),
+            split_page_layout: self.has(FixId::PageFalseSharing),
+            ..base
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stock_and_pk_extremes() {
+        assert_eq!(KernelConfig::stock(48).enabled_count(), 0);
+        assert_eq!(KernelConfig::pk(48).enabled_count(), 16);
+    }
+
+    #[test]
+    fn with_fix_toggles_one() {
+        let c = KernelConfig::stock(8).with_fix(FixId::AtomicLseek, true);
+        assert!(c.has(FixId::AtomicLseek));
+        assert_eq!(c.enabled_count(), 1);
+        assert!(c.vfs().atomic_lseek);
+        assert!(!c.vfs().lockfree_dlookup);
+    }
+
+    #[test]
+    fn lowering_is_consistent() {
+        let pk = KernelConfig::pk(48);
+        assert_eq!(pk.vfs(), VfsConfig::pk(48));
+        assert_eq!(pk.net(), NetConfig::pk(48));
+        let stock = KernelConfig::stock(48);
+        assert_eq!(stock.vfs(), VfsConfig::stock(48));
+        assert_eq!(stock.net(), NetConfig::stock(48));
+        assert_eq!(stock.mm(), MmConfig::stock(48));
+        assert_eq!(pk.mm(), MmConfig::pk(48));
+    }
+}

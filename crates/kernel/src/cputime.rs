@@ -1,0 +1,108 @@
+//! Per-core CPU time accounting (user vs system).
+
+use pk_percpu::{CoreId, PerCore};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// User/system cycle counts for one core.
+#[derive(Debug, Default)]
+pub struct CpuTime {
+    user: AtomicU64,
+    system: AtomicU64,
+}
+
+impl CpuTime {
+    /// Cycles spent in user mode.
+    pub fn user(&self) -> u64 {
+        self.user.load(Ordering::Relaxed)
+    }
+
+    /// Cycles spent in the kernel.
+    pub fn system(&self) -> u64 {
+        self.system.load(Ordering::Relaxed)
+    }
+}
+
+/// Per-core CPU-time accounting.
+///
+/// Every figure in the paper's evaluation reports a user/system CPU-time
+/// breakdown per unit of work; workloads charge cycles here as they run,
+/// and the harness divides by completed operations.
+#[derive(Debug)]
+pub struct CpuAccounting {
+    cores: PerCore<CpuTime>,
+}
+
+impl CpuAccounting {
+    /// Creates zeroed accounting for `cores` cores.
+    pub fn new(cores: usize) -> Self {
+        Self {
+            cores: PerCore::new_with(cores, |_| CpuTime::default()),
+        }
+    }
+
+    /// Charges `cycles` of user time to `core`.
+    pub fn charge_user(&self, core: CoreId, cycles: u64) {
+        self.cores.get(core).user.fetch_add(cycles, Ordering::Relaxed);
+    }
+
+    /// Charges `cycles` of system time to `core`.
+    pub fn charge_system(&self, core: CoreId, cycles: u64) {
+        self.cores.get(core).system.fetch_add(cycles, Ordering::Relaxed);
+    }
+
+    /// Returns `(user, system)` totals across all cores.
+    pub fn totals(&self) -> (u64, u64) {
+        self.cores
+            .fold((0, 0), |(u, s), t| (u + t.user(), s + t.system()))
+    }
+
+    /// Returns `(user, system)` for one core.
+    pub fn of(&self, core: CoreId) -> (u64, u64) {
+        let t = self.cores.get(core);
+        (t.user(), t.system())
+    }
+
+    /// Fraction of total CPU time spent in the kernel.
+    pub fn system_fraction(&self) -> f64 {
+        let (u, s) = self.totals();
+        if u + s == 0 {
+            0.0
+        } else {
+            s as f64 / (u + s) as f64
+        }
+    }
+
+    /// Resets all counters.
+    pub fn reset(&self) {
+        for t in self.cores.iter() {
+            t.user.store(0, Ordering::Relaxed);
+            t.system.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_accumulate_per_core() {
+        let acc = CpuAccounting::new(4);
+        acc.charge_user(CoreId(0), 100);
+        acc.charge_system(CoreId(0), 50);
+        acc.charge_system(CoreId(3), 25);
+        assert_eq!(acc.of(CoreId(0)), (100, 50));
+        assert_eq!(acc.of(CoreId(3)), (0, 25));
+        assert_eq!(acc.totals(), (100, 75));
+        assert!((acc.system_fraction() - 75.0 / 175.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let acc = CpuAccounting::new(2);
+        acc.charge_user(CoreId(1), 7);
+        acc.reset();
+        assert_eq!(acc.totals(), (0, 0));
+        assert_eq!(acc.system_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,250 @@
+//! The 16 Figure-1 fixes as data.
+
+use std::fmt;
+
+/// A MOSBENCH application named in Figure 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum App {
+    /// The Exim mail server.
+    Exim,
+    /// memcached.
+    Memcached,
+    /// Apache serving static files.
+    Apache,
+    /// PostgreSQL.
+    PostgreSql,
+    /// Parallel gmake.
+    Gmake,
+    /// Psearchy's pedsort indexer.
+    Pedsort,
+    /// The Metis MapReduce library.
+    Metis,
+}
+
+impl fmt::Display for App {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Self::Exim => "Exim",
+            Self::Memcached => "memcached",
+            Self::Apache => "Apache",
+            Self::PostgreSql => "PostgreSQL",
+            Self::Gmake => "gmake",
+            Self::Pedsort => "pedsort",
+            Self::Metis => "Metis",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Identifies one of the paper's 16 kernel scalability fixes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FixId {
+    /// Per-core backlog queues for listening sockets (§4.2).
+    ParallelAccept,
+    /// Sloppy counters for dentry reference counting.
+    SloppyDentryRefs,
+    /// Sloppy counters for vfsmount reference counting.
+    SloppyVfsmountRefs,
+    /// Sloppy counters for dst_entry reference counting.
+    SloppyDstRefs,
+    /// Sloppy counters for protocol memory usage tracking.
+    SloppyProtoAccounting,
+    /// Lock-free dlookup comparison protocol (§4.4).
+    LockFreeDlookup,
+    /// Per-core mount-table caches (§4.5).
+    PerCoreMountCache,
+    /// Per-core open-file lists (§4.5).
+    PerCoreOpenLists,
+    /// Local-node DMA buffer allocation (§4.5).
+    LocalDmaBuffers,
+    /// net_device/device false-sharing fix (§4.6).
+    NetDeviceFalseSharing,
+    /// struct page false-sharing fix (§4.6).
+    PageFalseSharing,
+    /// Avoid unnecessary inode-list lock acquisitions (§4.7).
+    AvoidInodeListLocks,
+    /// Avoid unnecessary dcache-list lock acquisitions (§4.7).
+    AvoidDcacheListLocks,
+    /// Atomic-read lseek, no per-inode mutex (§4.7, §5.5).
+    AtomicLseek,
+    /// Per-mapping super-page mutexes (§4.7, §5.8).
+    SuperPageFineLocking,
+    /// Non-caching super-page zeroing (§5.8).
+    NoCacheSuperPageZeroing,
+}
+
+/// Figure-1 metadata for one fix.
+#[derive(Debug, Clone, Copy)]
+pub struct Fix {
+    /// Which fix.
+    pub id: FixId,
+    /// Figure-1 row title.
+    pub name: &'static str,
+    /// The problem sentence.
+    pub problem: &'static str,
+    /// The solution sentence ("⇒" column).
+    pub solution: &'static str,
+    /// Applications the row names.
+    pub apps: &'static [App],
+}
+
+/// All 16 fixes in Figure-1 order.
+pub const FIXES: [Fix; 16] = [
+    Fix {
+        id: FixId::ParallelAccept,
+        name: "Parallel accept",
+        problem: "Concurrent accept system calls contend on shared socket fields.",
+        solution: "User per-core backlog queues for listening sockets.",
+        apps: &[App::Apache],
+    },
+    Fix {
+        id: FixId::SloppyDentryRefs,
+        name: "dentry reference counting",
+        problem: "File name resolution contends on directory entry reference counts.",
+        solution: "Use sloppy counters to reference count directory entry objects.",
+        apps: &[App::Apache, App::Exim],
+    },
+    Fix {
+        id: FixId::SloppyVfsmountRefs,
+        name: "Mount point (vfsmount) reference counting",
+        problem: "Walking file name paths contends on mount point reference counts.",
+        solution: "Use sloppy counters for mount point objects.",
+        apps: &[App::Apache, App::Exim],
+    },
+    Fix {
+        id: FixId::SloppyDstRefs,
+        name: "IP packet destination (dst entry) reference counting",
+        problem: "IP packet transmission contends on routing table entries.",
+        solution: "Use sloppy counters for IP routing table entries.",
+        apps: &[App::Memcached, App::Apache],
+    },
+    Fix {
+        id: FixId::SloppyProtoAccounting,
+        name: "Protocol memory usage tracking",
+        problem: "Cores contend on counters for tracking protocol memory consumption.",
+        solution: "Use sloppy counters for protocol usage counting.",
+        apps: &[App::Memcached, App::Apache],
+    },
+    Fix {
+        id: FixId::LockFreeDlookup,
+        name: "Acquiring directory entry (dentry) spin locks",
+        problem: "Walking file name paths contends on per-directory entry spin locks.",
+        solution: "Use a lock-free protocol in dlookup for checking filename matches.",
+        apps: &[App::Apache, App::Exim],
+    },
+    Fix {
+        id: FixId::PerCoreMountCache,
+        name: "Mount point table spin lock",
+        problem: "Resolving path names to mount points contends on a global spin lock.",
+        solution: "Use per-core mount table caches.",
+        apps: &[App::Apache, App::Exim],
+    },
+    Fix {
+        id: FixId::PerCoreOpenLists,
+        name: "Adding files to the open list",
+        problem: "Cores contend on a per-super block list that tracks open files.",
+        solution: "Use per-core open file lists for each super block that has open files.",
+        apps: &[App::Apache, App::Exim],
+    },
+    Fix {
+        id: FixId::LocalDmaBuffers,
+        name: "Allocating DMA buffers",
+        problem: "DMA memory allocations contend on the memory node 0 spin lock.",
+        solution: "Allocate Ethernet device DMA buffers from the local memory node.",
+        apps: &[App::Memcached, App::Apache],
+    },
+    Fix {
+        id: FixId::NetDeviceFalseSharing,
+        name: "False sharing in net device and device",
+        problem: "False sharing causes contention for read-only structure fields.",
+        solution: "Place read-only fields on their own cache lines.",
+        apps: &[App::Memcached, App::Apache, App::PostgreSql],
+    },
+    Fix {
+        id: FixId::PageFalseSharing,
+        name: "False sharing in page",
+        problem: "False sharing causes contention for read-mostly structure fields.",
+        solution: "Place read-only fields on their own cache lines.",
+        apps: &[App::Exim],
+    },
+    Fix {
+        id: FixId::AvoidInodeListLocks,
+        name: "inode lists",
+        problem: "Cores contend on global locks protecting lists used to track inodes.",
+        solution: "Avoid acquiring the locks when not necessary.",
+        apps: &[App::Memcached, App::Apache],
+    },
+    Fix {
+        id: FixId::AvoidDcacheListLocks,
+        name: "Dcache lists",
+        problem: "Cores contend on global locks protecting lists used to track dentrys.",
+        solution: "Avoid acquiring the locks when not necessary.",
+        apps: &[App::Memcached, App::Apache],
+    },
+    Fix {
+        id: FixId::AtomicLseek,
+        name: "Per-inode mutex",
+        problem: "Cores contend on a per-inode mutex in lseek.",
+        solution: "Use atomic reads to eliminate the need to acquire the mutex.",
+        apps: &[App::PostgreSql],
+    },
+    Fix {
+        id: FixId::SuperPageFineLocking,
+        name: "Super-page fine grained locking",
+        problem: "Super-page soft page faults contend on a per-process mutex.",
+        solution: "Protect each super-page memory mapping with its own mutex.",
+        apps: &[App::Metis],
+    },
+    Fix {
+        id: FixId::NoCacheSuperPageZeroing,
+        name: "Zeroing super-pages",
+        problem: "Zeroing super-pages flushes the contents of on-chip caches.",
+        solution: "Use non-caching instructions to zero the contents of super-pages.",
+        apps: &[App::Metis],
+    },
+];
+
+/// Lines of kernel change the paper reports for the whole fix set.
+pub const LINES_ADDED: u32 = 2617;
+/// Lines removed by the fix set.
+pub const LINES_REMOVED: u32 = 385;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn there_are_sixteen_fixes() {
+        assert_eq!(FIXES.len(), 16);
+        let mut ids: Vec<FixId> = FIXES.iter().map(|f| f.id).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), 16, "fix ids are unique");
+    }
+
+    #[test]
+    fn every_fix_names_at_least_one_app() {
+        for f in FIXES {
+            assert!(!f.apps.is_empty(), "{} names no app", f.name);
+            assert!(!f.problem.is_empty());
+            assert!(!f.solution.is_empty());
+        }
+    }
+
+    #[test]
+    fn loc_totals_match_paper() {
+        assert_eq!(LINES_ADDED as i64 - LINES_REMOVED as i64, 2232);
+        // "Modifying the kernel required in total 3002 lines of code
+        // changes" = added + removed.
+        assert_eq!(LINES_ADDED + LINES_REMOVED, 3002);
+    }
+
+    #[test]
+    fn sloppy_counter_fixes_cover_four_objects() {
+        let sloppy = FIXES
+            .iter()
+            .filter(|f| f.solution.contains("sloppy counter") || f.solution.contains("sloppy"))
+            .count();
+        assert_eq!(sloppy, 4, "dentry, vfsmount, dst_entry, proto accounting");
+    }
+}

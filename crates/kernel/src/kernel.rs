@@ -1,0 +1,192 @@
+//! The assembled kernel.
+
+use crate::config::KernelConfig;
+use crate::cputime::CpuAccounting;
+use pk_mm::{AddressSpace, MmStats, NumaAllocator};
+use pk_net::NetStack;
+use pk_percpu::CoreId;
+use pk_proc::{Pid, ProcessTable, Scheduler};
+use pk_vfs::Vfs;
+use std::sync::Arc;
+
+/// A running kernel instance: all substrates under one configuration.
+///
+/// The workloads drive this the way MOSBENCH drives Linux: through
+/// syscall-shaped operations that touch the same data structures the
+/// paper profiles. Every subsystem keeps its own contention statistics;
+/// [`Kernel::cpu`] aggregates user/system time the way the figures
+/// report it.
+///
+/// # Examples
+///
+/// ```
+/// use pk_kernel::{Kernel, KernelConfig};
+/// use pk_percpu::CoreId;
+///
+/// let k = Kernel::new(KernelConfig::pk(4));
+/// let core = CoreId(0);
+/// k.vfs().mkdir_p("/var/mail", core).unwrap();
+/// let child = k.fork(pk_proc::Pid(1), core).unwrap();
+/// k.vfs().write_file("/var/mail/u1", b"hello", core).unwrap();
+/// k.exit(child, core).unwrap();
+/// ```
+#[derive(Debug)]
+pub struct Kernel {
+    config: KernelConfig,
+    vfs: Vfs,
+    net: NetStack,
+    mm_stats: Arc<MmStats>,
+    allocator: Arc<NumaAllocator>,
+    procs: ProcessTable,
+    sched: Scheduler,
+    cpu: CpuAccounting,
+    proc_stats: crate::procfs::ProcStats,
+}
+
+impl Kernel {
+    /// Boots a kernel under `config`.
+    pub fn new(config: KernelConfig) -> Self {
+        let mm_stats = Arc::new(MmStats::new());
+        let allocator = Arc::new(NumaAllocator::new(config.mm(), Arc::clone(&mm_stats)));
+        Self {
+            vfs: Vfs::new(config.vfs()),
+            net: NetStack::new(config.net()),
+            allocator,
+            mm_stats,
+            procs: ProcessTable::new(),
+            sched: Scheduler::new(config.cores),
+            cpu: CpuAccounting::new(config.cores),
+            proc_stats: crate::procfs::ProcStats::default(),
+            config,
+        }
+    }
+
+    /// Returns the configuration.
+    pub fn config(&self) -> KernelConfig {
+        self.config
+    }
+
+    /// The virtual file system.
+    pub fn vfs(&self) -> &Vfs {
+        &self.vfs
+    }
+
+    /// The network stack.
+    pub fn net(&self) -> &NetStack {
+        &self.net
+    }
+
+    /// The physical page allocator.
+    pub fn allocator(&self) -> &Arc<NumaAllocator> {
+        &self.allocator
+    }
+
+    /// Memory-management diagnostics.
+    pub fn mm_stats(&self) -> &Arc<MmStats> {
+        &self.mm_stats
+    }
+
+    /// The process table.
+    pub fn procs(&self) -> &ProcessTable {
+        &self.procs
+    }
+
+    /// The scheduler.
+    pub fn sched(&self) -> &Scheduler {
+        &self.sched
+    }
+
+    /// CPU-time accounting.
+    pub fn cpu(&self) -> &CpuAccounting {
+        &self.cpu
+    }
+
+    /// procfs read counters.
+    pub fn proc_stats(&self) -> &crate::procfs::ProcStats {
+        &self.proc_stats
+    }
+
+    /// Reads a synthesized `/proc` file (see [`crate::procfs`]).
+    pub fn proc_read(&self, path: &str) -> Result<Vec<u8>, crate::procfs::NoSuchProcFile> {
+        crate::procfs::read(self, path)
+    }
+
+    /// Creates a fresh address space drawing from the kernel's allocator
+    /// (one per process in the workloads that need memory modelling).
+    pub fn new_address_space(&self) -> Arc<AddressSpace> {
+        Arc::new(AddressSpace::new(
+            self.config.mm(),
+            Arc::clone(&self.allocator),
+            Arc::clone(&self.mm_stats),
+        ))
+    }
+
+    /// `fork(2)`: creates a child of `parent` on `core` and makes it
+    /// runnable there.
+    pub fn fork(&self, parent: Pid, core: CoreId) -> Result<Pid, pk_proc::ProcError> {
+        let child = self.procs.fork(parent, core)?;
+        self.sched.enqueue(core, child.pid);
+        Ok(child.pid)
+    }
+
+    /// `exit(2)` + immediate reap by the parent (the common Exim
+    /// pattern).
+    pub fn exit(&self, pid: Pid, _core: CoreId) -> Result<(), pk_proc::ProcError> {
+        let parent = self
+            .procs
+            .get(pid)
+            .ok_or(pk_proc::ProcError::NoSuchProcess)?
+            .parent;
+        self.procs.exit(pid)?;
+        self.procs.reap(parent, pid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boots_stock_and_pk() {
+        for cfg in [KernelConfig::stock(4), KernelConfig::pk(4)] {
+            let k = Kernel::new(cfg);
+            assert_eq!(k.config().cores, 4);
+            assert_eq!(k.procs().len(), 1);
+        }
+    }
+
+    #[test]
+    fn fork_enqueues_child() {
+        let k = Kernel::new(KernelConfig::pk(4));
+        let pid = k.fork(Pid(1), CoreId(2)).unwrap();
+        assert_eq!(k.sched().load(CoreId(2)), 1);
+        assert_eq!(k.sched().pick_next(CoreId(2)), Some(pid));
+        k.exit(pid, CoreId(2)).unwrap();
+        assert_eq!(k.procs().len(), 1);
+    }
+
+    #[test]
+    fn vfs_and_net_share_the_kernel() {
+        let k = Kernel::new(KernelConfig::pk(4));
+        k.vfs().mkdir_p("/srv", CoreId(0)).unwrap();
+        k.vfs().write_file("/srv/f", b"x", CoreId(0)).unwrap();
+        assert_eq!(k.vfs().read_file("/srv/f", CoreId(0)).unwrap(), b"x");
+        assert!(k.net().udp_bind(53, CoreId(1)).is_some());
+    }
+
+    #[test]
+    fn address_spaces_draw_from_shared_allocator() {
+        let k = Kernel::new(KernelConfig::pk(4));
+        let asp = k.new_address_space();
+        let r = asp.mmap(8 << 10, pk_mm::PageSize::Base4K).unwrap();
+        asp.touch_all(r, 0).unwrap();
+        assert_eq!(k.mm_stats().faults_4k.load(std::sync::atomic::Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn cpu_accounting_is_reachable() {
+        let k = Kernel::new(KernelConfig::pk(2));
+        k.cpu().charge_system(CoreId(0), 10);
+        assert_eq!(k.cpu().totals(), (0, 10));
+    }
+}

@@ -1,0 +1,25 @@
+//! The kernel facade: one object tying the VFS, network, memory, and
+//! process substrates together under a single per-fix configuration.
+//!
+//! The paper's "patched kernel, PK" is stock Linux 2.6.35-rc5 plus "a set
+//! of 16 scalability improvements" (§1, Figure 1). [`KernelConfig`]
+//! exposes each of the 16 as an independent toggle — [`FixId`] enumerates
+//! them, [`FIXES`] carries the Figure-1 metadata (problem, solution,
+//! affected applications) — and lowers them onto the substrate configs.
+//! [`Kernel`] assembles the substrates and offers a syscall-shaped
+//! surface plus per-core CPU-time accounting, which is how the workloads
+//! report the paper's user/system breakdowns.
+
+#![forbid(unsafe_op_in_unsafe_fn)]
+#![warn(missing_docs)]
+
+mod config;
+mod cputime;
+mod fixes;
+mod kernel;
+pub mod procfs;
+
+pub use config::KernelConfig;
+pub use cputime::{CpuAccounting, CpuTime};
+pub use fixes::{App, Fix, FixId, FIXES, LINES_ADDED, LINES_REMOVED};
+pub use kernel::Kernel;

@@ -1,0 +1,83 @@
+//! Ready-made MapReduce applications.
+
+use crate::engine::MapReduceApp;
+
+/// Classic word count: word → occurrence count.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct WordCount;
+
+impl MapReduceApp for WordCount {
+    type K = String;
+    type V = u64;
+    type Out = u64;
+
+    fn map(&self, split: &str, emit: &mut dyn FnMut(String, u64)) {
+        for word in split.split_whitespace() {
+            emit(word.to_ascii_lowercase(), 1);
+        }
+    }
+
+    fn reduce(&self, _key: &String, values: Vec<u64>) -> u64 {
+        values.into_iter().sum()
+    }
+}
+
+/// The paper's Metis workload: an inverted index mapping each word to the
+/// sorted list of `(document, position)` pairs it occurs at (§3.7, §5.8).
+///
+/// Splits are expected as `docid\ttext`; unnumbered splits index as doc 0.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct InvertedIndex;
+
+impl MapReduceApp for InvertedIndex {
+    type K = String;
+    type V = (u64, u64);
+    type Out = Vec<(u64, u64)>;
+
+    fn map(&self, split: &str, emit: &mut dyn FnMut(String, (u64, u64))) {
+        let (doc, text) = match split.split_once('\t') {
+            Some((id, text)) => (id.parse().unwrap_or(0), text),
+            None => (0, split),
+        };
+        for (pos, word) in text.split_whitespace().enumerate() {
+            emit(word.to_ascii_lowercase(), (doc, pos as u64));
+        }
+    }
+
+    fn reduce(&self, _key: &String, mut values: Vec<(u64, u64)>) -> Vec<(u64, u64)> {
+        values.sort_unstable();
+        values
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{MapReduce, MapReduceConfig};
+
+    #[test]
+    fn word_count_normalizes_case() {
+        let mr = MapReduce::new(MapReduceConfig::with_workers(2));
+        let out = mr.run(&WordCount, &["The the THE".to_string()]);
+        assert_eq!(out, vec![("the".to_string(), 3)]);
+    }
+
+    #[test]
+    fn inverted_index_records_positions() {
+        let mr = MapReduce::new(MapReduceConfig::with_workers(2));
+        let splits = vec!["1\tfoo bar foo".to_string(), "2\tbar".to_string()];
+        let out = mr.run(&InvertedIndex, &splits);
+        let idx: std::collections::HashMap<_, _> = out.into_iter().collect();
+        assert_eq!(idx["foo"], vec![(1, 0), (1, 2)]);
+        assert_eq!(idx["bar"], vec![(1, 1), (2, 0)]);
+    }
+
+    #[test]
+    fn inverted_index_default_doc() {
+        let mr = MapReduce::new(MapReduceConfig::with_workers(1));
+        let out = mr.run(&InvertedIndex, &["only words".to_string()]);
+        let idx: std::collections::HashMap<_, _> = out.into_iter().collect();
+        assert_eq!(idx["only"], vec![(0, 0)]);
+        assert_eq!(idx["words"], vec![(0, 1)]);
+    }
+}

@@ -1,0 +1,286 @@
+//! The MapReduce engine.
+
+use pk_mm::{AddressSpace, PageSize, RegionId};
+use std::collections::HashMap;
+use std::hash::{DefaultHasher, Hash, Hasher};
+use std::sync::Arc;
+
+/// A MapReduce application: map over input splits, reduce per key.
+pub trait MapReduceApp: Sync {
+    /// Intermediate/output key.
+    type K: Ord + Hash + Clone + Send;
+    /// Intermediate value.
+    type V: Send;
+    /// Reduced output value.
+    type Out: Send;
+
+    /// Maps one input split, emitting intermediate pairs.
+    fn map(&self, split: &str, emit: &mut dyn FnMut(Self::K, Self::V));
+
+    /// Reduces all values for `key`.
+    fn reduce(&self, key: &Self::K, values: Vec<Self::V>) -> Self::Out;
+}
+
+/// Hooks the engine's intermediate-table memory into the mm substrate so
+/// a run's soft-fault traffic is observable.
+#[derive(Clone)]
+pub struct MemoryHook {
+    /// The address space charged for intermediate tables.
+    pub space: Arc<AddressSpace>,
+    /// Page size used for table memory (the Figure-11 axis).
+    pub page_size: PageSize,
+    /// Bytes charged per emitted intermediate pair (models Metis' table
+    /// growth; the paper's run builds ~2 GB of tables from a 2 GB file).
+    pub bytes_per_pair: u64,
+}
+
+impl std::fmt::Debug for MemoryHook {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemoryHook")
+            .field("page_size", &self.page_size)
+            .field("bytes_per_pair", &self.bytes_per_pair)
+            .finish()
+    }
+}
+
+/// Engine configuration.
+#[derive(Debug, Default)]
+pub struct MapReduceConfig {
+    /// Number of map/reduce workers (threads).
+    pub workers: usize,
+    /// Optional mm hook charging table memory to an address space.
+    pub memory: Option<MemoryHook>,
+}
+
+impl MapReduceConfig {
+    /// `workers` workers, no memory hook.
+    pub fn with_workers(workers: usize) -> Self {
+        Self {
+            workers,
+            memory: None,
+        }
+    }
+}
+
+/// The engine.
+#[derive(Debug)]
+pub struct MapReduce {
+    config: MapReduceConfig,
+}
+
+/// Per-worker memory charger: mmaps a growing region and faults pages as
+/// pairs are emitted.
+struct TableMemory<'h> {
+    hook: &'h MemoryHook,
+    region: RegionId,
+    region_pages: u64,
+    next_page: u64,
+    bytes_emitted: u64,
+    worker: usize,
+}
+
+impl<'h> TableMemory<'h> {
+    fn new(hook: &'h MemoryHook, worker: usize) -> Self {
+        // Metis allocates table memory in large mmap chunks.
+        const CHUNK: u64 = 64 << 20;
+        let region = hook
+            .space
+            .mmap(CHUNK, hook.page_size)
+            .expect("non-empty mapping");
+        Self {
+            hook,
+            region,
+            region_pages: CHUNK.div_ceil(hook.page_size.bytes()),
+            next_page: 0,
+            bytes_emitted: 0,
+            worker,
+        }
+    }
+
+    fn charge_pair(&mut self) {
+        self.bytes_emitted += self.hook.bytes_per_pair;
+        // Fault in pages lazily as the table crosses page boundaries.
+        while self.bytes_emitted > self.next_page * self.hook.page_size.bytes() {
+            if self.next_page >= self.region_pages {
+                const CHUNK: u64 = 64 << 20;
+                self.region = self
+                    .hook
+                    .space
+                    .mmap(CHUNK, self.hook.page_size)
+                    .expect("non-empty mapping");
+                self.region_pages = CHUNK.div_ceil(self.hook.page_size.bytes());
+                self.next_page = 0;
+            }
+            self.hook
+                .space
+                .page_fault(self.region, self.next_page, self.worker)
+                .expect("table fault");
+            self.next_page += 1;
+        }
+    }
+}
+
+impl MapReduce {
+    /// Creates an engine.
+    pub fn new(config: MapReduceConfig) -> Self {
+        assert!(config.workers > 0, "need at least one worker");
+        Self { config }
+    }
+
+    /// Runs `app` over `splits`, returning `(key, reduced)` pairs sorted
+    /// by key.
+    ///
+    /// Phase 1 (map): splits are distributed round-robin over workers;
+    /// each worker fills a private hash table (no shared writes). Phase 2
+    /// (reduce): keys are partitioned by hash; each worker reduces its
+    /// partition. Phase 3 (merge): sorted partitions are concatenated —
+    /// the same three-phase shape as Metis.
+    pub fn run<A: MapReduceApp>(&self, app: &A, splits: &[String]) -> Vec<(A::K, A::Out)> {
+        let workers = self.config.workers;
+        // Phase 1: map.
+        let tables: Vec<HashMap<A::K, Vec<A::V>>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let memory = self.config.memory.as_ref();
+                    s.spawn(move || {
+                        let mut table: HashMap<A::K, Vec<A::V>> = HashMap::new();
+                        let mut mem = memory.map(|h| TableMemory::new(h, w));
+                        for split in splits.iter().skip(w).step_by(workers) {
+                            app.map(split, &mut |k, v| {
+                                if let Some(m) = mem.as_mut() {
+                                    m.charge_pair();
+                                }
+                                table.entry(k).or_default().push(v);
+                            });
+                        }
+                        table
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+
+        // Phase 2: partition by key hash, reduce each partition.
+        let mut partitions: Vec<HashMap<A::K, Vec<A::V>>> =
+            (0..workers).map(|_| HashMap::new()).collect();
+        for table in tables {
+            for (k, vs) in table {
+                let mut h = DefaultHasher::new();
+                k.hash(&mut h);
+                let p = (h.finish() as usize) % workers;
+                partitions[p].entry(k).or_default().extend(vs);
+            }
+        }
+        let mut reduced: Vec<Vec<(A::K, A::Out)>> = std::thread::scope(|s| {
+            let handles: Vec<_> = partitions
+                .into_iter()
+                .map(|part| {
+                    s.spawn(move || {
+                        let mut out: Vec<(A::K, A::Out)> = part
+                            .into_iter()
+                            .map(|(k, vs)| {
+                                let r = app.reduce(&k, vs);
+                                (k, r)
+                            })
+                            .collect();
+                        out.sort_by(|a, b| a.0.cmp(&b.0));
+                        out
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+
+        // Phase 3: merge sorted partitions.
+        let mut out = Vec::new();
+        for part in reduced.iter_mut() {
+            out.append(part);
+        }
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pk_mm::{MmConfig, MmStats, NumaAllocator};
+
+    struct Count;
+
+    impl MapReduceApp for Count {
+        type K = String;
+        type V = u64;
+        type Out = u64;
+
+        fn map(&self, split: &str, emit: &mut dyn FnMut(String, u64)) {
+            for w in split.split_whitespace() {
+                emit(w.to_string(), 1);
+            }
+        }
+
+        fn reduce(&self, _key: &String, values: Vec<u64>) -> u64 {
+            values.into_iter().sum()
+        }
+    }
+
+    #[test]
+    fn counts_words_across_workers() {
+        for workers in [1, 2, 4] {
+            let mr = MapReduce::new(MapReduceConfig::with_workers(workers));
+            let splits = vec![
+                "a b a".to_string(),
+                "b c".to_string(),
+                "a".to_string(),
+            ];
+            let out = mr.run(&Count, &splits);
+            assert_eq!(
+                out,
+                vec![
+                    ("a".to_string(), 3),
+                    ("b".to_string(), 2),
+                    ("c".to_string(), 1)
+                ],
+                "workers={workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_input_is_empty_output() {
+        let mr = MapReduce::new(MapReduceConfig::with_workers(2));
+        assert!(mr.run(&Count, &[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        let _ = MapReduce::new(MapReduceConfig::with_workers(0));
+    }
+
+    #[test]
+    fn memory_hook_records_faults() {
+        let stats = Arc::new(MmStats::new());
+        let mut cfg = MmConfig::stock(4);
+        cfg.pages_per_node = 1 << 20;
+        let alloc = Arc::new(NumaAllocator::new(cfg, Arc::clone(&stats)));
+        let space = Arc::new(AddressSpace::new(cfg, alloc, Arc::clone(&stats)));
+        let mr = MapReduce::new(MapReduceConfig {
+            workers: 2,
+            memory: Some(MemoryHook {
+                space,
+                page_size: PageSize::Base4K,
+                bytes_per_pair: 1024,
+            }),
+        });
+        let splits: Vec<String> = (0..8)
+            .map(|i| format!("w{} x y z common tokens {}", i, i))
+            .collect();
+        let out = mr.run(&Count, &splits);
+        assert!(!out.is_empty());
+        assert!(
+            stats.faults_4k.load(std::sync::atomic::Ordering::Relaxed) > 0,
+            "map phase must fault table pages"
+        );
+    }
+}

@@ -1,0 +1,23 @@
+//! A Metis-like MapReduce library for single multicore servers (§3.7).
+//!
+//! Metis (\[38\], inspired by Phoenix \[45\]) runs map workers that emit
+//! key/value pairs into per-worker hash tables, then reduces each key's
+//! value list, then merges sorted partitions. Its kernel-visible
+//! behaviour — the part the paper measures — is that workers "allocate
+//! large amounts of memory to hold temporary tables, stressing the kernel
+//! memory allocator and soft page fault code."
+//!
+//! This crate implements the real library (usable for word counts,
+//! inverted indices, etc.) and optionally charges every intermediate-table
+//! growth to a [`pk_mm::AddressSpace`], so the fault traffic of a run is
+//! observable and the 4 KB-vs-2 MB super-page comparison of Figure 11 can
+//! be reproduced against genuine allocation patterns.
+
+#![forbid(unsafe_op_in_unsafe_fn)]
+#![warn(missing_docs)]
+
+mod apps;
+mod engine;
+
+pub use apps::{InvertedIndex, WordCount};
+pub use engine::{MapReduce, MapReduceApp, MapReduceConfig, MemoryHook};

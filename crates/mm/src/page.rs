@@ -1,0 +1,136 @@
+//! `struct page` layouts: the false-sharing demonstration (§4.6).
+//!
+//! "Exim per-core performance degraded because of false sharing of
+//! physical page reference counts and flags, which the kernel located on
+//! the same cache line of a `page` variable." The fix: "placing the
+//! heavily modified data on a separate cache line."
+//!
+//! [`PackedPage`] reproduces the stock layout — the hot refcount shares a
+//! line with read-mostly flags — and [`SplitPage`] the PK layout. The
+//! `false_sharing_demo` integration test and the `falseshare` bench
+//! hammer both from multiple threads to expose the difference.
+
+use pk_percpu::{CacheAligned, CACHE_LINE_BYTES};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Stock layout: flags (read-mostly) and the reference count (written
+/// constantly) share a cache line.
+#[derive(Debug, Default)]
+#[repr(C)]
+pub struct PackedPage {
+    /// Read-mostly page flags.
+    pub flags: AtomicU64,
+    /// Frequently modified reference count — same line as `flags`.
+    pub refcount: AtomicU64,
+    /// Mapping/offset words, also read-mostly.
+    pub mapping: AtomicU64,
+    /// Page index within the mapping.
+    pub index: AtomicU64,
+}
+
+/// PK layout: the hot refcount lives on its own cache line; readers of
+/// `flags` never see their line invalidated by refcount writers.
+#[derive(Debug, Default)]
+#[repr(C)]
+pub struct SplitPage {
+    /// Read-mostly page flags, isolated from the hot counter.
+    pub flags: CacheAligned<AtomicU64>,
+    /// Frequently modified reference count on its own line.
+    pub refcount: CacheAligned<AtomicU64>,
+    /// Mapping word, grouped with the other read-mostly fields.
+    pub mapping: AtomicU64,
+    /// Page index within the mapping.
+    pub index: AtomicU64,
+}
+
+/// A uniform view over both layouts so workloads can be generic.
+pub trait PageLayout: Send + Sync + Default {
+    /// Reads the flags word (the reader side of the false-sharing pair).
+    fn read_flags(&self) -> u64;
+
+    /// Bumps the reference count (the writer side).
+    fn bump_refcount(&self) -> u64;
+
+    /// Layout name for reports.
+    fn name() -> &'static str;
+}
+
+impl PageLayout for PackedPage {
+    fn read_flags(&self) -> u64 {
+        self.flags.load(Ordering::Acquire)
+    }
+
+    fn bump_refcount(&self) -> u64 {
+        self.refcount.fetch_add(1, Ordering::AcqRel)
+    }
+
+    fn name() -> &'static str {
+        "packed (stock)"
+    }
+}
+
+impl PageLayout for SplitPage {
+    fn read_flags(&self) -> u64 {
+        self.flags.load(Ordering::Acquire)
+    }
+
+    fn bump_refcount(&self) -> u64 {
+        self.refcount.fetch_add(1, Ordering::AcqRel)
+    }
+
+    fn name() -> &'static str {
+        "split (PK)"
+    }
+}
+
+/// Returns whether the hot and cold fields share a cache line, by
+/// address arithmetic on a sample value.
+pub fn fields_share_line<P: PageLayout>(probe: impl Fn(&P) -> (usize, usize)) -> bool {
+    let page = P::default();
+    let (a, b) = probe(&page);
+    a / CACHE_LINE_BYTES == b / CACHE_LINE_BYTES
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packed_layout_shares_a_line() {
+        assert!(fields_share_line::<PackedPage>(|p| {
+            (
+                &p.flags as *const _ as usize,
+                &p.refcount as *const _ as usize,
+            )
+        }));
+    }
+
+    #[test]
+    fn split_layout_does_not_share() {
+        assert!(!fields_share_line::<SplitPage>(|p| {
+            (
+                &*p.flags as *const _ as usize,
+                &*p.refcount as *const _ as usize,
+            )
+        }));
+    }
+
+    #[test]
+    fn both_layouts_behave_identically() {
+        let packed = PackedPage::default();
+        let split = SplitPage::default();
+        for _ in 0..10 {
+            packed.bump_refcount();
+            split.bump_refcount();
+        }
+        assert_eq!(packed.refcount.load(Ordering::Relaxed), 10);
+        assert_eq!(split.refcount.load(Ordering::Relaxed), 10);
+        assert_eq!(packed.read_flags(), 0);
+        assert_eq!(split.read_flags(), 0);
+    }
+
+    #[test]
+    fn names_differ() {
+        assert_ne!(PackedPage::name(), SplitPage::name());
+    }
+}

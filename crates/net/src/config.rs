@@ -1,0 +1,111 @@
+//! Per-fix configuration switches for the network stack.
+
+/// Selects, fix by fix, stock versus PK behaviour. Each flag corresponds
+/// to a Figure-1 row (plus the accept-queue and flow-steering changes of
+/// §4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetConfig {
+    /// Number of cores served (sizes per-core structures and NIC queues).
+    pub cores: usize,
+    /// Number of NUMA memory nodes (for DMA-buffer placement).
+    pub numa_nodes: usize,
+    /// "Use sloppy counters for IP routing table entries" (`dst_entry`).
+    pub sloppy_dst_refs: bool,
+    /// "Use sloppy counters for protocol usage counting."
+    pub sloppy_proto_accounting: bool,
+    /// Per-core packet-buffer free lists instead of one list on the node
+    /// "closest to the I/O bus" (§4.5).
+    pub percore_skb_pools: bool,
+    /// "Allocate Ethernet device DMA buffers from the local memory node"
+    /// instead of node 0.
+    pub local_dma_alloc: bool,
+    /// "User per-core backlog queues for listening sockets" with
+    /// steal-on-empty (§4.2).
+    pub percore_accept_queues: bool,
+    /// Deterministic header-hash flow steering (PK) versus the stock
+    /// IXGBE sample-every-20th-TX-packet flow director that misdirects
+    /// short connections (§4.2).
+    pub hash_flow_steering: bool,
+    /// Place read-only `net_device`/`device` fields on their own cache
+    /// lines (§4.6). Functionally inert; drives the false-sharing cost
+    /// model and the layout types in the nic module.
+    pub isolate_false_sharing: bool,
+    /// Software Receive Flow Steering (§4.2 cites RFS \[25\]): the kernel
+    /// re-steers polled packets to the core that owns the flow's socket,
+    /// paying a cross-core queue hop when the hardware misdirected them.
+    pub software_rfs: bool,
+}
+
+impl NetConfig {
+    /// Stock Linux 2.6.35-rc5: every fix disabled.
+    pub fn stock(cores: usize) -> Self {
+        Self {
+            cores,
+            numa_nodes: 8,
+            sloppy_dst_refs: false,
+            sloppy_proto_accounting: false,
+            percore_skb_pools: false,
+            local_dma_alloc: false,
+            percore_accept_queues: false,
+            hash_flow_steering: false,
+            isolate_false_sharing: false,
+            software_rfs: false,
+        }
+    }
+
+    /// The PK kernel: every fix enabled.
+    pub fn pk(cores: usize) -> Self {
+        Self {
+            cores,
+            numa_nodes: 8,
+            sloppy_dst_refs: true,
+            sloppy_proto_accounting: true,
+            percore_skb_pools: true,
+            local_dma_alloc: true,
+            percore_accept_queues: true,
+            hash_flow_steering: true,
+            isolate_false_sharing: true,
+            software_rfs: false,
+        }
+    }
+
+    /// Maps a core to its NUMA memory node (6 cores per node, like the
+    /// paper's 8×6 Opteron machine).
+    pub fn node_of_core(&self, core: usize) -> usize {
+        let per_node = self.cores.div_ceil(self.numa_nodes).max(1);
+        (core / per_node).min(self.numa_nodes - 1)
+    }
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        Self::pk(48)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_differ() {
+        assert!(NetConfig::pk(8).sloppy_dst_refs);
+        assert!(!NetConfig::stock(8).sloppy_dst_refs);
+    }
+
+    #[test]
+    fn node_mapping_covers_all_nodes() {
+        let c = NetConfig::pk(48);
+        assert_eq!(c.node_of_core(0), 0);
+        assert_eq!(c.node_of_core(5), 0);
+        assert_eq!(c.node_of_core(6), 1);
+        assert_eq!(c.node_of_core(47), 7);
+    }
+
+    #[test]
+    fn node_mapping_small_machines() {
+        let c = NetConfig::pk(2);
+        assert_eq!(c.node_of_core(0), 0);
+        assert_eq!(c.node_of_core(1), 1);
+    }
+}

@@ -1,0 +1,224 @@
+//! The destination (routing) cache and its reference counts.
+
+use crate::config::NetConfig;
+use crate::stats::NetStats;
+use parking_lot::RwLock;
+use pk_percpu::CoreId;
+use pk_sloppy::{DeallocError, RefCount};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A routing-table entry (`struct dst_entry`).
+///
+/// "IP packet transmission contends on routing table entries" (Figure 1):
+/// every transmitted packet takes and drops a reference on the
+/// destination entry it routes through, so with one hot destination the
+/// refcount cache line serializes all senders. PK's fix is a sloppy
+/// counter (§4.3, §5.3 — the "final bottleneck" for memcached).
+#[derive(Debug)]
+pub struct DstEntry {
+    /// Destination IPv4 address.
+    pub dest_ip: u32,
+    /// Next-hop/egress label (opaque in this model).
+    pub gateway: u32,
+    refcount: RefCount,
+}
+
+impl DstEntry {
+    /// Creates an entry with one (cache) reference.
+    pub fn new(dest_ip: u32, gateway: u32, sloppy: bool, cores: usize) -> Arc<Self> {
+        Arc::new(Self {
+            dest_ip,
+            gateway,
+            refcount: RefCount::new(sloppy, cores),
+        })
+    }
+
+    /// Takes a reference for a packet in flight.
+    pub fn get(&self, core: CoreId) -> Result<(), DeallocError> {
+        self.refcount.get(core)
+    }
+
+    /// Drops a packet's reference.
+    pub fn put(&self, core: CoreId) {
+        self.refcount.put(core);
+    }
+
+    /// Exact reference count.
+    pub fn references(&self) -> i64 {
+        self.refcount.references()
+    }
+
+    /// Returns `(shared_ops, local_ops)` of the refcount.
+    pub fn refcount_ops(&self) -> (u64, u64) {
+        self.refcount.op_counts()
+    }
+
+    /// Attempts to deallocate the entry (reconciles if sloppy).
+    pub fn try_dealloc(&self) -> Result<(), DeallocError> {
+        self.refcount.try_dealloc()
+    }
+}
+
+/// The destination cache: destination IP → [`DstEntry`].
+#[derive(Debug)]
+pub struct DstCache {
+    entries: RwLock<HashMap<u32, Arc<DstEntry>>>,
+    config: NetConfig,
+    stats: Arc<NetStats>,
+}
+
+impl DstCache {
+    /// Creates an empty cache.
+    pub fn new(config: NetConfig, stats: Arc<NetStats>) -> Self {
+        Self {
+            entries: RwLock::new(HashMap::new()),
+            config,
+            stats,
+        }
+    }
+
+    /// Looks up (or creates) the entry for `dest_ip` and takes a packet
+    /// reference on it on behalf of `core`.
+    pub fn route(&self, dest_ip: u32, core: CoreId) -> Arc<DstEntry> {
+        if let Some(e) = self.entries.read().get(&dest_ip).cloned() {
+            if e.get(core).is_ok() {
+                self.account(&e);
+                return e;
+            }
+        }
+        let mut table = self.entries.write();
+        let e = table
+            .entry(dest_ip)
+            .or_insert_with(|| {
+                DstEntry::new(
+                    dest_ip,
+                    dest_ip ^ 0x0101_0101,
+                    self.config.sloppy_dst_refs,
+                    self.config.cores,
+                )
+            })
+            .clone();
+        e.get(core).expect("cached dst cannot be dead");
+        self.account(&e);
+        e
+    }
+
+    fn account(&self, e: &DstEntry) {
+        // Mirror the refcount's shared/local split into the stack stats.
+        let (shared, local) = e.refcount_ops();
+        self.stats
+            .dst_shared_ops
+            .store(shared, std::sync::atomic::Ordering::Relaxed);
+        self.stats
+            .dst_local_ops
+            .store(local, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Number of cached routes.
+    pub fn len(&self) -> usize {
+        self.entries.read().len()
+    }
+
+    /// Returns whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Attempts to evict the route for `dest_ip`; fails while packets
+    /// hold references (the reconcile-on-dealloc protocol).
+    pub fn evict(&self, dest_ip: u32) -> Result<(), DeallocError> {
+        let mut table = self.entries.write();
+        let Some(e) = table.get(&dest_ip) else {
+            return Err(DeallocError::AlreadyDead);
+        };
+        // Drop the cache's own reference for the check, restoring it on
+        // failure.
+        e.put(CoreId(0));
+        match e.try_dealloc() {
+            Ok(()) => {
+                table.remove(&dest_ip);
+                Ok(())
+            }
+            Err(err) => {
+                e.get(CoreId(0)).expect("entry still live");
+                Err(err)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache(sloppy: bool) -> DstCache {
+        let cfg = if sloppy {
+            NetConfig::pk(4)
+        } else {
+            NetConfig::stock(4)
+        };
+        DstCache::new(cfg, Arc::new(NetStats::new()))
+    }
+
+    #[test]
+    fn route_creates_then_reuses() {
+        let c = cache(true);
+        let e1 = c.route(0x0a000001, CoreId(0));
+        let e2 = c.route(0x0a000001, CoreId(1));
+        assert!(Arc::ptr_eq(&e1, &e2));
+        assert_eq!(c.len(), 1);
+        assert_eq!(e1.references(), 3); // cache + 2 packets
+        e1.put(CoreId(0));
+        e2.put(CoreId(1));
+    }
+
+    #[test]
+    fn hot_destination_is_core_local_when_sloppy() {
+        let c = cache(true);
+        // Warm up each core's spares.
+        let mut refs = Vec::new();
+        for core in 0..4 {
+            refs.push((core, c.route(1, CoreId(core))));
+        }
+        for (core, e) in refs {
+            e.put(CoreId(core));
+        }
+        let e = c.route(1, CoreId(2));
+        let (shared_before, _) = e.refcount_ops();
+        e.put(CoreId(2));
+        for _ in 0..1_000 {
+            let e = c.route(1, CoreId(2));
+            e.put(CoreId(2));
+        }
+        let e = c.route(1, CoreId(2));
+        let (shared_after, _) = e.refcount_ops();
+        e.put(CoreId(2));
+        assert_eq!(shared_before, shared_after, "hot path must stay local");
+    }
+
+    #[test]
+    fn atomic_refcount_is_always_shared() {
+        let c = cache(false);
+        for _ in 0..100 {
+            let e = c.route(1, CoreId(0));
+            e.put(CoreId(0));
+        }
+        let e = c.route(1, CoreId(0));
+        let (shared, local) = e.refcount_ops();
+        e.put(CoreId(0));
+        assert!(shared >= 200);
+        assert_eq!(local, 0);
+    }
+
+    #[test]
+    fn evict_respects_in_flight_packets() {
+        let c = cache(true);
+        let e = c.route(7, CoreId(0));
+        assert!(c.evict(7).is_err(), "packet in flight");
+        e.put(CoreId(0));
+        assert_eq!(c.evict(7), Ok(()));
+        assert!(c.is_empty());
+        assert!(c.evict(7).is_err(), "already gone");
+    }
+}

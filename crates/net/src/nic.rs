@@ -1,0 +1,273 @@
+//! A multi-queue NIC model (Intel 82599 "IXGBE").
+
+use crate::config::NetConfig;
+use crate::skb::Skb;
+use crate::stats::NetStats;
+use parking_lot::RwLock;
+use pk_percpu::{CoreId, PerCore};
+use pk_sync::SpinLock;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A connection/flow identifier (the packet-header 4-tuple hash input).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FlowHash {
+    /// Source IPv4 address.
+    pub src_ip: u32,
+    /// Source port.
+    pub src_port: u16,
+    /// Destination IPv4 address.
+    pub dst_ip: u32,
+    /// Destination port.
+    pub dst_port: u16,
+}
+
+impl FlowHash {
+    /// A deterministic header hash (stands in for the card's RSS hash).
+    pub fn hash(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for v in [
+            self.src_ip as u64,
+            self.src_port as u64,
+            self.dst_ip as u64,
+            self.dst_port as u64,
+        ] {
+            h ^= v;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        // Finalize (splitmix64 avalanche) so sequential tuples spread
+        // evenly across queues.
+        h ^= h >> 30;
+        h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        h ^= h >> 27;
+        h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+        h ^ (h >> 31)
+    }
+}
+
+/// A packet sitting in a receive queue.
+#[derive(Debug)]
+pub struct RxPacket {
+    /// The flow it belongs to.
+    pub flow: FlowHash,
+    /// The buffer.
+    pub skb: Skb,
+}
+
+/// The multi-queue card with its flow-steering policy (§4.2).
+///
+/// * **PK / hash steering** — the card is configured "to direct each
+///   packet to a queue (and thus core) using a hash of the packet
+///   headers," so *all* of a connection's packets (including the
+///   handshake) land on one core.
+/// * **Stock / sampling** — the IXGBE driver "samples every 20th outgoing
+///   TCP packet and updates the hardware's flow directing tables." Flows
+///   with no sampled entry fall back to the hash, and short connections
+///   whose entry points at a *previous* user of that 4-tuple slot get
+///   misdirected.
+///
+/// Each queue has a bounded FIFO; the card also models the §5.4 internal
+/// receive-FIFO overflow via a per-card packets-per-poll-interval cap.
+#[derive(Debug)]
+pub struct Nic {
+    queues: Vec<SpinLock<VecDeque<RxPacket>>>,
+    flow_table: RwLock<HashMap<u64, usize>>,
+    port_table: RwLock<HashMap<u16, usize>>,
+    tx_counters: PerCore<AtomicU64>,
+    queue_capacity: usize,
+    config: NetConfig,
+    stats: Arc<NetStats>,
+}
+
+/// Sampling period of the stock flow director.
+const SAMPLE_PERIOD: u64 = 20;
+
+impl Nic {
+    /// Creates a card with one RX queue per core.
+    pub fn new(config: NetConfig, stats: Arc<NetStats>) -> Self {
+        Self {
+            queues: (0..config.cores)
+                .map(|_| SpinLock::new(VecDeque::new()))
+                .collect(),
+            flow_table: RwLock::new(HashMap::new()),
+            port_table: RwLock::new(HashMap::new()),
+            tx_counters: PerCore::new_with(config.cores, |_| AtomicU64::new(0)),
+            queue_capacity: 4096,
+            config,
+            stats,
+        }
+    }
+
+    /// Configures the card to "inspect the port number in each incoming
+    /// packet header \[and\] place the packet on the queue dedicated to the
+    /// associated ... core" (§5.3) — used by memcached on both kernels.
+    pub fn pin_port(&self, dst_port: u16, queue: usize) {
+        self.port_table
+            .write()
+            .insert(dst_port, queue % self.queues.len());
+    }
+
+    /// The queue (= core) the card will steer `flow` to right now.
+    pub fn steer(&self, flow: &FlowHash) -> usize {
+        if let Some(&q) = self.port_table.read().get(&flow.dst_port) {
+            return q;
+        }
+        if !self.config.hash_flow_steering {
+            if let Some(&q) = self.flow_table.read().get(&flow.hash()) {
+                return q;
+            }
+        }
+        (flow.hash() as usize) % self.queues.len()
+    }
+
+    /// Delivers an incoming packet. `owner` is the core that will process
+    /// the flow (for steering-accuracy stats). Returns `false` when the
+    /// queue overflowed and the packet was dropped.
+    pub fn rx(&self, flow: FlowHash, skb: Skb, owner: CoreId) -> bool {
+        let q = self.steer(&flow);
+        if q == owner.index() % self.queues.len() {
+            NetStats::bump(&self.stats.rx_steered_local);
+        } else {
+            NetStats::bump(&self.stats.rx_misdirected);
+        }
+        let mut queue = self.queues[q].lock();
+        if queue.len() >= self.queue_capacity {
+            NetStats::bump(&self.stats.rx_fifo_drops);
+            return false;
+        }
+        queue.push_back(RxPacket { flow, skb });
+        true
+    }
+
+    /// Requeues a packet onto `target`'s queue (software re-steering:
+    /// RPS/RFS). Unlike [`Nic::rx`], never drops.
+    pub fn requeue(&self, pkt: RxPacket, target: CoreId) {
+        self.queues[target.index() % self.queues.len()]
+            .lock()
+            .push_back(pkt);
+    }
+
+    /// Polls the RX queue belonging to `core`.
+    pub fn poll(&self, core: CoreId) -> Option<RxPacket> {
+        self.queues[core.index() % self.queues.len()].lock().pop_front()
+    }
+
+    /// Transmits a packet on `core`'s TX queue.
+    ///
+    /// Under the stock sampling policy, every 20th packet per core
+    /// updates the flow-director table to point this flow at this core.
+    pub fn tx(&self, core: CoreId, flow: FlowHash) {
+        if !self.config.hash_flow_steering {
+            let n = self.tx_counters.get(core).fetch_add(1, Ordering::Relaxed) + 1;
+            if n.is_multiple_of(SAMPLE_PERIOD) {
+                self.flow_table
+                    .write()
+                    .insert(flow.hash(), core.index() % self.queues.len());
+            }
+        }
+    }
+
+    /// Returns the number of RX queues.
+    pub fn queue_count(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Total packets currently queued across all RX queues.
+    pub fn pending(&self) -> usize {
+        self.queues.iter().map(|q| q.lock().len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    fn flow(src_port: u16) -> FlowHash {
+        FlowHash {
+            src_ip: 0x0a00_0001,
+            src_port,
+            dst_ip: 0x0a00_0002,
+            dst_port: 80,
+        }
+    }
+
+    fn skb() -> Skb {
+        Skb {
+            data: Bytes::from_static(b"pkt"),
+            node: 0,
+        }
+    }
+
+    #[test]
+    fn hash_steering_is_deterministic_per_flow() {
+        let nic = Nic::new(NetConfig::pk(8), Arc::new(NetStats::new()));
+        let f = flow(1234);
+        let q = nic.steer(&f);
+        for _ in 0..10 {
+            assert_eq!(nic.steer(&f), q);
+        }
+    }
+
+    #[test]
+    fn hash_steering_spreads_flows() {
+        let nic = Nic::new(NetConfig::pk(8), Arc::new(NetStats::new()));
+        let mut used = std::collections::HashSet::new();
+        for p in 0..200 {
+            used.insert(nic.steer(&flow(p)));
+        }
+        assert!(used.len() >= 6, "flows should spread over queues");
+    }
+
+    #[test]
+    fn sampling_updates_flow_table_every_20th_tx() {
+        let nic = Nic::new(NetConfig::stock(8), Arc::new(NetStats::new()));
+        let f = flow(5555);
+        let default_q = nic.steer(&f);
+        // 19 transmissions: no update yet.
+        for _ in 0..19 {
+            nic.tx(CoreId(3), f);
+        }
+        assert_eq!(nic.steer(&f), default_q);
+        nic.tx(CoreId(3), f); // the 20th
+        assert_eq!(nic.steer(&f), 3);
+    }
+
+    #[test]
+    fn rx_counts_steering_accuracy() {
+        let stats = Arc::new(NetStats::new());
+        let nic = Nic::new(NetConfig::pk(4), Arc::clone(&stats));
+        let f = flow(42);
+        let owner = CoreId(nic.steer(&f));
+        assert!(nic.rx(f, skb(), owner));
+        assert!(nic.rx(f, skb(), CoreId(owner.index() + 1)));
+        assert_eq!(stats.rx_steered_local.load(Ordering::Relaxed), 1);
+        assert_eq!(stats.rx_misdirected.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn poll_drains_the_right_queue() {
+        let nic = Nic::new(NetConfig::pk(4), Arc::new(NetStats::new()));
+        let f = flow(42);
+        let q = nic.steer(&f);
+        nic.rx(f, skb(), CoreId(q));
+        assert!(nic.poll(CoreId((q + 1) % 4)).is_none());
+        let pkt = nic.poll(CoreId(q)).unwrap();
+        assert_eq!(pkt.flow, f);
+        assert_eq!(nic.pending(), 0);
+    }
+
+    #[test]
+    fn queue_overflow_drops() {
+        let stats = Arc::new(NetStats::new());
+        let mut nic = Nic::new(NetConfig::pk(2), Arc::clone(&stats));
+        nic.queue_capacity = 2;
+        let f = flow(1);
+        let q = CoreId(nic.steer(&f));
+        assert!(nic.rx(f, skb(), q));
+        assert!(nic.rx(f, skb(), q));
+        assert!(!nic.rx(f, skb(), q), "third packet overflows");
+        assert_eq!(stats.rx_fifo_drops.load(Ordering::Relaxed), 1);
+    }
+}

@@ -1,0 +1,325 @@
+//! The assembled network stack.
+
+use crate::config::NetConfig;
+use crate::dst::DstCache;
+use crate::listener::{Connection, Listener};
+use crate::nic::{FlowHash, Nic};
+use crate::proto::{ProtoAccounting, Protocol};
+use crate::skb::{Skb, SkbPool};
+use crate::socket::UdpSocket;
+use crate::stats::NetStats;
+use bytes::Bytes;
+use parking_lot::RwLock;
+use pk_percpu::CoreId;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// An IPv4 socket address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SockAddr {
+    /// IPv4 address.
+    pub ip: u32,
+    /// Port.
+    pub port: u16,
+}
+
+impl SockAddr {
+    /// Creates an address.
+    pub const fn new(ip: u32, port: u16) -> Self {
+        Self { ip, port }
+    }
+}
+
+/// The network stack facade: NIC + buffers + routing + accounting +
+/// sockets, all per one [`NetConfig`].
+///
+/// Packets sent to a locally bound port loop back through the NIC's
+/// receive path, which is how the workloads drive the same code the
+/// paper's client machines drove over 10 GbE.
+///
+/// # Examples
+///
+/// ```
+/// use bytes::Bytes;
+/// use pk_net::{NetConfig, NetStack, SockAddr};
+/// use pk_percpu::CoreId;
+///
+/// let stack = NetStack::new(NetConfig::pk(4));
+/// let server = stack.udp_bind(11211, CoreId(1)).unwrap();
+/// let from = SockAddr::new(0x0a000001, 4000);
+/// let to = SockAddr::new(0x0a000002, 11211);
+/// stack.udp_send(CoreId(0), from, to, Bytes::from_static(b"get k"));
+/// // The core owning the steered NIC queue polls it and the datagram
+/// // lands in the per-socket queue.
+/// for core in 0..4 {
+///     stack.process_rx(CoreId(core), 16);
+/// }
+/// assert_eq!(server.recv().unwrap().skb.data.as_ref(), b"get k");
+/// ```
+#[derive(Debug)]
+pub struct NetStack {
+    config: NetConfig,
+    stats: Arc<NetStats>,
+    nic: Nic,
+    pool: SkbPool,
+    dst: DstCache,
+    proto: ProtoAccounting,
+    udp_ports: RwLock<HashMap<u16, (Arc<UdpSocket>, CoreId)>>,
+    listeners: RwLock<HashMap<u16, Arc<Listener>>>,
+}
+
+impl NetStack {
+    /// Creates a stack under `config`.
+    pub fn new(config: NetConfig) -> Self {
+        let stats = Arc::new(NetStats::new());
+        Self {
+            config,
+            nic: Nic::new(config, Arc::clone(&stats)),
+            pool: SkbPool::new(config, Arc::clone(&stats)),
+            dst: DstCache::new(config, Arc::clone(&stats)),
+            proto: ProtoAccounting::new(config, Arc::clone(&stats)),
+            udp_ports: RwLock::new(HashMap::new()),
+            listeners: RwLock::new(HashMap::new()),
+            stats,
+        }
+    }
+
+    /// Returns the stack's diagnostics.
+    pub fn stats(&self) -> &Arc<NetStats> {
+        &self.stats
+    }
+
+    /// Returns the configuration.
+    pub fn config(&self) -> NetConfig {
+        self.config
+    }
+
+    /// Returns the NIC model.
+    pub fn nic(&self) -> &Nic {
+        &self.nic
+    }
+
+    /// Returns the destination cache.
+    pub fn dst_cache(&self) -> &DstCache {
+        &self.dst
+    }
+
+    /// Returns the protocol accounting.
+    pub fn proto(&self) -> &ProtoAccounting {
+        &self.proto
+    }
+
+    /// Binds a UDP socket to `port`, owned (processed) by `owner`.
+    pub fn udp_bind(&self, port: u16, owner: CoreId) -> Option<Arc<UdpSocket>> {
+        let mut ports = self.udp_ports.write();
+        if ports.contains_key(&port) {
+            return None;
+        }
+        let s = UdpSocket::new(port);
+        ports.insert(port, (Arc::clone(&s), owner));
+        // Dedicate a hardware queue to this socket's core (§5.3).
+        self.nic.pin_port(port, owner.index());
+        Some(s)
+    }
+
+    /// Returns the core that owns the socket bound to `port`.
+    pub fn owner_of(&self, port: u16) -> Option<CoreId> {
+        self.udp_ports.read().get(&port).map(|(_, c)| *c)
+    }
+
+    /// Sends a UDP datagram from `core`. If the destination port is bound
+    /// on this stack, the packet loops back through the NIC RX path.
+    ///
+    /// Exercises, in order: the destination cache refcount, protocol
+    /// memory accounting, the skb pool, the TX queue, and (on loopback)
+    /// flow steering into an RX queue. Returns `false` if the packet was
+    /// dropped (RX FIFO overflow).
+    pub fn udp_send(&self, core: CoreId, from: SockAddr, to: SockAddr, payload: Bytes) -> bool {
+        let route = self.dst.route(to.ip, core);
+        let len = payload.len();
+        self.proto.charge(Protocol::Udp, len, core);
+        let skb = self.pool.alloc(core, payload);
+        let flow = FlowHash {
+            src_ip: from.ip,
+            src_port: from.port,
+            dst_ip: to.ip,
+            dst_port: to.port,
+        };
+        self.nic.tx(core, flow);
+        route.put(core);
+        let owner = self.owner_of(to.port);
+        match owner {
+            Some(owner) => self.nic.rx(flow, skb, owner),
+            None => {
+                // Left the machine: the buffer is freed and the charge
+                // released immediately (the wire owns it now).
+                self.proto.uncharge(Protocol::Udp, len, core);
+                self.pool.free(core, skb);
+                true
+            }
+        }
+    }
+
+    /// Processes up to `budget` packets from `core`'s NIC queue,
+    /// delivering them to bound sockets. Returns the number processed.
+    ///
+    /// With [`NetConfig::software_rfs`], packets whose socket lives on a
+    /// different core are re-steered there in software (Receive Flow
+    /// Steering, \[25\]) instead of being delivered cross-core.
+    pub fn process_rx(&self, core: CoreId, budget: usize) -> usize {
+        let mut n = 0;
+        while n < budget {
+            let Some(pkt) = self.nic.poll(core) else { break };
+            let dst_port = pkt.flow.dst_port;
+            if let Some((sock, owner)) = self.udp_ports.read().get(&dst_port).cloned() {
+                if self.config.software_rfs && owner != core {
+                    // Hop to the owning core's backlog; it will deliver
+                    // on its own poll.
+                    self.nic.requeue(pkt, owner);
+                    n += 1;
+                    continue;
+                }
+                sock.deliver(pkt.flow, pkt.skb);
+            } else {
+                // No receiver: drop and release the charge.
+                self.proto
+                    .uncharge(Protocol::Udp, pkt.skb.len(), core);
+                self.pool.free(core, pkt.skb);
+            }
+            n += 1;
+        }
+        n
+    }
+
+    /// Releases a received datagram's buffer and accounting (the
+    /// application is done with it).
+    pub fn release(&self, core: CoreId, skb: Skb) {
+        self.proto.uncharge(Protocol::Udp, skb.len(), core);
+        self.pool.free(core, skb);
+    }
+
+    /// Starts listening on TCP `port`.
+    pub fn listen(&self, port: u16) -> Arc<Listener> {
+        let l = Arc::new(Listener::new(port, self.config, Arc::clone(&self.stats)));
+        self.listeners.write().insert(port, Arc::clone(&l));
+        l
+    }
+
+    /// A client handshake arriving for `port`: the NIC steers it to a
+    /// queue/core, and the connection request joins that core's backlog
+    /// (or the shared one, in stock mode).
+    pub fn incoming_connection(&self, port: u16, flow: FlowHash) -> bool {
+        let Some(l) = self.listeners.read().get(&port).cloned() else {
+            return false;
+        };
+        let core = CoreId(self.nic.steer(&flow));
+        l.enqueue(flow, core);
+        true
+    }
+
+    /// Accepts a pending connection on `port` from `core`.
+    pub fn accept(&self, port: u16, core: CoreId) -> Option<Connection> {
+        self.listeners.read().get(&port)?.accept(core)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn udp_round_trip() {
+        let stack = NetStack::new(NetConfig::pk(4));
+        let server = stack.udp_bind(11211, CoreId(2)).unwrap();
+        assert!(stack.udp_bind(11211, CoreId(0)).is_none(), "port taken");
+        let sent = stack.udp_send(
+            CoreId(0),
+            SockAddr::new(1, 999),
+            SockAddr::new(2, 11211),
+            Bytes::from_static(b"hello"),
+        );
+        assert!(sent);
+        assert_eq!(stack.proto().usage(Protocol::Udp), 5);
+        // Drain whichever queue the NIC steered to.
+        let mut processed = 0;
+        for c in 0..4 {
+            processed += stack.process_rx(CoreId(c), 16);
+        }
+        assert_eq!(processed, 1);
+        let dgram = server.recv().unwrap();
+        assert_eq!(dgram.skb.data.as_ref(), b"hello");
+        stack.release(CoreId(2), dgram.skb);
+        assert_eq!(stack.proto().usage(Protocol::Udp), 0);
+    }
+
+    #[test]
+    fn send_to_unbound_port_leaves_machine() {
+        let stack = NetStack::new(NetConfig::pk(2));
+        assert!(stack.udp_send(
+            CoreId(0),
+            SockAddr::new(1, 1),
+            SockAddr::new(9, 9),
+            Bytes::from_static(b"x"),
+        ));
+        assert_eq!(stack.nic().pending(), 0);
+        assert_eq!(stack.proto().usage(Protocol::Udp), 0);
+    }
+
+    #[test]
+    fn tcp_accept_through_steering() {
+        let stack = NetStack::new(NetConfig::pk(4));
+        stack.listen(80);
+        let flow = FlowHash {
+            src_ip: 7,
+            src_port: 1234,
+            dst_ip: 8,
+            dst_port: 80,
+        };
+        assert!(stack.incoming_connection(80, flow));
+        let steered = CoreId(stack.nic().steer(&flow));
+        let conn = stack.accept(80, steered).unwrap();
+        assert!(conn.local, "accepted on the steered core");
+        assert!(stack.accept(80, steered).is_none());
+        assert!(!stack.incoming_connection(81, flow), "no listener");
+    }
+
+    #[test]
+    fn software_rfs_resteers_to_owner() {
+        let mut cfg = NetConfig::stock(4);
+        cfg.software_rfs = true;
+        let stack = NetStack::new(cfg);
+        let server = stack.udp_bind(5000, CoreId(3)).unwrap();
+        // Defeat port pinning to force a hardware misdelivery, then let
+        // software RFS fix it up.
+        stack.nic().pin_port(5000, 1);
+        stack.udp_send(
+            CoreId(0),
+            SockAddr::new(1, 7777),
+            SockAddr::new(2, 5000),
+            Bytes::from_static(b"hop"),
+        );
+        // The wrong core polls: the packet must hop, not deliver.
+        assert_eq!(stack.process_rx(CoreId(1), 16), 1);
+        assert!(server.recv().is_none(), "not delivered cross-core");
+        // The owning core polls and gets it.
+        assert_eq!(stack.process_rx(CoreId(3), 16), 1);
+        let d = server.recv().expect("delivered after the RFS hop");
+        assert_eq!(d.skb.data.as_ref(), b"hop");
+        stack.release(CoreId(3), d.skb);
+    }
+
+    #[test]
+    fn hot_destination_refcount_is_exercised() {
+        let stack = NetStack::new(NetConfig::pk(2));
+        stack.udp_bind(1000, CoreId(0)).unwrap();
+        for i in 0..50 {
+            stack.udp_send(
+                CoreId((i % 2) as usize),
+                SockAddr::new(1, 2000 + i),
+                SockAddr::new(2, 1000),
+                Bytes::from_static(b"q"),
+            );
+        }
+        assert_eq!(stack.dst_cache().len(), 1, "one hot destination");
+    }
+}

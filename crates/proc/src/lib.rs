@@ -1,0 +1,18 @@
+//! Process-management substrate for the MOSBENCH userspace kernel.
+//!
+//! Exim "forks a new process for each connection, which ... also forks
+//! twice to deliver each message" (§3.1), so process creation and
+//! destruction are on MOSBENCH's hot path. The scheduler follows the
+//! pattern the paper holds up as the model for all its fixes: "the set of
+//! runnable threads is partitioned into mostly-private per-core
+//! scheduling queues; in the common case, each core only reads, writes,
+//! and locks its own queue" (§4.1).
+
+#![forbid(unsafe_op_in_unsafe_fn)]
+#![warn(missing_docs)]
+
+mod process;
+mod sched;
+
+pub use process::{Pid, Process, ProcessState, ProcessTable, ProcError};
+pub use sched::{SchedStats, Scheduler};

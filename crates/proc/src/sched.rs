@@ -1,0 +1,165 @@
+//! Per-core run queues with work stealing.
+
+use crate::process::Pid;
+use pk_percpu::{CoreId, PerCore};
+use pk_sync::SpinLock;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Scheduler diagnostics.
+#[derive(Debug, Default)]
+pub struct SchedStats {
+    /// Dispatches satisfied from the local queue.
+    pub local_dispatches: AtomicU64,
+    /// Dispatches that stole from another core's queue.
+    pub steals: AtomicU64,
+    /// Dispatches that found every queue empty.
+    pub idle: AtomicU64,
+}
+
+/// Mostly-private per-core run queues (§4.1's model fix).
+///
+/// Enqueue and dispatch touch only the local queue's lock in the common
+/// case; load balancing happens by stealing when a core runs dry.
+#[derive(Debug)]
+pub struct Scheduler {
+    queues: PerCore<SpinLock<VecDeque<Pid>>>,
+    stats: SchedStats,
+}
+
+impl Scheduler {
+    /// Creates `cores` empty run queues.
+    pub fn new(cores: usize) -> Self {
+        Self {
+            queues: PerCore::new_with(cores, |_| SpinLock::new(VecDeque::new())),
+            stats: SchedStats::default(),
+        }
+    }
+
+    /// Makes `pid` runnable on `core`'s queue.
+    pub fn enqueue(&self, core: CoreId, pid: Pid) {
+        self.queues.get(core).lock().push_back(pid);
+    }
+
+    /// Picks the next process for `core`: local queue first, then steal
+    /// from the most loaded peer.
+    pub fn pick_next(&self, core: CoreId) -> Option<Pid> {
+        if let Some(pid) = self.queues.get(core).lock().pop_front() {
+            self.stats.local_dispatches.fetch_add(1, Ordering::Relaxed);
+            return Some(pid);
+        }
+        // Steal from the longest queue.
+        let mut victim: Option<(usize, usize)> = None; // (core, load)
+        for (id, q) in self.queues.iter_with_id() {
+            if id == core {
+                continue;
+            }
+            let load = q.lock().len();
+            if load > victim.map_or(0, |(_, l)| l) {
+                victim = Some((id.index(), load));
+            }
+        }
+        if let Some((v, _)) = victim {
+            if let Some(pid) = self.queues.get(CoreId(v)).lock().pop_back() {
+                self.stats.steals.fetch_add(1, Ordering::Relaxed);
+                return Some(pid);
+            }
+        }
+        self.stats.idle.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    /// Run-queue length of `core`.
+    pub fn load(&self, core: CoreId) -> usize {
+        self.queues.get(core).lock().len()
+    }
+
+    /// Total runnable processes across all queues.
+    pub fn total_load(&self) -> usize {
+        self.queues.fold(0, |a, q| a + q.lock().len())
+    }
+
+    /// Returns the diagnostics.
+    pub fn stats(&self) -> &SchedStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_dispatch_preferred() {
+        let s = Scheduler::new(4);
+        s.enqueue(CoreId(0), Pid(10));
+        s.enqueue(CoreId(1), Pid(11));
+        assert_eq!(s.pick_next(CoreId(0)), Some(Pid(10)));
+        assert_eq!(s.stats().local_dispatches.load(Ordering::Relaxed), 1);
+        assert_eq!(s.stats().steals.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn steal_from_loaded_peer() {
+        let s = Scheduler::new(4);
+        s.enqueue(CoreId(2), Pid(1));
+        s.enqueue(CoreId(2), Pid(2));
+        s.enqueue(CoreId(3), Pid(3));
+        // Core 0 is empty: steals from core 2 (the most loaded), from the
+        // back of the queue.
+        assert_eq!(s.pick_next(CoreId(0)), Some(Pid(2)));
+        assert_eq!(s.stats().steals.load(Ordering::Relaxed), 1);
+        assert_eq!(s.load(CoreId(2)), 1);
+    }
+
+    #[test]
+    fn idle_when_everything_empty() {
+        let s = Scheduler::new(2);
+        assert_eq!(s.pick_next(CoreId(1)), None);
+        assert_eq!(s.stats().idle.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn fifo_within_a_queue() {
+        let s = Scheduler::new(1);
+        for i in 0..5 {
+            s.enqueue(CoreId(0), Pid(i));
+        }
+        for i in 0..5 {
+            assert_eq!(s.pick_next(CoreId(0)), Some(Pid(i)));
+        }
+        assert_eq!(s.total_load(), 0);
+    }
+
+    #[test]
+    fn concurrent_enqueue_dispatch() {
+        let s = std::sync::Arc::new(Scheduler::new(4));
+        let producers: Vec<_> = (0..4)
+            .map(|c| {
+                let s = std::sync::Arc::clone(&s);
+                std::thread::spawn(move || {
+                    for i in 0..500u64 {
+                        s.enqueue(CoreId(c), Pid(c as u64 * 1000 + i));
+                    }
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        let consumers: Vec<_> = (0..4)
+            .map(|c| {
+                let s = std::sync::Arc::clone(&s);
+                std::thread::spawn(move || {
+                    let mut got = 0;
+                    while s.pick_next(CoreId(c)).is_some() {
+                        got += 1;
+                    }
+                    got
+                })
+            })
+            .collect();
+        let total: usize = consumers.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(total, 2000);
+    }
+}

@@ -1,0 +1,321 @@
+//! A discrete-event simulator for the same closed networks MVA solves.
+//!
+//! The figure sweeps use Mean Value Analysis because it is exact (for
+//! product-form networks), instant, and deterministic. This module is
+//! the cross-check: an event-driven simulation of the *same* network —
+//! cores cycling through stations, FCFS queues, exponential service —
+//! whose measured throughput must agree with MVA. The
+//! `des_validates_mva` tests pin the two solvers against each other, so
+//! a bug in either one breaks the build.
+//!
+//! Non-scalable stations are simulated literally: a waiter's polling
+//! slows the holder, so the service time drawn at dispatch is inflated
+//! by the queue length at that instant — the same load-dependence the
+//! MVA extension models.
+
+use crate::mva::{Network, StationKind};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::collections::VecDeque;
+
+/// Result of one simulation run.
+#[derive(Debug, Clone)]
+pub struct DesResult {
+    /// Measured throughput in operations per cycle (post-warmup).
+    pub ops_per_cycle: f64,
+    /// Operations completed in the measurement window.
+    pub completed_ops: u64,
+    /// Mean cycles per operation (end-to-end, post-warmup).
+    pub cycles_per_op: f64,
+    /// Per-station mean queue length sampled at departures.
+    pub mean_queue_len: Vec<f64>,
+}
+
+/// Ordered event: (time, sequence, customer).
+type Event = (Reverse<u64>, u64, usize);
+
+/// Per-customer progress.
+#[derive(Debug, Clone, Copy)]
+struct Customer {
+    station: usize,
+    ops_done: u64,
+    op_start: u64,
+}
+
+/// Per-station runtime state.
+#[derive(Debug)]
+struct StationState {
+    busy: bool,
+    queue: VecDeque<usize>,
+    queue_len_samples: f64,
+    samples: u64,
+}
+
+/// Simulates `net` with `cores` customers for `ops_per_core` operations
+/// each (plus a 20% warmup that is excluded from the measurement).
+///
+/// Service times are exponential with the stations' mean demands, drawn
+/// from a deterministic seeded generator: the same `(net, cores,
+/// ops_per_core, seed)` always produces the same result.
+///
+/// # Panics
+///
+/// Panics if the network is empty or `cores == 0`.
+pub fn simulate(net: &Network, cores: usize, ops_per_core: u64, seed: u64) -> DesResult {
+    assert!(cores > 0, "need at least one core");
+    let stations = net.stations();
+    assert!(!stations.is_empty(), "need at least one station");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut state: Vec<StationState> = stations
+        .iter()
+        .map(|_| StationState {
+            busy: false,
+            queue: VecDeque::new(),
+            queue_len_samples: 0.0,
+            samples: 0,
+        })
+        .collect();
+    let mut customers: Vec<Customer> = (0..cores)
+        .map(|_| Customer {
+            station: 0,
+            ops_done: 0,
+            op_start: 0,
+        })
+        .collect();
+
+    let warmup_ops = (ops_per_core / 5).max(1);
+    let total_ops = ops_per_core + warmup_ops;
+    let mut events: BinaryHeap<Event> = BinaryHeap::new();
+    let mut seq = 0u64;
+    let mut now = 0u64;
+    let mut measured_ops = 0u64;
+    let mut measured_cycles = 0u64;
+    let mut warmup_end_time = 0u64;
+    let mut finished = 0usize;
+
+    // Draw an exponential service time with the given mean.
+    let mut service = |rng: &mut SmallRng, mean: f64| -> u64 {
+        let u: f64 = rng.gen::<f64>().max(1e-12);
+        (-mean * u.ln()).max(1.0) as u64
+    };
+
+    // Dispatch customer `c` into its current station at time `now`.
+    // Returns the completion time.
+    fn dispatch(
+        stations: &[crate::mva::Station],
+        state: &mut [StationState],
+        service: &mut dyn FnMut(&mut SmallRng, f64) -> u64,
+        rng: &mut SmallRng,
+        c: usize,
+        station: usize,
+        now: u64,
+    ) -> Option<u64> {
+        let st = &stations[station];
+        match st.kind {
+            StationKind::Delay => Some(now + service(rng, st.demand_cycles)),
+            StationKind::Queue | StationKind::NonScalable { .. } => {
+                let s = &mut state[station];
+                if s.busy {
+                    s.queue.push_back(c);
+                    None
+                } else {
+                    s.busy = true;
+                    let mean = match st.kind {
+                        StationKind::NonScalable { collapse } => {
+                            st.demand_cycles * (1.0 + collapse * s.queue.len() as f64)
+                        }
+                        _ => st.demand_cycles,
+                    };
+                    Some(now + service(rng, mean))
+                }
+            }
+        }
+    }
+
+    // Seed: every customer enters station 0.
+    for c in 0..cores {
+        if let Some(t) = dispatch(stations, &mut state, &mut service, &mut rng, c, 0, 0) {
+            events.push((Reverse(t), seq, c));
+            seq += 1;
+        }
+    }
+
+    while let Some((Reverse(t), _, c)) = events.pop() {
+        now = t;
+        let station = customers[c].station;
+        // Departure from `station`.
+        if matches!(
+            stations[station].kind,
+            StationKind::Queue | StationKind::NonScalable { .. }
+        ) {
+            let s = &mut state[station];
+            s.queue_len_samples += s.queue.len() as f64;
+            s.samples += 1;
+            s.busy = false;
+            if let Some(next_c) = s.queue.pop_front() {
+                // Start the next waiter; the server stays busy.
+                s.busy = true;
+                let st = &stations[station];
+                let mean = match st.kind {
+                    StationKind::NonScalable { collapse } => {
+                        st.demand_cycles * (1.0 + collapse * s.queue.len() as f64)
+                    }
+                    _ => st.demand_cycles,
+                };
+                let done = now + service(&mut rng, mean);
+                events.push((Reverse(done), seq, next_c));
+                seq += 1;
+                // next_c stays at the same station until its own departure.
+            }
+        }
+        // Advance this customer.
+        let mut cust = customers[c];
+        cust.station += 1;
+        if cust.station == stations.len() {
+            // One operation complete.
+            cust.station = 0;
+            cust.ops_done += 1;
+            if cust.ops_done == warmup_ops {
+                warmup_end_time = warmup_end_time.max(now);
+            }
+            if cust.ops_done > warmup_ops && cust.ops_done <= total_ops {
+                measured_ops += 1;
+                measured_cycles += now - cust.op_start;
+            }
+            cust.op_start = now;
+            if cust.ops_done >= total_ops {
+                customers[c] = cust;
+                finished += 1;
+                if finished == cores {
+                    break;
+                }
+                continue;
+            }
+        }
+        customers[c] = cust;
+        if let Some(done) = dispatch(
+            stations,
+            &mut state,
+            &mut service,
+            &mut rng,
+            c,
+            cust.station,
+            now,
+        ) {
+            events.push((Reverse(done), seq, c));
+            seq += 1;
+        }
+    }
+
+    let span = now.saturating_sub(warmup_end_time).max(1);
+    DesResult {
+        ops_per_cycle: measured_ops as f64 / span as f64,
+        completed_ops: measured_ops,
+        cycles_per_op: if measured_ops > 0 {
+            measured_cycles as f64 / measured_ops as f64
+        } else {
+            0.0
+        },
+        mean_queue_len: state
+            .iter()
+            .map(|s| {
+                if s.samples == 0 {
+                    0.0
+                } else {
+                    s.queue_len_samples / s.samples as f64
+                }
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mva::Station;
+
+    fn relative_error(a: f64, b: f64) -> f64 {
+        (a - b).abs() / b.abs().max(1e-12)
+    }
+
+    #[test]
+    fn delay_only_network_matches_mva_exactly_in_rate() {
+        let mut net = Network::new();
+        net.push(Station::delay("user", 10_000.0, false));
+        for cores in [1, 8, 48] {
+            let mva = net.solve(cores).ops_per_cycle;
+            let des = simulate(&net, cores, 4_000, 42).ops_per_cycle;
+            assert!(
+                relative_error(des, mva) < 0.05,
+                "cores={cores}: des={des}, mva={mva}"
+            );
+        }
+    }
+
+    #[test]
+    fn des_validates_mva_on_queueing_networks() {
+        let mut net = Network::new();
+        net.push(Station::delay("user", 8_000.0, false));
+        net.push(Station::queue("lock", 1_000.0, true));
+        for cores in [1, 4, 12, 24] {
+            let mva = net.solve(cores).ops_per_cycle;
+            let des = simulate(&net, cores, 6_000, 7).ops_per_cycle;
+            assert!(
+                relative_error(des, mva) < 0.10,
+                "cores={cores}: des={des}, mva={mva}"
+            );
+        }
+    }
+
+    #[test]
+    fn des_validates_mva_at_saturation() {
+        // Deep saturation: the throughput must pin to the service bound
+        // for both solvers.
+        let mut net = Network::new();
+        net.push(Station::delay("user", 1_000.0, false));
+        net.push(Station::queue("hot", 2_000.0, true));
+        let mva = net.solve(32).ops_per_cycle;
+        let des = simulate(&net, 32, 4_000, 11).ops_per_cycle;
+        let bound = 1.0 / 2_000.0;
+        assert!(relative_error(mva, bound) < 0.02);
+        assert!(relative_error(des, bound) < 0.05, "des={des}, bound={bound}");
+    }
+
+    #[test]
+    fn des_shows_nonscalable_collapse_too() {
+        let mut net = Network::new();
+        net.push(Station::delay("user", 2_000.0, false));
+        net.push(Station::spinlock("biglock", 500.0, 0.5, true));
+        let x8 = simulate(&net, 8, 6_000, 3).ops_per_cycle;
+        let x48 = simulate(&net, 48, 6_000, 3).ops_per_cycle;
+        assert!(
+            x48 < x8,
+            "the simulated spin lock must collapse: x8={x8}, x48={x48}"
+        );
+    }
+
+    #[test]
+    fn determinism_same_seed_same_result() {
+        let mut net = Network::new();
+        net.push(Station::delay("u", 5_000.0, false));
+        net.push(Station::queue("q", 700.0, true));
+        let a = simulate(&net, 6, 2_000, 99);
+        let b = simulate(&net, 6, 2_000, 99);
+        assert_eq!(a.ops_per_cycle, b.ops_per_cycle);
+        assert_eq!(a.completed_ops, b.completed_ops);
+        let c = simulate(&net, 6, 2_000, 100);
+        assert_ne!(a.ops_per_cycle, c.ops_per_cycle, "different seed differs");
+    }
+
+    #[test]
+    fn queue_lengths_grow_with_load() {
+        let mut net = Network::new();
+        net.push(Station::delay("u", 4_000.0, false));
+        net.push(Station::queue("q", 1_000.0, true));
+        let light = simulate(&net, 2, 4_000, 5);
+        let heavy = simulate(&net, 24, 4_000, 5);
+        assert!(heavy.mean_queue_len[1] > light.mean_queue_len[1] + 1.0);
+    }
+}

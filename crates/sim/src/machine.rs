@@ -1,0 +1,142 @@
+//! The evaluation machine's published constants (§5.1).
+
+/// The 48-core machine from the paper: a Tyan Thunder S4985 with eight
+/// 2.4 GHz 6-core AMD Opteron 8431 chips and a dual-port Intel 82599
+/// 10 Gbit NIC.
+///
+/// All latencies are in cycles at 2.4 GHz, exactly as the paper reports
+/// them; deriving everything from this one struct keeps the model honest
+/// and lets ablations vary the hardware.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MachineSpec {
+    /// Number of sockets (chips).
+    pub sockets: usize,
+    /// Cores per socket.
+    pub cores_per_socket: usize,
+    /// Clock frequency in Hz.
+    pub clock_hz: f64,
+    /// L1 hit latency in cycles ("3 cycles").
+    pub l1_cycles: f64,
+    /// L2 hit latency in cycles ("14 cycles").
+    pub l2_cycles: f64,
+    /// Shared L3 hit latency in cycles ("28 cycles").
+    pub l3_cycles: f64,
+    /// Local DRAM read latency in cycles ("122 cycles").
+    pub dram_local_cycles: f64,
+    /// Farthest-chip DRAM read latency in cycles ("503 cycles").
+    pub dram_far_cycles: f64,
+    /// Cost of pulling a cache line another core has modified, in cycles.
+    /// "About the same time as loading data from off-chip RAM (hundreds
+    /// of cycles)" (§4.1); we use the mean of the near/far DRAM costs.
+    pub coherence_miss_cycles: f64,
+    /// Usable L3 per socket in bytes (6 MB minus the 1 MB HT Assist probe
+    /// filter).
+    pub l3_bytes_per_socket: u64,
+    /// DRAM per socket in bytes (8 GB).
+    pub dram_bytes_per_socket: u64,
+    /// Peak achievable DRAM bandwidth in bytes/second ("51.5
+    /// Gbyte/second measured by our microbenchmarks", §5.8).
+    pub dram_peak_bytes_per_sec: f64,
+    /// NIC wire rate in bits/second (one 10 Gbit port).
+    pub nic_wire_bits_per_sec: f64,
+    /// NIC peak packet rate with few queues ("5 million packets per
+    /// second", §5.4).
+    pub nic_peak_pps: f64,
+    /// Packet rate the card actually sustains at 48 virtual queues
+    /// ("2.8 million packets per second" delivered while overflowing,
+    /// §5.4).
+    pub nic_pps_at_max_queues: f64,
+}
+
+impl MachineSpec {
+    /// The paper's machine.
+    pub fn paper() -> Self {
+        Self {
+            sockets: 8,
+            cores_per_socket: 6,
+            clock_hz: 2.4e9,
+            l1_cycles: 3.0,
+            l2_cycles: 14.0,
+            l3_cycles: 28.0,
+            dram_local_cycles: 122.0,
+            dram_far_cycles: 503.0,
+            coherence_miss_cycles: (122.0 + 503.0) / 2.0,
+            l3_bytes_per_socket: 5 << 20,
+            dram_bytes_per_socket: 8 << 30,
+            dram_peak_bytes_per_sec: 51.5e9,
+            nic_wire_bits_per_sec: 10e9,
+            nic_peak_pps: 5.0e6,
+            nic_pps_at_max_queues: 2.8e6,
+        }
+    }
+
+    /// Total core count.
+    pub fn cores(&self) -> usize {
+        self.sockets * self.cores_per_socket
+    }
+
+    /// Converts cycles to seconds.
+    pub fn cycles_to_secs(&self, cycles: f64) -> f64 {
+        cycles / self.clock_hz
+    }
+
+    /// Converts cycles to microseconds.
+    pub fn cycles_to_usecs(&self, cycles: f64) -> f64 {
+        cycles * 1e6 / self.clock_hz
+    }
+
+    /// How many sockets are active when `cores` cores are enabled,
+    /// filling sockets in order (the default enablement pattern).
+    pub fn sockets_for(&self, cores: usize) -> usize {
+        cores.div_ceil(self.cores_per_socket).clamp(1, self.sockets)
+    }
+
+    /// How many sockets are active when `cores` are spread round-robin
+    /// over sockets (the "RR" placement of §5.7/§5.8).
+    pub fn sockets_for_rr(&self, cores: usize) -> usize {
+        cores.min(self.sockets).max(1)
+    }
+}
+
+impl Default for MachineSpec {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_machine_has_48_cores() {
+        let m = MachineSpec::paper();
+        assert_eq!(m.cores(), 48);
+    }
+
+    #[test]
+    fn unit_conversions() {
+        let m = MachineSpec::paper();
+        assert!((m.cycles_to_secs(2.4e9) - 1.0).abs() < 1e-12);
+        assert!((m.cycles_to_usecs(2400.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn socket_enablement_patterns() {
+        let m = MachineSpec::paper();
+        assert_eq!(m.sockets_for(1), 1);
+        assert_eq!(m.sockets_for(6), 1);
+        assert_eq!(m.sockets_for(7), 2);
+        assert_eq!(m.sockets_for(48), 8);
+        assert_eq!(m.sockets_for_rr(1), 1);
+        assert_eq!(m.sockets_for_rr(4), 4);
+        assert_eq!(m.sockets_for_rr(48), 8);
+    }
+
+    #[test]
+    fn coherence_cost_is_hundreds_of_cycles() {
+        let m = MachineSpec::paper();
+        assert!(m.coherence_miss_cycles > 100.0);
+        assert!(m.coherence_miss_cycles < 600.0);
+    }
+}

@@ -1,0 +1,324 @@
+//! Mean Value Analysis over closed queueing networks of cores and
+//! shared cache lines.
+
+/// How a station serves contending cores.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StationKind {
+    /// Perfectly parallel work (user code, core-local kernel code):
+    /// residence time never grows with load.
+    Delay,
+    /// A serialized shared resource — a contended cache line, an MCS
+    /// lock, a ticket-lock *handoff*: waiting grows with queue length but
+    /// service time stays constant.
+    Queue,
+    /// A non-scalable spin lock: like [`StationKind::Queue`], but each
+    /// waiter's cache-line polling slows the holder, so the *service
+    /// time itself* grows with the queue — "this traffic may slow down
+    /// the core that holds the lock by an amount proportional to the
+    /// number of waiting cores" (§4.1). `collapse` is the per-waiter
+    /// inflation factor.
+    NonScalable {
+        /// Service-time inflation per queued waiter (e.g. 0.4 → each
+        /// waiter adds 40% of the base service time).
+        collapse: f64,
+    },
+}
+
+/// One station in the network.
+#[derive(Debug, Clone)]
+pub struct Station {
+    /// Label used in reports and CPU-time attribution.
+    pub name: &'static str,
+    /// Service demand per operation, in cycles (visits × per-visit
+    /// service time).
+    pub demand_cycles: f64,
+    /// Queueing behaviour.
+    pub kind: StationKind,
+    /// Whether residence here counts as system (kernel) time.
+    pub is_system: bool,
+}
+
+impl Station {
+    /// A delay station (perfectly parallel cycles).
+    pub fn delay(name: &'static str, demand_cycles: f64, is_system: bool) -> Self {
+        Self {
+            name,
+            demand_cycles,
+            kind: StationKind::Delay,
+            is_system,
+        }
+    }
+
+    /// A serialized-but-scalable station (constant service time).
+    pub fn queue(name: &'static str, demand_cycles: f64, is_system: bool) -> Self {
+        Self {
+            name,
+            demand_cycles,
+            kind: StationKind::Queue,
+            is_system,
+        }
+    }
+
+    /// A non-scalable spin lock with the given collapse factor.
+    pub fn spinlock(
+        name: &'static str,
+        demand_cycles: f64,
+        collapse: f64,
+        is_system: bool,
+    ) -> Self {
+        Self {
+            name,
+            demand_cycles,
+            kind: StationKind::NonScalable { collapse },
+            is_system,
+        }
+    }
+}
+
+/// Per-station output of the solver.
+#[derive(Debug, Clone)]
+pub struct StationResult {
+    /// Station label.
+    pub name: &'static str,
+    /// Mean residence time per operation, in cycles (service + waiting).
+    pub residence_cycles: f64,
+    /// Mean queue length.
+    pub queue_len: f64,
+    /// Utilization in `[0, 1]` (can exceed 1 transiently for
+    /// non-scalable stations where service inflates).
+    pub utilization: f64,
+    /// Whether this station's residence is system time.
+    pub is_system: bool,
+}
+
+/// Output of one MVA solve.
+#[derive(Debug, Clone)]
+pub struct MvaResult {
+    /// Active cores (customers).
+    pub cores: usize,
+    /// System throughput in operations per cycle.
+    pub ops_per_cycle: f64,
+    /// Mean end-to-end cycles per operation.
+    pub cycles_per_op: f64,
+    /// Cycles per op spent in stations marked `is_system`, including
+    /// waiting (the paper's "system time").
+    pub system_cycles_per_op: f64,
+    /// Cycles per op in user-side stations.
+    pub user_cycles_per_op: f64,
+    /// Per-station detail.
+    pub stations: Vec<StationResult>,
+}
+
+impl MvaResult {
+    /// Throughput per core, in operations per cycle.
+    pub fn ops_per_cycle_per_core(&self) -> f64 {
+        self.ops_per_cycle / self.cores as f64
+    }
+
+    /// The station with the longest residence time (the bottleneck).
+    pub fn bottleneck(&self) -> &StationResult {
+        self.stations
+            .iter()
+            .max_by(|a, b| a.residence_cycles.total_cmp(&b.residence_cycles))
+            .expect("networks have at least one station")
+    }
+}
+
+/// A closed queueing network of identical cores over shared stations.
+#[derive(Debug, Clone, Default)]
+pub struct Network {
+    stations: Vec<Station>,
+}
+
+impl Network {
+    /// Creates an empty network.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a station, skipping those with zero demand.
+    pub fn push(&mut self, station: Station) -> &mut Self {
+        if station.demand_cycles > 0.0 {
+            self.stations.push(station);
+        }
+        self
+    }
+
+    /// Returns the stations.
+    pub fn stations(&self) -> &[Station] {
+        &self.stations
+    }
+
+    /// Solves the network for `cores` customers by exact MVA, extended
+    /// with load-dependent service for non-scalable stations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network has no stations or `cores == 0`.
+    pub fn solve(&self, cores: usize) -> MvaResult {
+        assert!(cores > 0, "need at least one core");
+        assert!(!self.stations.is_empty(), "need at least one station");
+        let m = self.stations.len();
+        let mut queue = vec![0.0f64; m];
+        let mut residence = vec![0.0f64; m];
+        let mut x = 0.0f64;
+        for n in 1..=cores {
+            for (j, st) in self.stations.iter().enumerate() {
+                residence[j] = match st.kind {
+                    StationKind::Delay => st.demand_cycles,
+                    StationKind::Queue => st.demand_cycles * (1.0 + queue[j]),
+                    StationKind::NonScalable { collapse } => {
+                        // Waiters inflate the effective service time; the
+                        // arrival-theorem queue is seen by each arriving
+                        // customer.
+                        let inflated = st.demand_cycles * (1.0 + collapse * queue[j]);
+                        inflated * (1.0 + queue[j])
+                    }
+                };
+            }
+            let total: f64 = residence.iter().sum();
+            x = n as f64 / total;
+            for j in 0..m {
+                queue[j] = x * residence[j];
+            }
+        }
+        let cycles_per_op: f64 = residence.iter().sum();
+        let mut system = 0.0;
+        let mut user = 0.0;
+        let mut stations = Vec::with_capacity(m);
+        for (j, st) in self.stations.iter().enumerate() {
+            if st.is_system {
+                system += residence[j];
+            } else {
+                user += residence[j];
+            }
+            stations.push(StationResult {
+                name: st.name,
+                residence_cycles: residence[j],
+                queue_len: queue[j],
+                utilization: (x * st.demand_cycles).min(cores as f64),
+                is_system: st.is_system,
+            });
+        }
+        MvaResult {
+            cores,
+            ops_per_cycle: x,
+            cycles_per_op,
+            system_cycles_per_op: system,
+            user_cycles_per_op: user,
+            stations,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol * b.abs().max(1.0)
+    }
+
+    #[test]
+    fn pure_delay_scales_linearly() {
+        let mut net = Network::new();
+        net.push(Station::delay("user", 1000.0, false));
+        let x1 = net.solve(1).ops_per_cycle;
+        let x48 = net.solve(48).ops_per_cycle;
+        assert!(close(x48 / x1, 48.0, 1e-9), "delay-only network is linear");
+    }
+
+    #[test]
+    fn single_queue_saturates_at_service_rate() {
+        let mut net = Network::new();
+        net.push(Station::delay("user", 9000.0, false));
+        net.push(Station::queue("lock", 1000.0, true));
+        // Asymptotic bound: X ≤ 1/D_max = 1/1000 ops/cycle.
+        let x = net.solve(64).ops_per_cycle;
+        assert!(x <= 1.0 / 1000.0 + 1e-12);
+        assert!(x > 0.9 / 1000.0, "should approach the bound");
+        // At 1 core there is no queueing at all.
+        let r1 = net.solve(1);
+        assert!(close(r1.cycles_per_op, 10_000.0, 1e-9));
+    }
+
+    #[test]
+    fn nonscalable_station_collapses() {
+        let mut net = Network::new();
+        net.push(Station::delay("user", 2000.0, false));
+        net.push(Station::spinlock("biglock", 500.0, 0.5, true));
+        let mut best = 0.0f64;
+        let mut best_n = 0;
+        let mut x48 = 0.0;
+        for n in 1..=48 {
+            let x = net.solve(n).ops_per_cycle;
+            if x > best {
+                best = x;
+                best_n = n;
+            }
+            if n == 48 {
+                x48 = x;
+            }
+        }
+        assert!(best_n < 48, "peak before 48 cores (got {best_n})");
+        assert!(
+            x48 < best * 0.8,
+            "total throughput collapses: best={best}, x48={x48}"
+        );
+    }
+
+    #[test]
+    fn queue_station_does_not_collapse() {
+        // A scalable (constant-service) station saturates but never loses
+        // total throughput.
+        let mut net = Network::new();
+        net.push(Station::delay("user", 2000.0, false));
+        net.push(Station::queue("mcslock", 500.0, true));
+        let mut prev = 0.0;
+        for n in 1..=48 {
+            let x = net.solve(n).ops_per_cycle;
+            assert!(x >= prev - 1e-15, "monotone non-decreasing at n={n}");
+            prev = x;
+        }
+    }
+
+    #[test]
+    fn system_user_split_accounts_everything() {
+        let mut net = Network::new();
+        net.push(Station::delay("user", 3000.0, false));
+        net.push(Station::queue("refcount", 200.0, true));
+        let r = net.solve(16);
+        assert!(close(
+            r.system_cycles_per_op + r.user_cycles_per_op,
+            r.cycles_per_op,
+            1e-12
+        ));
+        assert!(r.system_cycles_per_op >= 200.0);
+    }
+
+    #[test]
+    fn bottleneck_identifies_hottest_station() {
+        let mut net = Network::new();
+        net.push(Station::delay("user", 100.0, false));
+        net.push(Station::queue("cold", 10.0, true));
+        net.push(Station::queue("hot", 400.0, true));
+        let r = net.solve(32);
+        assert_eq!(r.bottleneck().name, "hot");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_cores_panics() {
+        let mut net = Network::new();
+        net.push(Station::delay("user", 1.0, false));
+        net.solve(0);
+    }
+
+    #[test]
+    fn zero_demand_stations_are_dropped() {
+        let mut net = Network::new();
+        net.push(Station::delay("user", 100.0, false));
+        net.push(Station::queue("disabled-fix", 0.0, true));
+        assert_eq!(net.stations().len(), 1);
+    }
+}

@@ -1,0 +1,44 @@
+//! Synchronization primitives for the MOSBENCH userspace kernel.
+//!
+//! The paper's scalability tutorial (§4.1) distinguishes locks by how they
+//! behave *under contention*: a Linux spin lock costs "a few cycles if the
+//! acquiring core was the previous lock holder, a few hundred cycles if
+//! another core last held the lock," and non-scalable spin locks "produce
+//! per-acquire interconnect traffic that is proportional to the number of
+//! waiting cores" (Mellor-Crummey & Scott). This crate implements the full
+//! zoo so the kernel subsystems and simulator can compare them:
+//!
+//! * [`SpinLock`] — test-and-test-and-set spin lock, the non-scalable
+//!   baseline that serializes Exim on the vfsmount table (§5.2).
+//! * [`TicketLock`] — FIFO-fair, like Linux's spinlocks of the era, but
+//!   still a single contended cache line.
+//! * [`McsLock`] — queue lock; waiters spin on local memory, the scalable
+//!   alternative the paper cites (\[41\]).
+//! * [`SeqLock`] — sequence/generation lock; the lock-free dentry
+//!   comparison protocol of §4.4 is built on the same idea.
+//! * [`AdaptiveMutex`] — spin-then-yield mutex modelling Linux's adaptive
+//!   mutexes, whose starvation under intense contention ruins
+//!   PostgreSQL's `lseek` (§5.5).
+//! * [`rcu`] — epoch-based read-copy-update, the mechanism behind the
+//!   RCU-optimized directory cache (§4.4, \[39\]).
+//!
+//! Every lock records [`LockStats`] (total vs contended acquisitions) so
+//! workloads can attribute time to lock waiting the way the paper does.
+
+#![forbid(unsafe_op_in_unsafe_fn)]
+#![warn(missing_docs)]
+
+mod adaptive;
+mod mcs;
+pub mod rcu;
+mod seqlock;
+mod spinlock;
+mod stats;
+mod ticket;
+
+pub use adaptive::{AdaptiveMutex, AdaptiveMutexGuard};
+pub use mcs::{McsGuard, McsLock};
+pub use seqlock::{GenCounter, SeqLock, SeqLockWriteGuard, SeqReadError};
+pub use spinlock::{SpinGuard, SpinLock};
+pub use stats::LockStats;
+pub use ticket::{TicketGuard, TicketLock};

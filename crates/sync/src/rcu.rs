@@ -1,0 +1,309 @@
+//! Epoch-based read-copy-update.
+//!
+//! The directory-entry cache the paper studies is "optimized using RCU for
+//! scalability" (\[39\], \[40\]): readers traverse shared structures without
+//! writing any shared memory, while writers publish new versions and defer
+//! reclamation until every reader that might hold a reference has passed a
+//! quiescent point. This module implements a small userspace RCU with the
+//! same shape: pointer publication via [`RcuCell`] and grace periods via
+//! epoch tracking per logical core.
+
+use pk_percpu::{registry, CacheAligned, MAX_CORES};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Global epoch; bumped by `synchronize()`.
+static GLOBAL_EPOCH: AtomicU64 = AtomicU64::new(1);
+
+/// Per-core reader state: 0 = quiescent, otherwise the epoch at which the
+/// outermost read-side critical section began.
+static READER_EPOCHS: [CacheAligned<AtomicU64>; MAX_CORES] = {
+    // The const is only an array-initialization helper; each array slot
+    // is its own atomic.
+    #[allow(clippy::declare_interior_mutable_const)]
+    const Q: CacheAligned<AtomicU64> = CacheAligned::new(AtomicU64::new(0));
+    [Q; MAX_CORES]
+};
+
+thread_local! {
+    static NESTING: Cell<u32> = const { Cell::new(0) };
+}
+
+/// A read-side critical section; ends when dropped.
+///
+/// Equivalent to the span between `rcu_read_lock()` and
+/// `rcu_read_unlock()`. While any guard from an epoch earlier than a
+/// writer's `synchronize()` call is live, that writer waits.
+#[derive(Debug)]
+pub struct RcuReadGuard {
+    core: usize,
+    // Read-side sections are per-thread; the guard must drop on the thread
+    // that created it.
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+/// Enters a read-side critical section.
+///
+/// Sections nest; only the outermost one publishes the reader epoch.
+pub fn read_lock() -> RcuReadGuard {
+    let core = registry::current_or_register().index();
+    let nesting = NESTING.with(|n| {
+        let v = n.get();
+        n.set(v + 1);
+        v
+    });
+    if nesting == 0 {
+        let epoch = GLOBAL_EPOCH.load(Ordering::SeqCst);
+        READER_EPOCHS[core].store(epoch, Ordering::SeqCst);
+    }
+    RcuReadGuard {
+        core,
+        _not_send: std::marker::PhantomData,
+    }
+}
+
+impl Drop for RcuReadGuard {
+    fn drop(&mut self) {
+        let nesting = NESTING.with(|n| {
+            let v = n.get() - 1;
+            n.set(v);
+            v
+        });
+        if nesting == 0 {
+            READER_EPOCHS[self.core].store(0, Ordering::SeqCst);
+        }
+    }
+}
+
+/// Waits until every read-side critical section that began before this
+/// call has ended (a *grace period*).
+///
+/// Equivalent to `synchronize_rcu()`.
+pub fn synchronize() {
+    let target = GLOBAL_EPOCH.fetch_add(1, Ordering::SeqCst) + 1;
+    for slot in READER_EPOCHS.iter() {
+        let mut spins = 0u64;
+        loop {
+            let e = slot.load(Ordering::SeqCst);
+            if e == 0 || e >= target {
+                break;
+            }
+            spins += 1;
+            std::hint::spin_loop();
+            if spins.is_multiple_of(64) {
+                std::thread::yield_now();
+            }
+        }
+    }
+}
+
+/// An RCU-protected pointer to an immutable `T` snapshot.
+///
+/// Readers obtain a cheap, wait-free reference under a [`RcuReadGuard`];
+/// writers replace the snapshot wholesale and block for a grace period
+/// before freeing the previous one.
+///
+/// # Examples
+///
+/// ```
+/// use pk_sync::rcu::{self, RcuCell};
+///
+/// let cell = RcuCell::new(vec![1, 2, 3]);
+/// {
+///     let guard = rcu::read_lock();
+///     assert_eq!(cell.read(&guard).len(), 3);
+/// }
+/// cell.update(vec![4]);
+/// let guard = rcu::read_lock();
+/// assert_eq!(cell.read(&guard), &[4]);
+/// ```
+#[derive(Debug)]
+pub struct RcuCell<T> {
+    ptr: AtomicPtr<T>,
+    writer: Mutex<()>,
+}
+
+// SAFETY: The published pointer is only mutated under the writer mutex and
+// only freed after a grace period, so shared access is sound for Send+Sync
+// payloads.
+unsafe impl<T: Send + Sync> Send for RcuCell<T> {}
+// SAFETY: See above.
+unsafe impl<T: Send + Sync> Sync for RcuCell<T> {}
+
+impl<T> RcuCell<T> {
+    /// Creates a cell publishing `value`.
+    pub fn new(value: T) -> Self {
+        Self {
+            ptr: AtomicPtr::new(Box::into_raw(Box::new(value))),
+            writer: Mutex::new(()),
+        }
+    }
+
+    /// Dereferences the current snapshot.
+    ///
+    /// The returned reference is valid for the lifetime of the guard: the
+    /// writer cannot free the snapshot until the guard drops.
+    pub fn read<'g>(&self, _guard: &'g RcuReadGuard) -> &'g T {
+        let p = self.ptr.load(Ordering::Acquire);
+        // SAFETY: `p` was published by `new`/`update` and cannot be freed
+        // before the guard's read-side section ends (update waits for a
+        // grace period covering it).
+        unsafe { &*p }
+    }
+
+    /// Publishes a new snapshot and frees the old one after a grace
+    /// period. Blocks until the grace period elapses.
+    pub fn update(&self, value: T) {
+        let new = Box::into_raw(Box::new(value));
+        let old = {
+            let _w = self.writer.lock().unwrap();
+            self.ptr.swap(new, Ordering::AcqRel)
+        };
+        synchronize();
+        // SAFETY: `old` was the published pointer; after `synchronize` no
+        // reader that could have loaded it is still in a read section, and
+        // the swap removed it from the cell, so we hold the only copy.
+        drop(unsafe { Box::from_raw(old) });
+    }
+
+    /// Applies `f` to the current snapshot to compute a replacement, then
+    /// publishes it (read-copy-update). Writers are serialized.
+    pub fn update_with(&self, f: impl FnOnce(&T) -> T) {
+        let _w = self.writer.lock().unwrap();
+        let cur = self.ptr.load(Ordering::Acquire);
+        // SAFETY: We hold the writer lock, so `cur` cannot be swapped out
+        // or freed concurrently.
+        let new = Box::into_raw(Box::new(f(unsafe { &*cur })));
+        let old = self.ptr.swap(new, Ordering::AcqRel);
+        synchronize();
+        // SAFETY: As in `update`.
+        drop(unsafe { Box::from_raw(old) });
+    }
+}
+
+impl<T> Drop for RcuCell<T> {
+    fn drop(&mut self) {
+        let p = *self.ptr.get_mut();
+        if !p.is_null() {
+            // SAFETY: Exclusive ownership at drop; no readers can exist
+            // because they would borrow the cell.
+            drop(unsafe { Box::from_raw(p) });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+
+    #[test]
+    fn read_sees_published_value() {
+        let cell = RcuCell::new(5u32);
+        let g = read_lock();
+        assert_eq!(*cell.read(&g), 5);
+    }
+
+    #[test]
+    fn update_replaces_snapshot() {
+        let cell = RcuCell::new(String::from("old"));
+        cell.update(String::from("new"));
+        let g = read_lock();
+        assert_eq!(cell.read(&g), "new");
+    }
+
+    #[test]
+    fn update_with_reads_current() {
+        let cell = RcuCell::new(10u64);
+        cell.update_with(|v| v + 1);
+        cell.update_with(|v| v * 2);
+        let g = read_lock();
+        assert_eq!(*cell.read(&g), 22);
+    }
+
+    #[test]
+    fn nested_read_sections() {
+        let outer = read_lock();
+        let inner = read_lock();
+        drop(inner);
+        // Outer section still pins the epoch.
+        let core = outer.core;
+        assert_ne!(READER_EPOCHS[core].load(Ordering::SeqCst), 0);
+        drop(outer);
+        assert_eq!(READER_EPOCHS[core].load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn synchronize_waits_for_reader() {
+        let cell = Arc::new(RcuCell::new(1u32));
+        let reader_in = Arc::new(AtomicBool::new(false));
+        let release = Arc::new(AtomicBool::new(false));
+        let updated = Arc::new(AtomicBool::new(false));
+
+        let r = {
+            let reader_in = Arc::clone(&reader_in);
+            let release = Arc::clone(&release);
+            let cell = Arc::clone(&cell);
+            std::thread::spawn(move || {
+                let g = read_lock();
+                let v = *cell.read(&g);
+                reader_in.store(true, Ordering::SeqCst);
+                while !release.load(Ordering::SeqCst) {
+                    std::thread::yield_now();
+                }
+                drop(g);
+                v
+            })
+        };
+        while !reader_in.load(Ordering::SeqCst) {
+            std::thread::yield_now();
+        }
+        let w = {
+            let cell = Arc::clone(&cell);
+            let updated = Arc::clone(&updated);
+            std::thread::spawn(move || {
+                cell.update(2);
+                updated.store(true, Ordering::SeqCst);
+            })
+        };
+        // The writer must not finish while the reader is inside.
+        for _ in 0..100 {
+            std::thread::yield_now();
+        }
+        assert!(!updated.load(Ordering::SeqCst), "grace period ended early");
+        release.store(true, Ordering::SeqCst);
+        assert_eq!(r.join().unwrap(), 1);
+        w.join().unwrap();
+        assert!(updated.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn concurrent_readers_and_writers() {
+        let cell = Arc::new(RcuCell::new(vec![0u64; 8]));
+        let stop = Arc::new(AtomicBool::new(false));
+        let readers: Vec<_> = (0..3)
+            .map(|_| {
+                let cell = Arc::clone(&cell);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        let g = read_lock();
+                        let v = cell.read(&g);
+                        // Every snapshot is internally consistent: all
+                        // elements equal.
+                        assert!(v.windows(2).all(|w| w[0] == w[1]));
+                    }
+                })
+            })
+            .collect();
+        for i in 1..20 {
+            cell.update(vec![i; 8]);
+        }
+        stop.store(true, Ordering::Relaxed);
+        for r in readers {
+            r.join().unwrap();
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Lock contention statistics.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counters describing how contended a lock has been.
+///
+/// The paper attributes scalability collapse to time spent "waiting for
+/// and acquiring spin locks and mutexes" (§4.7); these counters let the
+/// workloads and the simulator make the same attribution. Updates use
+/// relaxed atomics: the counts are diagnostics, not synchronization.
+#[derive(Debug, Default)]
+pub struct LockStats {
+    acquisitions: AtomicU64,
+    contended: AtomicU64,
+    spin_iterations: AtomicU64,
+}
+
+impl LockStats {
+    /// Creates zeroed statistics.
+    pub const fn new() -> Self {
+        Self {
+            acquisitions: AtomicU64::new(0),
+            contended: AtomicU64::new(0),
+            spin_iterations: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one acquisition; `spins` is the number of failed attempts
+    /// before the lock was obtained (0 means uncontended).
+    pub fn record_acquisition(&self, spins: u64) {
+        self.acquisitions.fetch_add(1, Ordering::Relaxed);
+        if spins > 0 {
+            self.contended.fetch_add(1, Ordering::Relaxed);
+            self.spin_iterations.fetch_add(spins, Ordering::Relaxed);
+        }
+    }
+
+    /// Total successful acquisitions.
+    pub fn acquisitions(&self) -> u64 {
+        self.acquisitions.load(Ordering::Relaxed)
+    }
+
+    /// Acquisitions that had to wait at least one spin iteration.
+    pub fn contended(&self) -> u64 {
+        self.contended.load(Ordering::Relaxed)
+    }
+
+    /// Total spin iterations across all contended acquisitions.
+    pub fn spin_iterations(&self) -> u64 {
+        self.spin_iterations.load(Ordering::Relaxed)
+    }
+
+    /// Fraction of acquisitions that were contended, in `[0, 1]`.
+    pub fn contention_ratio(&self) -> f64 {
+        let total = self.acquisitions();
+        if total == 0 {
+            0.0
+        } else {
+            self.contended() as f64 / total as f64
+        }
+    }
+
+    /// Resets all counters to zero.
+    pub fn reset(&self) {
+        self.acquisitions.store(0, Ordering::Relaxed);
+        self.contended.store(0, Ordering::Relaxed);
+        self.spin_iterations.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_uncontended_and_contended() {
+        let s = LockStats::new();
+        s.record_acquisition(0);
+        s.record_acquisition(5);
+        s.record_acquisition(3);
+        assert_eq!(s.acquisitions(), 3);
+        assert_eq!(s.contended(), 2);
+        assert_eq!(s.spin_iterations(), 8);
+        assert!((s.contention_ratio() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_ratio_is_zero() {
+        assert_eq!(LockStats::new().contention_ratio(), 0.0);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let s = LockStats::new();
+        s.record_acquisition(9);
+        s.reset();
+        assert_eq!(s.acquisitions(), 0);
+        assert_eq!(s.contended(), 0);
+        assert_eq!(s.spin_iterations(), 0);
+    }
+}

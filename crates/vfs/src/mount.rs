@@ -1,0 +1,252 @@
+//! Mount points: the global vfsmount table and PK's per-core caches.
+
+use crate::config::VfsConfig;
+use crate::stats::VfsStats;
+use pk_percpu::{CoreId, PerCore};
+use pk_sloppy::{DeallocError, RefCount};
+use pk_sync::SpinLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A mounted file system object (`struct vfsmount`).
+///
+/// Path resolution takes and drops a reference on the vfsmount of every
+/// path it walks — "Exim causes the kernel to access the vfsmount table
+/// dozens of times for each message" (§5.2) — so both the table lock and
+/// this refcount are Figure-1 bottlenecks.
+#[derive(Debug)]
+pub struct VfsMount {
+    /// The mount point path prefix (e.g. `/` or `/var/spool`).
+    pub mount_point: String,
+    refcount: RefCount,
+}
+
+impl VfsMount {
+    /// Creates a mount object with one (table) reference.
+    pub fn new(mount_point: impl Into<String>, sloppy: bool, cores: usize) -> Arc<Self> {
+        Arc::new(Self {
+            mount_point: mount_point.into(),
+            refcount: RefCount::new(sloppy, cores),
+        })
+    }
+
+    /// Takes a reference on behalf of `core`.
+    pub fn get(&self, core: CoreId) -> Result<(), DeallocError> {
+        self.refcount.get(core)
+    }
+
+    /// Drops a reference on behalf of `core`.
+    pub fn put(&self, core: CoreId) {
+        self.refcount.put(core);
+    }
+
+    /// Exact reference count (expensive when sloppy).
+    pub fn references(&self) -> i64 {
+        self.refcount.references()
+    }
+
+    /// Returns `(shared_ops, local_ops)` of the refcount.
+    pub fn refcount_ops(&self) -> (u64, u64) {
+        self.refcount.op_counts()
+    }
+}
+
+/// The mount table: a central map under a global spin lock, with optional
+/// per-core caches in front of it (§4.5).
+///
+/// Stock: every resolution locks the central table. PK: "when the kernel
+/// needs to look up the vfsmount for a path, it first looks in the
+/// current core's table, then the central table. If the latter succeeds,
+/// the result is added to the per-core table."
+#[derive(Debug)]
+pub struct MountTable {
+    central: SpinLock<HashMap<String, Arc<VfsMount>>>,
+    percore: PerCore<SpinLock<HashMap<String, Arc<VfsMount>>>>,
+    config: VfsConfig,
+    stats: Arc<VfsStats>,
+}
+
+impl MountTable {
+    /// Creates a table with a root (`/`) mount pre-installed.
+    pub fn new(config: VfsConfig, stats: Arc<VfsStats>) -> Self {
+        let t = Self {
+            central: SpinLock::new(HashMap::new()),
+            percore: PerCore::new_with(config.cores, |_| SpinLock::new(HashMap::new())),
+            config,
+            stats,
+        };
+        t.mount("/");
+        t
+    }
+
+    /// Installs a mount at `mount_point`.
+    pub fn mount(&self, mount_point: &str) -> Arc<VfsMount> {
+        let m = VfsMount::new(
+            mount_point,
+            self.config.sloppy_vfsmount_refs,
+            self.config.cores,
+        );
+        self.central
+            .lock()
+            .insert(mount_point.to_string(), Arc::clone(&m));
+        m
+    }
+
+    /// Removes the mount at `mount_point` from the central table and all
+    /// per-core caches, returning it if present.
+    pub fn umount(&self, mount_point: &str) -> Option<Arc<VfsMount>> {
+        let removed = self.central.lock().remove(mount_point);
+        if removed.is_some() {
+            for cache in self.percore.iter() {
+                cache.lock().remove(mount_point);
+            }
+        }
+        removed
+    }
+
+    /// Resolves the vfsmount covering `path`: the longest mount-point
+    /// prefix. Takes a reference on the returned mount.
+    ///
+    /// With `percore_mount_cache` the per-core cache is consulted first —
+    /// without ever touching the central table's lock — and populated on
+    /// central hits.
+    pub fn resolve(&self, path: &str, core: CoreId) -> Option<Arc<VfsMount>> {
+        if self.config.percore_mount_cache {
+            let hit = {
+                let cache = self.percore.get(core).lock();
+                Self::longest_prefix_in(&cache, path).map(|(_, m)| m)
+            };
+            if let Some(m) = hit {
+                if m.get(core).is_ok() {
+                    VfsStats::bump(&self.stats.mount_percore_hits);
+                    return Some(m);
+                }
+            }
+        }
+        VfsStats::bump(&self.stats.mount_central_lookups);
+        let (key, m) = {
+            let central = self.central.lock();
+            Self::longest_prefix_in(&central, path)?
+        };
+        m.get(core).ok()?;
+        if self.config.percore_mount_cache {
+            self.percore.get(core).lock().insert(key, Arc::clone(&m));
+        }
+        Some(m)
+    }
+
+    /// Finds the entry with the longest mount-point prefix of `path` in
+    /// `map`, scanning candidates from longest to shortest.
+    fn longest_prefix_in(
+        map: &HashMap<String, Arc<VfsMount>>,
+        path: &str,
+    ) -> Option<(String, Arc<VfsMount>)> {
+        let mut candidate = path.trim_end_matches('/').to_string();
+        loop {
+            if candidate.is_empty() {
+                candidate.push('/');
+            }
+            if let Some(m) = map.get(candidate.as_str()) {
+                return Some((candidate, Arc::clone(m)));
+            }
+            if candidate == "/" {
+                return None;
+            }
+            match candidate.rfind('/') {
+                Some(0) | None => candidate = "/".to_string(),
+                Some(i) => candidate.truncate(i),
+            }
+        }
+    }
+
+    /// Returns the central-table lock statistics.
+    pub fn central_lock_stats(&self) -> &pk_sync::LockStats {
+        self.central.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(percore: bool) -> MountTable {
+        let mut cfg = VfsConfig::pk(4);
+        cfg.percore_mount_cache = percore;
+        MountTable::new(cfg, Arc::new(VfsStats::new()))
+    }
+
+    #[test]
+    fn root_mount_resolves_everything() {
+        let t = table(false);
+        let m = t.resolve("/some/deep/path", CoreId(0)).unwrap();
+        assert_eq!(m.mount_point, "/");
+        m.put(CoreId(0));
+    }
+
+    #[test]
+    fn longest_prefix_wins() {
+        let t = table(false);
+        t.mount("/var");
+        t.mount("/var/spool");
+        assert_eq!(
+            t.resolve("/var/spool/input/m1", CoreId(0)).unwrap().mount_point,
+            "/var/spool"
+        );
+        assert_eq!(t.resolve("/var/log/x", CoreId(0)).unwrap().mount_point, "/var");
+        assert_eq!(t.resolve("/etc/passwd", CoreId(0)).unwrap().mount_point, "/");
+    }
+
+    #[test]
+    fn percore_cache_avoids_central_lookups() {
+        let stats = Arc::new(VfsStats::new());
+        let mut cfg = VfsConfig::pk(4);
+        cfg.percore_mount_cache = true;
+        let t = MountTable::new(cfg, Arc::clone(&stats));
+        t.mount("/data");
+        for _ in 0..10 {
+            let m = t.resolve("/data/file", CoreId(2)).unwrap();
+            m.put(CoreId(2));
+        }
+        let central = stats.mount_central_lookups.load(std::sync::atomic::Ordering::Relaxed);
+        let local = stats.mount_percore_hits.load(std::sync::atomic::Ordering::Relaxed);
+        assert_eq!(central, 1, "only the first lookup hits the central table");
+        assert_eq!(local, 9);
+    }
+
+    #[test]
+    fn stock_hits_central_every_time() {
+        let stats = Arc::new(VfsStats::new());
+        let mut cfg = VfsConfig::stock(4);
+        cfg.cores = 4;
+        let t = MountTable::new(cfg, Arc::clone(&stats));
+        for _ in 0..10 {
+            let m = t.resolve("/x", CoreId(1)).unwrap();
+            m.put(CoreId(1));
+        }
+        assert_eq!(
+            stats.mount_central_lookups.load(std::sync::atomic::Ordering::Relaxed),
+            10
+        );
+    }
+
+    #[test]
+    fn umount_purges_percore_caches() {
+        let t = table(true);
+        t.mount("/mnt");
+        let m = t.resolve("/mnt/a", CoreId(1)).unwrap();
+        m.put(CoreId(1));
+        assert!(t.umount("/mnt").is_some());
+        let m2 = t.resolve("/mnt/a", CoreId(1)).unwrap();
+        assert_eq!(m2.mount_point, "/", "falls back to root after umount");
+    }
+
+    #[test]
+    fn references_track_resolutions() {
+        let t = table(false);
+        let m1 = t.resolve("/", CoreId(0)).unwrap();
+        let m2 = t.resolve("/", CoreId(1)).unwrap();
+        assert_eq!(m1.references(), 3); // table + two resolutions
+        m1.put(CoreId(0));
+        m2.put(CoreId(1));
+    }
+}

@@ -1,0 +1,160 @@
+//! Property tests for the VFS: a model-based check of the namespace and
+//! file contents under random operations, in every configuration.
+
+use pk_percpu::CoreId;
+use pk_vfs::{Vfs, VfsConfig, VfsError, Whence};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Write { name: u8, data: Vec<u8> },
+    Append { name: u8, data: Vec<u8> },
+    Read { name: u8 },
+    Unlink { name: u8 },
+    Rename { from: u8, to: u8 },
+    Truncate { name: u8, len: u8 },
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    let small_data = proptest::collection::vec(any::<u8>(), 0..24);
+    prop_oneof![
+        (0..6u8, small_data.clone()).prop_map(|(name, data)| Op::Write { name, data }),
+        (0..6u8, small_data).prop_map(|(name, data)| Op::Append { name, data }),
+        (0..6u8).prop_map(|name| Op::Read { name }),
+        (0..6u8).prop_map(|name| Op::Unlink { name }),
+        (0..6u8, 0..6u8).prop_map(|(from, to)| Op::Rename { from, to }),
+        (0..6u8, 0..32u8).prop_map(|(name, len)| Op::Truncate { name, len }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The VFS agrees with an in-memory HashMap model under any
+    /// sequence of operations, for both stock and PK configurations.
+    #[test]
+    fn vfs_matches_hashmap_model(ops in proptest::collection::vec(op(), 1..80)) {
+        for cfg in [VfsConfig::stock(4), VfsConfig::pk(4)] {
+            let vfs = Vfs::new(cfg);
+            let core = CoreId(1);
+            let mut model: HashMap<u8, Vec<u8>> = HashMap::new();
+            for op in &ops {
+                match op {
+                    Op::Write { name, data } => {
+                        vfs.write_file(&format!("/f{name}"), data, core).unwrap();
+                        model.insert(*name, data.clone());
+                    }
+                    Op::Append { name, data } => {
+                        match vfs.open(&format!("/f{name}"), core) {
+                            Ok(f) => {
+                                f.append(data).unwrap();
+                                vfs.close(&f, core);
+                                model.get_mut(name).unwrap().extend_from_slice(data);
+                            }
+                            Err(VfsError::NotFound) => {
+                                prop_assert!(!model.contains_key(name));
+                            }
+                            Err(e) => panic!("unexpected: {e}"),
+                        }
+                    }
+                    Op::Read { name } => {
+                        match vfs.read_file(&format!("/f{name}"), core) {
+                            Ok(data) => prop_assert_eq!(Some(&data), model.get(name)),
+                            Err(VfsError::NotFound) => prop_assert!(!model.contains_key(name)),
+                            Err(e) => panic!("unexpected: {e}"),
+                        }
+                    }
+                    Op::Unlink { name } => {
+                        match vfs.unlink(&format!("/f{name}"), core) {
+                            Ok(()) => {
+                                prop_assert!(model.remove(name).is_some());
+                            }
+                            Err(VfsError::NotFound) => prop_assert!(!model.contains_key(name)),
+                            Err(e) => panic!("unexpected: {e}"),
+                        }
+                    }
+                    Op::Rename { from, to } => {
+                        match vfs.rename(&format!("/f{from}"), &format!("/f{to}"), core) {
+                            Ok(()) => {
+                                prop_assert!(from != to || !model.contains_key(from));
+                                let data = model.remove(from).unwrap();
+                                model.insert(*to, data);
+                            }
+                            Err(VfsError::NotFound) => prop_assert!(!model.contains_key(from)),
+                            Err(VfsError::Exists) => {
+                                prop_assert!(model.contains_key(to));
+                            }
+                            Err(e) => panic!("unexpected: {e}"),
+                        }
+                    }
+                    Op::Truncate { name, len } => {
+                        match vfs.open(&format!("/f{name}"), core) {
+                            Ok(f) => {
+                                f.inode.truncate(*len as u64);
+                                vfs.close(&f, core);
+                                let m = model.get_mut(name).unwrap();
+                                m.truncate(*len as usize);
+                            }
+                            Err(VfsError::NotFound) => prop_assert!(!model.contains_key(name)),
+                            Err(e) => panic!("unexpected: {e}"),
+                        }
+                    }
+                }
+            }
+            // Final state agrees everywhere.
+            for name in 0..6u8 {
+                let got = vfs.read_file(&format!("/f{name}"), core);
+                match model.get(&name) {
+                    Some(data) => prop_assert_eq!(got.unwrap(), data.clone()),
+                    None => prop_assert_eq!(got.unwrap_err(), VfsError::NotFound),
+                }
+            }
+            // Size via stat always matches content length.
+            for (name, data) in &model {
+                let st = vfs.stat(&format!("/f{name}"), core).unwrap();
+                prop_assert_eq!(st.size as usize, data.len());
+            }
+            prop_assert_eq!(vfs.superblock().open_files(), 0);
+        }
+    }
+
+    /// lseek positions are consistent: SEEK_END + read never returns
+    /// bytes, SEEK_SET round-trips.
+    #[test]
+    fn lseek_positions(len in 0..200usize, seek in 0..300i64) {
+        let vfs = Vfs::new(VfsConfig::pk(2));
+        let core = CoreId(0);
+        vfs.write_file("/f", &vec![7u8; len], core).unwrap();
+        let f = vfs.open("/f", core).unwrap();
+        prop_assert_eq!(f.lseek(0, Whence::End).unwrap() as usize, len);
+        prop_assert_eq!(f.read(16).unwrap(), Vec::<u8>::new());
+        let pos = f.lseek(seek, Whence::Set).unwrap();
+        prop_assert_eq!(pos, seek as u64);
+        let got = f.read(usize::MAX).unwrap();
+        prop_assert_eq!(got.len(), len.saturating_sub(seek as usize));
+        vfs.close(&f, core);
+    }
+
+    /// dcache coherence: after any mix of lookups and removals, lookup
+    /// results always agree with the backing tmpfs.
+    #[test]
+    fn dcache_always_agrees_with_tmpfs(
+        names in proptest::collection::vec(0..10u8, 1..40),
+        remove_each in proptest::collection::vec(prop::bool::ANY, 1..40),
+    ) {
+        let vfs = Vfs::new(VfsConfig::pk(4));
+        let core = CoreId(2);
+        for (name, remove) in names.iter().zip(remove_each.iter()) {
+            let path = format!("/n{name}");
+            let _ = vfs.write_file(&path, b"x", core);
+            vfs.stat(&path, core).unwrap(); // warm dcache
+            if *remove {
+                vfs.unlink(&path, core).unwrap();
+                prop_assert_eq!(vfs.stat(&path, core).unwrap_err(), VfsError::NotFound);
+            } else {
+                prop_assert_eq!(vfs.stat(&path, core).unwrap().size, 1);
+            }
+        }
+    }
+}

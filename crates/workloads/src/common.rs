@@ -1,0 +1,72 @@
+//! Shared workload plumbing.
+
+use pk_kernel::KernelConfig;
+
+/// Which kernel a workload runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelChoice {
+    /// Stock Linux 2.6.35-rc5.
+    Stock,
+    /// The patched kernel with all 16 fixes.
+    Pk,
+}
+
+impl KernelChoice {
+    /// Lowers to a [`KernelConfig`] for `cores`.
+    pub fn config(self, cores: usize) -> KernelConfig {
+        match self {
+            Self::Stock => KernelConfig::stock(cores),
+            Self::Pk => KernelConfig::pk(cores),
+        }
+    }
+
+    /// Figure legend label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Stock => "Stock",
+            Self::Pk => "PK",
+        }
+    }
+
+    /// Returns 0.0 when this choice enables the fix (PK), `demand`
+    /// otherwise — the "a fix stops touching the shared line" lowering.
+    pub fn unless_fixed(self, demand: f64) -> f64 {
+        match self {
+            Self::Stock => demand,
+            Self::Pk => 0.0,
+        }
+    }
+}
+
+/// Zeroes `demand` when `fix` is enabled in `config` — the per-fix
+/// generalization of [`KernelChoice::unless_fixed`], used by the
+/// ablation harness to model arbitrary fix subsets.
+pub fn demand_unless(config: &pk_kernel::KernelConfig, fix: pk_kernel::FixId, demand: f64) -> f64 {
+    if config.has(fix) {
+        0.0
+    } else {
+        demand
+    }
+}
+
+/// A human-readable label for a config: "Stock", "PK", or "custom(n)".
+pub fn config_label(config: &pk_kernel::KernelConfig) -> String {
+    match config.enabled_count() {
+        0 => "Stock".to_string(),
+        16 => "PK".to_string(),
+        n => format!("custom({n} fixes)"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lowering_matches_presets() {
+        assert_eq!(KernelChoice::Stock.config(8), KernelConfig::stock(8));
+        assert_eq!(KernelChoice::Pk.config(8), KernelConfig::pk(8));
+        assert_eq!(KernelChoice::Stock.unless_fixed(5.0), 5.0);
+        assert_eq!(KernelChoice::Pk.unless_fixed(5.0), 0.0);
+    }
+}

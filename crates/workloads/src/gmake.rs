@@ -1,0 +1,197 @@
+//! The parallel gmake workload (§3.5, §5.6, Figure 9).
+//!
+//! Building Linux 2.6.35-rc5: "gmake creates more processes than there
+//! are cores, and reads and writes many files"; 7.6% of single-core time
+//! is system time. It is the one MOSBENCH application that scales well on
+//! the stock kernel — "35 times faster on 48 cores than on one core for
+//! both the stock and PK kernels" — limited only by "serial stages at
+//! the beginning of the build and straggling processes at the end."
+
+use crate::common::KernelChoice;
+use pk_kernel::Kernel;
+use pk_percpu::CoreId;
+use pk_proc::Pid;
+use pk_sim::{CoreSweep, MachineSpec, Network, Station, SweepPoint, WorkloadModel};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Single-core throughput anchor, builds/hour/core (Figure 9).
+pub const BUILDS_PER_HOUR_1CORE: f64 = 5.5;
+/// System fraction of single-core build time (§3.5).
+pub const SYSTEM_FRACTION: f64 = 0.076;
+/// Amdahl serial fraction giving the paper's 35× speedup at 48 cores:
+/// `48 / (1 + 47 f) = 35`.
+pub const SERIAL_FRACTION: f64 = 0.0079;
+
+/// Functional driver: a miniature kernel build over the real substrate.
+#[derive(Debug)]
+pub struct GmakeDriver {
+    kernel: Kernel,
+    objects_built: AtomicU64,
+}
+
+impl GmakeDriver {
+    /// Boots a kernel and lays out a source tree of `sources` files.
+    pub fn new(choice: KernelChoice, cores: usize, sources: usize) -> Self {
+        let kernel = Kernel::new(choice.config(cores));
+        let core = CoreId(0);
+        kernel.vfs().mkdir_p("/src", core).expect("src");
+        kernel.vfs().mkdir_p("/obj", core).expect("obj");
+        for i in 0..sources {
+            kernel
+                .vfs()
+                .write_file(&format!("/src/f{i}.c"), format!("int f{i}();").as_bytes(), core)
+                .expect("source");
+        }
+        Self {
+            kernel,
+            objects_built: AtomicU64::new(0),
+        }
+    }
+
+    /// Returns the kernel.
+    pub fn kernel(&self) -> &Kernel {
+        &self.kernel
+    }
+
+    /// Objects built so far.
+    pub fn objects_built(&self) -> u64 {
+        self.objects_built.load(Ordering::Relaxed)
+    }
+
+    /// Compiles one translation unit on `core`: fork the compiler
+    /// process, read the source, write the object, exit.
+    pub fn compile(&self, core: usize, source_id: usize) -> Result<(), pk_vfs::VfsError> {
+        let core_id = CoreId(core);
+        let cc = self.kernel.fork(Pid(1), core_id).expect("fork cc");
+        let src = self
+            .kernel
+            .vfs()
+            .read_file(&format!("/src/f{source_id}.c"), core_id)?;
+        let obj: Vec<u8> = src.iter().rev().copied().collect();
+        self.kernel
+            .vfs()
+            .write_file(&format!("/obj/f{source_id}.o"), &obj, core_id)?;
+        self.kernel.exit(cc, core_id).expect("exit cc");
+        self.objects_built.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Links every object into `/obj/vmlinux` (the serial final stage).
+    pub fn link(&self, sources: usize) -> Result<(), pk_vfs::VfsError> {
+        let core = CoreId(0);
+        let ld = self.kernel.fork(Pid(1), core).expect("fork ld");
+        let mut image = Vec::new();
+        for i in 0..sources {
+            image.extend(self.kernel.vfs().read_file(&format!("/obj/f{i}.o"), core)?);
+        }
+        self.kernel.vfs().write_file("/obj/vmlinux", &image, core)?;
+        self.kernel.exit(ld, core).expect("exit ld");
+        Ok(())
+    }
+}
+
+/// Figure-9 performance model.
+#[derive(Debug, Clone, Copy)]
+pub struct GmakeModel {
+    /// Stock or PK (the lines nearly coincide).
+    pub choice: KernelChoice,
+    /// The modelled machine.
+    pub machine: MachineSpec,
+}
+
+impl GmakeModel {
+    /// Creates the model.
+    pub fn new(choice: KernelChoice) -> Self {
+        Self {
+            choice,
+            machine: MachineSpec::paper(),
+        }
+    }
+
+    fn total_cycles(&self) -> f64 {
+        self.machine.clock_hz * 3600.0 / BUILDS_PER_HOUR_1CORE
+    }
+}
+
+impl WorkloadModel for GmakeModel {
+    fn name(&self) -> String {
+        format!("gmake/{}", self.choice.label())
+    }
+
+    fn machine(&self) -> MachineSpec {
+        self.machine
+    }
+
+    fn network(&self, cores: usize) -> Network {
+        let t = self.total_cycles();
+        // Serial stages + stragglers: while one core runs the serial
+        // work, the other `cores − 1` wait, so per-build the serial
+        // phases cost every participant `f·t·cores` cycles of wall time
+        // — Amdahl's law expressed as an n-scaled delay:
+        // X(n) = n / (t(1−f) + f·t·n) = n / (t(1 + f(n−1))).
+        let serial = t * SERIAL_FRACTION * cores as f64;
+        // A little dentry-refcount traffic on the stock kernel ("the PK
+        // kernel shows slightly lower system time owing to the changes to
+        // the dentry cache"), far too small to matter.
+        let dentry = self.choice.unless_fixed(t * 0.0006);
+        let system_local = t * SYSTEM_FRACTION - dentry - t * SERIAL_FRACTION;
+        let user = t - t * SYSTEM_FRACTION;
+
+        let mut net = Network::new();
+        net.push(Station::delay("compiler (user)", user, false));
+        net.push(Station::delay("kernel-local", system_local, true));
+        net.push(Station::delay("serial stages + stragglers", serial, false));
+        net.push(Station::queue("dentry refcounts", dentry, true));
+        net
+    }
+}
+
+/// Runs the Figure-9 sweep for one kernel.
+pub fn figure9(choice: KernelChoice) -> Vec<SweepPoint> {
+    CoreSweep::run(&GmakeModel::new(choice))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_core_anchor() {
+        let p = CoreSweep::point(&GmakeModel::new(KernelChoice::Stock), 1);
+        let per_hour = p.per_core_per_sec * 3600.0;
+        assert!((per_hour - BUILDS_PER_HOUR_1CORE).abs() / BUILDS_PER_HOUR_1CORE < 0.01);
+    }
+
+    #[test]
+    fn figure9_shapes() {
+        for choice in [KernelChoice::Stock, KernelChoice::Pk] {
+            let sweep = figure9(choice);
+            let speedup =
+                sweep.last().unwrap().total_per_sec / sweep[0].total_per_sec;
+            assert!(
+                (32.0..38.0).contains(&speedup),
+                "{choice:?}: ~35× speedup at 48 cores, got {speedup:.1}"
+            );
+        }
+        // PK system time is slightly lower than stock.
+        let stock48 = figure9(KernelChoice::Stock).last().unwrap().system_usec;
+        let pk48 = figure9(KernelChoice::Pk).last().unwrap().system_usec;
+        assert!(pk48 < stock48);
+        assert!(pk48 > stock48 * 0.95, "only *slightly* lower");
+    }
+
+    #[test]
+    fn driver_builds_and_links() {
+        let d = GmakeDriver::new(KernelChoice::Pk, 4, 12);
+        for i in 0..12 {
+            d.compile(i % 4, i).unwrap();
+        }
+        d.link(12).unwrap();
+        assert_eq!(d.objects_built(), 12);
+        let st = d.kernel().vfs().stat("/obj/vmlinux", CoreId(0)).unwrap();
+        assert!(st.size > 0);
+        // One process per compile + one linker, all reaped.
+        assert_eq!(d.kernel().procs().fork_count(), 13);
+        assert_eq!(d.kernel().procs().len(), 1);
+    }
+}

@@ -1,0 +1,303 @@
+//! The memcached object-cache workload (§3.2, §5.3, Figure 5).
+//!
+//! One memcached instance per core, each on its own UDP port, queried
+//! for non-existent keys by 792 client threads; 68-byte requests, 64-byte
+//! responses. 80% of single-core time is kernel packet processing.
+//!
+//! Stock bottlenecks, in the order the paper fixed them: packet-buffer
+//! allocation from node 0 (~30% throughput once fixed), false sharing in
+//! `net_device`/`device` (another 30% at 48 cores), and the `dst_entry`
+//! reference count (replaced with a sloppy counter). The PK residual is
+//! the IXGBE card itself, "which appears to handle fewer packets as the
+//! number of virtual queues increases" — throughput per core drops off
+//! after 16 cores.
+
+use crate::common::{config_label, demand_unless, KernelChoice};
+use bytes::Bytes;
+use pk_kernel::{FixId, Kernel, KernelConfig};
+use pk_net::{SockAddr, UdpSocket};
+use pk_percpu::CoreId;
+use pk_sim::{CoreSweep, MachineSpec, Network, Station, SweepPoint, WorkloadModel};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Request size on the wire (§5.3).
+pub const REQUEST_BYTES: usize = 68;
+/// Response size on the wire (§5.3).
+pub const RESPONSE_BYTES: usize = 64;
+/// Client batch size (§5.3).
+pub const BATCH: usize = 20;
+/// Base UDP port for per-core instances.
+pub const BASE_PORT: u16 = 11211;
+
+/// Single-core throughput anchor, requests/sec/core (Figure 5).
+pub const REQS_PER_SEC_1CORE: f64 = 270_000.0;
+/// Kernel fraction of single-core time (§3.2).
+pub const KERNEL_FRACTION: f64 = 0.80;
+
+/// Functional driver: per-core server instances over the real stack.
+#[derive(Debug)]
+pub struct MemcachedDriver {
+    kernel: Kernel,
+    sockets: Vec<Arc<UdpSocket>>,
+    served: AtomicU64,
+}
+
+impl MemcachedDriver {
+    /// Boots a kernel and binds one instance per core.
+    pub fn new(choice: KernelChoice, cores: usize) -> Self {
+        let kernel = Kernel::new(choice.config(cores));
+        let sockets = (0..cores)
+            .map(|c| {
+                kernel
+                    .net()
+                    .udp_bind(BASE_PORT + c as u16, CoreId(c))
+                    .expect("port free")
+            })
+            .collect();
+        Self {
+            kernel,
+            sockets,
+            served: AtomicU64::new(0),
+        }
+    }
+
+    /// Returns the kernel.
+    pub fn kernel(&self) -> &Kernel {
+        &self.kernel
+    }
+
+    /// Requests served so far.
+    pub fn served(&self) -> u64 {
+        self.served.load(Ordering::Relaxed)
+    }
+
+    /// A client sends one batch of [`BATCH`] requests to the instance of
+    /// `target_core` (clients "deterministically distribute key lookups
+    /// among the servers").
+    pub fn client_batch(&self, client_id: u32, target_core: usize) {
+        let from = SockAddr::new(0x0a01_0000 + client_id, 7000 + (client_id % 100) as u16);
+        let to = SockAddr::new(
+            0x0a00_0001,
+            BASE_PORT + (target_core % self.sockets.len()) as u16,
+        );
+        for _ in 0..BATCH {
+            self.kernel.net().udp_send(
+                CoreId(target_core),
+                from,
+                to,
+                Bytes::from(vec![b'q'; REQUEST_BYTES]),
+            );
+        }
+    }
+
+    /// The server on `core` drains its NIC queue and answers every
+    /// pending request; returns the number served.
+    pub fn server_poll(&self, core: usize) -> usize {
+        let net = self.kernel.net();
+        let core_id = CoreId(core);
+        net.process_rx(core_id, usize::MAX);
+        let mut served = 0;
+        let sock = &self.sockets[core % self.sockets.len()];
+        while let Some(dgram) = sock.recv() {
+            let reply_to = SockAddr::new(dgram.from.src_ip, dgram.from.src_port);
+            let from = SockAddr::new(0x0a00_0001, sock.port);
+            net.release(core_id, dgram.skb);
+            net.udp_send(
+                core_id,
+                from,
+                reply_to,
+                Bytes::from(vec![b'r'; RESPONSE_BYTES]),
+            );
+            served += 1;
+        }
+        self.served.fetch_add(served as u64, Ordering::Relaxed);
+        served
+    }
+
+    /// Drains every core's queue (the harness' end-of-round sweep);
+    /// loops until no core makes progress, since processing one core's
+    /// NIC queue can deliver datagrams to another core's socket.
+    pub fn drain_all(&self) -> usize {
+        let mut total = 0;
+        loop {
+            let round: usize = (0..self.sockets.len()).map(|c| self.server_poll(c)).sum();
+            if round == 0 {
+                return total;
+            }
+            total += round;
+        }
+    }
+}
+
+/// Figure-5 performance model.
+#[derive(Debug, Clone, Copy)]
+pub struct MemcachedModel {
+    /// The kernel's fix set (any subset of the 16, for ablations).
+    pub config: KernelConfig,
+    /// The modelled machine.
+    pub machine: MachineSpec,
+}
+
+impl MemcachedModel {
+    /// Creates the model for `choice`.
+    pub fn new(choice: KernelChoice) -> Self {
+        Self::with_config(choice.config(48))
+    }
+
+    /// Creates the model for an arbitrary fix subset.
+    pub fn with_config(config: KernelConfig) -> Self {
+        Self {
+            config,
+            machine: MachineSpec::paper(),
+        }
+    }
+
+    fn total_cycles(&self) -> f64 {
+        self.machine.clock_hz / REQS_PER_SEC_1CORE
+    }
+
+    /// The card's sustainable request rate with `q` active virtual
+    /// queues: a saturating curve calibrated to Figure 5's PK line
+    /// (knee after 16 cores, per-core throughput ≈115 k at 48; aggregate
+    /// still grows 16→48 as §5.3 reports).
+    pub fn nic_request_cap(q: usize) -> f64 {
+        let q = q as f64;
+        710_000.0 * q / (1.0 + q / 9.25)
+    }
+}
+
+impl WorkloadModel for MemcachedModel {
+    fn name(&self) -> String {
+        format!("memcached/{}", config_label(&self.config))
+    }
+
+    fn machine(&self) -> MachineSpec {
+        self.machine
+    }
+
+    fn network(&self, cores: usize) -> Network {
+        let t = self.total_cycles();
+        let user = t * (1.0 - KERNEL_FRACTION);
+        // Stock shared demands per request, sized so the stock knee lands
+        // at ~3–4 cores (Figure 5's steep initial drop).
+        let cfg = &self.config;
+        let dst_refcount = demand_unless(cfg, FixId::SloppyDstRefs, t * 0.100);
+        let proto_counters = demand_unless(cfg, FixId::SloppyProtoAccounting, t * 0.050);
+        let node0_alloc = demand_unless(cfg, FixId::LocalDmaBuffers, t * 0.060);
+        let netdev_false_sharing = demand_unless(cfg, FixId::NetDeviceFalseSharing, t * 0.035);
+        let shared = dst_refcount + proto_counters + node0_alloc + netdev_false_sharing;
+        let kernel_local = t * KERNEL_FRACTION - shared;
+        let cross_core = if cores > 1 { t * 0.05 } else { 0.0 };
+
+        let mut net = Network::new();
+        net.push(Station::delay("user", user, false));
+        net.push(Station::delay("kernel-local", kernel_local, true));
+        net.push(Station::delay("cross-core misses", cross_core, true));
+        net.push(Station::queue("dst_entry refcount", dst_refcount, true));
+        net.push(Station::queue("proto memory counters", proto_counters, true));
+        net.push(Station::spinlock("node-0 allocator", node0_alloc, 0.15, true));
+        net.push(Station::queue(
+            "net_device false sharing",
+            netdev_false_sharing,
+            true,
+        ));
+        net
+    }
+
+    fn throughput_cap(&self, cores: usize) -> Option<f64> {
+        // The card degrades with queue count for both kernels, but stock
+        // never reaches the cap — CPU-side contention binds first.
+        Some(Self::nic_request_cap(cores))
+    }
+}
+
+/// Runs the Figure-5 sweep for one kernel.
+pub fn figure5(choice: KernelChoice) -> Vec<SweepPoint> {
+    CoreSweep::run(&MemcachedModel::new(choice))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_core_anchor() {
+        for choice in [KernelChoice::Stock, KernelChoice::Pk] {
+            let p = CoreSweep::point(&MemcachedModel::new(choice), 1);
+            let err = (p.per_core_per_sec - REQS_PER_SEC_1CORE).abs() / REQS_PER_SEC_1CORE;
+            assert!(err < 0.01, "{choice:?}: {}", p.per_core_per_sec);
+        }
+    }
+
+    #[test]
+    fn figure5_shapes() {
+        let stock = figure5(KernelChoice::Stock);
+        let pk = figure5(KernelChoice::Pk);
+        let ratio = |s: &[SweepPoint]| s.last().unwrap().per_core_per_sec / s[0].per_core_per_sec;
+        assert!(ratio(&stock) < 0.3, "stock collapses early: {}", ratio(&stock));
+        let pk_ratio = ratio(&pk);
+        assert!(
+            (0.3..0.6).contains(&pk_ratio),
+            "PK NIC-bound ratio ≈0.45: {pk_ratio}"
+        );
+        // PK's per-core throughput peaks at or before 16 cores; the
+        // decline afterwards is the card, not the kernel.
+        let peak = pk
+            .iter()
+            .max_by(|a, b| a.per_core_per_sec.total_cmp(&b.per_core_per_sec))
+            .unwrap();
+        assert!(peak.cores <= 16, "PK per-core peak at {} cores", peak.cores);
+        assert!(pk.last().unwrap().hw_capped, "PK at 48 is NIC-capped");
+        assert!(!stock.last().unwrap().hw_capped, "stock is CPU-bound");
+        // PK total throughput still grows 16→48 (§5.3: the card delivers
+        // more in aggregate).
+        let total_at =
+            |s: &[SweepPoint], n: usize| s.iter().find(|p| p.cores == n).unwrap().total_per_sec;
+        assert!(total_at(&pk, 48) > total_at(&pk, 16));
+        // PK beats stock everywhere past one core.
+        for (s, p) in stock.iter().zip(pk.iter()).skip(1) {
+            assert!(p.per_core_per_sec > s.per_core_per_sec, "at {} cores", s.cores);
+        }
+    }
+
+    #[test]
+    fn driver_round_trip() {
+        let d = MemcachedDriver::new(KernelChoice::Pk, 4);
+        d.client_batch(1, 2);
+        let served = d.drain_all();
+        assert_eq!(served, BATCH);
+        assert_eq!(d.served(), BATCH as u64);
+        // All request memory was released (responses left the machine).
+        assert_eq!(
+            d.kernel().net().proto().usage(pk_net::Protocol::Udp),
+            0,
+            "accounting balanced"
+        );
+    }
+
+    #[test]
+    fn driver_separate_ports_per_core() {
+        let d = MemcachedDriver::new(KernelChoice::Stock, 3);
+        for c in 0..3 {
+            d.client_batch(c as u32 + 10, c);
+        }
+        assert_eq!(d.drain_all(), 3 * BATCH);
+        for c in 0..3 {
+            assert_eq!(
+                d.kernel().net().owner_of(BASE_PORT + c as u16),
+                Some(CoreId(c as usize))
+            );
+        }
+    }
+
+    #[test]
+    fn nic_cap_is_saturating() {
+        let c1 = MemcachedModel::nic_request_cap(1);
+        let c16 = MemcachedModel::nic_request_cap(16);
+        let c48 = MemcachedModel::nic_request_cap(48);
+        assert!(c16 > c1);
+        assert!(c48 > c16, "aggregate still grows");
+        assert!(c48 / 48.0 < c16 / 16.0, "per-queue rate degrades");
+    }
+}

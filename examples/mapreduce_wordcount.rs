@@ -1,0 +1,57 @@
+//! Metis in miniature: a MapReduce word count and inverted index whose
+//! intermediate tables fault through the kernel's memory substrate,
+//! comparing 4 KB pages with 2 MB super-pages (§5.8 / Figure 11).
+//!
+//! Run with: `cargo run --example mapreduce_wordcount`
+
+use mosbench::kernel::{Kernel, KernelConfig};
+use mosbench::mapreduce::{MapReduce, MapReduceConfig, MemoryHook, WordCount};
+use mosbench::mm::PageSize;
+use std::sync::atomic::Ordering;
+
+fn corpus() -> Vec<String> {
+    (0..64)
+        .map(|i| {
+            format!(
+                "{i}\tthe quick brown fox jumps over the lazy dog \
+                 segment {} of the corpus with shared and unique tokens t{}",
+                i % 8,
+                i
+            )
+        })
+        .collect()
+}
+
+fn run(kernel: &Kernel, page_size: PageSize, label: &str) {
+    let mr = MapReduce::new(MapReduceConfig {
+        workers: 4,
+        memory: Some(MemoryHook {
+            space: kernel.new_address_space(),
+            page_size,
+            bytes_per_pair: 256,
+        }),
+    });
+    let out = mr.run(&WordCount, &corpus());
+    let the = out.iter().find(|(w, _)| w == "the").map(|(_, n)| *n);
+    let stats = kernel.mm_stats();
+    println!(
+        "{label:<14} distinct words: {:>4}   'the' count: {:?}   faults: {} x 4KB, {} x 2MB",
+        out.len(),
+        the.unwrap_or(0),
+        stats.faults_4k.load(Ordering::Relaxed),
+        stats.faults_2m.load(Ordering::Relaxed),
+    );
+    stats.reset();
+}
+
+fn main() {
+    println!("MapReduce word count over the mm substrate (4 workers)\n");
+    let stock = Kernel::new(KernelConfig::stock(4));
+    run(&stock, PageSize::Base4K, "stock + 4KB:");
+    let pk = Kernel::new(KernelConfig::pk(4));
+    run(&pk, PageSize::Super2M, "PK + 2MB:");
+    println!(
+        "\nIdentical results; the super-page run takes 512x fewer page \
+         faults for the same table memory — the Figure-11 fix."
+    );
+}

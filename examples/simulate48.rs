@@ -1,0 +1,68 @@
+//! Drive the 48-core machine model directly: build a custom workload as
+//! a queueing network and sweep it, comparing a non-scalable spin lock
+//! with an MCS-style scalable lock and a sloppy counter.
+//!
+//! Run with: `cargo run --example simulate48`
+
+use mosbench::sim::{CoreSweep, MachineSpec, Network, Station, WorkloadModel};
+
+/// A synthetic syscall-ish workload: 20 µs of work per op, of which a
+/// tunable slice serializes on one shared object.
+struct Synthetic {
+    label: &'static str,
+    shared: Station,
+}
+
+impl WorkloadModel for Synthetic {
+    fn name(&self) -> String {
+        self.label.to_string()
+    }
+
+    fn machine(&self) -> MachineSpec {
+        MachineSpec::paper()
+    }
+
+    fn network(&self, _cores: usize) -> Network {
+        let mut net = Network::new();
+        net.push(Station::delay("local work", 48_000.0, false));
+        net.push(self.shared.clone());
+        net
+    }
+}
+
+fn main() {
+    println!("A synthetic op (20 µs local work + 1 µs on one shared object)");
+    println!("under three implementations of the shared object:\n");
+    let variants = [
+        Synthetic {
+            label: "non-scalable spin lock",
+            shared: Station::spinlock("shared", 2_400.0, 0.5, true),
+        },
+        Synthetic {
+            label: "scalable (MCS) lock",
+            shared: Station::queue("shared", 2_400.0, true),
+        },
+        Synthetic {
+            label: "sloppy counter (central touched 1/100 ops)",
+            shared: Station::queue("shared", 24.0, true),
+        },
+    ];
+    print!("{:>6}", "cores");
+    for v in &variants {
+        print!("  {:>28}", v.label);
+    }
+    println!("    (ops/sec/core)");
+    for cores in CoreSweep::paper_core_counts() {
+        print!("{cores:>6}");
+        for v in &variants {
+            let p = CoreSweep::point(v, cores);
+            print!("  {:>28.0}", p.per_core_per_sec);
+        }
+        println!();
+    }
+    println!(
+        "\nThe spin lock collapses (waiters slow the holder), the MCS lock \
+         saturates flat, and the sloppy counter barely notices 48 cores — \
+         the same three regimes as the paper's Figures 4-8."
+    );
+}

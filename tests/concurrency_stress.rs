@@ -1,0 +1,175 @@
+//! Real-thread stress across the substrates: the concurrency layer must
+//! stay correct under genuine parallel hammering, not just the model.
+
+use mosbench::kernel::{Kernel, KernelConfig};
+use mosbench::percpu::CoreId;
+use mosbench::sloppy::SloppyCounter;
+use mosbench::vfs::VfsError;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+#[test]
+fn sloppy_counter_under_thread_churn() {
+    let c = Arc::new(SloppyCounter::new(8));
+    let acquired = Arc::new(AtomicU64::new(0));
+    std::thread::scope(|s| {
+        for t in 0..8 {
+            let c = Arc::clone(&c);
+            let acquired = Arc::clone(&acquired);
+            s.spawn(move || {
+                for i in 0..20_000u64 {
+                    let core = CoreId(t);
+                    c.acquire(core, 1 + (i % 3) as i64);
+                    acquired.fetch_add(1 + i % 3, Ordering::Relaxed);
+                    // Release on a rotating core: cross-core migration.
+                    c.release(CoreId((t + (i % 8) as usize) % 8), 1 + (i % 3) as i64);
+                }
+            });
+        }
+    });
+    assert_eq!(c.in_use(), 0);
+    assert_eq!(c.reconcile(), 0);
+    assert!(acquired.load(Ordering::Relaxed) > 0);
+}
+
+#[test]
+fn vfs_parallel_create_read_unlink_across_kernels() {
+    for cfg in [KernelConfig::stock(8), KernelConfig::pk(8)] {
+        let k = Arc::new(Kernel::new(cfg));
+        k.vfs().mkdir_p("/stress", CoreId(0)).unwrap();
+        let errors = Arc::new(AtomicU64::new(0));
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let k = Arc::clone(&k);
+                let errors = Arc::clone(&errors);
+                s.spawn(move || {
+                    let core = CoreId(t);
+                    for i in 0..100 {
+                        let path = format!("/stress/t{t}-{i}");
+                        if k.vfs().write_file(&path, b"data", core).is_err()
+                            || k.vfs().read_file(&path, core).as_deref() != Ok(b"data")
+                            || k.vfs().unlink(&path, core).is_err()
+                        {
+                            errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(errors.load(Ordering::Relaxed), 0);
+        assert_eq!(k.vfs().superblock().open_files(), 0);
+        // The directory is empty again: one inode for /, one for /stress.
+        assert_eq!(k.vfs().tmpfs().inode_count(), 2);
+    }
+}
+
+#[test]
+fn racing_creates_of_the_same_name_yield_one_winner() {
+    let k = Arc::new(Kernel::new(KernelConfig::pk(8)));
+    let wins = Arc::new(AtomicU64::new(0));
+    let losses = Arc::new(AtomicU64::new(0));
+    std::thread::scope(|s| {
+        for t in 0..8 {
+            let k = Arc::clone(&k);
+            let wins = Arc::clone(&wins);
+            let losses = Arc::clone(&losses);
+            s.spawn(move || match k.vfs().create("/unique", CoreId(t)) {
+                Ok(f) => {
+                    wins.fetch_add(1, Ordering::Relaxed);
+                    k.vfs().close(&f, CoreId(t));
+                }
+                Err(VfsError::Exists) => {
+                    losses.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(e) => panic!("unexpected error: {e}"),
+            });
+        }
+    });
+    assert_eq!(wins.load(Ordering::Relaxed), 1);
+    assert_eq!(losses.load(Ordering::Relaxed), 7);
+}
+
+#[test]
+fn parallel_lookups_with_concurrent_renames_never_see_garbage() {
+    let k = Arc::new(Kernel::new(KernelConfig::pk(8)));
+    let core0 = CoreId(0);
+    k.vfs().mkdir_p("/dir", core0).unwrap();
+    for i in 0..16 {
+        k.vfs()
+            .write_file(&format!("/dir/f{i}"), format!("{i}").as_bytes(), core0)
+            .unwrap();
+    }
+    std::thread::scope(|s| {
+        // Readers: every successful read returns the file's own content.
+        for t in 0..6 {
+            let k = Arc::clone(&k);
+            s.spawn(move || {
+                for round in 0..300 {
+                    let i = (t * 11 + round) % 16;
+                    match k.vfs().read_file(&format!("/dir/f{i}"), CoreId(t)) {
+                        Ok(data) => assert_eq!(data, format!("{i}").as_bytes()),
+                        Err(VfsError::NotFound) => {} // mid-rename
+                        Err(e) => panic!("unexpected: {e}"),
+                    }
+                }
+            });
+        }
+        // A renamer parks dentry generations continuously.
+        let k2 = Arc::clone(&k);
+        s.spawn(move || {
+            for round in 0..100 {
+                let i = round % 16;
+                let a = format!("/dir/f{i}");
+                let b = format!("/dir/tmp{i}");
+                if k2.vfs().rename(&a, &b, CoreId(7)).is_ok() {
+                    k2.vfs().rename(&b, &a, CoreId(7)).unwrap();
+                }
+            }
+        });
+    });
+    // Everything is back in place.
+    for i in 0..16 {
+        assert_eq!(
+            k.vfs().read_file(&format!("/dir/f{i}"), core0).unwrap(),
+            format!("{i}").as_bytes()
+        );
+    }
+}
+
+#[test]
+fn network_stack_parallel_clients_balance_accounting() {
+    use bytes::Bytes;
+    use mosbench::net::SockAddr;
+    let k = Arc::new(Kernel::new(KernelConfig::pk(4)));
+    let socks: Vec<_> = (0..4)
+        .map(|c| k.net().udp_bind(9000 + c as u16, CoreId(c)).unwrap())
+        .collect();
+    std::thread::scope(|s| {
+        for t in 0..4 {
+            let k = Arc::clone(&k);
+            s.spawn(move || {
+                for i in 0..200u32 {
+                    k.net().udp_send(
+                        CoreId(t),
+                        SockAddr::new(100 + i, 5000),
+                        SockAddr::new(1, 9000 + ((t as u32 + i) % 4) as u16),
+                        Bytes::from_static(b"payload!"),
+                    );
+                }
+            });
+        }
+    });
+    // Drain everything.
+    let mut received = 0;
+    for c in 0..4 {
+        k.net().process_rx(CoreId(c), usize::MAX);
+    }
+    for (c, sock) in socks.iter().enumerate() {
+        while let Some(d) = sock.recv() {
+            k.net().release(CoreId(c), d.skb);
+            received += 1;
+        }
+    }
+    assert_eq!(received, 800);
+    assert_eq!(k.net().proto().usage(mosbench::net::Protocol::Udp), 0);
+}

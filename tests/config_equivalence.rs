@@ -1,0 +1,171 @@
+//! Property tests across crates: random operation sequences behave
+//! identically under every kernel configuration — the fixes are
+//! performance-only, never semantic.
+
+use mosbench::kernel::{Kernel, KernelConfig};
+use mosbench::percpu::CoreId;
+use mosbench::vfs::{VfsError, Whence};
+use proptest::prelude::*;
+
+/// A random VFS operation.
+#[derive(Debug, Clone)]
+enum Op {
+    Create { slot: u8, core: u8 },
+    Write { slot: u8, core: u8, byte: u8 },
+    Read { slot: u8, core: u8 },
+    SeekEnd { slot: u8, core: u8 },
+    Unlink { slot: u8, core: u8 },
+    Rename { from: u8, to: u8, core: u8 },
+    Stat { slot: u8, core: u8 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..8u8, 0..4u8).prop_map(|(slot, core)| Op::Create { slot, core }),
+        (0..8u8, 0..4u8, any::<u8>()).prop_map(|(slot, core, byte)| Op::Write {
+            slot,
+            core,
+            byte
+        }),
+        (0..8u8, 0..4u8).prop_map(|(slot, core)| Op::Read { slot, core }),
+        (0..8u8, 0..4u8).prop_map(|(slot, core)| Op::SeekEnd { slot, core }),
+        (0..8u8, 0..4u8).prop_map(|(slot, core)| Op::Unlink { slot, core }),
+        (0..8u8, 0..8u8, 0..4u8).prop_map(|(from, to, core)| Op::Rename { from, to, core }),
+        (0..8u8, 0..4u8).prop_map(|(slot, core)| Op::Stat { slot, core }),
+    ]
+}
+
+/// Applies `ops` to a fresh kernel and returns a trace of observable
+/// results (errors included).
+fn run_trace(cfg: KernelConfig, ops: &[Op]) -> Vec<String> {
+    let k = Kernel::new(cfg);
+    let root = CoreId(0);
+    k.vfs().mkdir_p("/w", root).unwrap();
+    let path = |slot: u8| format!("/w/file{slot}");
+    let mut trace = Vec::with_capacity(ops.len());
+    for op in ops {
+        let entry = match *op {
+            Op::Create { slot, core } => match k.vfs().create(&path(slot), CoreId(core as usize)) {
+                Ok(f) => {
+                    k.vfs().close(&f, CoreId(core as usize));
+                    format!("create {slot} ok")
+                }
+                Err(e) => format!("create {slot} {e}"),
+            },
+            Op::Write { slot, core, byte } => {
+                match k.vfs().open(&path(slot), CoreId(core as usize)) {
+                    Ok(f) => {
+                        f.append(&[byte]).unwrap();
+                        k.vfs().close(&f, CoreId(core as usize));
+                        format!("write {slot} ok")
+                    }
+                    Err(e) => format!("write {slot} {e}"),
+                }
+            }
+            Op::Read { slot, core } => match k.vfs().read_file(&path(slot), CoreId(core as usize))
+            {
+                Ok(data) => format!("read {slot} {data:?}"),
+                Err(e) => format!("read {slot} {e}"),
+            },
+            Op::SeekEnd { slot, core } => {
+                match k.vfs().open(&path(slot), CoreId(core as usize)) {
+                    Ok(f) => {
+                        let pos = f.lseek(0, Whence::End).unwrap();
+                        k.vfs().close(&f, CoreId(core as usize));
+                        format!("seek {slot} {pos}")
+                    }
+                    Err(e) => format!("seek {slot} {e}"),
+                }
+            }
+            Op::Unlink { slot, core } => {
+                match k.vfs().unlink(&path(slot), CoreId(core as usize)) {
+                    Ok(()) => format!("unlink {slot} ok"),
+                    Err(e) => format!("unlink {slot} {e}"),
+                }
+            }
+            Op::Rename { from, to, core } => {
+                match k.vfs().rename(&path(from), &path(to), CoreId(core as usize)) {
+                    Ok(()) => format!("rename {from}->{to} ok"),
+                    Err(e) => format!("rename {from}->{to} {e}"),
+                }
+            }
+            Op::Stat { slot, core } => match k.vfs().stat(&path(slot), CoreId(core as usize)) {
+                Ok(st) => format!("stat {slot} size={}", st.size),
+                Err(e) => format!("stat {slot} {e}"),
+            },
+        };
+        trace.push(entry);
+    }
+    // Final invariant: no open files leaked by the trace runner.
+    assert_eq!(k.vfs().superblock().open_files(), 0);
+    trace
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Stock, PK, and two half-way configurations produce identical
+    /// observable traces for any operation sequence.
+    #[test]
+    fn all_configs_trace_identically(ops in proptest::collection::vec(op_strategy(), 1..60)) {
+        let reference = run_trace(KernelConfig::stock(4), &ops);
+        let pk = run_trace(KernelConfig::pk(4), &ops);
+        prop_assert_eq!(&reference, &pk);
+        let half_a = KernelConfig::stock(4)
+            .with_fix(mosbench::kernel::FixId::SloppyDentryRefs, true)
+            .with_fix(mosbench::kernel::FixId::LockFreeDlookup, true)
+            .with_fix(mosbench::kernel::FixId::AtomicLseek, true);
+        prop_assert_eq!(&reference, &run_trace(half_a, &ops));
+        let half_b = KernelConfig::pk(4)
+            .with_fix(mosbench::kernel::FixId::PerCoreMountCache, false)
+            .with_fix(mosbench::kernel::FixId::PerCoreOpenLists, false);
+        prop_assert_eq!(&reference, &run_trace(half_b, &ops));
+    }
+
+    /// Unlinking everything always restores an empty namespace.
+    #[test]
+    fn namespace_returns_to_empty(ops in proptest::collection::vec(op_strategy(), 1..40)) {
+        let k = Kernel::new(KernelConfig::pk(4));
+        let core = CoreId(0);
+        k.vfs().mkdir_p("/w", core).unwrap();
+        run_ops_loosely(&k, &ops);
+        // Sweep: unlink whatever exists.
+        for slot in 0..8u8 {
+            let _ = k.vfs().unlink(&format!("/w/file{slot}"), core);
+        }
+        for slot in 0..8u8 {
+            prop_assert_eq!(
+                k.vfs().stat(&format!("/w/file{slot}"), core).unwrap_err(),
+                VfsError::NotFound
+            );
+        }
+        prop_assert_eq!(k.vfs().tmpfs().inode_count(), 2); // root + /w
+    }
+}
+
+/// Applies ops ignoring results (helper for the sweep property).
+fn run_ops_loosely(k: &Kernel, ops: &[Op]) {
+    let path = |slot: u8| format!("/w/file{slot}");
+    for op in ops {
+        match *op {
+            Op::Create { slot, core } => {
+                if let Ok(f) = k.vfs().create(&path(slot), CoreId(core as usize)) {
+                    k.vfs().close(&f, CoreId(core as usize));
+                }
+            }
+            Op::Write { slot, core, byte } => {
+                if let Ok(f) = k.vfs().open(&path(slot), CoreId(core as usize)) {
+                    let _ = f.append(&[byte]);
+                    k.vfs().close(&f, CoreId(core as usize));
+                }
+            }
+            Op::Rename { from, to, core } => {
+                let _ = k.vfs().rename(&path(from), &path(to), CoreId(core as usize));
+            }
+            Op::Unlink { slot, core } => {
+                let _ = k.vfs().unlink(&path(slot), CoreId(core as usize));
+            }
+            _ => {}
+        }
+    }
+}
