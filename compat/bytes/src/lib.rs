@@ -1,0 +1,165 @@
+//! Offline, API-compatible subset of the `bytes` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the tiny slice of the `bytes` API it actually uses: an
+//! immutable, cheaply cloneable byte buffer. Static slices are stored
+//! without allocating; owned data is reference-counted so `clone()` is
+//! an `Arc` bump, matching the cost model the real crate provides.
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// A cheaply cloneable, immutable byte buffer.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    repr: Repr,
+}
+
+#[derive(Clone, Default)]
+enum Repr {
+    #[default]
+    Empty,
+    Static(&'static [u8]),
+    Shared(Arc<[u8]>),
+}
+
+impl Bytes {
+    /// Creates an empty buffer without allocating.
+    pub const fn new() -> Self {
+        Bytes { repr: Repr::Empty }
+    }
+
+    /// Wraps a static slice without copying.
+    pub const fn from_static(data: &'static [u8]) -> Self {
+        Bytes {
+            repr: Repr::Static(data),
+        }
+    }
+
+    /// Length of the buffer in bytes.
+    pub fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.as_slice().is_empty()
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        match &self.repr {
+            Repr::Empty => &[],
+            Repr::Static(s) => s,
+            Repr::Shared(s) => s,
+        }
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes {
+            repr: Repr::Shared(v.into()),
+        }
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(s: &'static [u8]) -> Self {
+        Bytes::from_static(s)
+    }
+}
+
+impl From<&'static str> for Bytes {
+    fn from(s: &'static str) -> Self {
+        Bytes::from_static(s.as_bytes())
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl Borrow<[u8]> for Bytes {
+    fn borrow(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+impl Hash for Bytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.as_slice() {
+            for esc in std::ascii::escape_default(b) {
+                write!(f, "{}", esc as char)?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_and_owned_agree() {
+        let a = Bytes::from_static(b"abc");
+        let b = Bytes::from(b"abc".to_vec());
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 3);
+        assert!(!a.is_empty());
+        assert!(Bytes::new().is_empty());
+    }
+
+    #[test]
+    fn clone_is_shallow() {
+        let a = Bytes::from(vec![1u8; 1024]);
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert_eq!(&b[..4], &[1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn debug_escapes() {
+        assert_eq!(format!("{:?}", Bytes::from_static(b"a\n")), "b\"a\\n\"");
+    }
+}

@@ -12,7 +12,11 @@ fn cache(lockfree: bool) -> Dcache {
     cfg.lockfree_dlookup = lockfree;
     let c = Dcache::new(4096, cfg, Arc::new(VfsStats::new()));
     for i in 0..256u64 {
-        let d = c.insert(DentryKey::new(InodeId(1), format!("file{i}")), InodeId(100 + i), CoreId(0));
+        let d = c.insert(
+            DentryKey::new(InodeId(1), format!("file{i}")),
+            InodeId(100 + i),
+            CoreId(0),
+        );
         d.put(CoreId(0));
     }
     c
@@ -23,7 +27,11 @@ fn bench_lookup_hit(c: &mut Criterion) {
     for lockfree in [false, true] {
         let cache = cache(lockfree);
         let key = DentryKey::new(InodeId(1), "file17");
-        let name = if lockfree { "lock-free (PK)" } else { "locked (stock)" };
+        let name = if lockfree {
+            "lock-free (PK)"
+        } else {
+            "locked (stock)"
+        };
         g.bench_function(BenchmarkId::from_parameter(name), |b| {
             b.iter(|| {
                 let d = cache.lookup(black_box(&key), CoreId(0)).unwrap();
@@ -39,7 +47,11 @@ fn bench_lookup_miss(c: &mut Criterion) {
     for lockfree in [false, true] {
         let cache = cache(lockfree);
         let key = DentryKey::new(InodeId(1), "no-such-file");
-        let name = if lockfree { "lock-free (PK)" } else { "locked (stock)" };
+        let name = if lockfree {
+            "lock-free (PK)"
+        } else {
+            "locked (stock)"
+        };
         g.bench_function(BenchmarkId::from_parameter(name), |b| {
             b.iter(|| black_box(cache.lookup(&key, CoreId(0))))
         });
@@ -47,7 +59,7 @@ fn bench_lookup_miss(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default()
         .warm_up_time(std::time::Duration::from_millis(300))

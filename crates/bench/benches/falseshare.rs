@@ -9,7 +9,9 @@ use std::hint::black_box;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-fn bench_layout<P: PageLayout + 'static>(g: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>) {
+fn bench_layout<P: PageLayout + 'static>(
+    g: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>,
+) {
     let page = Arc::new(P::default());
     let stop = Arc::new(AtomicBool::new(false));
     // A background writer hammers the refcount while we time flag reads.
@@ -36,7 +38,7 @@ fn bench_false_sharing(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default()
         .warm_up_time(std::time::Duration::from_millis(300))

@@ -14,10 +14,16 @@ fn bench_mount_resolution(c: &mut Criterion) {
         cfg.percore_mount_cache = percore;
         let t = MountTable::new(cfg, Arc::new(VfsStats::new()));
         t.mount("/var/spool");
-        let name = if percore { "per-core cache (PK)" } else { "central table (stock)" };
+        let name = if percore {
+            "per-core cache (PK)"
+        } else {
+            "central table (stock)"
+        };
         g.bench_function(BenchmarkId::from_parameter(name), |b| {
             b.iter(|| {
-                let m = t.resolve(black_box("/var/spool/input/m1"), CoreId(3)).unwrap();
+                let m = t
+                    .resolve(black_box("/var/spool/input/m1"), CoreId(3))
+                    .unwrap();
                 m.put(CoreId(3));
             })
         });
@@ -31,7 +37,11 @@ fn bench_open_file_list(c: &mut Criterion) {
         let mut cfg = VfsConfig::pk(48);
         cfg.percore_open_lists = percore;
         let sb = SuperBlock::new(cfg, Arc::new(VfsStats::new()));
-        let name = if percore { "per-core lists (PK)" } else { "global list (stock)" };
+        let name = if percore {
+            "per-core lists (PK)"
+        } else {
+            "global list (stock)"
+        };
         g.bench_function(BenchmarkId::from_parameter(name), |b| {
             b.iter(|| {
                 let (id, home) = sb.add_open_file(CoreId(5));
@@ -42,7 +52,7 @@ fn bench_open_file_list(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default()
         .warm_up_time(std::time::Duration::from_millis(300))

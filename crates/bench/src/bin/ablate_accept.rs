@@ -9,7 +9,11 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 fn run(percore: bool, skew: bool) -> (u64, u64, u64, u64) {
-    let mut cfg = if percore { NetConfig::pk(8) } else { NetConfig::stock(8) };
+    let mut cfg = if percore {
+        NetConfig::pk(8)
+    } else {
+        NetConfig::stock(8)
+    };
     cfg.percore_accept_queues = percore;
     let stats = Arc::new(NetStats::new());
     let l = Listener::new(80, cfg, Arc::clone(&stats));

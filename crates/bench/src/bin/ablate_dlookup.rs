@@ -16,12 +16,14 @@ fn run(lockfree: bool, renames_per_100_lookups: usize) -> (u64, u64, u64) {
     let core = CoreId(0);
     vfs.mkdir_p("/usr/lib", core).unwrap();
     for i in 0..64 {
-        vfs.write_file(&format!("/usr/lib/lib{i}.so"), b"elf", core).unwrap();
+        vfs.write_file(&format!("/usr/lib/lib{i}.so"), b"elf", core)
+            .unwrap();
     }
     let mut rename_round = 0usize;
     for round in 0..100usize {
         for i in 0..64 {
-            vfs.stat(&format!("/usr/lib/lib{i}.so"), CoreId(i % 8)).unwrap();
+            vfs.stat(&format!("/usr/lib/lib{i}.so"), CoreId(i % 8))
+                .unwrap();
         }
         if renames_per_100_lookups > 0 && round % (100 / renames_per_100_lookups.max(1)) == 0 {
             let a = format!("/usr/lib/lib{}.so", rename_round % 64);

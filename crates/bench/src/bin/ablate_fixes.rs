@@ -13,17 +13,11 @@ fn ratio(model: &dyn WorkloadModel) -> f64 {
     CoreSweep::figure3_ratio(model, 48)
 }
 
-fn sweep_app(
-    name: &str,
-    make: &dyn Fn(KernelConfig) -> Box<dyn WorkloadModel>,
-) {
+fn sweep_app(name: &str, make: &dyn Fn(KernelConfig) -> Box<dyn WorkloadModel>) {
     let stock = ratio(make(KernelConfig::stock(48)).as_ref());
     let pk = ratio(make(KernelConfig::pk(48)).as_ref());
     println!("\n{name}: stock={stock:.3}  PK={pk:.3}");
-    println!(
-        "{:<46} {:>12} {:>14}",
-        "fix", "stock + fix", "PK - fix"
-    );
+    println!("{:<46} {:>12} {:>14}", "fix", "stock + fix", "PK - fix");
     for fix in FIXES {
         let plus = ratio(make(KernelConfig::stock(48).with_fix(fix.id, true)).as_ref());
         let minus = ratio(make(KernelConfig::pk(48).with_fix(fix.id, false)).as_ref());

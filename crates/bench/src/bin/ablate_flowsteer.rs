@@ -11,7 +11,7 @@
 //! hybrid.
 
 use bytes::Bytes;
-use pk_net::{FlowHash, NetConfig, NetStack, Nic, NetStats, Skb};
+use pk_net::{FlowHash, NetConfig, NetStack, NetStats, Nic, Skb};
 use pk_percpu::CoreId;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;

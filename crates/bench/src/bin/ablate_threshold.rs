@@ -42,9 +42,7 @@ fn main() {
                 max_spares = max_spares.max(c.spares());
             }
             let (central, local) = c.op_counts();
-            println!(
-                "{threshold:>9} {prefetch:>9} {central:>14} {local:>14} {max_spares:>12}"
-            );
+            println!("{threshold:>9} {prefetch:>9} {central:>14} {local:>14} {max_spares:>12}");
             assert_eq!(c.reconcile(), 0);
         }
     }

@@ -1,0 +1,151 @@
+//! The paper's diagnostic method as a tool: for any workload × kernel
+//! config × core count, print the top-N contended resources with their
+//! share of total cycles — re-deriving Figure 1's bottleneck column
+//! from the model solve and the discrete-event measurement instead of
+//! a hardcoded table.
+//!
+//! Usage:
+//!
+//! ```text
+//! contention_report [WORKLOAD] [stock|pk] [CORES] [--top N] [--all] [--no-des] [--functional]
+//! ```
+//!
+//! Defaults: Exim on the stock kernel at 48 cores, top 10 — the
+//! configuration behind Figure 4's collapse, whose report must name
+//! the vfsmount-table lock first.
+
+use pk_bench::{contention_report, contention_report_des, header};
+use pk_percpu::CoreId;
+use pk_workloads::exim::EximDriver;
+use pk_workloads::{roster, KernelChoice};
+
+/// Deterministic seed and per-core op count for the DES cross-check.
+const DES_OPS_PER_CORE: u64 = 2_000;
+const DES_SEED: u64 = 42;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: contention_report [WORKLOAD] [stock|pk] [CORES] [--top N] [--all] [--no-des] [--functional]"
+    );
+    eprintln!("workloads: {}", roster::NAMES.join(", "));
+    std::process::exit(2);
+}
+
+struct Args {
+    workload: String,
+    choice: KernelChoice,
+    cores: usize,
+    top: usize,
+    all: bool,
+    des: bool,
+    functional: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        workload: "exim".to_string(),
+        choice: KernelChoice::Stock,
+        cores: 48,
+        top: 10,
+        all: false,
+        des: true,
+        functional: false,
+    };
+    let mut positional = 0;
+    let mut raw = std::env::args().skip(1);
+    while let Some(a) = raw.next() {
+        match a.as_str() {
+            "--top" => {
+                args.top = raw
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--all" => args.all = true,
+            "--no-des" => args.des = false,
+            "--functional" => args.functional = true,
+            "--help" | "-h" => usage(),
+            _ => {
+                match positional {
+                    0 => args.workload = a,
+                    1 => {
+                        args.choice = match a.to_ascii_lowercase().as_str() {
+                            "stock" => KernelChoice::Stock,
+                            "pk" => KernelChoice::Pk,
+                            _ => usage(),
+                        }
+                    }
+                    2 => args.cores = a.parse().unwrap_or_else(|_| usage()),
+                    _ => usage(),
+                }
+                positional += 1;
+            }
+        }
+    }
+    args
+}
+
+fn report_one(workload: &str, choice: KernelChoice, cores: usize, top: usize, des: bool) {
+    let Some(analytic) = contention_report(workload, choice, cores) else {
+        eprintln!("unknown workload: {workload}");
+        usage();
+    };
+    println!("{}", analytic.render(top));
+    if let Some(bottleneck) = analytic.top() {
+        println!(
+            "bottleneck: {} ({:.1}% of cycles)\n",
+            bottleneck.name,
+            bottleneck.share * 100.0
+        );
+    }
+    if des {
+        let measured = contention_report_des(workload, choice, cores, DES_OPS_PER_CORE, DES_SEED)
+            .expect("same roster as the analytic report");
+        println!("cross-check — discrete-event measurement (seed {DES_SEED}):");
+        println!("{}", measured.render(top));
+    }
+}
+
+/// Runs the functional Exim driver and prints the kernel's own
+/// measured contention counters: the same resource names as the model
+/// stations, but from real lock acquisitions.
+fn functional_exim(choice: KernelChoice, cores: usize) {
+    header(
+        "functional kernel measurement",
+        "EximDriver on the userspace kernel; counters from Kernel::obs_snapshot()",
+    );
+    let driver = EximDriver::new(choice, cores);
+    for core in 0..cores {
+        for user in 0..2 {
+            driver
+                .run_connection(CoreId(core), core * 2 + user)
+                .expect("delivery succeeds");
+        }
+    }
+    println!(
+        "delivered {} messages on {} cores\n",
+        driver.delivered(),
+        cores
+    );
+    print!("{}", driver.kernel().obs_snapshot());
+}
+
+fn main() {
+    let args = parse_args();
+    if args.all {
+        for workload in roster::NAMES {
+            for choice in [KernelChoice::Stock, KernelChoice::Pk] {
+                header(
+                    &format!("{workload} / {}", choice.label()),
+                    "cycle attribution from the MVA solve",
+                );
+                report_one(workload, choice, args.cores, args.top, args.des);
+            }
+        }
+    } else {
+        report_one(&args.workload, args.choice, args.cores, args.top, args.des);
+        if args.functional && args.workload.eq_ignore_ascii_case("exim") {
+            functional_exim(args.choice, args.cores);
+        }
+    }
+}

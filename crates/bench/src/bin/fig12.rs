@@ -8,7 +8,10 @@ fn main() {
         "Summary of the current bottlenecks in MOSBENCH, attributed \
          either to hardware (HW) or application structure (App).",
     );
-    println!("{:<12} {:<42} model diagnostic at 48 cores", "Application", "Bottleneck");
+    println!(
+        "{:<12} {:<42} model diagnostic at 48 cores",
+        "Application", "Bottleneck"
+    );
     for row in summary::figure12() {
         println!("{:<12} {:<42} {}", row.app, row.description, row.observed);
     }

@@ -26,13 +26,23 @@ fn main() {
     c.acquire(CoreId(0), 1);
     state(&c, "core 0 acquires a reference from the central counter");
     c.release(CoreId(0), 1);
-    state(&c, "core 0 releases it as a local spare (central untouched)");
+    state(
+        &c,
+        "core 0 releases it as a local spare (central untouched)",
+    );
     c.acquire(CoreId(0), 1);
-    state(&c, "another thread on core 0 takes the spare (central untouched)");
+    state(
+        &c,
+        "another thread on core 0 takes the spare (central untouched)",
+    );
     c.release(CoreId(0), 1);
     state(&c, "released again: still banked locally");
     let exact = c.reconcile();
     state(&c, "reconcile (the expensive dealloc-time operation)");
     println!("\nexact value after reconcile: {exact}");
-    assert_eq!(c.op_counts().0, 2, "exactly one central acquire + reconcile");
+    assert_eq!(
+        c.op_counts().0,
+        2,
+        "exactly one central acquire + reconcile"
+    );
 }

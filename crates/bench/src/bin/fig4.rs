@@ -13,7 +13,10 @@ fn main() {
     pk_bench::print_throughput(
         "messages/sec/core",
         1.0,
-        &[("Stock".to_string(), stock.clone()), ("PK".to_string(), pk.clone())],
+        &[
+            ("Stock".to_string(), stock.clone()),
+            ("PK".to_string(), pk.clone()),
+        ],
     );
     pk_bench::print_cpu_breakdown("PK", "usec/message", 1.0, &pk);
     println!();

@@ -14,7 +14,10 @@ fn main() {
     pk_bench::print_throughput(
         "requests/sec/core",
         1.0,
-        &[("Stock".to_string(), stock.clone()), ("PK".to_string(), pk.clone())],
+        &[
+            ("Stock".to_string(), stock.clone()),
+            ("PK".to_string(), pk.clone()),
+        ],
     );
     println!();
     pk_bench::print_ratio("Stock", &stock);

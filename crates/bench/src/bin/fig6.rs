@@ -15,11 +15,17 @@ fn main() {
     pk_bench::print_throughput(
         "requests/sec/core",
         1.0,
-        &[("Stock".to_string(), stock.clone()), ("PK".to_string(), pk.clone())],
+        &[
+            ("Stock".to_string(), stock.clone()),
+            ("PK".to_string(), pk.clone()),
+        ],
     );
     pk_bench::print_cpu_breakdown("PK", "usec/request", 1.0, &pk);
     let idle48 = pk.last().unwrap().idle_fraction;
-    println!("\nPK server idle time at 48 cores: {:.0}% (paper reports 18%)", idle48 * 100.0);
+    println!(
+        "\nPK server idle time at 48 cores: {:.0}% (paper reports 18%)",
+        idle48 * 100.0
+    );
     println!();
     pk_bench::print_ratio("Stock", &stock);
     pk_bench::print_ratio("PK", &pk);

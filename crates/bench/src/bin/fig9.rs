@@ -15,7 +15,10 @@ fn main() {
     pk_bench::print_throughput(
         "builds/hour/core",
         3600.0,
-        &[("Stock".to_string(), stock.clone()), ("PK".to_string(), pk.clone())],
+        &[
+            ("Stock".to_string(), stock.clone()),
+            ("PK".to_string(), pk.clone()),
+        ],
     );
     // Seconds/build = usec * 1e-6.
     pk_bench::print_cpu_breakdown("PK", "sec/build", 1e-6, &pk);

@@ -9,19 +9,48 @@ fn main() {
         "Every constant the simulator uses, traced to the paper.",
     );
     let m = MachineSpec::paper();
-    println!("sockets x cores/socket:   {} x {} = {} cores", m.sockets, m.cores_per_socket, m.cores());
+    println!(
+        "sockets x cores/socket:   {} x {} = {} cores",
+        m.sockets,
+        m.cores_per_socket,
+        m.cores()
+    );
     println!("clock:                    {:.1} GHz", m.clock_hz / 1e9);
-    println!("L1 / L2 / L3 latency:     {} / {} / {} cycles", m.l1_cycles, m.l2_cycles, m.l3_cycles);
-    println!("DRAM local / far:         {} / {} cycles", m.dram_local_cycles, m.dram_far_cycles);
-    println!("coherence miss estimate:  {} cycles", m.coherence_miss_cycles);
-    println!("usable L3 per socket:     {} MB (6 MB - 1 MB probe filter)", m.l3_bytes_per_socket >> 20);
-    println!("DRAM peak bandwidth:      {:.1} GB/s", m.dram_peak_bytes_per_sec / 1e9);
-    println!("NIC wire rate:            {:.0} Gbit/s", m.nic_wire_bits_per_sec / 1e9);
+    println!(
+        "L1 / L2 / L3 latency:     {} / {} / {} cycles",
+        m.l1_cycles, m.l2_cycles, m.l3_cycles
+    );
+    println!(
+        "DRAM local / far:         {} / {} cycles",
+        m.dram_local_cycles, m.dram_far_cycles
+    );
+    println!(
+        "coherence miss estimate:  {} cycles",
+        m.coherence_miss_cycles
+    );
+    println!(
+        "usable L3 per socket:     {} MB (6 MB - 1 MB probe filter)",
+        m.l3_bytes_per_socket >> 20
+    );
+    println!(
+        "DRAM peak bandwidth:      {:.1} GB/s",
+        m.dram_peak_bytes_per_sec / 1e9
+    );
+    println!(
+        "NIC wire rate:            {:.0} Gbit/s",
+        m.nic_wire_bits_per_sec / 1e9
+    );
     let nic = NicModel::new(m);
     println!("NIC pps, 1 queue:         {:.1} Mpps", nic.max_pps(1) / 1e6);
-    println!("NIC pps, 48 queues:       {:.1} Mpps", nic.max_pps(48) / 1e6);
+    println!(
+        "NIC pps, 48 queues:       {:.1} Mpps",
+        nic.max_pps(48) / 1e6
+    );
     let dram = DramModel::new(m);
-    println!("DRAM-bound ops at 1 KB:   {:.1} Mops/s", dram.max_ops_per_sec(1024.0) / 1e6);
+    println!(
+        "DRAM-bound ops at 1 KB:   {:.1} Mops/s",
+        dram.max_ops_per_sec(1024.0) / 1e6
+    );
     let l3 = L3Model::new(m);
     println!(
         "L3 miss fraction at 2x capacity working set: {:.2}",

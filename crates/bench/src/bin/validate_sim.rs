@@ -17,8 +17,8 @@ fn validate(name: &str, model: &dyn WorkloadModel) {
     for cores in [1, 8, 16, 32, 48] {
         let net = model.network(cores);
         let mva = net.solve(cores).ops_per_cycle * model.machine().clock_hz;
-        let sim = des::simulate(&net, cores, 3_000, 0xC0FFEE).ops_per_cycle
-            * model.machine().clock_hz;
+        let sim =
+            des::simulate(&net, cores, 3_000, 0xC0FFEE).ops_per_cycle * model.machine().clock_hz;
         println!(
             "{cores:>6} {mva:>16.0} {sim:>16.0} {:>8.1}%",
             100.0 * (sim - mva) / mva

@@ -8,7 +8,63 @@
 #![forbid(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 
+use pk_obs::ContentionReport;
 use pk_sim::SweepPoint;
+use pk_workloads::KernelChoice;
+
+/// Builds the contention report for one workload × kernel config ×
+/// core count from the analytic (MVA) solve: the paper's "which
+/// resource eats the cycles" diagnostic, derived from the model's
+/// per-station residence rather than a hardcoded bottleneck table.
+///
+/// Returns `None` for workload names [`pk_workloads::roster::model`]
+/// does not know.
+pub fn contention_report(
+    workload: &str,
+    choice: KernelChoice,
+    cores: usize,
+) -> Option<ContentionReport> {
+    let model = pk_workloads::roster::model(workload, choice)?;
+    let solved = model.network(cores).solve(cores);
+    Some(ContentionReport::from_snapshot(
+        display_name(&model.name()),
+        choice.label(),
+        cores,
+        &solved.snapshot(),
+    ))
+}
+
+/// Like [`contention_report`], but from the discrete-event simulator's
+/// *measured* per-station waits and cache-line transfer counts — the
+/// cross-check that the attribution is not an artifact of the MVA
+/// approximation. Deterministic for a fixed `seed`.
+pub fn contention_report_des(
+    workload: &str,
+    choice: KernelChoice,
+    cores: usize,
+    ops_per_core: u64,
+    seed: u64,
+) -> Option<ContentionReport> {
+    let model = pk_workloads::roster::model(workload, choice)?;
+    let net = model.network(cores);
+    let measured = pk_sim::des::simulate(&net, cores, ops_per_core, seed);
+    Some(ContentionReport::from_snapshot(
+        display_name(&model.name()),
+        choice.label(),
+        cores,
+        &measured.snapshot(&net),
+    ))
+}
+
+/// Model names embed their config (`Exim/Stock`); the report prints
+/// the config separately, so keep only the application part.
+fn display_name(model_name: &str) -> String {
+    model_name
+        .split('/')
+        .next()
+        .unwrap_or(model_name)
+        .to_string()
+}
 
 /// Prints a figure header.
 pub fn header(title: &str, caption: &str) {
@@ -41,7 +97,10 @@ pub fn print_throughput(unit: &str, scale: f64, series: &[(String, Vec<SweepPoin
 /// sweep, in the units given (e.g. "µsec/message").
 pub fn print_cpu_breakdown(label: &str, unit: &str, scale: f64, sweep: &[SweepPoint]) {
     println!("\n{label} CPU time ({unit}):");
-    println!("{:>6}  {:>12}  {:>12}  {:>24}", "cores", "user", "system", "bottleneck");
+    println!(
+        "{:>6}  {:>12}  {:>12}  {:>24}",
+        "cores", "user", "system", "bottleneck"
+    );
     for p in sweep {
         println!(
             "{:>6}  {:>12.2}  {:>12.2}  {:>24}",

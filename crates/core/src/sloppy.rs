@@ -124,7 +124,43 @@ impl SloppyCounter {
         self.central.fetch_add(pull, Ordering::AcqRel);
         self.central_ops.fetch_add(1, Ordering::Relaxed);
         if self.config.prefetch > 0 {
-            slot.fetch_add(self.config.prefetch, Ordering::AcqRel);
+            let after =
+                slot.fetch_add(self.config.prefetch, Ordering::AcqRel) + self.config.prefetch;
+            // Banking the prefetch must honour the same threshold as
+            // `release`: with `prefetch > threshold` (or concurrent
+            // releases racing into the same slot) the bank could
+            // otherwise exceed the threshold and stay there forever,
+            // breaking the documented bound on banked spares.
+            self.return_excess(slot, after);
+        }
+    }
+
+    /// Returns the excess above the threshold from `slot` (whose value
+    /// was just observed as `after`) to the central counter.
+    ///
+    /// The excess is claimed from the slot by CAS *before* the central
+    /// subtraction, so concurrent callers can never double-return the
+    /// same spares, and a concurrent `acquire` draining the slot simply
+    /// shrinks (or cancels) the claim.
+    fn return_excess(&self, slot: &AtomicI64, after: i64) {
+        if after <= self.config.threshold {
+            return;
+        }
+        let excess = after - self.config.threshold;
+        let mut cur = slot.load(Ordering::Relaxed);
+        loop {
+            let take = excess.min(cur);
+            if take <= 0 {
+                return;
+            }
+            match slot.compare_exchange_weak(cur, cur - take, Ordering::AcqRel, Ordering::Relaxed) {
+                Ok(_) => {
+                    self.central.fetch_sub(take, Ordering::AcqRel);
+                    self.central_ops.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+                Err(actual) => cur = actual,
+            }
         }
     }
 
@@ -142,32 +178,7 @@ impl SloppyCounter {
         let slot = self.local.get(core);
         let after = slot.fetch_add(v, Ordering::AcqRel) + v;
         self.local_ops.fetch_add(1, Ordering::Relaxed);
-        if after > self.config.threshold {
-            // Return the excess above the threshold to the central
-            // counter. Claim the excess from the slot first so concurrent
-            // releasers cannot double-return the same spares.
-            let excess = after - self.config.threshold;
-            let mut cur = slot.load(Ordering::Relaxed);
-            loop {
-                let take = excess.min(cur);
-                if take <= 0 {
-                    return;
-                }
-                match slot.compare_exchange_weak(
-                    cur,
-                    cur - take,
-                    Ordering::AcqRel,
-                    Ordering::Relaxed,
-                ) {
-                    Ok(_) => {
-                        self.central.fetch_sub(take, Ordering::AcqRel);
-                        self.central_ops.fetch_add(1, Ordering::Relaxed);
-                        return;
-                    }
-                    Err(actual) => cur = actual,
-                }
-            }
-        }
+        self.return_excess(slot, after);
     }
 
     /// Returns the central counter value: references in use **plus** all
@@ -239,6 +250,10 @@ impl crate::traits::Counter for SloppyCounter {
 
     fn name(&self) -> &'static str {
         "sloppy"
+    }
+
+    fn op_counts(&self) -> (u64, u64) {
+        SloppyCounter::op_counts(self)
     }
 }
 
@@ -336,6 +351,45 @@ mod tests {
         }
         assert_eq!(c.op_counts().0, before);
         assert_invariant(&c, 4);
+    }
+
+    #[test]
+    fn prefetch_above_threshold_is_returned() {
+        // Regression: banking the prefetch used to skip the threshold
+        // check, so a prefetch larger than the threshold left the slot
+        // over-full forever.
+        let c = SloppyCounter::with_config(
+            2,
+            SloppyConfig {
+                threshold: 4,
+                prefetch: 100,
+            },
+        );
+        c.acquire(CoreId(0), 1);
+        assert!(
+            c.spares() <= 4,
+            "banked spares must respect the threshold, got {}",
+            c.spares()
+        );
+        assert_invariant(&c, 1);
+    }
+
+    #[test]
+    fn op_mix_sample_reports_central_share() {
+        use crate::traits::Counter;
+        let c = SloppyCounter::new(2);
+        c.acquire(CoreId(0), 1); // central
+        c.release(CoreId(0), 1); // local
+        c.acquire(CoreId(0), 1); // local
+        let sample = Counter::sample(&c);
+        assert_eq!(sample.name, "sloppy");
+        match sample.value {
+            pk_obs::MetricValue::OpMix { central, local } => {
+                assert_eq!(central, 1);
+                assert_eq!(local, 2);
+            }
+            v => panic!("wrong value kind: {v:?}"),
+        }
     }
 
     #[test]

@@ -30,6 +30,22 @@ pub trait Counter: Send + Sync {
 
     /// A short human-readable name for benchmark tables.
     fn name(&self) -> &'static str;
+
+    /// Returns `(central_ops, local_ops)`: operations that touched a
+    /// shared cache line versus ones that stayed core-local. Designs
+    /// that do not track the split return `(0, 0)`.
+    fn op_counts(&self) -> (u64, u64) {
+        (0, 0)
+    }
+
+    /// Packages [`Counter::op_counts`] as a registry sample, named
+    /// after the design. This is how every counter joins the
+    /// observability layer: the report can compare how often each
+    /// design pays for shared state.
+    fn sample(&self) -> pk_obs::Sample {
+        let (central, local) = self.op_counts();
+        pk_obs::Sample::op_mix(self.name(), central, local)
+    }
 }
 
 #[cfg(test)]

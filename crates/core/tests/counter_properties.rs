@@ -143,4 +143,105 @@ proptest! {
             }
         }
     }
+
+    /// Thread migration: references acquired on core A and released on
+    /// core B (never the same core) must preserve the invariant at every
+    /// step — the spares just bank on a different core than the one that
+    /// pulled from central.
+    #[test]
+    fn sloppy_invariant_survives_cross_core_migration(
+        threshold in 0..16i64,
+        prefetch in 0..8i64,
+        moves in proptest::collection::vec((0..6usize, 1..6usize, 1..8i64), 1..100),
+    ) {
+        let c = SloppyCounter::with_config(6, SloppyConfig { threshold, prefetch });
+        let mut in_use: i64 = 0;
+        for &(from, hop, v) in &moves {
+            // Acquire on `from`, release on a guaranteed-different core.
+            let to = (from + hop) % 6;
+            c.acquire(CoreId(from), v);
+            in_use += v;
+            prop_assert_eq!(c.central(), in_use + c.spares());
+            c.release(CoreId(to), v);
+            in_use -= v;
+            prop_assert_eq!(c.central(), in_use + c.spares());
+            prop_assert_eq!(c.in_use(), in_use);
+        }
+        // Migration leaves spares scattered across cores; reconcile must
+        // still converge to the exact count and clear them all.
+        prop_assert_eq!(c.reconcile(), in_use);
+        prop_assert_eq!(c.spares(), 0);
+        prop_assert_eq!(c.in_use(), in_use);
+    }
+}
+
+/// Concurrent cross-core migration: producer threads acquire on their
+/// own core and hand references to a consumer that releases them on a
+/// *different* core, so every reference migrates. The invariant must
+/// hold at quiescence and `reconcile()` must converge, for both the
+/// default tuning and a prefetching, tiny-threshold config that
+/// stresses the excess-return path.
+#[test]
+fn concurrent_migration_preserves_invariant() {
+    use std::sync::mpsc;
+    use std::sync::Arc;
+
+    for config in [
+        pk_sloppy::SloppyConfig::default(),
+        pk_sloppy::SloppyConfig {
+            threshold: 2,
+            prefetch: 5,
+        },
+    ] {
+        let cores = 8usize;
+        let c = Arc::new(SloppyCounter::with_config(cores, config));
+        let (tx, rx) = mpsc::channel::<i64>();
+        let rx = Arc::new(std::sync::Mutex::new(rx));
+        // Producers: acquire on cores 0..4 and ship the references out.
+        let producers: Vec<_> = (0..4)
+            .map(|core| {
+                let c = Arc::clone(&c);
+                let tx = tx.clone();
+                std::thread::spawn(move || {
+                    for i in 0..2_000i64 {
+                        let v = 1 + (i % 3);
+                        c.acquire(CoreId(core), v);
+                        tx.send(v).unwrap();
+                    }
+                })
+            })
+            .collect();
+        drop(tx);
+        // Consumers: release every shipped reference on cores 4..8 —
+        // never the core that acquired it.
+        let consumers: Vec<_> = (4..8)
+            .map(|core| {
+                let c = Arc::clone(&c);
+                let rx = Arc::clone(&rx);
+                std::thread::spawn(move || loop {
+                    let v = match rx.lock().unwrap().recv() {
+                        Ok(v) => v,
+                        Err(_) => break,
+                    };
+                    c.release(CoreId(core), v);
+                })
+            })
+            .collect();
+        for h in producers {
+            h.join().unwrap();
+        }
+        for h in consumers {
+            h.join().unwrap();
+        }
+        // Everything acquired was released: at quiescence the logical
+        // value is zero, the invariant holds, and reconcile converges.
+        assert_eq!(
+            c.central(),
+            c.spares(),
+            "central = in_use + spares with in_use = 0 (config {config:?})"
+        );
+        assert_eq!(c.in_use(), 0, "all references released (config {config:?})");
+        assert_eq!(c.reconcile(), 0, "reconcile converges (config {config:?})");
+        assert_eq!(c.spares(), 0, "reconcile clears spares (config {config:?})");
+    }
 }

@@ -42,12 +42,18 @@ impl CpuAccounting {
 
     /// Charges `cycles` of user time to `core`.
     pub fn charge_user(&self, core: CoreId, cycles: u64) {
-        self.cores.get(core).user.fetch_add(cycles, Ordering::Relaxed);
+        self.cores
+            .get(core)
+            .user
+            .fetch_add(cycles, Ordering::Relaxed);
     }
 
     /// Charges `cycles` of system time to `core`.
     pub fn charge_system(&self, core: CoreId, cycles: u64) {
-        self.cores.get(core).system.fetch_add(cycles, Ordering::Relaxed);
+        self.cores
+            .get(core)
+            .system
+            .fetch_add(cycles, Ordering::Relaxed);
     }
 
     /// Returns `(user, system)` totals across all cores.

@@ -180,7 +180,12 @@ mod tests {
         let asp = k.new_address_space();
         let r = asp.mmap(8 << 10, pk_mm::PageSize::Base4K).unwrap();
         asp.touch_all(r, 0).unwrap();
-        assert_eq!(k.mm_stats().faults_4k.load(std::sync::atomic::Ordering::Relaxed), 2);
+        assert_eq!(
+            k.mm_stats()
+                .faults_4k
+                .load(std::sync::atomic::Ordering::Relaxed),
+            2
+        );
     }
 
     #[test]

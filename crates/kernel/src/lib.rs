@@ -17,6 +17,7 @@ mod config;
 mod cputime;
 mod fixes;
 mod kernel;
+mod obs;
 pub mod procfs;
 
 pub use config::KernelConfig;

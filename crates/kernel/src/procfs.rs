@@ -65,8 +65,11 @@ pub fn read(kernel: &Kernel, path: &str) -> Result<Vec<u8>, NoSuchProcFile> {
         "/proc/loadavg" => {
             stats.other_reads.fetch_add(1, Ordering::Relaxed);
             let load = kernel.sched().total_load();
-            Ok(format!("{load}.00 {load}.00 {load}.00 1/{} 1\n", kernel.procs().len())
-                .into_bytes())
+            Ok(format!(
+                "{load}.00 {load}.00 {load}.00 1/{} 1\n",
+                kernel.procs().len()
+            )
+            .into_bytes())
         }
         "/proc/meminfo" => {
             stats.other_reads.fetch_add(1, Ordering::Relaxed);

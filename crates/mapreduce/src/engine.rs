@@ -228,11 +228,7 @@ mod tests {
     fn counts_words_across_workers() {
         for workers in [1, 2, 4] {
             let mr = MapReduce::new(MapReduceConfig::with_workers(workers));
-            let splits = vec![
-                "a b a".to_string(),
-                "b c".to_string(),
-                "a".to_string(),
-            ];
+            let splits = vec!["a b a".to_string(), "b c".to_string(), "a".to_string()];
             let out = mr.run(&Count, &splits);
             assert_eq!(
                 out,

@@ -106,7 +106,9 @@ mod tests {
         assert_eq!(a.alloc_on(2, 10).unwrap(), 2);
         assert_eq!(a.free_pages(2), 90);
         assert_eq!(
-            stats.local_node_allocs.load(std::sync::atomic::Ordering::Relaxed),
+            stats
+                .local_node_allocs
+                .load(std::sync::atomic::Ordering::Relaxed),
             1
         );
     }
@@ -117,7 +119,9 @@ mod tests {
         assert_eq!(a.alloc_on(1, 100).unwrap(), 1);
         assert_eq!(a.alloc_on(1, 50).unwrap(), 2, "node 1 empty → node 2");
         assert_eq!(
-            stats.remote_node_allocs.load(std::sync::atomic::Ordering::Relaxed),
+            stats
+                .remote_node_allocs
+                .load(std::sync::atomic::Ordering::Relaxed),
             1
         );
     }

@@ -37,7 +37,7 @@ pub use config::NetConfig;
 pub use dst::{DstCache, DstEntry};
 pub use listener::{ConnRequest, Connection, Listener};
 pub use nic::{FlowHash, Nic, RxPacket};
-pub use proto::{Protocol, ProtoAccounting};
+pub use proto::{ProtoAccounting, Protocol};
 pub use skb::{Skb, SkbPool};
 pub use socket::UdpSocket;
 pub use stack::{NetStack, SockAddr};

@@ -195,7 +195,11 @@ mod tests {
 
     #[test]
     fn concurrent_accepts_drain_exactly_once() {
-        let l = Arc::new(Listener::new(80, NetConfig::pk(4), Arc::new(NetStats::new())));
+        let l = Arc::new(Listener::new(
+            80,
+            NetConfig::pk(4),
+            Arc::new(NetStats::new()),
+        ));
         for i in 0..400u16 {
             l.enqueue(flow(i), CoreId((i % 4) as usize));
         }

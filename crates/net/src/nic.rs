@@ -150,7 +150,9 @@ impl Nic {
 
     /// Polls the RX queue belonging to `core`.
     pub fn poll(&self, core: CoreId) -> Option<RxPacket> {
-        self.queues[core.index() % self.queues.len()].lock().pop_front()
+        self.queues[core.index() % self.queues.len()]
+            .lock()
+            .pop_front()
     }
 
     /// Transmits a packet on `core`'s TX queue.

@@ -116,7 +116,9 @@ mod tests {
         let acc = ProtoAccounting::new(NetConfig::stock(4), Arc::clone(&stats));
         acc.charge(Protocol::Tcp, 10, CoreId(0));
         assert_eq!(
-            stats.proto_shared_ops.load(std::sync::atomic::Ordering::Relaxed),
+            stats
+                .proto_shared_ops
+                .load(std::sync::atomic::Ordering::Relaxed),
             1
         );
 
@@ -124,7 +126,9 @@ mod tests {
         let acc2 = ProtoAccounting::new(NetConfig::pk(4), Arc::clone(&stats2));
         acc2.charge(Protocol::Tcp, 10, CoreId(0));
         assert_eq!(
-            stats2.proto_local_ops.load(std::sync::atomic::Ordering::Relaxed),
+            stats2
+                .proto_local_ops
+                .load(std::sync::atomic::Ordering::Relaxed),
             1
         );
     }

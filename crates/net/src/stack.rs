@@ -169,7 +169,9 @@ impl NetStack {
     pub fn process_rx(&self, core: CoreId, budget: usize) -> usize {
         let mut n = 0;
         while n < budget {
-            let Some(pkt) = self.nic.poll(core) else { break };
+            let Some(pkt) = self.nic.poll(core) else {
+                break;
+            };
             let dst_port = pkt.flow.dst_port;
             if let Some((sock, owner)) = self.udp_ports.read().get(&dst_port).cloned() {
                 if self.config.software_rfs && owner != core {
@@ -182,8 +184,7 @@ impl NetStack {
                 sock.deliver(pkt.flow, pkt.skb);
             } else {
                 // No receiver: drop and release the charge.
-                self.proto
-                    .uncharge(Protocol::Udp, pkt.skb.len(), core);
+                self.proto.uncharge(Protocol::Udp, pkt.skb.len(), core);
                 self.pool.free(core, pkt.skb);
             }
             n += 1;

@@ -1,0 +1,198 @@
+//! The process-wide metrics registry.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::metrics::{Counter, Gauge, Histogram};
+use crate::sample::{Collect, MetricValue, Sample, Snapshot};
+
+/// Core count used by [`Registry::global`] — the paper's 48-core
+/// machine.
+const DEFAULT_CORES: usize = 48;
+
+/// A name-keyed home for metrics plus pull-based [`Collect`] sources.
+///
+/// Two registration styles cover the two kinds of instrumentation in
+/// the tree:
+///
+/// * **Owned metrics** ([`Registry::counter`] / [`gauge`] /
+///   [`histogram`]): get-or-create by name, returning a shared handle
+///   the hot path updates directly. Handles to the same name alias the
+///   same cells.
+/// * **Sources** ([`Registry::register_source`]): subsystems that
+///   already keep their own atomics (a lock's `LockStats`, a sloppy
+///   counter's op mix) register a [`Collect`] and are polled at
+///   snapshot time, so existing counters join the registry without
+///   being rewritten.
+///
+/// [`gauge`]: Registry::gauge
+/// [`histogram`]: Registry::histogram
+#[derive(Default)]
+pub struct Registry {
+    cores: usize,
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+    sources: Mutex<Vec<Arc<dyn Collect>>>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry")
+            .field("cores", &self.cores)
+            .field("counters", &self.counters.lock().unwrap().len())
+            .field("gauges", &self.gauges.lock().unwrap().len())
+            .field("histograms", &self.histograms.lock().unwrap().len())
+            .field("sources", &self.sources.lock().unwrap().len())
+            .finish()
+    }
+}
+
+impl Registry {
+    /// Creates a registry whose metrics are sharded across `cores`.
+    pub fn new(cores: usize) -> Self {
+        Self {
+            cores,
+            ..Self::default()
+        }
+    }
+
+    /// The shared process-wide registry (sized for the paper's 48-core
+    /// machine).
+    pub fn global() -> &'static Registry {
+        static GLOBAL: OnceLock<Registry> = OnceLock::new();
+        GLOBAL.get_or_init(|| Registry::new(DEFAULT_CORES))
+    }
+
+    /// Number of per-core shards in owned metrics.
+    pub fn cores(&self) -> usize {
+        self.cores
+    }
+
+    /// Gets or creates the counter named `name`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.counters.lock().unwrap();
+        Arc::clone(
+            map.entry(name.to_string())
+                .or_insert_with(|| Arc::new(Counter::new(self.cores))),
+        )
+    }
+
+    /// Gets or creates the gauge named `name`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.gauges.lock().unwrap();
+        Arc::clone(
+            map.entry(name.to_string())
+                .or_insert_with(|| Arc::new(Gauge::new(self.cores))),
+        )
+    }
+
+    /// Gets or creates the histogram named `name`.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self.histograms.lock().unwrap();
+        Arc::clone(
+            map.entry(name.to_string())
+                .or_insert_with(|| Arc::new(Histogram::new(self.cores))),
+        )
+    }
+
+    /// Registers a pull-based source, polled by every future
+    /// [`Registry::snapshot`].
+    pub fn register_source(&self, source: Arc<dyn Collect>) {
+        self.sources.lock().unwrap().push(source);
+    }
+
+    /// Samples every owned metric and polls every source.
+    ///
+    /// Owned metrics come out name-sorted (counters, then gauges, then
+    /// histograms), followed by source samples in registration order.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut snap = Snapshot::new();
+        for (name, c) in self.counters.lock().unwrap().iter() {
+            snap.push(Sample {
+                name: name.clone(),
+                value: MetricValue::PerCoreCounter(c.per_core()),
+            });
+        }
+        for (name, g) in self.gauges.lock().unwrap().iter() {
+            snap.push(Sample::gauge(name, g.sum()));
+        }
+        for (name, h) in self.histograms.lock().unwrap().iter() {
+            snap.push(Sample {
+                name: name.clone(),
+                value: MetricValue::Histogram(h.snapshot()),
+            });
+        }
+        for source in self.sources.lock().unwrap().iter() {
+            source.collect(&mut snap);
+        }
+        snap
+    }
+
+    /// Zeroes every owned metric. Sources keep their own state and are
+    /// unaffected.
+    pub fn reset(&self) {
+        for c in self.counters.lock().unwrap().values() {
+            c.reset();
+        }
+        for g in self.gauges.lock().unwrap().values() {
+            g.reset();
+        }
+        for h in self.histograms.lock().unwrap().values() {
+            h.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pk_percpu::CoreId;
+
+    #[test]
+    fn same_name_aliases_same_cells() {
+        let r = Registry::new(4);
+        r.counter("ops").inc(CoreId(0));
+        r.counter("ops").inc(CoreId(1));
+        assert_eq!(r.counter("ops").total(), 2);
+        assert_eq!(r.counter("other").total(), 0);
+    }
+
+    #[test]
+    fn snapshot_covers_owned_metrics_and_sources() {
+        struct Src;
+        impl Collect for Src {
+            fn collect(&self, out: &mut Snapshot) {
+                out.push(Sample::counter("from-source", 7));
+            }
+        }
+        let r = Registry::new(2);
+        r.counter("c").add(CoreId(0), 3);
+        r.gauge("g").add(CoreId(1), -1);
+        r.histogram("h").record(CoreId(0), 42);
+        r.register_source(Arc::new(Src));
+        let snap = r.snapshot();
+        assert_eq!(snap.len(), 4);
+        assert!(snap.find("from-source").is_some());
+        match &snap.find("c").unwrap().value {
+            MetricValue::PerCoreCounter(cells) => assert_eq!(cells.iter().sum::<u64>(), 3),
+            v => panic!("wrong value kind: {v:?}"),
+        }
+    }
+
+    #[test]
+    fn reset_zeroes_owned_metrics_only() {
+        let r = Registry::new(2);
+        r.counter("c").inc(CoreId(0));
+        r.reset();
+        assert_eq!(r.counter("c").total(), 0);
+    }
+
+    #[test]
+    fn global_is_shared() {
+        let a = Registry::global();
+        let b = Registry::global();
+        assert!(std::ptr::eq(a, b));
+        assert_eq!(a.cores(), 48);
+    }
+}

@@ -1,0 +1,216 @@
+//! Bottleneck attribution: the paper's Figure-1 "bottleneck" column
+//! re-derived from measurement.
+
+use crate::sample::{MetricValue, Snapshot};
+use std::fmt;
+
+/// One contended resource and its share of an operation's cycles.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Resource {
+    /// Resource label (station or lock name).
+    pub name: String,
+    /// Mean cycles per operation spent at this resource (service +
+    /// waiting).
+    pub cycles_per_op: f64,
+    /// The waiting portion — what contention costs, over and above the
+    /// work itself.
+    pub wait_cycles_per_op: f64,
+    /// This resource's share of total cycles per operation, in `[0, 1]`.
+    pub share: f64,
+    /// Mean queue length observed at the resource.
+    pub queue_len: f64,
+    /// Cache-line transfers per operation charged to the resource.
+    pub line_transfers: f64,
+    /// Whether the cycles count as system (kernel) time.
+    pub is_system: bool,
+}
+
+/// The top-N contended resources for one workload × kernel config ×
+/// core count, ranked by share of total cycles.
+///
+/// This is the reproduction of the diagnostic the paper ran on the
+/// real 48-core machine (§3): instead of reading the bottleneck off a
+/// hardcoded table, the report derives it from a [`Snapshot`] of
+/// per-station measurements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContentionReport {
+    /// Workload name (e.g. `Exim`).
+    pub workload: String,
+    /// Kernel configuration label (e.g. `stock`, `PK`).
+    pub config: String,
+    /// Active cores.
+    pub cores: usize,
+    /// Mean end-to-end cycles per operation (sum over resources).
+    pub total_cycles_per_op: f64,
+    /// Resources sorted by descending cycles share.
+    pub resources: Vec<Resource>,
+}
+
+impl ContentionReport {
+    /// Builds a report from every [`MetricValue::Station`] sample in
+    /// `snapshot`. Non-station samples are ignored (they carry raw
+    /// counts, not cycle attribution).
+    pub fn from_snapshot(
+        workload: impl Into<String>,
+        config: impl Into<String>,
+        cores: usize,
+        snapshot: &Snapshot,
+    ) -> Self {
+        let mut resources: Vec<Resource> = snapshot
+            .iter()
+            .filter_map(|s| match &s.value {
+                MetricValue::Station(st) => Some(Resource {
+                    name: s.name.clone(),
+                    cycles_per_op: st.residence_cycles,
+                    wait_cycles_per_op: st.wait_cycles,
+                    share: 0.0,
+                    queue_len: st.queue_len,
+                    line_transfers: st.line_transfers,
+                    is_system: st.is_system,
+                }),
+                _ => None,
+            })
+            .collect();
+        let total: f64 = resources.iter().map(|r| r.cycles_per_op).sum();
+        if total > 0.0 {
+            for r in &mut resources {
+                r.share = r.cycles_per_op / total;
+            }
+        }
+        resources.sort_by(|a, b| b.cycles_per_op.total_cmp(&a.cycles_per_op));
+        Self {
+            workload: workload.into(),
+            config: config.into(),
+            cores,
+            total_cycles_per_op: total,
+            resources,
+        }
+    }
+
+    /// The single most expensive resource, if any.
+    pub fn top(&self) -> Option<&Resource> {
+        self.resources.first()
+    }
+
+    /// The `n` most expensive resources.
+    pub fn top_n(&self, n: usize) -> &[Resource] {
+        &self.resources[..n.min(self.resources.len())]
+    }
+
+    /// Cycles share spent in system (kernel) resources, in `[0, 1]`.
+    pub fn system_share(&self) -> f64 {
+        self.resources
+            .iter()
+            .filter(|r| r.is_system)
+            .map(|r| r.share)
+            .sum()
+    }
+
+    /// Renders the top-`n` table.
+    pub fn render(&self, n: usize) -> String {
+        let mut out = String::new();
+        use fmt::Write;
+        writeln!(
+            out,
+            "contention report — {} on {}, {} cores",
+            self.workload, self.config, self.cores
+        )
+        .unwrap();
+        writeln!(
+            out,
+            "total {:.0} cycles/op, {:.1}% in the kernel",
+            self.total_cycles_per_op,
+            self.system_share() * 100.0
+        )
+        .unwrap();
+        writeln!(
+            out,
+            "{:>4}  {:<32} {:>6}  {:>12}  {:>10}  {:>7}",
+            "rank", "resource", "share", "cycles/op", "wait/op", "queue"
+        )
+        .unwrap();
+        for (i, r) in self.top_n(n).iter().enumerate() {
+            writeln!(
+                out,
+                "{:>4}  {:<32} {:>5.1}%  {:>12.1}  {:>10.1}  {:>7.2}",
+                i + 1,
+                r.name,
+                r.share * 100.0,
+                r.cycles_per_op,
+                r.wait_cycles_per_op,
+                r.queue_len
+            )
+            .unwrap();
+        }
+        out
+    }
+}
+
+impl fmt::Display for ContentionReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render(10))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sample::{Sample, StationSample};
+
+    fn station(residence: f64, demand: f64, system: bool) -> StationSample {
+        StationSample {
+            demand_cycles: demand,
+            residence_cycles: residence,
+            wait_cycles: residence - demand,
+            queue_len: 1.0,
+            utilization: 0.5,
+            line_transfers: 0.0,
+            is_system: system,
+        }
+    }
+
+    fn snapshot() -> Snapshot {
+        let mut snap = Snapshot::new();
+        snap.push(Sample::station("user", station(4000.0, 4000.0, false)));
+        snap.push(Sample::station("hot lock", station(5000.0, 500.0, true)));
+        snap.push(Sample::station("cold lock", station(1000.0, 900.0, true)));
+        snap.push(Sample::counter("ignored", 7));
+        snap
+    }
+
+    #[test]
+    fn ranks_by_cycles_and_normalizes_shares() {
+        let r = ContentionReport::from_snapshot("toy", "stock", 48, &snapshot());
+        assert_eq!(r.top().unwrap().name, "hot lock");
+        assert_eq!(r.resources.len(), 3, "non-station samples ignored");
+        let total_share: f64 = r.resources.iter().map(|x| x.share).sum();
+        assert!((total_share - 1.0).abs() < 1e-12);
+        assert!((r.total_cycles_per_op - 10_000.0).abs() < 1e-9);
+        assert!((r.system_share() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn top_n_clamps() {
+        let r = ContentionReport::from_snapshot("toy", "stock", 1, &snapshot());
+        assert_eq!(r.top_n(99).len(), 3);
+        assert_eq!(r.top_n(1)[0].name, "hot lock");
+    }
+
+    #[test]
+    fn render_names_the_bottleneck_first() {
+        let r = ContentionReport::from_snapshot("toy", "PK", 48, &snapshot());
+        let text = r.render(2);
+        let hot = text.find("hot lock").unwrap();
+        let user = text.find("user").unwrap();
+        assert!(hot < user, "bottleneck renders first:\n{text}");
+        assert!(!text.contains("cold lock"), "n=2 truncates:\n{text}");
+    }
+
+    #[test]
+    fn empty_snapshot_is_harmless() {
+        let r = ContentionReport::from_snapshot("toy", "stock", 4, &Snapshot::new());
+        assert!(r.top().is_none());
+        assert_eq!(r.total_cycles_per_op, 0.0);
+        let _ = r.render(5);
+    }
+}

@@ -69,7 +69,10 @@ impl<T> PerCore<T> {
 
     /// Iterates over `(CoreId, &T)` pairs in core-id order.
     pub fn iter_with_id(&self) -> impl ExactSizeIterator<Item = (CoreId, &T)> {
-        self.slots.iter().enumerate().map(|(i, s)| (CoreId(i), &**s))
+        self.slots
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (CoreId(i), &**s))
     }
 
     /// Folds all slots, visiting them in core-id order.

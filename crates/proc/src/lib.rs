@@ -14,5 +14,5 @@
 mod process;
 mod sched;
 
-pub use process::{Pid, Process, ProcessState, ProcessTable, ProcError};
+pub use process::{Pid, ProcError, Process, ProcessState, ProcessTable};
 pub use sched::{SchedStats, Scheduler};

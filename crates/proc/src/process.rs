@@ -270,7 +270,10 @@ mod tests {
     #[test]
     fn fork_from_unknown_parent_fails() {
         let t = ProcessTable::new();
-        assert_eq!(t.fork(Pid(99), CoreId(0)).unwrap_err(), ProcError::NoSuchProcess);
+        assert_eq!(
+            t.fork(Pid(99), CoreId(0)).unwrap_err(),
+            ProcError::NoSuchProcess
+        );
     }
 
     #[test]

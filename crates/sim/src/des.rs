@@ -31,6 +31,14 @@ pub struct DesResult {
     pub cycles_per_op: f64,
     /// Per-station mean queue length sampled at departures.
     pub mean_queue_len: Vec<f64>,
+    /// Per-station mean queueing delay per visit, in cycles: time from
+    /// joining the queue to service start, measured over the whole run.
+    pub mean_wait_cycles: Vec<f64>,
+    /// Per-station cache-line transfers over the whole run: one per
+    /// service start whose previous holder was a different core, plus
+    /// one per enqueue at a non-scalable lock (the waiter pulls the
+    /// line to poll it — the traffic behind the collapse factor).
+    pub line_transfers: Vec<u64>,
 }
 
 /// Ordered event: (time, sequence, customer).
@@ -48,9 +56,32 @@ struct Customer {
 #[derive(Debug)]
 struct StationState {
     busy: bool,
-    queue: VecDeque<usize>,
+    /// Waiters with their enqueue times.
+    queue: VecDeque<(usize, u64)>,
     queue_len_samples: f64,
     samples: u64,
+    /// Total cycles waiters spent queued (enqueue → service start).
+    wait_cycles: u64,
+    /// Service starts, for per-visit wait averaging.
+    service_starts: u64,
+    /// Cache-line transfers (owner changes + non-scalable polling).
+    transfers: u64,
+    /// Core whose cache last held the station's line.
+    last_owner: Option<usize>,
+}
+
+impl StationState {
+    /// Charges the coherence cost of customer `c` starting service.
+    fn start_service(&mut self, c: usize, nonscalable_waiters: usize) {
+        self.service_starts += 1;
+        if self.last_owner != Some(c) {
+            self.transfers += 1;
+        }
+        self.last_owner = Some(c);
+        // Every waiter polling a non-scalable lock pulls the line
+        // away from the new holder at least once per handoff.
+        self.transfers += nonscalable_waiters as u64;
+    }
 }
 
 /// Simulates `net` with `cores` customers for `ops_per_core` operations
@@ -75,6 +106,10 @@ pub fn simulate(net: &Network, cores: usize, ops_per_core: u64, seed: u64) -> De
             queue: VecDeque::new(),
             queue_len_samples: 0.0,
             samples: 0,
+            wait_cycles: 0,
+            service_starts: 0,
+            transfers: 0,
+            last_owner: None,
         })
         .collect();
     let mut customers: Vec<Customer> = (0..cores)
@@ -118,16 +153,18 @@ pub fn simulate(net: &Network, cores: usize, ops_per_core: u64, seed: u64) -> De
             StationKind::Queue | StationKind::NonScalable { .. } => {
                 let s = &mut state[station];
                 if s.busy {
-                    s.queue.push_back(c);
+                    s.queue.push_back((c, now));
                     None
                 } else {
                     s.busy = true;
-                    let mean = match st.kind {
-                        StationKind::NonScalable { collapse } => {
-                            st.demand_cycles * (1.0 + collapse * s.queue.len() as f64)
-                        }
-                        _ => st.demand_cycles,
+                    let (mean, pollers) = match st.kind {
+                        StationKind::NonScalable { collapse } => (
+                            st.demand_cycles * (1.0 + collapse * s.queue.len() as f64),
+                            s.queue.len(),
+                        ),
+                        _ => (st.demand_cycles, 0),
                     };
+                    s.start_service(c, pollers);
                     Some(now + service(rng, mean))
                 }
             }
@@ -154,16 +191,19 @@ pub fn simulate(net: &Network, cores: usize, ops_per_core: u64, seed: u64) -> De
             s.queue_len_samples += s.queue.len() as f64;
             s.samples += 1;
             s.busy = false;
-            if let Some(next_c) = s.queue.pop_front() {
+            if let Some((next_c, enqueued_at)) = s.queue.pop_front() {
                 // Start the next waiter; the server stays busy.
                 s.busy = true;
+                s.wait_cycles += now - enqueued_at;
                 let st = &stations[station];
-                let mean = match st.kind {
-                    StationKind::NonScalable { collapse } => {
-                        st.demand_cycles * (1.0 + collapse * s.queue.len() as f64)
-                    }
-                    _ => st.demand_cycles,
+                let (mean, pollers) = match st.kind {
+                    StationKind::NonScalable { collapse } => (
+                        st.demand_cycles * (1.0 + collapse * s.queue.len() as f64),
+                        s.queue.len(),
+                    ),
+                    _ => (st.demand_cycles, 0),
                 };
+                s.start_service(next_c, pollers);
                 let done = now + service(&mut rng, mean);
                 events.push((Reverse(done), seq, next_c));
                 seq += 1;
@@ -228,6 +268,44 @@ pub fn simulate(net: &Network, cores: usize, ops_per_core: u64, seed: u64) -> De
                 }
             })
             .collect(),
+        mean_wait_cycles: state
+            .iter()
+            .map(|s| {
+                if s.service_starts == 0 {
+                    0.0
+                } else {
+                    s.wait_cycles as f64 / s.service_starts as f64
+                }
+            })
+            .collect(),
+        line_transfers: state.iter().map(|s| s.transfers).collect(),
+    }
+}
+
+impl DesResult {
+    /// Exports the measured per-station detail as [`pk_obs::Sample`]s,
+    /// mirroring [`crate::mva::MvaResult::snapshot`] but with *measured*
+    /// waits and transfer counts instead of analytic ones. `net` must be
+    /// the network that was simulated (it supplies names and demands).
+    pub fn snapshot(&self, net: &Network) -> pk_obs::Snapshot {
+        let mut snap = pk_obs::Snapshot::new();
+        let per_op = self.completed_ops.max(1) as f64;
+        for (j, st) in net.stations().iter().enumerate() {
+            let wait = self.mean_wait_cycles[j];
+            snap.push(pk_obs::Sample::station(
+                st.name,
+                pk_obs::StationSample {
+                    demand_cycles: st.demand_cycles,
+                    residence_cycles: st.demand_cycles + wait,
+                    wait_cycles: wait,
+                    queue_len: self.mean_queue_len[j],
+                    utilization: (self.ops_per_cycle * st.demand_cycles).min(1.0),
+                    line_transfers: self.line_transfers[j] as f64 / per_op,
+                    is_system: st.is_system,
+                },
+            ));
+        }
+        snap
     }
 }
 
@@ -280,7 +358,10 @@ mod tests {
         let des = simulate(&net, 32, 4_000, 11).ops_per_cycle;
         let bound = 1.0 / 2_000.0;
         assert!(relative_error(mva, bound) < 0.02);
-        assert!(relative_error(des, bound) < 0.05, "des={des}, bound={bound}");
+        assert!(
+            relative_error(des, bound) < 0.05,
+            "des={des}, bound={bound}"
+        );
     }
 
     #[test]
@@ -307,6 +388,46 @@ mod tests {
         assert_eq!(a.completed_ops, b.completed_ops);
         let c = simulate(&net, 6, 2_000, 100);
         assert_ne!(a.ops_per_cycle, c.ops_per_cycle, "different seed differs");
+    }
+
+    #[test]
+    fn waits_and_transfers_grow_with_load() {
+        let mut net = Network::new();
+        net.push(Station::delay("u", 4_000.0, false));
+        net.push(Station::spinlock("lock", 1_000.0, 0.3, true));
+        let light = simulate(&net, 2, 4_000, 5);
+        let heavy = simulate(&net, 24, 4_000, 5);
+        assert!(
+            heavy.mean_wait_cycles[1] > light.mean_wait_cycles[1] + 1_000.0,
+            "queueing delay must grow: light={}, heavy={}",
+            light.mean_wait_cycles[1],
+            heavy.mean_wait_cycles[1]
+        );
+        assert_eq!(light.mean_wait_cycles[0], 0.0, "delay stations never queue");
+        assert_eq!(light.line_transfers[0], 0, "core-local lines never move");
+        // Per completed op, the contended run moves the lock's line
+        // more often (handoffs plus waiter polling).
+        let per_op = |r: &DesResult| r.line_transfers[1] as f64 / r.completed_ops.max(1) as f64;
+        assert!(per_op(&heavy) > per_op(&light));
+    }
+
+    #[test]
+    fn des_snapshot_matches_measured_fields() {
+        let mut net = Network::new();
+        net.push(Station::delay("u", 3_000.0, false));
+        net.push(Station::queue("q", 1_500.0, true));
+        let r = simulate(&net, 16, 3_000, 9);
+        let snap = r.snapshot(&net);
+        assert_eq!(snap.len(), 2);
+        match &snap.find("q").unwrap().value {
+            pk_obs::MetricValue::Station(s) => {
+                assert_eq!(s.wait_cycles, r.mean_wait_cycles[1]);
+                assert!(s.residence_cycles >= s.demand_cycles);
+                assert!(s.line_transfers > 0.0);
+                assert!(s.is_system);
+            }
+            v => panic!("wrong value kind: {v:?}"),
+        }
     }
 
     #[test]

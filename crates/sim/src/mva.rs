@@ -80,6 +80,11 @@ impl Station {
 pub struct StationResult {
     /// Station label.
     pub name: &'static str,
+    /// How the station serves contending cores.
+    pub kind: StationKind,
+    /// Service demand per operation, in cycles (the load-independent
+    /// input, before any queueing or collapse inflation).
+    pub demand_cycles: f64,
     /// Mean residence time per operation, in cycles (service + waiting).
     pub residence_cycles: f64,
     /// Mean queue length.
@@ -89,6 +94,15 @@ pub struct StationResult {
     pub utilization: f64,
     /// Whether this station's residence is system time.
     pub is_system: bool,
+}
+
+impl StationResult {
+    /// Cycles per operation lost to waiting (and, for non-scalable
+    /// stations, to waiter-induced service inflation) — residence
+    /// beyond the raw demand.
+    pub fn wait_cycles(&self) -> f64 {
+        (self.residence_cycles - self.demand_cycles).max(0.0)
+    }
 }
 
 /// Output of one MVA solve.
@@ -121,6 +135,39 @@ impl MvaResult {
             .iter()
             .max_by(|a, b| a.residence_cycles.total_cmp(&b.residence_cycles))
             .expect("networks have at least one station")
+    }
+
+    /// Exports every station as a [`pk_obs::Sample`] so the solve can
+    /// feed the metrics registry and the contention report.
+    ///
+    /// Cache-line transfers per operation are the MESI estimate for a
+    /// line owned by a serialized station: each visit moves the line
+    /// unless the same core held it last (`(n-1)/n`), and every queued
+    /// waiter at a non-scalable lock re-pulls the line while polling —
+    /// the same traffic the collapse factor charges to the holder.
+    pub fn snapshot(&self) -> pk_obs::Snapshot {
+        let mut snap = pk_obs::Snapshot::new();
+        let handoff = 1.0 - 1.0 / self.cores as f64;
+        for st in &self.stations {
+            let line_transfers = match st.kind {
+                StationKind::Delay => 0.0,
+                StationKind::Queue => handoff,
+                StationKind::NonScalable { .. } => handoff + st.queue_len,
+            };
+            snap.push(pk_obs::Sample::station(
+                st.name,
+                pk_obs::StationSample {
+                    demand_cycles: st.demand_cycles,
+                    residence_cycles: st.residence_cycles,
+                    wait_cycles: st.wait_cycles(),
+                    queue_len: st.queue_len,
+                    utilization: st.utilization,
+                    line_transfers,
+                    is_system: st.is_system,
+                },
+            ));
+        }
+        snap
     }
 }
 
@@ -194,6 +241,8 @@ impl Network {
             }
             stations.push(StationResult {
                 name: st.name,
+                kind: st.kind,
+                demand_cycles: st.demand_cycles,
                 residence_cycles: residence[j],
                 queue_len: queue[j],
                 utilization: (x * st.demand_cycles).min(cores as f64),
@@ -304,6 +353,43 @@ mod tests {
         net.push(Station::queue("hot", 400.0, true));
         let r = net.solve(32);
         assert_eq!(r.bottleneck().name, "hot");
+    }
+
+    #[test]
+    fn snapshot_exports_station_samples() {
+        let mut net = Network::new();
+        net.push(Station::delay("user", 5_000.0, false));
+        net.push(Station::spinlock("hot", 800.0, 0.4, true));
+        let r = net.solve(32);
+        let snap = r.snapshot();
+        assert_eq!(snap.len(), 2);
+        let user = snap.find("user").unwrap();
+        let hot = snap.find("hot").unwrap();
+        match (&user.value, &hot.value) {
+            (pk_obs::MetricValue::Station(u), pk_obs::MetricValue::Station(h)) => {
+                assert_eq!(u.wait_cycles, 0.0, "delay stations never wait");
+                assert_eq!(u.line_transfers, 0.0, "core-local lines never move");
+                assert!(h.wait_cycles > 0.0, "a contended lock waits");
+                assert!(
+                    h.line_transfers > 1.0,
+                    "handoffs plus waiter polling move the line: {}",
+                    h.line_transfers
+                );
+                assert!(h.is_system && !u.is_system);
+            }
+            v => panic!("wrong value kinds: {v:?}"),
+        }
+    }
+
+    #[test]
+    fn station_result_carries_demand_and_wait() {
+        let mut net = Network::new();
+        net.push(Station::delay("user", 2_000.0, false));
+        net.push(Station::queue("lock", 500.0, true));
+        let r = net.solve(16);
+        let lock = r.stations.iter().find(|s| s.name == "lock").unwrap();
+        assert_eq!(lock.demand_cycles, 500.0);
+        assert!((lock.wait_cycles() - (lock.residence_cycles - 500.0)).abs() < 1e-9);
     }
 
     #[test]

@@ -40,5 +40,5 @@ pub use adaptive::{AdaptiveMutex, AdaptiveMutexGuard};
 pub use mcs::{McsGuard, McsLock};
 pub use seqlock::{GenCounter, SeqLock, SeqLockWriteGuard, SeqReadError};
 pub use spinlock::{SpinGuard, SpinLock};
-pub use stats::LockStats;
+pub use stats::{LockStats, CYCLES_PER_SPIN_ITERATION};
 pub use ticket::{TicketGuard, TicketLock};

@@ -111,7 +111,9 @@ impl<T: Copy> SeqLock<T> {
 
 impl<T: Copy + fmt::Debug> fmt::Debug for SeqLock<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("SeqLock").field("value", &self.read()).finish()
+        f.debug_struct("SeqLock")
+            .field("value", &self.read())
+            .finish()
     }
 }
 

@@ -2,6 +2,12 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+/// Nominal cost of one failed spin iteration, in cycles: a read of a
+/// remote modified cache line on the paper's 48-core machine costs
+/// 100–380 cycles depending on distance (§2); each spin retry is one
+/// such coherence round-trip, so we charge the on-chip cost.
+pub const CYCLES_PER_SPIN_ITERATION: u64 = 100;
+
 /// Counters describing how contended a lock has been.
 ///
 /// The paper attributes scalability collapse to time spent "waiting for
@@ -50,6 +56,26 @@ impl LockStats {
         self.spin_iterations.load(Ordering::Relaxed)
     }
 
+    /// Estimated cycles burned spinning, charging
+    /// [`CYCLES_PER_SPIN_ITERATION`] per failed attempt.
+    pub fn spin_cycles(&self) -> u64 {
+        self.spin_iterations()
+            .saturating_mul(CYCLES_PER_SPIN_ITERATION)
+    }
+
+    /// Packages the counters as a named [`pk_obs::Sample`] for the
+    /// metrics registry and the contention report.
+    pub fn sample(&self, name: impl Into<String>) -> pk_obs::Sample {
+        pk_obs::Sample::lock(
+            name,
+            pk_obs::LockSample {
+                acquisitions: self.acquisitions(),
+                contended: self.contended(),
+                spin_cycles: self.spin_cycles(),
+            },
+        )
+    }
+
     /// Fraction of acquisitions that were contended, in `[0, 1]`.
     pub fn contention_ratio(&self) -> f64 {
         let total = self.acquisitions();
@@ -87,6 +113,23 @@ mod tests {
     #[test]
     fn empty_ratio_is_zero() {
         assert_eq!(LockStats::new().contention_ratio(), 0.0);
+    }
+
+    #[test]
+    fn sample_carries_the_counters() {
+        let s = LockStats::new();
+        s.record_acquisition(0);
+        s.record_acquisition(4);
+        let sample = s.sample("d_lock");
+        assert_eq!(sample.name, "d_lock");
+        match sample.value {
+            pk_obs::MetricValue::Lock(l) => {
+                assert_eq!(l.acquisitions, 2);
+                assert_eq!(l.contended, 1);
+                assert_eq!(l.spin_cycles, 4 * CYCLES_PER_SPIN_ITERATION);
+            }
+            v => panic!("wrong value kind: {v:?}"),
+        }
     }
 
     #[test]

@@ -228,7 +228,9 @@ mod tests {
     #[test]
     fn lookup_miss_returns_none() {
         let c = cache(true);
-        assert!(c.lookup(&DentryKey::new(InodeId(1), "nope"), CoreId(0)).is_none());
+        assert!(c
+            .lookup(&DentryKey::new(InodeId(1), "nope"), CoreId(0))
+            .is_none());
     }
 
     #[test]
@@ -237,11 +239,15 @@ mod tests {
         c.insert(DentryKey::new(InodeId(1), "x"), InodeId(10), CoreId(0));
         c.insert(DentryKey::new(InodeId(2), "x"), InodeId(20), CoreId(0));
         assert_eq!(
-            c.lookup(&DentryKey::new(InodeId(1), "x"), CoreId(0)).unwrap().inode(),
+            c.lookup(&DentryKey::new(InodeId(1), "x"), CoreId(0))
+                .unwrap()
+                .inode(),
             InodeId(10)
         );
         assert_eq!(
-            c.lookup(&DentryKey::new(InodeId(2), "x"), CoreId(0)).unwrap().inode(),
+            c.lookup(&DentryKey::new(InodeId(2), "x"), CoreId(0))
+                .unwrap()
+                .inode(),
             InodeId(20)
         );
     }
@@ -266,8 +272,18 @@ mod tests {
         let key = DentryKey::new(InodeId(1), "a");
         c.insert(key.clone(), InodeId(2), CoreId(0));
         c.lookup(&key, CoreId(0));
-        assert!(stats.dentry_lock_acquisitions.load(std::sync::atomic::Ordering::Relaxed) >= 1);
-        assert_eq!(stats.lockfree_lookups.load(std::sync::atomic::Ordering::Relaxed), 0);
+        assert!(
+            stats
+                .dentry_lock_acquisitions
+                .load(std::sync::atomic::Ordering::Relaxed)
+                >= 1
+        );
+        assert_eq!(
+            stats
+                .lockfree_lookups
+                .load(std::sync::atomic::Ordering::Relaxed),
+            0
+        );
     }
 
     #[test]
@@ -275,7 +291,11 @@ mod tests {
         let c = cache(true);
         let core = CoreId(0);
         for i in 0..8u64 {
-            let d = c.insert(DentryKey::new(InodeId(1), format!("e{i}")), InodeId(i), core);
+            let d = c.insert(
+                DentryKey::new(InodeId(1), format!("e{i}")),
+                InodeId(i),
+                core,
+            );
             d.put(core); // drop the caller reference; cache-only now
         }
         // Hold a reference to one entry.
@@ -293,7 +313,11 @@ mod tests {
         let c = cache(false);
         let core = CoreId(0);
         for i in 0..10u64 {
-            let d = c.insert(DentryKey::new(InodeId(1), format!("t{i}")), InodeId(i), core);
+            let d = c.insert(
+                DentryKey::new(InodeId(1), format!("t{i}")),
+                InodeId(i),
+                core,
+            );
             d.put(core);
         }
         assert_eq!(c.shrink(4, core), 4);
@@ -306,7 +330,11 @@ mod tests {
     fn concurrent_lookups_and_removes() {
         let c = Arc::new(cache(true));
         for i in 0..32u64 {
-            c.insert(DentryKey::new(InodeId(1), format!("f{i}")), InodeId(100 + i), CoreId(0));
+            c.insert(
+                DentryKey::new(InodeId(1), format!("f{i}")),
+                InodeId(100 + i),
+                CoreId(0),
+            );
         }
         let readers: Vec<_> = (0..3)
             .map(|t| {

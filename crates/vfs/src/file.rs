@@ -127,8 +127,7 @@ impl OpenFile {
             return Err(VfsError::IsADirectory);
         }
         let off = self.inode.append(buf);
-        self.offset
-            .store(off + buf.len() as u64, Ordering::Release);
+        self.offset.store(off + buf.len() as u64, Ordering::Release);
         Ok(off)
     }
 }

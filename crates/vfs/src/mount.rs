@@ -189,11 +189,19 @@ mod tests {
         t.mount("/var");
         t.mount("/var/spool");
         assert_eq!(
-            t.resolve("/var/spool/input/m1", CoreId(0)).unwrap().mount_point,
+            t.resolve("/var/spool/input/m1", CoreId(0))
+                .unwrap()
+                .mount_point,
             "/var/spool"
         );
-        assert_eq!(t.resolve("/var/log/x", CoreId(0)).unwrap().mount_point, "/var");
-        assert_eq!(t.resolve("/etc/passwd", CoreId(0)).unwrap().mount_point, "/");
+        assert_eq!(
+            t.resolve("/var/log/x", CoreId(0)).unwrap().mount_point,
+            "/var"
+        );
+        assert_eq!(
+            t.resolve("/etc/passwd", CoreId(0)).unwrap().mount_point,
+            "/"
+        );
     }
 
     #[test]
@@ -207,8 +215,12 @@ mod tests {
             let m = t.resolve("/data/file", CoreId(2)).unwrap();
             m.put(CoreId(2));
         }
-        let central = stats.mount_central_lookups.load(std::sync::atomic::Ordering::Relaxed);
-        let local = stats.mount_percore_hits.load(std::sync::atomic::Ordering::Relaxed);
+        let central = stats
+            .mount_central_lookups
+            .load(std::sync::atomic::Ordering::Relaxed);
+        let local = stats
+            .mount_percore_hits
+            .load(std::sync::atomic::Ordering::Relaxed);
         assert_eq!(central, 1, "only the first lookup hits the central table");
         assert_eq!(local, 9);
     }
@@ -224,7 +236,9 @@ mod tests {
             m.put(CoreId(1));
         }
         assert_eq!(
-            stats.mount_central_lookups.load(std::sync::atomic::Ordering::Relaxed),
+            stats
+                .mount_central_lookups
+                .load(std::sync::atomic::Ordering::Relaxed),
             10
         );
     }

@@ -52,10 +52,14 @@ pub struct PageCacheStats {
     pub invalidated: AtomicU64,
 }
 
+/// One hash bucket: `(inode, page index) → page`, swapped wholesale
+/// under RCU so readers never lock.
+type Bucket = RcuCell<HashMap<(u64, u64), Arc<CachedPage>>>;
+
 /// A buffer cache: `(inode, page index) → page`, with lock-free reads.
 #[derive(Debug)]
 pub struct PageCache {
-    buckets: Vec<RcuCell<HashMap<(u64, u64), Arc<CachedPage>>>>,
+    buckets: Vec<Bucket>,
     mask: usize,
     stats: PageCacheStats,
 }

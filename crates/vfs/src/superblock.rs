@@ -160,9 +160,7 @@ mod tests {
         sb.remove_open_file(id, home, CoreId(2));
         assert_eq!(sb.open_files(), 0);
         assert_eq!(
-            stats
-                .open_list_cross_core_removals
-                .load(Ordering::Relaxed),
+            stats.open_list_cross_core_removals.load(Ordering::Relaxed),
             0
         );
     }
@@ -174,9 +172,7 @@ mod tests {
         sb.remove_open_file(id, home, CoreId(3));
         assert_eq!(sb.open_files(), 0);
         assert_eq!(
-            stats
-                .open_list_cross_core_removals
-                .load(Ordering::Relaxed),
+            stats.open_list_cross_core_removals.load(Ordering::Relaxed),
             1
         );
     }

@@ -175,10 +175,7 @@ mod tests {
         let root = fs.get(fs.root()).unwrap();
         let dir = fs.create_child(&root, "d", InodeKind::Dir).unwrap();
         fs.create_child(&dir, "inner", InodeKind::File).unwrap();
-        assert_eq!(
-            fs.unlink_child(&root, "d").unwrap_err(),
-            VfsError::NotEmpty
-        );
+        assert_eq!(fs.unlink_child(&root, "d").unwrap_err(), VfsError::NotEmpty);
         fs.unlink_child(&dir, "inner").unwrap();
         fs.unlink_child(&root, "d").unwrap();
     }

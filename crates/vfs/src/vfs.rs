@@ -181,7 +181,9 @@ impl Vfs {
         }
         let pl = self.walker().resolve_parent(path, core)?;
         self.sb.inode_list_bookkeeping(true); // new inode joins the list
-        let inode = self.fs.create_child(&pl.parent, &pl.name, InodeKind::File)?;
+        let inode = self
+            .fs
+            .create_child(&pl.parent, &pl.name, InodeKind::File)?;
         let dentry = self
             .dcache
             .insert(DentryKey::new(pl.parent.id, pl.name), inode.id, core);
@@ -337,7 +339,8 @@ mod tests {
         let vfs = pk();
         let core = CoreId(0);
         vfs.mkdir_p("/home/user", core).unwrap();
-        vfs.write_file("/home/user/f.txt", b"content", core).unwrap();
+        vfs.write_file("/home/user/f.txt", b"content", core)
+            .unwrap();
         assert_eq!(vfs.read_file("/home/user/f.txt", core).unwrap(), b"content");
         let st = vfs.stat("/home/user/f.txt", core).unwrap();
         assert_eq!(st.size, 7);
@@ -347,7 +350,10 @@ mod tests {
     #[test]
     fn open_missing_is_enoent() {
         let vfs = pk();
-        assert_eq!(vfs.open("/nope", CoreId(0)).unwrap_err(), VfsError::NotFound);
+        assert_eq!(
+            vfs.open("/nope", CoreId(0)).unwrap_err(),
+            VfsError::NotFound
+        );
     }
 
     #[test]
@@ -432,7 +438,8 @@ mod tests {
             }
             for i in 0..10 {
                 assert_eq!(
-                    vfs.read_file(&format!("/var/spool/input/m{i}"), core).unwrap(),
+                    vfs.read_file(&format!("/var/spool/input/m{i}"), core)
+                        .unwrap(),
                     b"msg"
                 );
                 vfs.unlink(&format!("/var/spool/input/m{i}"), core).unwrap();
@@ -451,11 +458,18 @@ mod tests {
         let body: Vec<u8> = (0..10_000u32).map(|i| (i % 251) as u8).collect();
         vfs.write_file("/big", &body, core).unwrap();
         assert_eq!(vfs.read_cached("/big", core).unwrap(), body);
-        let misses = vfs.page_cache().stats().misses.load(std::sync::atomic::Ordering::Relaxed);
+        let misses = vfs
+            .page_cache()
+            .stats()
+            .misses
+            .load(std::sync::atomic::Ordering::Relaxed);
         assert_eq!(misses, 3, "10000 bytes = 3 pages filled");
         assert_eq!(vfs.read_cached("/big", core).unwrap(), body);
         assert_eq!(
-            vfs.page_cache().stats().misses.load(std::sync::atomic::Ordering::Relaxed),
+            vfs.page_cache()
+                .stats()
+                .misses
+                .load(std::sync::atomic::Ordering::Relaxed),
             misses,
             "second read is all hits"
         );
@@ -482,7 +496,10 @@ mod tests {
         vfs.write_file("/a", b"shared", core).unwrap();
         vfs.link("/a", "/b", core).unwrap();
         assert_eq!(vfs.stat("/a", core).unwrap().nlink, 2);
-        assert_eq!(vfs.stat("/a", core).unwrap().ino, vfs.stat("/b", core).unwrap().ino);
+        assert_eq!(
+            vfs.stat("/a", core).unwrap().ino,
+            vfs.stat("/b", core).unwrap().ino
+        );
         // A write through one name is visible through the other.
         let f = vfs.open("/b", core).unwrap();
         f.append(b"!").unwrap();
@@ -503,8 +520,14 @@ mod tests {
         let core = CoreId(0);
         vfs.mkdir_p("/d", core).unwrap();
         vfs.write_file("/f", b"x", core).unwrap();
-        assert_eq!(vfs.link("/d", "/d2", core).unwrap_err(), VfsError::IsADirectory);
-        assert_eq!(vfs.link("/nope", "/n2", core).unwrap_err(), VfsError::NotFound);
+        assert_eq!(
+            vfs.link("/d", "/d2", core).unwrap_err(),
+            VfsError::IsADirectory
+        );
+        assert_eq!(
+            vfs.link("/nope", "/n2", core).unwrap_err(),
+            VfsError::NotFound
+        );
         assert_eq!(vfs.link("/f", "/f", core).unwrap_err(), VfsError::Exists);
     }
 
@@ -516,8 +539,14 @@ mod tests {
         for name in ["zeta", "alpha", "mid"] {
             vfs.write_file(&format!("/dir/{name}"), b"", core).unwrap();
         }
-        assert_eq!(vfs.readdir("/dir", core).unwrap(), vec!["alpha", "mid", "zeta"]);
-        assert_eq!(vfs.readdir("/dir/alpha", core).unwrap_err(), VfsError::NotADirectory);
+        assert_eq!(
+            vfs.readdir("/dir", core).unwrap(),
+            vec!["alpha", "mid", "zeta"]
+        );
+        assert_eq!(
+            vfs.readdir("/dir/alpha", core).unwrap_err(),
+            VfsError::NotADirectory
+        );
     }
 
     #[test]

@@ -181,7 +181,11 @@ impl WorkloadModel for ApacheModel {
         net.push(Station::spinlock("dentry d_lock", dcache_locks, 0.4, true));
         net.push(Station::queue("open-file list", open_list, true));
         net.push(Station::queue("dst_entry refcount", dst_refcount, true));
-        net.push(Station::queue("proto memory counters", proto_counters, true));
+        net.push(Station::queue(
+            "proto memory counters",
+            proto_counters,
+            true,
+        ));
         net
     }
 
@@ -234,10 +238,16 @@ mod tests {
         // cores." Our counterfactual uncapped throughput is optimistic
         // (the model's CPU side barely declines), so the band is wide.
         let idle = pk.last().unwrap().idle_fraction;
-        assert!((0.10..0.45).contains(&idle), "significant idle at 48: {idle}");
+        assert!(
+            (0.10..0.45).contains(&idle),
+            "significant idle at 48: {idle}"
+        );
         let total_at =
             |s: &[SweepPoint], n: usize| s.iter().find(|p| p.cores == n).unwrap().total_per_sec;
-        assert!(total_at(&pk, 48) < total_at(&pk, 36), "past 36 the card drops requests");
+        assert!(
+            total_at(&pk, 48) < total_at(&pk, 36),
+            "past 36 the card drops requests"
+        );
     }
 
     #[test]

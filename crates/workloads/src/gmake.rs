@@ -39,7 +39,11 @@ impl GmakeDriver {
         for i in 0..sources {
             kernel
                 .vfs()
-                .write_file(&format!("/src/f{i}.c"), format!("int f{i}();").as_bytes(), core)
+                .write_file(
+                    &format!("/src/f{i}.c"),
+                    format!("int f{i}();").as_bytes(),
+                    core,
+                )
                 .expect("source");
         }
         Self {
@@ -166,8 +170,7 @@ mod tests {
     fn figure9_shapes() {
         for choice in [KernelChoice::Stock, KernelChoice::Pk] {
             let sweep = figure9(choice);
-            let speedup =
-                sweep.last().unwrap().total_per_sec / sweep[0].total_per_sec;
+            let speedup = sweep.last().unwrap().total_per_sec / sweep[0].total_per_sec;
             assert!(
                 (32.0..38.0).contains(&speedup),
                 "{choice:?}: ~35× speedup at 48 cores, got {speedup:.1}"

@@ -181,14 +181,12 @@ impl ParallelMake {
                                 }
                                 // Each rule runs as a forked child, like
                                 // gmake's compiler processes.
-                                let pid = kernel
-                                    .fork(pk_proc::Pid(1), core)
-                                    .expect("fork build job");
+                                let pid =
+                                    kernel.fork(pk_proc::Pid(1), core).expect("fork build job");
                                 processes.fetch_add(1, Ordering::Relaxed);
-                                (graph.rules[i].recipe)(&kernel, core)
-                                    .unwrap_or_else(|e| {
-                                        panic!("rule '{}' failed: {e}", graph.rules[i].name)
-                                    });
+                                (graph.rules[i].recipe)(&kernel, core).unwrap_or_else(|e| {
+                                    panic!("rule '{}' failed: {e}", graph.rules[i].name)
+                                });
                                 kernel.exit(pid, core).expect("reap build job");
                                 in_flight.fetch_sub(1, Ordering::AcqRel);
                                 // Release dependents.
@@ -228,7 +226,11 @@ mod tests {
         k.vfs().mkdir_p("/src", CoreId(0)).unwrap();
         for i in 0..n {
             k.vfs()
-                .write_file(&format!("/src/f{i}.c"), format!("source {i}").as_bytes(), CoreId(0))
+                .write_file(
+                    &format!("/src/f{i}.c"),
+                    format!("source {i}").as_bytes(),
+                    CoreId(0),
+                )
                 .unwrap();
         }
         k

@@ -29,6 +29,7 @@ pub mod metis;
 pub mod pedsort;
 pub mod pedsort_indexer;
 pub mod postgres;
+pub mod roster;
 pub mod summary;
 
 pub use common::{config_label, demand_unless, KernelChoice};

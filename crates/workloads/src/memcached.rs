@@ -195,8 +195,17 @@ impl WorkloadModel for MemcachedModel {
         net.push(Station::delay("kernel-local", kernel_local, true));
         net.push(Station::delay("cross-core misses", cross_core, true));
         net.push(Station::queue("dst_entry refcount", dst_refcount, true));
-        net.push(Station::queue("proto memory counters", proto_counters, true));
-        net.push(Station::spinlock("node-0 allocator", node0_alloc, 0.15, true));
+        net.push(Station::queue(
+            "proto memory counters",
+            proto_counters,
+            true,
+        ));
+        net.push(Station::spinlock(
+            "node-0 allocator",
+            node0_alloc,
+            0.15,
+            true,
+        ));
         net.push(Station::queue(
             "net_device false sharing",
             netdev_false_sharing,
@@ -235,7 +244,11 @@ mod tests {
         let stock = figure5(KernelChoice::Stock);
         let pk = figure5(KernelChoice::Pk);
         let ratio = |s: &[SweepPoint]| s.last().unwrap().per_core_per_sec / s[0].per_core_per_sec;
-        assert!(ratio(&stock) < 0.3, "stock collapses early: {}", ratio(&stock));
+        assert!(
+            ratio(&stock) < 0.3,
+            "stock collapses early: {}",
+            ratio(&stock)
+        );
         let pk_ratio = ratio(&pk);
         assert!(
             (0.3..0.6).contains(&pk_ratio),
@@ -257,7 +270,11 @@ mod tests {
         assert!(total_at(&pk, 48) > total_at(&pk, 16));
         // PK beats stock everywhere past one core.
         for (s, p) in stock.iter().zip(pk.iter()).skip(1) {
-            assert!(p.per_core_per_sec > s.per_core_per_sec, "at {} cores", s.cores);
+            assert!(
+                p.per_core_per_sec > s.per_core_per_sec,
+                "at {} cores",
+                s.cores
+            );
         }
     }
 

@@ -126,7 +126,10 @@ impl PedsortDriver {
         } else {
             &self.spaces[core % self.spaces.len()]
         };
-        let data = self.kernel.vfs().read_file(&format!("/corpus/f{file_id}"), core_id)?;
+        let data = self
+            .kernel
+            .vfs()
+            .read_file(&format!("/corpus/f{file_id}"), core_id)?;
         // The mmap/munmap pair on the (possibly shared) address space —
         // the threaded version's serialization point.
         let region = space
@@ -212,7 +215,12 @@ impl WorkloadModel for PedsortModel {
                 user *= THREAD_LIBC_PENALTY;
                 let mmap_sem = system * 0.75;
                 net.push(Station::delay("kernel-local", system - mmap_sem, true));
-                net.push(Station::spinlock("mmap_sem (shared AS)", mmap_sem, 1.5, true));
+                net.push(Station::spinlock(
+                    "mmap_sem (shared AS)",
+                    mmap_sem,
+                    1.5,
+                    true,
+                ));
             }
             _ => {
                 net.push(Station::delay("kernel-local", system, true));
@@ -248,7 +256,11 @@ mod tests {
         let procs = figure10(PedsortVariant::Procs);
         let rr = figure10(PedsortVariant::ProcsRoundRobin);
         let ratio = |s: &[SweepPoint]| s.last().unwrap().per_core_per_sec / s[0].per_core_per_sec;
-        assert!(ratio(&threads) < 0.4, "threads collapse: {}", ratio(&threads));
+        assert!(
+            ratio(&threads) < 0.4,
+            "threads collapse: {}",
+            ratio(&threads)
+        );
         assert!(
             (0.6..0.9).contains(&ratio(&procs)),
             "procs decline mildly: {}",
@@ -265,9 +277,8 @@ mod tests {
         assert!(p48 < 1.05 * p1);
         // RR beats packed at mid-range core counts (more L3), converges
         // at 48 (all sockets full either way).
-        let at = |s: &[SweepPoint], n: usize| {
-            s.iter().find(|p| p.cores == n).unwrap().per_core_per_sec
-        };
+        let at =
+            |s: &[SweepPoint], n: usize| s.iter().find(|p| p.cores == n).unwrap().per_core_per_sec;
         assert!(at(&rr, 4) > 1.1 * at(&procs, 4), "RR wins at 4 cores");
         let full = (at(&rr, 48) - at(&procs, 48)).abs() / at(&procs, 48);
         assert!(full < 0.01, "lines converge at 48 cores: {full}");

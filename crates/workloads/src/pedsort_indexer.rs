@@ -46,9 +46,7 @@ impl WorkQueue {
     fn new(mut files: Vec<(u32, String, u64)>) -> Self {
         files.sort_by_key(|f| std::cmp::Reverse(f.2));
         Self {
-            files: SpinLock::new(
-                files.into_iter().rev().map(|(id, p, _)| (id, p)).collect(),
-            ),
+            files: SpinLock::new(files.into_iter().rev().map(|(id, p, _)| (id, p)).collect()),
         }
     }
 
@@ -128,8 +126,7 @@ impl Indexer {
                     let queue = &queue;
                     let kernel = Arc::clone(&self.kernel);
                     s.spawn(move || {
-                        phase1(&kernel, queue, out_dir, w, self.table_limit)
-                            .expect("phase 1")
+                        phase1(&kernel, queue, out_dir, w, self.table_limit).expect("phase 1")
                     })
                 })
                 .collect();
@@ -221,7 +218,7 @@ fn phase1(
     let mut tokens = 0u64;
     let mut intermediates = Vec::new();
     let flush = |table: &mut HashMap<String, Vec<Posting>>,
-                     intermediates: &mut Vec<String>|
+                 intermediates: &mut Vec<String>|
      -> Result<(), pk_vfs::VfsError> {
         if table.is_empty() {
             return Ok(());
@@ -285,7 +282,7 @@ fn phase2(
     let mut chunks = 0usize;
     let mut current: BTreeMap<String, Vec<Posting>> = BTreeMap::new();
     let write_chunk = |map: &BTreeMap<String, Vec<Posting>>,
-                           chunks: &mut usize|
+                       chunks: &mut usize|
      -> Result<(), pk_vfs::VfsError> {
         if map.is_empty() {
             return Ok(());

@@ -102,12 +102,8 @@ impl LockManager {
             let slot = self.slot(lock_id);
             let mut cur = slot.load(Ordering::Acquire);
             while cur & EXCL_BIT == 0 {
-                match slot.compare_exchange_weak(
-                    cur,
-                    cur + 1,
-                    Ordering::AcqRel,
-                    Ordering::Acquire,
-                ) {
+                match slot.compare_exchange_weak(cur, cur + 1, Ordering::AcqRel, Ordering::Acquire)
+                {
                     Ok(_) => {
                         self.fast_path_hits.fetch_add(1, Ordering::Relaxed);
                         return true;
@@ -356,7 +352,12 @@ impl WorkloadModel for PostgresModel {
         net.push(Station::delay("kernel-local", kernel_local, true));
         net.push(Station::delay("cross-core misses", cross_core, true));
         net.push(Station::spinlock("lseek inode mutex", lseek, 0.13, true));
-        net.push(Station::spinlock("PG lock manager", lock_manager, 0.10, false));
+        net.push(Station::spinlock(
+            "PG lock manager",
+            lock_manager,
+            0.10,
+            false,
+        ));
         net.push(Station::queue("root index page lock", root_page, false));
         net
     }
@@ -425,7 +426,10 @@ mod tests {
             d.query(0, q, false).unwrap();
         }
         let stats = d.kernel().vfs().stats();
-        assert_eq!(stats.lseek_mutex_acquisitions.load(Ordering::Relaxed), 8 * 8);
+        assert_eq!(
+            stats.lseek_mutex_acquisitions.load(Ordering::Relaxed),
+            8 * 8
+        );
     }
 
     #[test]
@@ -479,9 +483,8 @@ mod tests {
         assert!(peak_of(&stock) <= 32, "stock peak: {}", peak_of(&stock));
         assert!(peak_of(&modpg) >= peak_of(&stock));
         // At 32 cores modPG clearly beats unmodified PG.
-        let at = |s: &[SweepPoint], n: usize| {
-            s.iter().find(|p| p.cores == n).unwrap().per_core_per_sec
-        };
+        let at =
+            |s: &[SweepPoint], n: usize| s.iter().find(|p| p.cores == n).unwrap().per_core_per_sec;
         assert!(at(&modpg, 32) > 1.15 * at(&stock, 32));
         // PK+modPG keeps scaling.
         let ratio = pk.last().unwrap().per_core_per_sec / pk[0].per_core_per_sec;

@@ -1,0 +1,81 @@
+//! Name-keyed access to the seven MOSBENCH workload models.
+//!
+//! The figure binaries each hardcode their own model; the diagnostic
+//! tools (`contention_report`) instead take a workload name on the
+//! command line, so they need one place that maps names to models and
+//! kernel choices to the paper's before/after variants.
+
+use crate::common::KernelChoice;
+use crate::{apache, exim, gmake, memcached, metis, pedsort, postgres};
+use pk_sim::WorkloadModel;
+
+/// Every workload name [`model`] accepts.
+pub const NAMES: [&str; 7] = [
+    "exim",
+    "memcached",
+    "apache",
+    "postgres",
+    "gmake",
+    "pedsort",
+    "metis",
+];
+
+/// Builds the model for `name` under `choice`, following the paper's
+/// before/after pairings (pedsort's "stock" is the threaded version,
+/// Metis's the 4 KB-page version). Names are case-insensitive;
+/// returns `None` for unknown workloads.
+pub fn model(name: &str, choice: KernelChoice) -> Option<Box<dyn WorkloadModel>> {
+    let m: Box<dyn WorkloadModel> = match name.to_ascii_lowercase().as_str() {
+        "exim" => Box::new(exim::EximModel::new(choice)),
+        "memcached" => Box::new(memcached::MemcachedModel::new(choice)),
+        "apache" => Box::new(apache::ApacheModel::new(choice)),
+        "postgres" | "postgresql" => {
+            let variant = match choice {
+                KernelChoice::Stock => postgres::PgVariant::Stock,
+                KernelChoice::Pk => postgres::PgVariant::PkModPg,
+            };
+            Box::new(postgres::PostgresModel::new(variant, true))
+        }
+        "gmake" => Box::new(gmake::GmakeModel::new(choice)),
+        "pedsort" => {
+            let variant = match choice {
+                KernelChoice::Stock => pedsort::PedsortVariant::Threads,
+                KernelChoice::Pk => pedsort::PedsortVariant::ProcsRoundRobin,
+            };
+            Box::new(pedsort::PedsortModel::new(variant))
+        }
+        "metis" => {
+            let variant = match choice {
+                KernelChoice::Stock => metis::MetisVariant::StockSmallPages,
+                KernelChoice::Pk => metis::MetisVariant::PkSuperPages,
+            };
+            Box::new(metis::MetisModel::new(variant))
+        }
+        _ => return None,
+    };
+    Some(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_name_resolves_under_both_choices() {
+        for name in NAMES {
+            for choice in [KernelChoice::Stock, KernelChoice::Pk] {
+                let m = model(name, choice).unwrap_or_else(|| panic!("{name} missing"));
+                // The model must actually solve.
+                let r = m.network(4).solve(4);
+                assert!(r.ops_per_cycle > 0.0, "{name} solves");
+            }
+        }
+    }
+
+    #[test]
+    fn names_are_case_insensitive_and_unknowns_fail() {
+        assert!(model("Exim", KernelChoice::Stock).is_some());
+        assert!(model("PostgreSQL", KernelChoice::Pk).is_some());
+        assert!(model("solitaire", KernelChoice::Stock).is_none());
+    }
+}

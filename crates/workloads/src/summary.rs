@@ -42,8 +42,14 @@ pub fn figure3(max_cores: usize) -> Vec<Figure3Bar> {
         },
         Figure3Bar {
             app: "PostgreSQL",
-            stock: ratio(&postgres::PostgresModel::new(postgres::PgVariant::Stock, true)),
-            pk: ratio(&postgres::PostgresModel::new(postgres::PgVariant::PkModPg, true)),
+            stock: ratio(&postgres::PostgresModel::new(
+                postgres::PgVariant::Stock,
+                true,
+            )),
+            pk: ratio(&postgres::PostgresModel::new(
+                postgres::PgVariant::PkModPg,
+                true,
+            )),
         },
         Figure3Bar {
             app: "gmake",
@@ -52,14 +58,18 @@ pub fn figure3(max_cores: usize) -> Vec<Figure3Bar> {
         },
         Figure3Bar {
             app: "pedsort",
-            stock: ratio(&pedsort::PedsortModel::new(pedsort::PedsortVariant::Threads)),
+            stock: ratio(&pedsort::PedsortModel::new(
+                pedsort::PedsortVariant::Threads,
+            )),
             pk: ratio(&pedsort::PedsortModel::new(
                 pedsort::PedsortVariant::ProcsRoundRobin,
             )),
         },
         Figure3Bar {
             app: "Metis",
-            stock: ratio(&metis::MetisModel::new(metis::MetisVariant::StockSmallPages)),
+            stock: ratio(&metis::MetisModel::new(
+                metis::MetisVariant::StockSmallPages,
+            )),
             pk: ratio(&metis::MetisModel::new(metis::MetisVariant::PkSuperPages)),
         },
     ]
@@ -95,7 +105,10 @@ pub fn figure12() -> Vec<Figure12Row> {
     let exim = at48(&exim::EximModel::new(KernelChoice::Pk));
     let memcached = at48(&memcached::MemcachedModel::new(KernelChoice::Pk));
     let apache = at48(&apache::ApacheModel::new(KernelChoice::Pk));
-    let postgres = at48(&postgres::PostgresModel::new(postgres::PgVariant::PkModPg, true));
+    let postgres = at48(&postgres::PostgresModel::new(
+        postgres::PgVariant::PkModPg,
+        true,
+    ));
     let gmake = at48(&gmake::GmakeModel::new(KernelChoice::Pk));
     let pedsort = at48(&pedsort::PedsortModel::new(
         pedsort::PedsortVariant::ProcsRoundRobin,

@@ -36,7 +36,11 @@ fn run(choice: KernelChoice) {
     println!("routes cached:      {}", dst.len());
     println!(
         "proto accounting:   UDP usage now {} bytes (balanced)\n",
-        driver.kernel().net().proto().usage(mosbench::net::Protocol::Udp)
+        driver
+            .kernel()
+            .net()
+            .proto()
+            .usage(mosbench::net::Protocol::Udp)
     );
 }
 

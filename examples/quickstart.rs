@@ -18,15 +18,23 @@ fn main() {
     for core in 0..8 {
         counter.acquire(CoreId(core), 1);
     }
-    println!("after 8 acquires:    central={} in-use={}", counter.central(), counter.in_use());
+    println!(
+        "after 8 acquires:    central={} in-use={}",
+        counter.central(),
+        counter.in_use()
+    );
 
     // Releasing banks the references locally: the central counter does
     // not move.
     for core in 0..8 {
         counter.release(CoreId(core), 1);
     }
-    println!("after 8 releases:    central={} spares={} in-use={}",
-        counter.central(), counter.spares(), counter.in_use());
+    println!(
+        "after 8 releases:    central={} spares={} in-use={}",
+        counter.central(),
+        counter.spares(),
+        counter.in_use()
+    );
 
     // From now on, each core's get/put traffic is satisfied entirely
     // from its local bank — no shared-cache-line traffic at all.

@@ -22,11 +22,7 @@ enum Op {
 fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
         (0..8u8, 0..4u8).prop_map(|(slot, core)| Op::Create { slot, core }),
-        (0..8u8, 0..4u8, any::<u8>()).prop_map(|(slot, core, byte)| Op::Write {
-            slot,
-            core,
-            byte
-        }),
+        (0..8u8, 0..4u8, any::<u8>()).prop_map(|(slot, core, byte)| Op::Write { slot, core, byte }),
         (0..8u8, 0..4u8).prop_map(|(slot, core)| Op::Read { slot, core }),
         (0..8u8, 0..4u8).prop_map(|(slot, core)| Op::SeekEnd { slot, core }),
         (0..8u8, 0..4u8).prop_map(|(slot, core)| Op::Unlink { slot, core }),
@@ -62,29 +58,29 @@ fn run_trace(cfg: KernelConfig, ops: &[Op]) -> Vec<String> {
                     Err(e) => format!("write {slot} {e}"),
                 }
             }
-            Op::Read { slot, core } => match k.vfs().read_file(&path(slot), CoreId(core as usize))
-            {
-                Ok(data) => format!("read {slot} {data:?}"),
-                Err(e) => format!("read {slot} {e}"),
+            Op::Read { slot, core } => {
+                match k.vfs().read_file(&path(slot), CoreId(core as usize)) {
+                    Ok(data) => format!("read {slot} {data:?}"),
+                    Err(e) => format!("read {slot} {e}"),
+                }
+            }
+            Op::SeekEnd { slot, core } => match k.vfs().open(&path(slot), CoreId(core as usize)) {
+                Ok(f) => {
+                    let pos = f.lseek(0, Whence::End).unwrap();
+                    k.vfs().close(&f, CoreId(core as usize));
+                    format!("seek {slot} {pos}")
+                }
+                Err(e) => format!("seek {slot} {e}"),
             },
-            Op::SeekEnd { slot, core } => {
-                match k.vfs().open(&path(slot), CoreId(core as usize)) {
-                    Ok(f) => {
-                        let pos = f.lseek(0, Whence::End).unwrap();
-                        k.vfs().close(&f, CoreId(core as usize));
-                        format!("seek {slot} {pos}")
-                    }
-                    Err(e) => format!("seek {slot} {e}"),
-                }
-            }
-            Op::Unlink { slot, core } => {
-                match k.vfs().unlink(&path(slot), CoreId(core as usize)) {
-                    Ok(()) => format!("unlink {slot} ok"),
-                    Err(e) => format!("unlink {slot} {e}"),
-                }
-            }
+            Op::Unlink { slot, core } => match k.vfs().unlink(&path(slot), CoreId(core as usize)) {
+                Ok(()) => format!("unlink {slot} ok"),
+                Err(e) => format!("unlink {slot} {e}"),
+            },
             Op::Rename { from, to, core } => {
-                match k.vfs().rename(&path(from), &path(to), CoreId(core as usize)) {
+                match k
+                    .vfs()
+                    .rename(&path(from), &path(to), CoreId(core as usize))
+                {
                     Ok(()) => format!("rename {from}->{to} ok"),
                     Err(e) => format!("rename {from}->{to} {e}"),
                 }
@@ -160,7 +156,9 @@ fn run_ops_loosely(k: &Kernel, ops: &[Op]) {
                 }
             }
             Op::Rename { from, to, core } => {
-                let _ = k.vfs().rename(&path(from), &path(to), CoreId(core as usize));
+                let _ = k
+                    .vfs()
+                    .rename(&path(from), &path(to), CoreId(core as usize));
             }
             Op::Unlink { slot, core } => {
                 let _ = k.vfs().unlink(&path(slot), CoreId(core as usize));

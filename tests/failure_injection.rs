@@ -120,8 +120,14 @@ fn process_lifecycle_misuse() {
     let child = k.fork(Pid(1), CoreId(0)).unwrap();
     k.exit(child, CoreId(0)).unwrap();
     // The child is gone: further operations on it fail.
-    assert_eq!(k.fork(child, CoreId(0)).unwrap_err(), ProcError::NoSuchProcess);
-    assert_eq!(k.exit(child, CoreId(0)).unwrap_err(), ProcError::NoSuchProcess);
+    assert_eq!(
+        k.fork(child, CoreId(0)).unwrap_err(),
+        ProcError::NoSuchProcess
+    );
+    assert_eq!(
+        k.exit(child, CoreId(0)).unwrap_err(),
+        ProcError::NoSuchProcess
+    );
     assert_eq!(k.procs().exec(child).unwrap_err(), ProcError::NoSuchProcess);
     assert_eq!(k.procs().len(), 1);
     // The table still works.
@@ -157,10 +163,7 @@ fn sloppy_refcount_error_paths() {
     rc.try_dealloc().unwrap();
     assert_eq!(rc.try_dealloc().unwrap_err(), DeallocError::AlreadyDead);
     for core in 0..4 {
-        assert_eq!(
-            rc.get(CoreId(core)).unwrap_err(),
-            DeallocError::AlreadyDead
-        );
+        assert_eq!(rc.get(CoreId(core)).unwrap_err(), DeallocError::AlreadyDead);
     }
     assert_eq!(rc.references(), 0, "failed gets never leak references");
 }
@@ -176,10 +179,7 @@ fn mmap_misuse() {
         MmapError::EmptyMapping
     );
     let r = asp.mmap(4096, PageSize::Base4K).unwrap();
-    assert_eq!(
-        asp.page_fault(r, 5, 0).unwrap_err(),
-        FaultError::Segfault
-    );
+    assert_eq!(asp.page_fault(r, 5, 0).unwrap_err(), FaultError::Segfault);
     asp.munmap(r, 0).unwrap();
     assert_eq!(asp.munmap(r, 0).unwrap_err(), MmapError::NoSuchRegion);
     assert_eq!(

@@ -96,13 +96,21 @@ fn crossover_positions() {
     let th = pedsort::figure10(pedsort::PedsortVariant::Threads);
     let pr = pedsort::figure10(pedsort::PedsortVariant::Procs);
     for (a, b) in th.iter().zip(pr.iter()) {
-        assert!(b.per_core_per_sec > a.per_core_per_sec, "at {} cores", a.cores);
+        assert!(
+            b.per_core_per_sec > a.per_core_per_sec,
+            "at {} cores",
+            a.cores
+        );
     }
     // Metis 2 MB beats 4 KB everywhere and hits DRAM at 48.
     let small = metis::figure11(metis::MetisVariant::StockSmallPages);
     let big = metis::figure11(metis::MetisVariant::PkSuperPages);
     for (a, b) in small.iter().zip(big.iter()) {
-        assert!(b.per_core_per_sec > a.per_core_per_sec, "at {} cores", a.cores);
+        assert!(
+            b.per_core_per_sec > a.per_core_per_sec,
+            "at {} cores",
+            a.cores
+        );
     }
     assert!(big.last().unwrap().hw_capped);
 }
@@ -177,7 +185,13 @@ fn one_core_time_accounting_balances() {
         let time_per_op_sec = (p.user_usec + p.system_usec) * 1e-6;
         let throughput_time = 1.0 / p.per_core_per_sec;
         let err = (time_per_op_sec - throughput_time).abs() / throughput_time;
-        assert!(err < 1e-9, "{}: {} vs {}", m.name(), time_per_op_sec, throughput_time);
+        assert!(
+            err < 1e-9,
+            "{}: {} vs {}",
+            m.name(),
+            time_per_op_sec,
+            throughput_time
+        );
         let _ = machine;
     }
 }

@@ -64,7 +64,12 @@ fn each_fix_is_semantically_invisible() {
         assert_eq!(run(cfg), baseline, "fix {:?} changed behaviour", fix.id);
         // And disabling just one from PK.
         let cfg = KernelConfig::pk(4).with_fix(fix.id, false);
-        assert_eq!(run(cfg), baseline, "removing {:?} changed behaviour", fix.id);
+        assert_eq!(
+            run(cfg),
+            baseline,
+            "removing {:?} changed behaviour",
+            fix.id
+        );
     }
 }
 
@@ -95,7 +100,9 @@ fn accept_and_serve_across_subsystems() {
     let k = Kernel::new(KernelConfig::pk(4));
     let core = CoreId(2);
     k.vfs().mkdir_p("/www", core).unwrap();
-    k.vfs().write_file("/www/i.html", &[b'x'; 300], core).unwrap();
+    k.vfs()
+        .write_file("/www/i.html", &[b'x'; 300], core)
+        .unwrap();
     k.net().listen(80);
     let flow = mosbench::net::FlowHash {
         src_ip: 9,
