@@ -12,11 +12,13 @@ fn cache(lockfree: bool) -> Dcache {
     cfg.lockfree_dlookup = lockfree;
     let c = Dcache::new(4096, cfg, Arc::new(VfsStats::new()));
     for i in 0..256u64 {
-        let d = c.insert(
-            DentryKey::new(InodeId(1), format!("file{i}")),
-            InodeId(100 + i),
-            CoreId(0),
-        );
+        let d = c
+            .insert(
+                DentryKey::new(InodeId(1), format!("file{i}")),
+                InodeId(100 + i),
+                CoreId(0),
+            )
+            .expect("bench setup insert");
         d.put(CoreId(0));
     }
     c

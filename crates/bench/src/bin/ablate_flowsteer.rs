@@ -54,7 +54,8 @@ fn run(hash_steering: bool, conns: u32, pkts_per_conn: u32) -> f64 {
                     node: 0,
                 },
                 owner,
-            );
+            )
+            .expect("queues are drained every iteration");
             // Drain so queues never overflow, and reply (TX drives the
             // stock sampler's flow-table updates).
             while nic.poll(owner).is_some() {}
@@ -102,12 +103,14 @@ fn main() {
     let server = stack.udp_bind(6000, CoreId(2)).unwrap();
     stack.nic().pin_port(6000, 0); // force hardware misdelivery
     for i in 0..100u32 {
-        stack.udp_send(
-            CoreId(0),
-            pk_net::SockAddr::new(50 + i, 999),
-            pk_net::SockAddr::new(1, 6000),
-            Bytes::from_static(b"x"),
-        );
+        stack
+            .udp_send(
+                CoreId(0),
+                pk_net::SockAddr::new(50 + i, 999),
+                pk_net::SockAddr::new(1, 6000),
+                Bytes::from_static(b"x"),
+            )
+            .expect("100 packets fit the queue");
     }
     for c in 0..4 {
         stack.process_rx(CoreId(c), usize::MAX);

@@ -21,12 +21,15 @@ fn main() {
     let offered = 10_000u32;
     let mut accepted = 0u32;
     for i in 0..offered {
-        if stack.udp_send(
-            CoreId(1),
-            SockAddr::new(i, 1000),
-            SockAddr::new(1, 7000),
-            Bytes::from_static(b"flood"),
-        ) {
+        if stack
+            .udp_send(
+                CoreId(1),
+                SockAddr::new(i, 1000),
+                SockAddr::new(1, 7000),
+                Bytes::from_static(b"flood"),
+            )
+            .is_ok()
+        {
             accepted += 1;
         }
     }

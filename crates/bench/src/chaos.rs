@@ -1,0 +1,531 @@
+//! Chaos soak harness: MOSBENCH drivers × kernel config × seeded fault
+//! mix.
+//!
+//! Each run drives one functional workload driver twice over the same
+//! offered load — once fault-free for the throughput baseline, once
+//! with a [`FaultMix`] armed on a seeded [`FaultPlane`] — and reports
+//! throughput degradation, retry counts, and invariant violations. The
+//! faulted run's trace is a pure function of the seed, so a failing
+//! soak replays byte-for-byte from its seed alone.
+//!
+//! The harness is deliberately single-threaded: one thread drives every
+//! core's share of the load in a fixed order, so two soaks with the
+//! same seed produce *identical* ordered traces (asserted by the
+//! `chaos_report` integration test), not merely identical trace sets.
+
+use pk_fault::{FaultEvent, FaultPlane, FaultSchedule};
+use pk_kernel::Kernel;
+use pk_percpu::CoreId;
+use pk_sim::des;
+use pk_workloads::apache::ApacheDriver;
+use pk_workloads::exim::EximDriver;
+use pk_workloads::memcached::MemcachedDriver;
+use pk_workloads::{roster, KernelChoice};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+/// SMTP connections per Exim soak (each delivers
+/// [`pk_workloads::exim::MSGS_PER_CONNECTION`] messages).
+const EXIM_CONNECTIONS: usize = 24;
+/// Client batches per memcached soak (each sends
+/// [`pk_workloads::memcached::BATCH`] requests).
+const MEMCACHED_BATCHES: u32 = 24;
+/// Connections per Apache soak.
+const APACHE_CONNECTIONS: u32 = 120;
+/// Pages each allocator-churn probe asks for: the workload's share of
+/// process memory pressure, so `mm.alloc_enomem` has arrivals to hit
+/// in every soak.
+const CHURN_PAGES: u64 = 4;
+/// Operations per core for the discrete-event-simulator chaos runs.
+const DES_OPS_PER_CORE: u64 = 2_000;
+
+/// A named set of schedules to arm on the plane before a faulted run.
+#[derive(Debug, Clone)]
+pub struct FaultMix {
+    /// Human-readable label for reports.
+    pub label: &'static str,
+    /// `(injection point, schedule)` pairs to arm.
+    pub points: Vec<(&'static str, FaultSchedule)>,
+}
+
+impl FaultMix {
+    /// The acceptance mix: 1% ENOMEM (page *and* dentry allocations)
+    /// plus 1% NIC receive drop, the headline robustness bar — every
+    /// workload must complete under it with bounded retries and zero
+    /// panics.
+    pub fn acceptance() -> Self {
+        Self {
+            label: "1% enomem (pages + dentries) + 1% rx-drop",
+            points: vec![
+                ("mm.alloc_enomem", FaultSchedule::Probability(0.01)),
+                ("vfs.dentry_alloc", FaultSchedule::Probability(0.01)),
+                ("net.rx_drop", FaultSchedule::Probability(0.01)),
+            ],
+        }
+    }
+
+    /// A harsher mix that also exercises fork failure, dentry
+    /// allocation failure, and dcache pressure.
+    pub fn heavy() -> Self {
+        Self {
+            label: "heavy (enomem, rx-drop, fork, dentry, dcache)",
+            points: vec![
+                ("mm.alloc_enomem", FaultSchedule::Probability(0.02)),
+                ("net.rx_drop", FaultSchedule::Probability(0.02)),
+                ("proc.fork_fail", FaultSchedule::Probability(0.02)),
+                ("vfs.dentry_alloc", FaultSchedule::Probability(0.01)),
+                ("vfs.dcache_pressure", FaultSchedule::Probability(0.01)),
+            ],
+        }
+    }
+
+    /// Arms every schedule on `plane` and enables it. Call only after
+    /// driver construction, so setup runs clean.
+    pub fn arm(&self, plane: &FaultPlane) {
+        for (name, schedule) in &self.points {
+            plane.set(name, *schedule);
+        }
+        plane.enable();
+    }
+}
+
+/// One workload's soak outcome under one kernel config and fault mix.
+#[derive(Debug, Clone)]
+pub struct ChaosReport {
+    /// Workload name (`exim`, `memcached`, `apache`).
+    pub workload: &'static str,
+    /// Kernel config label (`stock` / `PK`).
+    pub config: &'static str,
+    /// Fault-mix label.
+    pub mix: &'static str,
+    /// Operations completed by the fault-free baseline run.
+    pub baseline_ops: u64,
+    /// Operations completed by the faulted run.
+    pub faulted_ops: u64,
+    /// Transient failures absorbed by retries during the faulted run.
+    pub retries: u64,
+    /// Simulated backoff the retries charged, in cycles.
+    pub backoff_cycles: u64,
+    /// Allocator-churn probes that shed their allocation on ENOMEM.
+    pub enomem_shed: u64,
+    /// Fault-point arrivals checked while the plane was enabled.
+    pub faults_checked: u64,
+    /// Faults actually injected.
+    pub faults_injected: u64,
+    /// Invariant violations found after the faulted run (empty = pass).
+    pub violations: Vec<String>,
+    /// Whether the faulted run panicked (always a failure).
+    pub panicked: bool,
+    /// The faulted run's ordered injection trace, for replay checks.
+    pub trace: Vec<FaultEvent>,
+}
+
+impl ChaosReport {
+    /// Throughput lost to the fault mix, as a percentage of baseline.
+    pub fn degradation_pct(&self) -> f64 {
+        if self.baseline_ops == 0 {
+            return 0.0;
+        }
+        100.0 * (1.0 - self.faulted_ops as f64 / self.baseline_ops as f64)
+    }
+
+    /// Whether the soak passed: no panic and no invariant violations.
+    pub fn passed(&self) -> bool {
+        !self.panicked && self.violations.is_empty()
+    }
+}
+
+/// One DES chaos row: a workload model simulated with and without
+/// lock-holder preemption and core stalls.
+#[derive(Debug, Clone)]
+pub struct DesChaosRow {
+    /// Workload model name.
+    pub workload: &'static str,
+    /// Ops/cycle without faults.
+    pub baseline_ops_per_cycle: f64,
+    /// Ops/cycle with preemption and stall faults armed.
+    pub faulted_ops_per_cycle: f64,
+    /// Faults injected during the faulted simulation.
+    pub faults_injected: u64,
+}
+
+impl DesChaosRow {
+    /// Simulated throughput lost to the faults, percent of baseline.
+    pub fn degradation_pct(&self) -> f64 {
+        if self.baseline_ops_per_cycle == 0.0 {
+            return 0.0;
+        }
+        100.0 * (1.0 - self.faulted_ops_per_cycle / self.baseline_ops_per_cycle)
+    }
+}
+
+/// Probes the allocator with a small allocation the workload would shed
+/// under memory pressure; returns whether it had to shed (ENOMEM).
+fn churn(kernel: &Kernel, core: CoreId) -> bool {
+    match kernel.allocator().alloc_local(core.0, CHURN_PAGES) {
+        Ok(node) => {
+            kernel.allocator().free_on(node, CHURN_PAGES);
+            false
+        }
+        Err(_) => true,
+    }
+}
+
+/// Drives the Exim soak load: round-robin SMTP connections across the
+/// cores, with allocator churn per connection. Returns `(hard errors,
+/// ENOMEM sheds)`.
+fn exim_work(d: &EximDriver, cores: usize) -> (u64, u64) {
+    let mut hard = 0;
+    let mut shed = 0;
+    for conn in 0..EXIM_CONNECTIONS {
+        let core = CoreId(conn % cores);
+        if churn(d.kernel(), core) {
+            shed += 1;
+        }
+        if d.run_connection(core, conn).is_err() {
+            hard += 1;
+        }
+    }
+    (hard, shed)
+}
+
+/// Soaks Exim under `mix`. Ops metric: messages delivered.
+pub fn run_exim(choice: KernelChoice, cores: usize, seed: u64, mix: &FaultMix) -> ChaosReport {
+    let baseline = {
+        let d = EximDriver::new(choice, cores);
+        exim_work(&d, cores);
+        d.delivered()
+    };
+    let plane = Arc::new(FaultPlane::with_seed(seed));
+    let d = EximDriver::with_faults(choice, cores, Arc::clone(&plane));
+    mix.arm(&plane);
+    let outcome = catch_unwind(AssertUnwindSafe(|| exim_work(&d, cores)));
+    plane.disable();
+    let (panicked, hard, shed) = match outcome {
+        Ok((hard, shed)) => (false, hard, shed),
+        Err(_) => (true, 0, 0),
+    };
+    let mut violations = Vec::new();
+    if hard > 0 {
+        violations.push(format!("{hard} connections aborted on permanent errors"));
+    }
+    if d.delivered() + d.bounced() != d.attempted() {
+        violations.push(format!(
+            "message accounting leaked: {} delivered + {} bounced != {} attempted",
+            d.delivered(),
+            d.bounced(),
+            d.attempted()
+        ));
+    }
+    if d.kernel().procs().len() != 1 {
+        violations.push(format!(
+            "process table leaked: {} live (want 1: init)",
+            d.kernel().procs().len()
+        ));
+    }
+    let open = d.kernel().vfs().superblock().open_files();
+    if open != 0 {
+        violations.push(format!("open-file accounting leaked: {open} (want 0)"));
+    }
+    finish(
+        "exim",
+        choice,
+        mix,
+        baseline,
+        d.delivered(),
+        d.tempfails(),
+        d.retry_backoff_cycles(),
+        shed,
+        &plane,
+        violations,
+        panicked,
+    )
+}
+
+/// Drives the memcached soak load. Returns `(requests that got
+/// through, ENOMEM sheds)`.
+fn memcached_work(d: &MemcachedDriver, cores: usize) -> (u64, u64) {
+    let mut sent = 0u64;
+    let mut shed = 0u64;
+    for round in 0..MEMCACHED_BATCHES {
+        let core = round as usize % cores;
+        if churn(d.kernel(), CoreId(core)) {
+            shed += 1;
+        }
+        sent += d.client_batch(round, core) as u64;
+    }
+    d.drain_all();
+    (sent, shed)
+}
+
+/// Soaks memcached under `mix`. Ops metric: requests served.
+pub fn run_memcached(choice: KernelChoice, cores: usize, seed: u64, mix: &FaultMix) -> ChaosReport {
+    let baseline = {
+        let d = MemcachedDriver::new(choice, cores);
+        memcached_work(&d, cores);
+        d.served()
+    };
+    let plane = Arc::new(FaultPlane::with_seed(seed));
+    let d = MemcachedDriver::with_faults(choice, cores, Arc::clone(&plane));
+    mix.arm(&plane);
+    let outcome = catch_unwind(AssertUnwindSafe(|| memcached_work(&d, cores)));
+    plane.disable();
+    let (panicked, sent, shed) = match outcome {
+        Ok((sent, shed)) => (false, sent, shed),
+        Err(_) => (true, 0, 0),
+    };
+    let mut violations = Vec::new();
+    if !panicked && d.served() != sent {
+        violations.push(format!(
+            "request accounting leaked: {} served != {} accepted by the NIC",
+            d.served(),
+            sent
+        ));
+    }
+    let usage = d.kernel().net().proto().usage(pk_net::Protocol::Udp);
+    if usage != 0 {
+        violations.push(format!("UDP memory accounting leaked: {usage} (want 0)"));
+    }
+    finish(
+        "memcached",
+        choice,
+        mix,
+        baseline,
+        d.served(),
+        d.client_retries(),
+        0,
+        shed,
+        &plane,
+        violations,
+        panicked,
+    )
+}
+
+/// Drives the Apache soak load. Returns `(connections accepted,
+/// ENOMEM sheds)`.
+fn apache_work(d: &ApacheDriver, cores: usize) -> (u64, u64) {
+    for i in 0..APACHE_CONNECTIONS {
+        d.client_connect(0x0e00_0000 + i);
+    }
+    let mut accepted = 0u64;
+    let mut shed = 0u64;
+    loop {
+        let mut progress = false;
+        for core in 0..cores {
+            if churn(d.kernel(), CoreId(core)) {
+                shed += 1;
+            }
+            if d.serve_one(core).is_some() {
+                progress = true;
+                accepted += 1;
+            }
+        }
+        if !progress {
+            return (accepted, shed);
+        }
+    }
+}
+
+/// Soaks Apache under `mix`. Ops metric: requests served.
+pub fn run_apache(choice: KernelChoice, cores: usize, seed: u64, mix: &FaultMix) -> ChaosReport {
+    let baseline = {
+        let d = ApacheDriver::new(choice, cores);
+        apache_work(&d, cores);
+        d.served()
+    };
+    let plane = Arc::new(FaultPlane::with_seed(seed));
+    let d = ApacheDriver::with_faults(choice, cores, Arc::clone(&plane));
+    mix.arm(&plane);
+    let outcome = catch_unwind(AssertUnwindSafe(|| apache_work(&d, cores)));
+    plane.disable();
+    let (panicked, accepted, shed) = match outcome {
+        Ok((accepted, shed)) => (false, accepted, shed),
+        Err(_) => (true, 0, 0),
+    };
+    let mut violations = Vec::new();
+    if !panicked && accepted != u64::from(APACHE_CONNECTIONS) {
+        violations.push(format!(
+            "connections lost: accepted {accepted} of {APACHE_CONNECTIONS}"
+        ));
+    }
+    if !panicked && d.served() + d.failed_requests() != accepted {
+        violations.push(format!(
+            "request accounting leaked: {} served + {} failed != {} accepted",
+            d.served(),
+            d.failed_requests(),
+            accepted
+        ));
+    }
+    let open = d.kernel().vfs().superblock().open_files();
+    if open != 0 {
+        violations.push(format!("open-file accounting leaked: {open} (want 0)"));
+    }
+    finish(
+        "apache",
+        choice,
+        mix,
+        baseline,
+        d.served(),
+        d.request_tempfails(),
+        d.accept_backoff_cycles(),
+        shed,
+        &plane,
+        violations,
+        panicked,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn finish(
+    workload: &'static str,
+    choice: KernelChoice,
+    mix: &FaultMix,
+    baseline_ops: u64,
+    faulted_ops: u64,
+    retries: u64,
+    backoff_cycles: u64,
+    enomem_shed: u64,
+    plane: &FaultPlane,
+    violations: Vec<String>,
+    panicked: bool,
+) -> ChaosReport {
+    // Count only the points the mix armed: arrivals at Never-scheduled
+    // points would inflate `checked` and make an inert mix look busy.
+    let armed = |name: &str| mix.points.iter().any(|(n, _)| *n == name);
+    let stats = plane.stats();
+    ChaosReport {
+        workload,
+        config: choice.label(),
+        mix: mix.label,
+        baseline_ops,
+        faulted_ops,
+        retries,
+        backoff_cycles,
+        enomem_shed,
+        faults_checked: stats
+            .iter()
+            .filter(|p| armed(p.name))
+            .map(|p| p.checked)
+            .sum(),
+        faults_injected: stats
+            .iter()
+            .filter(|p| armed(p.name))
+            .map(|p| p.injected)
+            .sum(),
+        violations,
+        panicked,
+        trace: plane.trace(),
+    }
+}
+
+/// Runs one workload's soak by name. Returns `None` for names without
+/// a functional driver (the DES sweep covers the rest of the roster).
+pub fn run_workload(
+    name: &str,
+    choice: KernelChoice,
+    cores: usize,
+    seed: u64,
+    mix: &FaultMix,
+) -> Option<ChaosReport> {
+    match name.to_ascii_lowercase().as_str() {
+        "exim" => Some(run_exim(choice, cores, seed, mix)),
+        "memcached" => Some(run_memcached(choice, cores, seed, mix)),
+        "apache" => Some(run_apache(choice, cores, seed, mix)),
+        _ => None,
+    }
+}
+
+/// Soaks every named workload under both kernel configs with the
+/// acceptance mix. The report order (and each report's trace) is a pure
+/// function of `(seed, workloads, cores)`.
+pub fn soak(seed: u64, workloads: &[&str], cores: usize) -> Vec<ChaosReport> {
+    let mix = FaultMix::acceptance();
+    let mut out = Vec::new();
+    for name in workloads {
+        for choice in [KernelChoice::Stock, KernelChoice::Pk] {
+            if let Some(r) = run_workload(name, choice, cores, seed, &mix) {
+                out.push(r);
+            }
+        }
+    }
+    out
+}
+
+/// Simulates every roster model with and without scheduler-level
+/// faults (lock-holder preemption every 211th dispatch, a core stall
+/// every 389th): the DES leg of the chaos matrix.
+pub fn des_chaos(choice: KernelChoice, cores: usize, seed: u64) -> Vec<DesChaosRow> {
+    roster::NAMES
+        .iter()
+        .filter_map(|name| {
+            let model = roster::model(name, choice)?;
+            let net = model.network(cores);
+            let base = des::simulate(&net, cores, DES_OPS_PER_CORE, seed);
+            let plane = FaultPlane::with_seed(seed);
+            plane.set("sim.lock_holder_preempt", FaultSchedule::EveryNth(211));
+            plane.set("sim.core_stall", FaultSchedule::EveryNth(389));
+            plane.enable();
+            let faulted = des::simulate_with_faults(&net, cores, DES_OPS_PER_CORE, seed, &plane);
+            Some(DesChaosRow {
+                workload: name,
+                baseline_ops_per_cycle: base.ops_per_cycle,
+                faulted_ops_per_cycle: faulted.ops_per_cycle,
+                faults_injected: plane.injected_total(),
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acceptance_mix_names_only_registered_points() {
+        // Guard against typos: arming a misspelled point would silently
+        // inject nothing.
+        let known = [
+            "mm.alloc_enomem",
+            "mm.freelist_exhausted",
+            "net.rx_drop",
+            "net.link_flap",
+            "vfs.dentry_alloc",
+            "vfs.dcache_pressure",
+            "proc.fork_fail",
+            "sim.lock_holder_preempt",
+            "sim.core_stall",
+        ];
+        for mix in [FaultMix::acceptance(), FaultMix::heavy()] {
+            for (name, _) in &mix.points {
+                assert!(known.contains(name), "unknown fault point {name}");
+            }
+        }
+    }
+
+    #[test]
+    fn des_chaos_degrades_but_stays_positive() {
+        let rows = des_chaos(KernelChoice::Pk, 8, 7);
+        assert_eq!(rows.len(), roster::NAMES.len());
+        for r in &rows {
+            assert!(r.faults_injected > 0, "{}: no faults fired", r.workload);
+            assert!(
+                r.faulted_ops_per_cycle > 0.0,
+                "{}: simulation starved",
+                r.workload
+            );
+            // Faults never make a model faster (small measurement-window
+            // jitter aside); workloads whose bottleneck is a delay
+            // station may show ~0 loss.
+            assert!(
+                r.degradation_pct() > -2.0,
+                "{}: faults sped the model up: {:.2}%",
+                r.workload,
+                r.degradation_pct()
+            );
+        }
+        assert!(
+            rows.iter().any(|r| r.degradation_pct() > 0.5),
+            "no workload showed clear preemption cost"
+        );
+    }
+}

@@ -8,6 +8,8 @@
 #![forbid(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 
+pub mod chaos;
+
 use pk_obs::ContentionReport;
 use pk_sim::SweepPoint;
 use pk_workloads::KernelChoice;

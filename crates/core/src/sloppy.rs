@@ -1,7 +1,7 @@
 //! The sloppy counter (paper §4.3).
 
 use pk_percpu::{CoreId, PerCore};
-use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 
 /// Tuning parameters for a [`SloppyCounter`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -64,6 +64,11 @@ pub struct SloppyCounter {
     config: SloppyConfig,
     central_ops: AtomicU64,
     local_ops: AtomicU64,
+    /// When set, per-core banking is bypassed and every operation goes
+    /// straight to the central counter (graceful degradation when
+    /// per-core state is unavailable — e.g. under injected memory
+    /// pressure). Slower, never wrong.
+    degraded: AtomicBool,
 }
 
 impl SloppyCounter {
@@ -86,6 +91,7 @@ impl SloppyCounter {
             config,
             central_ops: AtomicU64::new(0),
             local_ops: AtomicU64::new(0),
+            degraded: AtomicBool::new(false),
         }
     }
 
@@ -105,6 +111,11 @@ impl SloppyCounter {
     /// Panics if `v < 0`.
     pub fn acquire(&self, core: CoreId, v: i64) {
         assert!(v >= 0, "acquire amount must be non-negative");
+        if self.degraded.load(Ordering::Acquire) {
+            self.central.fetch_add(v, Ordering::AcqRel);
+            self.central_ops.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
         let slot = self.local.get(core);
         // Try to decrement the per-core counter by `v`; succeed only if it
         // holds at least `v` spares. A CAS loop keeps the slot non-negative
@@ -175,6 +186,11 @@ impl SloppyCounter {
     /// Panics if `v < 0`.
     pub fn release(&self, core: CoreId, v: i64) {
         assert!(v >= 0, "release amount must be non-negative");
+        if self.degraded.load(Ordering::Acquire) {
+            self.central.fetch_sub(v, Ordering::AcqRel);
+            self.central_ops.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
         let slot = self.local.get(core);
         let after = slot.fetch_add(v, Ordering::AcqRel) + v;
         self.local_ops.fetch_add(1, Ordering::Relaxed);
@@ -217,6 +233,34 @@ impl SloppyCounter {
             }
         }
         self.central()
+    }
+
+    /// Switches the counter to degraded (central-only) mode.
+    ///
+    /// The first caller to degrade also reconciles: banked spares are
+    /// flushed back to the central counter so that, while degraded,
+    /// `central` tracks [`Self::in_use`] exactly. Every subsequent
+    /// `acquire`/`release` then hits the shared cache line — the
+    /// pre-sloppy-counter behaviour — which is slow but has no per-core
+    /// state to lose. Idempotent and safe to call concurrently.
+    pub fn degrade_to_central(&self) {
+        if !self.degraded.swap(true, Ordering::AcqRel) {
+            self.reconcile();
+        }
+    }
+
+    /// Leaves degraded mode, resuming per-core banking.
+    ///
+    /// No reconciliation is needed on the way back: degraded mode never
+    /// creates spares, so the invariant `central = in_use + spares`
+    /// already holds when banking resumes.
+    pub fn restore_per_core(&self) {
+        self.degraded.store(false, Ordering::Release);
+    }
+
+    /// Reports whether the counter is running in degraded mode.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.load(Ordering::Acquire)
     }
 
     /// Returns `(central_ops, local_ops)`: how many operations hit the
@@ -433,6 +477,84 @@ mod tests {
         let (central_ops, local_ops) = c.op_counts();
         assert_eq!(central_ops, 1);
         assert_eq!(local_ops, 2); // one banked release + one spare acquire
+    }
+
+    #[test]
+    fn degrade_reconciles_and_routes_centrally() {
+        let c = SloppyCounter::new(2);
+        c.acquire(CoreId(0), 3);
+        c.release(CoreId(0), 2); // 2 banked spares
+        assert_eq!(c.spares(), 2);
+        assert!(!c.is_degraded());
+
+        c.degrade_to_central();
+        assert!(c.is_degraded());
+        assert_eq!(c.spares(), 0, "degrading must flush banked spares");
+        assert_eq!(c.central(), 1, "central tracks in_use exactly");
+
+        // Every op now hits the central counter, never the (empty) banks.
+        let (central_before, local_before) = c.op_counts();
+        c.acquire(CoreId(0), 1);
+        c.release(CoreId(0), 1);
+        c.release(CoreId(0), 1); // would have banked a spare pre-degrade
+        let (central_after, local_after) = c.op_counts();
+        assert_eq!(central_after, central_before + 3);
+        assert_eq!(local_after, local_before);
+        assert_eq!(c.spares(), 0);
+        assert_invariant(&c, 0);
+    }
+
+    #[test]
+    fn degrade_is_idempotent() {
+        let c = SloppyCounter::new(2);
+        c.acquire(CoreId(1), 4);
+        c.release(CoreId(1), 4);
+        c.degrade_to_central();
+        let (central_ops, _) = c.op_counts();
+        c.degrade_to_central(); // second call must not re-reconcile
+        assert_eq!(c.op_counts().0, central_ops);
+        assert_invariant(&c, 0);
+    }
+
+    #[test]
+    fn restore_resumes_local_banking() {
+        let c = SloppyCounter::new(2);
+        c.degrade_to_central();
+        c.acquire(CoreId(0), 2);
+        c.restore_per_core();
+        assert!(!c.is_degraded());
+
+        c.release(CoreId(0), 2); // banked locally again
+        assert_eq!(c.spares(), 2);
+        let (central_before, _) = c.op_counts();
+        c.acquire(CoreId(0), 2); // satisfied from the spares
+        assert_eq!(c.op_counts().0, central_before);
+        assert_invariant(&c, 2);
+    }
+
+    #[test]
+    fn concurrent_ops_while_degrading_preserve_invariant() {
+        let c = Arc::new(SloppyCounter::new(4));
+        let handles: Vec<_> = (0..4)
+            .map(|core| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for i in 0..2_000 {
+                        c.acquire(CoreId(core), 1);
+                        if core == 0 && i == 500 {
+                            c.degrade_to_central();
+                        }
+                        c.release(CoreId(core), 1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(c.is_degraded());
+        assert_eq!(c.in_use(), 0);
+        assert_eq!(c.reconcile(), 0);
     }
 
     #[test]

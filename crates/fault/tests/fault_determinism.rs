@@ -1,0 +1,103 @@
+//! Property-based tests for fault-injection determinism.
+//!
+//! The central property: the set of injected faults is a pure function of
+//! `(seed, schedules, per-point arrival counts)` — never of thread timing.
+//! Two planes with the same seed produce identical injection traces even
+//! when the arrivals are delivered by racing threads in different
+//! interleavings (pattern from `crates/core/tests/counter_properties.rs`).
+
+use std::sync::Arc;
+use std::thread;
+
+use pk_fault::{FaultEvent, FaultPlane, FaultSchedule};
+use proptest::prelude::*;
+
+const POINTS: [&str; 3] = ["mm.alloc_enomem", "net.rx_drop", "vfs.dentry_alloc"];
+
+fn schedule_strategy() -> impl Strategy<Value = FaultSchedule> {
+    prop_oneof![
+        Just(FaultSchedule::Never),
+        (0.0..1.0f64).prop_map(FaultSchedule::Probability),
+        (1..8u64).prop_map(FaultSchedule::EveryNth),
+        (0..64u64).prop_map(FaultSchedule::OneShot),
+    ]
+}
+
+/// Run `arrivals[i]` checks against point `i` from `threads` racing
+/// threads, dealing arrivals round-robin, and return the sorted trace.
+fn race_plane(
+    seed: u64,
+    schedules: &[FaultSchedule],
+    arrivals: &[u64],
+    threads: usize,
+) -> Vec<FaultEvent> {
+    let plane = Arc::new(FaultPlane::with_seed(seed));
+    for (name, &s) in POINTS.iter().zip(schedules) {
+        plane.set(name, s);
+    }
+    plane.enable();
+    thread::scope(|scope| {
+        for t in 0..threads {
+            let plane = Arc::clone(&plane);
+            let arrivals = arrivals.to_vec();
+            scope.spawn(move || {
+                for (i, name) in POINTS.iter().enumerate() {
+                    let point = plane.point(name);
+                    // This thread's share of point i's arrivals.
+                    let n = arrivals[i];
+                    let share = n / threads as u64 + u64::from((t as u64) < n % threads as u64);
+                    for _ in 0..share {
+                        point.should_inject();
+                    }
+                }
+            });
+        }
+    });
+    let mut trace = plane.trace();
+    trace.sort();
+    trace
+}
+
+proptest! {
+    /// Same seed + same schedules + same arrival counts => identical
+    /// injection set, regardless of how many threads race the arrivals.
+    #[test]
+    fn same_seed_identical_trace_across_interleavings(
+        seed in any::<u64>(),
+        schedules in proptest::collection::vec(schedule_strategy(), 3..4),
+        arrivals in proptest::collection::vec(0..200u64, 3..4),
+    ) {
+        let sequential = race_plane(seed, &schedules, &arrivals, 1);
+        let racing_2 = race_plane(seed, &schedules, &arrivals, 2);
+        let racing_4 = race_plane(seed, &schedules, &arrivals, 4);
+        prop_assert_eq!(&sequential, &racing_2);
+        prop_assert_eq!(&sequential, &racing_4);
+    }
+
+    /// Sequential replay is byte-for-byte: order included, not just the set.
+    #[test]
+    fn sequential_replay_is_exact(
+        seed in any::<u64>(),
+        schedules in proptest::collection::vec(schedule_strategy(), 3..4),
+        arrivals in proptest::collection::vec(0..200u64, 3..4),
+    ) {
+        let run = || {
+            let plane = FaultPlane::with_seed(seed);
+            for (name, &s) in POINTS.iter().zip(&schedules) {
+                plane.set(name, s);
+            }
+            plane.enable();
+            // Interleave the points round-robin, as a real driver would.
+            let max = arrivals.iter().copied().max().unwrap_or(0);
+            for k in 0..max {
+                for (i, name) in POINTS.iter().enumerate() {
+                    if k < arrivals[i] {
+                        plane.point(name).should_inject();
+                    }
+                }
+            }
+            plane.trace()
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

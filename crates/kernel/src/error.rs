@@ -1,0 +1,135 @@
+//! The kernel-wide error type.
+//!
+//! Syscall-shaped entry points on [`crate::Kernel`] return
+//! [`KernelError`] rather than per-substrate error enums, so callers
+//! (the MOSBENCH drivers) handle every failure through one type — and
+//! can ask the one question that matters for graceful degradation:
+//! [`KernelError::is_transient`]. Transient errors are the ones fault
+//! injection produces (ENOMEM, EAGAIN, dropped packets); a bounded
+//! retry is the right response. Permanent errors (ENOENT, EEXIST, …)
+//! must surface immediately.
+
+use pk_mm::OutOfMemory;
+use pk_net::NetError;
+use pk_proc::ProcError;
+use pk_vfs::VfsError;
+use std::fmt;
+
+/// Any error a [`crate::Kernel`] syscall surface can return.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelError {
+    /// A file-system operation failed.
+    Vfs(VfsError),
+    /// A process-table operation failed.
+    Proc(ProcError),
+    /// A page allocation failed.
+    Mm(OutOfMemory),
+    /// A network operation failed.
+    Net(NetError),
+    /// A procfs read named a file that does not exist.
+    NoSuchProcFile,
+}
+
+impl KernelError {
+    /// Reports whether retrying the failed operation later may succeed.
+    ///
+    /// This is the contract the workload retry loops are built on:
+    /// resource exhaustion (`ENOMEM`, `EAGAIN`) and packet loss are
+    /// transient — the very failures the fault plane injects — while
+    /// name-space errors (`ENOENT`, `EEXIST`, `ENOTDIR`, …) are
+    /// permanent and retrying them only hides bugs.
+    pub fn is_transient(self) -> bool {
+        match self {
+            Self::Vfs(e) => matches!(e, VfsError::OutOfMemory | VfsError::Busy),
+            Self::Proc(e) => matches!(e, ProcError::ResourceExhausted),
+            Self::Mm(_) => true,
+            Self::Net(_) => true,
+            Self::NoSuchProcFile => false,
+        }
+    }
+}
+
+impl fmt::Display for KernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Vfs(e) => write!(f, "vfs: {e}"),
+            Self::Proc(e) => write!(f, "proc: {e}"),
+            Self::Mm(e) => write!(f, "mm: {e}"),
+            Self::Net(e) => write!(f, "net: {e}"),
+            Self::NoSuchProcFile => f.write_str("no such /proc file"),
+        }
+    }
+}
+
+impl std::error::Error for KernelError {}
+
+impl From<VfsError> for KernelError {
+    fn from(e: VfsError) -> Self {
+        Self::Vfs(e)
+    }
+}
+
+impl From<ProcError> for KernelError {
+    fn from(e: ProcError) -> Self {
+        Self::Proc(e)
+    }
+}
+
+impl From<OutOfMemory> for KernelError {
+    fn from(e: OutOfMemory) -> Self {
+        Self::Mm(e)
+    }
+}
+
+impl From<NetError> for KernelError {
+    fn from(e: NetError) -> Self {
+        Self::Net(e)
+    }
+}
+
+impl From<crate::procfs::NoSuchProcFile> for KernelError {
+    fn from(_: crate::procfs::NoSuchProcFile) -> Self {
+        Self::NoSuchProcFile
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pk_net::DropReason;
+
+    #[test]
+    fn transience_matches_the_retry_contract() {
+        assert!(KernelError::from(VfsError::OutOfMemory).is_transient());
+        assert!(KernelError::from(ProcError::ResourceExhausted).is_transient());
+        assert!(KernelError::from(OutOfMemory).is_transient());
+        assert!(KernelError::from(NetError::Backpressure).is_transient());
+        assert!(KernelError::from(NetError::Dropped(DropReason::LinkDown)).is_transient());
+
+        assert!(!KernelError::from(VfsError::NotFound).is_transient());
+        assert!(!KernelError::from(ProcError::NoSuchProcess).is_transient());
+        assert!(!KernelError::NoSuchProcFile.is_transient());
+    }
+
+    #[test]
+    fn displays_name_the_substrate() {
+        assert_eq!(
+            KernelError::from(VfsError::NotFound).to_string(),
+            "vfs: no such file or directory"
+        );
+        assert_eq!(
+            KernelError::from(ProcError::ResourceExhausted).to_string(),
+            "proc: resource temporarily unavailable"
+        );
+        assert_eq!(
+            KernelError::NoSuchProcFile.to_string(),
+            "no such /proc file"
+        );
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        let e: Box<dyn std::error::Error> = Box::new(KernelError::NoSuchProcFile);
+        assert!(e.source().is_none());
+    }
+}

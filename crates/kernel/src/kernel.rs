@@ -2,6 +2,8 @@
 
 use crate::config::KernelConfig;
 use crate::cputime::CpuAccounting;
+use crate::error::KernelError;
+use pk_fault::FaultPlane;
 use pk_mm::{AddressSpace, MmStats, NumaAllocator};
 use pk_net::NetStack;
 use pk_percpu::CoreId;
@@ -41,24 +43,45 @@ pub struct Kernel {
     sched: Scheduler,
     cpu: CpuAccounting,
     proc_stats: crate::procfs::ProcStats,
+    faults: Arc<FaultPlane>,
 }
 
 impl Kernel {
-    /// Boots a kernel under `config`.
+    /// Boots a kernel under `config` with fault injection disabled.
     pub fn new(config: KernelConfig) -> Self {
+        Self::with_faults(config, Arc::new(FaultPlane::disabled()))
+    }
+
+    /// Boots a kernel under `config` with every substrate wired to the
+    /// given fault plane.
+    ///
+    /// The plane starts however the caller left it — typically disabled,
+    /// so setup traffic runs fault-free; arm schedules and call
+    /// [`FaultPlane::enable`] once the workload's steady state begins.
+    pub fn with_faults(config: KernelConfig, faults: Arc<FaultPlane>) -> Self {
         let mm_stats = Arc::new(MmStats::new());
-        let allocator = Arc::new(NumaAllocator::new(config.mm(), Arc::clone(&mm_stats)));
+        let allocator = Arc::new(NumaAllocator::with_faults(
+            config.mm(),
+            Arc::clone(&mm_stats),
+            &faults,
+        ));
         Self {
-            vfs: Vfs::new(config.vfs()),
-            net: NetStack::new(config.net()),
+            vfs: Vfs::with_faults(config.vfs(), &faults),
+            net: NetStack::with_faults(config.net(), &faults),
             allocator,
             mm_stats,
-            procs: ProcessTable::new(),
+            procs: ProcessTable::with_faults(&faults),
             sched: Scheduler::new(config.cores),
             cpu: CpuAccounting::new(config.cores),
             proc_stats: crate::procfs::ProcStats::default(),
+            faults,
             config,
         }
+    }
+
+    /// The fault-injection plane this kernel was booted with.
+    pub fn faults(&self) -> &Arc<FaultPlane> {
+        &self.faults
     }
 
     /// Returns the configuration.
@@ -107,7 +130,7 @@ impl Kernel {
     }
 
     /// Reads a synthesized `/proc` file (see [`crate::procfs`]).
-    pub fn proc_read(&self, path: &str) -> Result<Vec<u8>, crate::procfs::NoSuchProcFile> {
+    pub fn proc_read(&self, path: &str) -> Result<Vec<u8>, KernelError> {
         crate::procfs::read(self, path)
     }
 
@@ -123,7 +146,11 @@ impl Kernel {
 
     /// `fork(2)`: creates a child of `parent` on `core` and makes it
     /// runnable there.
-    pub fn fork(&self, parent: Pid, core: CoreId) -> Result<Pid, pk_proc::ProcError> {
+    ///
+    /// Fails with a transient [`KernelError::Proc`] (`EAGAIN`) when the
+    /// `proc.fork_fail` fault fires; callers are expected to back off
+    /// and retry.
+    pub fn fork(&self, parent: Pid, core: CoreId) -> Result<Pid, KernelError> {
         let child = self.procs.fork(parent, core)?;
         self.sched.enqueue(core, child.pid);
         Ok(child.pid)
@@ -131,14 +158,15 @@ impl Kernel {
 
     /// `exit(2)` + immediate reap by the parent (the common Exim
     /// pattern).
-    pub fn exit(&self, pid: Pid, _core: CoreId) -> Result<(), pk_proc::ProcError> {
+    pub fn exit(&self, pid: Pid, _core: CoreId) -> Result<(), KernelError> {
         let parent = self
             .procs
             .get(pid)
             .ok_or(pk_proc::ProcError::NoSuchProcess)?
             .parent;
         self.procs.exit(pid)?;
-        self.procs.reap(parent, pid)
+        self.procs.reap(parent, pid)?;
+        Ok(())
     }
 }
 
@@ -186,6 +214,33 @@ mod tests {
                 .load(std::sync::atomic::Ordering::Relaxed),
             2
         );
+    }
+
+    #[test]
+    fn faulted_kernel_surfaces_transient_errors() {
+        let faults = Arc::new(FaultPlane::with_seed(42));
+        faults.set("proc.fork_fail", pk_fault::FaultSchedule::EveryNth(1));
+        let k = Kernel::with_faults(KernelConfig::pk(2), Arc::clone(&faults));
+
+        // Fault-free until armed: setup traffic must not trip the plane.
+        let child = k.fork(Pid(1), CoreId(0)).unwrap();
+        k.exit(child, CoreId(0)).unwrap();
+
+        faults.enable();
+        let err = k.fork(Pid(1), CoreId(0)).unwrap_err();
+        assert_eq!(
+            err,
+            KernelError::Proc(pk_proc::ProcError::ResourceExhausted)
+        );
+        assert!(err.is_transient());
+        faults.disable();
+
+        // The snapshot reports the injection.
+        let snap = k.obs_snapshot();
+        match &snap.find("fault.proc.fork_fail.injected").unwrap().value {
+            pk_obs::MetricValue::Counter(n) => assert_eq!(*n, 1),
+            v => panic!("wrong value kind: {v:?}"),
+        }
     }
 
     #[test]

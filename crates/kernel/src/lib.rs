@@ -15,6 +15,7 @@
 
 mod config;
 mod cputime;
+mod error;
 mod fixes;
 mod kernel;
 mod obs;
@@ -22,5 +23,6 @@ pub mod procfs;
 
 pub use config::KernelConfig;
 pub use cputime::{CpuAccounting, CpuTime};
+pub use error::KernelError;
 pub use fixes::{App, Fix, FixId, FIXES, LINES_ADDED, LINES_REMOVED};
 pub use kernel::Kernel;

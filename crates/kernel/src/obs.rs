@@ -117,6 +117,11 @@ impl Kernel {
         snap.push(Sample::counter("cpu.user-cycles", user));
         snap.push(Sample::counter("cpu.system-cycles", system));
 
+        // Fault-injection counters: `fault.<point>.checked` and
+        // `fault.<point>.injected` for every registered point, so chaos
+        // runs report injected failures next to the contention they cause.
+        pk_obs::Collect::collect(self.faults().as_ref(), &mut snap);
+
         snap
     }
 }

@@ -36,29 +36,32 @@ impl std::error::Error for NoSuchProcFile {}
 /// Synthesizes the contents of a procfs `path` from `kernel` state.
 ///
 /// Supported paths: `/proc/stat`, `/proc/cpuinfo`, `/proc/loadavg`,
-/// `/proc/meminfo`.
-pub fn read(kernel: &Kernel, path: &str) -> Result<Vec<u8>, NoSuchProcFile> {
+/// `/proc/meminfo`. Unknown paths fail with
+/// [`KernelError::NoSuchProcFile`].
+pub fn read(kernel: &Kernel, path: &str) -> Result<Vec<u8>, crate::KernelError> {
     let stats = kernel.proc_stats();
     match path {
         "/proc/stat" => {
             stats.stat_reads.fetch_add(1, Ordering::Relaxed);
             let mut out = String::new();
             let (user, system) = kernel.cpu().totals();
-            writeln!(out, "cpu  {user} 0 {system} 0 0 0 0 0 0 0").expect("string write");
+            // Writes into a String are infallible; ignore the Result
+            // rather than panicking on a syscall-facing path.
+            let _ = writeln!(out, "cpu  {user} 0 {system} 0 0 0 0 0 0 0");
             for core in 0..kernel.config().cores {
                 let (u, s) = kernel.cpu().of(CoreId(core));
-                writeln!(out, "cpu{core} {u} 0 {s} 0 0 0 0 0 0 0").expect("string write");
+                let _ = writeln!(out, "cpu{core} {u} 0 {s} 0 0 0 0 0 0 0");
             }
-            writeln!(out, "processes {}", kernel.procs().fork_count()).expect("string write");
+            let _ = writeln!(out, "processes {}", kernel.procs().fork_count());
             Ok(out.into_bytes())
         }
         "/proc/cpuinfo" => {
             stats.other_reads.fetch_add(1, Ordering::Relaxed);
             let mut out = String::new();
             for core in 0..kernel.config().cores {
-                writeln!(out, "processor\t: {core}").expect("string write");
-                writeln!(out, "model name\t: AMD Opteron(tm) Processor 8431").expect("write");
-                writeln!(out).expect("string write");
+                let _ = writeln!(out, "processor\t: {core}");
+                let _ = writeln!(out, "model name\t: AMD Opteron(tm) Processor 8431");
+                let _ = writeln!(out);
             }
             Ok(out.into_bytes())
         }
@@ -76,7 +79,7 @@ pub fn read(kernel: &Kernel, path: &str) -> Result<Vec<u8>, NoSuchProcFile> {
             let free: u64 = (0..8).map(|n| kernel.allocator().free_pages(n)).sum();
             Ok(format!("MemFree: {} kB\n", free * 4).into_bytes())
         }
-        _ => Err(NoSuchProcFile),
+        _ => Err(NoSuchProcFile.into()),
     }
 }
 
@@ -111,7 +114,10 @@ mod tests {
         assert!(read(&k, "/proc/cpuinfo").is_ok());
         assert!(read(&k, "/proc/loadavg").is_ok());
         assert!(read(&k, "/proc/meminfo").is_ok());
-        assert_eq!(read(&k, "/proc/nope").unwrap_err(), NoSuchProcFile);
+        assert_eq!(
+            read(&k, "/proc/nope").unwrap_err(),
+            crate::KernelError::NoSuchProcFile
+        );
         assert_eq!(k.proc_stats().other_reads.load(Ordering::Relaxed), 3);
     }
 

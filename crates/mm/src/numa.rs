@@ -2,6 +2,7 @@
 
 use crate::config::MmConfig;
 use crate::stats::MmStats;
+use pk_fault::{FaultPlane, FaultPoint};
 use pk_sync::SpinLock;
 use std::fmt;
 use std::sync::Arc;
@@ -31,11 +32,23 @@ pub struct NumaAllocator {
     capacity: u64,
     config: MmConfig,
     stats: Arc<MmStats>,
+    /// `mm.alloc_enomem`: forces an allocation to fail as if every node
+    /// were empty, exercising callers' ENOMEM paths.
+    fault_enomem: FaultPoint,
+    /// `mm.freelist_exhausted`: forces an allocation off its preferred
+    /// node, as if the local free list had run dry.
+    fault_freelist: FaultPoint,
 }
 
 impl NumaAllocator {
     /// Creates pools holding `config.pages_per_node` pages each.
     pub fn new(config: MmConfig, stats: Arc<MmStats>) -> Self {
+        Self::with_faults(config, stats, &FaultPlane::disabled())
+    }
+
+    /// Like [`NumaAllocator::new`], with allocation failures injectable
+    /// through `faults` (`mm.alloc_enomem`, `mm.freelist_exhausted`).
+    pub fn with_faults(config: MmConfig, stats: Arc<MmStats>, faults: &FaultPlane) -> Self {
         Self {
             nodes: (0..config.numa_nodes)
                 .map(|_| SpinLock::new(config.pages_per_node))
@@ -43,15 +56,27 @@ impl NumaAllocator {
             capacity: config.pages_per_node,
             config,
             stats,
+            fault_enomem: faults.point("mm.alloc_enomem"),
+            fault_freelist: faults.point("mm.freelist_exhausted"),
         }
     }
 
     /// Allocates `pages` pages, preferring `node`; returns the node the
     /// pages came from.
     pub fn alloc_on(&self, node: usize, pages: u64) -> Result<usize, OutOfMemory> {
+        if self.fault_enomem.should_inject() {
+            return Err(OutOfMemory);
+        }
+        let start = if self.fault_freelist.should_inject() {
+            // Preferred node's free list "ran dry": start the fallback
+            // scan one node over, forcing a remote allocation.
+            (node + 1) % self.nodes.len()
+        } else {
+            node
+        };
         let n = self.nodes.len();
         for i in 0..n {
-            let candidate = (node + i) % n;
+            let candidate = (start + i) % n;
             let mut free = self.nodes[candidate].lock();
             if *free >= pages {
                 *free -= pages;
@@ -142,6 +167,49 @@ mod tests {
         let (a, _) = alloc();
         a.free_on(0, 1_000);
         assert_eq!(a.free_pages(0), 100);
+    }
+
+    #[test]
+    fn injected_enomem_fails_without_touching_pools() {
+        let stats = Arc::new(MmStats::new());
+        let mut cfg = MmConfig::pk(8);
+        cfg.numa_nodes = 4;
+        cfg.pages_per_node = 100;
+        let faults = FaultPlane::with_seed(42);
+        faults.set("mm.alloc_enomem", pk_fault::FaultSchedule::EveryNth(2));
+        faults.enable();
+        let a = NumaAllocator::with_faults(cfg, stats, &faults);
+        assert_eq!(a.alloc_on(0, 1).unwrap(), 0, "arrival 0 passes");
+        assert_eq!(
+            a.alloc_on(0, 1).unwrap_err(),
+            OutOfMemory,
+            "arrival 1 injected"
+        );
+        assert_eq!(a.free_pages(0), 99, "failed alloc consumed no pages");
+        assert_eq!(faults.injected_total(), 1);
+    }
+
+    #[test]
+    fn injected_freelist_exhaustion_forces_remote_node() {
+        let stats = Arc::new(MmStats::new());
+        let mut cfg = MmConfig::pk(8);
+        cfg.numa_nodes = 4;
+        cfg.pages_per_node = 100;
+        let faults = FaultPlane::with_seed(42);
+        faults.set(
+            "mm.freelist_exhausted",
+            pk_fault::FaultSchedule::EveryNth(1),
+        );
+        faults.enable();
+        let a = NumaAllocator::with_faults(cfg, stats.clone(), &faults);
+        assert_eq!(a.alloc_on(0, 1).unwrap(), 1, "preferred node skipped");
+        assert_eq!(
+            stats
+                .remote_node_allocs
+                .load(std::sync::atomic::Ordering::Relaxed),
+            1,
+            "the forced spill is reported as remote, not hidden"
+        );
     }
 
     #[test]

@@ -1,0 +1,134 @@
+//! Typed errors for the network stack.
+
+use crate::skb::Skb;
+use std::fmt;
+
+/// Why the NIC refused a packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropReason {
+    /// The destination RX FIFO was full (§5.4's internal-FIFO overflow).
+    QueueOverflow,
+    /// A `net.rx_drop` fault fired (simulated wire loss).
+    FaultInjected,
+    /// The link was down: a `net.link_flap` fault fired recently and the
+    /// card is still renegotiating.
+    LinkDown,
+}
+
+impl fmt::Display for DropReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Self::QueueOverflow => "rx queue overflow",
+            Self::FaultInjected => "injected rx drop",
+            Self::LinkDown => "link down",
+        })
+    }
+}
+
+/// A packet the NIC could not enqueue.
+///
+/// Carries the buffer back to the caller so it can release the skb and
+/// its protocol charge instead of leaking them — the silent-loss bug this
+/// type exists to prevent.
+#[derive(Debug)]
+pub struct RxDrop {
+    /// Why the packet was refused.
+    pub reason: DropReason,
+    /// The undelivered buffer, returned for release.
+    pub skb: Skb,
+}
+
+impl fmt::Display for RxDrop {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "packet dropped: {}", self.reason)
+    }
+}
+
+impl std::error::Error for RxDrop {}
+
+/// A send the stack could not complete.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetError {
+    /// The receive path is full; the caller should back off and retry.
+    Backpressure,
+    /// The packet was lost for the given reason; retrying immediately is
+    /// allowed (loss, unlike backpressure, carries no congestion signal).
+    Dropped(DropReason),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Backpressure => f.write_str("receive path full, back off"),
+            Self::Dropped(r) => write!(f, "packet lost: {r}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<&RxDrop> for NetError {
+    fn from(drop: &RxDrop) -> Self {
+        match drop.reason {
+            DropReason::QueueOverflow => Self::Backpressure,
+            reason => Self::Dropped(reason),
+        }
+    }
+}
+
+impl From<RxDrop> for NetError {
+    fn from(drop: RxDrop) -> Self {
+        Self::from(&drop)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    #[test]
+    fn displays_are_distinct() {
+        let all = [
+            NetError::Backpressure,
+            NetError::Dropped(DropReason::QueueOverflow),
+            NetError::Dropped(DropReason::FaultInjected),
+            NetError::Dropped(DropReason::LinkDown),
+        ];
+        let texts: Vec<String> = all.iter().map(ToString::to_string).collect();
+        for (i, a) in texts.iter().enumerate() {
+            for b in &texts[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn errors_render_through_std_error() {
+        let drop = RxDrop {
+            reason: DropReason::LinkDown,
+            skb: Skb {
+                data: Bytes::from_static(b"x"),
+                node: 0,
+            },
+        };
+        let e: &dyn std::error::Error = &drop;
+        assert_eq!(e.to_string(), "packet dropped: link down");
+        assert_eq!(
+            NetError::from(drop),
+            NetError::Dropped(DropReason::LinkDown)
+        );
+    }
+
+    #[test]
+    fn overflow_maps_to_backpressure() {
+        let drop = RxDrop {
+            reason: DropReason::QueueOverflow,
+            skb: Skb {
+                data: Bytes::from_static(b"x"),
+                node: 0,
+            },
+        };
+        assert_eq!(NetError::from(drop), NetError::Backpressure);
+    }
+}

@@ -25,6 +25,7 @@
 
 mod config;
 mod dst;
+mod error;
 mod listener;
 mod nic;
 mod proto;
@@ -35,6 +36,7 @@ mod stats;
 
 pub use config::NetConfig;
 pub use dst::{DstCache, DstEntry};
+pub use error::{DropReason, NetError, RxDrop};
 pub use listener::{ConnRequest, Connection, Listener};
 pub use nic::{FlowHash, Nic, RxPacket};
 pub use proto::{ProtoAccounting, Protocol};

@@ -1,9 +1,11 @@
 //! A multi-queue NIC model (Intel 82599 "IXGBE").
 
 use crate::config::NetConfig;
+use crate::error::{DropReason, RxDrop};
 use crate::skb::Skb;
 use crate::stats::NetStats;
 use parking_lot::RwLock;
+use pk_fault::{FaultPlane, FaultPoint};
 use pk_percpu::{CoreId, PerCore};
 use pk_sync::SpinLock;
 use std::collections::{HashMap, VecDeque};
@@ -78,14 +80,29 @@ pub struct Nic {
     queue_capacity: usize,
     config: NetConfig,
     stats: Arc<NetStats>,
+    /// `net.rx_drop`: a single packet lost on the wire.
+    fault_rx_drop: FaultPoint,
+    /// `net.link_flap`: the link drops and renegotiates, losing the next
+    /// [`LINK_FLAP_DROPS`] packets.
+    fault_link_flap: FaultPoint,
+    link_down_remaining: AtomicU64,
 }
 
 /// Sampling period of the stock flow director.
 const SAMPLE_PERIOD: u64 = 20;
 
+/// Packets lost while the link renegotiates after a flap.
+const LINK_FLAP_DROPS: u64 = 16;
+
 impl Nic {
     /// Creates a card with one RX queue per core.
     pub fn new(config: NetConfig, stats: Arc<NetStats>) -> Self {
+        Self::with_faults(config, stats, &FaultPlane::disabled())
+    }
+
+    /// Like [`Nic::new`], with receive loss injectable through `faults`
+    /// (`net.rx_drop`, `net.link_flap`).
+    pub fn with_faults(config: NetConfig, stats: Arc<NetStats>, faults: &FaultPlane) -> Self {
         Self {
             queues: (0..config.cores)
                 .map(|_| SpinLock::new(VecDeque::new()))
@@ -96,6 +113,9 @@ impl Nic {
             queue_capacity: 4096,
             config,
             stats,
+            fault_rx_drop: faults.point("net.rx_drop"),
+            fault_link_flap: faults.point("net.link_flap"),
+            link_down_remaining: AtomicU64::new(0),
         }
     }
 
@@ -122,9 +142,34 @@ impl Nic {
     }
 
     /// Delivers an incoming packet. `owner` is the core that will process
-    /// the flow (for steering-accuracy stats). Returns `false` when the
-    /// queue overflowed and the packet was dropped.
-    pub fn rx(&self, flow: FlowHash, skb: Skb, owner: CoreId) -> bool {
+    /// the flow (for steering-accuracy stats).
+    ///
+    /// On overflow, injected loss, or a down link, the packet is refused
+    /// and the buffer handed back in the [`RxDrop`] so the caller can
+    /// release it and its accounting — the drop is never silent.
+    pub fn rx(&self, flow: FlowHash, skb: Skb, owner: CoreId) -> Result<(), RxDrop> {
+        if self.fault_link_flap.should_inject() {
+            self.link_down_remaining
+                .store(LINK_FLAP_DROPS, Ordering::Relaxed);
+        }
+        if self
+            .link_down_remaining
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| v.checked_sub(1))
+            .is_ok()
+        {
+            NetStats::bump(&self.stats.rx_link_down_drops);
+            return Err(RxDrop {
+                reason: DropReason::LinkDown,
+                skb,
+            });
+        }
+        if self.fault_rx_drop.should_inject() {
+            NetStats::bump(&self.stats.rx_fault_drops);
+            return Err(RxDrop {
+                reason: DropReason::FaultInjected,
+                skb,
+            });
+        }
         let q = self.steer(&flow);
         if q == owner.index() % self.queues.len() {
             NetStats::bump(&self.stats.rx_steered_local);
@@ -134,10 +179,13 @@ impl Nic {
         let mut queue = self.queues[q].lock();
         if queue.len() >= self.queue_capacity {
             NetStats::bump(&self.stats.rx_fifo_drops);
-            return false;
+            return Err(RxDrop {
+                reason: DropReason::QueueOverflow,
+                skb,
+            });
         }
         queue.push_back(RxPacket { flow, skb });
-        true
+        Ok(())
     }
 
     /// Requeues a packet onto `target`'s queue (software re-steering:
@@ -242,8 +290,8 @@ mod tests {
         let nic = Nic::new(NetConfig::pk(4), Arc::clone(&stats));
         let f = flow(42);
         let owner = CoreId(nic.steer(&f));
-        assert!(nic.rx(f, skb(), owner));
-        assert!(nic.rx(f, skb(), CoreId(owner.index() + 1)));
+        assert!(nic.rx(f, skb(), owner).is_ok());
+        assert!(nic.rx(f, skb(), CoreId(owner.index() + 1)).is_ok());
         assert_eq!(stats.rx_steered_local.load(Ordering::Relaxed), 1);
         assert_eq!(stats.rx_misdirected.load(Ordering::Relaxed), 1);
     }
@@ -253,7 +301,7 @@ mod tests {
         let nic = Nic::new(NetConfig::pk(4), Arc::new(NetStats::new()));
         let f = flow(42);
         let q = nic.steer(&f);
-        nic.rx(f, skb(), CoreId(q));
+        nic.rx(f, skb(), CoreId(q)).unwrap();
         assert!(nic.poll(CoreId((q + 1) % 4)).is_none());
         let pkt = nic.poll(CoreId(q)).unwrap();
         assert_eq!(pkt.flow, f);
@@ -267,9 +315,62 @@ mod tests {
         nic.queue_capacity = 2;
         let f = flow(1);
         let q = CoreId(nic.steer(&f));
-        assert!(nic.rx(f, skb(), q));
-        assert!(nic.rx(f, skb(), q));
-        assert!(!nic.rx(f, skb(), q), "third packet overflows");
+        assert!(nic.rx(f, skb(), q).is_ok());
+        assert!(nic.rx(f, skb(), q).is_ok());
+        assert!(nic.rx(f, skb(), q).is_err(), "third packet overflows");
         assert_eq!(stats.rx_fifo_drops.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn overflow_surfaces_backpressure_and_returns_the_buffer() {
+        // Regression: overflow drops used to return a bare `false`,
+        // leaking the skb (and its protocol charge) with no signal the
+        // caller could act on.
+        let stats = Arc::new(NetStats::new());
+        let mut nic = Nic::new(NetConfig::pk(2), Arc::clone(&stats));
+        nic.queue_capacity = 1;
+        let f = flow(1);
+        let q = CoreId(nic.steer(&f));
+        nic.rx(f, skb(), q).unwrap();
+        let drop = nic.rx(f, skb(), q).unwrap_err();
+        assert_eq!(drop.reason, DropReason::QueueOverflow);
+        assert_eq!(drop.skb.data.as_ref(), b"pkt", "buffer comes back");
+        assert_eq!(nic.pending(), 1, "the dropped packet never queued");
+    }
+
+    #[test]
+    fn injected_rx_drop_is_reported() {
+        let stats = Arc::new(NetStats::new());
+        let faults = FaultPlane::with_seed(7);
+        faults.set("net.rx_drop", pk_fault::FaultSchedule::EveryNth(2));
+        faults.enable();
+        let nic = Nic::with_faults(NetConfig::pk(2), Arc::clone(&stats), &faults);
+        let f = flow(1);
+        let q = CoreId(nic.steer(&f));
+        assert!(nic.rx(f, skb(), q).is_ok());
+        let drop = nic.rx(f, skb(), q).unwrap_err();
+        assert_eq!(drop.reason, DropReason::FaultInjected);
+        assert_eq!(stats.rx_fault_drops.load(Ordering::Relaxed), 1);
+        assert_eq!(nic.pending(), 1);
+    }
+
+    #[test]
+    fn link_flap_drops_a_burst_then_recovers() {
+        let stats = Arc::new(NetStats::new());
+        let faults = FaultPlane::with_seed(7);
+        faults.set("net.link_flap", pk_fault::FaultSchedule::OneShot(0));
+        faults.enable();
+        let nic = Nic::with_faults(NetConfig::pk(2), Arc::clone(&stats), &faults);
+        let f = flow(1);
+        let q = CoreId(nic.steer(&f));
+        for i in 0..LINK_FLAP_DROPS {
+            let drop = nic.rx(f, skb(), q).unwrap_err();
+            assert_eq!(drop.reason, DropReason::LinkDown, "packet {i}");
+        }
+        assert!(nic.rx(f, skb(), q).is_ok(), "link back up");
+        assert_eq!(
+            stats.rx_link_down_drops.load(Ordering::Relaxed),
+            LINK_FLAP_DROPS
+        );
     }
 }

@@ -2,6 +2,7 @@
 
 use crate::config::NetConfig;
 use crate::dst::DstCache;
+use crate::error::NetError;
 use crate::listener::{Connection, Listener};
 use crate::nic::{FlowHash, Nic};
 use crate::proto::{ProtoAccounting, Protocol};
@@ -10,6 +11,7 @@ use crate::socket::UdpSocket;
 use crate::stats::NetStats;
 use bytes::Bytes;
 use parking_lot::RwLock;
+use pk_fault::FaultPlane;
 use pk_percpu::CoreId;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -48,7 +50,7 @@ impl SockAddr {
 /// let server = stack.udp_bind(11211, CoreId(1)).unwrap();
 /// let from = SockAddr::new(0x0a000001, 4000);
 /// let to = SockAddr::new(0x0a000002, 11211);
-/// stack.udp_send(CoreId(0), from, to, Bytes::from_static(b"get k"));
+/// stack.udp_send(CoreId(0), from, to, Bytes::from_static(b"get k")).unwrap();
 /// // The core owning the steered NIC queue polls it and the datagram
 /// // lands in the per-socket queue.
 /// for core in 0..4 {
@@ -71,10 +73,16 @@ pub struct NetStack {
 impl NetStack {
     /// Creates a stack under `config`.
     pub fn new(config: NetConfig) -> Self {
+        Self::with_faults(config, &FaultPlane::disabled())
+    }
+
+    /// Like [`NetStack::new`], with receive loss injectable through
+    /// `faults` (`net.rx_drop`, `net.link_flap`).
+    pub fn with_faults(config: NetConfig, faults: &FaultPlane) -> Self {
         let stats = Arc::new(NetStats::new());
         Self {
             config,
-            nic: Nic::new(config, Arc::clone(&stats)),
+            nic: Nic::with_faults(config, Arc::clone(&stats), faults),
             pool: SkbPool::new(config, Arc::clone(&stats)),
             dst: DstCache::new(config, Arc::clone(&stats)),
             proto: ProtoAccounting::new(config, Arc::clone(&stats)),
@@ -132,9 +140,20 @@ impl NetStack {
     ///
     /// Exercises, in order: the destination cache refcount, protocol
     /// memory accounting, the skb pool, the TX queue, and (on loopback)
-    /// flow steering into an RX queue. Returns `false` if the packet was
-    /// dropped (RX FIFO overflow).
-    pub fn udp_send(&self, core: CoreId, from: SockAddr, to: SockAddr, payload: Bytes) -> bool {
+    /// flow steering into an RX queue.
+    ///
+    /// A refused packet releases its buffer and protocol charge before
+    /// the error is returned, so the books stay balanced whether or not
+    /// the caller retries. [`NetError::Backpressure`] means the receive
+    /// path is full (back off before retrying); [`NetError::Dropped`]
+    /// means the packet was lost in flight.
+    pub fn udp_send(
+        &self,
+        core: CoreId,
+        from: SockAddr,
+        to: SockAddr,
+        payload: Bytes,
+    ) -> Result<(), NetError> {
         let route = self.dst.route(to.ip, core);
         let len = payload.len();
         self.proto.charge(Protocol::Udp, len, core);
@@ -149,13 +168,20 @@ impl NetStack {
         route.put(core);
         let owner = self.owner_of(to.port);
         match owner {
-            Some(owner) => self.nic.rx(flow, skb, owner),
+            Some(owner) => self.nic.rx(flow, skb, owner).map_err(|drop| {
+                // The NIC hands the buffer back on refusal; release it
+                // and the charge (this used to leak both).
+                let err = NetError::from(&drop);
+                self.proto.uncharge(Protocol::Udp, len, core);
+                self.pool.free(core, drop.skb);
+                err
+            }),
             None => {
                 // Left the machine: the buffer is freed and the charge
                 // released immediately (the wire owns it now).
                 self.proto.uncharge(Protocol::Udp, len, core);
                 self.pool.free(core, skb);
-                true
+                Ok(())
             }
         }
     }
@@ -233,13 +259,14 @@ mod tests {
         let stack = NetStack::new(NetConfig::pk(4));
         let server = stack.udp_bind(11211, CoreId(2)).unwrap();
         assert!(stack.udp_bind(11211, CoreId(0)).is_none(), "port taken");
-        let sent = stack.udp_send(
-            CoreId(0),
-            SockAddr::new(1, 999),
-            SockAddr::new(2, 11211),
-            Bytes::from_static(b"hello"),
-        );
-        assert!(sent);
+        stack
+            .udp_send(
+                CoreId(0),
+                SockAddr::new(1, 999),
+                SockAddr::new(2, 11211),
+                Bytes::from_static(b"hello"),
+            )
+            .unwrap();
         assert_eq!(stack.proto().usage(Protocol::Udp), 5);
         // Drain whichever queue the NIC steered to.
         let mut processed = 0;
@@ -256,12 +283,14 @@ mod tests {
     #[test]
     fn send_to_unbound_port_leaves_machine() {
         let stack = NetStack::new(NetConfig::pk(2));
-        assert!(stack.udp_send(
-            CoreId(0),
-            SockAddr::new(1, 1),
-            SockAddr::new(9, 9),
-            Bytes::from_static(b"x"),
-        ));
+        assert!(stack
+            .udp_send(
+                CoreId(0),
+                SockAddr::new(1, 1),
+                SockAddr::new(9, 9),
+                Bytes::from_static(b"x"),
+            )
+            .is_ok());
         assert_eq!(stack.nic().pending(), 0);
         assert_eq!(stack.proto().usage(Protocol::Udp), 0);
     }
@@ -293,12 +322,14 @@ mod tests {
         // Defeat port pinning to force a hardware misdelivery, then let
         // software RFS fix it up.
         stack.nic().pin_port(5000, 1);
-        stack.udp_send(
-            CoreId(0),
-            SockAddr::new(1, 7777),
-            SockAddr::new(2, 5000),
-            Bytes::from_static(b"hop"),
-        );
+        stack
+            .udp_send(
+                CoreId(0),
+                SockAddr::new(1, 7777),
+                SockAddr::new(2, 5000),
+                Bytes::from_static(b"hop"),
+            )
+            .unwrap();
         // The wrong core polls: the packet must hop, not deliver.
         assert_eq!(stack.process_rx(CoreId(1), 16), 1);
         assert!(server.recv().is_none(), "not delivered cross-core");
@@ -314,13 +345,40 @@ mod tests {
         let stack = NetStack::new(NetConfig::pk(2));
         stack.udp_bind(1000, CoreId(0)).unwrap();
         for i in 0..50 {
-            stack.udp_send(
-                CoreId((i % 2) as usize),
-                SockAddr::new(1, 2000 + i),
-                SockAddr::new(2, 1000),
-                Bytes::from_static(b"q"),
-            );
+            stack
+                .udp_send(
+                    CoreId((i % 2) as usize),
+                    SockAddr::new(1, 2000 + i),
+                    SockAddr::new(2, 1000),
+                    Bytes::from_static(b"q"),
+                )
+                .unwrap();
         }
         assert_eq!(stack.dst_cache().len(), 1, "one hot destination");
+    }
+
+    #[test]
+    fn dropped_send_releases_buffer_and_charge() {
+        // Regression: an rx-path drop used to leak the protocol charge
+        // and the skb because only the unbound-port path released them.
+        let faults = pk_fault::FaultPlane::with_seed(11);
+        faults.set("net.rx_drop", pk_fault::FaultSchedule::EveryNth(1));
+        faults.enable();
+        let stack = NetStack::with_faults(NetConfig::pk(2), &faults);
+        stack.udp_bind(7000, CoreId(0)).unwrap();
+        let err = stack
+            .udp_send(
+                CoreId(0),
+                SockAddr::new(1, 1),
+                SockAddr::new(2, 7000),
+                Bytes::from_static(b"lost"),
+            )
+            .unwrap_err();
+        assert_eq!(
+            err,
+            NetError::Dropped(crate::error::DropReason::FaultInjected)
+        );
+        assert_eq!(stack.proto().usage(Protocol::Udp), 0, "charge released");
+        assert_eq!(stack.nic().pending(), 0, "nothing queued");
     }
 }

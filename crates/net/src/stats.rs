@@ -31,6 +31,10 @@ pub struct NetStats {
     pub rx_misdirected: AtomicU64,
     /// Packets dropped because the card's internal FIFO overflowed.
     pub rx_fifo_drops: AtomicU64,
+    /// Packets dropped by an injected `net.rx_drop` fault.
+    pub rx_fault_drops: AtomicU64,
+    /// Packets dropped while the link renegotiated after a flap.
+    pub rx_link_down_drops: AtomicU64,
 }
 
 impl NetStats {
@@ -77,6 +81,8 @@ impl NetStats {
             &self.rx_steered_local,
             &self.rx_misdirected,
             &self.rx_fifo_drops,
+            &self.rx_fault_drops,
+            &self.rx_link_down_drops,
         ] {
             c.store(0, Ordering::Relaxed);
         }

@@ -76,7 +76,7 @@ proptest! {
                 SockAddr::new(i as u32, 999),
                 SockAddr::new(1, 4000 + target as u16),
                 Bytes::from(vec![0u8; len]),
-            );
+            ).unwrap();
         }
         for c in 0..4 {
             stack.process_rx(CoreId(c), usize::MAX);

@@ -37,6 +37,9 @@ pub enum ProcError {
     NotAZombie,
     /// Attempted to reap a process that is not a child of the caller.
     NotYourChild,
+    /// Fork failed for lack of resources (`EAGAIN`); retrying later may
+    /// succeed.
+    ResourceExhausted,
 }
 
 impl fmt::Display for ProcError {
@@ -45,6 +48,7 @@ impl fmt::Display for ProcError {
             Self::NoSuchProcess => f.write_str("no such process"),
             Self::NotAZombie => f.write_str("child has not exited"),
             Self::NotYourChild => f.write_str("not a child of the caller"),
+            Self::ResourceExhausted => f.write_str("resource temporarily unavailable"),
         }
     }
 }
@@ -91,11 +95,20 @@ pub struct ProcessTable {
     /// process creation seem likely to grow ... in the case where parent
     /// and child are on different cores").
     cross_core_forks: AtomicU64,
+    /// `proc.fork_fail`: fork fails with EAGAIN, as when a process or
+    /// memory limit is hit.
+    fault_fork: pk_fault::FaultPoint,
 }
 
 impl ProcessTable {
     /// Creates a table containing the initial process (`Pid(1)`).
     pub fn new() -> Self {
+        Self::with_faults(&pk_fault::FaultPlane::disabled())
+    }
+
+    /// Like [`ProcessTable::new`], with fork failures injectable through
+    /// `faults` (`proc.fork_fail`).
+    pub fn with_faults(faults: &pk_fault::FaultPlane) -> Self {
         let t = Self {
             procs: RwLock::new(HashMap::new()),
             next_pid: AtomicU64::new(1),
@@ -103,6 +116,7 @@ impl ProcessTable {
             execs: AtomicU64::new(0),
             exits: AtomicU64::new(0),
             cross_core_forks: AtomicU64::new(0),
+            fault_fork: faults.point("proc.fork_fail"),
         };
         let init = t.spawn_raw(Pid(0), CoreId(0));
         debug_assert_eq!(init.pid, Pid(1));
@@ -127,6 +141,9 @@ impl ProcessTable {
             Some(p) => p.home_core,
             None => return Err(ProcError::NoSuchProcess),
         };
+        if self.fault_fork.should_inject() {
+            return Err(ProcError::ResourceExhausted);
+        }
         self.forks.fetch_add(1, Ordering::Relaxed);
         if parent_core != core {
             self.cross_core_forks.fetch_add(1, Ordering::Relaxed);
@@ -302,6 +319,22 @@ mod tests {
         assert_eq!(t.cross_core_fork_count(), 0);
         t.fork(Pid(1), CoreId(3)).unwrap();
         assert_eq!(t.cross_core_fork_count(), 1);
+    }
+
+    #[test]
+    fn injected_fork_failure_is_transient() {
+        let faults = pk_fault::FaultPlane::with_seed(4);
+        faults.set("proc.fork_fail", pk_fault::FaultSchedule::EveryNth(2));
+        faults.enable();
+        let t = ProcessTable::with_faults(&faults);
+        t.fork(Pid(1), CoreId(0)).unwrap();
+        assert_eq!(
+            t.fork(Pid(1), CoreId(0)).unwrap_err(),
+            ProcError::ResourceExhausted
+        );
+        assert_eq!(t.fork_count(), 1, "failed fork does not count as a fork");
+        assert_eq!(t.len(), 2, "no half-made process in the table");
+        t.fork(Pid(1), CoreId(0)).unwrap();
     }
 
     #[test]

@@ -14,11 +14,24 @@
 //! MVA extension models.
 
 use crate::mva::{Network, StationKind};
+use pk_fault::{FaultPlane, FaultPoint};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::collections::VecDeque;
+
+/// Extra cycles a lock holder loses when the `sim.lock_holder_preempt`
+/// fault fires at a service start: the holder is descheduled mid
+/// critical section and every waiter spins for the full quantum. The
+/// magnitude is a scheduler timeslice in cycles, dwarfing any service
+/// demand in the roster networks.
+const PREEMPT_CYCLES: u64 = 50_000;
+
+/// Extra cycles a core loses when the `sim.core_stall` fault fires at a
+/// dispatch: the core is stalled (interrupt storm, SMI, thermal event)
+/// before it reaches the station.
+const STALL_CYCLES: u64 = 10_000;
 
 /// Result of one simulation run.
 #[derive(Debug, Clone)]
@@ -95,9 +108,36 @@ impl StationState {
 ///
 /// Panics if the network is empty or `cores == 0`.
 pub fn simulate(net: &Network, cores: usize, ops_per_core: u64, seed: u64) -> DesResult {
+    simulate_with_faults(net, cores, ops_per_core, seed, &FaultPlane::disabled())
+}
+
+/// [`simulate`] with a fault plane wired into the event loop.
+///
+/// Two injection points perturb the simulated hardware:
+///
+/// * `sim.lock_holder_preempt` — checked at every Queue/NonScalable
+///   service start; when it fires the service time is inflated by
+///   [`PREEMPT_CYCLES`], modeling the holder losing its timeslice
+///   inside the critical section (the pathology spin locks are famously
+///   vulnerable to).
+/// * `sim.core_stall` — checked at every dispatch; when it fires the
+///   customer arrives [`STALL_CYCLES`] late, modeling a stalled core.
+///
+/// With the plane disabled this is byte-for-byte [`simulate`]: the
+/// fault checks cost one relaxed atomic load and draw nothing from the
+/// service-time RNG, so fault-free runs replay exactly.
+pub fn simulate_with_faults(
+    net: &Network,
+    cores: usize,
+    ops_per_core: u64,
+    seed: u64,
+    faults: &FaultPlane,
+) -> DesResult {
     assert!(cores > 0, "need at least one core");
     let stations = net.stations();
     assert!(!stations.is_empty(), "need at least one station");
+    let fault_preempt = faults.point("sim.lock_holder_preempt");
+    let fault_stall = faults.point("sim.core_stall");
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut state: Vec<StationState> = stations
         .iter()
@@ -138,6 +178,7 @@ pub fn simulate(net: &Network, cores: usize, ops_per_core: u64, seed: u64) -> De
 
     // Dispatch customer `c` into its current station at time `now`.
     // Returns the completion time.
+    #[allow(clippy::too_many_arguments)]
     fn dispatch(
         stations: &[crate::mva::Station],
         state: &mut [StationState],
@@ -146,7 +187,16 @@ pub fn simulate(net: &Network, cores: usize, ops_per_core: u64, seed: u64) -> De
         c: usize,
         station: usize,
         now: u64,
+        preempt: &FaultPoint,
+        stall: &FaultPoint,
     ) -> Option<u64> {
+        // A stalled core arrives late; the delay shifts both its service
+        // and (if the server is busy) its enqueue time.
+        let now = if stall.should_inject() {
+            now + STALL_CYCLES
+        } else {
+            now
+        };
         let st = &stations[station];
         match st.kind {
             StationKind::Delay => Some(now + service(rng, st.demand_cycles)),
@@ -165,7 +215,11 @@ pub fn simulate(net: &Network, cores: usize, ops_per_core: u64, seed: u64) -> De
                         _ => (st.demand_cycles, 0),
                     };
                     s.start_service(c, pollers);
-                    Some(now + service(rng, mean))
+                    let mut done = now + service(rng, mean);
+                    if preempt.should_inject() {
+                        done += PREEMPT_CYCLES;
+                    }
+                    Some(done)
                 }
             }
         }
@@ -173,7 +227,17 @@ pub fn simulate(net: &Network, cores: usize, ops_per_core: u64, seed: u64) -> De
 
     // Seed: every customer enters station 0.
     for c in 0..cores {
-        if let Some(t) = dispatch(stations, &mut state, &mut service, &mut rng, c, 0, 0) {
+        if let Some(t) = dispatch(
+            stations,
+            &mut state,
+            &mut service,
+            &mut rng,
+            c,
+            0,
+            0,
+            &fault_preempt,
+            &fault_stall,
+        ) {
             events.push((Reverse(t), seq, c));
             seq += 1;
         }
@@ -194,7 +258,9 @@ pub fn simulate(net: &Network, cores: usize, ops_per_core: u64, seed: u64) -> De
             if let Some((next_c, enqueued_at)) = s.queue.pop_front() {
                 // Start the next waiter; the server stays busy.
                 s.busy = true;
-                s.wait_cycles += now - enqueued_at;
+                // A stall-injected waiter can carry an enqueue stamp later
+                // than this departure; it effectively waited zero cycles.
+                s.wait_cycles += now.saturating_sub(enqueued_at);
                 let st = &stations[station];
                 let (mean, pollers) = match st.kind {
                     StationKind::NonScalable { collapse } => (
@@ -204,7 +270,10 @@ pub fn simulate(net: &Network, cores: usize, ops_per_core: u64, seed: u64) -> De
                     _ => (st.demand_cycles, 0),
                 };
                 s.start_service(next_c, pollers);
-                let done = now + service(&mut rng, mean);
+                let mut done = now + service(&mut rng, mean);
+                if fault_preempt.should_inject() {
+                    done += PREEMPT_CYCLES;
+                }
                 events.push((Reverse(done), seq, next_c));
                 seq += 1;
                 // next_c stays at the same station until its own departure.
@@ -243,6 +312,8 @@ pub fn simulate(net: &Network, cores: usize, ops_per_core: u64, seed: u64) -> De
             c,
             cust.station,
             now,
+            &fault_preempt,
+            &fault_stall,
         ) {
             events.push((Reverse(done), seq, c));
             seq += 1;
@@ -428,6 +499,64 @@ mod tests {
             }
             v => panic!("wrong value kind: {v:?}"),
         }
+    }
+
+    fn faulted_net() -> Network {
+        let mut net = Network::new();
+        net.push(Station::delay("u", 4_000.0, false));
+        net.push(Station::queue("lock", 1_000.0, true));
+        net
+    }
+
+    fn chaos_plane(seed: u64) -> pk_fault::FaultPlane {
+        let plane = pk_fault::FaultPlane::with_seed(seed);
+        plane.set(
+            "sim.lock_holder_preempt",
+            pk_fault::FaultSchedule::EveryNth(50),
+        );
+        plane.set("sim.core_stall", pk_fault::FaultSchedule::EveryNth(97));
+        plane.enable();
+        plane
+    }
+
+    #[test]
+    fn disabled_fault_plane_replays_plain_simulate() {
+        let net = faulted_net();
+        let plain = simulate(&net, 8, 3_000, 21);
+        let plane = pk_fault::FaultPlane::with_seed(21); // never enabled
+        let with = simulate_with_faults(&net, 8, 3_000, 21, &plane);
+        assert_eq!(plain.ops_per_cycle, with.ops_per_cycle);
+        assert_eq!(plain.completed_ops, with.completed_ops);
+        assert!(plane.trace().is_empty());
+    }
+
+    #[test]
+    fn preemption_and_stalls_slow_the_network() {
+        let net = faulted_net();
+        let clean = simulate(&net, 8, 3_000, 21);
+        let plane = chaos_plane(21);
+        let chaotic = simulate_with_faults(&net, 8, 3_000, 21, &plane);
+        assert!(plane.injected_total() > 0, "faults must actually fire");
+        assert!(
+            chaotic.cycles_per_op > clean.cycles_per_op,
+            "preempted holders must raise latency: clean={}, chaotic={}",
+            clean.cycles_per_op,
+            chaotic.cycles_per_op
+        );
+        assert!(chaotic.ops_per_cycle < clean.ops_per_cycle);
+    }
+
+    #[test]
+    fn fault_injection_replays_from_the_seed() {
+        let net = faulted_net();
+        let plane_a = chaos_plane(77);
+        let plane_b = chaos_plane(77);
+        let a = simulate_with_faults(&net, 6, 2_000, 5, &plane_a);
+        let b = simulate_with_faults(&net, 6, 2_000, 5, &plane_b);
+        assert_eq!(a.ops_per_cycle, b.ops_per_cycle);
+        assert_eq!(a.completed_ops, b.completed_ops);
+        assert_eq!(plane_a.trace(), plane_b.trace(), "fault traces must replay");
+        assert!(!plane_a.trace().is_empty());
     }
 
     #[test]

@@ -2,8 +2,10 @@
 
 use crate::config::VfsConfig;
 use crate::dentry::{Dentry, DentryKey};
+use crate::error::VfsError;
 use crate::inode::InodeId;
 use crate::stats::VfsStats;
+use pk_fault::{FaultPlane, FaultPoint};
 use pk_percpu::CoreId;
 use pk_sync::rcu::{self, RcuCell};
 use std::collections::hash_map::DefaultHasher;
@@ -30,18 +32,37 @@ pub struct Dcache {
     mask: usize,
     config: VfsConfig,
     stats: Arc<VfsStats>,
+    /// `vfs.dentry_alloc`: a dentry allocation fails with ENOMEM.
+    fault_alloc: FaultPoint,
+    /// `vfs.dcache_pressure`: a lookup misses as if the entry had been
+    /// evicted under memory pressure.
+    fault_pressure: FaultPoint,
 }
 
 impl Dcache {
     /// Creates a cache with `buckets` hash buckets (rounded up to a power
     /// of two).
     pub fn new(buckets: usize, config: VfsConfig, stats: Arc<VfsStats>) -> Self {
+        Self::with_faults(buckets, config, stats, &FaultPlane::disabled())
+    }
+
+    /// Like [`Dcache::new`], with allocation failure and cache pressure
+    /// injectable through `faults` (`vfs.dentry_alloc`,
+    /// `vfs.dcache_pressure`).
+    pub fn with_faults(
+        buckets: usize,
+        config: VfsConfig,
+        stats: Arc<VfsStats>,
+        faults: &FaultPlane,
+    ) -> Self {
         let n = buckets.next_power_of_two().max(1);
         Self {
             buckets: (0..n).map(|_| RcuCell::new(Vec::new())).collect(),
             mask: n - 1,
             config,
             stats,
+            fault_alloc: faults.point("vfs.dentry_alloc"),
+            fault_pressure: faults.point("vfs.dcache_pressure"),
         }
     }
 
@@ -55,6 +76,13 @@ impl Dcache {
     ///
     /// `core` is the acting core (for sloppy refcounts and stats).
     pub fn lookup(&self, key: &DentryKey, core: CoreId) -> Option<Arc<Dentry>> {
+        if self.fault_pressure.should_inject() {
+            // The entry was "evicted" under memory pressure: the caller
+            // falls back to the filesystem, exactly as on a cold miss.
+            VfsStats::bump(&self.stats.dcache_pressure_misses);
+            VfsStats::bump(&self.stats.dcache_misses);
+            return None;
+        }
         let guard = rcu::read_lock();
         let bucket = self.bucket(key).read(&guard);
         for d in bucket.iter() {
@@ -91,7 +119,20 @@ impl Dcache {
 
     /// Inserts a freshly created dentry for `key → inode` and returns it
     /// with one caller reference (plus the cache's own).
-    pub fn insert(&self, key: DentryKey, inode: InodeId, core: CoreId) -> Arc<Dentry> {
+    ///
+    /// Fails with [`VfsError::OutOfMemory`] when the dentry allocation
+    /// does (only under an injected `vfs.dentry_alloc` fault); nothing is
+    /// cached in that case and the caller degrades to uncached operation.
+    pub fn insert(
+        &self,
+        key: DentryKey,
+        inode: InodeId,
+        core: CoreId,
+    ) -> Result<Arc<Dentry>, VfsError> {
+        if self.fault_alloc.should_inject() {
+            VfsStats::bump(&self.stats.dentry_alloc_failures);
+            return Err(VfsError::OutOfMemory);
+        }
         let dentry = Dentry::new(
             key.clone(),
             inode,
@@ -108,7 +149,7 @@ impl Dcache {
             v.push(Arc::clone(&inserted));
             v
         });
-        dentry
+        Ok(dentry)
     }
 
     /// Removes the dentry for `key` from the cache (unlink/rename):
@@ -217,7 +258,7 @@ mod tests {
         for lockfree in [false, true] {
             let c = cache(lockfree);
             let key = DentryKey::new(InodeId(1), "etc");
-            let d = c.insert(key.clone(), InodeId(5), CoreId(0));
+            let d = c.insert(key.clone(), InodeId(5), CoreId(0)).unwrap();
             assert_eq!(d.references(), 2);
             let hit = c.lookup(&key, CoreId(1)).expect("hit");
             assert_eq!(hit.inode(), InodeId(5));
@@ -236,8 +277,10 @@ mod tests {
     #[test]
     fn same_name_different_parent_is_distinct() {
         let c = cache(true);
-        c.insert(DentryKey::new(InodeId(1), "x"), InodeId(10), CoreId(0));
-        c.insert(DentryKey::new(InodeId(2), "x"), InodeId(20), CoreId(0));
+        c.insert(DentryKey::new(InodeId(1), "x"), InodeId(10), CoreId(0))
+            .unwrap();
+        c.insert(DentryKey::new(InodeId(2), "x"), InodeId(20), CoreId(0))
+            .unwrap();
         assert_eq!(
             c.lookup(&DentryKey::new(InodeId(1), "x"), CoreId(0))
                 .unwrap()
@@ -256,7 +299,7 @@ mod tests {
     fn remove_makes_lookup_miss() {
         let c = cache(true);
         let key = DentryKey::new(InodeId(1), "tmp");
-        c.insert(key.clone(), InodeId(3), CoreId(0));
+        c.insert(key.clone(), InodeId(3), CoreId(0)).unwrap();
         assert!(c.remove(&key, CoreId(0)));
         assert!(c.lookup(&key, CoreId(0)).is_none());
         assert!(!c.remove(&key, CoreId(0)), "second remove is a no-op");
@@ -270,7 +313,7 @@ mod tests {
         cfg.lockfree_dlookup = false;
         let c = Dcache::new(16, cfg, Arc::clone(&stats));
         let key = DentryKey::new(InodeId(1), "a");
-        c.insert(key.clone(), InodeId(2), CoreId(0));
+        c.insert(key.clone(), InodeId(2), CoreId(0)).unwrap();
         c.lookup(&key, CoreId(0));
         assert!(
             stats
@@ -291,11 +334,13 @@ mod tests {
         let c = cache(true);
         let core = CoreId(0);
         for i in 0..8u64 {
-            let d = c.insert(
-                DentryKey::new(InodeId(1), format!("e{i}")),
-                InodeId(i),
-                core,
-            );
+            let d = c
+                .insert(
+                    DentryKey::new(InodeId(1), format!("e{i}")),
+                    InodeId(i),
+                    core,
+                )
+                .unwrap();
             d.put(core); // drop the caller reference; cache-only now
         }
         // Hold a reference to one entry.
@@ -313,11 +358,13 @@ mod tests {
         let c = cache(false);
         let core = CoreId(0);
         for i in 0..10u64 {
-            let d = c.insert(
-                DentryKey::new(InodeId(1), format!("t{i}")),
-                InodeId(i),
-                core,
-            );
+            let d = c
+                .insert(
+                    DentryKey::new(InodeId(1), format!("t{i}")),
+                    InodeId(i),
+                    core,
+                )
+                .unwrap();
             d.put(core);
         }
         assert_eq!(c.shrink(4, core), 4);
@@ -334,7 +381,8 @@ mod tests {
                 DentryKey::new(InodeId(1), format!("f{i}")),
                 InodeId(100 + i),
                 CoreId(0),
-            );
+            )
+            .unwrap();
         }
         let readers: Vec<_> = (0..3)
             .map(|t| {

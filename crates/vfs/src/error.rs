@@ -23,6 +23,8 @@ pub enum VfsError {
     ReadOnly,
     /// Stale handle: the object was concurrently removed (`ESTALE`).
     Stale,
+    /// Out of memory (`ENOMEM`), e.g. a dentry allocation failed.
+    OutOfMemory,
 }
 
 impl fmt::Display for VfsError {
@@ -37,6 +39,7 @@ impl fmt::Display for VfsError {
             Self::InvalidArgument => "invalid argument",
             Self::ReadOnly => "read-only file system",
             Self::Stale => "stale file handle",
+            Self::OutOfMemory => "out of memory",
         };
         f.write_str(s)
     }
@@ -60,6 +63,7 @@ mod tests {
             VfsError::InvalidArgument,
             VfsError::ReadOnly,
             VfsError::Stale,
+            VfsError::OutOfMemory,
         ];
         let mut seen = std::collections::HashSet::new();
         for e in all {

@@ -77,8 +77,14 @@ impl<'a> PathWalker<'a> {
         }
         // Miss: consult the file system and populate the cache.
         let child = self.fs.lookup_child(dir, name)?;
-        let dentry = self.dcache.insert(key, child.id, core);
-        dentry.put(core);
+        match self.dcache.insert(key, child.id, core) {
+            Ok(dentry) => dentry.put(core),
+            // Dentry allocation failed: degrade to uncached resolution.
+            // The walk still succeeds — the next lookup just misses again
+            // instead of the whole path walk failing with ENOMEM.
+            Err(VfsError::OutOfMemory) => {}
+            Err(e) => return Err(e),
+        }
         Ok(child)
     }
 

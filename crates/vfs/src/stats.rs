@@ -39,6 +39,10 @@ pub struct VfsStats {
     pub dcache_misses: AtomicU64,
     /// Dentries evicted by the shrinker (each one paid a reconcile).
     pub dcache_evictions: AtomicU64,
+    /// Dentry allocations that failed with ENOMEM (injected faults).
+    pub dentry_alloc_failures: AtomicU64,
+    /// Lookup misses forced by injected dcache memory pressure.
+    pub dcache_pressure_misses: AtomicU64,
 }
 
 impl VfsStats {
@@ -90,6 +94,8 @@ impl VfsStats {
             &self.dcache_hits,
             &self.dcache_misses,
             &self.dcache_evictions,
+            &self.dentry_alloc_failures,
+            &self.dcache_pressure_misses,
         ] {
             c.store(0, Ordering::Relaxed);
         }

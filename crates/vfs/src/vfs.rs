@@ -63,11 +63,18 @@ pub struct Vfs {
 impl Vfs {
     /// Creates an empty file system under `config`.
     pub fn new(config: VfsConfig) -> Self {
+        Self::with_faults(config, &pk_fault::FaultPlane::disabled())
+    }
+
+    /// Like [`Vfs::new`], with dentry-allocation failure and dcache
+    /// pressure injectable through `faults` (`vfs.dentry_alloc`,
+    /// `vfs.dcache_pressure`).
+    pub fn with_faults(config: VfsConfig, faults: &pk_fault::FaultPlane) -> Self {
         let stats = Arc::new(VfsStats::new());
         Self {
             config,
             fs: Tmpfs::new(),
-            dcache: Dcache::new(4096, config, Arc::clone(&stats)),
+            dcache: Dcache::with_faults(4096, config, Arc::clone(&stats), faults),
             mounts: MountTable::new(config, Arc::clone(&stats)),
             sb: SuperBlock::new(config, Arc::clone(&stats)),
             pages: PageCache::new(1024),
@@ -184,10 +191,19 @@ impl Vfs {
         let inode = self
             .fs
             .create_child(&pl.parent, &pl.name, InodeKind::File)?;
-        let dentry = self
-            .dcache
-            .insert(DentryKey::new(pl.parent.id, pl.name), inode.id, core);
-        dentry.put(core);
+        match self.dcache.insert(
+            DentryKey::new(pl.parent.id, pl.name.clone()),
+            inode.id,
+            core,
+        ) {
+            Ok(dentry) => dentry.put(core),
+            Err(e) => {
+                // Error-path resource release: undo the creation so the
+                // failed syscall leaves no half-made file behind.
+                let _ = self.fs.unlink_child(&pl.parent, &pl.name);
+                return Err(e);
+            }
+        }
         let (id, home) = self.sb.add_open_file(core);
         Ok(Arc::new(OpenFile::new(
             id,
@@ -273,11 +289,23 @@ impl Vfs {
             return Err(VfsError::Exists);
         }
         inode.inc_nlink();
-        let dentry = self
-            .dcache
-            .insert(DentryKey::new(pl.parent.id, pl.name), inode.id, core);
-        dentry.put(core);
-        Ok(())
+        match self.dcache.insert(
+            DentryKey::new(pl.parent.id, pl.name.clone()),
+            inode.id,
+            core,
+        ) {
+            Ok(dentry) => {
+                dentry.put(core);
+                Ok(())
+            }
+            Err(e) => {
+                // Roll the half-made link back: drop the directory entry
+                // and the extra nlink taken above.
+                pl.parent.remove_child(&pl.name);
+                inode.dec_nlink();
+                Err(e)
+            }
+        }
     }
 
     /// Lists the entries of the directory at `path`, sorted.
@@ -529,6 +557,73 @@ mod tests {
             VfsError::NotFound
         );
         assert_eq!(vfs.link("/f", "/f", core).unwrap_err(), VfsError::Exists);
+    }
+
+    #[test]
+    fn failed_create_rolls_back_the_inode() {
+        let faults = pk_fault::FaultPlane::with_seed(3);
+        faults.set("vfs.dentry_alloc", pk_fault::FaultSchedule::OneShot(0));
+        faults.enable();
+        let vfs = Vfs::with_faults(VfsConfig::pk(4), &faults);
+        let core = CoreId(0);
+        assert_eq!(
+            vfs.create("/f", core).unwrap_err(),
+            VfsError::OutOfMemory,
+            "dentry allocation failure surfaces as ENOMEM"
+        );
+        // The rollback removed the half-created file: a later create of
+        // the same name succeeds (no phantom EEXIST) and opens cleanly.
+        let f = vfs.create("/f", core).unwrap();
+        vfs.close(&f, core);
+        assert_eq!(vfs.superblock().open_files(), 0);
+    }
+
+    #[test]
+    fn failed_link_rolls_back_nlink() {
+        let faults = pk_fault::FaultPlane::with_seed(3);
+        faults.set("vfs.dentry_alloc", pk_fault::FaultSchedule::OneShot(0));
+        let vfs = Vfs::with_faults(VfsConfig::pk(4), &faults);
+        let core = CoreId(0);
+        vfs.write_file("/a", b"x", core).unwrap();
+        // Arm only after setup so the one-shot hits the link itself.
+        faults.enable();
+        assert_eq!(
+            vfs.link("/a", "/b", core).unwrap_err(),
+            VfsError::OutOfMemory
+        );
+        assert_eq!(vfs.stat("/a", core).unwrap().nlink, 1, "nlink rolled back");
+        assert_eq!(vfs.stat("/b", core).unwrap_err(), VfsError::NotFound);
+        // Retry succeeds once the pressure passes.
+        vfs.link("/a", "/b", core).unwrap();
+        assert_eq!(vfs.stat("/a", core).unwrap().nlink, 2);
+    }
+
+    #[test]
+    fn dcache_pressure_degrades_to_uncached_resolution() {
+        let faults = pk_fault::FaultPlane::with_seed(5);
+        faults.set("vfs.dcache_pressure", pk_fault::FaultSchedule::EveryNth(1));
+        faults.set("vfs.dentry_alloc", pk_fault::FaultSchedule::EveryNth(1));
+        let vfs = Vfs::with_faults(VfsConfig::pk(4), &faults);
+        let core = CoreId(0);
+        vfs.mkdir_p("/deep/dir", core).unwrap();
+        vfs.write_file("/deep/dir/f", b"still here", core).unwrap();
+        // Arm only after the tree exists; now every lookup misses and
+        // every re-populate fails.
+        faults.enable();
+        // Every lookup misses and every re-populate fails, but reads
+        // still succeed via the backing fs — slower, never wrong.
+        assert_eq!(vfs.read_file("/deep/dir/f", core).unwrap(), b"still here");
+        let s = vfs.stats();
+        assert!(
+            s.dcache_pressure_misses
+                .load(std::sync::atomic::Ordering::Relaxed)
+                > 0
+        );
+        assert!(
+            s.dentry_alloc_failures
+                .load(std::sync::atomic::Ordering::Relaxed)
+                > 0
+        );
     }
 
     #[test]

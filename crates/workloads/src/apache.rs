@@ -14,11 +14,13 @@
 //! — server idle time reaches 18% at 48 cores.
 
 use crate::common::{config_label, demand_unless, KernelChoice};
-use pk_kernel::{FixId, Kernel, KernelConfig};
+use pk_fault::{FaultPlane, RetryPolicy};
+use pk_kernel::{FixId, Kernel, KernelConfig, KernelError};
 use pk_net::FlowHash;
 use pk_percpu::CoreId;
 use pk_sim::{CoreSweep, MachineSpec, Network, Station, SweepPoint, WorkloadModel};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Size of the static file served (§5.4).
 pub const FILE_BYTES: usize = 300;
@@ -39,12 +41,33 @@ pub struct ApacheDriver {
     kernel: Kernel,
     served: AtomicU64,
     next_client_port: AtomicU64,
+    /// Accept polls that found the backlog empty and charged a backoff
+    /// (a live worker would sleep in `accept(2)`; the driver's polling
+    /// loop models that wait explicitly instead of spinning).
+    accept_backoffs: AtomicU64,
+    /// Total simulated accept backoff, in cycles.
+    accept_backoff_cycles: AtomicU64,
+    /// Consecutive empty polls, the backoff's attempt index (resets on
+    /// every accepted connection so recovery is immediate).
+    empty_polls: AtomicU64,
+    /// Transient filesystem failures absorbed by in-request retries.
+    request_tempfails: AtomicU64,
+    /// Connections accepted but answered with an error after the retry
+    /// budget ran out (a live server's 5xx).
+    failed_requests: AtomicU64,
+    retry: RetryPolicy,
 }
 
 impl ApacheDriver {
     /// Boots a kernel, publishes the document root, and listens on :80.
     pub fn new(choice: KernelChoice, cores: usize) -> Self {
-        let kernel = Kernel::new(choice.config(cores));
+        Self::with_faults(choice, cores, Arc::new(FaultPlane::disabled()))
+    }
+
+    /// As [`ApacheDriver::new`], with every substrate wired to `faults`.
+    /// Arm the plane only after construction so setup runs clean.
+    pub fn with_faults(choice: KernelChoice, cores: usize, faults: Arc<FaultPlane>) -> Self {
+        let kernel = Kernel::with_faults(choice.config(cores), faults);
         let core = CoreId(0);
         kernel.vfs().mkdir_p("/htdocs", core).expect("docroot");
         kernel
@@ -56,6 +79,12 @@ impl ApacheDriver {
             kernel,
             served: AtomicU64::new(0),
             next_client_port: AtomicU64::new(1024),
+            accept_backoffs: AtomicU64::new(0),
+            accept_backoff_cycles: AtomicU64::new(0),
+            empty_polls: AtomicU64::new(0),
+            request_tempfails: AtomicU64::new(0),
+            failed_requests: AtomicU64::new(0),
+            retry: RetryPolicy::DEFAULT,
         }
     }
 
@@ -67,6 +96,26 @@ impl ApacheDriver {
     /// Requests served.
     pub fn served(&self) -> u64 {
         self.served.load(Ordering::Relaxed)
+    }
+
+    /// Empty accept polls that charged a backoff.
+    pub fn accept_backoffs(&self) -> u64 {
+        self.accept_backoffs.load(Ordering::Relaxed)
+    }
+
+    /// Total simulated accept backoff, in cycles.
+    pub fn accept_backoff_cycles(&self) -> u64 {
+        self.accept_backoff_cycles.load(Ordering::Relaxed)
+    }
+
+    /// Transient filesystem failures absorbed by in-request retries.
+    pub fn request_tempfails(&self) -> u64 {
+        self.request_tempfails.load(Ordering::Relaxed)
+    }
+
+    /// Accepted connections that exhausted their retry budget (5xx).
+    pub fn failed_requests(&self) -> u64 {
+        self.failed_requests.load(Ordering::Relaxed)
     }
 
     /// A client opens a connection; the NIC steers its handshake to a
@@ -90,19 +139,66 @@ impl ApacheDriver {
     /// processed entirely on its arrival core.
     pub fn serve_one(&self, core: usize) -> Option<bool> {
         let core_id = CoreId(core);
-        let conn = self.kernel.net().accept(80, core_id)?;
-        let vfs = self.kernel.vfs();
-        let st = vfs.stat(FILE_PATH, core_id).expect("stat docroot file");
-        debug_assert_eq!(st.size as usize, FILE_BYTES);
-        let f = vfs.open(FILE_PATH, core_id).expect("open");
-        // The file is served out of the buffer cache (§5.4).
-        let body = vfs.read_cached(FILE_PATH, core_id).expect("read");
-        debug_assert_eq!(body.len(), FILE_BYTES);
-        vfs.close(&f, core_id);
-        // Transmit the response on this core's TX queue.
-        self.kernel.net().nic().tx(core_id, conn.flow);
-        self.served.fetch_add(1, Ordering::Relaxed);
+        let conn = match self.kernel.net().accept(80, core_id) {
+            Some(c) => {
+                self.empty_polls.store(0, Ordering::Relaxed);
+                c
+            }
+            None => {
+                // Empty backlog: back off exponentially (with jitter from
+                // the fault seed) instead of hammering the accept queue.
+                let attempt = self.empty_polls.fetch_add(1, Ordering::Relaxed).min(12) as u32;
+                let delay =
+                    self.retry
+                        .delay_cycles(self.kernel.faults().seed(), core as u64, attempt);
+                self.accept_backoffs.fetch_add(1, Ordering::Relaxed);
+                self.accept_backoff_cycles
+                    .fetch_add(delay, Ordering::Relaxed);
+                return None;
+            }
+        };
+        // Serve the file with bounded retry: injected dcache pressure or
+        // allocation failure tempfails the request instead of killing
+        // the worker; an exhausted budget is the live server's 5xx.
+        let seed = self.kernel.faults().seed();
+        let token = (u64::from(conn.flow.src_ip) << 16) ^ u64::from(conn.flow.src_port);
+        let out = self
+            .retry
+            .run(seed, token, |_| match self.serve_file(core_id) {
+                Ok(()) => Ok(Ok(())),
+                Err(e) if e.is_transient() => Err(e),
+                Err(e) => Ok(Err(e)),
+            });
+        if out.attempts > 1 {
+            self.request_tempfails
+                .fetch_add(u64::from(out.attempts) - 1, Ordering::Relaxed);
+        }
+        match out.result.and_then(|inner| inner) {
+            Ok(()) => {
+                // Transmit the response on this core's TX queue.
+                self.kernel.net().nic().tx(core_id, conn.flow);
+                self.served.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => {
+                self.failed_requests.fetch_add(1, Ordering::Relaxed);
+            }
+        }
         Some(conn.local)
+    }
+
+    /// One request body: stat, open, read from the buffer cache (§5.4),
+    /// close. The open file is closed on the error path too, so the
+    /// open-file accounting stays balanced under injected faults.
+    fn serve_file(&self, core_id: CoreId) -> Result<(), KernelError> {
+        let vfs = self.kernel.vfs();
+        let st = vfs.stat(FILE_PATH, core_id)?;
+        debug_assert_eq!(st.size as usize, FILE_BYTES);
+        let f = vfs.open(FILE_PATH, core_id)?;
+        let body = vfs.read_cached(FILE_PATH, core_id);
+        vfs.close(&f, core_id);
+        let body = body?;
+        debug_assert_eq!(body.len(), FILE_BYTES);
+        Ok(())
     }
 }
 
@@ -282,6 +378,30 @@ mod tests {
             local >= 30,
             "most connections served on their arrival core: {local}/40"
         );
+    }
+
+    #[test]
+    fn empty_accept_polls_back_off_deterministically() {
+        let d = ApacheDriver::new(KernelChoice::Pk, 2);
+        // No connections queued: every poll backs off, exponentially.
+        for _ in 0..4 {
+            assert!(d.serve_one(0).is_none());
+        }
+        assert_eq!(d.accept_backoffs(), 4);
+        let first = d.accept_backoff_cycles();
+        assert!(first > 0);
+        // Work resets the backoff ladder.
+        d.client_connect(0x0d00_0001);
+        assert!(d.serve_one(0).is_some());
+        assert!(d.serve_one(0).is_none());
+        assert_eq!(d.accept_backoffs(), 5);
+        // A fresh driver replays the identical backoff schedule (jitter
+        // derives from the fault seed, not wall-clock state).
+        let d2 = ApacheDriver::new(KernelChoice::Pk, 2);
+        for _ in 0..4 {
+            assert!(d2.serve_one(0).is_none());
+        }
+        assert_eq!(d2.accept_backoff_cycles(), first);
     }
 
     #[test]

@@ -13,11 +13,13 @@
 //! locks of the spool directories.
 
 use crate::common::{config_label, demand_unless, KernelChoice};
-use pk_kernel::{FixId, Kernel, KernelConfig};
+use pk_fault::{FaultPlane, RetryPolicy};
+use pk_kernel::{FixId, Kernel, KernelConfig, KernelError};
 use pk_percpu::CoreId;
 use pk_proc::Pid;
 use pk_sim::{CoreSweep, MachineSpec, Network, Station, SweepPoint, WorkloadModel};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Number of spool directories Exim hashes messages over (§5.2).
 pub const SPOOL_DIRS: usize = 62;
@@ -41,6 +43,16 @@ pub const KERNEL_FRACTION: f64 = 0.69;
 pub struct EximDriver {
     kernel: Kernel,
     delivered: AtomicU64,
+    /// Messages whose delivery was attempted (delivered + bounced once a
+    /// connection completes — the chaos harness checks this invariant).
+    attempted: AtomicU64,
+    /// Transient delivery failures that were requeued (SMTP 4xx).
+    tempfails: AtomicU64,
+    /// Messages given up on after the retry budget ran out (SMTP 5xx).
+    bounced: AtomicU64,
+    /// Total simulated backoff charged by requeues, in cycles.
+    retry_backoff_cycles: AtomicU64,
+    retry: RetryPolicy,
     /// §5.2's third application fix: "We configured Exim to avoid an
     /// exec() per mail message, using deliver_drop_privilege." `false` =
     /// stock Exim, exec()ing a delivery binary per message.
@@ -65,6 +77,13 @@ impl EximDriver {
         Self::with_app_config(choice, cores, bdb_caches_cpu_count, true)
     }
 
+    /// Boots a kernel wired to `faults` (with the modified Berkeley DB
+    /// and deliver_drop_privilege). Arm the plane only after
+    /// construction: the spool layout must not eat injected faults.
+    pub fn with_faults(choice: KernelChoice, cores: usize, faults: Arc<FaultPlane>) -> Self {
+        Self::build(choice, cores, true, true, faults)
+    }
+
     /// Full application-configuration control: Berkeley DB caching and
     /// the deliver_drop_privilege (no-exec) setting.
     pub fn with_app_config(
@@ -73,7 +92,23 @@ impl EximDriver {
         bdb_caches_cpu_count: bool,
         avoid_exec: bool,
     ) -> Self {
-        let kernel = Kernel::new(choice.config(cores));
+        Self::build(
+            choice,
+            cores,
+            bdb_caches_cpu_count,
+            avoid_exec,
+            Arc::new(FaultPlane::disabled()),
+        )
+    }
+
+    fn build(
+        choice: KernelChoice,
+        cores: usize,
+        bdb_caches_cpu_count: bool,
+        avoid_exec: bool,
+        faults: Arc<FaultPlane>,
+    ) -> Self {
+        let kernel = Kernel::with_faults(choice.config(cores), faults);
         let core = CoreId(0);
         for d in 0..SPOOL_DIRS {
             kernel
@@ -90,6 +125,11 @@ impl EximDriver {
         Self {
             kernel,
             delivered: AtomicU64::new(0),
+            attempted: AtomicU64::new(0),
+            tempfails: AtomicU64::new(0),
+            bounced: AtomicU64::new(0),
+            retry_backoff_cycles: AtomicU64::new(0),
+            retry: RetryPolicy::DEFAULT,
             avoid_exec,
             bdb_caches_cpu_count,
             cached_cpu_count: std::sync::OnceLock::new(),
@@ -120,62 +160,156 @@ impl EximDriver {
         self.delivered.load(Ordering::Relaxed)
     }
 
+    /// Messages whose delivery was attempted.
+    pub fn attempted(&self) -> u64 {
+        self.attempted.load(Ordering::Relaxed)
+    }
+
+    /// Transient failures that were requeued and retried.
+    pub fn tempfails(&self) -> u64 {
+        self.tempfails.load(Ordering::Relaxed)
+    }
+
+    /// Messages bounced after the retry budget ran out.
+    pub fn bounced(&self) -> u64 {
+        self.bounced.load(Ordering::Relaxed)
+    }
+
+    /// Total simulated requeue backoff, in cycles.
+    pub fn retry_backoff_cycles(&self) -> u64 {
+        self.retry_backoff_cycles.load(Ordering::Relaxed)
+    }
+
     /// Delivers one message on `core` for `user`, as the per-connection
     /// process `conn`: fork twice, spool, append to the mailbox, unlink
     /// the spool file, log.
+    ///
+    /// On failure the delivery children are reaped and the spooled copy
+    /// is removed, so a requeue retries from a clean slate and nothing
+    /// leaks across attempts.
     pub fn deliver_message(
         &self,
         core: CoreId,
         conn: Pid,
         msg_id: u64,
         user: usize,
-    ) -> Result<(), pk_vfs::VfsError> {
+    ) -> Result<(), KernelError> {
         let k = &self.kernel;
         // Berkeley DB consults the core count while opening its hints
         // database (stock BDB: a fresh /proc/stat read per message).
         let _cores = self.bdb_cpu_count();
         // Exim forks twice to deliver each message (§3.1).
-        let d1 = k.fork(conn, core).expect("fork delivery 1");
-        let d2 = k.fork(conn, core).expect("fork delivery 2");
-        if !self.avoid_exec {
-            // Stock Exim execs the delivery binary in each child.
-            k.procs().exec(d1).expect("exec delivery 1");
-            k.procs().exec(d2).expect("exec delivery 2");
-        }
+        let d1 = k.fork(conn, core)?;
+        let d2 = match k.fork(conn, core) {
+            Ok(p) => p,
+            Err(e) => {
+                let _ = k.exit(d1, core);
+                return Err(e);
+            }
+        };
         // Spool the message, hashed by process id over 62 directories.
         let dir = (conn.0 as usize).wrapping_add(msg_id as usize) % SPOOL_DIRS;
         let spool = format!("/var/spool/input/{dir}/msg-{}-{msg_id}", conn.0);
         let body = [b'x'; MSG_BYTES];
-        k.vfs().write_file(&spool, &body, core)?;
-        // Append to the per-user mail file.
-        let mbox = format!("/var/mail/user{user}");
-        let f = match k.vfs().open(&mbox, core) {
-            Ok(f) => f,
-            Err(pk_vfs::VfsError::NotFound) => k.vfs().create(&mbox, core)?,
-            Err(e) => return Err(e),
-        };
-        f.append(&body)?;
-        k.vfs().close(&f, core);
-        // Delete the spooled copy and record the delivery.
-        k.vfs().unlink(&spool, core)?;
-        let log = k.vfs().open("/var/log/exim", core)?;
-        log.append(format!("delivered {msg_id}\n").as_bytes())?;
-        k.vfs().close(&log, core);
-        k.exit(d1, core).expect("exit delivery 1");
-        k.exit(d2, core).expect("exit delivery 2");
-        self.delivered.fetch_add(1, Ordering::Relaxed);
-        Ok(())
+        let outcome = (|| -> Result<(), KernelError> {
+            if !self.avoid_exec {
+                // Stock Exim execs the delivery binary in each child.
+                k.procs().exec(d1)?;
+                k.procs().exec(d2)?;
+            }
+            k.vfs().write_file(&spool, &body, core)?;
+            // Append to the per-user mail file.
+            let mbox = format!("/var/mail/user{user}");
+            let f = match k.vfs().open(&mbox, core) {
+                Ok(f) => f,
+                Err(pk_vfs::VfsError::NotFound) => k.vfs().create(&mbox, core)?,
+                Err(e) => return Err(e.into()),
+            };
+            let append = f.append(&body);
+            k.vfs().close(&f, core);
+            append?;
+            // Delete the spooled copy and record the delivery.
+            k.vfs().unlink(&spool, core)?;
+            let log = k.vfs().open("/var/log/exim", core)?;
+            let logged = log.append(format!("delivered {msg_id}\n").as_bytes());
+            k.vfs().close(&log, core);
+            logged?;
+            Ok(())
+        })();
+        // The delivery children exit whether or not delivery succeeded.
+        let exit1 = k.exit(d1, core);
+        let exit2 = k.exit(d2, core);
+        match outcome {
+            Ok(()) => {
+                exit1?;
+                exit2?;
+                self.delivered.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            Err(e) => {
+                // Leave no half-delivered spool file behind for the retry.
+                let _ = k.vfs().unlink(&spool, core);
+                Err(e)
+            }
+        }
     }
 
     /// Handles one SMTP connection on `core`: fork the handler, deliver
     /// [`MSGS_PER_CONNECTION`] messages to `user`, tear down.
-    pub fn run_connection(&self, core: CoreId, user: usize) -> Result<(), pk_vfs::VfsError> {
-        let conn = self.kernel.fork(Pid(1), core).expect("fork connection");
+    ///
+    /// Transient failures are requeued with deterministic backoff (the
+    /// jitter derives from the kernel's fault seed); a message whose
+    /// retry budget runs out is bounced, counted, and the connection
+    /// moves on — mirroring SMTP's 4xx tempfail / 5xx bounce split.
+    /// Permanent errors abort the connection.
+    pub fn run_connection(&self, core: CoreId, user: usize) -> Result<(), KernelError> {
+        let seed = self.kernel.faults().seed();
+        let conn_token = (user as u64).rotate_left(41) ^ core.0 as u64;
+        // A fork failure that survives the retry budget aborts the
+        // connection: the handler never existed.
+        let conn = self.retry_transient(seed, conn_token, |_| self.kernel.fork(Pid(1), core))?;
+        let mut result = Ok(());
         for m in 0..MSGS_PER_CONNECTION {
-            self.deliver_message(core, conn, m as u64, user)?;
+            self.attempted.fetch_add(1, Ordering::Relaxed);
+            let token = conn.0 << 16 | m as u64;
+            match self.retry_transient(seed, token, |_| {
+                self.deliver_message(core, conn, m as u64, user)
+            }) {
+                Ok(()) => {}
+                Err(e) if e.is_transient() => {
+                    // Retry budget exhausted: bounce and move on.
+                    self.bounced.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(e) => {
+                    result = Err(e);
+                    break;
+                }
+            }
         }
-        self.kernel.exit(conn, core).expect("exit connection");
-        Ok(())
+        let _ = self.kernel.exit(conn, core);
+        result
+    }
+
+    /// Runs `op` under the driver's retry policy, retrying only
+    /// transient errors and charging the backoff to the driver's books.
+    fn retry_transient<T>(
+        &self,
+        seed: u64,
+        token: u64,
+        mut op: impl FnMut(u32) -> Result<T, KernelError>,
+    ) -> Result<T, KernelError> {
+        let out = self.retry.run(seed, token, |attempt| match op(attempt) {
+            Ok(v) => Ok(Ok(v)),
+            Err(e) if e.is_transient() => Err(e), // requeue
+            Err(e) => Ok(Err(e)),                 // permanent: stop retrying
+        });
+        if out.attempts > 1 {
+            self.tempfails
+                .fetch_add(u64::from(out.attempts) - 1, Ordering::Relaxed);
+            self.retry_backoff_cycles
+                .fetch_add(out.backoff_cycles, Ordering::Relaxed);
+        }
+        out.result.and_then(|inner| inner)
     }
 }
 
@@ -363,6 +497,45 @@ mod tests {
                 .load(Ordering::Relaxed),
             1
         );
+    }
+
+    #[test]
+    fn transient_faults_are_requeued_not_fatal() {
+        let faults = Arc::new(FaultPlane::with_seed(0xE215));
+        let d = EximDriver::with_faults(KernelChoice::Pk, 4, Arc::clone(&faults));
+        // Roughly 5% fork failures and occasional allocator trouble.
+        faults.set("proc.fork_fail", pk_fault::FaultSchedule::EveryNth(20));
+        faults.set("vfs.dentry_alloc", pk_fault::FaultSchedule::EveryNth(40));
+        faults.enable();
+        for conn in 0..8 {
+            d.run_connection(CoreId(conn % 4), conn).unwrap();
+        }
+        faults.disable();
+        assert_eq!(
+            d.delivered() + d.bounced(),
+            d.attempted(),
+            "every message is either delivered or bounced"
+        );
+        assert_eq!(d.attempted(), 8 * MSGS_PER_CONNECTION as u64);
+        assert!(d.tempfails() > 0, "faults must have forced requeues");
+        assert!(d.retry_backoff_cycles() > 0, "requeues charge backoff");
+        // No process or spool leaks despite the failures.
+        assert_eq!(d.kernel().procs().len(), 1, "all children reaped");
+        assert_eq!(
+            d.kernel().vfs().superblock().open_files(),
+            0,
+            "no leaked open files"
+        );
+    }
+
+    #[test]
+    fn fault_free_run_counts_no_retries() {
+        let d = EximDriver::new(KernelChoice::Pk, 2);
+        d.run_connection(CoreId(0), 0).unwrap();
+        assert_eq!(d.tempfails(), 0);
+        assert_eq!(d.bounced(), 0);
+        assert_eq!(d.attempted(), MSGS_PER_CONNECTION as u64);
+        assert_eq!(d.delivered(), MSGS_PER_CONNECTION as u64);
     }
 
     #[test]

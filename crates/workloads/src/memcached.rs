@@ -14,6 +14,7 @@
 
 use crate::common::{config_label, demand_unless, KernelChoice};
 use bytes::Bytes;
+use pk_fault::{FaultPlane, RetryPolicy};
 use pk_kernel::{FixId, Kernel, KernelConfig};
 use pk_net::{SockAddr, UdpSocket};
 use pk_percpu::CoreId;
@@ -41,12 +42,25 @@ pub struct MemcachedDriver {
     kernel: Kernel,
     sockets: Vec<Arc<UdpSocket>>,
     served: AtomicU64,
+    /// Sends that were retried after a transient refusal (NIC drop,
+    /// backpressure). A real memcached client resends on timeout.
+    client_retries: AtomicU64,
+    /// Packets abandoned after the retry budget ran out — reported, not
+    /// silently lost.
+    client_drops: AtomicU64,
+    retry: RetryPolicy,
 }
 
 impl MemcachedDriver {
     /// Boots a kernel and binds one instance per core.
     pub fn new(choice: KernelChoice, cores: usize) -> Self {
-        let kernel = Kernel::new(choice.config(cores));
+        Self::with_faults(choice, cores, Arc::new(FaultPlane::disabled()))
+    }
+
+    /// Boots a kernel wired to `faults` and binds one instance per core.
+    /// Arm the plane only after construction so the binds run clean.
+    pub fn with_faults(choice: KernelChoice, cores: usize, faults: Arc<FaultPlane>) -> Self {
+        let kernel = Kernel::with_faults(choice.config(cores), faults);
         let sockets = (0..cores)
             .map(|c| {
                 kernel
@@ -59,6 +73,9 @@ impl MemcachedDriver {
             kernel,
             sockets,
             served: AtomicU64::new(0),
+            client_retries: AtomicU64::new(0),
+            client_drops: AtomicU64::new(0),
+            retry: RetryPolicy::DEFAULT,
         }
     }
 
@@ -72,27 +89,62 @@ impl MemcachedDriver {
         self.served.load(Ordering::Relaxed)
     }
 
+    /// Sends retried after transient refusals.
+    pub fn client_retries(&self) -> u64 {
+        self.client_retries.load(Ordering::Relaxed)
+    }
+
+    /// Packets abandoned after the retry budget ran out.
+    pub fn client_drops(&self) -> u64 {
+        self.client_drops.load(Ordering::Relaxed)
+    }
+
+    /// Sends one packet with bounded retry on transient refusal,
+    /// counting retries and final drops. Returns whether it got through.
+    fn send_with_retry(&self, core: CoreId, from: SockAddr, to: SockAddr, body: Bytes) -> bool {
+        let seed = self.kernel.faults().seed();
+        let token = (u64::from(from.ip) << 24) ^ (u64::from(to.port) << 8) ^ core.0 as u64;
+        let out = self.retry.run(seed, token, |_| {
+            self.kernel.net().udp_send(core, from, to, body.clone())
+        });
+        if out.attempts > 1 {
+            self.client_retries
+                .fetch_add(u64::from(out.attempts) - 1, Ordering::Relaxed);
+        }
+        match out.result {
+            Ok(()) => true,
+            Err(_) => {
+                self.client_drops.fetch_add(1, Ordering::Relaxed);
+                false
+            }
+        }
+    }
+
     /// A client sends one batch of [`BATCH`] requests to the instance of
     /// `target_core` (clients "deterministically distribute key lookups
-    /// among the servers").
-    pub fn client_batch(&self, client_id: u32, target_core: usize) {
+    /// among the servers"). Returns how many got through; refused sends
+    /// are retried with deterministic backoff first.
+    pub fn client_batch(&self, client_id: u32, target_core: usize) -> usize {
         let from = SockAddr::new(0x0a01_0000 + client_id, 7000 + (client_id % 100) as u16);
         let to = SockAddr::new(
             0x0a00_0001,
             BASE_PORT + (target_core % self.sockets.len()) as u16,
         );
-        for _ in 0..BATCH {
-            self.kernel.net().udp_send(
-                CoreId(target_core),
-                from,
-                to,
-                Bytes::from(vec![b'q'; REQUEST_BYTES]),
-            );
-        }
+        (0..BATCH)
+            .filter(|_| {
+                self.send_with_retry(
+                    CoreId(target_core),
+                    from,
+                    to,
+                    Bytes::from(vec![b'q'; REQUEST_BYTES]),
+                )
+            })
+            .count()
     }
 
     /// The server on `core` drains its NIC queue and answers every
-    /// pending request; returns the number served.
+    /// pending request; returns the number served. A response the NIC
+    /// refuses is retried, then counted as a client-visible drop.
     pub fn server_poll(&self, core: usize) -> usize {
         let net = self.kernel.net();
         let core_id = CoreId(core);
@@ -103,7 +155,7 @@ impl MemcachedDriver {
             let reply_to = SockAddr::new(dgram.from.src_ip, dgram.from.src_port);
             let from = SockAddr::new(0x0a00_0001, sock.port);
             net.release(core_id, dgram.skb);
-            net.udp_send(
+            self.send_with_retry(
                 core_id,
                 from,
                 reply_to,
@@ -306,6 +358,34 @@ mod tests {
                 Some(CoreId(c as usize))
             );
         }
+    }
+
+    #[test]
+    fn injected_rx_drops_are_retried_and_reported() {
+        let faults = Arc::new(FaultPlane::with_seed(0x11211));
+        let d = MemcachedDriver::with_faults(KernelChoice::Pk, 2, Arc::clone(&faults));
+        faults.set("net.rx_drop", pk_fault::FaultSchedule::EveryNth(10));
+        faults.enable();
+        let mut sent = 0;
+        for client in 0..10 {
+            sent += d.client_batch(client, (client as usize) % 2);
+        }
+        let served = d.drain_all();
+        faults.disable();
+        assert!(d.client_retries() > 0, "10% drop rate must force retries");
+        assert!(
+            sent >= 10 * BATCH - (d.client_drops() as usize),
+            "sent {sent} + drops {} must cover the offered load",
+            d.client_drops()
+        );
+        // Every request that got through was served, and nothing leaked:
+        // dropped packets returned their buffers and charges.
+        assert!(served >= sent.saturating_sub(d.client_drops() as usize));
+        assert_eq!(
+            d.kernel().net().proto().usage(pk_net::Protocol::Udp),
+            0,
+            "drops must not leak accounting"
+        );
     }
 
     #[test]

@@ -15,7 +15,10 @@
 //!   regenerate the paper's figures.
 //! * [`mapreduce`] — the Metis-like MapReduce library (§3.7).
 //! * [`workloads`] — the seven MOSBENCH application models (§3, §5).
+//! * [`fault`] — the deterministic fault-injection plane wired through
+//!   every subsystem (seeded schedules, typed errors, bounded retry).
 
+pub use pk_fault as fault;
 pub use pk_kernel as kernel;
 pub use pk_mapreduce as mapreduce;
 pub use pk_mm as mm;

@@ -149,12 +149,14 @@ fn network_stack_parallel_clients_balance_accounting() {
             let k = Arc::clone(&k);
             s.spawn(move || {
                 for i in 0..200u32 {
-                    k.net().udp_send(
-                        CoreId(t),
-                        SockAddr::new(100 + i, 5000),
-                        SockAddr::new(1, 9000 + ((t as u32 + i) % 4) as u16),
-                        Bytes::from_static(b"payload!"),
-                    );
+                    k.net()
+                        .udp_send(
+                            CoreId(t),
+                            SockAddr::new(100 + i, 5000),
+                            SockAddr::new(1, 9000 + ((t as u32 + i) % 4) as u16),
+                            Bytes::from_static(b"payload!"),
+                        )
+                        .expect("800 packets fit the 4096-deep queues");
                 }
             });
         }

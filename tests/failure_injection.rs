@@ -76,23 +76,22 @@ fn rx_overflow_burst_then_recovery() {
     let mut accepted = 0u64;
     let mut dropped = 0u64;
     for i in 0..6_000u32 {
-        if k.net().udp_send(
+        match k.net().udp_send(
             CoreId(1),
             SockAddr::new(i, 1),
             SockAddr::new(1, 9999),
             Bytes::from_static(b"burst"),
         ) {
-            accepted += 1;
-        } else {
-            dropped += 1;
+            Ok(()) => accepted += 1,
+            Err(mosbench::net::NetError::Backpressure) => dropped += 1,
+            Err(e) => panic!("unexpected drop reason: {e}"),
         }
     }
     assert!(dropped > 0, "burst must overflow the 4096-deep queue");
     assert_eq!(accepted + dropped, 6_000);
-    // Drain: every accepted packet is deliverable; accounting balances
-    // once the dropped packets' charges are accounted (the stack charges
-    // at send and the NIC drop path releases nothing — the driver frees
-    // on TX completion, modelled in release()).
+    // Drain: every accepted packet is deliverable. Refused sends release
+    // their buffer and protocol charge at the refusal, so after the
+    // drain the accounting balances to zero.
     k.net().process_rx(CoreId(0), usize::MAX);
     let mut got = 0u64;
     while let Some(d) = sock.recv() {
@@ -100,13 +99,20 @@ fn rx_overflow_burst_then_recovery() {
         got += 1;
     }
     assert_eq!(got, accepted);
+    assert_eq!(
+        k.net().proto().usage(mosbench::net::Protocol::Udp),
+        0,
+        "dropped packets must not leak protocol charges"
+    );
     // Service continues normally after the burst.
-    assert!(k.net().udp_send(
-        CoreId(1),
-        SockAddr::new(7, 7),
-        SockAddr::new(1, 9999),
-        Bytes::from_static(b"after"),
-    ));
+    k.net()
+        .udp_send(
+            CoreId(1),
+            SockAddr::new(7, 7),
+            SockAddr::new(1, 9999),
+            Bytes::from_static(b"after"),
+        )
+        .unwrap();
     k.net().process_rx(CoreId(0), usize::MAX);
     assert!(sock.recv().is_some());
 }
@@ -120,13 +126,15 @@ fn process_lifecycle_misuse() {
     let child = k.fork(Pid(1), CoreId(0)).unwrap();
     k.exit(child, CoreId(0)).unwrap();
     // The child is gone: further operations on it fail.
+    let err = k.fork(child, CoreId(0)).unwrap_err();
     assert_eq!(
-        k.fork(child, CoreId(0)).unwrap_err(),
-        ProcError::NoSuchProcess
+        err,
+        mosbench::kernel::KernelError::Proc(ProcError::NoSuchProcess)
     );
+    assert!(!err.is_transient(), "a dead parent is not worth retrying");
     assert_eq!(
         k.exit(child, CoreId(0)).unwrap_err(),
-        ProcError::NoSuchProcess
+        mosbench::kernel::KernelError::Proc(ProcError::NoSuchProcess)
     );
     assert_eq!(k.procs().exec(child).unwrap_err(), ProcError::NoSuchProcess);
     assert_eq!(k.procs().len(), 1);
@@ -143,7 +151,7 @@ fn dead_dentry_is_not_revived() {
     let cfg = VfsConfig::pk(4);
     let cache = Dcache::new(16, cfg, Arc::new(VfsStats::new()));
     let key = DentryKey::new(InodeId(1), "victim");
-    let d = cache.insert(key.clone(), InodeId(2), CoreId(0));
+    let d = cache.insert(key.clone(), InodeId(2), CoreId(0)).unwrap();
     d.put(CoreId(0)); // drop caller ref; cache-only
     assert_eq!(cache.shrink(1, CoreId(0)), 1);
     // The evicted object is dead and unhashed: both protocols report a
