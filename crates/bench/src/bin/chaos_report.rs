@@ -152,6 +152,21 @@ fn main() {
         }
     }
 
+    // When the validator is compiled in, the soak doubles as a lockdep
+    // run: faults must not induce ordering or discipline violations.
+    if pk_lockdep::enabled() {
+        let violations = pk_lockdep::violations();
+        println!(
+            "\nlockdep (under fault mix): {} acquisitions, {} violations",
+            pk_lockdep::acquisition_count(),
+            violations.len()
+        );
+        for v in &violations {
+            failed = true;
+            println!("  [{}] {}", v.kind.label(), v.message);
+        }
+    }
+
     if failed {
         eprintln!("\nchaos soak FAILED (see violations above)");
         std::process::exit(1);

@@ -1,0 +1,122 @@
+//! Lockdep roster report: every MOSBENCH workload × kernel config run
+//! under the pk-lockdep runtime validator.
+//!
+//! Drives the functional drivers (with per-core work wrapped in
+//! [`pk_lockdep::ActingCore`] declarations) and the DES models under
+//! seeded lock-holder preemption, then prints the observed lock
+//! classes, the lock-order graph, the pk-obs sample export, and every
+//! recorded violation. Exits non-zero if any violation was recorded.
+//!
+//! Usage:
+//!   lockdep_report [--seed N] [--cores N]
+//!
+//! Build with `--features lockdep`; without the feature the hooks are
+//! no-ops and the report says so (exit 0), so accidentally running the
+//! plain build is loud but not a false failure.
+
+use pk_bench::lockdep::run_roster;
+use pk_obs::Registry;
+
+struct Args {
+    seed: u64,
+    cores: usize,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args { seed: 42, cores: 4 };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => {
+                args.seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seed takes a u64");
+            }
+            "--cores" => {
+                args.cores = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--cores takes a usize");
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: lockdep_report [--seed N] [--cores N]");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    println!("== lockdep roster report ==");
+    println!(
+        "seed {}  cores {}  validator {}",
+        args.seed,
+        args.cores,
+        if pk_lockdep::enabled() {
+            "ENABLED"
+        } else {
+            "disabled (build with --features lockdep)"
+        }
+    );
+    println!();
+
+    let rows = run_roster(args.seed, args.cores);
+
+    println!(
+        "{:<12} {:<7} {:>10} {:>10} {:>13} {:>10}",
+        "workload", "config", "func ops", "des flts", "acquisitions", "violations"
+    );
+    for r in &rows {
+        println!(
+            "{:<12} {:<7} {:>10} {:>10} {:>13} {:>10}",
+            r.workload, r.config, r.functional_ops, r.des_faults, r.acquisitions, r.violations
+        );
+    }
+    println!();
+
+    let classes = pk_lockdep::classes();
+    let (anon, named): (Vec<_>, Vec<_>) = classes.iter().partition(|c| c.name.starts_with("anon."));
+    println!("lock classes observed: {}", classes.len());
+    for c in &named {
+        println!("  {:<28} {:<12} {}", c.name, c.krate, c.kind.label());
+    }
+    if !anon.is_empty() {
+        println!("  (plus {} anonymous per-instance classes)", anon.len());
+    }
+    println!();
+
+    let edges = pk_lockdep::edges();
+    println!("lock-order edges observed: {}", edges.len());
+    for e in &edges {
+        println!(
+            "  {:<28} -> {:<28} x{:<6} ({} -> {})",
+            e.from, e.to, e.count, e.from_site, e.to_site
+        );
+    }
+    println!();
+
+    // The pk-obs export: the same samples any registry consumer sees.
+    let registry = Registry::new(args.cores);
+    registry.register_source(pk_lockdep::collector());
+    let snapshot = registry.snapshot();
+    println!("pk-obs samples:");
+    for s in snapshot.iter().filter(|s| s.name.starts_with("lockdep.")) {
+        println!("  {s}");
+    }
+    println!();
+
+    let violations = pk_lockdep::violations();
+    if violations.is_empty() {
+        println!("RESULT: PASS — no lockdep violations across the roster");
+        return;
+    }
+    println!("RESULT: FAIL — {} violation(s):", violations.len());
+    for v in &violations {
+        println!("  [{}] {}", v.kind.label(), v.message);
+    }
+    std::process::exit(1);
+}

@@ -9,6 +9,7 @@
 #![warn(missing_docs)]
 
 pub mod chaos;
+pub mod lockdep;
 
 use pk_obs::ContentionReport;
 use pk_sim::SweepPoint;

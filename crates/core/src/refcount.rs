@@ -75,6 +75,10 @@ impl SloppyRefCount {
     /// As [`SloppyRefCount::new`] with explicit sloppy-counter tuning.
     pub fn with_config(cores: usize, config: SloppyConfig) -> Self {
         let counter = SloppyCounter::with_config(cores, config);
+        // The creator's reference is charged to core 0 by convention,
+        // whichever core actually runs the constructor; the object is
+        // not shared yet, so this is not a discipline violation.
+        let _migrate = pk_lockdep::MigrationScope::enter();
         counter.acquire(CoreId(0), 1);
         Self {
             counter,
@@ -111,7 +115,9 @@ impl SloppyRefCount {
     /// only if no references remain. On success the object is dead and
     /// all future [`SloppyRefCount::get`] calls fail.
     pub fn try_dealloc(&self) -> Result<(), DeallocError> {
-        let _g = self.dealloc.lock().unwrap();
+        // A panicked holder must not wedge every future dealloc: the
+        // guard protects a reconcile-and-check that is safe to rerun.
+        let _g = self.dealloc.lock().unwrap_or_else(|e| e.into_inner());
         if self.dead.load(Ordering::Acquire) {
             return Err(DeallocError::AlreadyDead);
         }

@@ -116,6 +116,7 @@ impl SloppyCounter {
             self.central_ops.fetch_add(1, Ordering::Relaxed);
             return;
         }
+        pk_lockdep::check_percore_mutation("sloppy.counter.bank", core.index());
         let slot = self.local.get(core);
         // Try to decrement the per-core counter by `v`; succeed only if it
         // holds at least `v` spares. A CAS loop keeps the slot non-negative
@@ -191,6 +192,7 @@ impl SloppyCounter {
             self.central_ops.fetch_add(1, Ordering::Relaxed);
             return;
         }
+        pk_lockdep::check_percore_mutation("sloppy.counter.bank", core.index());
         let slot = self.local.get(core);
         let after = slot.fetch_add(v, Ordering::AcqRel) + v;
         self.local_ops.fetch_add(1, Ordering::Relaxed);
@@ -225,6 +227,9 @@ impl SloppyCounter {
     /// only be used for objects that are relatively infrequently
     /// de-allocated."
     pub fn reconcile(&self) -> i64 {
+        // Reconciliation sweeps every core's bank from one core — the
+        // §4.3 "expensive" de-allocation step, by design cross-core.
+        let _migrate = pk_lockdep::MigrationScope::enter();
         for slot in self.local.iter() {
             let spares = slot.swap(0, Ordering::AcqRel);
             if spares != 0 {

@@ -1,0 +1,227 @@
+//! Lock classes and the per-lock class cell.
+//!
+//! Following Linux lockdep, validation happens per *class* of lock, not
+//! per instance: all dentry `d_lock`s share one class, so an ordering
+//! observed between any dentry lock and any inode lock stands for the
+//! whole population. Locks that never call
+//! [`set_class`](ClassCell::set_class) are lazily given a fresh
+//! anonymous class on first acquisition, so distinct unclassified locks
+//! are never aliased into false cycles.
+
+#[cfg(feature = "lockdep")]
+use std::collections::HashMap;
+#[cfg(feature = "lockdep")]
+use std::sync::atomic::{AtomicU32, Ordering};
+#[cfg(feature = "lockdep")]
+use std::sync::{Mutex, OnceLock};
+
+/// The kind of lock a class covers; selects which rules apply to it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LockKind {
+    /// Test-and-test-and-set spin lock.
+    Spin,
+    /// FIFO ticket spin lock.
+    Ticket,
+    /// MCS queue spin lock.
+    Mcs,
+    /// Sequence-lock write side.
+    SeqWrite,
+    /// A lock whose slow path yields the CPU (adaptive mutex). Only
+    /// this kind is forbidden inside an epoch read-side section.
+    Blocking,
+}
+
+impl LockKind {
+    /// Whether acquiring this kind may block (yield) rather than spin.
+    pub fn is_blocking(self) -> bool {
+        matches!(self, Self::Blocking)
+    }
+
+    /// Short human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Spin => "spin",
+            Self::Ticket => "ticket",
+            Self::Mcs => "mcs",
+            Self::SeqWrite => "seqwrite",
+            Self::Blocking => "blocking",
+        }
+    }
+}
+
+/// Identifier of a registered lock class. `0` means "not yet classified".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ClassId(pub(crate) u32);
+
+impl ClassId {
+    /// The sentinel for locks that have not been classified.
+    pub const UNSET: ClassId = ClassId(0);
+}
+
+/// The per-lock slot holding its class assignment.
+///
+/// Every `pk-sync` lock embeds one. With the `lockdep` feature off this
+/// is a zero-sized type and every operation on it is a no-op.
+#[derive(Debug)]
+pub struct ClassCell {
+    #[cfg(feature = "lockdep")]
+    pub(crate) id: AtomicU32,
+}
+
+impl ClassCell {
+    /// Creates an unclassified cell.
+    pub const fn new() -> Self {
+        Self {
+            #[cfg(feature = "lockdep")]
+            id: AtomicU32::new(0),
+        }
+    }
+
+    /// Assigns this lock to `class`. Idempotent; later assignments win.
+    #[inline]
+    pub fn set_class(&self, class: ClassId) {
+        #[cfg(feature = "lockdep")]
+        self.id.store(class.0, Ordering::Relaxed);
+        #[cfg(not(feature = "lockdep"))]
+        let _ = class;
+    }
+
+    /// Returns the assigned class, if any.
+    #[inline]
+    pub fn class(&self) -> Option<ClassId> {
+        #[cfg(feature = "lockdep")]
+        {
+            match self.id.load(Ordering::Relaxed) {
+                0 => None,
+                id => Some(ClassId(id)),
+            }
+        }
+        #[cfg(not(feature = "lockdep"))]
+        None
+    }
+}
+
+impl Default for ClassCell {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Registers (or looks up) the lock class `name`, owned by crate
+/// `krate`, of the given `kind`. Registration is idempotent: the same
+/// name always yields the same [`ClassId`], so constructors can call
+/// this unconditionally.
+///
+/// With the `lockdep` feature off this returns [`ClassId::UNSET`] and
+/// records nothing.
+#[inline]
+pub fn register_class(name: &str, krate: &str, kind: LockKind) -> ClassId {
+    #[cfg(feature = "lockdep")]
+    {
+        imp::intern(name, krate, kind)
+    }
+    #[cfg(not(feature = "lockdep"))]
+    {
+        let _ = (name, krate, kind);
+        ClassId::UNSET
+    }
+}
+
+/// Metadata of one registered class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassInfo {
+    /// Dotted class name, e.g. `vfs.dentry.d_lock`.
+    pub name: String,
+    /// Crate that registered it.
+    pub krate: String,
+    /// The lock kind.
+    pub kind: LockKind,
+}
+
+/// Returns every registered class (including anonymous ones), indexed
+/// by `ClassId - 1`. Empty when the feature is off.
+pub fn classes() -> Vec<ClassInfo> {
+    #[cfg(feature = "lockdep")]
+    {
+        imp::table()
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .infos
+            .clone()
+    }
+    #[cfg(not(feature = "lockdep"))]
+    Vec::new()
+}
+
+#[cfg(feature = "lockdep")]
+pub(crate) mod imp {
+    use super::*;
+
+    #[derive(Default)]
+    pub(crate) struct ClassTable {
+        pub(crate) infos: Vec<ClassInfo>,
+        by_name: HashMap<String, u32>,
+    }
+
+    pub(crate) fn table() -> &'static Mutex<ClassTable> {
+        static TABLE: OnceLock<Mutex<ClassTable>> = OnceLock::new();
+        TABLE.get_or_init(|| Mutex::new(ClassTable::default()))
+    }
+
+    pub(crate) fn intern(name: &str, krate: &str, kind: LockKind) -> ClassId {
+        let mut t = table().lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(&id) = t.by_name.get(name) {
+            return ClassId(id);
+        }
+        t.infos.push(ClassInfo {
+            name: name.to_string(),
+            krate: krate.to_string(),
+            kind,
+        });
+        let id = t.infos.len() as u32; // ids start at 1
+        t.by_name.insert(name.to_string(), id);
+        ClassId(id)
+    }
+
+    /// Mints a fresh anonymous class for an unclassified lock instance.
+    pub(crate) fn anon(kind: LockKind) -> ClassId {
+        let mut t = table().lock().unwrap_or_else(|e| e.into_inner());
+        let id = t.infos.len() as u32 + 1;
+        let name = format!("anon.{}#{id}", kind.label());
+        t.infos.push(ClassInfo {
+            name: name.clone(),
+            krate: "?".to_string(),
+            kind,
+        });
+        t.by_name.insert(name, id);
+        ClassId(id)
+    }
+
+    /// Name of class `id`, or a placeholder for unknown ids.
+    pub(crate) fn name_of(id: u32) -> String {
+        let t = table().lock().unwrap_or_else(|e| e.into_inner());
+        t.infos
+            .get(id.wrapping_sub(1) as usize)
+            .map(|c| c.name.clone())
+            .unwrap_or_else(|| format!("class#{id}"))
+    }
+
+    /// Resolves a cell to a class id, minting an anonymous class for
+    /// unclassified locks on first use.
+    pub(crate) fn resolve(cell: &ClassCell, kind: LockKind) -> u32 {
+        let id = cell.id.load(Ordering::Relaxed);
+        if id != 0 {
+            return id;
+        }
+        let fresh = anon(kind);
+        match cell
+            .id
+            .compare_exchange(0, fresh.0, Ordering::Relaxed, Ordering::Relaxed)
+        {
+            Ok(_) => fresh.0,
+            // Another thread classified it first; its id wins (the
+            // anonymous entry we minted stays as an unused row).
+            Err(existing) => existing,
+        }
+    }
+}

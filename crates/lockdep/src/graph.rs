@@ -1,0 +1,180 @@
+//! The global lock-order graph with incremental cycle detection.
+//!
+//! Nodes are lock classes; a directed edge `A → B` means "some thread
+//! held an `A`-class lock while acquiring a `B`-class lock". The first
+//! time an acquisition would add an edge whose reverse path already
+//! exists, the validator reports a would-deadlock chain — before any
+//! actual deadlock can occur (two threads interleaving the two orders
+//! is not required, exactly as in Linux lockdep).
+//!
+//! Offending edges are *not* inserted, so the recorded graph stays
+//! acyclic and a topological order over it is the canonical lock
+//! hierarchy (what DESIGN.md documents).
+
+#![cfg(feature = "lockdep")]
+
+use crate::class::imp::name_of;
+use crate::held::Held;
+use crate::report::imp::report;
+use crate::report::ViolationKind;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::panic::Location;
+use std::sync::{Mutex, OnceLock};
+
+pub(crate) struct EdgeData {
+    pub(crate) from_loc: &'static Location<'static>,
+    pub(crate) to_loc: &'static Location<'static>,
+    pub(crate) count: u64,
+}
+
+#[derive(Default)]
+pub(crate) struct Graph {
+    pub(crate) edges: HashMap<(u32, u32), EdgeData>,
+    adj: HashMap<u32, Vec<u32>>,
+    /// Reversed edges already reported, so a hot offending path does
+    /// not re-run cycle detection on every execution.
+    reported: HashSet<(u32, u32)>,
+}
+
+impl Graph {
+    /// Returns the path `from → … → to` in the current graph, if any.
+    fn path(&self, from: u32, to: u32) -> Option<Vec<u32>> {
+        let mut parent: HashMap<u32, u32> = HashMap::new();
+        let mut queue = VecDeque::from([from]);
+        let mut seen = HashSet::from([from]);
+        while let Some(n) = queue.pop_front() {
+            if n == to {
+                let mut path = vec![to];
+                let mut cur = to;
+                while cur != from {
+                    cur = parent[&cur];
+                    path.push(cur);
+                }
+                path.reverse();
+                return Some(path);
+            }
+            for &next in self.adj.get(&n).into_iter().flatten() {
+                if seen.insert(next) {
+                    parent.insert(next, n);
+                    queue.push_back(next);
+                }
+            }
+        }
+        None
+    }
+}
+
+pub(crate) fn graph() -> &'static Mutex<Graph> {
+    static GRAPH: OnceLock<Mutex<Graph>> = OnceLock::new();
+    GRAPH.get_or_init(|| Mutex::new(Graph::default()))
+}
+
+fn site(loc: &'static Location<'static>) -> String {
+    format!("{}:{}", loc.file(), loc.line())
+}
+
+/// Records the edges implied by acquiring `to_class` at `to_loc` while
+/// `held` is the current held-lock stack. Runs cycle detection on each
+/// new edge; reports (and withholds) edges that would close a cycle.
+pub(crate) fn record_edges(held: &[Held], to_class: u32, to_loc: &'static Location<'static>) {
+    let mut g = graph().lock().unwrap_or_else(|e| e.into_inner());
+    let mut seen_from: HashSet<u32> = HashSet::new();
+    for h in held {
+        if h.class == to_class || !seen_from.insert(h.class) {
+            // Same-class nesting carries no cross-class order, and a
+            // class already processed for this acquisition adds nothing.
+            continue;
+        }
+        let key = (h.class, to_class);
+        if let Some(e) = g.edges.get_mut(&key) {
+            e.count += 1;
+            continue;
+        }
+        if g.reported.contains(&key) {
+            continue;
+        }
+        // New edge: would `to_class → … → h.class` close a cycle?
+        if let Some(path) = g.path(to_class, h.class) {
+            let chain = describe_cycle(&g, &path, h, to_class, to_loc, held);
+            g.reported.insert(key);
+            report(
+                ViolationKind::LockOrder,
+                format!("abba:{}->{}", h.class, to_class),
+                chain,
+            );
+            continue; // keep the graph acyclic
+        }
+        g.edges.insert(
+            key,
+            EdgeData {
+                from_loc: h.loc,
+                to_loc,
+                count: 1,
+            },
+        );
+        g.adj.entry(h.class).or_default().push(to_class);
+    }
+}
+
+/// Builds the would-deadlock diagnostic: both acquisition orders with
+/// their source sites, plus the full held stack of the offending thread.
+fn describe_cycle(
+    g: &Graph,
+    path: &[u32],
+    holding: &Held,
+    to_class: u32,
+    to_loc: &'static Location<'static>,
+    held: &[Held],
+) -> String {
+    let mut msg = format!(
+        "would-deadlock: acquiring \"{}\" at {} while holding \"{}\" (acquired at {}) \
+         requires order {} -> {}, but the opposite order is already established: ",
+        name_of(to_class),
+        site(to_loc),
+        name_of(holding.class),
+        site(holding.loc),
+        name_of(holding.class),
+        name_of(to_class),
+    );
+    for pair in path.windows(2) {
+        let (a, b) = (pair[0], pair[1]);
+        if let Some(e) = g.edges.get(&(a, b)) {
+            msg.push_str(&format!(
+                "\"{}\" (held at {}) -> \"{}\" (acquired at {}); ",
+                name_of(a),
+                site(e.from_loc),
+                name_of(b),
+                site(e.to_loc),
+            ));
+        }
+    }
+    msg.push_str("held stack: [");
+    for (i, h) in held.iter().enumerate() {
+        if i > 0 {
+            msg.push_str(", ");
+        }
+        msg.push_str(&format!("\"{}\" at {}", name_of(h.class), site(h.loc)));
+    }
+    msg.push(']');
+    msg
+}
+
+use crate::EdgeSummary;
+
+/// Returns every observed class→class edge, sorted by class names.
+pub(crate) fn edge_summaries() -> Vec<EdgeSummary> {
+    let g = graph().lock().unwrap_or_else(|e| e.into_inner());
+    let mut out: Vec<EdgeSummary> = g
+        .edges
+        .iter()
+        .map(|(&(a, b), e)| EdgeSummary {
+            from: name_of(a),
+            to: name_of(b),
+            from_site: site(e.from_loc),
+            to_site: site(e.to_loc),
+            count: e.count,
+        })
+        .collect();
+    out.sort_by(|x, y| (&x.from, &x.to).cmp(&(&y.from, &y.to)));
+    out
+}

@@ -1,0 +1,105 @@
+//! Violation records and the deduplicating store.
+
+#[cfg(feature = "lockdep")]
+use std::collections::HashSet;
+#[cfg(feature = "lockdep")]
+use std::sync::{Mutex, OnceLock};
+
+/// The category of a detected concurrency-correctness violation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ViolationKind {
+    /// An ABBA lock-order cycle: the acquisition being attempted would
+    /// close a cycle in the lock-order graph (a would-deadlock).
+    LockOrder,
+    /// A blocking (yielding) lock was acquired inside an epoch
+    /// read-side section, which can stall every writer's grace period.
+    BlockingInEpoch,
+    /// `synchronize()` was called from inside a read-side section: the
+    /// caller would wait for its own epoch and never quiesce.
+    SynchronizeInEpoch,
+    /// A per-core slot was mutated from a core other than its owner
+    /// without a declared migration scope.
+    CrossCoreMutation,
+}
+
+impl ViolationKind {
+    /// Short label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::LockOrder => "lock-order",
+            Self::BlockingInEpoch => "blocking-in-epoch",
+            Self::SynchronizeInEpoch => "synchronize-in-epoch",
+            Self::CrossCoreMutation => "cross-core-mutation",
+        }
+    }
+}
+
+/// One detected violation. The message names the lock classes involved
+/// and the source locations of the acquisitions that produced it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// The rule that was violated.
+    pub kind: ViolationKind,
+    /// Full human-readable diagnostic.
+    pub message: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.kind.label(), self.message)
+    }
+}
+
+/// Returns every violation detected so far (empty when the feature is
+/// off). Each distinct violation is reported once, no matter how many
+/// times the offending path re-executes.
+pub fn violations() -> Vec<Violation> {
+    #[cfg(feature = "lockdep")]
+    {
+        imp::store()
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .list
+            .clone()
+    }
+    #[cfg(not(feature = "lockdep"))]
+    Vec::new()
+}
+
+/// Number of distinct violations detected so far.
+pub fn violation_count() -> usize {
+    #[cfg(feature = "lockdep")]
+    {
+        imp::store()
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .list
+            .len()
+    }
+    #[cfg(not(feature = "lockdep"))]
+    0
+}
+
+#[cfg(feature = "lockdep")]
+pub(crate) mod imp {
+    use super::*;
+
+    #[derive(Default)]
+    pub(crate) struct Store {
+        seen: HashSet<String>,
+        pub(crate) list: Vec<Violation>,
+    }
+
+    pub(crate) fn store() -> &'static Mutex<Store> {
+        static STORE: OnceLock<Mutex<Store>> = OnceLock::new();
+        STORE.get_or_init(|| Mutex::new(Store::default()))
+    }
+
+    /// Records a violation, deduplicated by `key`.
+    pub(crate) fn report(kind: ViolationKind, key: String, message: String) {
+        let mut s = store().lock().unwrap_or_else(|e| e.into_inner());
+        if s.seen.insert(key) {
+            s.list.push(Violation { kind, message });
+        }
+    }
+}

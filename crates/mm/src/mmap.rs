@@ -95,14 +95,20 @@ pub struct AddressSpace {
 impl AddressSpace {
     /// Creates an empty address space drawing pages from `allocator`.
     pub fn new(config: MmConfig, allocator: Arc<NumaAllocator>, stats: Arc<MmStats>) -> Self {
-        Self {
+        let asp = Self {
             regions: RwLock::new(Vec::new()),
             next_id: AtomicU64::new(1),
             superpage_mutex: AdaptiveMutex::new(()),
             allocator,
             config,
             stats,
-        }
+        };
+        asp.superpage_mutex.set_class(pk_lockdep::register_class(
+            "mm.mmap.superpage_global",
+            "pk-mm",
+            pk_lockdep::LockKind::Blocking,
+        ));
+        asp
     }
 
     /// Maps `bytes` of anonymous memory with the given page size. Page
@@ -124,6 +130,11 @@ impl AddressSpace {
             node_pages: Mutex::new(Vec::new()),
             mapping_mutex: AdaptiveMutex::new(()),
         });
+        region.mapping_mutex.set_class(pk_lockdep::register_class(
+            "mm.mmap.mapping_mutex",
+            "pk-mm",
+            pk_lockdep::LockKind::Blocking,
+        ));
         MmStats::bump(&self.stats.region_write_locks);
         self.regions.write().push(region);
         Ok(id)
@@ -140,7 +151,12 @@ impl AddressSpace {
         let region = regions.remove(idx);
         let _ = core;
         // Return every faulted page to the node it was allocated from.
-        for (node, pages) in region.node_pages.lock().unwrap().drain(..) {
+        for (node, pages) in region
+            .node_pages
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .drain(..)
+        {
             self.allocator.free_on(node, pages);
         }
         Ok(())
@@ -190,7 +206,7 @@ impl AddressSpace {
 
     fn populate(&self, region: &Region, page_idx: u64, core: usize) -> Result<bool, FaultError> {
         {
-            let mut present = region.present.lock().unwrap();
+            let mut present = region.present.lock().unwrap_or_else(|e| e.into_inner());
             if !present.insert(page_idx) {
                 return Ok(false);
             }
@@ -201,12 +217,16 @@ impl AddressSpace {
             Err(e) => {
                 // Roll back the presence bit so a later fault can retry
                 // once memory frees up.
-                region.present.lock().unwrap().remove(&page_idx);
+                region
+                    .present
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .remove(&page_idx);
                 return Err(FaultError::Oom(e));
             }
         };
         {
-            let mut np = region.node_pages.lock().unwrap();
+            let mut np = region.node_pages.lock().unwrap_or_else(|e| e.into_inner());
             match np.iter_mut().find(|(n, _)| *n == node) {
                 Some((_, p)) => *p += pages_4k,
                 None => np.push((node, pages_4k)),

@@ -49,9 +49,15 @@ impl NumaAllocator {
     /// Like [`NumaAllocator::new`], with allocation failures injectable
     /// through `faults` (`mm.alloc_enomem`, `mm.freelist_exhausted`).
     pub fn with_faults(config: MmConfig, stats: Arc<MmStats>, faults: &FaultPlane) -> Self {
+        let node_class =
+            pk_lockdep::register_class("mm.numa.freelist", "pk-mm", pk_lockdep::LockKind::Spin);
         Self {
             nodes: (0..config.numa_nodes)
-                .map(|_| SpinLock::new(config.pages_per_node))
+                .map(|_| {
+                    let l = SpinLock::new(config.pages_per_node);
+                    l.set_class(node_class);
+                    l
+                })
                 .collect(),
             capacity: config.pages_per_node,
             config,

@@ -55,14 +55,26 @@ pub struct Listener {
 impl Listener {
     /// Creates a listener on `port`.
     pub fn new(port: u16, config: NetConfig, stats: Arc<NetStats>) -> Self {
-        Self {
+        use pk_lockdep::{register_class, LockKind};
+        let percore_class = register_class("net.listener.percore_queue", "pk-net", LockKind::Spin);
+        let listener = Self {
             port,
             shared: SpinLock::new(VecDeque::new()),
-            percore: PerCore::new_with(config.cores, |_| SpinLock::new(VecDeque::new())),
+            percore: PerCore::new_with(config.cores, |_| {
+                let l = SpinLock::new(VecDeque::new());
+                l.set_class(percore_class);
+                l
+            }),
             queued: AtomicU64::new(0),
             config,
             stats,
-        }
+        };
+        listener.shared.set_class(register_class(
+            "net.listener.backlog",
+            "pk-net",
+            LockKind::Spin,
+        ));
+        listener
     }
 
     /// Enqueues a completed handshake that arrived on `core`'s NIC queue.
@@ -72,6 +84,10 @@ impl Listener {
             arrived_on: core,
         };
         if self.config.percore_accept_queues {
+            // The NIC's flow steering delivers the handshake to `core`'s
+            // queue regardless of which core runs the driver — a
+            // documented cross-core producer, not a discipline bug.
+            let _migrate = pk_lockdep::MigrationScope::enter();
             self.percore.get(core).lock().push_back(req);
         } else {
             self.shared.lock().push_back(req);
@@ -85,6 +101,7 @@ impl Listener {
     /// serializes all accepts on the shared queue.
     pub fn accept(&self, core: CoreId) -> Option<Connection> {
         if self.config.percore_accept_queues {
+            pk_lockdep::check_percore_mutation("net.listener.percore_queue", core.index());
             if let Some(req) = self.percore.get(core).lock().pop_front() {
                 self.queued.fetch_sub(1, Ordering::Release);
                 NetStats::bump(&self.stats.accept_local_queue);
@@ -94,7 +111,9 @@ impl Listener {
                     local: req.arrived_on == core,
                 });
             }
-            // Steal from the other cores' queues.
+            // Steal from the other cores' queues — the §4.2 escape hatch
+            // for an idle acceptor, an intentional cross-core removal.
+            let _migrate = pk_lockdep::MigrationScope::enter();
             for offset in 1..self.percore.cores() {
                 let victim = CoreId((core.index() + offset) % self.percore.cores());
                 if let Some(req) = self.percore.get(victim).lock().pop_front() {

@@ -103,9 +103,15 @@ impl Nic {
     /// Like [`Nic::new`], with receive loss injectable through `faults`
     /// (`net.rx_drop`, `net.link_flap`).
     pub fn with_faults(config: NetConfig, stats: Arc<NetStats>, faults: &FaultPlane) -> Self {
+        let queue_class =
+            pk_lockdep::register_class("net.nic.rx_queue", "pk-net", pk_lockdep::LockKind::Spin);
         Self {
             queues: (0..config.cores)
-                .map(|_| SpinLock::new(VecDeque::new()))
+                .map(|_| {
+                    let q = SpinLock::new(VecDeque::new());
+                    q.set_class(queue_class);
+                    q
+                })
                 .collect(),
             flow_table: RwLock::new(HashMap::new()),
             port_table: RwLock::new(HashMap::new()),

@@ -48,12 +48,24 @@ pub struct SkbPool {
 impl SkbPool {
     /// Creates empty free lists under `config`.
     pub fn new(config: NetConfig, stats: Arc<NetStats>) -> Self {
-        Self {
+        use pk_lockdep::{register_class, LockKind};
+        let percore_class = register_class("net.skb.pool_percore", "pk-net", LockKind::Spin);
+        let pool = Self {
             global: SpinLock::new(Vec::new()),
-            percore: PerCore::new_with(config.cores, |_| SpinLock::new(Vec::new())),
+            percore: PerCore::new_with(config.cores, |_| {
+                let l = SpinLock::new(Vec::new());
+                l.set_class(percore_class);
+                l
+            }),
             config,
             stats,
-        }
+        };
+        pool.global.set_class(register_class(
+            "net.skb.pool_global",
+            "pk-net",
+            LockKind::Spin,
+        ));
+        pool
     }
 
     /// Allocates a buffer for `data` on behalf of `core`.
@@ -71,6 +83,7 @@ impl SkbPool {
         }
         let recycled = if self.config.percore_skb_pools {
             NetStats::bump(&self.stats.skb_percore_allocs);
+            pk_lockdep::check_percore_mutation("net.skb.pool_percore", core.index());
             self.percore.get(core).lock().pop()
         } else {
             NetStats::bump(&self.stats.skb_global_allocs);
@@ -91,6 +104,7 @@ impl SkbPool {
     pub fn free(&self, core: CoreId, mut skb: Skb) {
         skb.data = Bytes::new();
         if self.config.percore_skb_pools {
+            pk_lockdep::check_percore_mutation("net.skb.pool_percore", core.index());
             self.percore.get(core).lock().push(skb);
         } else {
             self.global.lock().push(skb);

@@ -31,10 +31,16 @@ pub struct UdpSocket {
 impl UdpSocket {
     /// Creates a socket bound to `port`.
     pub fn new(port: u16) -> Arc<Self> {
-        Arc::new(Self {
+        let s = Arc::new(Self {
             port,
             rx: SpinLock::new(VecDeque::new()),
-        })
+        });
+        s.rx.set_class(pk_lockdep::register_class(
+            "net.socket.rx",
+            "pk-net",
+            pk_lockdep::LockKind::Spin,
+        ));
+        s
     }
 
     /// Delivers a datagram into the socket's receive queue.

@@ -30,25 +30,37 @@ pub struct Scheduler {
 impl Scheduler {
     /// Creates `cores` empty run queues.
     pub fn new(cores: usize) -> Self {
+        let runq_class =
+            pk_lockdep::register_class("proc.sched.runq", "pk-proc", pk_lockdep::LockKind::Spin);
         Self {
-            queues: PerCore::new_with(cores, |_| SpinLock::new(VecDeque::new())),
+            queues: PerCore::new_with(cores, |_| {
+                let q = SpinLock::new(VecDeque::new());
+                q.set_class(runq_class);
+                q
+            }),
             stats: SchedStats::default(),
         }
     }
 
     /// Makes `pid` runnable on `core`'s queue.
     pub fn enqueue(&self, core: CoreId, pid: Pid) {
+        // Remote wakeups legitimately enqueue onto another core's queue
+        // (the waker holds the target's run-queue lock, as in Linux).
+        let _migrate = pk_lockdep::MigrationScope::enter();
         self.queues.get(core).lock().push_back(pid);
     }
 
     /// Picks the next process for `core`: local queue first, then steal
     /// from the most loaded peer.
     pub fn pick_next(&self, core: CoreId) -> Option<Pid> {
+        pk_lockdep::check_percore_mutation("proc.sched.runq", core.index());
         if let Some(pid) = self.queues.get(core).lock().pop_front() {
             self.stats.local_dispatches.fetch_add(1, Ordering::Relaxed);
             return Some(pid);
         }
-        // Steal from the longest queue.
+        // Stealing is the deliberate cross-core path of §4.1's mostly-
+        // private run queues.
+        let _migrate = pk_lockdep::MigrationScope::enter();
         let mut victim: Option<(usize, usize)> = None; // (core, load)
         for (id, q) in self.queues.iter_with_id() {
             if id == core {

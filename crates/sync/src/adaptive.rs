@@ -1,6 +1,7 @@
 //! Adaptive mutex: spin briefly, then yield the CPU.
 
 use crate::stats::LockStats;
+use pk_lockdep::{ClassCell, ClassId, LockKind};
 use std::cell::UnsafeCell;
 use std::fmt;
 use std::ops::{Deref, DerefMut};
@@ -28,6 +29,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 /// ```
 pub struct AdaptiveMutex<T: ?Sized> {
     stats: LockStats,
+    class: ClassCell,
     max_wait_rounds: AtomicU64,
     locked: AtomicBool,
     value: UnsafeCell<T>,
@@ -46,6 +48,7 @@ impl<T> AdaptiveMutex<T> {
     pub const fn new(value: T) -> Self {
         Self {
             stats: LockStats::new(),
+            class: ClassCell::new(),
             max_wait_rounds: AtomicU64::new(0),
             locked: AtomicBool::new(false),
             value: UnsafeCell::new(value),
@@ -59,8 +62,16 @@ impl<T> AdaptiveMutex<T> {
 }
 
 impl<T: ?Sized> AdaptiveMutex<T> {
+    /// Assigns this mutex to a `pk-lockdep` class (no-op unless the
+    /// `lockdep` feature is enabled).
+    pub fn set_class(&self, class: ClassId) {
+        self.class.set_class(class);
+    }
+
     /// Acquires the mutex: spins up to a budget, then yields in a loop.
+    #[track_caller]
     pub fn lock(&self) -> AdaptiveMutexGuard<'_, T> {
+        pk_lockdep::acquire(&self.class, LockKind::Blocking, false);
         let mut spins = 0u64;
         let mut yield_rounds = 0u64;
         loop {
@@ -85,6 +96,7 @@ impl<T: ?Sized> AdaptiveMutex<T> {
     }
 
     /// Attempts to acquire the mutex without waiting.
+    #[track_caller]
     pub fn try_lock(&self) -> Option<AdaptiveMutexGuard<'_, T>> {
         if self
             .locked
@@ -92,6 +104,7 @@ impl<T: ?Sized> AdaptiveMutex<T> {
             .is_ok()
         {
             self.stats.record_acquisition(0);
+            pk_lockdep::acquire(&self.class, LockKind::Blocking, true);
             Some(AdaptiveMutexGuard { lock: self })
         } else {
             None
@@ -134,6 +147,7 @@ impl<T: Default> Default for AdaptiveMutex<T> {
 }
 
 /// RAII guard for [`AdaptiveMutex`].
+#[must_use = "dropping the guard immediately releases the mutex"]
 pub struct AdaptiveMutexGuard<'a, T: ?Sized> {
     lock: &'a AdaptiveMutex<T>,
 }
@@ -156,6 +170,7 @@ impl<T: ?Sized> DerefMut for AdaptiveMutexGuard<'_, T> {
 
 impl<T: ?Sized> Drop for AdaptiveMutexGuard<'_, T> {
     fn drop(&mut self) {
+        pk_lockdep::release(&self.lock.class);
         self.lock.locked.store(false, Ordering::Release);
     }
 }

@@ -1,6 +1,7 @@
 //! MCS queue lock — the scalable spin lock.
 
 use crate::stats::LockStats;
+use pk_lockdep::{ClassCell, ClassId, LockKind};
 use std::cell::UnsafeCell;
 use std::fmt;
 use std::ops::{Deref, DerefMut};
@@ -33,6 +34,7 @@ struct Node {
 /// ```
 pub struct McsLock<T: ?Sized> {
     stats: LockStats,
+    class: ClassCell,
     tail: AtomicPtr<Node>,
     value: UnsafeCell<T>,
 }
@@ -47,6 +49,7 @@ impl<T> McsLock<T> {
     pub fn new(value: T) -> Self {
         Self {
             stats: LockStats::new(),
+            class: ClassCell::new(),
             tail: AtomicPtr::new(ptr::null_mut()),
             value: UnsafeCell::new(value),
         }
@@ -59,8 +62,16 @@ impl<T> McsLock<T> {
 }
 
 impl<T: ?Sized> McsLock<T> {
+    /// Assigns this lock to a `pk-lockdep` class (no-op unless the
+    /// `lockdep` feature is enabled).
+    pub fn set_class(&self, class: ClassId) {
+        self.class.set_class(class);
+    }
+
     /// Acquires the lock, enqueueing behind any existing waiters.
+    #[track_caller]
     pub fn lock(&self) -> McsGuard<'_, T> {
+        pk_lockdep::acquire(&self.class, LockKind::Mcs, false);
         let node = Box::into_raw(Box::new(Node {
             locked: AtomicBool::new(true),
             next: AtomicPtr::new(ptr::null_mut()),
@@ -86,6 +97,7 @@ impl<T: ?Sized> McsLock<T> {
     }
 
     /// Attempts to acquire the lock only if the queue is empty.
+    #[track_caller]
     pub fn try_lock(&self) -> Option<McsGuard<'_, T>> {
         let node = Box::into_raw(Box::new(Node {
             locked: AtomicBool::new(true),
@@ -97,6 +109,7 @@ impl<T: ?Sized> McsLock<T> {
             .is_ok()
         {
             self.stats.record_acquisition(0);
+            pk_lockdep::acquire(&self.class, LockKind::Mcs, true);
             Some(McsGuard { lock: self, node })
         } else {
             // SAFETY: The node was never published; we still own it.
@@ -132,6 +145,7 @@ impl<T: Default> Default for McsLock<T> {
 }
 
 /// RAII guard for [`McsLock`]; hands the lock to the next waiter on drop.
+#[must_use = "dropping the guard immediately releases the lock"]
 pub struct McsGuard<'a, T: ?Sized> {
     lock: &'a McsLock<T>,
     node: *mut Node,
@@ -159,6 +173,7 @@ impl<T: ?Sized> DerefMut for McsGuard<'_, T> {
 
 impl<T: ?Sized> Drop for McsGuard<'_, T> {
     fn drop(&mut self) {
+        pk_lockdep::release(&self.lock.class);
         let node = self.node;
         // SAFETY: `node` is owned by this guard until handoff completes.
         let mut next = unsafe { (*node).next.load(Ordering::Acquire) };

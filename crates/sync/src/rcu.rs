@@ -36,6 +36,7 @@ thread_local! {
 /// `rcu_read_unlock()`. While any guard from an epoch earlier than a
 /// writer's `synchronize()` call is live, that writer waits.
 #[derive(Debug)]
+#[must_use = "dropping the guard immediately ends the read-side section"]
 pub struct RcuReadGuard {
     core: usize,
     // Read-side sections are per-thread; the guard must drop on the thread
@@ -57,6 +58,7 @@ pub fn read_lock() -> RcuReadGuard {
         let epoch = GLOBAL_EPOCH.load(Ordering::SeqCst);
         READER_EPOCHS[core].store(epoch, Ordering::SeqCst);
     }
+    pk_lockdep::epoch_enter();
     RcuReadGuard {
         core,
         _not_send: std::marker::PhantomData,
@@ -65,6 +67,7 @@ pub fn read_lock() -> RcuReadGuard {
 
 impl Drop for RcuReadGuard {
     fn drop(&mut self) {
+        pk_lockdep::epoch_exit();
         let nesting = NESTING.with(|n| {
             let v = n.get() - 1;
             n.set(v);
@@ -80,7 +83,9 @@ impl Drop for RcuReadGuard {
 /// call has ended (a *grace period*).
 ///
 /// Equivalent to `synchronize_rcu()`.
+#[track_caller]
 pub fn synchronize() {
+    pk_lockdep::check_synchronize();
     let target = GLOBAL_EPOCH.fetch_add(1, Ordering::SeqCst) + 1;
     for slot in READER_EPOCHS.iter() {
         let mut spins = 0u64;
@@ -157,7 +162,9 @@ impl<T> RcuCell<T> {
     pub fn update(&self, value: T) {
         let new = Box::into_raw(Box::new(value));
         let old = {
-            let _w = self.writer.lock().unwrap();
+            // Lock poisoning only means a previous writer panicked; the
+            // cell itself is always in a published, consistent state.
+            let _w = self.writer.lock().unwrap_or_else(|e| e.into_inner());
             self.ptr.swap(new, Ordering::AcqRel)
         };
         synchronize();
@@ -170,7 +177,7 @@ impl<T> RcuCell<T> {
     /// Applies `f` to the current snapshot to compute a replacement, then
     /// publishes it (read-copy-update). Writers are serialized.
     pub fn update_with(&self, f: impl FnOnce(&T) -> T) {
-        let _w = self.writer.lock().unwrap();
+        let _w = self.writer.lock().unwrap_or_else(|e| e.into_inner());
         let cur = self.ptr.load(Ordering::Acquire);
         // SAFETY: We hold the writer lock, so `cur` cannot be swapped out
         // or freed concurrently.

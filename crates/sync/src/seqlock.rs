@@ -7,6 +7,7 @@
 //! afterwards. This module provides both the general [`SeqLock`] and the
 //! paper's exact zero-sentinel [`GenCounter`] protocol.
 
+use pk_lockdep::{ClassCell, ClassId, LockKind};
 use std::cell::UnsafeCell;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -40,6 +41,7 @@ impl std::error::Error for SeqReadError {}
 /// ```
 pub struct SeqLock<T> {
     seq: AtomicU64,
+    class: ClassCell,
     value: UnsafeCell<T>,
 }
 
@@ -55,6 +57,7 @@ impl<T: Copy> SeqLock<T> {
     pub const fn new(value: T) -> Self {
         Self {
             seq: AtomicU64::new(0),
+            class: ClassCell::new(),
             value: UnsafeCell::new(value),
         }
     }
@@ -87,8 +90,17 @@ impl<T: Copy> SeqLock<T> {
         }
     }
 
+    /// Assigns this lock's write side to a `pk-lockdep` class (no-op
+    /// unless the `lockdep` feature is enabled). Optimistic reads are
+    /// not tracked: they take no lock and cannot deadlock.
+    pub fn set_class(&self, class: ClassId) {
+        self.class.set_class(class);
+    }
+
     /// Begins a write, spinning out any concurrent writer.
+    #[track_caller]
     pub fn write(&self) -> SeqLockWriteGuard<'_, T> {
+        pk_lockdep::acquire(&self.class, LockKind::SeqWrite, false);
         loop {
             let cur = self.seq.load(Ordering::Relaxed);
             if cur.is_multiple_of(2)
@@ -118,6 +130,7 @@ impl<T: Copy + fmt::Debug> fmt::Debug for SeqLock<T> {
 }
 
 /// Write guard for [`SeqLock`]; publishes the new value on drop.
+#[must_use = "dropping the guard immediately ends the write"]
 pub struct SeqLockWriteGuard<'a, T: Copy> {
     lock: &'a SeqLock<T>,
 }
@@ -141,6 +154,7 @@ impl<T: Copy> std::ops::DerefMut for SeqLockWriteGuard<'_, T> {
 
 impl<T: Copy> Drop for SeqLockWriteGuard<'_, T> {
     fn drop(&mut self) {
+        pk_lockdep::release(&self.lock.class);
         self.lock.seq.fetch_add(1, Ordering::Release);
     }
 }

@@ -1,6 +1,7 @@
 //! Test-and-test-and-set spin lock — the non-scalable baseline.
 
 use crate::stats::LockStats;
+use pk_lockdep::{ClassCell, ClassId, LockKind};
 use std::cell::UnsafeCell;
 use std::fmt;
 use std::ops::{Deref, DerefMut};
@@ -27,6 +28,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 /// ```
 pub struct SpinLock<T: ?Sized> {
     stats: LockStats,
+    class: ClassCell,
     locked: AtomicBool,
     value: UnsafeCell<T>,
 }
@@ -43,6 +45,7 @@ impl<T> SpinLock<T> {
     pub const fn new(value: T) -> Self {
         Self {
             stats: LockStats::new(),
+            class: ClassCell::new(),
             locked: AtomicBool::new(false),
             value: UnsafeCell::new(value),
         }
@@ -55,8 +58,16 @@ impl<T> SpinLock<T> {
 }
 
 impl<T: ?Sized> SpinLock<T> {
+    /// Assigns this lock to a `pk-lockdep` class (no-op unless the
+    /// `lockdep` feature is enabled).
+    pub fn set_class(&self, class: ClassId) {
+        self.class.set_class(class);
+    }
+
     /// Acquires the lock, spinning until it is available.
+    #[track_caller]
     pub fn lock(&self) -> SpinGuard<'_, T> {
+        pk_lockdep::acquire(&self.class, LockKind::Spin, false);
         let mut spins = 0u64;
         loop {
             if self
@@ -79,6 +90,7 @@ impl<T: ?Sized> SpinLock<T> {
     }
 
     /// Attempts to acquire the lock without spinning.
+    #[track_caller]
     pub fn try_lock(&self) -> Option<SpinGuard<'_, T>> {
         if self
             .locked
@@ -86,6 +98,7 @@ impl<T: ?Sized> SpinLock<T> {
             .is_ok()
         {
             self.stats.record_acquisition(0);
+            pk_lockdep::acquire(&self.class, LockKind::Spin, true);
             Some(SpinGuard { lock: self })
         } else {
             None
@@ -124,6 +137,7 @@ impl<T: Default> Default for SpinLock<T> {
 }
 
 /// RAII guard for [`SpinLock`]; releases the lock on drop.
+#[must_use = "dropping the guard immediately releases the lock"]
 pub struct SpinGuard<'a, T: ?Sized> {
     lock: &'a SpinLock<T>,
 }
@@ -146,6 +160,7 @@ impl<T: ?Sized> DerefMut for SpinGuard<'_, T> {
 
 impl<T: ?Sized> Drop for SpinGuard<'_, T> {
     fn drop(&mut self) {
+        pk_lockdep::release(&self.lock.class);
         self.lock.locked.store(false, Ordering::Release);
     }
 }

@@ -1,6 +1,7 @@
 //! FIFO ticket lock.
 
 use crate::stats::LockStats;
+use pk_lockdep::{ClassCell, ClassId, LockKind};
 use std::cell::UnsafeCell;
 use std::fmt;
 use std::ops::{Deref, DerefMut};
@@ -23,6 +24,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// ```
 pub struct TicketLock<T: ?Sized> {
     stats: LockStats,
+    class: ClassCell,
     next_ticket: AtomicU64,
     now_serving: AtomicU64,
     value: UnsafeCell<T>,
@@ -38,6 +40,7 @@ impl<T> TicketLock<T> {
     pub const fn new(value: T) -> Self {
         Self {
             stats: LockStats::new(),
+            class: ClassCell::new(),
             next_ticket: AtomicU64::new(0),
             now_serving: AtomicU64::new(0),
             value: UnsafeCell::new(value),
@@ -51,8 +54,16 @@ impl<T> TicketLock<T> {
 }
 
 impl<T: ?Sized> TicketLock<T> {
+    /// Assigns this lock to a `pk-lockdep` class (no-op unless the
+    /// `lockdep` feature is enabled).
+    pub fn set_class(&self, class: ClassId) {
+        self.class.set_class(class);
+    }
+
     /// Acquires the lock, waiting in FIFO order.
+    #[track_caller]
     pub fn lock(&self) -> TicketGuard<'_, T> {
+        pk_lockdep::acquire(&self.class, LockKind::Ticket, false);
         let ticket = self.next_ticket.fetch_add(1, Ordering::Relaxed);
         let mut spins = 0u64;
         while self.now_serving.load(Ordering::Acquire) != ticket {
@@ -67,6 +78,7 @@ impl<T: ?Sized> TicketLock<T> {
     }
 
     /// Attempts to take the lock only if no one is waiting or holding it.
+    #[track_caller]
     pub fn try_lock(&self) -> Option<TicketGuard<'_, T>> {
         let serving = self.now_serving.load(Ordering::Acquire);
         if self
@@ -75,6 +87,7 @@ impl<T: ?Sized> TicketLock<T> {
             .is_ok()
         {
             self.stats.record_acquisition(0);
+            pk_lockdep::acquire(&self.class, LockKind::Ticket, true);
             Some(TicketGuard { lock: self })
         } else {
             None
@@ -115,6 +128,7 @@ impl<T: Default> Default for TicketLock<T> {
 }
 
 /// RAII guard for [`TicketLock`]; advances `now_serving` on drop.
+#[must_use = "dropping the guard immediately releases the lock"]
 pub struct TicketGuard<'a, T: ?Sized> {
     lock: &'a TicketLock<T>,
 }
@@ -137,6 +151,7 @@ impl<T: ?Sized> DerefMut for TicketGuard<'_, T> {
 
 impl<T: ?Sized> Drop for TicketGuard<'_, T> {
     fn drop(&mut self) {
+        pk_lockdep::release(&self.lock.class);
         self.lock.now_serving.fetch_add(1, Ordering::Release);
     }
 }

@@ -107,6 +107,64 @@ fn rcu_chain_of_updates_is_safe() {
     assert_eq!(cell.read(&g)[0], 50);
 }
 
+/// Seqlock under a live writer thread: readers never observe a torn
+/// write (the two halves always satisfy the invariant), and every read
+/// succeeds within a bounded number of retries — the writer's critical
+/// section is short, so a reader cannot be starved indefinitely.
+#[test]
+fn seqlock_readers_never_torn_and_retries_bounded() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    const READS_PER_READER: usize = 20_000;
+    const RETRY_BOUND: usize = 100_000;
+    let sl = Arc::new(SeqLock::new((0u64, 0u64)));
+    let stop = Arc::new(AtomicBool::new(false));
+    std::thread::scope(|s| {
+        {
+            let sl = Arc::clone(&sl);
+            let stop = Arc::clone(&stop);
+            s.spawn(move || {
+                let mut v = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    v = v.wrapping_add(1);
+                    *sl.write() = (v, v.wrapping_mul(31));
+                }
+            });
+        }
+        let readers: Vec<_> = (0..2)
+            .map(|_| {
+                let sl = Arc::clone(&sl);
+                s.spawn(move || {
+                    let mut max_attempts = 0usize;
+                    for _ in 0..READS_PER_READER {
+                        let mut attempts = 0usize;
+                        let (a, b) = loop {
+                            match sl.try_read() {
+                                Ok(snap) => break snap,
+                                Err(_) => {
+                                    attempts += 1;
+                                    assert!(
+                                        attempts < RETRY_BOUND,
+                                        "reader starved: {attempts} retries on one read"
+                                    );
+                                    std::hint::spin_loop();
+                                }
+                            }
+                        };
+                        assert_eq!(b, a.wrapping_mul(31), "torn read: ({a}, {b})");
+                        max_attempts = max_attempts.max(attempts);
+                    }
+                    max_attempts
+                })
+            })
+            .collect();
+        for r in readers {
+            let max_attempts = r.join().unwrap();
+            assert!(max_attempts < RETRY_BOUND);
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+}
+
 /// The MCS lock frees all queue nodes (no leak panic under Miri-less
 /// sanity: handoff chains of varying length complete).
 #[test]

@@ -140,9 +140,10 @@ impl Dcache {
             self.config.cores,
         );
         // The cache holds the creation reference; take one for the caller.
-        dentry
-            .get(core)
-            .expect("freshly created dentry cannot be dead");
+        // A freshly created dentry can only be dead if something tore it
+        // down concurrently — surface that as ESTALE on the syscall path
+        // rather than panicking in the kernel.
+        dentry.get(core).map_err(|_| VfsError::Stale)?;
         let inserted = Arc::clone(&dentry);
         self.bucket(&key).update_with(|v| {
             let mut v = v.clone();

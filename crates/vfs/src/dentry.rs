@@ -56,14 +56,20 @@ pub struct Dentry {
 impl Dentry {
     /// Creates a live, hashed dentry with one reference (the cache's).
     pub fn new(key: DentryKey, inode: InodeId, sloppy_refs: bool, cores: usize) -> Arc<Self> {
-        Arc::new(Self {
+        let d = Arc::new(Self {
             key,
             inode: AtomicU64::new(inode.0),
             unhashed: AtomicBool::new(false),
             refcount: RefCount::new(sloppy_refs, cores),
             lock: SpinLock::new(()),
             generation: GenCounter::new(),
-        })
+        });
+        d.lock.set_class(pk_lockdep::register_class(
+            "vfs.dentry.d_lock",
+            "pk-vfs",
+            pk_lockdep::LockKind::Spin,
+        ));
+        d
     }
 
     /// Returns the target inode id.

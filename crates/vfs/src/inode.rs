@@ -57,7 +57,7 @@ pub struct Inode {
 impl Inode {
     /// Creates a fresh inode of the given kind.
     pub fn new(id: InodeId, kind: InodeKind) -> Self {
-        Self {
+        let inode = Self {
             id,
             kind,
             size: AtomicU64::new(0),
@@ -65,7 +65,18 @@ impl Inode {
             data: RwLock::new(Vec::new()),
             children: SpinLock::new(HashMap::new()),
             i_mutex: AdaptiveMutex::new(()),
-        }
+        };
+        inode.children.set_class(pk_lockdep::register_class(
+            "vfs.inode.dir_children",
+            "pk-vfs",
+            pk_lockdep::LockKind::Spin,
+        ));
+        inode.i_mutex.set_class(pk_lockdep::register_class(
+            "vfs.inode.i_mutex",
+            "pk-vfs",
+            pk_lockdep::LockKind::Blocking,
+        ));
+        inode
     }
 
     /// Returns the file size (atomic read — the PK fast path).

@@ -69,12 +69,26 @@ pub struct MountTable {
 impl MountTable {
     /// Creates a table with a root (`/`) mount pre-installed.
     pub fn new(config: VfsConfig, stats: Arc<VfsStats>) -> Self {
+        let percore_class = pk_lockdep::register_class(
+            "vfs.mount.percore_cache",
+            "pk-vfs",
+            pk_lockdep::LockKind::Spin,
+        );
         let t = Self {
             central: SpinLock::new(HashMap::new()),
-            percore: PerCore::new_with(config.cores, |_| SpinLock::new(HashMap::new())),
+            percore: PerCore::new_with(config.cores, |_| {
+                let l = SpinLock::new(HashMap::new());
+                l.set_class(percore_class);
+                l
+            }),
             config,
             stats,
         };
+        t.central.set_class(pk_lockdep::register_class(
+            "vfs.mount.central_table",
+            "pk-vfs",
+            pk_lockdep::LockKind::Spin,
+        ));
         t.mount("/");
         t
     }
@@ -97,6 +111,9 @@ impl MountTable {
     pub fn umount(&self, mount_point: &str) -> Option<Arc<VfsMount>> {
         let removed = self.central.lock().remove(mount_point);
         if removed.is_some() {
+            // Deliberate cross-core sweep: umount invalidates every
+            // core's cache from whichever core runs the umount.
+            let _migrate = pk_lockdep::MigrationScope::enter();
             for cache in self.percore.iter() {
                 cache.lock().remove(mount_point);
             }
@@ -130,6 +147,7 @@ impl MountTable {
         };
         m.get(core).ok()?;
         if self.config.percore_mount_cache {
+            pk_lockdep::check_percore_mutation("vfs.mount.percore_cache", core.index());
             self.percore.get(core).lock().insert(key, Arc::clone(&m));
         }
         Some(m)

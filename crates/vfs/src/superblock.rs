@@ -39,16 +39,38 @@ pub struct SuperBlock {
 impl SuperBlock {
     /// Creates a read-write super block.
     pub fn new(config: VfsConfig, stats: Arc<VfsStats>) -> Self {
-        Self {
+        use pk_lockdep::{register_class, LockKind};
+        let percore_class = register_class("vfs.sb.open_list_percore", "pk-vfs", LockKind::Spin);
+        let sb = Self {
             next_file: AtomicU64::new(1),
             global_list: SpinLock::new(HashSet::new()),
-            percore_lists: PerCore::new_with(config.cores, |_| SpinLock::new(HashSet::new())),
+            percore_lists: PerCore::new_with(config.cores, |_| {
+                let l = SpinLock::new(HashSet::new());
+                l.set_class(percore_class);
+                l
+            }),
             read_only: AtomicBool::new(false),
             inode_list: SpinLock::new(()),
             dcache_list: SpinLock::new(()),
             config,
             stats,
-        }
+        };
+        sb.global_list.set_class(register_class(
+            "vfs.sb.open_list_global",
+            "pk-vfs",
+            LockKind::Spin,
+        ));
+        sb.inode_list.set_class(register_class(
+            "vfs.sb.inode_list",
+            "pk-vfs",
+            LockKind::Spin,
+        ));
+        sb.dcache_list.set_class(register_class(
+            "vfs.sb.dcache_list",
+            "pk-vfs",
+            LockKind::Spin,
+        ));
+        sb
     }
 
     /// Registers a newly opened file on `core`, returning its id and the
@@ -56,6 +78,7 @@ impl SuperBlock {
     pub fn add_open_file(&self, core: CoreId) -> (OpenFileId, CoreId) {
         let id = OpenFileId(self.next_file.fetch_add(1, Ordering::Relaxed));
         if self.config.percore_open_lists {
+            pk_lockdep::check_percore_mutation("vfs.sb.open_list_percore", core.index());
             self.percore_lists.get(core).lock().insert(id);
             VfsStats::bump(&self.stats.open_list_percore_ops);
             (id, core)
@@ -75,9 +98,14 @@ impl SuperBlock {
         if self.config.percore_open_lists {
             if home != core {
                 VfsStats::bump(&self.stats.open_list_cross_core_removals);
-            } else {
-                VfsStats::bump(&self.stats.open_list_percore_ops);
+                // The expensive migrated-close path of §4.5: removing
+                // from another core's list is the documented exception.
+                let _migrate = pk_lockdep::MigrationScope::enter();
+                self.percore_lists.get(home).lock().remove(&id);
+                return;
             }
+            VfsStats::bump(&self.stats.open_list_percore_ops);
+            pk_lockdep::check_percore_mutation("vfs.sb.open_list_percore", home.index());
             self.percore_lists.get(home).lock().remove(&id);
         } else {
             self.global_list.lock().remove(&id);

@@ -154,6 +154,11 @@ impl ParallelMake {
                 .filter(|&i| indegree[i].load(Ordering::Relaxed) == 0)
                 .collect(),
         );
+        ready.set_class(pk_lockdep::register_class(
+            "gmake.ready_queue",
+            "pk-workloads",
+            pk_lockdep::LockKind::Spin,
+        ));
         let completed = AtomicUsize::new(0);
         let in_flight = AtomicUsize::new(0);
         let overlapped = AtomicU64::new(0);

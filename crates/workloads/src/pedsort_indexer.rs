@@ -45,9 +45,13 @@ impl WorkQueue {
     /// sorted so large files are processed first").
     fn new(mut files: Vec<(u32, String, u64)>) -> Self {
         files.sort_by_key(|f| std::cmp::Reverse(f.2));
-        Self {
-            files: SpinLock::new(files.into_iter().rev().map(|(id, p, _)| (id, p)).collect()),
-        }
+        let files = SpinLock::new(files.into_iter().rev().map(|(id, p, _)| (id, p)).collect());
+        files.set_class(pk_lockdep::register_class(
+            "pedsort.work_queue",
+            "pk-workloads",
+            pk_lockdep::LockKind::Spin,
+        ));
+        Self { files }
     }
 
     fn pop(&self) -> Option<(u32, String)> {

@@ -76,11 +76,22 @@ impl LockManager {
     }
 
     fn new(partitions: usize, lock_free_fast_path: bool) -> Self {
+        let class = pk_lockdep::register_class(
+            "pg.lockmgr.partition",
+            "pk-workloads",
+            pk_lockdep::LockKind::Blocking,
+        );
         Self {
             slots: (0..partitions * 8)
                 .map(|_| CacheAligned::new(AtomicU64::new(0)))
                 .collect(),
-            partitions: (0..partitions).map(|_| AdaptiveMutex::new(())).collect(),
+            partitions: (0..partitions)
+                .map(|_| {
+                    let m = AdaptiveMutex::new(());
+                    m.set_class(class);
+                    m
+                })
+                .collect(),
             lock_free_fast_path,
             fast_path_hits: AtomicU64::new(0),
             mutex_acquisitions: AtomicU64::new(0),
