@@ -15,7 +15,7 @@ fn bench_exim_message(c: &mut Criterion) {
     let mut g = c.benchmark_group("exim_message");
     g.sample_size(20);
     for choice in [KernelChoice::Stock, KernelChoice::Pk] {
-        let d = EximDriver::new(choice, 4);
+        let d = EximDriver::new(choice, 4).expect("boot exim");
         let conn = d.kernel().fork(pk_proc::Pid(1), CoreId(0)).unwrap();
         let mut msg = 0u64;
         g.bench_function(BenchmarkId::from_parameter(choice.label()), |b| {

@@ -152,6 +152,29 @@ fn main() {
         }
     }
 
+    println!("\nRCU deferred-reclamation soak (forced queue spills via rcu.defer_overflow):");
+    println!(
+        "{:>10} {:>9} {:>8} {:>9} {:>9} {:>8} {:>6}",
+        "config", "call_rcu", "freed", "pending", "injected", "spills", "ok?"
+    );
+    for choice in [KernelChoice::Stock, KernelChoice::Pk] {
+        let r = chaos::run_rcu_overflow(choice, args.cores, args.seed);
+        println!(
+            "{:>10} {:>9} {:>8} {:>9} {:>9} {:>8} {:>6}",
+            r.config,
+            r.call_rcu,
+            r.freed,
+            r.pending_after_barrier,
+            r.injected,
+            r.spills,
+            if r.passed() { "pass" } else { "FAIL" }
+        );
+        for v in &r.violations {
+            failed = true;
+            println!("{:>10}   violation: {v}", "");
+        }
+    }
+
     // When the validator is compiled in, the soak doubles as a lockdep
     // run: faults must not induce ordering or discipline violations.
     if pk_lockdep::enabled() {

@@ -114,7 +114,7 @@ fn functional_exim(choice: KernelChoice, cores: usize) {
         "functional kernel measurement",
         "EximDriver on the userspace kernel; counters from Kernel::obs_snapshot()",
     );
-    let driver = EximDriver::new(choice, cores);
+    let driver = EximDriver::new(choice, cores).expect("boot exim");
     for core in 0..cores {
         for user in 0..2 {
             driver

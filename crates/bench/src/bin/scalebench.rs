@@ -1,0 +1,189 @@
+//! scalebench: regenerate `BENCH_scale.json` and run live microbenches.
+//!
+//! Usage:
+//!
+//! ```text
+//! scalebench [--seed N] [--out PATH] [--check PATH] [--no-live]
+//! ```
+//!
+//! * Default: compute the deterministic metric set for `--seed`
+//!   (default 42), write it to `--out` (default `BENCH_scale.json`),
+//!   then run the live real-thread microbenches and print their
+//!   wall-clock results to stdout (never into the JSON — see
+//!   `pk_bench::scale` for the determinism split).
+//! * `--check PATH`: recompute the metrics and diff them against the
+//!   committed baseline at `PATH`; exits 1 on any key drift or a >10%
+//!   regression in a cycles metric. Skips the live benches.
+
+use pk_bench::scale;
+use pk_percpu::CoreId;
+use pk_sync::{rcu, McsLock, SpinLock};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn usage() -> ! {
+    eprintln!("usage: scalebench [--seed N] [--out PATH] [--check PATH] [--no-live]");
+    std::process::exit(2)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut seed: u64 = 42;
+    let mut out = "BENCH_scale.json".to_string();
+    let mut check: Option<String> = None;
+    let mut live = true;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--seed" => match it.next().map(|s| s.parse()) {
+                Some(Ok(s)) => seed = s,
+                _ => usage(),
+            },
+            "--out" => out = it.next().unwrap_or_else(|| usage()).clone(),
+            "--check" => check = Some(it.next().unwrap_or_else(|| usage()).clone()),
+            "--no-live" => live = false,
+            _ => usage(),
+        }
+    }
+
+    // Deterministic half first: the rcu.* counter deltas it reads are
+    // process-global and must not race the threaded microbenches.
+    let metrics = scale::deterministic_metrics(seed);
+
+    if let Some(baseline_path) = check {
+        let baseline = std::fs::read_to_string(&baseline_path).unwrap_or_else(|e| {
+            eprintln!("scalebench: cannot read baseline {baseline_path}: {e}");
+            std::process::exit(1)
+        });
+        let failures = scale::check_against_baseline(&baseline, &metrics);
+        if failures.is_empty() {
+            println!(
+                "scalebench --check: {} metrics match {baseline_path} (seed {seed})",
+                metrics.len()
+            );
+            return;
+        }
+        eprintln!("scalebench --check FAILED against {baseline_path}:");
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        std::process::exit(1)
+    }
+
+    std::fs::write(&out, metrics.to_json()).unwrap_or_else(|e| {
+        eprintln!("scalebench: cannot write {out}: {e}");
+        std::process::exit(1)
+    });
+    println!(
+        "scalebench: wrote {} metrics to {out} (seed {seed})",
+        metrics.len()
+    );
+    report_stall_headline(&metrics);
+
+    if live {
+        live_microbenches(4);
+    }
+}
+
+/// Prints the acceptance-criteria headline: dcache writer stall under
+/// both reclamation disciplines.
+fn report_stall_headline(m: &scale::Metrics) {
+    let blocking = m.get("stall.dcache.blocking.modeled_stall_cycles");
+    let deferred = m.get("stall.dcache.deferred.modeled_stall_cycles");
+    let pct = m.get("stall.dcache.stall_reduction_pct");
+    if let (Some(b), Some(d), Some(p)) = (blocking, deferred, pct) {
+        println!(
+            "dcache writer stall: blocking synchronize {b:.0} cycles vs deferred call_rcu {d:.0} cycles ({p:.1}% reduction)"
+        );
+    }
+}
+
+/// Real threads hammering the repo's primitives. Wall-clock numbers —
+/// printed, never persisted.
+fn live_microbenches(threads: usize) {
+    println!("\nlive microbenches ({threads} threads, ns/op, wall-clock — not in JSON):");
+    bench_rcu_read(threads);
+    bench_sloppy(threads);
+    bench_dcache(threads);
+    bench_spin_vs_mcs(threads);
+}
+
+/// Runs `per_thread` iterations of `op` on each of `threads` threads
+/// and returns mean ns/op across all of them.
+fn timed<F: Fn(usize, usize) + Sync>(threads: usize, per_thread: usize, op: F) -> f64 {
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let op = &op;
+            s.spawn(move || {
+                for i in 0..per_thread {
+                    op(t, i);
+                }
+            });
+        }
+    });
+    start.elapsed().as_nanos() as f64 / (threads * per_thread) as f64
+}
+
+fn bench_rcu_read(threads: usize) {
+    let n = 1_000_000;
+    let ns = timed(threads, n, |_, _| {
+        let _g = rcu::read_lock();
+    });
+    println!("  rcu read-side enter/exit      {ns:>8.1}");
+}
+
+fn bench_sloppy(threads: usize) {
+    let counter = pk_sloppy::SloppyCounter::new(threads);
+    let n = 1_000_000;
+    let ns = timed(threads, n, |t, _| {
+        counter.acquire(CoreId(t), 1);
+        counter.release(CoreId(t), 1);
+    });
+    println!("  sloppy acquire/release        {ns:>8.1}");
+}
+
+fn bench_dcache(threads: usize) {
+    use pk_vfs::{Dcache, DentryKey, InodeId, VfsConfig, VfsStats};
+    let dc = Dcache::new(256, VfsConfig::pk(threads), Arc::new(VfsStats::new()));
+    let keys: Vec<DentryKey> = (0..1024)
+        .map(|i| DentryKey::new(InodeId(1), format!("f{i}")))
+        .collect();
+    for (i, k) in keys.iter().enumerate() {
+        dc.insert(k.clone(), InodeId(i as u64 + 2), CoreId(0))
+            .expect("no faults armed");
+    }
+    let n = 200_000;
+    let ns = timed(threads, n, |t, i| {
+        assert!(dc
+            .lookup(&keys[(t * 7 + i) % keys.len()], CoreId(t))
+            .is_some());
+    });
+    println!("  dcache lookup (hit)           {ns:>8.1}");
+
+    let churn = 20_000;
+    let ns = timed(threads, churn, |t, i| {
+        let key = DentryKey::new(InodeId(99), format!("t{t}i{i}"));
+        dc.insert(key.clone(), InodeId(1_000_000 + i as u64), CoreId(t))
+            .expect("no faults armed");
+        assert!(dc.remove(&key, CoreId(t)));
+    });
+    println!("  dcache insert+remove          {ns:>8.1}");
+    rcu::rcu_barrier();
+}
+
+fn bench_spin_vs_mcs(threads: usize) {
+    let n = 200_000;
+    let spin = SpinLock::new(0u64);
+    let ns = timed(threads, n, |_, _| {
+        *spin.lock() += 1;
+    });
+    println!("  spinlock handoff              {ns:>8.1}");
+
+    let mcs = McsLock::new(0u64);
+    let ns = timed(threads, n, |_, _| {
+        *mcs.lock() += 1;
+    });
+    println!("  mcs handoff                   {ns:>8.1}");
+    assert_eq!(*spin.lock() + *mcs.lock(), 2 * (threads * n) as u64);
+}

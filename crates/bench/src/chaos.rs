@@ -192,12 +192,13 @@ fn exim_work(d: &EximDriver, cores: usize) -> (u64, u64) {
 /// Soaks Exim under `mix`. Ops metric: messages delivered.
 pub fn run_exim(choice: KernelChoice, cores: usize, seed: u64, mix: &FaultMix) -> ChaosReport {
     let baseline = {
-        let d = EximDriver::new(choice, cores);
+        let d = EximDriver::new(choice, cores).expect("boot exim");
         exim_work(&d, cores);
         d.delivered()
     };
     let plane = Arc::new(FaultPlane::with_seed(seed));
-    let d = EximDriver::with_faults(choice, cores, Arc::clone(&plane));
+    let d = EximDriver::with_faults(choice, cores, Arc::clone(&plane))
+        .expect("boot exim (plane not yet armed)");
     mix.arm(&plane);
     let outcome = catch_unwind(AssertUnwindSafe(|| exim_work(&d, cores)));
     plane.disable();
@@ -476,6 +477,144 @@ pub fn des_chaos(choice: KernelChoice, cores: usize, seed: u64) -> Vec<DesChaosR
         .collect()
 }
 
+/// VFS operations per RCU overflow soak.
+const RCU_CHURN_OPS: usize = 600;
+/// Force a deferred-queue spill on every Nth `call_rcu`.
+const RCU_OVERFLOW_EVERY: u64 = 17;
+
+/// Outcome of the RCU deferred-queue overflow soak: `rcu.*` counter
+/// deltas (read through the kernel's observability snapshot) plus the
+/// leak/double-free verdict.
+#[derive(Debug, Clone)]
+pub struct RcuChaosReport {
+    /// Kernel config label (`stock` / `PK`).
+    pub config: &'static str,
+    /// `rcu.defer_overflow` injections (forced spills).
+    pub injected: u64,
+    /// Blocking spills the queues actually took.
+    pub spills: u64,
+    /// Objects retired through `call_rcu` during the soak.
+    pub call_rcu: u64,
+    /// Deferred objects reclaimed by the end (post-barrier).
+    pub freed: u64,
+    /// Deferred objects still queued after `rcu_barrier` (must be 0).
+    pub pending_after_barrier: u64,
+    /// Invariant violations (empty = pass: no leak, no double-free).
+    pub violations: Vec<String>,
+}
+
+impl RcuChaosReport {
+    /// Whether the soak passed.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Reads an `rcu.*` counter out of an observability snapshot.
+fn rcu_sample(snap: &pk_obs::Snapshot, name: &str) -> u64 {
+    match snap.find(name).map(|s| &s.value) {
+        Some(pk_obs::MetricValue::Counter(v)) => *v,
+        Some(pk_obs::MetricValue::Gauge(v)) => u64::try_from(*v).unwrap_or(0),
+        _ => 0,
+    }
+}
+
+/// Soaks the deferred-reclamation machinery under forced queue spills.
+///
+/// Arms a `rcu.defer_overflow` fault point as the RCU spill probe, so
+/// every [`RCU_OVERFLOW_EVERY`]th `call_rcu` is forced down the
+/// blocking overflow path mid-churn, then drives dcache and mount-table
+/// write traffic through a real kernel and checks — via the kernel's
+/// `rcu.*` observability samples — that every retired object was freed
+/// exactly once: `call_rcu == deferred_freed` after the final barrier,
+/// with nothing left pending.
+///
+/// Single-threaded and seeded like the other soaks: the injection
+/// trace, and therefore every counter delta, replays from the seed.
+pub fn run_rcu_overflow(choice: KernelChoice, cores: usize, seed: u64) -> RcuChaosReport {
+    use pk_sync::rcu;
+
+    let kernel = Kernel::new(choice.config(cores));
+    // Start from drained queues so the pending gauge reads 0-based.
+    rcu::rcu_barrier();
+    let before = kernel.obs_snapshot();
+
+    let plane = Arc::new(FaultPlane::with_seed(seed));
+    plane.set(
+        "rcu.defer_overflow",
+        FaultSchedule::EveryNth(RCU_OVERFLOW_EVERY),
+    );
+    plane.enable();
+    let point = plane.point("rcu.defer_overflow");
+    rcu::set_spill_probe(Some(Arc::new(move || point.should_inject())));
+
+    let vfs = kernel.vfs();
+    let churn = || -> Result<(), pk_vfs::VfsError> {
+        vfs.mkdir_p("/tmp", CoreId(0))?;
+        for i in 0..RCU_CHURN_OPS {
+            let core = CoreId(i % cores);
+            let path = format!("/tmp/f{}", i % 32);
+            vfs.write_file(&path, b"x", core)?;
+            vfs.unlink(&path, core)?;
+            if i.is_multiple_of(16) {
+                vfs.mounts().mount("/mnt");
+                vfs.mounts().umount("/mnt");
+            }
+        }
+        Ok(())
+    };
+    let outcome = catch_unwind(AssertUnwindSafe(churn));
+
+    // Always restore the global probe before judging the run.
+    rcu::set_spill_probe(None);
+    plane.disable();
+    rcu::rcu_barrier();
+    let after = kernel.obs_snapshot();
+
+    let delta = |name: &str| rcu_sample(&after, name) - rcu_sample(&before, name);
+    let injected = plane.injected_total();
+    let call_rcu = delta("rcu.call_rcu");
+    let freed = delta("rcu.deferred_freed");
+    let spills = delta("rcu.spills");
+    let pending_after_barrier = rcu_sample(&after, "rcu.deferred_pending");
+
+    let mut violations = Vec::new();
+    if outcome.is_err() {
+        violations.push("churn panicked under forced spills".to_string());
+    }
+    if call_rcu == 0 {
+        violations.push("no call_rcu traffic: soak exercised nothing".to_string());
+    }
+    if injected == 0 {
+        violations.push("rcu.defer_overflow never fired".to_string());
+    }
+    if spills < injected {
+        violations.push(format!(
+            "forced overflows lost: {injected} injected but only {spills} spills"
+        ));
+    }
+    if pending_after_barrier != 0 {
+        violations.push(format!(
+            "leak: {pending_after_barrier} deferred objects survived rcu_barrier"
+        ));
+    }
+    if call_rcu != freed {
+        violations.push(format!(
+            "reclamation imbalance: {call_rcu} retired != {freed} freed \
+             (leak if under, double-free if over)"
+        ));
+    }
+    RcuChaosReport {
+        config: choice.label(),
+        injected,
+        spills,
+        call_rcu,
+        freed,
+        pending_after_barrier,
+        violations,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -499,6 +638,21 @@ mod tests {
             for (name, _) in &mix.points {
                 assert!(known.contains(name), "unknown fault point {name}");
             }
+        }
+    }
+
+    #[test]
+    fn rcu_overflow_soak_balances_and_replays() {
+        let _serial = crate::rcu_serial();
+        for choice in [KernelChoice::Stock, KernelChoice::Pk] {
+            let r = run_rcu_overflow(choice, 4, 7);
+            assert!(r.passed(), "{}: {:?}", r.config, r.violations);
+            assert!(r.injected > 0 && r.spills >= r.injected);
+            assert_eq!(r.call_rcu, r.freed, "every retirement freed exactly once");
+            // Same seed → identical injection counts: the soak replays.
+            let again = run_rcu_overflow(choice, 4, 7);
+            assert_eq!(again.injected, r.injected);
+            assert_eq!(again.call_rcu, r.call_rcu);
         }
     }
 

@@ -10,6 +10,16 @@
 
 pub mod chaos;
 pub mod lockdep;
+pub mod scale;
+
+/// Serializes tests that read deltas of the process-global `rcu.*`
+/// counters: concurrent churn from a sibling test would perturb the
+/// exact counts they assert on.
+#[cfg(test)]
+pub(crate) fn rcu_serial() -> std::sync::MutexGuard<'static, ()> {
+    static RCU_TEST_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    RCU_TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 use pk_obs::ContentionReport;
 use pk_sim::SweepPoint;

@@ -68,7 +68,7 @@ fn metis_variant(choice: KernelChoice) -> metis::MetisVariant {
 fn run_functional(name: &str, choice: KernelChoice, cores: usize) -> u64 {
     match name {
         "exim" => {
-            let d = EximDriver::new(choice, cores);
+            let d = EximDriver::new(choice, cores).expect("boot exim");
             for conn in 0..cores * 3 {
                 let core = conn % cores;
                 let _ac = ActingCore::enter(core);
@@ -117,7 +117,7 @@ fn run_functional(name: &str, choice: KernelChoice, cores: usize) -> u64 {
             d.served()
         }
         "postgres" => {
-            let d = PostgresDriver::new(variant_of(choice), cores, 256);
+            let d = PostgresDriver::new(variant_of(choice), cores, 256).expect("boot postgres");
             for i in 0..cores as u64 * 32 {
                 let core = (i as usize) % cores;
                 let _ac = ActingCore::enter(core);

@@ -1,0 +1,461 @@
+//! scalebench: the repo's perf-trajectory harness.
+//!
+//! Two halves, deliberately separated by determinism:
+//!
+//! * **Deterministic metrics** — analytic (MVA) sweep points, seeded
+//!   discrete-event runs, and single-threaded writer-stall phases that
+//!   churn the real substrates under both RCU reclamation disciplines
+//!   and read the `rcu.*` counter deltas. These are pure functions of
+//!   the seed and regenerate **byte-identically**, so they live in
+//!   `BENCH_scale.json` and CI can diff them against a committed
+//!   baseline.
+//! * **Live microbenches** — real threads hammering the repo's
+//!   primitives (dcache lookup, sloppy counters, RCU read sections,
+//!   spinlock vs MCS handoff). Wall-clock numbers are noisy by nature,
+//!   so they print to stdout and never enter the JSON.
+//!
+//! The JSON is a flat object — one sorted dotted key per line — so the
+//! regression check needs no JSON library, just the line parser below.
+
+use pk_percpu::{CoreId, MAX_CORES};
+use pk_sim::{des, CoreSweep};
+use pk_sync::rcu;
+use pk_sync::CYCLES_PER_SPIN_ITERATION;
+use pk_workloads::{roster, KernelChoice};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Bumped whenever the metric set changes shape, so a `--check` against
+/// a stale baseline fails loudly instead of silently skipping keys.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Allowed relative growth in a `*cycles*` metric before `--check`
+/// calls it a regression (the issue's 10% budget).
+pub const REGRESSION_BUDGET: f64 = 0.10;
+
+/// A flat, sorted metric map with pre-formatted values. `BTreeMap`
+/// ordering plus fixed float formatting is what makes the emitted JSON
+/// byte-identical across runs.
+#[derive(Debug, Default, Clone)]
+pub struct Metrics {
+    map: BTreeMap<String, String>,
+}
+
+impl Metrics {
+    /// Empty metric set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records an integer metric.
+    pub fn put_u64(&mut self, key: &str, v: u64) {
+        self.map.insert(key.to_string(), v.to_string());
+    }
+
+    /// Records a float metric with fixed 6-decimal formatting.
+    pub fn put_f64(&mut self, key: &str, v: f64) {
+        self.map.insert(key.to_string(), format!("{v:.6}"));
+    }
+
+    /// Number of metrics recorded.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no metrics are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Looks up a metric as a float.
+    pub fn get(&self, key: &str) -> Option<f64> {
+        self.map.get(key).and_then(|v| v.parse().ok())
+    }
+
+    /// Renders the flat JSON document: `{`, one `  "key": value,` line
+    /// per metric in sorted order, `}`, trailing newline.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let last = self.map.len().saturating_sub(1);
+        for (i, (k, v)) in self.map.iter().enumerate() {
+            let comma = if i == last { "" } else { "," };
+            let _ = writeln!(out, "  \"{k}\": {v}{comma}");
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Parses a document produced by [`Metrics::to_json`]. Returns the
+    /// key → raw-value map; rejects lines it does not understand so a
+    /// hand-edited baseline cannot half-parse.
+    pub fn parse_json(text: &str) -> Result<BTreeMap<String, String>, String> {
+        let mut map = BTreeMap::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line == "{" || line == "}" {
+                continue;
+            }
+            let line = line.strip_suffix(',').unwrap_or(line);
+            let (key, value) = line
+                .split_once("\": ")
+                .ok_or_else(|| format!("unparseable metric line: {line:?}"))?;
+            let key = key
+                .strip_prefix('"')
+                .ok_or_else(|| format!("key missing opening quote: {line:?}"))?;
+            if value.parse::<f64>().is_err() {
+                return Err(format!("non-numeric value for {key:?}: {value:?}"));
+            }
+            map.insert(key.to_string(), value.to_string());
+        }
+        if map.is_empty() {
+            return Err("baseline contains no metrics".to_string());
+        }
+        Ok(map)
+    }
+}
+
+/// One writer-stall measurement: `rcu.*` counter deltas over a churn
+/// phase plus the modeled writer-side stall they imply.
+#[derive(Debug, Clone, Copy)]
+pub struct StallRow {
+    /// Blocking grace periods the writers ate.
+    pub synchronize_calls: u64,
+    /// Spin iterations inside those grace periods.
+    pub sync_spin_iters: u64,
+    /// Objects retired through `call_rcu`.
+    pub call_rcu: u64,
+    /// Deferred objects reclaimed during the phase.
+    pub deferred_freed: u64,
+    /// Deferred objects still queued when the phase ended.
+    pub deferred_pending_at_end: u64,
+    /// Modeled writer stall: every `synchronize` scans all reader
+    /// slots (`MAX_CORES` × the per-iteration cycle constant) and then
+    /// spins until stragglers pass a quiescent point.
+    pub modeled_stall_cycles: u64,
+}
+
+/// Runs `f` between two `rcu` counter snapshots and models the writer
+/// stall it cost. Starts from a clean slate (`rcu_barrier`) so the
+/// pending gauge reads as an absolute for this phase.
+pub fn measure_stall(f: impl FnOnce()) -> StallRow {
+    rcu::rcu_barrier();
+    let before = rcu::stats_snapshot();
+    f();
+    let after = rcu::stats_snapshot();
+    let synchronize_calls = after.synchronize_calls - before.synchronize_calls;
+    let sync_spin_iters = after.sync_spin_iters - before.sync_spin_iters;
+    StallRow {
+        synchronize_calls,
+        sync_spin_iters,
+        call_rcu: after.call_rcu_calls - before.call_rcu_calls,
+        deferred_freed: after.deferred_freed - before.deferred_freed,
+        deferred_pending_at_end: after.deferred_pending,
+        modeled_stall_cycles: synchronize_calls * MAX_CORES as u64 * CYCLES_PER_SPIN_ITERATION
+            + sync_spin_iters * CYCLES_PER_SPIN_ITERATION,
+    }
+}
+
+impl StallRow {
+    fn emit(&self, m: &mut Metrics, prefix: &str) {
+        m.put_u64(
+            &format!("{prefix}.synchronize_calls"),
+            self.synchronize_calls,
+        );
+        m.put_u64(&format!("{prefix}.sync_spin_iters"), self.sync_spin_iters);
+        m.put_u64(&format!("{prefix}.call_rcu"), self.call_rcu);
+        m.put_u64(&format!("{prefix}.deferred_freed"), self.deferred_freed);
+        m.put_u64(
+            &format!("{prefix}.deferred_pending_at_end"),
+            self.deferred_pending_at_end,
+        );
+        m.put_u64(
+            &format!("{prefix}.modeled_stall_cycles"),
+            self.modeled_stall_cycles,
+        );
+    }
+}
+
+/// Dcache insert/remove churn: the acceptance-criteria path. Every
+/// insert and remove republishes a bucket and retires the old vector.
+pub fn stall_dcache(deferred: bool, ops: usize) -> StallRow {
+    use pk_vfs::{Dcache, DentryKey, InodeId, VfsConfig, VfsStats};
+    use std::sync::Arc;
+    let mut cfg = VfsConfig::pk(8);
+    cfg.deferred_reclamation = deferred;
+    let dc = Dcache::new(64, cfg, Arc::new(VfsStats::new()));
+    measure_stall(|| {
+        for i in 0..ops {
+            let key = DentryKey::new(InodeId(1), format!("f{i}"));
+            let core = CoreId(i % 8);
+            dc.insert(key.clone(), InodeId(i as u64 + 2), core)
+                .expect("no faults armed");
+            assert!(dc.remove(&key, core));
+        }
+    })
+}
+
+/// Mount/umount churn: each umount retires the table's mount reference
+/// (and any per-core cache entries) past a grace period.
+pub fn stall_mount(deferred: bool, ops: usize) -> StallRow {
+    use pk_vfs::{MountTable, VfsConfig, VfsStats};
+    use std::sync::Arc;
+    let mut cfg = VfsConfig::pk(8);
+    cfg.deferred_reclamation = deferred;
+    let t = MountTable::new(cfg, Arc::new(VfsStats::new()));
+    measure_stall(|| {
+        for _ in 0..ops {
+            t.mount("/mnt");
+            let m = t.resolve("/mnt/x", CoreId(0)).expect("mounted");
+            m.put(CoreId(0));
+            t.umount("/mnt").expect("was mounted");
+        }
+    })
+}
+
+/// Socket-table churn: each bind/listen republishes the port map and
+/// retires the previous version.
+pub fn stall_net(deferred: bool, ops: usize) -> StallRow {
+    use pk_net::{NetConfig, NetStack};
+    let mut cfg = NetConfig::pk(8);
+    cfg.deferred_reclamation = deferred;
+    let stack = NetStack::new(cfg);
+    measure_stall(|| {
+        for i in 0..ops {
+            let port = 1024 + i as u16;
+            stack.udp_bind(port, CoreId(0)).expect("port free");
+            stack.listen(port);
+        }
+    })
+}
+
+/// mmap/munmap churn: each call republishes the region list; munmap
+/// retires the unmapped region's metadata past a grace period.
+pub fn stall_mm(deferred: bool, ops: usize) -> StallRow {
+    use pk_mm::{AddressSpace, MmConfig, MmStats, NumaAllocator, PageSize};
+    use std::sync::Arc;
+    let mut cfg = MmConfig::pk(8);
+    cfg.deferred_reclamation = deferred;
+    cfg.numa_nodes = 2;
+    cfg.pages_per_node = 100_000;
+    let stats = Arc::new(MmStats::new());
+    let alloc = Arc::new(NumaAllocator::new(cfg, Arc::clone(&stats)));
+    let asp = AddressSpace::new(cfg, alloc, stats);
+    measure_stall(|| {
+        for _ in 0..ops {
+            let r = asp.mmap(64 << 10, PageSize::Base4K).expect("address space");
+            asp.munmap(r, 0).expect("mapped");
+        }
+    })
+}
+
+/// Computes the full deterministic metric set for `seed`.
+///
+/// Everything here is a pure function of the seed: MVA solves are
+/// plain f64 arithmetic, DES runs are seeded, and the stall phases run
+/// single-threaded on freshly built substrates. Run this before any
+/// live (multi-threaded) benchmarking — the `rcu.*` counters are
+/// process-global and concurrent churn would perturb the deltas.
+pub fn deterministic_metrics(seed: u64) -> Metrics {
+    let mut m = Metrics::new();
+    m.put_u64("meta.schema_version", SCHEMA_VERSION);
+    m.put_u64("meta.seed", seed);
+
+    // Analytic sweep points: the paper's per-core throughput axis at
+    // 1 and 48 cores, both kernels, all seven workloads.
+    for name in roster::NAMES {
+        for (choice, label) in [(KernelChoice::Stock, "stock"), (KernelChoice::Pk, "pk")] {
+            let model = roster::model(name, choice).expect("roster name resolves");
+            let p1 = CoreSweep::point(model.as_ref(), 1);
+            let p48 = CoreSweep::point(model.as_ref(), 48);
+            let prefix = format!("model.{name}.{label}");
+            m.put_f64(
+                &format!("{prefix}.c1.per_core_per_sec"),
+                p1.per_core_per_sec,
+            );
+            m.put_f64(
+                &format!("{prefix}.c48.per_core_per_sec"),
+                p48.per_core_per_sec,
+            );
+            m.put_f64(
+                &format!("{prefix}.c48.scalability"),
+                p48.per_core_per_sec / p1.per_core_per_sec,
+            );
+
+            // Seeded discrete-event cross-check at 8 cores: measured
+            // cycles/op and total cache-line traffic.
+            let net = model.network(8);
+            let r = des::simulate(&net, 8, 2_000, seed);
+            let des_prefix = format!("des.{name}.{label}.c8");
+            m.put_f64(&format!("{des_prefix}.cycles_per_op"), r.cycles_per_op);
+            m.put_u64(
+                &format!("{des_prefix}.line_transfers"),
+                r.line_transfers.iter().sum(),
+            );
+        }
+    }
+
+    // Writer-stall phases: the same churn under blocking synchronize()
+    // and deferred call_rcu, on every converted substrate.
+    type StallPhase = (&'static str, fn(bool, usize) -> StallRow, usize);
+    let phases: [StallPhase; 4] = [
+        ("dcache", stall_dcache, 1024),
+        ("mount", stall_mount, 256),
+        ("net", stall_net, 512),
+        ("mm", stall_mm, 256),
+    ];
+    for (name, run, ops) in phases {
+        let blocking = run(false, ops);
+        let deferred = run(true, ops);
+        blocking.emit(&mut m, &format!("stall.{name}.blocking"));
+        deferred.emit(&mut m, &format!("stall.{name}.deferred"));
+        let saved = blocking
+            .modeled_stall_cycles
+            .saturating_sub(deferred.modeled_stall_cycles);
+        let pct = if blocking.modeled_stall_cycles == 0 {
+            0.0
+        } else {
+            100.0 * saved as f64 / blocking.modeled_stall_cycles as f64
+        };
+        m.put_f64(&format!("stall.{name}.stall_reduction_pct"), pct);
+    }
+    // Leave the global queues clean for whoever runs next.
+    rcu::rcu_barrier();
+    m
+}
+
+/// Diffs `current` against a committed `baseline` document.
+///
+/// Failure modes, all reported:
+/// * key sets differ (schema drift — regenerate and commit the baseline);
+/// * any `*cycles*` metric grew more than [`REGRESSION_BUDGET`].
+///
+/// Returns the list of failures (empty = pass).
+pub fn check_against_baseline(baseline_text: &str, current: &Metrics) -> Vec<String> {
+    let baseline = match Metrics::parse_json(baseline_text) {
+        Ok(b) => b,
+        Err(e) => return vec![format!("baseline unreadable: {e}")],
+    };
+    let mut failures = Vec::new();
+    for key in baseline.keys() {
+        if !current.map.contains_key(key) {
+            failures.push(format!("metric {key} in baseline but not regenerated"));
+        }
+    }
+    for key in current.map.keys() {
+        if !baseline.contains_key(key) {
+            failures.push(format!(
+                "new metric {key} not in baseline (regenerate and commit)"
+            ));
+        }
+    }
+    for (key, old_raw) in &baseline {
+        if !key.contains("cycles") {
+            continue;
+        }
+        let (Some(new), Ok(old)) = (current.get(key), old_raw.parse::<f64>()) else {
+            continue;
+        };
+        // Deterministic metrics should be byte-identical; the budget
+        // exists so intentional model tweaks within 10% don't need a
+        // baseline bump. The +0.5 floor keeps a 0 → tiny change legal.
+        let limit = old * (1.0 + REGRESSION_BUDGET) + 0.5;
+        if new > limit {
+            failures.push(format!(
+                "regression in {key}: {old:.3} -> {new:.3} (budget {:.0}%)",
+                REGRESSION_BUDGET * 100.0
+            ));
+        }
+    }
+    failures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_round_trips_and_sorts() {
+        let mut m = Metrics::new();
+        m.put_u64("z.last", 7);
+        m.put_f64("a.first", 1.5);
+        let text = m.to_json();
+        assert!(text.starts_with("{\n  \"a.first\": 1.500000,\n"));
+        assert!(text.ends_with("  \"z.last\": 7\n}\n"));
+        let parsed = Metrics::parse_json(&text).unwrap();
+        assert_eq!(parsed["a.first"], "1.500000");
+        assert_eq!(parsed["z.last"], "7");
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Metrics::parse_json("{\n  \"k\": not-a-number\n}\n").is_err());
+        assert!(Metrics::parse_json("").is_err());
+    }
+
+    #[test]
+    fn deferred_dcache_writers_stall_less() {
+        let _serial = crate::rcu_serial();
+        let blocking = stall_dcache(false, 256);
+        let deferred = stall_dcache(true, 256);
+        assert_eq!(blocking.synchronize_calls, 512, "one grace wait per update");
+        assert_eq!(blocking.call_rcu, 0);
+        assert_eq!(deferred.call_rcu, 512, "every update retires via call_rcu");
+        assert!(
+            deferred.modeled_stall_cycles < blocking.modeled_stall_cycles,
+            "deferral must shed writer stall: {} !< {}",
+            deferred.modeled_stall_cycles,
+            blocking.modeled_stall_cycles
+        );
+        // Nothing may leak: retired objects are freed or still queued.
+        assert_eq!(
+            deferred.call_rcu,
+            deferred.deferred_freed + deferred.deferred_pending_at_end
+        );
+        rcu::rcu_barrier();
+    }
+
+    #[test]
+    fn every_converted_substrate_defers() {
+        let _serial = crate::rcu_serial();
+        for (name, run) in [
+            ("mount", stall_mount as fn(bool, usize) -> StallRow),
+            ("net", stall_net),
+            ("mm", stall_mm),
+        ] {
+            let blocking = run(false, 64);
+            let deferred = run(true, 64);
+            assert!(blocking.synchronize_calls > 0, "{name} blocking must wait");
+            assert!(deferred.call_rcu > 0, "{name} deferred must call_rcu");
+            assert!(
+                deferred.modeled_stall_cycles < blocking.modeled_stall_cycles,
+                "{name}: deferral must shed writer stall"
+            );
+        }
+        rcu::rcu_barrier();
+    }
+
+    #[test]
+    fn check_flags_regressions_and_drift() {
+        let mut baseline = Metrics::new();
+        baseline.put_f64("des.x.cycles_per_op", 100.0);
+        baseline.put_u64("stall.y.modeled_stall_cycles", 1000);
+        let text = baseline.to_json();
+
+        let mut ok = Metrics::new();
+        ok.put_f64("des.x.cycles_per_op", 104.0);
+        ok.put_u64("stall.y.modeled_stall_cycles", 1000);
+        assert!(check_against_baseline(&text, &ok).is_empty());
+
+        let mut slow = ok.clone();
+        slow.put_f64("des.x.cycles_per_op", 120.0);
+        let fails = check_against_baseline(&text, &slow);
+        assert_eq!(fails.len(), 1);
+        assert!(fails[0].contains("regression in des.x.cycles_per_op"));
+
+        let mut drifted = ok.clone();
+        drifted.put_u64("stall.z.new_metric", 1);
+        assert!(check_against_baseline(&text, &drifted)
+            .iter()
+            .any(|f| f.contains("not in baseline")));
+    }
+}

@@ -16,6 +16,10 @@ pub struct KernelConfig {
     pub cores: usize,
     /// Which fixes are enabled.
     fixes: [bool; 16],
+    /// Reclamation discipline for RCU-protected structures in every
+    /// substrate: deferred `call_rcu` (true, the default) or blocking
+    /// `synchronize()` on each writer. Orthogonal to the 16 fixes.
+    deferred_reclamation: bool,
 }
 
 impl KernelConfig {
@@ -24,6 +28,7 @@ impl KernelConfig {
         Self {
             cores,
             fixes: [false; 16],
+            deferred_reclamation: true,
         }
     }
 
@@ -32,7 +37,22 @@ impl KernelConfig {
         Self {
             cores,
             fixes: [true; 16],
+            deferred_reclamation: true,
         }
+    }
+
+    /// Returns a copy with the RCU reclamation discipline set: deferred
+    /// `call_rcu` queues (`true`) or blocking `synchronize()` writers
+    /// (`false`). Observable behaviour must be identical either way —
+    /// `tests/config_equivalence.rs` holds the substrates to that.
+    pub fn with_deferred_reclamation(mut self, deferred: bool) -> Self {
+        self.deferred_reclamation = deferred;
+        self
+    }
+
+    /// The configured RCU reclamation discipline.
+    pub fn deferred_reclamation(&self) -> bool {
+        self.deferred_reclamation
     }
 
     fn index(fix: FixId) -> usize {
@@ -70,6 +90,7 @@ impl KernelConfig {
             atomic_lseek: self.has(FixId::AtomicLseek),
             avoid_inode_list_locks: self.has(FixId::AvoidInodeListLocks),
             avoid_dcache_list_locks: self.has(FixId::AvoidDcacheListLocks),
+            deferred_reclamation: self.deferred_reclamation,
         }
     }
 
@@ -88,6 +109,7 @@ impl KernelConfig {
             // RFS is a software alternative the paper cites but PK does
             // not enable (it relies on hardware steering instead).
             software_rfs: false,
+            deferred_reclamation: self.deferred_reclamation,
         }
     }
 
@@ -98,6 +120,7 @@ impl KernelConfig {
             per_mapping_superpage_mutex: self.has(FixId::SuperPageFineLocking),
             nocache_superpage_zeroing: self.has(FixId::NoCacheSuperPageZeroing),
             split_page_layout: self.has(FixId::PageFalseSharing),
+            deferred_reclamation: self.deferred_reclamation,
             ..base
         }
     }

@@ -28,6 +28,11 @@ pub enum KernelError {
     Net(NetError),
     /// A procfs read named a file that does not exist.
     NoSuchProcFile,
+    /// On-disk data failed to parse (a corrupt index or database file).
+    ///
+    /// Carries a static description of what was malformed. Corruption
+    /// is never transient: retrying re-reads the same bytes.
+    Corrupt(&'static str),
 }
 
 impl KernelError {
@@ -45,6 +50,7 @@ impl KernelError {
             Self::Mm(_) => true,
             Self::Net(_) => true,
             Self::NoSuchProcFile => false,
+            Self::Corrupt(_) => false,
         }
     }
 }
@@ -57,6 +63,7 @@ impl fmt::Display for KernelError {
             Self::Mm(e) => write!(f, "mm: {e}"),
             Self::Net(e) => write!(f, "net: {e}"),
             Self::NoSuchProcFile => f.write_str("no such /proc file"),
+            Self::Corrupt(what) => write!(f, "corrupt data: {what}"),
         }
     }
 }
@@ -109,6 +116,7 @@ mod tests {
         assert!(!KernelError::from(VfsError::NotFound).is_transient());
         assert!(!KernelError::from(ProcError::NoSuchProcess).is_transient());
         assert!(!KernelError::NoSuchProcFile.is_transient());
+        assert!(!KernelError::Corrupt("bad index line").is_transient());
     }
 
     #[test]
@@ -124,6 +132,10 @@ mod tests {
         assert_eq!(
             KernelError::NoSuchProcFile.to_string(),
             "no such /proc file"
+        );
+        assert_eq!(
+            KernelError::Corrupt("missing tab").to_string(),
+            "corrupt data: missing tab"
         );
     }
 

@@ -122,6 +122,12 @@ impl Kernel {
         // runs report injected failures next to the contention they cause.
         pk_obs::Collect::collect(self.faults().as_ref(), &mut snap);
 
+        // RCU reclamation counters (`rcu.*`): process-global, since the
+        // epoch machinery is shared by every kernel in the process. They
+        // let chaos runs assert no deferred callback leaked or ran twice
+        // (`rcu.call_rcu == rcu.deferred_freed + rcu.deferred_pending`).
+        pk_obs::Collect::collect(&pk_sync::rcu::RcuObs, &mut snap);
+
         snap
     }
 }
@@ -157,6 +163,10 @@ mod tests {
         }
         assert!(snap.find("vfs.events").is_some());
         assert!(snap.find("cpu.user-cycles").is_some());
+        assert!(
+            snap.find("rcu.call_rcu").is_some(),
+            "RCU reclamation counters are part of the kernel snapshot"
+        );
     }
 
     #[test]

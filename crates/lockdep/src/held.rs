@@ -114,6 +114,23 @@ pub(crate) fn check_synchronize(loc: &'static Location<'static>) {
     }
 }
 
+/// Validates an `rcu_barrier()` call: it contains a grace-period wait,
+/// so the synchronize-in-epoch rule applies unchanged.
+pub(crate) fn check_rcu_barrier(loc: &'static Location<'static>) {
+    if EPOCH_DEPTH.with(Cell::get) > 0 {
+        report(
+            ViolationKind::SynchronizeInEpoch,
+            format!("barrier-in-epoch:{}", site(loc)),
+            format!(
+                "rcu_barrier() called at {} from inside an epoch read-side section: \
+                 the flush waits for a grace period covering this reader, which \
+                 never quiesces (self-deadlock)",
+                site(loc),
+            ),
+        );
+    }
+}
+
 /// Current epoch nesting depth of this thread.
 pub(crate) fn epoch_depth() -> u32 {
     EPOCH_DEPTH.with(Cell::get)

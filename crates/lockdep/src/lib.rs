@@ -116,6 +116,18 @@ pub fn check_synchronize() {
     held::check_synchronize(std::panic::Location::caller());
 }
 
+/// Validates an `rcu_barrier()` (deferred-queue flush): like
+/// `synchronize()`, it waits out a grace period, so calling it inside a
+/// read-side section is a self-deadlock and is reported. `call_rcu()`
+/// itself needs no check — deferring reclamation from inside a read-side
+/// section is the legal, encouraged pattern.
+#[track_caller]
+#[inline]
+pub fn check_rcu_barrier() {
+    #[cfg(feature = "lockdep")]
+    held::check_rcu_barrier(std::panic::Location::caller());
+}
+
 /// Current epoch read-section nesting depth of this thread.
 #[inline]
 pub fn epoch_depth() -> u32 {

@@ -37,6 +37,11 @@ pub struct MmConfig {
     /// Place `struct page`'s read-mostly fields on their own cache line
     /// (§4.6, the Exim false-sharing fix).
     pub split_page_layout: bool,
+    /// Retire replaced region-list snapshots through `call_rcu` per-core
+    /// deferred-free queues instead of blocking `mmap`/`munmap` on a
+    /// `synchronize()` grace period. Not a Figure-1 fix; on in both
+    /// presets, off for the blocking-writer baseline.
+    pub deferred_reclamation: bool,
 }
 
 impl MmConfig {
@@ -49,6 +54,7 @@ impl MmConfig {
             per_mapping_superpage_mutex: false,
             nocache_superpage_zeroing: false,
             split_page_layout: false,
+            deferred_reclamation: true,
         }
     }
 

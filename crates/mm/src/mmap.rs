@@ -3,7 +3,7 @@
 use crate::config::{MmConfig, PageSize};
 use crate::numa::{NumaAllocator, OutOfMemory};
 use crate::stats::MmStats;
-use parking_lot::RwLock;
+use pk_sync::rcu::{self, RcuCell};
 use pk_sync::AdaptiveMutex;
 use std::collections::HashSet;
 use std::fmt;
@@ -83,7 +83,12 @@ struct Region {
 ///   (PK).
 #[derive(Debug)]
 pub struct AddressSpace {
-    regions: RwLock<Vec<Arc<Region>>>,
+    /// RCU-published region list: faults read a snapshot without writing
+    /// shared lock state; `mmap`/`munmap` copy, update, publish, and
+    /// retire the old snapshot (and with it any removed [`Region`])
+    /// through the per-core deferred-free queues — or a blocking
+    /// `synchronize()` when `deferred_reclamation` is off.
+    regions: RcuCell<Vec<Arc<Region>>>,
     next_id: AtomicU64,
     /// Stock's single super-page mutex for the whole address space.
     superpage_mutex: AdaptiveMutex<()>,
@@ -96,7 +101,7 @@ impl AddressSpace {
     /// Creates an empty address space drawing pages from `allocator`.
     pub fn new(config: MmConfig, allocator: Arc<NumaAllocator>, stats: Arc<MmStats>) -> Self {
         let asp = Self {
-            regions: RwLock::new(Vec::new()),
+            regions: RcuCell::new(Vec::new()),
             next_id: AtomicU64::new(1),
             superpage_mutex: AdaptiveMutex::new(()),
             allocator,
@@ -136,19 +141,41 @@ impl AddressSpace {
             pk_lockdep::LockKind::Blocking,
         ));
         MmStats::bump(&self.stats.region_write_locks);
-        self.regions.write().push(region);
+        self.replace_regions(|v| {
+            let mut v = v.clone();
+            v.push(Arc::clone(&region));
+            v
+        });
         Ok(id)
+    }
+
+    /// Publishes a rewritten region list, retiring the old snapshot per
+    /// the configured reclamation discipline.
+    fn replace_regions(&self, f: impl FnOnce(&Vec<Arc<Region>>) -> Vec<Arc<Region>>) {
+        if self.config.deferred_reclamation {
+            self.regions.update_with_deferred(f);
+        } else {
+            self.regions.update_with(f);
+        }
     }
 
     /// Unmaps a region, returning its faulted pages to the allocator.
     pub fn munmap(&self, id: RegionId, core: usize) -> Result<(), MmapError> {
         MmStats::bump(&self.stats.region_write_locks);
-        let mut regions = self.regions.write();
-        let idx = regions
-            .iter()
-            .position(|r| r.id == id)
-            .ok_or(MmapError::NoSuchRegion)?;
-        let region = regions.remove(idx);
+        let region = {
+            let g = rcu::read_lock();
+            self.regions
+                .read(&g)
+                .iter()
+                .find(|r| r.id == id)
+                .cloned()
+                .ok_or(MmapError::NoSuchRegion)?
+        };
+        // Unpublish the region; the replaced list snapshot (holding the
+        // retired `Arc<Region>`) is freed past a grace period. The pages
+        // themselves are returned to the allocator *now* — munmap's
+        // observable effect is synchronous either way.
+        self.replace_regions(|v| v.iter().filter(|r| r.id != id).cloned().collect());
         let _ = core;
         // Return every faulted page to the node it was allocated from.
         for (node, pages) in region
@@ -172,8 +199,9 @@ impl AddressSpace {
         // modification is the §5.8 bottleneck).
         MmStats::bump(&self.stats.region_read_locks);
         let region = {
-            let regions = self.regions.read();
-            regions
+            let g = rcu::read_lock();
+            self.regions
+                .read(&g)
                 .iter()
                 .find(|r| r.id == id)
                 .cloned()
@@ -248,8 +276,9 @@ impl AddressSpace {
     /// Touches every page of `region` in order (a streaming write pass).
     pub fn touch_all(&self, id: RegionId, core: usize) -> Result<u64, FaultError> {
         let pages = {
-            let regions = self.regions.read();
-            regions
+            let g = rcu::read_lock();
+            self.regions
+                .read(&g)
                 .iter()
                 .find(|r| r.id == id)
                 .ok_or(FaultError::Segfault)?
@@ -266,7 +295,8 @@ impl AddressSpace {
 
     /// Number of live regions.
     pub fn region_count(&self) -> usize {
-        self.regions.read().len()
+        let g = rcu::read_lock();
+        self.regions.read(&g).len()
     }
 
     /// The stock global super-page mutex (for starvation diagnostics).

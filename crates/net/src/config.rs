@@ -34,6 +34,11 @@ pub struct NetConfig {
     /// re-steers polled packets to the core that owns the flow's socket,
     /// paying a cross-core queue hop when the hardware misdirected them.
     pub software_rfs: bool,
+    /// Retire replaced socket/listener table snapshots through `call_rcu`
+    /// deferred-free queues instead of blocking the binding thread on a
+    /// `synchronize()` grace period. Not a Figure-1 fix; on in both
+    /// presets, off for the blocking-writer baseline.
+    pub deferred_reclamation: bool,
 }
 
 impl NetConfig {
@@ -50,6 +55,7 @@ impl NetConfig {
             hash_flow_steering: false,
             isolate_false_sharing: false,
             software_rfs: false,
+            deferred_reclamation: true,
         }
     }
 
@@ -66,6 +72,7 @@ impl NetConfig {
             hash_flow_steering: true,
             isolate_false_sharing: true,
             software_rfs: false,
+            deferred_reclamation: true,
         }
     }
 

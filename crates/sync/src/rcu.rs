@@ -7,13 +7,40 @@
 //! quiescent point. This module implements a small userspace RCU with the
 //! same shape: pointer publication via [`RcuCell`] and grace periods via
 //! epoch tracking per logical core.
+//!
+//! Two reclamation disciplines are offered:
+//!
+//! * **blocking** — [`synchronize`] spins until every reader that predates
+//!   the call has quiesced, then the caller frees the retired object. Every
+//!   writer pays a full grace period.
+//! * **deferred** — [`call_rcu`] (or the safe [`defer_drop`]) hands the
+//!   retired object to a per-core cache-aligned deferred-free queue tagged
+//!   with a *target epoch*; a grace-period state machine retires queued
+//!   batches once every core has passed a quiescent point at or beyond the
+//!   target. Writers never stall. [`rcu_barrier`] waits out one grace
+//!   period and drains everything previously deferred — the shutdown and
+//!   test hook.
+//!
+//! ## Grace-period state machine
+//!
+//! The global epoch `G` only grows. A reader's outermost `read_lock`
+//! publishes the current `G` into its core's slot (0 = quiescent). An
+//! object retired at epoch `G` gets target `t = G + 1`, and `G` is
+//! advanced to at least `t` (without waiting). The entry is reclaimable
+//! exactly when every core slot is 0 or ≥ `t`: any reader that could have
+//! observed the old pointer published an epoch < `t` before the swap, so
+//! this condition proves all such readers have exited. Per-core queues are
+//! in non-decreasing target order (the epoch is monotonic), so reclaim
+//! pops from the front until the first entry whose grace period has not
+//! elapsed.
 
 use pk_percpu::{registry, CacheAligned, MAX_CORES};
 use std::cell::Cell;
-use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::{fence, AtomicPtr, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
 
-/// Global epoch; bumped by `synchronize()`.
+/// Global epoch; advanced by `synchronize()` and `call_rcu()`.
 static GLOBAL_EPOCH: AtomicU64 = AtomicU64::new(1);
 
 /// Per-core reader state: 0 = quiescent, otherwise the epoch at which the
@@ -25,6 +52,45 @@ static READER_EPOCHS: [CacheAligned<AtomicU64>; MAX_CORES] = {
     const Q: CacheAligned<AtomicU64> = CacheAligned::new(AtomicU64::new(0));
     [Q; MAX_CORES]
 };
+
+/// One retired object awaiting its grace period.
+struct Deferred {
+    /// Reclaimable once every core is quiescent or at/past this epoch.
+    target: u64,
+    ptr: *mut (),
+    drop_fn: unsafe fn(*mut ()),
+}
+
+// SAFETY: The pointer is owned (unpublished) by the queue entry; the drop
+// function is the only remaining access path, and `call_rcu`'s contract
+// requires the payload to be `Send`.
+unsafe impl Send for Deferred {}
+
+/// Per-core cache-aligned deferred-free queues.
+static DEFER_QUEUES: [CacheAligned<Mutex<VecDeque<Deferred>>>; MAX_CORES] = {
+    #[allow(clippy::declare_interior_mutable_const)]
+    const Q: CacheAligned<Mutex<VecDeque<Deferred>>> =
+        CacheAligned::new(Mutex::new(VecDeque::new()));
+    [Q; MAX_CORES]
+};
+
+/// Entries a core may queue before `call_rcu` falls back to a blocking
+/// spill (grace wait + drain) to bound memory.
+pub const DEFER_QUEUE_CAP: usize = 4096;
+
+/// Grace-period and deferral counters (process-wide, monotonic).
+static SYNCHRONIZE_CALLS: AtomicU64 = AtomicU64::new(0);
+static SYNC_SPIN_ITERS: AtomicU64 = AtomicU64::new(0);
+static CALL_RCU_CALLS: AtomicU64 = AtomicU64::new(0);
+static DEFERRED_FREED: AtomicU64 = AtomicU64::new(0);
+static DEFER_SPILLS: AtomicU64 = AtomicU64::new(0);
+static BARRIER_CALLS: AtomicU64 = AtomicU64::new(0);
+
+/// Test hook: when installed and returning `true`, the next `call_rcu`
+/// treats its queue as over capacity and spills (the `rcu.defer_overflow`
+/// fault point is wired through this).
+#[allow(clippy::type_complexity)]
+static SPILL_PROBE: RwLock<Option<Arc<dyn Fn() -> bool + Send + Sync>>> = RwLock::new(None);
 
 thread_local! {
     static NESTING: Cell<u32> = const { Cell::new(0) };
@@ -82,10 +148,13 @@ impl Drop for RcuReadGuard {
 /// Waits until every read-side critical section that began before this
 /// call has ended (a *grace period*).
 ///
-/// Equivalent to `synchronize_rcu()`.
+/// Equivalent to `synchronize_rcu()`. This is the blocking discipline:
+/// the caller stalls for the whole grace period. Prefer [`call_rcu`] /
+/// [`defer_drop`] on hot write paths.
 #[track_caller]
 pub fn synchronize() {
     pk_lockdep::check_synchronize();
+    SYNCHRONIZE_CALLS.fetch_add(1, Ordering::Relaxed);
     let target = GLOBAL_EPOCH.fetch_add(1, Ordering::SeqCst) + 1;
     for slot in READER_EPOCHS.iter() {
         let mut spins = 0u64;
@@ -100,14 +169,251 @@ pub fn synchronize() {
                 std::thread::yield_now();
             }
         }
+        if spins > 0 {
+            SYNC_SPIN_ITERS.fetch_add(spins, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Retires `ptr` through the deferred-free queues: `drop_fn(ptr)` runs
+/// once every core has passed a quiescent point after this call. Never
+/// blocks for a grace period (except on queue overflow, see
+/// [`DEFER_QUEUE_CAP`]).
+///
+/// Unlike [`synchronize`], calling this *inside* a read-side section is
+/// legal: reclamation is simply deferred past the caller's own section.
+///
+/// # Safety
+///
+/// * `ptr` must be exclusively owned by the caller (already unpublished:
+///   no new reader can reach it) and valid to pass to `drop_fn`.
+/// * `drop_fn(ptr)` may run on any thread, so the pointee must be `Send`.
+/// * `drop_fn` must free `ptr` exactly once.
+pub unsafe fn call_rcu(ptr: *mut (), drop_fn: unsafe fn(*mut ())) {
+    CALL_RCU_CALLS.fetch_add(1, Ordering::Relaxed);
+    let target = GLOBAL_EPOCH.load(Ordering::SeqCst) + 1;
+    // Advance the epoch so future readers start at or beyond the target;
+    // concurrent retirers in the same epoch share one advance.
+    GLOBAL_EPOCH.fetch_max(target, Ordering::SeqCst);
+    let core = registry::current_or_register().index();
+    let len = {
+        let mut q = DEFER_QUEUES[core].lock().unwrap_or_else(|e| e.into_inner());
+        q.push_back(Deferred {
+            target,
+            ptr,
+            drop_fn,
+        });
+        q.len()
+    };
+    // Reclamation (and especially a blocking spill) must not run inside a
+    // read-side section: the spill's grace wait would wait on the caller.
+    if NESTING.with(Cell::get) > 0 {
+        return;
+    }
+    let forced = SPILL_PROBE
+        .read()
+        .unwrap_or_else(|e| e.into_inner())
+        .as_ref()
+        .is_some_and(|p| p());
+    if len > DEFER_QUEUE_CAP || forced {
+        spill(core);
+    } else {
+        reap_core(core);
+    }
+}
+
+/// Retires a boxed value through [`call_rcu`]: dropped after a grace
+/// period, without blocking the caller.
+pub fn defer_drop<T: Send + 'static>(value: Box<T>) {
+    // SAFETY: The box is owned and unreachable to readers; `drop_box::<T>`
+    // frees it exactly once; `T: Send + 'static` lets the drop run later
+    // on any thread.
+    unsafe { call_rcu(Box::into_raw(value).cast(), drop_box::<T>) }
+}
+
+/// Type-erased box destructor used by `defer_drop` and the deferred
+/// `RcuCell` updates.
+unsafe fn drop_box<T>(ptr: *mut ()) {
+    // SAFETY: `ptr` came from `Box::into_raw` of a `Box<T>` and this is
+    // its unique owner (the queue entry).
+    drop(unsafe { Box::from_raw(ptr.cast::<T>()) });
+}
+
+/// The lowest epoch any active reader is in, or `u64::MAX` when all cores
+/// are quiescent. An entry with `target <= min_active_reader_epoch()` has
+/// had its grace period elapse.
+fn min_active_reader_epoch() -> u64 {
+    // Pair with the SeqCst publication in `read_lock`: a reader that
+    // loaded the retired pointer published its epoch before the retirer
+    // unpublished it, so this scan cannot miss it.
+    fence(Ordering::SeqCst);
+    let mut min = u64::MAX;
+    for slot in READER_EPOCHS.iter() {
+        let e = slot.load(Ordering::SeqCst);
+        if e != 0 && e < min {
+            min = e;
+        }
+    }
+    min
+}
+
+/// Frees every entry at the front of `core`'s queue whose grace period
+/// has elapsed. Returns the number reclaimed.
+fn reap_core(core: usize) -> usize {
+    let mut batch = Vec::new();
+    {
+        let mut q = DEFER_QUEUES[core].lock().unwrap_or_else(|e| e.into_inner());
+        if q.is_empty() {
+            return 0;
+        }
+        let elapsed = min_active_reader_epoch();
+        while let Some(front) = q.front() {
+            if front.target <= elapsed {
+                batch.push(q.pop_front().expect("front exists"));
+            } else {
+                break;
+            }
+        }
+    }
+    free_batch(batch)
+}
+
+/// Blocking overflow path: wait one grace period (which covers every
+/// queued target, the epoch being monotonic), then drain `core`'s queue.
+fn spill(core: usize) {
+    DEFER_SPILLS.fetch_add(1, Ordering::Relaxed);
+    synchronize();
+    let batch: Vec<Deferred> = {
+        let mut q = DEFER_QUEUES[core].lock().unwrap_or_else(|e| e.into_inner());
+        q.drain(..).collect()
+    };
+    free_batch(batch);
+}
+
+/// Runs the deferred drops outside any queue lock (a drop may itself
+/// retire more objects).
+fn free_batch(batch: Vec<Deferred>) -> usize {
+    let n = batch.len();
+    for d in batch {
+        // SAFETY: The entry was popped under the queue lock, so this is
+        // its unique owner, and its grace period has elapsed (reap) or a
+        // full grace period was waited out (spill/barrier).
+        unsafe { (d.drop_fn)(d.ptr) };
+    }
+    if n > 0 {
+        DEFERRED_FREED.fetch_add(n as u64, Ordering::Relaxed);
+    }
+    n
+}
+
+/// Waits for the grace periods of everything deferred so far and runs
+/// those drops (the shutdown/test flush; equivalent to `rcu_barrier()`).
+///
+/// Objects retired by other threads *during* the call are not covered.
+/// Like [`synchronize`], this must not be called from inside a read-side
+/// section (it would wait on the caller's own epoch).
+#[track_caller]
+pub fn rcu_barrier() {
+    pk_lockdep::check_rcu_barrier();
+    BARRIER_CALLS.fetch_add(1, Ordering::Relaxed);
+    // Steal every queue's current contents first, then wait one grace
+    // period: the epoch is monotonic, so that single wait covers every
+    // stolen target.
+    let mut stolen = Vec::new();
+    for q in DEFER_QUEUES.iter() {
+        let mut q = q.lock().unwrap_or_else(|e| e.into_inner());
+        stolen.extend(q.drain(..));
+    }
+    if stolen.is_empty() {
+        return;
+    }
+    synchronize();
+    free_batch(stolen);
+}
+
+/// Installs (or clears, with `None`) the spill probe consulted by every
+/// `call_rcu`: when the probe returns `true` the queue is treated as
+/// over capacity and spilled. The `rcu.defer_overflow` fault point is
+/// connected through this hook.
+#[allow(clippy::type_complexity)]
+pub fn set_spill_probe(probe: Option<Arc<dyn Fn() -> bool + Send + Sync>>) {
+    *SPILL_PROBE.write().unwrap_or_else(|e| e.into_inner()) = probe;
+}
+
+/// A snapshot of the grace-period machinery's counters.
+///
+/// All values are process-wide and monotonic except `deferred_pending`;
+/// take deltas around a phase to attribute costs to it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RcuStats {
+    /// Blocking grace-period waits (includes spills and barriers).
+    pub synchronize_calls: u64,
+    /// Spin-loop iterations spent waiting inside `synchronize`.
+    pub sync_spin_iters: u64,
+    /// Objects retired through `call_rcu`/`defer_drop`.
+    pub call_rcu_calls: u64,
+    /// Deferred objects whose drop has run.
+    pub deferred_freed: u64,
+    /// Deferred objects still awaiting their grace period.
+    pub deferred_pending: u64,
+    /// Overflow/fault-forced blocking spills.
+    pub spills: u64,
+    /// `rcu_barrier` invocations.
+    pub barriers: u64,
+}
+
+/// Reads the current counter values.
+pub fn stats_snapshot() -> RcuStats {
+    let call_rcu_calls = CALL_RCU_CALLS.load(Ordering::Relaxed);
+    let deferred_freed = DEFERRED_FREED.load(Ordering::Relaxed);
+    RcuStats {
+        synchronize_calls: SYNCHRONIZE_CALLS.load(Ordering::Relaxed),
+        sync_spin_iters: SYNC_SPIN_ITERS.load(Ordering::Relaxed),
+        call_rcu_calls,
+        deferred_freed,
+        deferred_pending: call_rcu_calls.saturating_sub(deferred_freed),
+        spills: DEFER_SPILLS.load(Ordering::Relaxed),
+        barriers: BARRIER_CALLS.load(Ordering::Relaxed),
+    }
+}
+
+/// Pull-model observability source exporting the `rcu.*` samples.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RcuObs;
+
+impl pk_obs::Collect for RcuObs {
+    fn collect(&self, out: &mut pk_obs::Snapshot) {
+        let s = stats_snapshot();
+        out.push(pk_obs::Sample::counter(
+            "rcu.synchronize_calls",
+            s.synchronize_calls,
+        ));
+        out.push(pk_obs::Sample::counter(
+            "rcu.sync_spin_iters",
+            s.sync_spin_iters,
+        ));
+        out.push(pk_obs::Sample::counter("rcu.call_rcu", s.call_rcu_calls));
+        out.push(pk_obs::Sample::counter(
+            "rcu.deferred_freed",
+            s.deferred_freed,
+        ));
+        out.push(pk_obs::Sample::gauge(
+            "rcu.deferred_pending",
+            s.deferred_pending as i64,
+        ));
+        out.push(pk_obs::Sample::counter("rcu.spills", s.spills));
+        out.push(pk_obs::Sample::counter("rcu.barriers", s.barriers));
     }
 }
 
 /// An RCU-protected pointer to an immutable `T` snapshot.
 ///
 /// Readers obtain a cheap, wait-free reference under a [`RcuReadGuard`];
-/// writers replace the snapshot wholesale and block for a grace period
-/// before freeing the previous one.
+/// writers replace the snapshot wholesale and either block for a grace
+/// period before freeing the previous one ([`RcuCell::update`],
+/// [`RcuCell::update_with`]) or retire it through the deferred-free
+/// queues without stalling ([`RcuCell::update_deferred`],
+/// [`RcuCell::update_with_deferred`]).
 ///
 /// # Examples
 ///
@@ -120,8 +426,9 @@ pub fn synchronize() {
 ///     assert_eq!(cell.read(&guard).len(), 3);
 /// }
 /// cell.update(vec![4]);
+/// cell.update_with_deferred(|v| v.iter().map(|x| x * 10).collect());
 /// let guard = rcu::read_lock();
-/// assert_eq!(cell.read(&guard), &[4]);
+/// assert_eq!(cell.read(&guard), &[40]);
 /// ```
 #[derive(Debug)]
 pub struct RcuCell<T> {
@@ -152,8 +459,9 @@ impl<T> RcuCell<T> {
     pub fn read<'g>(&self, _guard: &'g RcuReadGuard) -> &'g T {
         let p = self.ptr.load(Ordering::Acquire);
         // SAFETY: `p` was published by `new`/`update` and cannot be freed
-        // before the guard's read-side section ends (update waits for a
-        // grace period covering it).
+        // before the guard's read-side section ends: blocking updates wait
+        // for a grace period covering it, deferred updates queue the old
+        // snapshot with a target epoch past this reader.
         unsafe { &*p }
     }
 
@@ -165,7 +473,7 @@ impl<T> RcuCell<T> {
             // Lock poisoning only means a previous writer panicked; the
             // cell itself is always in a published, consistent state.
             let _w = self.writer.lock().unwrap_or_else(|e| e.into_inner());
-            self.ptr.swap(new, Ordering::AcqRel)
+            self.ptr.swap(new, Ordering::SeqCst)
         };
         synchronize();
         // SAFETY: `old` was the published pointer; after `synchronize` no
@@ -182,10 +490,39 @@ impl<T> RcuCell<T> {
         // SAFETY: We hold the writer lock, so `cur` cannot be swapped out
         // or freed concurrently.
         let new = Box::into_raw(Box::new(f(unsafe { &*cur })));
-        let old = self.ptr.swap(new, Ordering::AcqRel);
+        let old = self.ptr.swap(new, Ordering::SeqCst);
         synchronize();
         // SAFETY: As in `update`.
         drop(unsafe { Box::from_raw(old) });
+    }
+}
+
+impl<T: Send + 'static> RcuCell<T> {
+    /// Publishes a new snapshot and retires the old one through the
+    /// deferred-free queues. Never blocks for a grace period.
+    pub fn update_deferred(&self, value: T) {
+        let new = Box::into_raw(Box::new(value));
+        let old = {
+            let _w = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+            self.ptr.swap(new, Ordering::SeqCst)
+        };
+        // SAFETY: `old` is unpublished (the swap removed the last shared
+        // path to it) and `T: Send + 'static`, so its drop may run later
+        // on any thread; `drop_box::<T>` frees it exactly once.
+        unsafe { call_rcu(old.cast(), drop_box::<T>) };
+    }
+
+    /// Like [`RcuCell::update_with`], but retires the replaced snapshot
+    /// through the deferred-free queues instead of blocking.
+    pub fn update_with_deferred(&self, f: impl FnOnce(&T) -> T) {
+        let _w = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        let cur = self.ptr.load(Ordering::Acquire);
+        // SAFETY: We hold the writer lock, so `cur` cannot be swapped out
+        // or freed concurrently.
+        let new = Box::into_raw(Box::new(f(unsafe { &*cur })));
+        let old = self.ptr.swap(new, Ordering::SeqCst);
+        // SAFETY: As in `update_deferred`.
+        unsafe { call_rcu(old.cast(), drop_box::<T>) };
     }
 }
 
@@ -228,6 +565,119 @@ mod tests {
         cell.update_with(|v| v * 2);
         let g = read_lock();
         assert_eq!(*cell.read(&g), 22);
+    }
+
+    #[test]
+    fn deferred_update_publishes_immediately() {
+        let cell = RcuCell::new(10u64);
+        cell.update_deferred(11);
+        cell.update_with_deferred(|v| v * 2);
+        let g = read_lock();
+        assert_eq!(*cell.read(&g), 22);
+        drop(g);
+        rcu_barrier();
+    }
+
+    /// Sets a flag when dropped — the probe for "has reclamation run".
+    struct Tracked(Arc<AtomicBool>);
+    impl Drop for Tracked {
+        fn drop(&mut self) {
+            self.0.store(true, Ordering::SeqCst);
+        }
+    }
+
+    #[test]
+    fn defer_drop_runs_after_barrier() {
+        let dropped = Arc::new(AtomicBool::new(false));
+        defer_drop(Box::new(Tracked(Arc::clone(&dropped))));
+        rcu_barrier();
+        assert!(dropped.load(Ordering::SeqCst), "barrier flushes the queue");
+    }
+
+    #[test]
+    fn deferred_drop_waits_for_reader_that_saw_old_pointer() {
+        let cell = Arc::new(RcuCell::new(Tracked(Arc::new(AtomicBool::new(false)))));
+        let reader_in = Arc::new(AtomicBool::new(false));
+        let release = Arc::new(AtomicBool::new(false));
+
+        let r = {
+            let cell = Arc::clone(&cell);
+            let reader_in = Arc::clone(&reader_in);
+            let release = Arc::clone(&release);
+            std::thread::spawn(move || {
+                let g = read_lock();
+                let old_flag = Arc::clone(&cell.read(&g).0);
+                reader_in.store(true, Ordering::SeqCst);
+                while !release.load(Ordering::SeqCst) {
+                    assert!(
+                        !old_flag.load(Ordering::SeqCst),
+                        "old snapshot dropped while a reader that observed it is in-section"
+                    );
+                    std::thread::yield_now();
+                }
+                drop(g);
+                old_flag
+            })
+        };
+        while !reader_in.load(Ordering::SeqCst) {
+            std::thread::yield_now();
+        }
+        // Writer does not block...
+        cell.update_deferred(Tracked(Arc::new(AtomicBool::new(false))));
+        // ...and churning more deferred work must still not free the old
+        // snapshot while the reader is inside.
+        for _ in 0..64 {
+            defer_drop(Box::new(0u8));
+            std::thread::yield_now();
+        }
+        release.store(true, Ordering::SeqCst);
+        let old_flag = r.join().unwrap();
+        rcu_barrier();
+        assert!(
+            old_flag.load(Ordering::SeqCst),
+            "reclaimed after quiescence"
+        );
+    }
+
+    #[test]
+    fn call_rcu_is_legal_inside_read_section() {
+        let g = read_lock();
+        let dropped = Arc::new(AtomicBool::new(false));
+        defer_drop(Box::new(Tracked(Arc::clone(&dropped))));
+        // Our own section pins the epoch: nothing may be reclaimed yet
+        // on this core's queue from inside the section.
+        drop(g);
+        rcu_barrier();
+        assert!(dropped.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn spill_probe_forces_blocking_drain() {
+        let before = stats_snapshot();
+        set_spill_probe(Some(Arc::new(|| true)));
+        let dropped = Arc::new(AtomicBool::new(false));
+        defer_drop(Box::new(Tracked(Arc::clone(&dropped))));
+        set_spill_probe(None);
+        assert!(dropped.load(Ordering::SeqCst), "spill drains synchronously");
+        let after = stats_snapshot();
+        assert!(after.spills > before.spills);
+    }
+
+    #[test]
+    fn stats_balance_after_barrier() {
+        for _ in 0..10 {
+            defer_drop(Box::new([0u64; 4]));
+        }
+        rcu_barrier();
+        let s = stats_snapshot();
+        assert!(s.call_rcu_calls >= 10);
+        // Other tests may be mid-enqueue concurrently, so pending is not
+        // asserted to be exactly zero — only that the books balance.
+        assert_eq!(
+            s.call_rcu_calls,
+            s.deferred_freed + s.deferred_pending,
+            "every retirement is either freed or still queued"
+        );
     }
 
     #[test]
@@ -306,11 +756,16 @@ mod tests {
             })
             .collect();
         for i in 1..20 {
-            cell.update(vec![i; 8]);
+            if i % 2 == 0 {
+                cell.update(vec![i; 8]);
+            } else {
+                cell.update_deferred(vec![i; 8]);
+            }
         }
         stop.store(true, Ordering::Relaxed);
         for r in readers {
             r.join().unwrap();
         }
+        rcu_barrier();
     }
 }

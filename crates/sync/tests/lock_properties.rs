@@ -116,9 +116,25 @@ fn seqlock_readers_never_torn_and_retries_bounded() {
     use std::sync::atomic::{AtomicBool, Ordering};
     const READS_PER_READER: usize = 20_000;
     const RETRY_BOUND: usize = 100_000;
+    // Pure spins below this many retries; yields above it. On a
+    // single-CPU host the writer can be preempted *inside* its
+    // two-store critical section for a whole scheduler quantum — a
+    // reader must hand the CPU back so the writer can finish, or the
+    // retry bound measures the host's timeslice instead of the lock.
+    const SPIN_BEFORE_YIELD: usize = 64;
     let sl = Arc::new(SeqLock::new((0u64, 0u64)));
     let stop = Arc::new(AtomicBool::new(false));
+    // Raises `stop` even if an assertion unwinds the scope closure:
+    // otherwise `thread::scope`'s implicit join waits forever on the
+    // writer's `while !stop` loop and a failure turns into a hang.
+    struct StopOnDrop(Arc<AtomicBool>);
+    impl Drop for StopOnDrop {
+        fn drop(&mut self) {
+            self.0.store(true, Ordering::Relaxed);
+        }
+    }
     std::thread::scope(|s| {
+        let _stop_guard = StopOnDrop(Arc::clone(&stop));
         {
             let sl = Arc::clone(&sl);
             let stop = Arc::clone(&stop);
@@ -127,6 +143,10 @@ fn seqlock_readers_never_torn_and_retries_bounded() {
                 while !stop.load(Ordering::Relaxed) {
                     v = v.wrapping_add(1);
                     *sl.write() = (v, v.wrapping_mul(31));
+                    // Let readers through between writes; a writer that
+                    // never leaves the CPU starves them by scheduling,
+                    // which is not the property under test.
+                    std::thread::yield_now();
                 }
             });
         }
@@ -146,7 +166,11 @@ fn seqlock_readers_never_torn_and_retries_bounded() {
                                         attempts < RETRY_BOUND,
                                         "reader starved: {attempts} retries on one read"
                                     );
-                                    std::hint::spin_loop();
+                                    if attempts < SPIN_BEFORE_YIELD {
+                                        std::hint::spin_loop();
+                                    } else {
+                                        std::thread::yield_now();
+                                    }
                                 }
                             }
                         };
@@ -161,7 +185,6 @@ fn seqlock_readers_never_torn_and_retries_bounded() {
             let max_attempts = r.join().unwrap();
             assert!(max_attempts < RETRY_BOUND);
         }
-        stop.store(true, Ordering::Relaxed);
     });
 }
 

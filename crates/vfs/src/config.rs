@@ -26,6 +26,12 @@ pub struct VfsConfig {
     pub avoid_inode_list_locks: bool,
     /// "Avoid acquiring the [dcache list] locks when not necessary."
     pub avoid_dcache_list_locks: bool,
+    /// Retire replaced RCU snapshots (dcache buckets, umounted mounts)
+    /// through `call_rcu` deferred-free queues instead of blocking each
+    /// writer on a full `synchronize()` grace period. Not a Figure-1 fix:
+    /// a reclamation-discipline switch, on in both presets; turn off to
+    /// measure the blocking-writer baseline.
+    pub deferred_reclamation: bool,
 }
 
 impl VfsConfig {
@@ -41,6 +47,7 @@ impl VfsConfig {
             atomic_lseek: false,
             avoid_inode_list_locks: false,
             avoid_dcache_list_locks: false,
+            deferred_reclamation: true,
         }
     }
 
@@ -56,6 +63,7 @@ impl VfsConfig {
             atomic_lseek: true,
             avoid_inode_list_locks: true,
             avoid_dcache_list_locks: true,
+            deferred_reclamation: true,
         }
     }
 }

@@ -72,6 +72,22 @@ impl Dcache {
         &self.buckets[(h.finish() as usize) & self.mask]
     }
 
+    /// Publishes a rewritten bucket snapshot, retiring the replaced one
+    /// per the configured reclamation discipline: `call_rcu` deferral
+    /// (the writer continues immediately) or a blocking `synchronize()`
+    /// grace period.
+    fn replace_bucket(
+        cell: &RcuCell<Vec<Arc<Dentry>>>,
+        deferred: bool,
+        f: impl FnOnce(&Vec<Arc<Dentry>>) -> Vec<Arc<Dentry>>,
+    ) {
+        if deferred {
+            cell.update_with_deferred(f);
+        } else {
+            cell.update_with(f);
+        }
+    }
+
     /// Looks up `(parent, name)`, taking a reference on the hit.
     ///
     /// `core` is the acting core (for sloppy refcounts and stats).
@@ -145,7 +161,7 @@ impl Dcache {
         // rather than panicking in the kernel.
         dentry.get(core).map_err(|_| VfsError::Stale)?;
         let inserted = Arc::clone(&dentry);
-        self.bucket(&key).update_with(|v| {
+        Self::replace_bucket(self.bucket(&key), self.config.deferred_reclamation, |v| {
             let mut v = v.clone();
             v.push(Arc::clone(&inserted));
             v
@@ -160,7 +176,7 @@ impl Dcache {
     /// Returns `true` if an entry was removed.
     pub fn remove(&self, key: &DentryKey, core: CoreId) -> bool {
         let mut removed: Option<Arc<Dentry>> = None;
-        self.bucket(key).update_with(|v| {
+        Self::replace_bucket(self.bucket(key), self.config.deferred_reclamation, |v| {
             let mut kept = Vec::with_capacity(v.len());
             for d in v.iter() {
                 if removed.is_none() && !d.is_unhashed() && d.key == *key {
@@ -198,7 +214,7 @@ impl Dcache {
                 break;
             }
             let mut victims = Vec::new();
-            bucket.update_with(|v| {
+            Self::replace_bucket(bucket, self.config.deferred_reclamation, |v| {
                 let mut kept = Vec::with_capacity(v.len());
                 for d in v.iter() {
                     // Only the cache's reference remains → evictable.

@@ -4,7 +4,7 @@ use crate::config::VfsConfig;
 use crate::stats::VfsStats;
 use pk_percpu::{CoreId, PerCore};
 use pk_sloppy::{DeallocError, RefCount};
-use pk_sync::SpinLock;
+use pk_sync::{rcu, SpinLock};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -51,6 +51,9 @@ impl VfsMount {
     }
 }
 
+/// One mapping from mount point to mount, as the central table holds it.
+type MountMap = HashMap<String, Arc<VfsMount>>;
+
 /// The mount table: a central map under a global spin lock, with optional
 /// per-core caches in front of it (§4.5).
 ///
@@ -60,8 +63,16 @@ impl VfsMount {
 /// the result is added to the per-core table."
 #[derive(Debug)]
 pub struct MountTable {
-    central: SpinLock<HashMap<String, Arc<VfsMount>>>,
-    percore: PerCore<SpinLock<HashMap<String, Arc<VfsMount>>>>,
+    central: SpinLock<MountMap>,
+    /// Per-core snapshots of the central table (`None` = invalidated).
+    ///
+    /// Each snapshot mirrors the *whole* central table, not individual
+    /// lookups: longest-prefix resolution answered from a partial cache
+    /// is unsound, because a cached shorter prefix (say `/`) would mask
+    /// a longer central entry (`/mnt`) that was never pulled into this
+    /// core's cache. A full snapshot gives exactly the central answer
+    /// until the next mount/umount invalidates it.
+    percore: PerCore<SpinLock<Option<MountMap>>>,
     config: VfsConfig,
     stats: Arc<VfsStats>,
 }
@@ -77,7 +88,7 @@ impl MountTable {
         let t = Self {
             central: SpinLock::new(HashMap::new()),
             percore: PerCore::new_with(config.cores, |_| {
-                let l = SpinLock::new(HashMap::new());
+                let l = SpinLock::new(None);
                 l.set_class(percore_class);
                 l
             }),
@@ -94,6 +105,11 @@ impl MountTable {
     }
 
     /// Installs a mount at `mount_point`.
+    ///
+    /// Invalidates every per-core snapshot: the new entry may be a
+    /// longer prefix than anything a snapshot holds, and a stale
+    /// snapshot would keep resolving paths the new mount now covers.
+    /// The retired snapshots go through the reclamation discipline.
     pub fn mount(&self, mount_point: &str) -> Arc<VfsMount> {
         let m = VfsMount::new(
             mount_point,
@@ -103,53 +119,97 @@ impl MountTable {
         self.central
             .lock()
             .insert(mount_point.to_string(), Arc::clone(&m));
+        let swept = self.sweep_percore_caches();
+        if !swept.is_empty() {
+            self.retire(swept);
+        }
         m
     }
 
-    /// Removes the mount at `mount_point` from the central table and all
-    /// per-core caches, returning it if present.
+    /// Removes the mount at `mount_point` from the central table and
+    /// invalidates all per-core snapshots, returning it if present.
+    ///
+    /// The table's reference to the mount (and every swept snapshot) is
+    /// retired past a grace period, since a resolver may have copied the
+    /// `Arc` out of a snapshot moments before the sweep: deferred
+    /// through `call_rcu` by default, or via a blocking `synchronize()`
+    /// when `deferred_reclamation` is off.
     pub fn umount(&self, mount_point: &str) -> Option<Arc<VfsMount>> {
         let removed = self.central.lock().remove(mount_point);
-        if removed.is_some() {
-            // Deliberate cross-core sweep: umount invalidates every
-            // core's cache from whichever core runs the umount.
-            let _migrate = pk_lockdep::MigrationScope::enter();
-            for cache in self.percore.iter() {
-                cache.lock().remove(mount_point);
-            }
+        if let Some(ref m) = removed {
+            let swept = self.sweep_percore_caches();
+            self.retire((Arc::clone(m), swept));
         }
         removed
+    }
+
+    /// Clears every per-core snapshot, returning the old contents so
+    /// the caller can retire them past a grace period.
+    fn sweep_percore_caches(&self) -> Vec<MountMap> {
+        // Deliberate cross-core sweep: a mount-table mutation
+        // invalidates every core's snapshot from whichever core runs it.
+        let _migrate = pk_lockdep::MigrationScope::enter();
+        self.percore
+            .iter()
+            .filter_map(|cache| cache.lock().take())
+            .collect()
+    }
+
+    /// Retires `garbage` under the configured reclamation discipline:
+    /// `call_rcu` when `deferred_reclamation` is on, else a blocking
+    /// `synchronize()` followed by an immediate drop.
+    fn retire<T: Send + 'static>(&self, garbage: T) {
+        if self.config.deferred_reclamation {
+            rcu::defer_drop(Box::new(garbage));
+        } else {
+            rcu::synchronize();
+            drop(garbage);
+        }
     }
 
     /// Resolves the vfsmount covering `path`: the longest mount-point
     /// prefix. Takes a reference on the returned mount.
     ///
-    /// With `percore_mount_cache` the per-core cache is consulted first —
-    /// without ever touching the central table's lock — and populated on
-    /// central hits.
+    /// With `percore_mount_cache` the per-core snapshot answers without
+    /// touching the central table's lock; an invalidated snapshot is
+    /// refilled from the central table first (the only central access
+    /// PK pays between mount-table mutations).
     pub fn resolve(&self, path: &str, core: CoreId) -> Option<Arc<VfsMount>> {
         if self.config.percore_mount_cache {
-            let hit = {
-                let cache = self.percore.get(core).lock();
-                Self::longest_prefix_in(&cache, path).map(|(_, m)| m)
-            };
-            if let Some(m) = hit {
-                if m.get(core).is_ok() {
-                    VfsStats::bump(&self.stats.mount_percore_hits);
-                    return Some(m);
+            let mut cache = self.percore.get(core).lock();
+            let refilled = cache.is_none();
+            if refilled {
+                VfsStats::bump(&self.stats.mount_central_lookups);
+                pk_lockdep::check_percore_mutation("vfs.mount.percore_cache", core.index());
+                // percore → central is the only nesting of these two
+                // classes (mount/umount release the central lock before
+                // sweeping), so the order is consistent.
+                *cache = Some(self.central.lock().clone());
+            }
+            let snapshot = cache.as_ref().expect("snapshot just refilled");
+            match Self::longest_prefix_in(snapshot, path) {
+                Some((_, m)) => {
+                    drop(cache);
+                    if m.get(core).is_ok() {
+                        if !refilled {
+                            VfsStats::bump(&self.stats.mount_percore_hits);
+                        }
+                        return Some(m);
+                    }
+                    // Dead mount in a stale snapshot: fall through to
+                    // the central table below.
                 }
+                // The snapshot mirrors the whole central table, so a
+                // snapshot miss is a central miss.
+                None => return None,
             }
         }
         VfsStats::bump(&self.stats.mount_central_lookups);
-        let (key, m) = {
+        let m = {
             let central = self.central.lock();
-            Self::longest_prefix_in(&central, path)?
+            Self::longest_prefix_in(&central, path)?.1
         };
         m.get(core).ok()?;
-        if self.config.percore_mount_cache {
-            pk_lockdep::check_percore_mutation("vfs.mount.percore_cache", core.index());
-            self.percore.get(core).lock().insert(key, Arc::clone(&m));
-        }
         Some(m)
     }
 

@@ -68,19 +68,31 @@ pub struct EximDriver {
 impl EximDriver {
     /// Boots a kernel and lays out the spool/mail/log directories,
     /// with the modified (caching) Berkeley DB.
-    pub fn new(choice: KernelChoice, cores: usize) -> Self {
+    ///
+    /// Fails if the spool layout cannot be created — every directory
+    /// goes through the kernel's syscall surface, so a boot-time fault
+    /// surfaces as an error, not a panic.
+    pub fn new(choice: KernelChoice, cores: usize) -> Result<Self, KernelError> {
         Self::with_bdb(choice, cores, true)
     }
 
     /// As [`EximDriver::new`], selecting stock vs modified Berkeley DB.
-    pub fn with_bdb(choice: KernelChoice, cores: usize, bdb_caches_cpu_count: bool) -> Self {
+    pub fn with_bdb(
+        choice: KernelChoice,
+        cores: usize,
+        bdb_caches_cpu_count: bool,
+    ) -> Result<Self, KernelError> {
         Self::with_app_config(choice, cores, bdb_caches_cpu_count, true)
     }
 
     /// Boots a kernel wired to `faults` (with the modified Berkeley DB
     /// and deliver_drop_privilege). Arm the plane only after
     /// construction: the spool layout must not eat injected faults.
-    pub fn with_faults(choice: KernelChoice, cores: usize, faults: Arc<FaultPlane>) -> Self {
+    pub fn with_faults(
+        choice: KernelChoice,
+        cores: usize,
+        faults: Arc<FaultPlane>,
+    ) -> Result<Self, KernelError> {
         Self::build(choice, cores, true, true, faults)
     }
 
@@ -91,7 +103,7 @@ impl EximDriver {
         cores: usize,
         bdb_caches_cpu_count: bool,
         avoid_exec: bool,
-    ) -> Self {
+    ) -> Result<Self, KernelError> {
         Self::build(
             choice,
             cores,
@@ -107,22 +119,18 @@ impl EximDriver {
         bdb_caches_cpu_count: bool,
         avoid_exec: bool,
         faults: Arc<FaultPlane>,
-    ) -> Self {
+    ) -> Result<Self, KernelError> {
         let kernel = Kernel::with_faults(choice.config(cores), faults);
         let core = CoreId(0);
         for d in 0..SPOOL_DIRS {
             kernel
                 .vfs()
-                .mkdir_p(&format!("/var/spool/input/{d}"), core)
-                .expect("spool layout");
+                .mkdir_p(&format!("/var/spool/input/{d}"), core)?;
         }
-        kernel.vfs().mkdir_p("/var/mail", core).expect("mail dir");
-        kernel.vfs().mkdir_p("/var/log", core).expect("log dir");
-        kernel
-            .vfs()
-            .write_file("/var/log/exim", b"", core)
-            .expect("log file");
-        Self {
+        kernel.vfs().mkdir_p("/var/mail", core)?;
+        kernel.vfs().mkdir_p("/var/log", core)?;
+        kernel.vfs().write_file("/var/log/exim", b"", core)?;
+        Ok(Self {
             kernel,
             delivered: AtomicU64::new(0),
             attempted: AtomicU64::new(0),
@@ -133,21 +141,23 @@ impl EximDriver {
             avoid_exec,
             bdb_caches_cpu_count,
             cached_cpu_count: std::sync::OnceLock::new(),
-        }
+        })
     }
 
     /// Berkeley DB discovering the core count: stock re-reads
-    /// `/proc/stat` every time; the modified version caches it.
-    fn bdb_cpu_count(&self) -> usize {
-        let read_it = || {
-            let stat = self.kernel.proc_read("/proc/stat").expect("proc stat");
-            pk_kernel::procfs::parse_cpu_count(&stat)
-        };
-        if self.bdb_caches_cpu_count {
-            *self.cached_cpu_count.get_or_init(read_it)
-        } else {
-            read_it()
+    /// `/proc/stat` every time; the modified version caches it. The
+    /// procfs read sits on the per-message delivery path, so its
+    /// failure propagates instead of panicking.
+    fn bdb_cpu_count(&self) -> Result<usize, KernelError> {
+        if let Some(&n) = self.cached_cpu_count.get() {
+            return Ok(n);
         }
+        let stat = self.kernel.proc_read("/proc/stat")?;
+        let n = pk_kernel::procfs::parse_cpu_count(&stat);
+        if self.bdb_caches_cpu_count {
+            let _ = self.cached_cpu_count.set(n);
+        }
+        Ok(n)
     }
 
     /// Returns the kernel (for inspecting stats).
@@ -197,7 +207,7 @@ impl EximDriver {
         let k = &self.kernel;
         // Berkeley DB consults the core count while opening its hints
         // database (stock BDB: a fresh /proc/stat read per message).
-        let _cores = self.bdb_cpu_count();
+        let _cores = self.bdb_cpu_count()?;
         // Exim forks twice to deliver each message (§3.1).
         let d1 = k.fork(conn, core)?;
         let d2 = match k.fork(conn, core) {
@@ -415,7 +425,7 @@ mod tests {
     #[test]
     fn driver_delivers_mail_on_both_kernels() {
         for choice in [KernelChoice::Stock, KernelChoice::Pk] {
-            let d = EximDriver::new(choice, 4);
+            let d = EximDriver::new(choice, 4).unwrap();
             d.run_connection(CoreId(0), 0).unwrap();
             d.run_connection(CoreId(1), 1).unwrap();
             assert_eq!(d.delivered(), 20);
@@ -439,14 +449,14 @@ mod tests {
 
     #[test]
     fn driver_exercises_the_right_stats() {
-        let d = EximDriver::new(KernelChoice::Stock, 4);
+        let d = EximDriver::new(KernelChoice::Stock, 4).unwrap();
         d.run_connection(CoreId(0), 0).unwrap();
         let stats = d.kernel().vfs().stats();
         assert!(
             stats.mount_central_lookups.load(Ordering::Relaxed) > 30,
             "dozens of vfsmount accesses per connection"
         );
-        let pk = EximDriver::new(KernelChoice::Pk, 4);
+        let pk = EximDriver::new(KernelChoice::Pk, 4).unwrap();
         pk.run_connection(CoreId(0), 0).unwrap();
         let pk_central = pk
             .kernel()
@@ -462,13 +472,13 @@ mod tests {
 
     #[test]
     fn deliver_drop_privilege_avoids_execs() {
-        let stock_app = EximDriver::with_app_config(KernelChoice::Pk, 2, true, false);
+        let stock_app = EximDriver::with_app_config(KernelChoice::Pk, 2, true, false).unwrap();
         stock_app.run_connection(CoreId(0), 0).unwrap();
         assert_eq!(
             stock_app.kernel().procs().exec_count(),
             2 * MSGS_PER_CONNECTION as u64
         );
-        let mod_app = EximDriver::new(KernelChoice::Pk, 2);
+        let mod_app = EximDriver::new(KernelChoice::Pk, 2).unwrap();
         mod_app.run_connection(CoreId(0), 0).unwrap();
         assert_eq!(mod_app.kernel().procs().exec_count(), 0);
     }
@@ -477,7 +487,7 @@ mod tests {
     fn bdb_proc_stat_caching() {
         // Stock Berkeley DB reads /proc/stat per message; the modified
         // one reads it once.
-        let stock_bdb = EximDriver::with_bdb(KernelChoice::Pk, 2, false);
+        let stock_bdb = EximDriver::with_bdb(KernelChoice::Pk, 2, false).unwrap();
         stock_bdb.run_connection(CoreId(0), 0).unwrap();
         assert_eq!(
             stock_bdb
@@ -487,7 +497,7 @@ mod tests {
                 .load(Ordering::Relaxed),
             MSGS_PER_CONNECTION as u64
         );
-        let mod_bdb = EximDriver::with_bdb(KernelChoice::Pk, 2, true);
+        let mod_bdb = EximDriver::with_bdb(KernelChoice::Pk, 2, true).unwrap();
         mod_bdb.run_connection(CoreId(0), 0).unwrap();
         assert_eq!(
             mod_bdb
@@ -502,7 +512,7 @@ mod tests {
     #[test]
     fn transient_faults_are_requeued_not_fatal() {
         let faults = Arc::new(FaultPlane::with_seed(0xE215));
-        let d = EximDriver::with_faults(KernelChoice::Pk, 4, Arc::clone(&faults));
+        let d = EximDriver::with_faults(KernelChoice::Pk, 4, Arc::clone(&faults)).unwrap();
         // Roughly 5% fork failures and occasional allocator trouble.
         faults.set("proc.fork_fail", pk_fault::FaultSchedule::EveryNth(20));
         faults.set("vfs.dentry_alloc", pk_fault::FaultSchedule::EveryNth(40));
@@ -530,7 +540,7 @@ mod tests {
 
     #[test]
     fn fault_free_run_counts_no_retries() {
-        let d = EximDriver::new(KernelChoice::Pk, 2);
+        let d = EximDriver::new(KernelChoice::Pk, 2).unwrap();
         d.run_connection(CoreId(0), 0).unwrap();
         assert_eq!(d.tempfails(), 0);
         assert_eq!(d.bounced(), 0);

@@ -16,7 +16,7 @@
 //! The index files live in the kernel's tmpfs, so phase 1 is both
 //! compute- and file-system-intensive exactly as the paper describes.
 
-use pk_kernel::Kernel;
+use pk_kernel::{Kernel, KernelError};
 use pk_percpu::CoreId;
 use pk_sync::SpinLock;
 use std::collections::BTreeMap;
@@ -106,7 +106,7 @@ impl Indexer {
         corpus_dir: &str,
         out_dir: &str,
         workers: usize,
-    ) -> Result<IndexStats, pk_vfs::VfsError> {
+    ) -> Result<IndexStats, KernelError> {
         assert!(workers > 0);
         let core0 = CoreId(0);
         let vfs = self.kernel.vfs();
@@ -123,19 +123,22 @@ impl Indexer {
         let file_count = files.len();
         let queue = WorkQueue::new(files);
 
-        // Phase 1 in parallel.
+        // Phase 1 in parallel. Worker errors come back through the join
+        // and fail the whole run; only a worker panic (a bug, not a
+        // syscall failure) still unwinds.
         let results: Vec<(u64, usize, Vec<String>)> = std::thread::scope(|s| {
             let handles: Vec<_> = (0..workers)
                 .map(|w| {
                     let queue = &queue;
                     let kernel = Arc::clone(&self.kernel);
-                    s.spawn(move || {
-                        phase1(&kernel, queue, out_dir, w, self.table_limit).expect("phase 1")
-                    })
+                    s.spawn(move || phase1(&kernel, queue, out_dir, w, self.table_limit))
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().unwrap()).collect()
-        });
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("phase-1 worker panicked"))
+                .collect::<Result<_, _>>()
+        })?;
         let tokens: u64 = results.iter().map(|r| r.0).sum();
         let flushes: usize = results.iter().map(|r| r.1).sum();
 
@@ -147,14 +150,14 @@ impl Indexer {
                 .map(|(w, (_, _, intermediates))| {
                     let kernel = Arc::clone(&self.kernel);
                     let intermediates = intermediates.clone();
-                    s.spawn(move || {
-                        phase2(&kernel, &intermediates, out_dir, w, self.chunk_entries)
-                            .expect("phase 2")
-                    })
+                    s.spawn(move || phase2(&kernel, &intermediates, out_dir, w, self.chunk_entries))
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().unwrap()).collect()
-        });
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("phase-2 worker panicked"))
+                .collect::<Result<_, _>>()
+        })?;
 
         Ok(IndexStats {
             files: file_count,
@@ -184,26 +187,43 @@ fn serialize(map: &BTreeMap<String, Vec<Posting>>) -> Vec<u8> {
 }
 
 /// Parses the `serialize` format back into a map.
-fn deserialize(data: &[u8]) -> BTreeMap<String, Vec<Posting>> {
+///
+/// Index files live in the kernel's tmpfs and are re-read through the
+/// syscall surface, so malformed bytes (a truncated write, an injected
+/// fault) must surface as [`KernelError::Corrupt`] — not a panic.
+fn deserialize(data: &[u8]) -> Result<BTreeMap<String, Vec<Posting>>, KernelError> {
     let mut map = BTreeMap::new();
     for line in data.split(|b| *b == b'\n') {
         if line.is_empty() {
             continue;
         }
-        let tab = line.iter().position(|b| *b == b'\t').expect("tab");
-        let term = String::from_utf8(line[..tab].to_vec()).expect("utf8 term");
-        let posts: Vec<Posting> = line[tab + 1..]
-            .split(|b| *b == b',')
-            .filter(|s| !s.is_empty())
-            .map(|s| {
-                let s = std::str::from_utf8(s).expect("utf8 posting");
-                let (f, p) = s.split_once(':').expect("colon");
-                (f.parse().expect("file id"), p.parse().expect("pos"))
-            })
-            .collect();
+        let tab = line
+            .iter()
+            .position(|b| *b == b'\t')
+            .ok_or(KernelError::Corrupt("index line missing term/postings tab"))?;
+        let term = String::from_utf8(line[..tab].to_vec())
+            .map_err(|_| KernelError::Corrupt("index term is not UTF-8"))?;
+        let mut posts: Vec<Posting> = Vec::new();
+        for s in line[tab + 1..].split(|b| *b == b',') {
+            if s.is_empty() {
+                continue;
+            }
+            let s = std::str::from_utf8(s)
+                .map_err(|_| KernelError::Corrupt("index posting is not UTF-8"))?;
+            let (f, p) = s
+                .split_once(':')
+                .ok_or(KernelError::Corrupt("index posting missing file:pos colon"))?;
+            let f = f
+                .parse()
+                .map_err(|_| KernelError::Corrupt("index posting file id is not a number"))?;
+            let p = p
+                .parse()
+                .map_err(|_| KernelError::Corrupt("index posting position is not a number"))?;
+            posts.push((f, p));
+        }
         map.insert(term, posts);
     }
-    map
+    Ok(map)
 }
 
 /// Phase 1 for one worker. Returns `(tokens, flushes, intermediate
@@ -214,7 +234,7 @@ fn phase1(
     out_dir: &str,
     worker: usize,
     table_limit: usize,
-) -> Result<(u64, usize, Vec<String>), pk_vfs::VfsError> {
+) -> Result<(u64, usize, Vec<String>), KernelError> {
     let core = CoreId(worker);
     let vfs = kernel.vfs();
     let mut table: HashMap<String, Vec<Posting>> = HashMap::new();
@@ -223,7 +243,7 @@ fn phase1(
     let mut intermediates = Vec::new();
     let flush = |table: &mut HashMap<String, Vec<Posting>>,
                  intermediates: &mut Vec<String>|
-     -> Result<(), pk_vfs::VfsError> {
+     -> Result<(), KernelError> {
         if table.is_empty() {
             return Ok(());
         }
@@ -264,7 +284,7 @@ fn phase2(
     out_dir: &str,
     worker: usize,
     chunk_entries: usize,
-) -> Result<(usize, usize), pk_vfs::VfsError> {
+) -> Result<(usize, usize), KernelError> {
     let core = CoreId(worker);
     let vfs = kernel.vfs();
     // Merge, concatenating position lists of words that appear in
@@ -272,7 +292,7 @@ fn phase2(
     let mut merged: BTreeMap<String, Vec<Posting>> = BTreeMap::new();
     for path in intermediates {
         let data = vfs.read_file(path, core)?;
-        for (term, mut posts) in deserialize(&data) {
+        for (term, mut posts) in deserialize(&data)? {
             merged.entry(term).or_default().append(&mut posts);
         }
         vfs.unlink(path, core)?;
@@ -285,17 +305,16 @@ fn phase2(
     // 200,000 entries").
     let mut chunks = 0usize;
     let mut current: BTreeMap<String, Vec<Posting>> = BTreeMap::new();
-    let write_chunk = |map: &BTreeMap<String, Vec<Posting>>,
-                       chunks: &mut usize|
-     -> Result<(), pk_vfs::VfsError> {
-        if map.is_empty() {
-            return Ok(());
-        }
-        let path = format!("{out_dir}/w{worker}-final{chunks}.db");
-        vfs.write_file(&path, &serialize(map), core)?;
-        *chunks += 1;
-        Ok(())
-    };
+    let write_chunk =
+        |map: &BTreeMap<String, Vec<Posting>>, chunks: &mut usize| -> Result<(), KernelError> {
+            if map.is_empty() {
+                return Ok(());
+            }
+            let path = format!("{out_dir}/w{worker}-final{chunks}.db");
+            vfs.write_file(&path, &serialize(map), core)?;
+            *chunks += 1;
+            Ok(())
+        };
     for (term, posts) in merged {
         current.insert(term, posts);
         if current.len() >= chunk_entries {
@@ -312,7 +331,7 @@ fn phase2(
 pub fn load_final_index(
     kernel: &Kernel,
     out_dir: &str,
-) -> Result<BTreeMap<String, Vec<Posting>>, pk_vfs::VfsError> {
+) -> Result<BTreeMap<String, Vec<Posting>>, KernelError> {
     let core = CoreId(0);
     let vfs = kernel.vfs();
     let walker = pk_vfs::PathWalker::new(vfs.tmpfs(), vfs.dcache(), vfs.mounts());
@@ -323,7 +342,7 @@ pub fn load_final_index(
             continue;
         }
         let data = vfs.read_file(&format!("{out_dir}/{name}"), core)?;
-        for (term, mut posts) in deserialize(&data) {
+        for (term, mut posts) in deserialize(&data)? {
             all.entry(term).or_default().append(&mut posts);
         }
     }

@@ -20,7 +20,7 @@
 //!   page holding the root of the table index.
 
 use crate::common::KernelChoice;
-use pk_kernel::Kernel;
+use pk_kernel::{Kernel, KernelError};
 use pk_percpu::{CacheAligned, CoreId};
 use pk_sim::{CoreSweep, MachineSpec, Network, Station, SweepPoint, WorkloadModel};
 use pk_sync::AdaptiveMutex;
@@ -222,16 +222,36 @@ pub const INDEX_FILE: &str = "/pgdata/index";
 
 impl PostgresDriver {
     /// Boots the variant's kernel and loads a small table + index.
-    pub fn new(variant: PgVariant, cores: usize, rows: usize) -> Self {
-        let kernel = Kernel::new(variant.kernel().config(cores));
+    ///
+    /// Table and index loading go through the kernel's syscall surface,
+    /// so a boot-time failure (an injected allocation fault, a full
+    /// tmpfs) surfaces as an error, not a panic.
+    pub fn new(variant: PgVariant, cores: usize, rows: usize) -> Result<Self, KernelError> {
+        Self::with_faults(
+            variant,
+            cores,
+            rows,
+            std::sync::Arc::new(pk_fault::FaultPlane::disabled()),
+        )
+    }
+
+    /// As [`PostgresDriver::new`], wiring the kernel to `faults` so
+    /// tests can inject failures into the boot and query paths.
+    pub fn with_faults(
+        variant: PgVariant,
+        cores: usize,
+        rows: usize,
+        faults: std::sync::Arc<pk_fault::FaultPlane>,
+    ) -> Result<Self, KernelError> {
+        let kernel = Kernel::with_faults(variant.kernel().config(cores), faults);
         let core = CoreId(0);
-        kernel.vfs().mkdir_p("/pgdata", core).expect("pgdata");
+        kernel.vfs().mkdir_p("/pgdata", core)?;
         let row = [b'r'; 32];
         let table: Vec<u8> = (0..rows).flat_map(|_| row).collect();
-        kernel.vfs().write_file(TABLE_FILE, &table, core).unwrap();
+        kernel.vfs().write_file(TABLE_FILE, &table, core)?;
         let idx: Vec<u8> = (0..rows).flat_map(|i| (i as u64).to_le_bytes()).collect();
-        kernel.vfs().write_file(INDEX_FILE, &idx, core).unwrap();
-        Self {
+        kernel.vfs().write_file(INDEX_FILE, &idx, core)?;
+        Ok(Self {
             kernel,
             locks: if variant.modified_pg() {
                 LockManager::modified()
@@ -239,7 +259,7 @@ impl PostgresDriver {
                 LockManager::stock()
             },
             queries: AtomicU64::new(0),
-        }
+        })
     }
 
     /// Returns the kernel.
@@ -261,8 +281,10 @@ impl PostgresDriver {
     /// (SEEK_END — the hot kernel path), read the row, release.
     ///
     /// `write` executes the 5% update flavour (exclusive row lock +
-    /// a table write).
-    pub fn query(&self, core: usize, row_id: u64, write: bool) -> Result<(), pk_vfs::VfsError> {
+    /// a table write). On failure the row lock is released and both
+    /// files are closed, so an injected fault degrades one query
+    /// without wedging the row or leaking descriptors.
+    pub fn query(&self, core: usize, row_id: u64, write: bool) -> Result<(), KernelError> {
         let core_id = CoreId(core);
         let mode = if write {
             LockMode::Exclusive
@@ -274,25 +296,40 @@ impl PostgresDriver {
         while !self.locks.acquire(row_id, mode) {
             std::hint::spin_loop();
         }
+        let result = self.query_locked(core_id, row_id, write);
+        self.locks.release(row_id, mode);
+        if result.is_ok() {
+            self.queries.fetch_add(1, Ordering::Relaxed);
+        }
+        result
+    }
+
+    /// The file-system half of [`PostgresDriver::query`], run with the
+    /// row lock held. Closes whatever it opened on every path.
+    fn query_locked(&self, core_id: CoreId, row_id: u64, write: bool) -> Result<(), KernelError> {
         let vfs = self.kernel.vfs();
         let table = vfs.open(TABLE_FILE, core_id)?;
-        let index = vfs.open(INDEX_FILE, core_id)?;
-        // "PostgreSQL calls lseek many times per query on the same two
-        // files."
-        for _ in 0..4 {
-            table.lseek(0, Whence::End)?;
-            index.lseek(0, Whence::End)?;
-        }
-        let off = (row_id % 1024) * 32;
-        let _row = table.read_at(off, 32)?;
-        if write {
-            table.inode.write_at(off, &[b'w'; 32]);
-        }
+        let outcome = (|| -> Result<(), KernelError> {
+            let index = vfs.open(INDEX_FILE, core_id)?;
+            // "PostgreSQL calls lseek many times per query on the same
+            // two files."
+            let seeks = (|| -> Result<(), KernelError> {
+                for _ in 0..4 {
+                    table.lseek(0, Whence::End)?;
+                    index.lseek(0, Whence::End)?;
+                }
+                let off = (row_id % 1024) * 32;
+                let _row = table.read_at(off, 32)?;
+                if write {
+                    table.inode.write_at(off, &[b'w'; 32]);
+                }
+                Ok(())
+            })();
+            vfs.close(&index, core_id);
+            seeks
+        })();
         vfs.close(&table, core_id);
-        vfs.close(&index, core_id);
-        self.locks.release(row_id, mode);
-        self.queries.fetch_add(1, Ordering::Relaxed);
-        Ok(())
+        outcome
     }
 }
 
@@ -419,7 +456,7 @@ mod tests {
 
     #[test]
     fn driver_runs_batches() {
-        let d = PostgresDriver::new(PgVariant::PkModPg, 4, 1024);
+        let d = PostgresDriver::new(PgVariant::PkModPg, 4, 1024).unwrap();
         for q in 0..64u64 {
             d.query((q % 4) as usize, q, q % 20 == 0).unwrap();
         }
@@ -432,7 +469,7 @@ mod tests {
 
     #[test]
     fn stock_driver_hits_the_inode_mutex() {
-        let d = PostgresDriver::new(PgVariant::StockModPg, 2, 128);
+        let d = PostgresDriver::new(PgVariant::StockModPg, 2, 128).unwrap();
         for q in 0..8u64 {
             d.query(0, q, false).unwrap();
         }

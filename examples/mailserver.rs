@@ -17,7 +17,7 @@ use std::sync::Arc;
 
 fn run(choice: KernelChoice) {
     println!("--- {} kernel ---", choice.label());
-    let driver = Arc::new(EximDriver::new(choice, 4));
+    let driver = Arc::new(EximDriver::new(choice, 4).expect("boot exim"));
 
     // Four "SMTP client" threads, each hammering its own core with
     // connections (10 messages per connection, like the paper's driver).
