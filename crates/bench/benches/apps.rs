@@ -61,7 +61,7 @@ fn bench_small_build(c: &mut Criterion) {
         let graph = BuildGraph::kernel_build(8);
         let make = ParallelMake::new(4);
         g.bench_function(BenchmarkId::from_parameter(choice.label()), |b| {
-            b.iter(|| make.build(&kernel, &graph))
+            b.iter(|| make.build(&kernel, &graph).unwrap())
         });
     }
     g.finish();

@@ -55,8 +55,8 @@ fn main() {
             eprintln!("scalebench: cannot read baseline {baseline_path}: {e}");
             std::process::exit(1)
         });
-        let failures = scale::check_against_baseline(&baseline, &metrics);
-        if failures.is_empty() {
+        let report = scale::check_report(&baseline, &metrics);
+        if report.passed() {
             println!(
                 "scalebench --check: {} metrics match {baseline_path} (seed {seed})",
                 metrics.len()
@@ -64,8 +64,24 @@ fn main() {
             return;
         }
         eprintln!("scalebench --check FAILED against {baseline_path}:");
-        for f in &failures {
+        for f in &report.drift {
             eprintln!("  {f}");
+        }
+        if !report.regressions.is_empty() {
+            eprintln!(
+                "  top {} regressed metrics (of {}, worst first):",
+                report.regressions.len().min(3),
+                report.regressions.len()
+            );
+            for r in report.regressions.iter().take(3) {
+                eprintln!(
+                    "    {}: baseline {:.3} -> candidate {:.3} ({:+.1}%)",
+                    r.key,
+                    r.baseline,
+                    r.candidate,
+                    (r.ratio - 1.0) * 100.0
+                );
+            }
         }
         std::process::exit(1)
     }

@@ -10,6 +10,7 @@
 
 pub mod chaos;
 pub mod lockdep;
+pub mod profile;
 pub mod scale;
 
 /// Serializes tests that read deltas of the process-global `rcu.*`

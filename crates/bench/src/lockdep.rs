@@ -138,7 +138,9 @@ fn run_functional(name: &str, choice: KernelChoice, cores: usize) -> u64 {
                     )
                     .expect("write source");
             }
-            let report = ParallelMake::new(cores * 2).build(&k, &BuildGraph::kernel_build(objects));
+            let report = ParallelMake::new(cores * 2)
+                .build(&k, &BuildGraph::kernel_build(objects))
+                .expect("gmake build");
             report.processes
         }
         "pedsort" => {
@@ -170,7 +172,7 @@ fn run_functional(name: &str, choice: KernelChoice, cores: usize) -> u64 {
             let docs: Vec<String> = (0..16)
                 .map(|i| format!("word{} word{} shared common doc{i}", i % 5, i % 11))
                 .collect();
-            d.run_job(&docs, cores.min(4)) as u64
+            d.run_job(&docs, cores.min(4)).expect("metis job") as u64
         }
         _ => 0,
     }

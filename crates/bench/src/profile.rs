@@ -1,0 +1,278 @@
+//! Cycle-attribution profiling of the workload models (`profile_report`).
+//!
+//! Runs the discrete-event simulator with a `pk-trace` tracer attached,
+//! folds the drained span stream into the paper's "top functions by %
+//! of cycles" tables (§4), and re-derives the headline diagnosis:
+//! Exim's stock collapse is the vfsmount-table spin lock (§5.2), and
+//! the attribution moves off that lock entirely under PK. The derived
+//! inversion gates CI — if the traced simulation stops reproducing it,
+//! `profile_report` exits non-zero.
+
+use pk_trace::{Event, Profile, Tracer};
+use pk_workloads::{roster, KernelChoice};
+
+/// Simulated operations per customer in a profiling run: long enough
+/// for the attribution shares to stabilize, small enough that the
+/// per-track rings (sized by [`ring_capacity`]) stay in tens of
+/// megabytes at 48 cores.
+pub const OPS_PER_CORE: u64 = 400;
+
+/// One class's slice of a run's cycles, ranked by exclusive (self)
+/// time like a sampling profiler.
+#[derive(Debug, Clone)]
+pub struct ClassShare {
+    /// Resolved span-class name (station, `<station> (wait)`, `des.op`).
+    pub name: String,
+    /// Spans of this class that closed.
+    pub count: u64,
+    /// Σ (end − begin) cycles.
+    pub inclusive: u64,
+    /// Self cycles (inclusive minus children).
+    pub exclusive: u64,
+    /// `exclusive / total_cycles`.
+    pub share: f64,
+}
+
+/// The folded attribution of one traced DES run.
+#[derive(Debug, Clone)]
+pub struct WorkloadAttribution {
+    /// Roster workload name.
+    pub workload: String,
+    /// `"stock"` or `"pk"`.
+    pub config: &'static str,
+    /// Simulated core count.
+    pub cores: usize,
+    /// Denominator: Σ inclusive cycles of the root `des.op` spans.
+    pub total_cycles: u64,
+    /// Events lost to ring overflow (0 in a correctly sized run).
+    pub dropped_events: u64,
+    /// Every class, ranked by exclusive cycles descending.
+    pub classes: Vec<ClassShare>,
+    /// Rendered paper-style table of the top classes.
+    pub table: String,
+}
+
+impl WorkloadAttribution {
+    /// Fraction of total cycles spent exclusively in classes whose name
+    /// contains `pattern` (holding *and* waiting, since wait spans share
+    /// the station's name).
+    pub fn share_of(&self, pattern: &str) -> f64 {
+        let hit: u64 = self
+            .classes
+            .iter()
+            .filter(|c| c.name.contains(pattern))
+            .map(|c| c.exclusive)
+            .sum();
+        hit as f64 / self.total_cycles.max(1) as f64
+    }
+
+    /// The top class by exclusive cycles, excluding the synthetic
+    /// `des.op` root (which only holds per-op residue).
+    pub fn top_class(&self) -> &str {
+        self.classes
+            .iter()
+            .map(|c| c.name.as_str())
+            .find(|n| *n != "des.op")
+            .unwrap_or("")
+    }
+}
+
+/// Ring slots needed per track: every operation visits each station at
+/// most once (span begin/end, plus a wait begin/end when it queues) and
+/// opens/closes one root span, and the simulator adds a 20% warmup.
+pub fn ring_capacity(ops_per_core: u64, stations: usize) -> usize {
+    let total_ops = ops_per_core + (ops_per_core / 5).max(1) + 1;
+    (total_ops as usize) * (4 * stations + 2)
+}
+
+/// Runs one traced simulation and folds it. Returns the attribution
+/// plus the raw drained events (for the Chrome trace export). `None`
+/// for workload names the roster does not know.
+pub fn run_traced(
+    workload: &str,
+    choice: KernelChoice,
+    cores: usize,
+    ops_per_core: u64,
+    seed: u64,
+) -> Option<(WorkloadAttribution, Vec<Event>)> {
+    let model = roster::model(workload, choice)?;
+    let net = model.network(cores);
+    let tracer = Tracer::new(cores, ring_capacity(ops_per_core, net.stations().len()));
+    pk_sim::des::simulate_traced(
+        &net,
+        cores,
+        ops_per_core,
+        seed,
+        &pk_fault::FaultPlane::disabled(),
+        Some(&tracer),
+    );
+    let dropped_events = tracer.dropped();
+    let events = tracer.drain();
+    let profile = Profile::build(&events);
+    let total = profile.total_cycles.max(1);
+    let classes = profile
+        .totals()
+        .iter()
+        .map(|t| ClassShare {
+            name: t.name.clone(),
+            count: t.count,
+            inclusive: t.inclusive,
+            exclusive: t.exclusive,
+            share: t.exclusive as f64 / total as f64,
+        })
+        .collect();
+    Some((
+        WorkloadAttribution {
+            workload: workload.to_string(),
+            config: match choice {
+                KernelChoice::Stock => "stock",
+                KernelChoice::Pk => "pk",
+            },
+            cores,
+            total_cycles: profile.total_cycles,
+            dropped_events,
+            classes,
+            table: profile.table(8),
+        },
+        events,
+    ))
+}
+
+/// The paper's Exim headline, derived rather than asserted: at 48
+/// cores the stock kernel's cycles concentrate in the vfsmount-table
+/// lock (holding + spinning), and under PK that attribution collapses.
+#[derive(Debug, Clone)]
+pub struct EximInversion {
+    /// Stock share of exclusive cycles in `*vfsmount*` classes.
+    pub stock_share: f64,
+    /// Same share under PK.
+    pub pk_share: f64,
+    /// Stock's top non-root class (must be the vfsmount lock).
+    pub stock_top: String,
+    /// Whether the inversion was observed (the CI gate).
+    pub observed: bool,
+}
+
+/// Stock share must dominate ([`STOCK_DOMINANCE`]) and the PK share
+/// must collapse below [`PK_CEILING`].
+pub const STOCK_DOMINANCE: f64 = 0.40;
+/// See [`STOCK_DOMINANCE`].
+pub const PK_CEILING: f64 = 0.05;
+
+/// Derives the inversion from the two Exim attributions.
+pub fn exim_inversion(stock: &WorkloadAttribution, pk: &WorkloadAttribution) -> EximInversion {
+    let stock_share = stock.share_of("vfsmount");
+    let pk_share = pk.share_of("vfsmount");
+    let stock_top = stock.top_class().to_string();
+    let observed =
+        stock_top.contains("vfsmount") && stock_share >= STOCK_DOMINANCE && pk_share <= PK_CEILING;
+    EximInversion {
+        stock_share,
+        pk_share,
+        stock_top,
+        observed,
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Renders the deterministic JSON artifact: fixed key order, fixed
+/// 6-decimal float formatting, runs in roster × {stock, pk} order —
+/// byte-identical for a fixed seed.
+pub fn report_json(
+    seed: u64,
+    cores: usize,
+    runs: &[WorkloadAttribution],
+    inversion: &EximInversion,
+) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"seed\": {seed},");
+    let _ = writeln!(out, "  \"cores\": {cores},");
+    out.push_str("  \"workloads\": [\n");
+    for (i, r) in runs.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"workload\": \"{}\", \"config\": \"{}\", \"total_cycles\": {}, \"dropped_events\": {}, \"top\": [",
+            json_escape(&r.workload),
+            r.config,
+            r.total_cycles,
+            r.dropped_events
+        );
+        for (j, c) in r.classes.iter().take(8).enumerate() {
+            let comma = if j + 1 == r.classes.len().min(8) {
+                ""
+            } else {
+                ","
+            };
+            let _ = writeln!(
+                out,
+                "      {{\"class\": \"{}\", \"share\": {:.6}, \"exclusive\": {}, \"inclusive\": {}, \"count\": {}}}{comma}",
+                json_escape(&c.name),
+                c.share,
+                c.exclusive,
+                c.inclusive,
+                c.count
+            );
+        }
+        let comma = if i + 1 == runs.len() { "" } else { "," };
+        let _ = writeln!(out, "    ]}}{comma}");
+    }
+    out.push_str("  ],\n");
+    let _ = writeln!(
+        out,
+        "  \"exim_inversion\": {{\"stock_vfsmount_share\": {:.6}, \"pk_vfsmount_share\": {:.6}, \"stock_top\": \"{}\", \"observed\": {}}}",
+        inversion.stock_share,
+        inversion.pk_share,
+        json_escape(&inversion.stock_top),
+        inversion.observed
+    );
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exim_attribution_inverts_between_kernels() {
+        let (stock, _) = run_traced("exim", KernelChoice::Stock, 48, 200, 42).unwrap();
+        let (pk, _) = run_traced("exim", KernelChoice::Pk, 48, 200, 42).unwrap();
+        assert_eq!(stock.dropped_events, 0, "ring must hold the whole run");
+        assert_eq!(pk.dropped_events, 0);
+        let inv = exim_inversion(&stock, &pk);
+        assert!(
+            inv.observed,
+            "stock_top={} stock={} pk={}",
+            inv.stock_top, inv.stock_share, inv.pk_share
+        );
+    }
+
+    #[test]
+    fn every_roster_workload_profiles_without_drops() {
+        for name in roster::NAMES {
+            let (attr, events) = run_traced(name, KernelChoice::Stock, 8, 100, 7).unwrap();
+            assert_eq!(attr.dropped_events, 0, "{name} overflowed its ring");
+            assert!(attr.total_cycles > 0, "{name} folded no cycles");
+            assert!(!events.is_empty(), "{name} traced no events");
+        }
+    }
+
+    #[test]
+    fn report_json_is_deterministic_and_shaped() {
+        let run = || {
+            let (stock, _) = run_traced("exim", KernelChoice::Stock, 8, 100, 42).unwrap();
+            let (pk, _) = run_traced("exim", KernelChoice::Pk, 8, 100, 42).unwrap();
+            let inv = exim_inversion(&stock, &pk);
+            report_json(42, 8, &[stock, pk], &inv)
+        };
+        let a = run();
+        assert_eq!(a, run(), "artifact must be byte-identical per seed");
+        assert!(a.contains("\"seed\": 42"));
+        assert!(a.contains("\"workload\": \"exim\""));
+        assert!(a.contains("\"exim_inversion\""));
+    }
+}

@@ -323,27 +323,78 @@ pub fn deterministic_metrics(seed: u64) -> Metrics {
     m
 }
 
+/// One `*cycles*` metric that grew past the budget.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Metric key.
+    pub key: String,
+    /// Committed baseline value.
+    pub baseline: f64,
+    /// Regenerated value.
+    pub candidate: f64,
+    /// `candidate / baseline` (`f64::INFINITY` for a 0 baseline).
+    pub ratio: f64,
+}
+
+/// Structured result of diffing regenerated metrics against a
+/// committed baseline document.
+#[derive(Debug, Clone, Default)]
+pub struct CheckReport {
+    /// Key-set drift (and unreadable-baseline) messages.
+    pub drift: Vec<String>,
+    /// Budget-busting `*cycles*` metrics, worst ratio first.
+    pub regressions: Vec<Regression>,
+}
+
+impl CheckReport {
+    /// Whether the candidate is clean.
+    pub fn passed(&self) -> bool {
+        self.drift.is_empty() && self.regressions.is_empty()
+    }
+
+    /// Every failure as a message line (drift first, then regressions
+    /// worst-first) — the flat form [`check_against_baseline`] returns.
+    pub fn failures(&self) -> Vec<String> {
+        let mut out = self.drift.clone();
+        out.extend(self.regressions.iter().map(|r| {
+            format!(
+                "regression in {}: {:.3} -> {:.3} (budget {:.0}%)",
+                r.key,
+                r.baseline,
+                r.candidate,
+                REGRESSION_BUDGET * 100.0
+            )
+        }));
+        out
+    }
+}
+
 /// Diffs `current` against a committed `baseline` document.
 ///
 /// Failure modes, all reported:
 /// * key sets differ (schema drift — regenerate and commit the baseline);
 /// * any `*cycles*` metric grew more than [`REGRESSION_BUDGET`].
-///
-/// Returns the list of failures (empty = pass).
-pub fn check_against_baseline(baseline_text: &str, current: &Metrics) -> Vec<String> {
+pub fn check_report(baseline_text: &str, current: &Metrics) -> CheckReport {
     let baseline = match Metrics::parse_json(baseline_text) {
         Ok(b) => b,
-        Err(e) => return vec![format!("baseline unreadable: {e}")],
+        Err(e) => {
+            return CheckReport {
+                drift: vec![format!("baseline unreadable: {e}")],
+                regressions: Vec::new(),
+            }
+        }
     };
-    let mut failures = Vec::new();
+    let mut report = CheckReport::default();
     for key in baseline.keys() {
         if !current.map.contains_key(key) {
-            failures.push(format!("metric {key} in baseline but not regenerated"));
+            report
+                .drift
+                .push(format!("metric {key} in baseline but not regenerated"));
         }
     }
     for key in current.map.keys() {
         if !baseline.contains_key(key) {
-            failures.push(format!(
+            report.drift.push(format!(
                 "new metric {key} not in baseline (regenerate and commit)"
             ));
         }
@@ -360,13 +411,24 @@ pub fn check_against_baseline(baseline_text: &str, current: &Metrics) -> Vec<Str
         // baseline bump. The +0.5 floor keeps a 0 → tiny change legal.
         let limit = old * (1.0 + REGRESSION_BUDGET) + 0.5;
         if new > limit {
-            failures.push(format!(
-                "regression in {key}: {old:.3} -> {new:.3} (budget {:.0}%)",
-                REGRESSION_BUDGET * 100.0
-            ));
+            report.regressions.push(Regression {
+                key: key.clone(),
+                baseline: old,
+                candidate: new,
+                ratio: if old == 0.0 { f64::INFINITY } else { new / old },
+            });
         }
     }
-    failures
+    report
+        .regressions
+        .sort_by(|a, b| b.ratio.total_cmp(&a.ratio).then(a.key.cmp(&b.key)));
+    report
+}
+
+/// Flat-message form of [`check_report`] (empty = pass), kept for
+/// callers that only need pass/fail plus printable lines.
+pub fn check_against_baseline(baseline_text: &str, current: &Metrics) -> Vec<String> {
+    check_report(baseline_text, current).failures()
 }
 
 #[cfg(test)]
@@ -457,5 +519,31 @@ mod tests {
         assert!(check_against_baseline(&text, &drifted)
             .iter()
             .any(|f| f.contains("not in baseline")));
+    }
+
+    #[test]
+    fn check_report_ranks_regressions_worst_first() {
+        let mut baseline = Metrics::new();
+        baseline.put_f64("a.cycles_per_op", 100.0);
+        baseline.put_f64("b.cycles_per_op", 100.0);
+        baseline.put_f64("c.cycles_per_op", 100.0);
+        let text = baseline.to_json();
+
+        let mut cur = Metrics::new();
+        cur.put_f64("a.cycles_per_op", 150.0); // +50%
+        cur.put_f64("b.cycles_per_op", 300.0); // +200% — the worst
+        cur.put_f64("c.cycles_per_op", 101.0); // within budget
+        let report = check_report(&text, &cur);
+        assert!(!report.passed());
+        assert!(report.drift.is_empty());
+        let keys: Vec<&str> = report.regressions.iter().map(|r| r.key.as_str()).collect();
+        assert_eq!(keys, ["b.cycles_per_op", "a.cycles_per_op"]);
+        let worst = &report.regressions[0];
+        assert_eq!((worst.baseline, worst.candidate), (100.0, 300.0));
+        assert!((worst.ratio - 3.0).abs() < 1e-9);
+        // The flat form renders both, worst first, with the values.
+        let flat = report.failures();
+        assert_eq!(flat.len(), 2);
+        assert!(flat[0].contains("b.cycles_per_op") && flat[0].contains("300.000"));
     }
 }

@@ -104,6 +104,9 @@ impl FaultPoint {
             return false;
         }
         self.state.injected.fetch_add(1, Ordering::Relaxed);
+        // Injections are rare by construction, so the per-fire intern
+        // lookup inside `instant_named` stays off every hot path.
+        pk_trace::instant_named(self.state.name);
         let mut trace = self.shared.trace.lock().unwrap();
         if trace.len() < TRACE_CAP {
             trace.push(FaultEvent {

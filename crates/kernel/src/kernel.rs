@@ -131,12 +131,14 @@ impl Kernel {
 
     /// Reads a synthesized `/proc` file (see [`crate::procfs`]).
     pub fn proc_read(&self, path: &str) -> Result<Vec<u8>, KernelError> {
+        let _span = pk_trace::trace_span!("kernel.proc_read");
         crate::procfs::read(self, path)
     }
 
     /// Creates a fresh address space drawing from the kernel's allocator
     /// (one per process in the workloads that need memory modelling).
     pub fn new_address_space(&self) -> Arc<AddressSpace> {
+        let _span = pk_trace::trace_span!("kernel.new_address_space");
         Arc::new(AddressSpace::new(
             self.config.mm(),
             Arc::clone(&self.allocator),
@@ -151,6 +153,7 @@ impl Kernel {
     /// `proc.fork_fail` fault fires; callers are expected to back off
     /// and retry.
     pub fn fork(&self, parent: Pid, core: CoreId) -> Result<Pid, KernelError> {
+        let _span = pk_trace::trace_span!("kernel.fork");
         let child = self.procs.fork(parent, core)?;
         self.sched.enqueue(core, child.pid);
         Ok(child.pid)
@@ -159,6 +162,7 @@ impl Kernel {
     /// `exit(2)` + immediate reap by the parent (the common Exim
     /// pattern).
     pub fn exit(&self, pid: Pid, _core: CoreId) -> Result<(), KernelError> {
+        let _span = pk_trace::trace_span!("kernel.exit");
         let parent = self
             .procs
             .get(pid)

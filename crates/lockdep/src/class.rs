@@ -8,11 +8,8 @@
 //! anonymous class on first acquisition, so distinct unclassified locks
 //! are never aliased into false cycles.
 
-#[cfg(feature = "lockdep")]
 use std::collections::HashMap;
-#[cfg(feature = "lockdep")]
 use std::sync::atomic::{AtomicU32, Ordering};
-#[cfg(feature = "lockdep")]
 use std::sync::{Mutex, OnceLock};
 
 /// The kind of lock a class covers; selects which rules apply to it.
@@ -56,15 +53,30 @@ pub struct ClassId(pub(crate) u32);
 impl ClassId {
     /// The sentinel for locks that have not been classified.
     pub const UNSET: ClassId = ClassId(0);
+
+    /// The raw registry index (for compact storage, e.g. trace events).
+    #[inline]
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Reconstructs an id from [`raw`](Self::raw). Unknown ids resolve
+    /// to a placeholder name, never undefined behavior.
+    #[inline]
+    pub const fn from_raw(raw: u32) -> Self {
+        ClassId(raw)
+    }
 }
 
 /// The per-lock slot holding its class assignment.
 ///
-/// Every `pk-sync` lock embeds one. With the `lockdep` feature off this
-/// is a zero-sized type and every operation on it is a no-op.
+/// Every `pk-sync` lock embeds one. The class *registry* (this cell and
+/// the name table) is always compiled — `pk-trace` uses it to name lock
+/// spans — but with the `lockdep` feature off none of the validation
+/// hooks touch it, so uninstrumented builds pay one `AtomicU32` per lock
+/// and nothing else.
 #[derive(Debug)]
 pub struct ClassCell {
-    #[cfg(feature = "lockdep")]
     pub(crate) id: AtomicU32,
 }
 
@@ -72,7 +84,6 @@ impl ClassCell {
     /// Creates an unclassified cell.
     pub const fn new() -> Self {
         Self {
-            #[cfg(feature = "lockdep")]
             id: AtomicU32::new(0),
         }
     }
@@ -80,24 +91,16 @@ impl ClassCell {
     /// Assigns this lock to `class`. Idempotent; later assignments win.
     #[inline]
     pub fn set_class(&self, class: ClassId) {
-        #[cfg(feature = "lockdep")]
         self.id.store(class.0, Ordering::Relaxed);
-        #[cfg(not(feature = "lockdep"))]
-        let _ = class;
     }
 
     /// Returns the assigned class, if any.
     #[inline]
     pub fn class(&self) -> Option<ClassId> {
-        #[cfg(feature = "lockdep")]
-        {
-            match self.id.load(Ordering::Relaxed) {
-                0 => None,
-                id => Some(ClassId(id)),
-            }
+        match self.id.load(Ordering::Relaxed) {
+            0 => None,
+            id => Some(ClassId(id)),
         }
-        #[cfg(not(feature = "lockdep"))]
-        None
     }
 }
 
@@ -112,19 +115,26 @@ impl Default for ClassCell {
 /// name always yields the same [`ClassId`], so constructors can call
 /// this unconditionally.
 ///
-/// With the `lockdep` feature off this returns [`ClassId::UNSET`] and
-/// records nothing.
+/// The registry is always compiled (lock *names* feed both the lockdep
+/// reports and `pk-trace` lock spans); only the validation hooks are
+/// gated behind the `lockdep` feature.
 #[inline]
 pub fn register_class(name: &str, krate: &str, kind: LockKind) -> ClassId {
-    #[cfg(feature = "lockdep")]
-    {
-        imp::intern(name, krate, kind)
-    }
-    #[cfg(not(feature = "lockdep"))]
-    {
-        let _ = (name, krate, kind);
-        ClassId::UNSET
-    }
+    imp::intern(name, krate, kind)
+}
+
+/// Resolves the class id of the lock owning `cell`, minting a fresh
+/// anonymous class on first use for unclassified locks (so distinct
+/// instances are never aliased). This is the always-compiled lookup
+/// `pk-trace` uses to name lock hold spans.
+#[inline]
+pub fn classify(cell: &ClassCell, kind: LockKind) -> ClassId {
+    ClassId(imp::resolve(cell, kind))
+}
+
+/// Human-readable name of class `id` (a placeholder for unknown ids).
+pub fn class_name(id: ClassId) -> String {
+    imp::name_of(id.0)
 }
 
 /// Metadata of one registered class.
@@ -139,21 +149,15 @@ pub struct ClassInfo {
 }
 
 /// Returns every registered class (including anonymous ones), indexed
-/// by `ClassId - 1`. Empty when the feature is off.
+/// by `ClassId - 1`.
 pub fn classes() -> Vec<ClassInfo> {
-    #[cfg(feature = "lockdep")]
-    {
-        imp::table()
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .infos
-            .clone()
-    }
-    #[cfg(not(feature = "lockdep"))]
-    Vec::new()
+    imp::table()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .infos
+        .clone()
 }
 
-#[cfg(feature = "lockdep")]
 pub(crate) mod imp {
     use super::*;
 

@@ -22,10 +22,12 @@
 //!    must be mutated by their owning core; deliberate cross-core paths
 //!    declare themselves with [`MigrationScope`].
 //!
-//! Everything is gated behind the `lockdep` cargo feature. With the
-//! feature off (the default), every hook in this crate is an empty
-//! `#[inline]` function and [`ClassCell`] is a zero-sized type, so the
-//! instrumented locks in `pk-sync` pay nothing.
+//! The *validation* hooks are gated behind the `lockdep` cargo feature:
+//! with the feature off (the default), every hook in this crate is an
+//! empty `#[inline]` function. The class *registry* ([`register_class`],
+//! [`classify`], [`class_name`], [`classes`]) is always compiled — it is
+//! the shared naming authority for lock spans in `pk-trace` — so a
+//! [`ClassCell`] is one `AtomicU32` per lock in every build.
 //!
 //! Findings surface two ways: [`violations`] returns the deduplicated
 //! reports (the `lockdep_report` binary exits non-zero on any), and
@@ -42,7 +44,9 @@ mod held;
 mod percore;
 mod report;
 
-pub use class::{classes, register_class, ClassCell, ClassId, ClassInfo, LockKind};
+pub use class::{
+    class_name, classes, classify, register_class, ClassCell, ClassId, ClassInfo, LockKind,
+};
 pub use percore::{acting_core, check_percore_mutation, ActingCore, MigrationScope};
 pub use report::{violation_count, violations, Violation, ViolationKind};
 

@@ -58,7 +58,7 @@ mod tests {
     #[test]
     fn word_count_normalizes_case() {
         let mr = MapReduce::new(MapReduceConfig::with_workers(2));
-        let out = mr.run(&WordCount, &["The the THE".to_string()]);
+        let out = mr.run(&WordCount, &["The the THE".to_string()]).unwrap();
         assert_eq!(out, vec![("the".to_string(), 3)]);
     }
 
@@ -66,7 +66,7 @@ mod tests {
     fn inverted_index_records_positions() {
         let mr = MapReduce::new(MapReduceConfig::with_workers(2));
         let splits = vec!["1\tfoo bar foo".to_string(), "2\tbar".to_string()];
-        let out = mr.run(&InvertedIndex, &splits);
+        let out = mr.run(&InvertedIndex, &splits).unwrap();
         let idx: std::collections::HashMap<_, _> = out.into_iter().collect();
         assert_eq!(idx["foo"], vec![(1, 0), (1, 2)]);
         assert_eq!(idx["bar"], vec![(1, 1), (2, 0)]);
@@ -75,7 +75,7 @@ mod tests {
     #[test]
     fn inverted_index_default_doc() {
         let mr = MapReduce::new(MapReduceConfig::with_workers(1));
-        let out = mr.run(&InvertedIndex, &["only words".to_string()]);
+        let out = mr.run(&InvertedIndex, &["only words".to_string()]).unwrap();
         let idx: std::collections::HashMap<_, _> = out.into_iter().collect();
         assert_eq!(idx["only"], vec![(0, 0)]);
         assert_eq!(idx["words"], vec![(0, 1)]);

@@ -1,6 +1,6 @@
 //! The MapReduce engine.
 
-use pk_mm::{AddressSpace, PageSize, RegionId};
+use pk_mm::{AddressSpace, FaultError, OutOfMemory, PageSize, RegionId};
 use std::collections::HashMap;
 use std::hash::{DefaultHasher, Hash, Hasher};
 use std::sync::Arc;
@@ -62,6 +62,9 @@ impl MapReduceConfig {
     }
 }
 
+/// Sorted `(key, reduced)` pairs — the result of a full run.
+pub type Output<A> = Vec<(<A as MapReduceApp>::K, <A as MapReduceApp>::Out)>;
+
 /// The engine.
 #[derive(Debug)]
 pub struct MapReduce {
@@ -86,7 +89,7 @@ impl<'h> TableMemory<'h> {
         let region = hook
             .space
             .mmap(CHUNK, hook.page_size)
-            .expect("non-empty mapping");
+            .expect("CHUNK is non-zero");
         Self {
             hook,
             region,
@@ -97,7 +100,7 @@ impl<'h> TableMemory<'h> {
         }
     }
 
-    fn charge_pair(&mut self) {
+    fn charge_pair(&mut self) -> Result<(), OutOfMemory> {
         self.bytes_emitted += self.hook.bytes_per_pair;
         // Fault in pages lazily as the table crosses page boundaries.
         while self.bytes_emitted > self.next_page * self.hook.page_size.bytes() {
@@ -107,16 +110,22 @@ impl<'h> TableMemory<'h> {
                     .hook
                     .space
                     .mmap(CHUNK, self.hook.page_size)
-                    .expect("non-empty mapping");
+                    .expect("CHUNK is non-zero");
                 self.region_pages = CHUNK.div_ceil(self.hook.page_size.bytes());
                 self.next_page = 0;
             }
-            self.hook
+            match self
+                .hook
                 .space
                 .page_fault(self.region, self.next_page, self.worker)
-                .expect("table fault");
+            {
+                Ok(_) => {}
+                Err(FaultError::Oom(e)) => return Err(e),
+                Err(FaultError::Segfault) => unreachable!("fault inside a freshly mapped region"),
+            }
             self.next_page += 1;
         }
+        Ok(())
     }
 }
 
@@ -135,7 +144,15 @@ impl MapReduce {
     /// (reduce): keys are partitioned by hash; each worker reduces its
     /// partition. Phase 3 (merge): sorted partitions are concatenated —
     /// the same three-phase shape as Metis.
-    pub fn run<A: MapReduceApp>(&self, app: &A, splits: &[String]) -> Vec<(A::K, A::Out)> {
+    ///
+    /// When a memory hook is configured and table memory runs out, the
+    /// failing worker stops mapping and the first [`OutOfMemory`] is
+    /// ferried back through the scope join as a typed error.
+    pub fn run<A: MapReduceApp>(
+        &self,
+        app: &A,
+        splits: &[String],
+    ) -> Result<Output<A>, OutOfMemory> {
         let workers = self.config.workers;
         // Phase 1: map.
         let tables: Vec<HashMap<A::K, Vec<A::V>>> = std::thread::scope(|s| {
@@ -145,20 +162,39 @@ impl MapReduce {
                     s.spawn(move || {
                         let mut table: HashMap<A::K, Vec<A::V>> = HashMap::new();
                         let mut mem = memory.map(|h| TableMemory::new(h, w));
+                        // `map`'s emit callback cannot return an error, so
+                        // the first charge failure is parked here and the
+                        // remaining emits (and splits) are skipped.
+                        let mut oom: Option<OutOfMemory> = None;
                         for split in splits.iter().skip(w).step_by(workers) {
                             app.map(split, &mut |k, v| {
+                                if oom.is_some() {
+                                    return;
+                                }
                                 if let Some(m) = mem.as_mut() {
-                                    m.charge_pair();
+                                    if let Err(e) = m.charge_pair() {
+                                        oom = Some(e);
+                                        return;
+                                    }
                                 }
                                 table.entry(k).or_default().push(v);
                             });
+                            if oom.is_some() {
+                                break;
+                            }
                         }
-                        table
+                        match oom {
+                            Some(e) => Err(e),
+                            None => Ok(table),
+                        }
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().unwrap()).collect()
-        });
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect::<Result<Vec<_>, OutOfMemory>>()
+        })?;
 
         // Phase 2: partition by key hash, reduce each partition.
         let mut partitions: Vec<HashMap<A::K, Vec<A::V>>> =
@@ -197,7 +233,7 @@ impl MapReduce {
             out.append(part);
         }
         out.sort_by(|a, b| a.0.cmp(&b.0));
-        out
+        Ok(out)
     }
 }
 
@@ -229,7 +265,7 @@ mod tests {
         for workers in [1, 2, 4] {
             let mr = MapReduce::new(MapReduceConfig::with_workers(workers));
             let splits = vec!["a b a".to_string(), "b c".to_string(), "a".to_string()];
-            let out = mr.run(&Count, &splits);
+            let out = mr.run(&Count, &splits).unwrap();
             assert_eq!(
                 out,
                 vec![
@@ -245,7 +281,7 @@ mod tests {
     #[test]
     fn empty_input_is_empty_output() {
         let mr = MapReduce::new(MapReduceConfig::with_workers(2));
-        assert!(mr.run(&Count, &[]).is_empty());
+        assert!(mr.run(&Count, &[]).unwrap().is_empty());
     }
 
     #[test]
@@ -272,11 +308,33 @@ mod tests {
         let splits: Vec<String> = (0..8)
             .map(|i| format!("w{} x y z common tokens {}", i, i))
             .collect();
-        let out = mr.run(&Count, &splits);
+        let out = mr.run(&Count, &splits).unwrap();
         assert!(!out.is_empty());
         assert!(
             stats.faults_4k.load(std::sync::atomic::Ordering::Relaxed) > 0,
             "map phase must fault table pages"
         );
+    }
+
+    #[test]
+    fn exhausted_table_memory_is_a_typed_error() {
+        let stats = Arc::new(MmStats::new());
+        let mut cfg = MmConfig::stock(4);
+        // Starve the allocator so the map phase's table faults hit OOM.
+        cfg.pages_per_node = 1;
+        let alloc = Arc::new(NumaAllocator::new(cfg, Arc::clone(&stats)));
+        let space = Arc::new(AddressSpace::new(cfg, alloc, Arc::clone(&stats)));
+        let mr = MapReduce::new(MapReduceConfig {
+            workers: 2,
+            memory: Some(MemoryHook {
+                space,
+                page_size: PageSize::Base4K,
+                bytes_per_pair: 64 << 10,
+            }),
+        });
+        let splits: Vec<String> = (0..8)
+            .map(|i| format!("w{i} x y z common tokens {i}"))
+            .collect();
+        assert_eq!(mr.run(&Count, &splits).unwrap_err(), OutOfMemory);
     }
 }

@@ -1,0 +1,63 @@
+//! The one definition of the histogram's log2 bucket boundaries.
+//!
+//! The record path ([`crate::Histogram::record`] in `metrics.rs`) and
+//! the report path ([`crate::HistogramSnapshot::quantile`] in
+//! `sample.rs`) must agree on where buckets begin and end, or quantile
+//! bounds silently drift off the recorded samples. Both sides import
+//! these helpers instead of re-deriving the arithmetic; the tests below
+//! pin the two directions against each other.
+
+/// Number of log2 buckets: bucket `0` holds zeros, bucket `i` holds
+/// values with `floor(log2(v)) == i - 1`, so bucket 64 holds values
+/// with the top bit set.
+pub const BUCKETS: usize = 65;
+
+/// Bucket index a value records into.
+#[inline]
+pub const fn bucket_of(value: u64) -> usize {
+    (64 - value.leading_zeros()) as usize
+}
+
+/// Inclusive upper edge of bucket `i`: the largest value that records
+/// into it (0 for the zero bucket, `2^i − 1` otherwise, saturating at
+/// `u64::MAX` for the top bucket). Quantile answers quote this edge.
+#[inline]
+pub const fn bucket_upper_edge(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The drift test: for every bucket, the record path must place the
+    /// bucket's own upper edge in that bucket, and the next value in
+    /// the next one — i.e. `bucket_of` and `bucket_upper_edge` describe
+    /// the same boundaries.
+    #[test]
+    fn record_and_report_boundaries_match() {
+        for i in 0..BUCKETS {
+            let edge = bucket_upper_edge(i);
+            assert_eq!(bucket_of(edge), i, "upper edge of bucket {i}");
+            if let Some(next) = edge.checked_add(1) {
+                assert_eq!(bucket_of(next), i + 1, "first value past bucket {i}");
+            }
+        }
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn edges_are_the_documented_powers_of_two() {
+        assert_eq!(bucket_upper_edge(0), 0);
+        assert_eq!(bucket_upper_edge(1), 1);
+        assert_eq!(bucket_upper_edge(2), 3);
+        assert_eq!(bucket_upper_edge(10), 1023);
+        assert_eq!(bucket_upper_edge(BUCKETS - 1), u64::MAX);
+    }
+}

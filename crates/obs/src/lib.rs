@@ -32,6 +32,7 @@
 #![forbid(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 
+pub mod buckets;
 pub mod metrics;
 mod registry;
 mod report;

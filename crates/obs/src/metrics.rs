@@ -100,10 +100,7 @@ impl Gauge {
     }
 }
 
-/// Number of log2 buckets: bucket `0` holds zeros, bucket `i` holds
-/// values with `floor(log2(v)) == i - 1`, so bucket 64 holds values
-/// with the top bit set.
-const BUCKETS: usize = 65;
+use crate::buckets::{bucket_of, BUCKETS};
 
 /// One core's histogram shard.
 #[derive(Debug)]
@@ -133,10 +130,6 @@ impl HistShard {
 #[derive(Debug)]
 pub struct Histogram {
     shards: PerCore<HistShard>,
-}
-
-fn bucket_of(value: u64) -> usize {
-    (64 - value.leading_zeros()) as usize
 }
 
 impl Histogram {
@@ -208,38 +201,6 @@ impl Histogram {
             }
             shard.count.store(0, Ordering::Relaxed);
             shard.sum.store(0, Ordering::Relaxed);
-        }
-    }
-}
-
-impl HistogramSnapshot {
-    /// Upper bound on the `q`-quantile; see [`Histogram::quantile`].
-    pub fn quantile(&self, q: f64) -> u64 {
-        if self.count == 0 {
-            return 0;
-        }
-        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
-        let mut cum = 0u64;
-        for (i, &n) in self.buckets.iter().enumerate() {
-            cum += n;
-            if cum >= target.max(1) {
-                // Bucket 0 holds zeros; bucket i holds [2^(i-1), 2^i).
-                return if i == 0 {
-                    0
-                } else {
-                    (1u64 << (i - 1)).saturating_mul(2) - 1
-                };
-            }
-        }
-        u64::MAX
-    }
-
-    /// Mean of the recorded samples (0.0 when empty).
-    pub fn mean(&self) -> f64 {
-        if self.count == 0 {
-            0.0
-        } else {
-            self.sum as f64 / self.count as f64
         }
     }
 }

@@ -50,13 +50,40 @@ pub struct StationSample {
 /// A merged, immutable view of a [`crate::Histogram`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HistogramSnapshot {
-    /// Log2 bucket counts; bucket 0 holds zeros, bucket `i` holds
-    /// values in `[2^(i-1), 2^i)`.
+    /// Log2 bucket counts with the boundaries of [`crate::buckets`]:
+    /// bucket 0 holds zeros, bucket `i` holds values in `[2^(i-1), 2^i)`.
     pub buckets: Vec<u64>,
     /// Number of recorded samples.
     pub count: u64,
     /// Sum of recorded samples.
     pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// Upper bound on the `q`-quantile; see [`crate::Histogram::quantile`].
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut cum = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            cum += n;
+            if cum >= target.max(1) {
+                return crate::buckets::bucket_upper_edge(i);
+            }
+        }
+        u64::MAX
+    }
+
+    /// Mean of the recorded samples (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
 }
 
 /// One measurement value.

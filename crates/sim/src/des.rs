@@ -15,6 +15,7 @@
 
 use crate::mva::{Network, StationKind};
 use pk_fault::{FaultPlane, FaultPoint};
+use pk_trace::{EventKind, Tracer};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
@@ -133,9 +134,70 @@ pub fn simulate_with_faults(
     seed: u64,
     faults: &FaultPlane,
 ) -> DesResult {
+    simulate_traced(net, cores, ops_per_core, seed, faults, None)
+}
+
+/// Span classes for one traced simulation, interned up front so the
+/// event loop records bare `u32`s.
+struct SimTrace<'a> {
+    tracer: &'a Tracer,
+    /// `des.op` — one root span per operation (end-to-end latency).
+    op_class: u32,
+    /// Per station: (service span, queue-wait child span). The wait
+    /// class shares the station's name plus a ` (wait)` suffix, so a
+    /// substring match on the station name (e.g. `vfsmount`) catches
+    /// both holding and waiting cycles.
+    station_classes: Vec<(u32, u32)>,
+}
+
+impl<'a> SimTrace<'a> {
+    fn new(tracer: &'a Tracer, stations: &[crate::mva::Station]) -> Self {
+        Self {
+            tracer,
+            op_class: pk_trace::intern::intern_span("des.op"),
+            station_classes: stations
+                .iter()
+                .map(|st| {
+                    (
+                        pk_trace::intern::intern_span(st.name),
+                        pk_trace::intern::intern_span(&format!("{} (wait)", st.name)),
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    fn begin(&self, track: usize, ts: u64, class: u32) {
+        self.tracer
+            .record_at(track, ts, EventKind::SpanBegin, class, 0, 0);
+    }
+
+    fn end(&self, track: usize, ts: u64, class: u32) {
+        self.tracer
+            .record_at(track, ts, EventKind::SpanEnd, class, 0, 0);
+    }
+}
+
+/// [`simulate_with_faults`] plus **sim-domain** tracing: when `tracer`
+/// is `Some`, every customer gets a track (track = customer index)
+/// carrying a root `des.op` span per operation, a span per station
+/// visit (named after the station), and — when the visit queued — a
+/// nested `<station> (wait)` span from enqueue to service start. All
+/// timestamps are DES cycles via [`Tracer::record_at`]; tracing draws
+/// nothing from the service-time RNG, so the measured result is
+/// byte-for-byte identical to the untraced run.
+pub fn simulate_traced(
+    net: &Network,
+    cores: usize,
+    ops_per_core: u64,
+    seed: u64,
+    faults: &FaultPlane,
+    tracer: Option<&Tracer>,
+) -> DesResult {
     assert!(cores > 0, "need at least one core");
     let stations = net.stations();
     assert!(!stations.is_empty(), "need at least one station");
+    let trace = tracer.map(|t| SimTrace::new(t, stations));
     let fault_preempt = faults.point("sim.lock_holder_preempt");
     let fault_stall = faults.point("sim.core_stall");
     let mut rng = SmallRng::seed_from_u64(seed);
@@ -177,7 +239,9 @@ pub fn simulate_with_faults(
     };
 
     // Dispatch customer `c` into its current station at time `now`.
-    // Returns the completion time.
+    // Returns the (possibly stall-shifted) arrival time and, when
+    // service started immediately, the completion time (`None` means
+    // the customer queued).
     #[allow(clippy::too_many_arguments)]
     fn dispatch(
         stations: &[crate::mva::Station],
@@ -189,7 +253,7 @@ pub fn simulate_with_faults(
         now: u64,
         preempt: &FaultPoint,
         stall: &FaultPoint,
-    ) -> Option<u64> {
+    ) -> (u64, Option<u64>) {
         // A stalled core arrives late; the delay shifts both its service
         // and (if the server is busy) its enqueue time.
         let now = if stall.should_inject() {
@@ -199,12 +263,12 @@ pub fn simulate_with_faults(
         };
         let st = &stations[station];
         match st.kind {
-            StationKind::Delay => Some(now + service(rng, st.demand_cycles)),
+            StationKind::Delay => (now, Some(now + service(rng, st.demand_cycles))),
             StationKind::Queue | StationKind::NonScalable { .. } => {
                 let s = &mut state[station];
                 if s.busy {
                     s.queue.push_back((c, now));
-                    None
+                    (now, None)
                 } else {
                     s.busy = true;
                     let (mean, pollers) = match st.kind {
@@ -219,7 +283,7 @@ pub fn simulate_with_faults(
                     if preempt.should_inject() {
                         done += PREEMPT_CYCLES;
                     }
-                    Some(done)
+                    (now, Some(done))
                 }
             }
         }
@@ -227,7 +291,10 @@ pub fn simulate_with_faults(
 
     // Seed: every customer enters station 0.
     for c in 0..cores {
-        if let Some(t) = dispatch(
+        if let Some(tr) = &trace {
+            tr.begin(c, 0, tr.op_class);
+        }
+        let (arrival, done) = dispatch(
             stations,
             &mut state,
             &mut service,
@@ -237,7 +304,14 @@ pub fn simulate_with_faults(
             0,
             &fault_preempt,
             &fault_stall,
-        ) {
+        );
+        if let Some(tr) = &trace {
+            tr.begin(c, arrival, tr.station_classes[0].0);
+            if done.is_none() {
+                tr.begin(c, arrival, tr.station_classes[0].1);
+            }
+        }
+        if let Some(t) = done {
             events.push((Reverse(t), seq, c));
             seq += 1;
         }
@@ -246,6 +320,9 @@ pub fn simulate_with_faults(
     while let Some((Reverse(t), _, c)) = events.pop() {
         now = t;
         let station = customers[c].station;
+        if let Some(tr) = &trace {
+            tr.end(c, now, tr.station_classes[station].0);
+        }
         // Departure from `station`.
         if matches!(
             stations[station].kind,
@@ -261,6 +338,9 @@ pub fn simulate_with_faults(
                 // A stall-injected waiter can carry an enqueue stamp later
                 // than this departure; it effectively waited zero cycles.
                 s.wait_cycles += now.saturating_sub(enqueued_at);
+                if let Some(tr) = &trace {
+                    tr.end(next_c, now.max(enqueued_at), tr.station_classes[station].1);
+                }
                 let st = &stations[station];
                 let (mean, pollers) = match st.kind {
                     StationKind::NonScalable { collapse } => (
@@ -286,6 +366,12 @@ pub fn simulate_with_faults(
             // One operation complete.
             cust.station = 0;
             cust.ops_done += 1;
+            if let Some(tr) = &trace {
+                tr.end(c, now, tr.op_class);
+                if cust.ops_done < total_ops {
+                    tr.begin(c, now, tr.op_class);
+                }
+            }
             if cust.ops_done == warmup_ops {
                 warmup_end_time = warmup_end_time.max(now);
             }
@@ -304,7 +390,7 @@ pub fn simulate_with_faults(
             }
         }
         customers[c] = cust;
-        if let Some(done) = dispatch(
+        let (arrival, done) = dispatch(
             stations,
             &mut state,
             &mut service,
@@ -314,7 +400,14 @@ pub fn simulate_with_faults(
             now,
             &fault_preempt,
             &fault_stall,
-        ) {
+        );
+        if let Some(tr) = &trace {
+            tr.begin(c, arrival, tr.station_classes[cust.station].0);
+            if done.is_none() {
+                tr.begin(c, arrival, tr.station_classes[cust.station].1);
+            }
+        }
+        if let Some(done) = done {
             events.push((Reverse(done), seq, c));
             seq += 1;
         }
@@ -567,5 +660,66 @@ mod tests {
         let light = simulate(&net, 2, 4_000, 5);
         let heavy = simulate(&net, 24, 4_000, 5);
         assert!(heavy.mean_queue_len[1] > light.mean_queue_len[1] + 1.0);
+    }
+
+    #[test]
+    fn tracing_does_not_perturb_the_simulation() {
+        let mut net = Network::new();
+        net.push(Station::delay("trace-u", 4_000.0, false));
+        net.push(Station::spinlock("trace-lock", 1_000.0, 0.3, true));
+        let plain = simulate(&net, 8, 1_000, 17);
+        let tracer = pk_trace::Tracer::new(8, 1 << 16);
+        let traced = simulate_traced(
+            &net,
+            8,
+            1_000,
+            17,
+            &pk_fault::FaultPlane::disabled(),
+            Some(&tracer),
+        );
+        assert_eq!(plain.ops_per_cycle, traced.ops_per_cycle);
+        assert_eq!(plain.completed_ops, traced.completed_ops);
+        assert_eq!(tracer.dropped(), 0, "ring sized for the whole run");
+
+        let events = tracer.drain();
+        assert!(!events.is_empty());
+        // Per track, timestamps never go backwards (fault-free run).
+        let mut last: std::collections::BTreeMap<u32, u64> = Default::default();
+        for e in &events {
+            let prev = last.entry(e.track).or_insert(0);
+            assert!(e.ts >= *prev, "track {} went backwards", e.track);
+            *prev = e.ts;
+        }
+
+        let profile = pk_trace::Profile::build(&events);
+        assert!(profile.total_cycles > 0);
+        let names: Vec<&str> = profile.totals().iter().map(|t| t.name.as_str()).collect();
+        assert!(names.contains(&"trace-lock"), "{names:?}");
+        assert!(names.contains(&"trace-lock (wait)"), "contention queued");
+        assert!(names.contains(&"des.op"));
+        // The contended lock's hold + wait cycles dominate the delay
+        // station's self time at this load.
+        let lock_share = profile.share_where(|n| n.contains("trace-lock"));
+        assert!(lock_share > 0.1, "lock_share={lock_share}");
+    }
+
+    #[test]
+    fn traced_runs_replay_byte_identically() {
+        let mut net = Network::new();
+        net.push(Station::delay("replay-u", 3_000.0, false));
+        net.push(Station::queue("replay-q", 900.0, true));
+        let run = || {
+            let tracer = pk_trace::Tracer::new(6, 1 << 15);
+            simulate_traced(
+                &net,
+                6,
+                500,
+                23,
+                &pk_fault::FaultPlane::disabled(),
+                Some(&tracer),
+            );
+            pk_trace::encode_stream(&tracer.drain())
+        };
+        assert_eq!(run(), run(), "same seed, same bytes");
     }
 }

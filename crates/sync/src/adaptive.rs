@@ -83,6 +83,7 @@ impl<T: ?Sized> AdaptiveMutex<T> {
                 self.stats.record_acquisition(spins + yield_rounds);
                 self.max_wait_rounds
                     .fetch_max(yield_rounds, Ordering::Relaxed);
+                pk_trace::lock_acquired(&self.class, LockKind::Blocking, spins + yield_rounds);
                 return AdaptiveMutexGuard { lock: self };
             }
             if spins < SPIN_BUDGET {
@@ -105,6 +106,7 @@ impl<T: ?Sized> AdaptiveMutex<T> {
         {
             self.stats.record_acquisition(0);
             pk_lockdep::acquire(&self.class, LockKind::Blocking, true);
+            pk_trace::lock_acquired(&self.class, LockKind::Blocking, 0);
             Some(AdaptiveMutexGuard { lock: self })
         } else {
             None
@@ -170,6 +172,7 @@ impl<T: ?Sized> DerefMut for AdaptiveMutexGuard<'_, T> {
 
 impl<T: ?Sized> Drop for AdaptiveMutexGuard<'_, T> {
     fn drop(&mut self) {
+        pk_trace::lock_released(&self.lock.class, LockKind::Blocking);
         pk_lockdep::release(&self.lock.class);
         self.lock.locked.store(false, Ordering::Release);
     }

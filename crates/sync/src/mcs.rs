@@ -93,6 +93,7 @@ impl<T: ?Sized> McsLock<T> {
             }
         }
         self.stats.record_acquisition(spins);
+        pk_trace::lock_acquired(&self.class, LockKind::Mcs, spins);
         McsGuard { lock: self, node }
     }
 
@@ -110,6 +111,7 @@ impl<T: ?Sized> McsLock<T> {
         {
             self.stats.record_acquisition(0);
             pk_lockdep::acquire(&self.class, LockKind::Mcs, true);
+            pk_trace::lock_acquired(&self.class, LockKind::Mcs, 0);
             Some(McsGuard { lock: self, node })
         } else {
             // SAFETY: The node was never published; we still own it.
@@ -173,6 +175,7 @@ impl<T: ?Sized> DerefMut for McsGuard<'_, T> {
 
 impl<T: ?Sized> Drop for McsGuard<'_, T> {
     fn drop(&mut self) {
+        pk_trace::lock_released(&self.lock.class, LockKind::Mcs);
         pk_lockdep::release(&self.lock.class);
         let node = self.node;
         // SAFETY: `node` is owned by this guard until handoff completes.

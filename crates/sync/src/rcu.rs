@@ -125,14 +125,20 @@ pub fn read_lock() -> RcuReadGuard {
         READER_EPOCHS[core].store(epoch, Ordering::SeqCst);
     }
     pk_lockdep::epoch_enter();
+    pk_trace::span_begin(&RCU_READ_SPAN);
     RcuReadGuard {
         core,
         _not_send: std::marker::PhantomData,
     }
 }
 
+/// Trace class for read-side sections (begin/end ride on the guard, so
+/// the span cannot use the RAII macro).
+static RCU_READ_SPAN: pk_trace::LazySpanClass = pk_trace::LazySpanClass::new("rcu.read");
+
 impl Drop for RcuReadGuard {
     fn drop(&mut self) {
+        pk_trace::span_end(&RCU_READ_SPAN);
         pk_lockdep::epoch_exit();
         let nesting = NESTING.with(|n| {
             let v = n.get() - 1;
@@ -154,6 +160,7 @@ impl Drop for RcuReadGuard {
 #[track_caller]
 pub fn synchronize() {
     pk_lockdep::check_synchronize();
+    let _span = pk_trace::trace_span!("rcu.synchronize");
     SYNCHRONIZE_CALLS.fetch_add(1, Ordering::Relaxed);
     let target = GLOBAL_EPOCH.fetch_add(1, Ordering::SeqCst) + 1;
     for slot in READER_EPOCHS.iter() {
@@ -190,6 +197,7 @@ pub fn synchronize() {
 /// * `drop_fn(ptr)` may run on any thread, so the pointee must be `Send`.
 /// * `drop_fn` must free `ptr` exactly once.
 pub unsafe fn call_rcu(ptr: *mut (), drop_fn: unsafe fn(*mut ())) {
+    pk_trace::trace_instant!("rcu.call_rcu");
     CALL_RCU_CALLS.fetch_add(1, Ordering::Relaxed);
     let target = GLOBAL_EPOCH.load(Ordering::SeqCst) + 1;
     // Advance the epoch so future readers start at or beyond the target;
@@ -315,6 +323,7 @@ fn free_batch(batch: Vec<Deferred>) -> usize {
 #[track_caller]
 pub fn rcu_barrier() {
     pk_lockdep::check_rcu_barrier();
+    let _span = pk_trace::trace_span!("rcu.barrier");
     BARRIER_CALLS.fetch_add(1, Ordering::Relaxed);
     // Steal every queue's current contents first, then wait one grace
     // period: the epoch is monotonic, so that single wait covers every

@@ -109,6 +109,7 @@ impl<T: Copy> SeqLock<T> {
                     .compare_exchange_weak(cur, cur + 1, Ordering::Acquire, Ordering::Relaxed)
                     .is_ok()
             {
+                pk_trace::lock_acquired(&self.class, LockKind::SeqWrite, 0);
                 return SeqLockWriteGuard { lock: self };
             }
             std::hint::spin_loop();
@@ -154,6 +155,7 @@ impl<T: Copy> std::ops::DerefMut for SeqLockWriteGuard<'_, T> {
 
 impl<T: Copy> Drop for SeqLockWriteGuard<'_, T> {
     fn drop(&mut self) {
+        pk_trace::lock_released(&self.lock.class, LockKind::SeqWrite);
         pk_lockdep::release(&self.lock.class);
         self.lock.seq.fetch_add(1, Ordering::Release);
     }

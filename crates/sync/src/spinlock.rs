@@ -76,6 +76,7 @@ impl<T: ?Sized> SpinLock<T> {
                 .is_ok()
             {
                 self.stats.record_acquisition(spins);
+                pk_trace::lock_acquired(&self.class, LockKind::Spin, spins);
                 return SpinGuard { lock: self };
             }
             // Spin on a plain load until the line looks free (TTAS).
@@ -99,6 +100,7 @@ impl<T: ?Sized> SpinLock<T> {
         {
             self.stats.record_acquisition(0);
             pk_lockdep::acquire(&self.class, LockKind::Spin, true);
+            pk_trace::lock_acquired(&self.class, LockKind::Spin, 0);
             Some(SpinGuard { lock: self })
         } else {
             None
@@ -160,6 +162,7 @@ impl<T: ?Sized> DerefMut for SpinGuard<'_, T> {
 
 impl<T: ?Sized> Drop for SpinGuard<'_, T> {
     fn drop(&mut self) {
+        pk_trace::lock_released(&self.lock.class, LockKind::Spin);
         pk_lockdep::release(&self.lock.class);
         self.lock.locked.store(false, Ordering::Release);
     }

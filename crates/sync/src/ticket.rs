@@ -74,6 +74,7 @@ impl<T: ?Sized> TicketLock<T> {
             }
         }
         self.stats.record_acquisition(spins);
+        pk_trace::lock_acquired(&self.class, LockKind::Ticket, spins);
         TicketGuard { lock: self }
     }
 
@@ -88,6 +89,7 @@ impl<T: ?Sized> TicketLock<T> {
         {
             self.stats.record_acquisition(0);
             pk_lockdep::acquire(&self.class, LockKind::Ticket, true);
+            pk_trace::lock_acquired(&self.class, LockKind::Ticket, 0);
             Some(TicketGuard { lock: self })
         } else {
             None
@@ -151,6 +153,7 @@ impl<T: ?Sized> DerefMut for TicketGuard<'_, T> {
 
 impl<T: ?Sized> Drop for TicketGuard<'_, T> {
     fn drop(&mut self) {
+        pk_trace::lock_released(&self.lock.class, LockKind::Ticket);
         pk_lockdep::release(&self.lock.class);
         self.lock.now_serving.fetch_add(1, Ordering::Release);
     }

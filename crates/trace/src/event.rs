@@ -1,0 +1,140 @@
+//! The compact trace event record.
+//!
+//! One `Event` is 32 bytes: a virtual timestamp, a payload word, two
+//! interned-name ids, the track (core / DES customer) it was recorded
+//! on, and the kind tag. Everything wider (class names, call sites)
+//! lives in the intern tables and is resolved post-hoc, never on the
+//! hot path.
+
+/// What an [`Event`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum EventKind {
+    /// A span opened. `class` is a span-class id from the pk-trace
+    /// intern table; `site` (0 = unknown) is an interned call site.
+    SpanBegin = 0,
+    /// The matching close of the innermost open span of `class`.
+    SpanEnd = 1,
+    /// A point event (fault fired, signal, …). `arg` is free-form.
+    Instant = 2,
+    /// A counter delta: `arg` is the delta as an `i64` in disguise.
+    Counter = 3,
+    /// A lock hold span opened. `class` is a **pk-lockdep** `ClassId`
+    /// (the shared naming registry); `arg` is the spins paid waiting.
+    LockBegin = 4,
+    /// The matching close of a lock hold span.
+    LockEnd = 5,
+}
+
+impl EventKind {
+    /// Decodes the wire tag; `None` for values never produced.
+    pub fn from_u8(v: u8) -> Option<Self> {
+        Some(match v {
+            0 => Self::SpanBegin,
+            1 => Self::SpanEnd,
+            2 => Self::Instant,
+            3 => Self::Counter,
+            4 => Self::LockBegin,
+            5 => Self::LockEnd,
+            _ => return None,
+        })
+    }
+
+    /// Whether `class` refers to the lockdep registry rather than the
+    /// pk-trace span intern table.
+    pub fn is_lock(self) -> bool {
+        matches!(self, Self::LockBegin | Self::LockEnd)
+    }
+
+    /// Whether this kind opens a span.
+    pub fn is_begin(self) -> bool {
+        matches!(self, Self::SpanBegin | Self::LockBegin)
+    }
+
+    /// Whether this kind closes a span.
+    pub fn is_end(self) -> bool {
+        matches!(self, Self::SpanEnd | Self::LockEnd)
+    }
+}
+
+/// One trace record. See [`EventKind`] for field semantics per kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Virtual timestamp: DES simulation cycles under `pk-sim`, the
+    /// per-core monotone op counter in the functional drivers.
+    pub ts: u64,
+    /// Kind-specific payload (spins waited, counter delta, …).
+    pub arg: u64,
+    /// Interned class id; namespace selected by `kind.is_lock()`.
+    pub class: u32,
+    /// Interned call-site id (0 = not recorded).
+    pub site: u32,
+    /// Track the event belongs to: core id in the functional domain,
+    /// customer id in the DES domain.
+    pub track: u32,
+    /// Discriminant.
+    pub kind: EventKind,
+}
+
+/// Wire size of one encoded event (`ts, arg, class, site, track, kind`).
+pub const ENCODED_EVENT_BYTES: usize = 8 + 8 + 4 + 4 + 4 + 1;
+
+impl Event {
+    /// Appends the canonical little-endian encoding to `out`. Used by
+    /// the determinism tests: two drains are *the same trace* iff their
+    /// encodings are byte-identical.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.ts.to_le_bytes());
+        out.extend_from_slice(&self.arg.to_le_bytes());
+        out.extend_from_slice(&self.class.to_le_bytes());
+        out.extend_from_slice(&self.site.to_le_bytes());
+        out.extend_from_slice(&self.track.to_le_bytes());
+        out.push(self.kind as u8);
+    }
+}
+
+/// Encodes a drained event stream to its canonical byte form.
+pub fn encode_stream(events: &[Event]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(events.len() * ENCODED_EVENT_BYTES);
+    for e in events {
+        e.encode_into(&mut out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_stays_compact() {
+        // The ring stores events as four u64 words; the struct itself
+        // must never grow past that budget.
+        assert!(std::mem::size_of::<Event>() <= 32);
+    }
+
+    #[test]
+    fn kind_round_trips() {
+        for raw in 0..=5u8 {
+            let k = EventKind::from_u8(raw).unwrap();
+            assert_eq!(k as u8, raw);
+        }
+        assert_eq!(EventKind::from_u8(6), None);
+    }
+
+    #[test]
+    fn encoding_is_injective_on_fields() {
+        let a = Event {
+            ts: 1,
+            arg: 2,
+            class: 3,
+            site: 4,
+            track: 5,
+            kind: EventKind::SpanBegin,
+        };
+        let mut b = a;
+        b.kind = EventKind::SpanEnd;
+        assert_ne!(encode_stream(&[a]), encode_stream(&[b]));
+        assert_eq!(encode_stream(&[a]).len(), ENCODED_EVENT_BYTES);
+    }
+}

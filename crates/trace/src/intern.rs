@@ -1,0 +1,122 @@
+//! Global intern tables for span-class names and call sites.
+//!
+//! Hot paths record `u32` ids; the string forms are resolved post-hoc
+//! by the profiler and exporters. Interning is idempotent (same string,
+//! same id), so ids are stable within a process and — because every
+//! deterministic harness interns in program order — across runs at a
+//! fixed seed.
+//!
+//! Span classes use dotted names in the same style as the lockdep lock
+//! classes (`kernel.fork`, `rcu.read`, `des.op`); the two namespaces
+//! stay distinct because lock events carry a `pk-lockdep` `ClassId`
+//! instead (see `EventKind::is_lock`).
+
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+
+#[derive(Default)]
+struct Table {
+    names: Vec<String>,
+    by_name: HashMap<String, u32>,
+}
+
+impl Table {
+    fn intern(&mut self, name: &str) -> u32 {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        self.names.push(name.to_string());
+        let id = self.names.len() as u32; // ids start at 1; 0 = unknown
+        self.by_name.insert(name.to_string(), id);
+        id
+    }
+
+    fn name_of(&self, id: u32, what: &str) -> String {
+        self.names
+            .get(id.wrapping_sub(1) as usize)
+            .cloned()
+            .unwrap_or_else(|| format!("{what}#{id}"))
+    }
+}
+
+fn spans() -> &'static Mutex<Table> {
+    static T: OnceLock<Mutex<Table>> = OnceLock::new();
+    T.get_or_init(|| Mutex::new(Table::default()))
+}
+
+fn sites() -> &'static Mutex<Table> {
+    static T: OnceLock<Mutex<Table>> = OnceLock::new();
+    T.get_or_init(|| Mutex::new(Table::default()))
+}
+
+/// Interns a span-class name, returning its stable id (≥ 1).
+pub fn intern_span(name: &str) -> u32 {
+    spans()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .intern(name)
+}
+
+/// Resolves a span-class id back to its name.
+pub fn span_name(id: u32) -> String {
+    spans()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .name_of(id, "span")
+}
+
+/// Interns a call site (`file:line`), returning its stable id (≥ 1).
+pub fn intern_site(site: &str) -> u32 {
+    sites()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .intern(site)
+}
+
+/// Resolves a site id back to its `file:line` form.
+pub fn site_name(id: u32) -> String {
+    if id == 0 {
+        return String::new();
+    }
+    sites()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .name_of(id, "site")
+}
+
+/// Number of span classes interned so far (for the `TraceSink`).
+pub fn span_class_count() -> usize {
+    spans()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .names
+        .len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent_and_resolves() {
+        let a = intern_span("test.intern.alpha");
+        let b = intern_span("test.intern.alpha");
+        let c = intern_span("test.intern.beta");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(span_name(a), "test.intern.alpha");
+        assert_eq!(span_name(c), "test.intern.beta");
+    }
+
+    #[test]
+    fn unknown_ids_get_placeholders_not_panics() {
+        assert!(span_name(u32::MAX).starts_with("span#"));
+        assert_eq!(site_name(0), "");
+    }
+
+    #[test]
+    fn sites_are_a_separate_namespace() {
+        let s = intern_site("file.rs:10");
+        assert_eq!(site_name(s), "file.rs:10");
+    }
+}

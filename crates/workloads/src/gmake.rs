@@ -8,11 +8,13 @@
 //! the beginning of the build and straggling processes at the end."
 
 use crate::common::KernelChoice;
-use pk_kernel::Kernel;
+use pk_fault::FaultPlane;
+use pk_kernel::{Kernel, KernelError};
 use pk_percpu::CoreId;
 use pk_proc::Pid;
 use pk_sim::{CoreSweep, MachineSpec, Network, Station, SweepPoint, WorkloadModel};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Single-core throughput anchor, builds/hour/core (Figure 9).
 pub const BUILDS_PER_HOUR_1CORE: f64 = 5.5;
@@ -31,25 +33,32 @@ pub struct GmakeDriver {
 
 impl GmakeDriver {
     /// Boots a kernel and lays out a source tree of `sources` files.
-    pub fn new(choice: KernelChoice, cores: usize, sources: usize) -> Self {
-        let kernel = Kernel::new(choice.config(cores));
+    pub fn new(choice: KernelChoice, cores: usize, sources: usize) -> Result<Self, KernelError> {
+        Self::with_faults(choice, cores, sources, Arc::new(FaultPlane::disabled()))
+    }
+
+    /// Like [`GmakeDriver::new`], with every substrate wired to `faults`.
+    pub fn with_faults(
+        choice: KernelChoice,
+        cores: usize,
+        sources: usize,
+        faults: Arc<FaultPlane>,
+    ) -> Result<Self, KernelError> {
+        let kernel = Kernel::with_faults(choice.config(cores), faults);
         let core = CoreId(0);
-        kernel.vfs().mkdir_p("/src", core).expect("src");
-        kernel.vfs().mkdir_p("/obj", core).expect("obj");
+        kernel.vfs().mkdir_p("/src", core)?;
+        kernel.vfs().mkdir_p("/obj", core)?;
         for i in 0..sources {
-            kernel
-                .vfs()
-                .write_file(
-                    &format!("/src/f{i}.c"),
-                    format!("int f{i}();").as_bytes(),
-                    core,
-                )
-                .expect("source");
+            kernel.vfs().write_file(
+                &format!("/src/f{i}.c"),
+                format!("int f{i}();").as_bytes(),
+                core,
+            )?;
         }
-        Self {
+        Ok(Self {
             kernel,
             objects_built: AtomicU64::new(0),
-        }
+        })
     }
 
     /// Returns the kernel.
@@ -64,32 +73,44 @@ impl GmakeDriver {
 
     /// Compiles one translation unit on `core`: fork the compiler
     /// process, read the source, write the object, exit.
-    pub fn compile(&self, core: usize, source_id: usize) -> Result<(), pk_vfs::VfsError> {
+    pub fn compile(&self, core: usize, source_id: usize) -> Result<(), KernelError> {
         let core_id = CoreId(core);
-        let cc = self.kernel.fork(Pid(1), core_id).expect("fork cc");
-        let src = self
-            .kernel
-            .vfs()
-            .read_file(&format!("/src/f{source_id}.c"), core_id)?;
-        let obj: Vec<u8> = src.iter().rev().copied().collect();
-        self.kernel
-            .vfs()
-            .write_file(&format!("/obj/f{source_id}.o"), &obj, core_id)?;
-        self.kernel.exit(cc, core_id).expect("exit cc");
+        let cc = self.kernel.fork(Pid(1), core_id)?;
+        let compiled = self.compile_unit(core_id, source_id);
+        // Reap the compiler even when it failed; the compile error wins.
+        let reaped = self.kernel.exit(cc, core_id);
+        compiled.and(reaped)?;
         self.objects_built.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
+    fn compile_unit(&self, core: CoreId, source_id: usize) -> Result<(), KernelError> {
+        let src = self
+            .kernel
+            .vfs()
+            .read_file(&format!("/src/f{source_id}.c"), core)?;
+        let obj: Vec<u8> = src.iter().rev().copied().collect();
+        self.kernel
+            .vfs()
+            .write_file(&format!("/obj/f{source_id}.o"), &obj, core)?;
+        Ok(())
+    }
+
     /// Links every object into `/obj/vmlinux` (the serial final stage).
-    pub fn link(&self, sources: usize) -> Result<(), pk_vfs::VfsError> {
+    pub fn link(&self, sources: usize) -> Result<(), KernelError> {
         let core = CoreId(0);
-        let ld = self.kernel.fork(Pid(1), core).expect("fork ld");
+        let ld = self.kernel.fork(Pid(1), core)?;
+        let linked = self.link_image(core, sources);
+        let reaped = self.kernel.exit(ld, core);
+        linked.and(reaped)
+    }
+
+    fn link_image(&self, core: CoreId, sources: usize) -> Result<(), KernelError> {
         let mut image = Vec::new();
         for i in 0..sources {
             image.extend(self.kernel.vfs().read_file(&format!("/obj/f{i}.o"), core)?);
         }
         self.kernel.vfs().write_file("/obj/vmlinux", &image, core)?;
-        self.kernel.exit(ld, core).expect("exit ld");
         Ok(())
     }
 }
@@ -185,7 +206,7 @@ mod tests {
 
     #[test]
     fn driver_builds_and_links() {
-        let d = GmakeDriver::new(KernelChoice::Pk, 4, 12);
+        let d = GmakeDriver::new(KernelChoice::Pk, 4, 12).unwrap();
         for i in 0..12 {
             d.compile(i % 4, i).unwrap();
         }

@@ -7,7 +7,7 @@
 //! substrate, dispatched to worker threads through a ready queue, with
 //! the serial-stage/straggler structure that limits gmake's speedup.
 
-use pk_kernel::Kernel;
+use pk_kernel::{Kernel, KernelError};
 use pk_percpu::CoreId;
 use pk_sync::SpinLock;
 use std::collections::VecDeque;
@@ -134,11 +134,15 @@ impl ParallelMake {
 
     /// Runs the graph to completion against `kernel`.
     ///
-    /// # Panics
-    ///
-    /// Panics if a recipe fails or the graph is cyclic (never happens
-    /// for graphs built with [`BuildGraph::add`]).
-    pub fn build(&self, kernel: &Arc<Kernel>, graph: &BuildGraph) -> BuildReport {
+    /// On the first failed fork, recipe, or reap, the remaining workers
+    /// stop dispatching (in-flight jobs finish) and that first error is
+    /// returned — like `make` without `-k`. Child processes are reaped
+    /// even when their recipe fails.
+    pub fn build(
+        &self,
+        kernel: &Arc<Kernel>,
+        graph: &BuildGraph,
+    ) -> Result<BuildReport, KernelError> {
         let n = graph.rules.len();
         // Indegrees and reverse edges.
         let mut indegree: Vec<AtomicUsize> = Vec::with_capacity(n);
@@ -163,6 +167,13 @@ impl ParallelMake {
         let in_flight = AtomicUsize::new(0);
         let overlapped = AtomicU64::new(0);
         let processes = AtomicU64::new(0);
+        // First failure wins; its presence tells every worker to stop.
+        let failure: SpinLock<Option<KernelError>> = SpinLock::new(None);
+        failure.set_class(pk_lockdep::register_class(
+            "gmake.failure_slot",
+            "pk-workloads",
+            pk_lockdep::LockKind::Spin,
+        ));
 
         std::thread::scope(|s| {
             for worker in 0..self.jobs {
@@ -175,32 +186,39 @@ impl ParallelMake {
                 let in_flight = &in_flight;
                 let overlapped = &overlapped;
                 let processes = &processes;
+                let failure = &failure;
                 s.spawn(move || {
                     let core = CoreId(worker % kernel.config().cores);
                     loop {
+                        if failure.lock().is_some() {
+                            return;
+                        }
                         let job = ready.lock().pop_front();
                         match job {
                             Some(i) => {
                                 if in_flight.fetch_add(1, Ordering::AcqRel) > 0 {
                                     overlapped.fetch_add(1, Ordering::Relaxed);
                                 }
-                                // Each rule runs as a forked child, like
-                                // gmake's compiler processes.
-                                let pid =
-                                    kernel.fork(pk_proc::Pid(1), core).expect("fork build job");
-                                processes.fetch_add(1, Ordering::Relaxed);
-                                (graph.rules[i].recipe)(&kernel, core).unwrap_or_else(|e| {
-                                    panic!("rule '{}' failed: {e}", graph.rules[i].name)
-                                });
-                                kernel.exit(pid, core).expect("reap build job");
+                                let result = run_rule(&kernel, core, &graph.rules[i], processes);
                                 in_flight.fetch_sub(1, Ordering::AcqRel);
-                                // Release dependents.
-                                for &dep in &dependents[i] {
-                                    if indegree[dep].fetch_sub(1, Ordering::AcqRel) == 1 {
-                                        ready.lock().push_back(dep);
+                                match result {
+                                    Ok(()) => {
+                                        // Release dependents.
+                                        for &dep in &dependents[i] {
+                                            if indegree[dep].fetch_sub(1, Ordering::AcqRel) == 1 {
+                                                ready.lock().push_back(dep);
+                                            }
+                                        }
+                                        completed.fetch_add(1, Ordering::AcqRel);
+                                    }
+                                    Err(e) => {
+                                        let mut slot = failure.lock();
+                                        if slot.is_none() {
+                                            *slot = Some(e);
+                                        }
+                                        return;
                                     }
                                 }
-                                completed.fetch_add(1, Ordering::AcqRel);
                             }
                             None => {
                                 if completed.load(Ordering::Acquire) == n {
@@ -213,12 +231,31 @@ impl ParallelMake {
                 });
             }
         });
-        BuildReport {
+        if let Some(e) = failure.lock().take() {
+            return Err(e);
+        }
+        Ok(BuildReport {
             rules_run: completed.load(Ordering::Relaxed),
             overlapped: overlapped.load(Ordering::Relaxed),
             processes: processes.load(Ordering::Relaxed),
-        }
+        })
     }
+}
+
+/// Forks a child, runs `rule`'s recipe in it, and reaps it. The child
+/// is reaped even when its recipe fails, and the recipe's error wins.
+fn run_rule(
+    kernel: &Kernel,
+    core: CoreId,
+    rule: &Rule,
+    processes: &AtomicU64,
+) -> Result<(), KernelError> {
+    // Each rule runs as a forked child, like gmake's compiler processes.
+    let pid = kernel.fork(pk_proc::Pid(1), core)?;
+    processes.fetch_add(1, Ordering::Relaxed);
+    let ran = (rule.recipe)(kernel, core).map_err(KernelError::from);
+    let reaped = kernel.exit(pid, core);
+    ran.and(reaped)
 }
 
 #[cfg(test)]
@@ -246,7 +283,7 @@ mod tests {
         let k = kernel_with_sources(KernelChoice::Pk, 4, 20);
         let graph = BuildGraph::kernel_build(20);
         assert_eq!(graph.len(), 22); // configure + 20 compiles + link
-        let report = ParallelMake::new(8).build(&k, &graph);
+        let report = ParallelMake::new(8).build(&k, &graph).unwrap();
         assert_eq!(report.rules_run, 22);
         assert_eq!(report.processes, 22);
         let vmlinux = k.vfs().stat("/obj/vmlinux", CoreId(0)).unwrap();
@@ -274,7 +311,7 @@ mod tests {
             out.extend(k.vfs().read_file("/c", c)?);
             k.vfs().write_file("/d", &out, c)
         });
-        let report = ParallelMake::new(4).build(&k, &g);
+        let report = ParallelMake::new(4).build(&k, &g).unwrap();
         assert_eq!(report.rules_run, 4);
         assert_eq!(k.vfs().read_file("/d", CoreId(0)).unwrap(), b"AA");
     }
@@ -282,7 +319,9 @@ mod tests {
     #[test]
     fn single_job_is_fully_serial() {
         let k = kernel_with_sources(KernelChoice::Stock, 1, 6);
-        let report = ParallelMake::new(1).build(&k, &BuildGraph::kernel_build(6));
+        let report = ParallelMake::new(1)
+            .build(&k, &BuildGraph::kernel_build(6))
+            .unwrap();
         assert_eq!(report.overlapped, 0, "one job never overlaps");
         assert_eq!(report.rules_run, 8);
     }
@@ -301,12 +340,30 @@ mod tests {
                 k.vfs().write_file(&format!("/out{i}"), b"x", c)
             });
         }
-        let report = ParallelMake::new(8).build(&k, &g);
+        let report = ParallelMake::new(8).build(&k, &g).unwrap();
         assert_eq!(report.rules_run, 16);
         assert!(
             report.overlapped > 0,
             "with 8 workers and yielding jobs some work overlaps"
         );
+    }
+
+    #[test]
+    fn failed_recipe_surfaces_typed_and_reaps_children() {
+        let k = Arc::new(Kernel::new(KernelChoice::Pk.config(2)));
+        let mut g = BuildGraph::new();
+        let missing = g.add("cc missing.o", vec![], |k, c| {
+            // Reads a source that was never laid out: permanent ENOENT.
+            k.vfs().read_file("/src/missing.c", c).map(|_| ())
+        });
+        g.add("ld after", vec![missing], |k, c| {
+            k.vfs().write_file("/never", b"x", c)
+        });
+        let err = ParallelMake::new(2).build(&k, &g).unwrap_err();
+        assert!(!err.is_transient(), "ENOENT is permanent: {err}");
+        // The dependent rule never ran and the failed child was reaped.
+        assert!(k.vfs().stat("/never", CoreId(0)).is_err());
+        assert_eq!(k.procs().len(), 1, "failed build leaked processes");
     }
 
     #[test]
@@ -321,7 +378,9 @@ mod tests {
         let mut images = Vec::new();
         for choice in [KernelChoice::Stock, KernelChoice::Pk] {
             let k = kernel_with_sources(choice, 4, 10);
-            ParallelMake::new(8).build(&k, &BuildGraph::kernel_build(10));
+            ParallelMake::new(8)
+                .build(&k, &BuildGraph::kernel_build(10))
+                .unwrap();
             images.push(k.vfs().read_file("/obj/vmlinux", CoreId(0)).unwrap());
         }
         assert_eq!(images[0], images[1]);

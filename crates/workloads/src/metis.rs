@@ -14,10 +14,12 @@
 //!   the reduce phase" (50.0 of 51.5 GB/s at 48 cores).
 
 use crate::common::KernelChoice;
-use pk_kernel::Kernel;
+use pk_fault::FaultPlane;
+use pk_kernel::{Kernel, KernelError};
 use pk_mapreduce::{InvertedIndex, MapReduce, MapReduceConfig, MemoryHook};
 use pk_mm::PageSize;
 use pk_sim::{CoreSweep, DramModel, MachineSpec, Network, Station, SweepPoint, WorkloadModel};
+use std::sync::Arc;
 
 /// Input size (§5.8).
 pub const INPUT_BYTES: u64 = 2 << 30;
@@ -76,8 +78,13 @@ pub struct MetisDriver {
 impl MetisDriver {
     /// Boots the variant's kernel.
     pub fn new(variant: MetisVariant, cores: usize) -> Self {
+        Self::with_faults(variant, cores, Arc::new(FaultPlane::disabled()))
+    }
+
+    /// Like [`MetisDriver::new`], with every substrate wired to `faults`.
+    pub fn with_faults(variant: MetisVariant, cores: usize, faults: Arc<FaultPlane>) -> Self {
         Self {
-            kernel: Kernel::new(variant.kernel().config(cores)),
+            kernel: Kernel::with_faults(variant.kernel().config(cores), faults),
             variant,
         }
     }
@@ -89,8 +96,9 @@ impl MetisDriver {
 
     /// Builds an inverted index over `docs` with `workers` workers,
     /// charging table memory through the mm substrate. Returns the
-    /// number of distinct terms.
-    pub fn run_job(&self, docs: &[String], workers: usize) -> usize {
+    /// number of distinct terms, or a typed (transient) error when the
+    /// table memory's page faults hit allocation failure.
+    pub fn run_job(&self, docs: &[String], workers: usize) -> Result<usize, KernelError> {
         let mr = MapReduce::new(MapReduceConfig {
             workers,
             memory: Some(MemoryHook {
@@ -99,7 +107,7 @@ impl MetisDriver {
                 bytes_per_pair: 64,
             }),
         });
-        mr.run(&InvertedIndex, docs).len()
+        Ok(mr.run(&InvertedIndex, docs)?.len())
     }
 }
 
@@ -230,13 +238,13 @@ mod tests {
             .map(|i| format!("{i}\tthe quick brown fox {i} jumps over lazy dogs"))
             .collect();
         let small = MetisDriver::new(MetisVariant::StockSmallPages, 2);
-        let terms = small.run_job(&docs, 2);
+        let terms = small.run_job(&docs, 2).unwrap();
         assert!(terms >= 8);
         let faults_4k = small.kernel().mm_stats().faults_4k.load(Ordering::Relaxed);
         assert!(faults_4k > 0);
 
         let big = MetisDriver::new(MetisVariant::PkSuperPages, 2);
-        let terms2 = big.run_job(&docs, 2);
+        let terms2 = big.run_job(&docs, 2).unwrap();
         assert_eq!(terms, terms2, "page size never changes results");
         let faults_2m = big.kernel().mm_stats().faults_2m.load(Ordering::Relaxed);
         assert!(faults_2m <= faults_4k);

@@ -13,6 +13,8 @@ use pk_fault::{FaultPlane, FaultSchedule};
 use pk_kernel::{Kernel, KernelError};
 use pk_percpu::CoreId;
 use pk_workloads::exim::EximDriver;
+use pk_workloads::gmake::GmakeDriver;
+use pk_workloads::metis::{MetisDriver, MetisVariant};
 use pk_workloads::pedsort_indexer::{load_final_index, Indexer};
 use pk_workloads::postgres::{PgVariant, PostgresDriver};
 use pk_workloads::KernelChoice;
@@ -156,6 +158,54 @@ fn pedsort_run_fails_typed_under_alloc_faults() {
     }
     faults.disable();
     assert!(faults.injected_total() > 0);
+}
+
+#[test]
+fn gmake_compile_fails_typed_under_fork_faults() {
+    // Boot fault-free, then make every other fork fail with EAGAIN —
+    // the path that used to `expect("fork cc")` inside `compile`.
+    let faults = Arc::new(FaultPlane::with_seed(31));
+    let d = GmakeDriver::with_faults(KernelChoice::Pk, 4, 8, Arc::clone(&faults)).unwrap();
+    faults.set("proc.fork_fail", FaultSchedule::EveryNth(2));
+    faults.enable();
+    let mut failed = 0;
+    for i in 0..8 {
+        if let Err(e) = d.compile(i % 4, i) {
+            assert!(e.is_transient(), "EAGAIN is transient: {e}");
+            failed += 1;
+        }
+    }
+    assert!(failed > 0, "EveryNth(2) across 8 forks must fire");
+    faults.disable();
+    // Failed forks leaked nothing; the build completes once the
+    // pressure lifts.
+    for i in 0..8 {
+        d.compile(i % 4, i).unwrap();
+    }
+    d.link(8).unwrap();
+    assert_eq!(d.kernel().procs().len(), 1, "compiler processes leaked");
+}
+
+#[test]
+fn metis_job_fails_typed_under_alloc_faults() {
+    // Every table-memory page fault hits an injected ENOMEM: the map
+    // phase must ferry the error out of its worker threads instead of
+    // `expect("table fault")`-ing inside them.
+    let faults = Arc::new(FaultPlane::with_seed(37));
+    let d = MetisDriver::with_faults(MetisVariant::StockSmallPages, 2, Arc::clone(&faults));
+    let docs: Vec<String> = (0..8)
+        .map(|i| format!("{i}\tthe quick brown fox {i} jumps over lazy dogs"))
+        .collect();
+    faults.set("mm.alloc_enomem", FaultSchedule::EveryNth(1));
+    faults.enable();
+    match d.run_job(&docs, 2) {
+        Ok(_) => panic!("every allocation was armed to fail"),
+        Err(e) => assert!(e.is_transient(), "ENOMEM is transient: {e}"),
+    }
+    faults.disable();
+    assert!(faults.injected_total() > 0);
+    // The same driver recovers once allocations succeed again.
+    assert!(d.run_job(&docs, 2).unwrap() >= 8);
 }
 
 #[test]

@@ -31,7 +31,7 @@ fn run(kernel: &Kernel, page_size: PageSize, label: &str) {
             bytes_per_pair: 256,
         }),
     });
-    let out = mr.run(&WordCount, &corpus());
+    let out = mr.run(&WordCount, &corpus()).expect("table memory");
     let the = out.iter().find(|(w, _)| w == "the").map(|(_, n)| *n);
     let stats = kernel.mm_stats();
     println!(
