@@ -55,8 +55,13 @@ pub struct DesResult {
     pub line_transfers: Vec<u64>,
 }
 
-/// Ordered event: (time, sequence, customer).
-type Event = (Reverse<u64>, u64, usize);
+/// Ordered event: (time, sequence, customer), wrapped so the max-heap
+/// pops the *smallest* `(time, seq)` first. The `seq` component makes
+/// the order total: simultaneous events dispatch FIFO (smallest
+/// sequence number first) — the canonical tie-break contract every
+/// engine must honour (see the `simultaneous_events_dispatch_fifo`
+/// regression test).
+type Event = Reverse<(u64, u64, usize)>;
 
 /// Per-customer progress.
 #[derive(Debug, Clone, Copy)]
@@ -312,12 +317,12 @@ pub fn simulate_traced(
             }
         }
         if let Some(t) = done {
-            events.push((Reverse(t), seq, c));
+            events.push(Reverse((t, seq, c)));
             seq += 1;
         }
     }
 
-    while let Some((Reverse(t), _, c)) = events.pop() {
+    while let Some(Reverse((t, _, c))) = events.pop() {
         now = t;
         let station = customers[c].station;
         if let Some(tr) = &trace {
@@ -354,7 +359,7 @@ pub fn simulate_traced(
                 if fault_preempt.should_inject() {
                     done += PREEMPT_CYCLES;
                 }
-                events.push((Reverse(done), seq, next_c));
+                events.push(Reverse((done, seq, next_c)));
                 seq += 1;
                 // next_c stays at the same station until its own departure.
             }
@@ -408,7 +413,7 @@ pub fn simulate_traced(
             }
         }
         if let Some(done) = done {
-            events.push((Reverse(done), seq, c));
+            events.push(Reverse((done, seq, c)));
             seq += 1;
         }
     }
@@ -539,6 +544,67 @@ mod tests {
             x48 < x8,
             "the simulated spin lock must collapse: x8={x8}, x48={x48}"
         );
+    }
+
+    #[test]
+    fn event_order_is_time_then_fifo_seq() {
+        // The canonical contract: smaller time first; at equal times,
+        // smaller sequence number first (FIFO dispatch). The original
+        // engine popped ties LIFO — largest seq first — which silently
+        // reversed every simultaneous handoff.
+        let mut heap: BinaryHeap<Event> = BinaryHeap::new();
+        heap.push(Reverse((5, 0, 10)));
+        heap.push(Reverse((5, 1, 11)));
+        heap.push(Reverse((3, 2, 12)));
+        heap.push(Reverse((5, 3, 13)));
+        let order: Vec<(u64, u64, usize)> = std::iter::from_fn(|| heap.pop().map(|e| e.0)).collect();
+        assert_eq!(order, [(3, 2, 12), (5, 0, 10), (5, 1, 11), (5, 3, 13)]);
+    }
+
+    #[test]
+    fn simultaneous_events_dispatch_fifo() {
+        // Demands so small every service clamps to exactly 1 cycle:
+        // all four customers finish the delay station at t=1
+        // simultaneously, so the queue station's first-come order is
+        // decided purely by the tie-break. FIFO hands the queue to
+        // customer 0 (dispatched first, smallest seq) and makes
+        // customer 3 wait the full 3 cycles; the old LIFO order did
+        // the exact opposite.
+        let mut net = Network::new();
+        net.push(Station::delay("u", 1e-12, false));
+        net.push(Station::queue("q", 1e-12, true));
+        let tracer = pk_trace::Tracer::new(4, 1 << 12);
+        simulate_traced(
+            &net,
+            4,
+            8,
+            1,
+            &pk_fault::FaultPlane::disabled(),
+            Some(&tracer),
+        );
+        let wait_class = pk_trace::intern::intern_span("q (wait)");
+        let first_wait = |track: u32, events: &[pk_trace::Event]| -> Option<(u64, u64)> {
+            let begin = events
+                .iter()
+                .find(|e| {
+                    e.track == track && e.class == wait_class && e.kind == EventKind::SpanBegin
+                })?
+                .ts;
+            let end = events
+                .iter()
+                .find(|e| e.track == track && e.class == wait_class && e.kind == EventKind::SpanEnd)?
+                .ts;
+            Some((begin, end))
+        };
+        let events = tracer.drain();
+        // Customer 0 reaches the free queue first: it never waits on
+        // its first visit (its first wait, if any, is on a later lap).
+        if let Some((begin, _)) = first_wait(0, &events) {
+            assert!(begin > 1, "customer 0 queued on its first visit");
+        }
+        // Customer 3 arrives last at t=1 and waits behind 1 and 2.
+        let (begin, end) = first_wait(3, &events).expect("customer 3 must queue");
+        assert_eq!((begin, end), (1, 4), "FIFO makes the last arrival wait 3");
     }
 
     #[test]
