@@ -8,14 +8,20 @@
 //!
 //! ```text
 //! contention_report [WORKLOAD] [stock|pk] [CORES] [--top N] [--all] [--no-des] [--functional]
+//!                   [--topology SxC]
 //! ```
+//!
+//! `--topology 16x12` swaps in a scaled machine (16 sockets × 12
+//! cores), so `CORES` may range up to 192 — the §7 "past 48 cores"
+//! extrapolation. Oversubscribing the topology is a config error.
 //!
 //! Defaults: Exim on the stock kernel at 48 cores, top 10 — the
 //! configuration behind Figure 4's collapse, whose report must name
 //! the vfsmount-table lock first.
 
-use pk_bench::{contention_report, contention_report_des, header};
+use pk_bench::{contention_report_des_on, contention_report_on, header};
 use pk_percpu::CoreId;
+use pk_sim::MachineSpec;
 use pk_workloads::exim::EximDriver;
 use pk_workloads::{roster, KernelChoice};
 
@@ -25,7 +31,7 @@ const DES_SEED: u64 = 42;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: contention_report [WORKLOAD] [stock|pk] [CORES] [--top N] [--all] [--no-des] [--functional]"
+        "usage: contention_report [WORKLOAD] [stock|pk] [CORES] [--top N] [--all] [--no-des] [--functional] [--topology SxC]"
     );
     eprintln!("workloads: {}", roster::NAMES.join(", "));
     std::process::exit(2);
@@ -39,6 +45,7 @@ struct Args {
     all: bool,
     des: bool,
     functional: bool,
+    machine: MachineSpec,
 }
 
 fn parse_args() -> Args {
@@ -50,6 +57,7 @@ fn parse_args() -> Args {
         all: false,
         des: true,
         functional: false,
+        machine: MachineSpec::paper(),
     };
     let mut positional = 0;
     let mut raw = std::env::args().skip(1);
@@ -62,6 +70,13 @@ fn parse_args() -> Args {
                     .unwrap_or_else(|| usage());
             }
             "--all" => args.all = true,
+            "--topology" => {
+                let spec = raw.next().unwrap_or_else(|| usage());
+                args.machine = MachineSpec::parse_topology(&spec).unwrap_or_else(|e| {
+                    eprintln!("contention_report: {e}");
+                    std::process::exit(2)
+                });
+            }
             "--no-des" => args.des = false,
             "--functional" => args.functional = true,
             "--help" | "-h" => usage(),
@@ -85,8 +100,15 @@ fn parse_args() -> Args {
     args
 }
 
-fn report_one(workload: &str, choice: KernelChoice, cores: usize, top: usize, des: bool) {
-    let Some(analytic) = contention_report(workload, choice, cores) else {
+fn report_one(
+    workload: &str,
+    choice: KernelChoice,
+    cores: usize,
+    top: usize,
+    des: bool,
+    machine: MachineSpec,
+) {
+    let Some(analytic) = contention_report_on(workload, choice, cores, machine) else {
         eprintln!("unknown workload: {workload}");
         usage();
     };
@@ -99,8 +121,9 @@ fn report_one(workload: &str, choice: KernelChoice, cores: usize, top: usize, de
         );
     }
     if des {
-        let measured = contention_report_des(workload, choice, cores, DES_OPS_PER_CORE, DES_SEED)
-            .expect("same roster as the analytic report");
+        let measured =
+            contention_report_des_on(workload, choice, cores, DES_OPS_PER_CORE, DES_SEED, machine)
+                .expect("same roster as the analytic report");
         println!("cross-check — discrete-event measurement (seed {DES_SEED}):");
         println!("{}", measured.render(top));
     }
@@ -132,6 +155,10 @@ fn functional_exim(choice: KernelChoice, cores: usize) {
 
 fn main() {
     let args = parse_args();
+    if let Err(e) = args.machine.validate_cores(args.cores) {
+        eprintln!("contention_report: {e}");
+        std::process::exit(2);
+    }
     if args.all {
         for workload in roster::NAMES {
             for choice in [KernelChoice::Stock, KernelChoice::Pk] {
@@ -139,11 +166,25 @@ fn main() {
                     &format!("{workload} / {}", choice.label()),
                     "cycle attribution from the MVA solve",
                 );
-                report_one(workload, choice, args.cores, args.top, args.des);
+                report_one(
+                    workload,
+                    choice,
+                    args.cores,
+                    args.top,
+                    args.des,
+                    args.machine,
+                );
             }
         }
     } else {
-        report_one(&args.workload, args.choice, args.cores, args.top, args.des);
+        report_one(
+            &args.workload,
+            args.choice,
+            args.cores,
+            args.top,
+            args.des,
+            args.machine,
+        );
         if args.functional && args.workload.eq_ignore_ascii_case("exim") {
             functional_exim(args.choice, args.cores);
         }

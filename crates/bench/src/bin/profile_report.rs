@@ -18,6 +18,7 @@
 
 use pk_bench::profile;
 use pk_percpu::CoreId;
+use pk_sim::MachineSpec;
 use pk_workloads::exim::EximDriver;
 use pk_workloads::{roster, KernelChoice};
 
@@ -27,6 +28,7 @@ fn main() {
     let mut ops = profile::OPS_PER_CORE;
     let mut json_path = "profile_report.json".to_string();
     let mut perfetto_path = "exim_stock.trace.json".to_string();
+    let mut machine = MachineSpec::paper();
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -40,14 +42,25 @@ fn main() {
             "--ops" => ops = val("--ops").parse().expect("--ops takes a count"),
             "--json" => json_path = val("--json"),
             "--perfetto" => perfetto_path = val("--perfetto"),
+            "--topology" => {
+                machine = MachineSpec::parse_topology(&val("--topology")).unwrap_or_else(|e| {
+                    eprintln!("profile_report: {e}");
+                    std::process::exit(2)
+                })
+            }
             other => {
                 eprintln!(
                     "unknown arg {other}; usage: profile_report [--seed N] [--cores N] \
-                     [--ops N] [--json PATH] [--perfetto PATH]"
+                     [--ops N] [--json PATH] [--perfetto PATH] [--topology SxC]"
                 );
                 std::process::exit(2);
             }
         }
+    }
+
+    if let Err(e) = machine.validate_cores(cores) {
+        eprintln!("profile_report: {e}");
+        std::process::exit(2);
     }
 
     pk_bench::header(
@@ -60,8 +73,8 @@ fn main() {
     let mut exim_stock_events = Vec::new();
     for name in roster::NAMES {
         for choice in [KernelChoice::Stock, KernelChoice::Pk] {
-            let (attr, events) =
-                profile::run_traced(name, choice, cores, ops, seed).expect("roster name resolves");
+            let (attr, events) = profile::run_traced_on(name, choice, cores, ops, seed, machine)
+                .expect("roster name resolves");
             println!("--- {name} / {} ---", attr.config);
             print!("{}", attr.table);
             if attr.dropped_events > 0 {

@@ -4,6 +4,7 @@
 //!
 //! ```text
 //! scalebench [--seed N] [--out PATH] [--check PATH] [--no-live]
+//!            [--check-engine PATH] [--no-engine]
 //! ```
 //!
 //! * Default: compute the deterministic metric set for `--seed`
@@ -14,6 +15,15 @@
 //! * `--check PATH`: recompute the metrics and diff them against the
 //!   committed baseline at `PATH`; exits 1 on any key drift or a >10%
 //!   regression in a cycles metric. Skips the live benches.
+//! * `--check-engine PATH`: time the calendar-queue DES engine over
+//!   the 48-core roster and compare events/sec against the committed
+//!   floor baseline at `PATH` (`BENCH_engine.json`); exits 1 if the
+//!   measured rate regresses more than 20% below the floor. Runs only
+//!   the engine timing — no metrics, no microbenches.
+//!
+//! The default run also prints live engine-throughput rows: the wheel
+//! engine vs the `BinaryHeap` reference oracle over the 48-core
+//! roster, with the speedup ratio (wall-clock — never in the JSON).
 
 use pk_bench::scale;
 use pk_percpu::CoreId;
@@ -22,16 +32,30 @@ use std::sync::Arc;
 use std::time::Instant;
 
 fn usage() -> ! {
-    eprintln!("usage: scalebench [--seed N] [--out PATH] [--check PATH] [--no-live]");
+    eprintln!(
+        "usage: scalebench [--seed N] [--out PATH] [--check PATH] [--no-live] \
+         [--check-engine PATH] [--no-engine]"
+    );
     std::process::exit(2)
 }
+
+/// Ops/core for the engine-timing rows: enough events (~3.9M over the
+/// roster) for a stable rate, small enough that the heap oracle leg
+/// stays under a few seconds.
+const ENGINE_TIMING_OPS: u64 = 500;
+
+/// A measured rate this far below the committed floor fails the CI
+/// smoke (the issue's 20% budget).
+const ENGINE_REGRESSION_BUDGET: f64 = 0.20;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut seed: u64 = 42;
     let mut out = "BENCH_scale.json".to_string();
     let mut check: Option<String> = None;
+    let mut check_engine: Option<String> = None;
     let mut live = true;
+    let mut engine_rows = true;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -41,9 +65,16 @@ fn main() {
             },
             "--out" => out = it.next().unwrap_or_else(|| usage()).clone(),
             "--check" => check = Some(it.next().unwrap_or_else(|| usage()).clone()),
+            "--check-engine" => check_engine = Some(it.next().unwrap_or_else(|| usage()).clone()),
             "--no-live" => live = false,
+            "--no-engine" => engine_rows = false,
             _ => usage(),
         }
+    }
+
+    if let Some(baseline_path) = check_engine {
+        check_engine_throughput(&baseline_path, seed);
+        return;
     }
 
     // Deterministic half first: the rcu.* counter deltas it reads are
@@ -96,8 +127,81 @@ fn main() {
     );
     report_stall_headline(&metrics);
 
+    if engine_rows {
+        engine_throughput_rows(seed);
+    }
+
     if live {
         live_microbenches(4);
+    }
+}
+
+/// Prints the wheel-vs-heap live timing rows over the 48-core roster.
+/// Both engines replay the identical seeded schedule, so the event
+/// counts match and the ratio is a pure engine speedup.
+fn engine_throughput_rows(seed: u64) {
+    println!(
+        "
+DES engine throughput (48-core roster, {ENGINE_TIMING_OPS} ops/core, wall-clock — not in JSON):"
+    );
+    let wheel = scale::time_roster_engine(scale::Engine::Wheel, ENGINE_TIMING_OPS, seed);
+    let heap = scale::time_roster_engine(scale::Engine::ReferenceHeap, ENGINE_TIMING_OPS, seed);
+    assert_eq!(
+        wheel.events, heap.events,
+        "engines must process identical schedules"
+    );
+    for (e, t) in [
+        (scale::Engine::Wheel, &wheel),
+        (scale::Engine::ReferenceHeap, &heap),
+    ] {
+        println!(
+            "  {:<26} {:>12.0} events/sec  ({} events in {:.3}s)",
+            e.label(),
+            t.events_per_sec(),
+            t.events,
+            t.secs
+        );
+    }
+    println!(
+        "  speedup: {:.1}x",
+        wheel.events_per_sec() / heap.events_per_sec()
+    );
+}
+
+/// The CI engine-throughput smoke: measure the wheel engine and fail
+/// if it regresses more than 20% below the committed floor. The floor
+/// in `BENCH_engine.json` is deliberately conservative (about half a
+/// warm local run) so shared-runner noise does not flap the gate while
+/// a real structural regression — an accidental O(n) scan or per-event
+/// allocation in the hot loop — still trips it.
+fn check_engine_throughput(baseline_path: &str, seed: u64) {
+    let baseline = std::fs::read_to_string(baseline_path).unwrap_or_else(|e| {
+        eprintln!("scalebench: cannot read engine baseline {baseline_path}: {e}");
+        std::process::exit(1)
+    });
+    let floor = scale::Metrics::parse_json(&baseline)
+        .ok()
+        .and_then(|m| {
+            m.get("engine.wheel.events_per_sec.floor")?
+                .parse::<f64>()
+                .ok()
+        })
+        .unwrap_or_else(|| {
+            eprintln!("scalebench: {baseline_path} lacks engine.wheel.events_per_sec.floor");
+            std::process::exit(1)
+        });
+    let t = scale::time_roster_engine(scale::Engine::Wheel, ENGINE_TIMING_OPS, seed);
+    let measured = t.events_per_sec();
+    let limit = floor * (1.0 - ENGINE_REGRESSION_BUDGET);
+    println!(
+        "engine smoke: wheel {measured:.0} events/sec vs committed floor {floor:.0}          (fail below {limit:.0})"
+    );
+    if measured < limit {
+        eprintln!(
+            "scalebench --check-engine FAILED: {measured:.0} events/sec is more than              {:.0}% below the committed floor {floor:.0}",
+            ENGINE_REGRESSION_BUDGET * 100.0
+        );
+        std::process::exit(1);
     }
 }
 

@@ -38,7 +38,22 @@ pub fn contention_report(
     choice: KernelChoice,
     cores: usize,
 ) -> Option<ContentionReport> {
-    let model = pk_workloads::roster::model(workload, choice)?;
+    contention_report_on(workload, choice, cores, pk_sim::MachineSpec::paper())
+}
+
+/// [`contention_report`] on an arbitrary machine topology. `cores`
+/// must fit `machine` (callers validate and surface the typed
+/// [`pk_sim::TopologyError`] before getting here).
+pub fn contention_report_on(
+    workload: &str,
+    choice: KernelChoice,
+    cores: usize,
+    machine: pk_sim::MachineSpec,
+) -> Option<ContentionReport> {
+    machine
+        .validate_cores(cores)
+        .expect("core count validated by the caller");
+    let model = pk_workloads::roster::model_on(workload, choice, machine)?;
     let solved = model.network(cores).solve(cores);
     Some(ContentionReport::from_snapshot(
         display_name(&model.name()),
@@ -59,7 +74,29 @@ pub fn contention_report_des(
     ops_per_core: u64,
     seed: u64,
 ) -> Option<ContentionReport> {
-    let model = pk_workloads::roster::model(workload, choice)?;
+    contention_report_des_on(
+        workload,
+        choice,
+        cores,
+        ops_per_core,
+        seed,
+        pk_sim::MachineSpec::paper(),
+    )
+}
+
+/// [`contention_report_des`] on an arbitrary machine topology.
+pub fn contention_report_des_on(
+    workload: &str,
+    choice: KernelChoice,
+    cores: usize,
+    ops_per_core: u64,
+    seed: u64,
+    machine: pk_sim::MachineSpec,
+) -> Option<ContentionReport> {
+    machine
+        .validate_cores(cores)
+        .expect("core count validated by the caller");
+    let model = pk_workloads::roster::model_on(workload, choice, machine)?;
     let net = model.network(cores);
     let measured = pk_sim::des::simulate(&net, cores, ops_per_core, seed);
     Some(ContentionReport::from_snapshot(

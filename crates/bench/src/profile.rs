@@ -95,7 +95,34 @@ pub fn run_traced(
     ops_per_core: u64,
     seed: u64,
 ) -> Option<(WorkloadAttribution, Vec<Event>)> {
-    let model = roster::model(workload, choice)?;
+    run_traced_on(
+        workload,
+        choice,
+        cores,
+        ops_per_core,
+        seed,
+        pk_sim::MachineSpec::paper(),
+    )
+}
+
+/// [`run_traced`] on an arbitrary machine topology.
+///
+/// # Panics
+///
+/// Panics if `cores` oversubscribes `machine` — callers (the report
+/// binaries) validate the pair up front and print the typed error.
+pub fn run_traced_on(
+    workload: &str,
+    choice: KernelChoice,
+    cores: usize,
+    ops_per_core: u64,
+    seed: u64,
+    machine: pk_sim::MachineSpec,
+) -> Option<(WorkloadAttribution, Vec<Event>)> {
+    machine
+        .validate_cores(cores)
+        .expect("core count validated by the caller");
+    let model = roster::model_on(workload, choice, machine)?;
     let net = model.network(cores);
     let tracer = Tracer::new(cores, ring_capacity(ops_per_core, net.stations().len()));
     pk_sim::des::simulate_traced(

@@ -27,7 +27,8 @@ use std::fmt::Write as _;
 
 /// Bumped whenever the metric set changes shape, so a `--check` against
 /// a stale baseline fails loudly instead of silently skipping keys.
-pub const SCHEMA_VERSION: u64 = 1;
+/// v2: added `topo.*` large-topology rows (16×12 / 192 cores).
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// Allowed relative growth in a `*cycles*` metric before `--check`
 /// calls it a regression (the issue's 10% budget).
@@ -294,6 +295,32 @@ pub fn deterministic_metrics(seed: u64) -> Metrics {
         }
     }
 
+    // Large-topology extrapolation rows (§7): the same roster on a
+    // 16×12 machine at its full 192 cores — deterministic MVA plus one
+    // seeded DES cross-check per kernel on the headline workload. These
+    // keep the sweepable-topology path pinned byte-identically, and the
+    // wheel engine makes the 192-core DES runs cheap enough for CI.
+    let big = pk_sim::MachineSpec::with_topology(16, 12).expect("16x12 is a valid topology");
+    for name in roster::NAMES {
+        for (choice, label) in [(KernelChoice::Stock, "stock"), (KernelChoice::Pk, "pk")] {
+            let model = roster::model_on(name, choice, big).expect("roster name resolves");
+            let p = CoreSweep::try_point(model.as_ref(), 192)
+                .expect("192 cores fit the 16x12 topology");
+            m.put_f64(
+                &format!("topo.16x12.{name}.{label}.c192.per_core_per_sec"),
+                p.per_core_per_sec,
+            );
+        }
+    }
+    for (choice, label) in [(KernelChoice::Stock, "stock"), (KernelChoice::Pk, "pk")] {
+        let model = roster::model_on("exim", choice, big).expect("exim resolves");
+        let net = model.network(192);
+        let r = des::simulate(&net, 192, 1_000, seed);
+        let prefix = format!("topo.16x12.exim.{label}.des.c192");
+        m.put_f64(&format!("{prefix}.cycles_per_op"), r.cycles_per_op);
+        m.put_u64(&format!("{prefix}.events"), r.events_processed);
+    }
+
     // Writer-stall phases: the same churn under blocking synchronize()
     // and deferred call_rcu, on every converted substrate.
     type StallPhase = (&'static str, fn(bool, usize) -> StallRow, usize);
@@ -429,6 +456,69 @@ pub fn check_report(baseline_text: &str, current: &Metrics) -> CheckReport {
 /// callers that only need pass/fail plus printable lines.
 pub fn check_against_baseline(baseline_text: &str, current: &Metrics) -> Vec<String> {
     check_report(baseline_text, current).failures()
+}
+
+/// Which DES implementation to time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Engine {
+    /// The calendar-queue fast engine (the production path).
+    Wheel,
+    /// The `BinaryHeap` differential oracle (`pk_sim::des::reference`).
+    ReferenceHeap,
+}
+
+impl Engine {
+    /// Row label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Wheel => "wheel (calendar queue)",
+            Self::ReferenceHeap => "reference (binary heap)",
+        }
+    }
+}
+
+/// One wall-clock engine measurement. Lives on the **live** side of
+/// the determinism split: printed, never persisted into
+/// `BENCH_scale.json` (the committed engine baseline is a hand-set
+/// floor, not a recorded measurement).
+#[derive(Debug, Clone, Copy)]
+pub struct EngineTiming {
+    /// Events the engine dispatched.
+    pub events: u64,
+    /// Wall-clock seconds.
+    pub secs: f64,
+}
+
+impl EngineTiming {
+    /// The headline rate.
+    pub fn events_per_sec(&self) -> f64 {
+        self.events as f64 / self.secs.max(1e-9)
+    }
+}
+
+/// Times one engine over the full 48-core roster (both kernels): the
+/// workload mix scalebench's speedup row and the CI throughput smoke
+/// both quote. Identical `(seed, ops)` on either engine simulates the
+/// identical schedule, so the event counts match and the ratio is a
+/// pure engine comparison.
+pub fn time_roster_engine(engine: Engine, ops_per_core: u64, seed: u64) -> EngineTiming {
+    let mut events = 0u64;
+    let start = std::time::Instant::now();
+    for name in roster::NAMES {
+        for choice in [KernelChoice::Stock, KernelChoice::Pk] {
+            let model = roster::model(name, choice).expect("roster name resolves");
+            let net = model.network(48);
+            let r = match engine {
+                Engine::Wheel => des::simulate(&net, 48, ops_per_core, seed),
+                Engine::ReferenceHeap => des::reference::simulate(&net, 48, ops_per_core, seed),
+            };
+            events += r.events_processed;
+        }
+    }
+    EngineTiming {
+        events,
+        secs: start.elapsed().as_secs_f64(),
+    }
 }
 
 #[cfg(test)]

@@ -12,30 +12,47 @@
 //! slows the holder, so the service time drawn at dispatch is inflated
 //! by the queue length at that instant — the same load-dependence the
 //! MVA extension models.
+//!
+//! # Two engines, one schedule
+//!
+//! The public entry points run the **fast engine**: a calendar-queue
+//! event wheel ([`wheel::EventWheel`]) that drains one bucket-width
+//! window of simulated time at a time as a sorted batch, over
+//! struct-of-arrays hot state (per-station and per-customer fields in
+//! parallel vectors, station FIFO queues as an intrusive index-linked
+//! list — no per-event allocation anywhere in the loop). The
+//! [`reference`] module keeps the original `BinaryHeap` engine as the
+//! differential oracle: both engines process events in the canonical
+//! `(time, seq)` order — FIFO among simultaneous events — draw from
+//! the service-time RNG at identical points, and consult the fault
+//! plane at identical points, so for any `(net, cores, ops, seed,
+//! faults)` they produce byte-identical results and event traces
+//! (`tests/engine_equivalence.rs` pins this; see `DESIGN.md` §11).
+
+pub mod reference;
+pub mod wheel;
 
 use crate::mva::{Network, StationKind};
 use pk_fault::{FaultPlane, FaultPoint};
 use pk_trace::{EventKind, Tracer};
 use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-use std::collections::VecDeque;
+use rand::{RngCore, SeedableRng};
+use wheel::{EventWheel, WheelEvent};
 
 /// Extra cycles a lock holder loses when the `sim.lock_holder_preempt`
 /// fault fires at a service start: the holder is descheduled mid
 /// critical section and every waiter spins for the full quantum. The
 /// magnitude is a scheduler timeslice in cycles, dwarfing any service
 /// demand in the roster networks.
-const PREEMPT_CYCLES: u64 = 50_000;
+pub(crate) const PREEMPT_CYCLES: u64 = 50_000;
 
 /// Extra cycles a core loses when the `sim.core_stall` fault fires at a
 /// dispatch: the core is stalled (interrupt storm, SMI, thermal event)
 /// before it reaches the station.
-const STALL_CYCLES: u64 = 10_000;
+pub(crate) const STALL_CYCLES: u64 = 10_000;
 
 /// Result of one simulation run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DesResult {
     /// Measured throughput in operations per cycle (post-warmup).
     pub ops_per_cycle: f64,
@@ -53,53 +70,131 @@ pub struct DesResult {
     /// one per enqueue at a non-scalable lock (the waiter pulls the
     /// line to poll it — the traffic behind the collapse factor).
     pub line_transfers: Vec<u64>,
+    /// Events the engine dispatched (station departures processed) —
+    /// the denominator of the wall-clock events/sec rows `scalebench`
+    /// prints. Identical across engines for the same inputs.
+    pub events_processed: u64,
 }
 
-/// Ordered event: (time, sequence, customer), wrapped so the max-heap
-/// pops the *smallest* `(time, seq)` first. The `seq` component makes
-/// the order total: simultaneous events dispatch FIFO (smallest
-/// sequence number first) — the canonical tie-break contract every
-/// engine must honour (see the `simultaneous_events_dispatch_fifo`
-/// regression test).
-type Event = Reverse<(u64, u64, usize)>;
-
-/// Per-customer progress.
-#[derive(Debug, Clone, Copy)]
-struct Customer {
-    station: usize,
-    ops_done: u64,
-    op_start: u64,
+/// Draws an exponential service time with the given mean, clamped to
+/// at least one cycle. Both engines call this at the same points, so
+/// the RNG streams stay aligned. The uniform draw inlines the vendored
+/// `rand` `f64` sampling (53 mantissa bits) without the `dyn RngCore`
+/// hop `Rng::gen` takes — identical bits, fewer indirect calls.
+#[inline]
+pub(crate) fn service(rng: &mut SmallRng, mean: f64) -> u64 {
+    let u = ((rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)).max(1e-12);
+    (-mean * u.ln()).max(1.0) as u64
 }
 
-/// Per-station runtime state.
-#[derive(Debug)]
-struct StationState {
-    busy: bool,
-    /// Waiters with their enqueue times.
-    queue: VecDeque<(usize, u64)>,
-    queue_len_samples: f64,
-    samples: u64,
-    /// Total cycles waiters spent queued (enqueue → service start).
-    wait_cycles: u64,
-    /// Service starts, for per-visit wait averaging.
-    service_starts: u64,
-    /// Cache-line transfers (owner changes + non-scalable polling).
-    transfers: u64,
-    /// Core whose cache last held the station's line.
-    last_owner: Option<usize>,
+/// Adds to a saturating `u64` accumulator. At 1024 simulated cores a
+/// long soak can push raw counters (line transfers, queue-length
+/// sample sums) toward `u64::MAX`; wrapping would silently corrupt
+/// every derived mean, so debug builds assert and release builds pin
+/// at the ceiling.
+#[inline]
+pub(crate) fn add_sat(acc: &mut u64, delta: u64) {
+    debug_assert!(
+        acc.checked_add(delta).is_some(),
+        "u64 cycle accumulator overflow: {acc} + {delta}"
+    );
+    *acc = acc.saturating_add(delta);
 }
 
-impl StationState {
-    /// Charges the coherence cost of customer `c` starting service.
-    fn start_service(&mut self, c: usize, nonscalable_waiters: usize) {
-        self.service_starts += 1;
-        if self.last_owner != Some(c) {
-            self.transfers += 1;
+/// Span classes for one traced simulation, interned up front so the
+/// event loop records bare `u32`s.
+pub(crate) struct SimTrace<'a> {
+    tracer: &'a Tracer,
+    /// `des.op` — one root span per operation (end-to-end latency).
+    op_class: u32,
+    /// Per station: (service span, queue-wait child span). The wait
+    /// class shares the station's name plus a ` (wait)` suffix, so a
+    /// substring match on the station name (e.g. `vfsmount`) catches
+    /// both holding and waiting cycles.
+    station_classes: Vec<(u32, u32)>,
+}
+
+impl<'a> SimTrace<'a> {
+    pub(crate) fn new(tracer: &'a Tracer, stations: &[crate::mva::Station]) -> Self {
+        Self {
+            tracer,
+            op_class: pk_trace::intern::intern_span("des.op"),
+            station_classes: stations
+                .iter()
+                .map(|st| {
+                    (
+                        pk_trace::intern::intern_span(st.name),
+                        pk_trace::intern::intern_span(&format!("{} (wait)", st.name)),
+                    )
+                })
+                .collect(),
         }
-        self.last_owner = Some(c);
-        // Every waiter polling a non-scalable lock pulls the line
-        // away from the new holder at least once per handoff.
-        self.transfers += nonscalable_waiters as u64;
+    }
+
+    pub(crate) fn begin(&self, track: usize, ts: u64, class: u32) {
+        self.tracer
+            .record_at(track, ts, EventKind::SpanBegin, class, 0, 0);
+    }
+
+    pub(crate) fn end(&self, track: usize, ts: u64, class: u32) {
+        self.tracer
+            .record_at(track, ts, EventKind::SpanEnd, class, 0, 0);
+    }
+}
+
+/// Trace hooks the engine loop calls. The no-op implementation compiles
+/// to nothing, so the untraced hot loop carries no `Option` checks.
+pub(crate) trait TraceSink {
+    fn op_begin(&self, track: usize, ts: u64);
+    fn op_end(&self, track: usize, ts: u64);
+    fn station_begin(&self, track: usize, ts: u64, station: usize);
+    fn station_end(&self, track: usize, ts: u64, station: usize);
+    fn wait_begin(&self, track: usize, ts: u64, station: usize);
+    fn wait_end(&self, track: usize, ts: u64, station: usize);
+}
+
+/// The zero-cost sink for untraced runs.
+pub(crate) struct NoTrace;
+
+impl TraceSink for NoTrace {
+    #[inline(always)]
+    fn op_begin(&self, _: usize, _: u64) {}
+    #[inline(always)]
+    fn op_end(&self, _: usize, _: u64) {}
+    #[inline(always)]
+    fn station_begin(&self, _: usize, _: u64, _: usize) {}
+    #[inline(always)]
+    fn station_end(&self, _: usize, _: u64, _: usize) {}
+    #[inline(always)]
+    fn wait_begin(&self, _: usize, _: u64, _: usize) {}
+    #[inline(always)]
+    fn wait_end(&self, _: usize, _: u64, _: usize) {}
+}
+
+impl TraceSink for SimTrace<'_> {
+    #[inline]
+    fn op_begin(&self, track: usize, ts: u64) {
+        self.begin(track, ts, self.op_class);
+    }
+    #[inline]
+    fn op_end(&self, track: usize, ts: u64) {
+        self.end(track, ts, self.op_class);
+    }
+    #[inline]
+    fn station_begin(&self, track: usize, ts: u64, station: usize) {
+        self.begin(track, ts, self.station_classes[station].0);
+    }
+    #[inline]
+    fn station_end(&self, track: usize, ts: u64, station: usize) {
+        self.end(track, ts, self.station_classes[station].0);
+    }
+    #[inline]
+    fn wait_begin(&self, track: usize, ts: u64, station: usize) {
+        self.begin(track, ts, self.station_classes[station].1);
+    }
+    #[inline]
+    fn wait_end(&self, track: usize, ts: u64, station: usize) {
+        self.end(track, ts, self.station_classes[station].1);
     }
 }
 
@@ -142,47 +237,6 @@ pub fn simulate_with_faults(
     simulate_traced(net, cores, ops_per_core, seed, faults, None)
 }
 
-/// Span classes for one traced simulation, interned up front so the
-/// event loop records bare `u32`s.
-struct SimTrace<'a> {
-    tracer: &'a Tracer,
-    /// `des.op` — one root span per operation (end-to-end latency).
-    op_class: u32,
-    /// Per station: (service span, queue-wait child span). The wait
-    /// class shares the station's name plus a ` (wait)` suffix, so a
-    /// substring match on the station name (e.g. `vfsmount`) catches
-    /// both holding and waiting cycles.
-    station_classes: Vec<(u32, u32)>,
-}
-
-impl<'a> SimTrace<'a> {
-    fn new(tracer: &'a Tracer, stations: &[crate::mva::Station]) -> Self {
-        Self {
-            tracer,
-            op_class: pk_trace::intern::intern_span("des.op"),
-            station_classes: stations
-                .iter()
-                .map(|st| {
-                    (
-                        pk_trace::intern::intern_span(st.name),
-                        pk_trace::intern::intern_span(&format!("{} (wait)", st.name)),
-                    )
-                })
-                .collect(),
-        }
-    }
-
-    fn begin(&self, track: usize, ts: u64, class: u32) {
-        self.tracer
-            .record_at(track, ts, EventKind::SpanBegin, class, 0, 0);
-    }
-
-    fn end(&self, track: usize, ts: u64, class: u32) {
-        self.tracer
-            .record_at(track, ts, EventKind::SpanEnd, class, 0, 0);
-    }
-}
-
 /// [`simulate_with_faults`] plus **sim-domain** tracing: when `tracer`
 /// is `Some`, every customer gets a track (track = customer index)
 /// carrying a root `des.op` span per operation, a span per station
@@ -200,61 +254,150 @@ pub fn simulate_traced(
     tracer: Option<&Tracer>,
 ) -> DesResult {
     assert!(cores > 0, "need at least one core");
-    let stations = net.stations();
-    assert!(!stations.is_empty(), "need at least one station");
-    let trace = tracer.map(|t| SimTrace::new(t, stations));
-    let fault_preempt = faults.point("sim.lock_holder_preempt");
-    let fault_stall = faults.point("sim.core_stall");
-    let mut rng = SmallRng::seed_from_u64(seed);
-    let mut state: Vec<StationState> = stations
-        .iter()
-        .map(|_| StationState {
-            busy: false,
-            queue: VecDeque::new(),
-            queue_len_samples: 0.0,
-            samples: 0,
-            wait_cycles: 0,
-            service_starts: 0,
-            transfers: 0,
-            last_owner: None,
-        })
-        .collect();
-    let mut customers: Vec<Customer> = (0..cores)
-        .map(|_| Customer {
-            station: 0,
-            ops_done: 0,
-            op_start: 0,
-        })
-        .collect();
+    assert!(!net.stations().is_empty(), "need at least one station");
+    match tracer {
+        Some(t) => run(
+            net,
+            cores,
+            ops_per_core,
+            seed,
+            faults,
+            &SimTrace::new(t, net.stations()),
+        ),
+        None => run(net, cores, ops_per_core, seed, faults, &NoTrace),
+    }
+}
 
-    let warmup_ops = (ops_per_core / 5).max(1);
-    let total_ops = ops_per_core + warmup_ops;
-    let mut events: BinaryHeap<Event> = BinaryHeap::new();
-    let mut seq = 0u64;
-    let mut now = 0u64;
-    let mut measured_ops = 0u64;
-    let mut measured_cycles = 0u64;
-    let mut warmup_end_time = 0u64;
-    let mut finished = 0usize;
+/// Sentinel for "no customer" in the intrusive queue links and "no
+/// owner" in the cache-line ownership column.
+const NONE: u32 = u32::MAX;
 
-    // Draw an exponential service time with the given mean.
-    let mut service = |rng: &mut SmallRng, mean: f64| -> u64 {
-        let u: f64 = rng.gen::<f64>().max(1e-12);
-        (-mean * u.ln()).max(1.0) as u64
-    };
+/// The engine's hot state, struct-of-arrays: every per-station and
+/// per-customer field lives in its own dense vector so the event loop
+/// touches only the cache lines it needs. Station wait queues are an
+/// intrusive FIFO over `qnext` (each customer queues at most once, so
+/// one link per customer is a complete slab — no allocation per
+/// enqueue, ever).
+struct Hot {
+    // Stations.
+    kind: Vec<StationKind>,
+    demand: Vec<f64>,
+    busy: Vec<bool>,
+    qhead: Vec<u32>,
+    qtail: Vec<u32>,
+    qlen: Vec<u32>,
+    /// Exact integer sum of departure-sampled queue lengths. An `f64`
+    /// running sum silently loses precision past 2^53; the integer sum
+    /// is exact (and saturates loudly via [`add_sat`]).
+    qlen_sum: Vec<u64>,
+    samples: Vec<u64>,
+    /// 128-bit: 1024 cores × multi-billion-cycle soaks can push the
+    /// summed wait past `u64::MAX`.
+    wait_cycles: Vec<u128>,
+    service_starts: Vec<u64>,
+    transfers: Vec<u64>,
+    last_owner: Vec<u32>,
+    // Customers.
+    cust_station: Vec<u32>,
+    cust_ops: Vec<u64>,
+    cust_op_start: Vec<u64>,
+    qnext: Vec<u32>,
+    enq_at: Vec<u64>,
+    rng: SmallRng,
+}
 
-    // Dispatch customer `c` into its current station at time `now`.
-    // Returns the (possibly stall-shifted) arrival time and, when
-    // service started immediately, the completion time (`None` means
-    // the customer queued).
-    #[allow(clippy::too_many_arguments)]
+impl Hot {
+    fn new(net: &Network, cores: usize, seed: u64) -> Self {
+        let stations = net.stations();
+        let n = stations.len();
+        Self {
+            kind: stations.iter().map(|s| s.kind).collect(),
+            demand: stations.iter().map(|s| s.demand_cycles).collect(),
+            busy: vec![false; n],
+            qhead: vec![NONE; n],
+            qtail: vec![NONE; n],
+            qlen: vec![0; n],
+            qlen_sum: vec![0; n],
+            samples: vec![0; n],
+            wait_cycles: vec![0; n],
+            service_starts: vec![0; n],
+            transfers: vec![0; n],
+            last_owner: vec![NONE; n],
+            cust_station: vec![0; cores],
+            cust_ops: vec![0; cores],
+            cust_op_start: vec![0; cores],
+            qnext: vec![NONE; cores],
+            enq_at: vec![0; cores],
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    #[inline]
+    fn enqueue(&mut self, st: usize, c: u32, t: u64) {
+        let ci = c as usize;
+        self.qnext[ci] = NONE;
+        self.enq_at[ci] = t;
+        let tail = self.qtail[st];
+        if tail == NONE {
+            self.qhead[st] = c;
+        } else {
+            self.qnext[tail as usize] = c;
+        }
+        self.qtail[st] = c;
+        self.qlen[st] += 1;
+    }
+
+    #[inline]
+    fn dequeue(&mut self, st: usize) -> Option<(u32, u64)> {
+        let head = self.qhead[st];
+        if head == NONE {
+            return None;
+        }
+        let hi = head as usize;
+        let next = self.qnext[hi];
+        self.qhead[st] = next;
+        if next == NONE {
+            self.qtail[st] = NONE;
+        }
+        self.qlen[st] -= 1;
+        Some((head, self.enq_at[hi]))
+    }
+
+    /// Mean service time and poller count for a service starting at
+    /// `st` with the station's *current* queue length.
+    #[inline]
+    fn service_params(&self, st: usize) -> (f64, u32) {
+        match self.kind[st] {
+            StationKind::NonScalable { collapse } => (
+                self.demand[st] * (1.0 + collapse * self.qlen[st] as f64),
+                self.qlen[st],
+            ),
+            _ => (self.demand[st], 0),
+        }
+    }
+
+    /// Charges the coherence cost of customer `c` starting service.
+    #[inline]
+    fn start_service(&mut self, st: usize, c: u32, pollers: u32) {
+        add_sat(&mut self.service_starts[st], 1);
+        if self.last_owner[st] != c {
+            self.transfers[st] += 1;
+        }
+        self.last_owner[st] = c;
+        // Every waiter polling a non-scalable lock pulls the line
+        // away from the new holder at least once per handoff.
+        add_sat(&mut self.transfers[st], pollers as u64);
+    }
+
+    /// Dispatches customer `c` into station `st` at time `now`.
+    /// Returns the (possibly stall-shifted) arrival time and, when
+    /// service started immediately, the completion time (`None` means
+    /// the customer queued).
+    #[inline]
     fn dispatch(
-        stations: &[crate::mva::Station],
-        state: &mut [StationState],
-        service: &mut dyn FnMut(&mut SmallRng, f64) -> u64,
-        rng: &mut SmallRng,
-        c: usize,
-        station: usize,
+        &mut self,
+        st: usize,
+        c: u32,
         now: u64,
         preempt: &FaultPoint,
         stall: &FaultPoint,
@@ -266,25 +409,20 @@ pub fn simulate_traced(
         } else {
             now
         };
-        let st = &stations[station];
-        match st.kind {
-            StationKind::Delay => (now, Some(now + service(rng, st.demand_cycles))),
+        match self.kind[st] {
+            StationKind::Delay => {
+                let d = self.demand[st];
+                (now, Some(now + service(&mut self.rng, d)))
+            }
             StationKind::Queue | StationKind::NonScalable { .. } => {
-                let s = &mut state[station];
-                if s.busy {
-                    s.queue.push_back((c, now));
+                if self.busy[st] {
+                    self.enqueue(st, c, now);
                     (now, None)
                 } else {
-                    s.busy = true;
-                    let (mean, pollers) = match st.kind {
-                        StationKind::NonScalable { collapse } => (
-                            st.demand_cycles * (1.0 + collapse * s.queue.len() as f64),
-                            s.queue.len(),
-                        ),
-                        _ => (st.demand_cycles, 0),
-                    };
-                    s.start_service(c, pollers);
-                    let mut done = now + service(rng, mean);
+                    self.busy[st] = true;
+                    let (mean, pollers) = self.service_params(st);
+                    self.start_service(st, c, pollers);
+                    let mut done = now + service(&mut self.rng, mean);
                     if preempt.should_inject() {
                         done += PREEMPT_CYCLES;
                     }
@@ -294,99 +432,220 @@ pub fn simulate_traced(
         }
     }
 
-    // Seed: every customer enters station 0.
-    for c in 0..cores {
-        if let Some(tr) = &trace {
-            tr.begin(c, 0, tr.op_class);
+    fn into_result(
+        self,
+        measured_ops: u64,
+        measured_cycles: u128,
+        span: u64,
+        events_processed: u64,
+    ) -> DesResult {
+        DesResult {
+            ops_per_cycle: measured_ops as f64 / span as f64,
+            completed_ops: measured_ops,
+            cycles_per_op: if measured_ops > 0 {
+                measured_cycles as f64 / measured_ops as f64
+            } else {
+                0.0
+            },
+            mean_queue_len: self
+                .qlen_sum
+                .iter()
+                .zip(&self.samples)
+                .map(|(&sum, &n)| if n == 0 { 0.0 } else { sum as f64 / n as f64 })
+                .collect(),
+            mean_wait_cycles: self
+                .wait_cycles
+                .iter()
+                .zip(&self.service_starts)
+                .map(|(&w, &n)| if n == 0 { 0.0 } else { w as f64 / n as f64 })
+                .collect(),
+            line_transfers: self.transfers,
+            events_processed,
         }
-        let (arrival, done) = dispatch(
-            stations,
-            &mut state,
-            &mut service,
-            &mut rng,
-            c,
-            0,
-            0,
-            &fault_preempt,
-            &fault_stall,
-        );
-        if let Some(tr) = &trace {
-            tr.begin(c, arrival, tr.station_classes[0].0);
-            if done.is_none() {
-                tr.begin(c, arrival, tr.station_classes[0].1);
-            }
+    }
+}
+
+/// Schedules event `(t, seq, c)`.
+///
+/// Three routes, cheapest first:
+///
+/// * **Singleton bypass** — the batch is exhausted and the wheel is
+///   empty, so this event is provably the only one pending (the shape
+///   of a fully serialized network: one lock holder, everyone else in
+///   a station FIFO). It becomes the next batch directly; the wheel
+///   fast-forwards so later pushes stay ahead of its window.
+/// * **Batch merge** — before the current batching horizon it
+///   binary-inserts into the sorted in-flight batch (completion times
+///   are always strictly after `now`, so the insertion point is past
+///   the cursor).
+/// * **Wheel push** — at or beyond the horizon it goes back to the
+///   wheel.
+#[inline]
+fn sched(
+    wheel: &mut EventWheel,
+    batch: &mut Vec<WheelEvent>,
+    cursor: &mut usize,
+    horizon: &mut u64,
+    seq: &mut u64,
+    t: u64,
+    c: u32,
+) {
+    let s = *seq;
+    *seq += 1;
+    if *cursor == batch.len() && wheel.is_empty() {
+        batch.clear();
+        *cursor = 0;
+        batch.push((t, s, c));
+        if t >= *horizon {
+            *horizon = t + 1;
+            wheel.advance_to(t);
+        }
+    } else if t < *horizon {
+        // Completions scheduled below the horizon almost always sort
+        // after everything already batched (service times rarely
+        // shrink), so scan back from the end — typically zero or one
+        // comparisons — and push rather than insert when it lands last.
+        let mut pos = batch.len();
+        while pos > *cursor && (batch[pos - 1].0, batch[pos - 1].1) > (t, s) {
+            pos -= 1;
+        }
+        if pos == batch.len() {
+            batch.push((t, s, c));
+        } else {
+            batch.insert(pos, (t, s, c));
+        }
+    } else {
+        wheel.push(t, s, c);
+    }
+}
+
+/// The fast engine: monomorphized over the trace sink so untraced runs
+/// pay nothing for the hooks.
+fn run<S: TraceSink>(
+    net: &Network,
+    cores: usize,
+    ops_per_core: u64,
+    seed: u64,
+    faults: &FaultPlane,
+    sink: &S,
+) -> DesResult {
+    let stations = net.stations();
+    let n_stations = stations.len();
+    let fault_preempt = faults.point("sim.lock_holder_preempt");
+    let fault_stall = faults.point("sim.core_stall");
+    let mut hot = Hot::new(net, cores, seed);
+    let max_demand = hot.demand.iter().cloned().fold(1.0_f64, f64::max);
+    let mut wheel = EventWheel::new(max_demand, cores);
+
+    let warmup_ops = (ops_per_core / 5).max(1);
+    let total_ops = ops_per_core + warmup_ops;
+    let mut seq = 0u64;
+    let mut now = 0u64;
+    let mut measured_ops = 0u64;
+    let mut measured_cycles = 0u128;
+    let mut warmup_end_time = 0u64;
+    let mut finished = 0usize;
+    let mut events_processed = 0u64;
+
+    // The in-flight batch: the current window's events, sorted by
+    // (time, seq). `cursor` walks it; completions landing before the
+    // horizon are merged in at their sorted position.
+    let mut batch: Vec<WheelEvent> = Vec::new();
+    let mut cursor = 0usize;
+    let mut horizon = 0u64;
+
+    // Seed: every customer enters station 0. `horizon` is still 0, so
+    // every completion goes to the wheel.
+    for c in 0..cores as u32 {
+        sink.op_begin(c as usize, 0);
+        let (arrival, done) = hot.dispatch(0, c, 0, &fault_preempt, &fault_stall);
+        sink.station_begin(c as usize, arrival, 0);
+        if done.is_none() {
+            sink.wait_begin(c as usize, arrival, 0);
         }
         if let Some(t) = done {
-            events.push(Reverse((t, seq, c)));
-            seq += 1;
+            sched(
+                &mut wheel,
+                &mut batch,
+                &mut cursor,
+                &mut horizon,
+                &mut seq,
+                t,
+                c,
+            );
         }
     }
 
-    while let Some(Reverse((t, _, c))) = events.pop() {
-        now = t;
-        let station = customers[c].station;
-        if let Some(tr) = &trace {
-            tr.end(c, now, tr.station_classes[station].0);
+    loop {
+        if cursor == batch.len() {
+            batch.clear();
+            cursor = 0;
+            match wheel.next_batch(&mut batch) {
+                Some(h) => horizon = h,
+                None => break,
+            }
         }
+        let (t, _, c) = batch[cursor];
+        cursor += 1;
+        events_processed += 1;
+        now = t;
+        let ci = c as usize;
+        let station = hot.cust_station[ci] as usize;
+        sink.station_end(ci, now, station);
         // Departure from `station`.
         if matches!(
-            stations[station].kind,
+            hot.kind[station],
             StationKind::Queue | StationKind::NonScalable { .. }
         ) {
-            let s = &mut state[station];
-            s.queue_len_samples += s.queue.len() as f64;
-            s.samples += 1;
-            s.busy = false;
-            if let Some((next_c, enqueued_at)) = s.queue.pop_front() {
+            add_sat(&mut hot.qlen_sum[station], hot.qlen[station] as u64);
+            add_sat(&mut hot.samples[station], 1);
+            hot.busy[station] = false;
+            if let Some((next_c, enqueued_at)) = hot.dequeue(station) {
                 // Start the next waiter; the server stays busy.
-                s.busy = true;
+                hot.busy[station] = true;
                 // A stall-injected waiter can carry an enqueue stamp later
                 // than this departure; it effectively waited zero cycles.
-                s.wait_cycles += now.saturating_sub(enqueued_at);
-                if let Some(tr) = &trace {
-                    tr.end(next_c, now.max(enqueued_at), tr.station_classes[station].1);
-                }
-                let st = &stations[station];
-                let (mean, pollers) = match st.kind {
-                    StationKind::NonScalable { collapse } => (
-                        st.demand_cycles * (1.0 + collapse * s.queue.len() as f64),
-                        s.queue.len(),
-                    ),
-                    _ => (st.demand_cycles, 0),
-                };
-                s.start_service(next_c, pollers);
-                let mut done = now + service(&mut rng, mean);
+                hot.wait_cycles[station] += now.saturating_sub(enqueued_at) as u128;
+                sink.wait_end(next_c as usize, now.max(enqueued_at), station);
+                let (mean, pollers) = hot.service_params(station);
+                hot.start_service(station, next_c, pollers);
+                let mut done = now + service(&mut hot.rng, mean);
                 if fault_preempt.should_inject() {
                     done += PREEMPT_CYCLES;
                 }
-                events.push(Reverse((done, seq, next_c)));
-                seq += 1;
+                sched(
+                    &mut wheel,
+                    &mut batch,
+                    &mut cursor,
+                    &mut horizon,
+                    &mut seq,
+                    done,
+                    next_c,
+                );
                 // next_c stays at the same station until its own departure.
             }
         }
         // Advance this customer.
-        let mut cust = customers[c];
-        cust.station += 1;
-        if cust.station == stations.len() {
+        let mut next_station = station + 1;
+        if next_station == n_stations {
             // One operation complete.
-            cust.station = 0;
-            cust.ops_done += 1;
-            if let Some(tr) = &trace {
-                tr.end(c, now, tr.op_class);
-                if cust.ops_done < total_ops {
-                    tr.begin(c, now, tr.op_class);
-                }
+            next_station = 0;
+            hot.cust_ops[ci] += 1;
+            let ops_done = hot.cust_ops[ci];
+            sink.op_end(ci, now);
+            if ops_done < total_ops {
+                sink.op_begin(ci, now);
             }
-            if cust.ops_done == warmup_ops {
+            if ops_done == warmup_ops {
                 warmup_end_time = warmup_end_time.max(now);
             }
-            if cust.ops_done > warmup_ops && cust.ops_done <= total_ops {
+            if ops_done > warmup_ops && ops_done <= total_ops {
                 measured_ops += 1;
-                measured_cycles += now - cust.op_start;
+                measured_cycles += now.saturating_sub(hot.cust_op_start[ci]) as u128;
             }
-            cust.op_start = now;
-            if cust.ops_done >= total_ops {
-                customers[c] = cust;
+            hot.cust_op_start[ci] = now;
+            if ops_done >= total_ops {
+                hot.cust_station[ci] = 0;
                 finished += 1;
                 if finished == cores {
                     break;
@@ -394,61 +653,27 @@ pub fn simulate_traced(
                 continue;
             }
         }
-        customers[c] = cust;
-        let (arrival, done) = dispatch(
-            stations,
-            &mut state,
-            &mut service,
-            &mut rng,
-            c,
-            cust.station,
-            now,
-            &fault_preempt,
-            &fault_stall,
-        );
-        if let Some(tr) = &trace {
-            tr.begin(c, arrival, tr.station_classes[cust.station].0);
-            if done.is_none() {
-                tr.begin(c, arrival, tr.station_classes[cust.station].1);
-            }
+        hot.cust_station[ci] = next_station as u32;
+        let (arrival, done) = hot.dispatch(next_station, c, now, &fault_preempt, &fault_stall);
+        sink.station_begin(ci, arrival, next_station);
+        if done.is_none() {
+            sink.wait_begin(ci, arrival, next_station);
         }
         if let Some(done) = done {
-            events.push(Reverse((done, seq, c)));
-            seq += 1;
+            sched(
+                &mut wheel,
+                &mut batch,
+                &mut cursor,
+                &mut horizon,
+                &mut seq,
+                done,
+                c,
+            );
         }
     }
 
     let span = now.saturating_sub(warmup_end_time).max(1);
-    DesResult {
-        ops_per_cycle: measured_ops as f64 / span as f64,
-        completed_ops: measured_ops,
-        cycles_per_op: if measured_ops > 0 {
-            measured_cycles as f64 / measured_ops as f64
-        } else {
-            0.0
-        },
-        mean_queue_len: state
-            .iter()
-            .map(|s| {
-                if s.samples == 0 {
-                    0.0
-                } else {
-                    s.queue_len_samples / s.samples as f64
-                }
-            })
-            .collect(),
-        mean_wait_cycles: state
-            .iter()
-            .map(|s| {
-                if s.service_starts == 0 {
-                    0.0
-                } else {
-                    s.wait_cycles as f64 / s.service_starts as f64
-                }
-            })
-            .collect(),
-        line_transfers: state.iter().map(|s| s.transfers).collect(),
-    }
+    hot.into_result(measured_ops, measured_cycles, span, events_processed)
 }
 
 impl DesResult {
@@ -547,21 +772,6 @@ mod tests {
     }
 
     #[test]
-    fn event_order_is_time_then_fifo_seq() {
-        // The canonical contract: smaller time first; at equal times,
-        // smaller sequence number first (FIFO dispatch). The original
-        // engine popped ties LIFO — largest seq first — which silently
-        // reversed every simultaneous handoff.
-        let mut heap: BinaryHeap<Event> = BinaryHeap::new();
-        heap.push(Reverse((5, 0, 10)));
-        heap.push(Reverse((5, 1, 11)));
-        heap.push(Reverse((3, 2, 12)));
-        heap.push(Reverse((5, 3, 13)));
-        let order: Vec<(u64, u64, usize)> = std::iter::from_fn(|| heap.pop().map(|e| e.0)).collect();
-        assert_eq!(order, [(3, 2, 12), (5, 0, 10), (5, 1, 11), (5, 3, 13)]);
-    }
-
-    #[test]
     fn simultaneous_events_dispatch_fifo() {
         // Demands so small every service clamps to exactly 1 cycle:
         // all four customers finish the delay station at t=1
@@ -592,7 +802,9 @@ mod tests {
                 .ts;
             let end = events
                 .iter()
-                .find(|e| e.track == track && e.class == wait_class && e.kind == EventKind::SpanEnd)?
+                .find(|e| {
+                    e.track == track && e.class == wait_class && e.kind == EventKind::SpanEnd
+                })?
                 .ts;
             Some((begin, end))
         };
@@ -616,6 +828,7 @@ mod tests {
         let b = simulate(&net, 6, 2_000, 99);
         assert_eq!(a.ops_per_cycle, b.ops_per_cycle);
         assert_eq!(a.completed_ops, b.completed_ops);
+        assert_eq!(a.events_processed, b.events_processed);
         let c = simulate(&net, 6, 2_000, 100);
         assert_ne!(a.ops_per_cycle, c.ops_per_cycle, "different seed differs");
     }
@@ -745,6 +958,7 @@ mod tests {
         );
         assert_eq!(plain.ops_per_cycle, traced.ops_per_cycle);
         assert_eq!(plain.completed_ops, traced.completed_ops);
+        assert_eq!(plain.events_processed, traced.events_processed);
         assert_eq!(tracer.dropped(), 0, "ring sized for the whole run");
 
         let events = tracer.drain();

@@ -39,6 +39,6 @@ mod mva;
 mod workload;
 
 pub use caps::{DramModel, L3Model, NicModel};
-pub use machine::MachineSpec;
+pub use machine::{MachineSpec, TopologyError};
 pub use mva::{MvaResult, Network, Station, StationKind};
 pub use workload::{CoreSweep, SweepPoint, WorkloadModel};

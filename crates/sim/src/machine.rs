@@ -1,4 +1,52 @@
-//! The evaluation machine's published constants (§5.1).
+//! The evaluation machine's published constants (§5.1), plus sweepable
+//! topologies for the beyond-48-core extrapolations (§7).
+
+/// A topology request the machine model cannot satisfy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyError {
+    /// More active cores requested than the topology provides. The old
+    /// behaviour silently clamped to the socket count, which made an
+    /// oversubscribed sweep produce confidently wrong cache-pressure
+    /// numbers; now it is a typed error callers must surface.
+    Oversubscribed {
+        /// Cores requested.
+        requested: usize,
+        /// Sockets in the topology.
+        sockets: usize,
+        /// Cores per socket in the topology.
+        cores_per_socket: usize,
+    },
+    /// Zero cores requested (or a zero-sized topology axis).
+    Empty,
+    /// A topology string that is not `<sockets>x<cores_per_socket>`.
+    Malformed(String),
+}
+
+impl std::fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Oversubscribed {
+                requested,
+                sockets,
+                cores_per_socket,
+            } => write!(
+                f,
+                "{requested} cores oversubscribe the {sockets}x{cores_per_socket} topology \
+                 ({} cores total)",
+                sockets * cores_per_socket
+            ),
+            Self::Empty => write!(f, "topology axes and core counts must be nonzero"),
+            Self::Malformed(s) => {
+                write!(
+                    f,
+                    "malformed topology {s:?} (expected <sockets>x<cores_per_socket>)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
 
 /// The 48-core machine from the paper: a Tyan Thunder S4985 with eight
 /// 2.4 GHz 6-core AMD Opteron 8431 chips and a dual-port Intel 82599
@@ -70,9 +118,51 @@ impl MachineSpec {
         }
     }
 
+    /// The paper's machine scaled to a different `sockets` ×
+    /// `cores_per_socket` topology — the §7 "would the fixes hold past
+    /// 48 cores" axis. Per-socket constants (L3, DRAM capacity and
+    /// bandwidth, cache latencies) are per-socket already, so they
+    /// scale with the socket count automatically; only the shape
+    /// changes.
+    pub fn with_topology(sockets: usize, cores_per_socket: usize) -> Result<Self, TopologyError> {
+        if sockets == 0 || cores_per_socket == 0 {
+            return Err(TopologyError::Empty);
+        }
+        Ok(Self {
+            sockets,
+            cores_per_socket,
+            ..Self::paper()
+        })
+    }
+
+    /// Parses a `<sockets>x<cores_per_socket>` topology string (e.g.
+    /// `8x6`, `16x12`) into a scaled paper machine.
+    pub fn parse_topology(s: &str) -> Result<Self, TopologyError> {
+        let malformed = || TopologyError::Malformed(s.to_string());
+        let (sockets, cps) = s.split_once(['x', 'X']).ok_or_else(malformed)?;
+        let sockets: usize = sockets.trim().parse().map_err(|_| malformed())?;
+        let cps: usize = cps.trim().parse().map_err(|_| malformed())?;
+        Self::with_topology(sockets, cps)
+    }
+
     /// Total core count.
     pub fn cores(&self) -> usize {
         self.sockets * self.cores_per_socket
+    }
+
+    /// Checks that `cores` active cores fit this topology.
+    pub fn validate_cores(&self, cores: usize) -> Result<(), TopologyError> {
+        if cores == 0 {
+            return Err(TopologyError::Empty);
+        }
+        if cores > self.cores() {
+            return Err(TopologyError::Oversubscribed {
+                requested: cores,
+                sockets: self.sockets,
+                cores_per_socket: self.cores_per_socket,
+            });
+        }
+        Ok(())
     }
 
     /// Converts cycles to seconds.
@@ -87,14 +177,20 @@ impl MachineSpec {
 
     /// How many sockets are active when `cores` cores are enabled,
     /// filling sockets in order (the default enablement pattern).
-    pub fn sockets_for(&self, cores: usize) -> usize {
-        cores.div_ceil(self.cores_per_socket).clamp(1, self.sockets)
+    /// Oversubscription is a [`TopologyError`], not a clamp: the old
+    /// clamping answer under-counted cores-per-socket cache pressure
+    /// for any request past the machine's size.
+    pub fn sockets_for(&self, cores: usize) -> Result<usize, TopologyError> {
+        self.validate_cores(cores)?;
+        Ok(cores.div_ceil(self.cores_per_socket))
     }
 
     /// How many sockets are active when `cores` are spread round-robin
-    /// over sockets (the "RR" placement of §5.7/§5.8).
-    pub fn sockets_for_rr(&self, cores: usize) -> usize {
-        cores.min(self.sockets).max(1)
+    /// over sockets (the "RR" placement of §5.7/§5.8). Errors like
+    /// [`MachineSpec::sockets_for`] on oversubscription.
+    pub fn sockets_for_rr(&self, cores: usize) -> Result<usize, TopologyError> {
+        self.validate_cores(cores)?;
+        Ok(cores.min(self.sockets))
     }
 }
 
@@ -124,13 +220,66 @@ mod tests {
     #[test]
     fn socket_enablement_patterns() {
         let m = MachineSpec::paper();
-        assert_eq!(m.sockets_for(1), 1);
-        assert_eq!(m.sockets_for(6), 1);
-        assert_eq!(m.sockets_for(7), 2);
-        assert_eq!(m.sockets_for(48), 8);
-        assert_eq!(m.sockets_for_rr(1), 1);
-        assert_eq!(m.sockets_for_rr(4), 4);
-        assert_eq!(m.sockets_for_rr(48), 8);
+        assert_eq!(m.sockets_for(1), Ok(1));
+        assert_eq!(m.sockets_for(6), Ok(1));
+        assert_eq!(m.sockets_for(7), Ok(2));
+        assert_eq!(m.sockets_for(48), Ok(8));
+        assert_eq!(m.sockets_for_rr(1), Ok(1));
+        assert_eq!(m.sockets_for_rr(4), Ok(4));
+        assert_eq!(m.sockets_for_rr(48), Ok(8));
+    }
+
+    #[test]
+    fn oversubscription_is_a_typed_error_not_a_clamp() {
+        let m = MachineSpec::paper();
+        let err = m.sockets_for(49).unwrap_err();
+        assert_eq!(
+            err,
+            TopologyError::Oversubscribed {
+                requested: 49,
+                sockets: 8,
+                cores_per_socket: 6,
+            }
+        );
+        assert!(err.to_string().contains("49 cores oversubscribe the 8x6"));
+        assert!(m.sockets_for_rr(100).is_err());
+        assert_eq!(m.sockets_for(0), Err(TopologyError::Empty));
+        // The same request fits once the topology grows.
+        let big = MachineSpec::with_topology(16, 12).unwrap();
+        assert_eq!(big.sockets_for(49), Ok(5));
+        assert_eq!(big.sockets_for(192), Ok(16));
+    }
+
+    #[test]
+    fn topologies_scale_the_paper_machine() {
+        let m = MachineSpec::with_topology(16, 12).unwrap();
+        assert_eq!(m.cores(), 192);
+        // Per-socket constants are untouched; capacity scales by count.
+        let paper = MachineSpec::paper();
+        assert_eq!(m.l3_bytes_per_socket, paper.l3_bytes_per_socket);
+        assert_eq!(m.clock_hz, paper.clock_hz);
+        assert!(MachineSpec::with_topology(0, 6).is_err());
+        assert!(MachineSpec::with_topology(8, 0).is_err());
+    }
+
+    #[test]
+    fn topology_strings_parse() {
+        assert_eq!(MachineSpec::parse_topology("8x6"), Ok(MachineSpec::paper()));
+        let m = MachineSpec::parse_topology("86X12").unwrap();
+        assert_eq!(m.cores(), 1032);
+        for bad in ["", "8", "8x", "x6", "8x6x2", "ax6", "8 by 6"] {
+            assert!(
+                matches!(
+                    MachineSpec::parse_topology(bad),
+                    Err(TopologyError::Malformed(_))
+                ),
+                "{bad:?} must be malformed"
+            );
+        }
+        assert_eq!(
+            MachineSpec::parse_topology("0x6"),
+            Err(TopologyError::Empty)
+        );
     }
 
     #[test]

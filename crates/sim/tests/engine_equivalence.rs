@@ -1,0 +1,159 @@
+//! Differential oracle: the fast calendar-queue engine must be
+//! observationally identical to the reference `BinaryHeap` engine.
+//!
+//! Both engines promise the same canonical schedule — events dispatch
+//! in ascending `(time, seq)` order, RNG draws happen at the same
+//! points, fault points are consulted in the same sequence — so for
+//! any `(network, cores, ops, seed, fault schedule)` they must agree
+//! on every field of `DesResult`, produce byte-identical encoded event
+//! traces, and leave byte-identical fault-injection traces. Any
+//! divergence is a scheduling bug in one of them: the wheel batching
+//! horizon leaked an ordering difference, or an RNG/fault call moved.
+//!
+//! The grid deliberately crosses every station kind (Delay, Queue,
+//! NonScalable) with fault schedules (none, preempt-heavy,
+//! stall-heavy, both) and core counts from 1 to 192, including the
+//! degenerate single-station and all-delay networks.
+
+use pk_fault::{FaultPlane, FaultSchedule};
+use pk_sim::des::{self, reference, DesResult};
+use pk_sim::{Network, Station};
+
+/// The network shapes the grid sweeps: every station kind alone and in
+/// combination, including queue-after-queue (back-to-back FCFS) and a
+/// spin lock behind a fast delay (deep NonScalable collapse).
+fn networks() -> Vec<(&'static str, Network)> {
+    let mut nets = Vec::new();
+
+    let mut n = Network::new();
+    n.push(Station::delay("think", 5_000.0, false));
+    nets.push(("delay-only", n));
+
+    let mut n = Network::new();
+    n.push(Station::queue("lock", 800.0, true));
+    nets.push(("queue-only", n));
+
+    let mut n = Network::new();
+    n.push(Station::delay("think", 6_000.0, false));
+    n.push(Station::queue("dcache", 900.0, true));
+    nets.push(("delay+queue", n));
+
+    let mut n = Network::new();
+    n.push(Station::delay("think", 4_000.0, false));
+    n.push(Station::queue("a", 700.0, true));
+    n.push(Station::queue("b", 500.0, true));
+    nets.push(("two-queues", n));
+
+    let mut n = Network::new();
+    n.push(Station::delay("think", 2_000.0, false));
+    n.push(Station::spinlock("biglock", 500.0, 0.5, true));
+    nets.push(("spinlock-collapse", n));
+
+    let mut n = Network::new();
+    n.push(Station::delay("think", 3_000.0, false));
+    n.push(Station::queue("mutex", 600.0, true));
+    n.push(Station::spinlock("spin", 400.0, 0.3, true));
+    n.push(Station::delay("dram", 1_200.0, true));
+    nets.push(("all-kinds", n));
+
+    nets
+}
+
+/// Fault schedules crossed against every network. The planes are
+/// rebuilt per engine run so each engine sees a fresh counter state.
+fn plane(variant: &str, seed: u64) -> FaultPlane {
+    match variant {
+        "none" => FaultPlane::disabled(),
+        "preempt" => {
+            let p = FaultPlane::with_seed(seed);
+            p.set("sim.lock_holder_preempt", FaultSchedule::EveryNth(13));
+            p.enable();
+            p
+        }
+        "stall" => {
+            let p = FaultPlane::with_seed(seed);
+            p.set("sim.core_stall", FaultSchedule::EveryNth(17));
+            p.enable();
+            p
+        }
+        "both" => {
+            let p = FaultPlane::with_seed(seed);
+            p.set("sim.lock_holder_preempt", FaultSchedule::EveryNth(41));
+            p.set("sim.core_stall", FaultSchedule::EveryNth(29));
+            p.enable();
+            p
+        }
+        _ => unreachable!(),
+    }
+}
+
+fn assert_results_identical(ctx: &str, fast: &DesResult, oracle: &DesResult) {
+    // Bitwise, not approximate: both engines run the same schedule, so
+    // every derived f64 must match exactly.
+    assert_eq!(
+        fast, oracle,
+        "{ctx}: fast engine diverged from the reference oracle"
+    );
+    assert_eq!(fast.events_processed, oracle.events_processed, "{ctx}");
+}
+
+#[test]
+fn engines_agree_across_kinds_faults_and_scales() {
+    for (net_name, net) in networks() {
+        for fault in ["none", "preempt", "stall", "both"] {
+            for cores in [1usize, 3, 8, 48, 192] {
+                let ctx = format!("{net_name}/{fault}/{cores}c");
+                let seed = 0xC0FFEE ^ cores as u64;
+                let pa = plane(fault, seed);
+                let pb = plane(fault, seed);
+                let fast = des::simulate_with_faults(&net, cores, 400, seed, &pa);
+                let oracle = reference::simulate_with_faults(&net, cores, 400, seed, &pb);
+                assert_results_identical(&ctx, &fast, &oracle);
+                assert_eq!(
+                    pa.trace(),
+                    pb.trace(),
+                    "{ctx}: fault-injection traces diverged"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn engines_emit_byte_identical_event_traces() {
+    for (net_name, net) in networks() {
+        for fault in ["none", "both"] {
+            let ctx = format!("{net_name}/{fault}");
+            let run = |which: &str| -> (Vec<u8>, DesResult) {
+                let tracer = pk_trace::Tracer::new(8, 1 << 18);
+                let p = plane(fault, 7);
+                let r = match which {
+                    "fast" => des::simulate_traced(&net, 8, 300, 7, &p, Some(&tracer)),
+                    _ => reference::simulate_traced(&net, 8, 300, 7, &p, Some(&tracer)),
+                };
+                assert_eq!(tracer.dropped(), 0, "{ctx}: ring too small for the run");
+                (pk_trace::encode_stream(&tracer.drain()), r)
+            };
+            let (fast_bytes, fast) = run("fast");
+            let (oracle_bytes, oracle) = run("oracle");
+            assert_results_identical(&ctx, &fast, &oracle);
+            assert_eq!(
+                fast_bytes, oracle_bytes,
+                "{ctx}: encoded traces must be byte-identical"
+            );
+        }
+    }
+}
+
+#[test]
+fn engines_agree_on_the_roster_scale_defaults() {
+    // The exact configuration scalebench pins: 8 cores, 2000 ops,
+    // seed 42 — the schedule behind BENCH_scale.json's des.* rows.
+    let mut net = Network::new();
+    net.push(Station::delay("user", 8_000.0, false));
+    net.push(Station::queue("vfsmount", 1_000.0, true));
+    net.push(Station::spinlock("sem", 400.0, 0.4, true));
+    let fast = des::simulate(&net, 8, 2_000, 42);
+    let oracle = reference::simulate(&net, 8, 2_000, 42);
+    assert_results_identical("scalebench-defaults", &fast, &oracle);
+}

@@ -100,6 +100,17 @@ impl Node {
     }
 }
 
+/// Saturating accumulate. The fold consumes *external* event streams
+/// (possibly ragged — see the robustness rules on [`Profile::build`]),
+/// and a 1024-track soak can push cycle sums toward `u64::MAX`, so
+/// unlike the simulator's internal accumulators a wrap here must not
+/// panic even in debug builds: totals pin at the ceiling and every
+/// derived percentage stays finite.
+#[inline]
+fn sat(acc: &mut u64, delta: u64) {
+    *acc = acc.saturating_add(delta);
+}
+
 struct Frame {
     key: Key,
     begin: u64,
@@ -151,9 +162,9 @@ impl Profile {
             let inclusive = ts.saturating_sub(frame.begin);
             let exclusive = inclusive.saturating_sub(frame.children);
             let entry = flat.entry(frame.key).or_default();
-            entry.0 += 1;
-            entry.1 += inclusive;
-            entry.2 += exclusive;
+            sat(&mut entry.0, 1);
+            sat(&mut entry.1, inclusive);
+            sat(&mut entry.2, exclusive);
             let path: Vec<Key> = state
                 .stack
                 .iter()
@@ -161,12 +172,12 @@ impl Profile {
                 .chain(std::iter::once(frame.key))
                 .collect();
             let node = tree.at_path(&path);
-            node.count += 1;
-            node.inclusive += inclusive;
-            node.exclusive += exclusive;
+            sat(&mut node.count, 1);
+            sat(&mut node.inclusive, inclusive);
+            sat(&mut node.exclusive, exclusive);
             match state.stack.last_mut() {
-                Some(parent) => parent.children += inclusive,
-                None => total_cycles += inclusive,
+                Some(parent) => sat(&mut parent.children, inclusive),
+                None => sat(&mut total_cycles, inclusive),
             }
         };
 
@@ -389,6 +400,29 @@ mod tests {
             .instants
             .iter()
             .any(|(n, v)| n == "test.profile.instant" && *v == 1));
+    }
+
+    #[test]
+    fn huge_cycle_totals_saturate_instead_of_wrapping() {
+        // Two back-to-back spans whose inclusive cycles sum past
+        // u64::MAX. A wrapping fold would report a tiny total (2 +
+        // wrap) and every percentage in `table()` would be garbage;
+        // the saturating fold pins class totals and the denominator
+        // at the ceiling.
+        let c = intern::intern_span("test.profile.saturate");
+        let events = vec![
+            span(0, 0, EventKind::SpanBegin, c),
+            span(0, u64::MAX - 1, EventKind::SpanEnd, c),
+            span(0, 0, EventKind::SpanBegin, c),
+            span(0, u64::MAX - 1, EventKind::SpanEnd, c),
+        ];
+        let p = Profile::build(&events);
+        assert_eq!(p.total_cycles, u64::MAX);
+        let t = &p.totals()[0];
+        assert_eq!((t.count, t.inclusive, t.exclusive), (2, u64::MAX, u64::MAX));
+        // share_where stays a sane fraction, not >1 or NaN.
+        let share = p.share_where(|n| n.contains("saturate"));
+        assert!((share - 1.0).abs() < 1e-9, "share {share}");
     }
 
     #[test]

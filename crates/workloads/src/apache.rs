@@ -231,7 +231,12 @@ impl ApacheModel {
 
     /// Total request rate the card sustains with `q` queues: flat until
     /// the RX FIFO knee, then declining as overflow drops grow (§5.4).
+    /// The decline is measured out to the paper's 48 queues; past that
+    /// the card has no more queues to fragment its FIFO over (extra
+    /// cores share queues), so the delivered rate holds at the
+    /// 48-queue level instead of extrapolating below zero.
     pub fn nic_request_cap(q: usize) -> f64 {
+        let q = q.min(48);
         let flat = NIC_FIFO_KNEE as f64 * REQS_PER_SEC_1CORE;
         if q <= NIC_FIFO_KNEE {
             flat

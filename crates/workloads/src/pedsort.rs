@@ -178,7 +178,8 @@ impl PedsortModel {
         let sockets = match self.variant {
             PedsortVariant::ProcsRoundRobin => self.machine.sockets_for_rr(cores),
             _ => self.machine.sockets_for(cores),
-        };
+        }
+        .expect("core count oversubscribes the machine — validated at sweep entry");
         cores as f64 / sockets as f64
     }
 }

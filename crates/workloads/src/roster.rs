@@ -7,7 +7,7 @@
 
 use crate::common::KernelChoice;
 use crate::{apache, exim, gmake, memcached, metis, pedsort, postgres};
-use pk_sim::WorkloadModel;
+use pk_sim::{MachineSpec, WorkloadModel};
 
 /// Every workload name [`model`] accepts.
 pub const NAMES: [&str; 7] = [
@@ -25,31 +25,64 @@ pub const NAMES: [&str; 7] = [
 /// Metis's the 4 KB-page version). Names are case-insensitive;
 /// returns `None` for unknown workloads.
 pub fn model(name: &str, choice: KernelChoice) -> Option<Box<dyn WorkloadModel>> {
+    model_on(name, choice, MachineSpec::paper())
+}
+
+/// [`model`] on an arbitrary machine topology — the §7 "past 48 cores"
+/// axis. Every workload's demands derive from per-socket constants, so
+/// the same model sweeps any `sockets × cores_per_socket` shape.
+pub fn model_on(
+    name: &str,
+    choice: KernelChoice,
+    machine: MachineSpec,
+) -> Option<Box<dyn WorkloadModel>> {
     let m: Box<dyn WorkloadModel> = match name.to_ascii_lowercase().as_str() {
-        "exim" => Box::new(exim::EximModel::new(choice)),
-        "memcached" => Box::new(memcached::MemcachedModel::new(choice)),
-        "apache" => Box::new(apache::ApacheModel::new(choice)),
+        "exim" => {
+            let mut m = exim::EximModel::new(choice);
+            m.machine = machine;
+            Box::new(m)
+        }
+        "memcached" => {
+            let mut m = memcached::MemcachedModel::new(choice);
+            m.machine = machine;
+            Box::new(m)
+        }
+        "apache" => {
+            let mut m = apache::ApacheModel::new(choice);
+            m.machine = machine;
+            Box::new(m)
+        }
         "postgres" | "postgresql" => {
             let variant = match choice {
                 KernelChoice::Stock => postgres::PgVariant::Stock,
                 KernelChoice::Pk => postgres::PgVariant::PkModPg,
             };
-            Box::new(postgres::PostgresModel::new(variant, true))
+            let mut m = postgres::PostgresModel::new(variant, true);
+            m.machine = machine;
+            Box::new(m)
         }
-        "gmake" => Box::new(gmake::GmakeModel::new(choice)),
+        "gmake" => {
+            let mut m = gmake::GmakeModel::new(choice);
+            m.machine = machine;
+            Box::new(m)
+        }
         "pedsort" => {
             let variant = match choice {
                 KernelChoice::Stock => pedsort::PedsortVariant::Threads,
                 KernelChoice::Pk => pedsort::PedsortVariant::ProcsRoundRobin,
             };
-            Box::new(pedsort::PedsortModel::new(variant))
+            let mut m = pedsort::PedsortModel::new(variant);
+            m.machine = machine;
+            Box::new(m)
         }
         "metis" => {
             let variant = match choice {
                 KernelChoice::Stock => metis::MetisVariant::StockSmallPages,
                 KernelChoice::Pk => metis::MetisVariant::PkSuperPages,
             };
-            Box::new(metis::MetisModel::new(variant))
+            let mut m = metis::MetisModel::new(variant);
+            m.machine = machine;
+            Box::new(m)
         }
         _ => return None,
     };
@@ -69,6 +102,20 @@ mod tests {
                 let r = m.network(4).solve(4);
                 assert!(r.ops_per_cycle > 0.0, "{name} solves");
             }
+        }
+    }
+
+    #[test]
+    fn every_workload_sweeps_larger_topologies() {
+        use pk_sim::CoreSweep;
+        let big = MachineSpec::with_topology(16, 12).expect("valid topology");
+        for name in NAMES {
+            let m = model_on(name, KernelChoice::Pk, big).unwrap();
+            assert_eq!(m.machine().cores(), 192, "{name} carries the topology");
+            let p = CoreSweep::try_point(m.as_ref(), 192).expect("192 cores fit 16x12");
+            assert!(p.per_core_per_sec > 0.0, "{name} solves at 192 cores");
+            // Oversubscription is now a typed error at the sweep entry.
+            assert!(CoreSweep::try_point(m.as_ref(), 193).is_err());
         }
     }
 
