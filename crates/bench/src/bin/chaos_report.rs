@@ -152,6 +152,64 @@ fn main() {
         }
     }
 
+    println!("\nOpen-loop overload (2x arrivals, shedding on, 1% net.rx_drop):");
+    println!(
+        "{:>10} {:>6} {:>9} {:>9} {:>8} {:>8} {:>9} {:>12} {:>9} {:>6}",
+        "workload",
+        "config",
+        "arrivals",
+        "completed",
+        "rx-drop",
+        "shed",
+        "cancelled",
+        "p999",
+        "peak/cap",
+        "ok?"
+    );
+    for choice in [KernelChoice::Stock, KernelChoice::Pk] {
+        for r in chaos::overload_chaos(choice, args.cores, args.seed) {
+            println!(
+                "{:>10} {:>6} {:>9} {:>9} {:>8} {:>8} {:>9} {:>12} {:>6}/{:<2} {:>6}",
+                r.workload,
+                r.config,
+                r.arrivals,
+                r.completed,
+                r.nic_dropped,
+                r.shed,
+                r.deadline_cancelled,
+                r.p999,
+                r.queue_depth_peak,
+                r.admission_cap,
+                if r.passed() { "pass" } else { "FAIL" }
+            );
+            for v in &r.violations {
+                failed = true;
+                println!("{:>10}   violation: {v}", "");
+            }
+            if args.strict && r.nic_dropped == 0 {
+                failed = true;
+                println!("{:>10}   strict: rx-drop never fired", "");
+            }
+        }
+    }
+
+    println!("\nExhausted-deadline row (budget spent mid-retry must surface Timeout):");
+    {
+        let r = chaos::run_exhausted_deadline(args.seed);
+        println!(
+            "  {} requests: {} timeouts, {} admitted, depth after {} — {}",
+            r.requests,
+            r.timeouts,
+            r.admitted,
+            r.depth_after,
+            if r.passed() { "pass" } else { "FAIL" }
+        );
+        for v in &r.violations {
+            failed = true;
+            println!("    violation: {v}");
+        }
+    }
+
     println!("\nRCU deferred-reclamation soak (forced queue spills via rcu.defer_overflow):");
     println!(
         "{:>10} {:>9} {:>8} {:>9} {:>9} {:>8} {:>6}",

@@ -477,6 +477,202 @@ pub fn des_chaos(choice: KernelChoice, cores: usize, seed: u64) -> Vec<DesChaosR
         .collect()
 }
 
+/// Requests per open-loop overload chaos run.
+const OVERLOAD_REQUESTS: u64 = 2_000;
+/// Offered load for the overload rows, percent of PK capacity.
+const OVERLOAD_LOAD_PCT: u32 = 200;
+
+/// One serving workload under 2× arrival overload with 1% NIC receive
+/// drop: the open-loop leg of the chaos matrix. The shedding policy
+/// must keep the admission queue bounded and every arrival accounted
+/// for — completed, shed, cancelled, dropped by the NIC, or still in
+/// the system — while the fault plane eats packets underneath it.
+#[derive(Debug, Clone)]
+pub struct OverloadChaosRow {
+    /// Workload name.
+    pub workload: &'static str,
+    /// Kernel config label (`stock` / `PK`).
+    pub config: &'static str,
+    /// Requests the arrival process offered.
+    pub arrivals: u64,
+    /// Requests served to completion.
+    pub completed: u64,
+    /// Arrivals lost to the injected NIC drop.
+    pub nic_dropped: u64,
+    /// Arrivals refused or evicted by the shedding policy.
+    pub shed: u64,
+    /// Requests cancelled by deadline propagation.
+    pub deadline_cancelled: u64,
+    /// p999 of completed requests, cycles.
+    pub p999: u64,
+    /// Peak admission-queue depth (must respect the policy cap).
+    pub queue_depth_peak: u64,
+    /// The policy's admission cap.
+    pub admission_cap: u32,
+    /// Invariant violations (empty = pass).
+    pub violations: Vec<String>,
+}
+
+impl OverloadChaosRow {
+    /// Whether the row passed.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Runs every serving workload at [`OVERLOAD_LOAD_PCT`] offered load
+/// with shedding on and 1% `net.rx_drop` armed. Deterministic per
+/// `(choice, cores, seed)`.
+pub fn overload_chaos(choice: KernelChoice, cores: usize, seed: u64) -> Vec<OverloadChaosRow> {
+    pk_serve::SERVING
+        .iter()
+        .map(|w| {
+            let plane = FaultPlane::with_seed(seed);
+            plane.set("net.rx_drop", FaultSchedule::Probability(0.01));
+            plane.enable();
+            let run = pk_serve::run_serving(
+                w,
+                choice,
+                cores,
+                true,
+                OVERLOAD_LOAD_PCT,
+                OVERLOAD_REQUESTS,
+                seed,
+                &plane,
+            )
+            .expect("SERVING workloads all have serving specs");
+            let r = &run.result;
+            let mut violations = Vec::new();
+            if r.accounted() != r.arrivals {
+                violations.push(format!(
+                    "arrival accounting leaked: {} accounted != {} arrivals",
+                    r.accounted(),
+                    r.arrivals
+                ));
+            }
+            if r.nic_dropped == 0 {
+                violations.push("net.rx_drop never fired".to_string());
+            }
+            let cap = run.policy.admission_cap;
+            if r.queue_depth_peak > u64::from(cap) {
+                violations.push(format!(
+                    "admission cap breached: peak {} > cap {cap}",
+                    r.queue_depth_peak
+                ));
+            }
+            if r.completed == 0 {
+                violations.push("overload starved the server completely".to_string());
+            }
+            OverloadChaosRow {
+                workload: w,
+                config: choice.label(),
+                arrivals: r.arrivals,
+                completed: r.completed,
+                nic_dropped: r.nic_dropped,
+                shed: r.rejected + r.shed_oldest + r.shed_probabilistic,
+                deadline_cancelled: r.deadline_cancelled,
+                p999: run.latency.p999,
+                queue_depth_peak: r.queue_depth_peak,
+                admission_cap: cap,
+                violations,
+            }
+        })
+        .collect()
+}
+
+/// Requests driven through the exhausted-deadline row.
+const DEADLINE_REQUESTS: u64 = 16;
+
+/// The `exhausted-deadline` chaos row: a request that burns its whole
+/// retry budget past its deadline must surface as
+/// [`pk_kernel::KernelError::Timeout`] — *not* its last transient
+/// error, which would invite the retry amplification the deadline
+/// forbids — and must uncharge its admission slot on the way out.
+#[derive(Debug, Clone)]
+pub struct DeadlineChaosRow {
+    /// Requests driven into the permanently-failing downstream.
+    pub requests: u64,
+    /// Requests that surfaced `Timeout`, as required.
+    pub timeouts: u64,
+    /// Admission-queue depth after the storm (must be 0).
+    pub depth_after: u32,
+    /// Requests admitted across the row.
+    pub admitted: u64,
+    /// Invariant violations (empty = pass).
+    pub violations: Vec<String>,
+}
+
+impl DeadlineChaosRow {
+    /// Whether the row passed.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Runs the exhausted-deadline row: [`DEADLINE_REQUESTS`] requests hit
+/// a downstream that fails transiently on every attempt, under a
+/// deadline budget smaller than the first retry backoff. Every request
+/// must come back `Timeout` with the admission queue fully drained;
+/// one recovery request afterwards proves the queue still serves.
+pub fn run_exhausted_deadline(seed: u64) -> DeadlineChaosRow {
+    use pk_fault::RetryPolicy;
+    use pk_kernel::KernelError;
+    use pk_serve::{serve_with_deadline, AdmissionQueue};
+
+    let queue = AdmissionQueue::new(4);
+    let mut timeouts = 0u64;
+    let mut violations = Vec::new();
+    for req in 0..DEADLINE_REQUESTS {
+        let out = serve_with_deadline(&queue, RetryPolicy::DEFAULT, seed, req, 10, |_| {
+            // A downstream stuck in backpressure: transient every time.
+            Err::<(), _>(KernelError::Net(pk_net::NetError::Backpressure))
+        });
+        match out {
+            Err(KernelError::Timeout) => timeouts += 1,
+            Err(e) => violations.push(format!(
+                "request {req} leaked its last transient error: {e}"
+            )),
+            Ok(()) => violations.push(format!("request {req} cannot have succeeded")),
+        }
+        if queue.depth() != 0 {
+            violations.push(format!(
+                "request {req} left its admission slot charged (depth {})",
+                queue.depth()
+            ));
+        }
+    }
+    if timeouts != DEADLINE_REQUESTS {
+        violations.push(format!(
+            "only {timeouts} of {DEADLINE_REQUESTS} dead requests surfaced Timeout"
+        ));
+    }
+    // The queue must still serve once the downstream recovers.
+    match serve_with_deadline(
+        &queue,
+        RetryPolicy::DEFAULT,
+        seed,
+        DEADLINE_REQUESTS,
+        10,
+        |_| Ok::<_, pk_kernel::KernelError>(()),
+    ) {
+        Ok(()) => {}
+        Err(e) => violations.push(format!("recovery request failed: {e}")),
+    }
+    if queue.depth() != 0 {
+        violations.push(format!(
+            "queue not drained after recovery (depth {})",
+            queue.depth()
+        ));
+    }
+    DeadlineChaosRow {
+        requests: DEADLINE_REQUESTS,
+        timeouts,
+        depth_after: queue.depth(),
+        admitted: queue.admitted(),
+        violations,
+    }
+}
+
 /// VFS operations per RCU overflow soak.
 const RCU_CHURN_OPS: usize = 600;
 /// Force a deferred-queue spill on every Nth `call_rcu`.
@@ -639,6 +835,42 @@ mod tests {
                 assert!(known.contains(name), "unknown fault point {name}");
             }
         }
+    }
+
+    #[test]
+    fn overload_chaos_sheds_and_accounts_under_packet_loss() {
+        for choice in [KernelChoice::Stock, KernelChoice::Pk] {
+            let rows = overload_chaos(choice, 4, 42);
+            assert_eq!(rows.len(), pk_serve::SERVING.len());
+            for r in &rows {
+                assert!(
+                    r.passed(),
+                    "{}/{}: {:?}",
+                    r.workload,
+                    r.config,
+                    r.violations
+                );
+                assert!(r.nic_dropped > 0, "{}: rx-drop must fire", r.workload);
+                assert!(r.shed > 0, "{}: 2x overload must shed", r.workload);
+            }
+            // Same seed → identical rows: the soak replays.
+            let again = overload_chaos(choice, 4, 42);
+            for (a, b) in rows.iter().zip(&again) {
+                assert_eq!(a.completed, b.completed);
+                assert_eq!(a.nic_dropped, b.nic_dropped);
+                assert_eq!(a.p999, b.p999);
+            }
+        }
+    }
+
+    #[test]
+    fn exhausted_deadline_row_surfaces_timeout_and_drains() {
+        let r = run_exhausted_deadline(42);
+        assert!(r.passed(), "{:?}", r.violations);
+        assert_eq!(r.timeouts, r.requests);
+        assert_eq!(r.depth_after, 0);
+        // Every dead request plus the recovery request took a slot.
+        assert_eq!(r.admitted, r.requests + 1);
     }
 
     #[test]

@@ -1,0 +1,381 @@
+//! Tail latency under overload (`latency_report`).
+//!
+//! Runs the serving roster as open-loop servers across the
+//! {stock, PK} × {no-shed, shed} × {normal, 2× overload} grid and
+//! derives the two claims the serving layer exists to make:
+//!
+//! 1. **Inversion** — at the same absolute arrival rate (anchored to
+//!    the PK kernel's saturation capacity), the stock kernel's p999
+//!    blows past PK's. The paper's throughput collapse, transposed to
+//!    latency: a kernel that saturates earlier queues earlier.
+//! 2. **Shedding bounds the tail** — at 2× overload, the bounded
+//!    admission queue + drop-newest + deadline propagation keeps p999
+//!    within a small multiple of the SLO *and* keeps goodput near
+//!    capacity, while the unbounded "observe-only" posture diverges
+//!    (the queue grows without bound and p999 with it).
+//!
+//! Both are derived from the runs, not asserted as constants — if the
+//! engine stops reproducing them, `latency_report` exits non-zero.
+
+use pk_fault::FaultPlane;
+use pk_serve::{run_serving, ServeRun, SERVING};
+use pk_workloads::KernelChoice;
+
+/// Core count for every serving run: past the paper's single-socket
+/// knee, small enough that the grid stays sub-second.
+pub const CORES: usize = 8;
+/// Target arrivals per run: enough completions that p999 is read from
+/// a populated tail bucket.
+pub const REQUESTS: u64 = 4_000;
+/// The healthy-load arm, percent of PK saturation capacity.
+pub const NORMAL_LOAD_PCT: u32 = 60;
+/// The overload arm: arrivals at twice what the machine can serve.
+pub const OVERLOAD_PCT: u32 = 200;
+
+/// The inversion must show on at least this many serving workloads.
+pub const INVERSION_MIN_WORKLOADS: usize = 2;
+/// Shed-arm p999 bound, as a multiple of the workload's SLO budget.
+pub const SHED_P999_SLO_MULT: u64 = 2;
+/// Shed-arm goodput floor, as a fraction of saturation capacity.
+pub const SHED_GOODPUT_FLOOR: f64 = 0.80;
+/// Unbounded queue depth at the horizon that counts as divergence
+/// under 2× overload, as a fraction of offered requests. At 2× load
+/// roughly half the arrivals can never be served, so a healthy
+/// divergence signal is a large fraction of [`REQUESTS`].
+pub const DIVERGENCE_FLOOR_FRACTION: f64 = 0.25;
+
+/// One grid: every serving workload under both kernels and all three
+/// serving postures, one seed.
+#[derive(Debug, Clone)]
+pub struct LatencyGrid {
+    /// The seed every run derives from.
+    pub seed: u64,
+    /// Cores per run ([`CORES`]).
+    pub cores: usize,
+    /// All runs, in `SERVING × {stock, pk} × posture` order.
+    pub runs: Vec<ServeRun>,
+}
+
+/// The three serving postures each (workload, kernel) pair runs.
+const POSTURES: [(bool, u32); 3] = [
+    (false, NORMAL_LOAD_PCT),
+    (false, OVERLOAD_PCT),
+    (true, OVERLOAD_PCT),
+];
+
+/// Runs the full grid. Deterministic: a pure function of `seed`.
+pub fn run_grid(seed: u64) -> LatencyGrid {
+    let plane = FaultPlane::disabled();
+    let mut runs = Vec::new();
+    for w in SERVING {
+        for choice in [KernelChoice::Stock, KernelChoice::Pk] {
+            for (shed, load) in POSTURES {
+                let run = run_serving(w, choice, CORES, shed, load, REQUESTS, seed, &plane)
+                    .expect("every SERVING workload has a serving spec");
+                assert_eq!(
+                    run.result.accounted(),
+                    run.result.arrivals,
+                    "{w}: arrival accounting leaked"
+                );
+                runs.push(run);
+            }
+        }
+    }
+    LatencyGrid {
+        seed,
+        cores: CORES,
+        runs,
+    }
+}
+
+impl LatencyGrid {
+    /// The one run matching (workload, kernel, posture).
+    pub fn find(
+        &self,
+        workload: &str,
+        choice: KernelChoice,
+        shed: bool,
+        load_pct: u32,
+    ) -> &ServeRun {
+        self.runs
+            .iter()
+            .find(|r| {
+                r.workload == workload
+                    && r.choice == choice
+                    && r.policy.is_bounded() == shed
+                    && r.load_pct == load_pct
+            })
+            .expect("grid covers the full cross product")
+    }
+}
+
+/// One workload's derived verdicts.
+#[derive(Debug, Clone)]
+pub struct WorkloadVerdict {
+    /// Roster name.
+    pub workload: &'static str,
+    /// Stock p999 at normal load, cycles.
+    pub stock_p999: u64,
+    /// PK p999 at normal load, cycles.
+    pub pk_p999: u64,
+    /// `stock_p999 > pk_p999` at the same absolute arrival rate.
+    pub inverted: bool,
+    /// PK shed-arm p999 at 2× overload, cycles.
+    pub shed_p999: u64,
+    /// The p999 ceiling the shed arm must stay under, cycles.
+    pub shed_p999_bound: u64,
+    /// PK shed-arm goodput at 2× overload, fraction of capacity.
+    pub shed_goodput: f64,
+    /// PK no-shed queue depth at the horizon under 2× overload.
+    pub noshed_queue_end: u64,
+    /// The depth that counts as divergence.
+    pub divergence_floor: u64,
+    /// Shed p999 bounded AND goodput held AND the unbounded queue
+    /// diverged — the three-way contrast that makes shedding earn
+    /// its complexity.
+    pub shed_holds: bool,
+}
+
+/// The grid's derived assertions — the CI gate.
+#[derive(Debug, Clone)]
+pub struct OverloadAssertions {
+    /// Per-workload verdicts, in `SERVING` order.
+    pub verdicts: Vec<WorkloadVerdict>,
+    /// Workloads showing the stock-vs-PK p999 inversion.
+    pub inversions: usize,
+    /// `inversions >= INVERSION_MIN_WORKLOADS`.
+    pub inversion_observed: bool,
+    /// Every workload's shed arm held its bound, goodput, and contrast.
+    pub shedding_bounds_tail: bool,
+}
+
+impl OverloadAssertions {
+    /// Whether both headline claims held.
+    pub fn ok(&self) -> bool {
+        self.inversion_observed && self.shedding_bounds_tail
+    }
+}
+
+/// Derives the verdicts from a grid.
+pub fn assess(grid: &LatencyGrid) -> OverloadAssertions {
+    let verdicts: Vec<WorkloadVerdict> = SERVING
+        .iter()
+        .map(|w| {
+            let stock = grid.find(w, KernelChoice::Stock, false, NORMAL_LOAD_PCT);
+            let pk = grid.find(w, KernelChoice::Pk, false, NORMAL_LOAD_PCT);
+            let shed = grid.find(w, KernelChoice::Pk, true, OVERLOAD_PCT);
+            let noshed = grid.find(w, KernelChoice::Pk, false, OVERLOAD_PCT);
+            let shed_p999_bound = shed.slo_budget_cycles * SHED_P999_SLO_MULT;
+            let divergence_floor = (REQUESTS as f64 * DIVERGENCE_FLOOR_FRACTION) as u64;
+            let shed_goodput = shed.goodput_fraction();
+            let shed_holds = shed.latency.p999 <= shed_p999_bound
+                && shed_goodput >= SHED_GOODPUT_FLOOR
+                && noshed.result.queue_depth_end >= divergence_floor;
+            WorkloadVerdict {
+                workload: w,
+                stock_p999: stock.latency.p999,
+                pk_p999: pk.latency.p999,
+                inverted: stock.latency.p999 > pk.latency.p999,
+                shed_p999: shed.latency.p999,
+                shed_p999_bound,
+                shed_goodput,
+                noshed_queue_end: noshed.result.queue_depth_end,
+                divergence_floor,
+                shed_holds,
+            }
+        })
+        .collect();
+    let inversions = verdicts.iter().filter(|v| v.inverted).count();
+    OverloadAssertions {
+        inversion_observed: inversions >= INVERSION_MIN_WORKLOADS,
+        shedding_bounds_tail: verdicts.iter().all(|v| v.shed_holds),
+        inversions,
+        verdicts,
+    }
+}
+
+/// Renders the per-run latency table, one row per run.
+pub fn table(grid: &LatencyGrid) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:>10} {:>6} {:>8} {:>5} {:>9} {:>9} {:>10} {:>10} {:>10} {:>8} {:>8} {:>9}",
+        "workload",
+        "kernel",
+        "posture",
+        "load",
+        "arrivals",
+        "completed",
+        "p50",
+        "p99",
+        "p999",
+        "sloviol",
+        "shed",
+        "queue_end"
+    );
+    for r in &grid.runs {
+        let shed_total = r.result.rejected + r.result.shed_oldest + r.result.shed_probabilistic;
+        let _ = writeln!(
+            out,
+            "{:>10} {:>6} {:>8} {:>4}% {:>9} {:>9} {:>10} {:>10} {:>10} {:>8} {:>8} {:>9}",
+            r.workload,
+            r.choice.label(),
+            if r.policy.is_bounded() {
+                "shed"
+            } else {
+                "no-shed"
+            },
+            r.load_pct,
+            r.result.arrivals,
+            r.result.completed,
+            r.latency.p50,
+            r.latency.p99,
+            r.latency.p999,
+            r.result.slo_violations,
+            shed_total,
+            r.result.queue_depth_end
+        );
+    }
+    out
+}
+
+/// Renders the deterministic JSON artifact: fixed key order, fixed
+/// 6-decimal float formatting, runs in grid order — byte-identical
+/// for a fixed seed.
+pub fn report_json(grid: &LatencyGrid, asserts: &OverloadAssertions) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"seed\": {},", grid.seed);
+    let _ = writeln!(out, "  \"cores\": {},", grid.cores);
+    let _ = writeln!(out, "  \"requests\": {REQUESTS},");
+    out.push_str("  \"runs\": [\n");
+    for (i, r) in grid.runs.iter().enumerate() {
+        let comma = if i + 1 == grid.runs.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "    {{\"workload\": \"{}\", \"kernel\": \"{}\", \"posture\": \"{}\", \
+             \"load_pct\": {}, \"slo_cycles\": {}, \"arrivals\": {}, \"completed\": {}, \
+             \"p50\": {}, \"p99\": {}, \"p999\": {}, \"slo_violations\": {}, \
+             \"rejected\": {}, \"shed_oldest\": {}, \"shed_probabilistic\": {}, \
+             \"deadline_cancelled\": {}, \"degraded\": {}, \"queue_depth_end\": {}, \
+             \"queue_depth_peak\": {}, \"distinct_users\": {}, \"new_connections\": {}, \
+             \"goodput_fraction\": {:.6}}}{comma}",
+            r.workload,
+            r.choice.label(),
+            if r.policy.is_bounded() {
+                "shed"
+            } else {
+                "no-shed"
+            },
+            r.load_pct,
+            r.slo_budget_cycles,
+            r.result.arrivals,
+            r.result.completed,
+            r.latency.p50,
+            r.latency.p99,
+            r.latency.p999,
+            r.result.slo_violations,
+            r.result.rejected,
+            r.result.shed_oldest,
+            r.result.shed_probabilistic,
+            r.result.deadline_cancelled,
+            r.result.degraded,
+            r.result.queue_depth_end,
+            r.result.queue_depth_peak,
+            r.result.distinct_users,
+            r.result.new_connections,
+            r.goodput_fraction()
+        );
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"verdicts\": [\n");
+    for (i, v) in asserts.verdicts.iter().enumerate() {
+        let comma = if i + 1 == asserts.verdicts.len() {
+            ""
+        } else {
+            ","
+        };
+        let _ = writeln!(
+            out,
+            "    {{\"workload\": \"{}\", \"stock_p999\": {}, \"pk_p999\": {}, \
+             \"inverted\": {}, \"shed_p999\": {}, \"shed_p999_bound\": {}, \
+             \"shed_goodput\": {:.6}, \"noshed_queue_end\": {}, \"divergence_floor\": {}, \
+             \"shed_holds\": {}}}{comma}",
+            v.workload,
+            v.stock_p999,
+            v.pk_p999,
+            v.inverted,
+            v.shed_p999,
+            v.shed_p999_bound,
+            v.shed_goodput,
+            v.noshed_queue_end,
+            v.divergence_floor,
+            v.shed_holds
+        );
+    }
+    out.push_str("  ],\n");
+    let _ = writeln!(
+        out,
+        "  \"assertions\": {{\"inversions\": {}, \"inversion_observed\": {}, \
+         \"shedding_bounds_tail\": {}, \"ok\": {}}}",
+        asserts.inversions,
+        asserts.inversion_observed,
+        asserts.shedding_bounds_tail,
+        asserts.ok()
+    );
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_covers_the_cross_product_and_both_claims_hold() {
+        let grid = run_grid(42);
+        assert_eq!(grid.runs.len(), SERVING.len() * 2 * POSTURES.len());
+        let asserts = assess(&grid);
+        assert!(
+            asserts.inversion_observed,
+            "stock p999 must blow past PK on >= {INVERSION_MIN_WORKLOADS} workloads: {:?}",
+            asserts
+                .verdicts
+                .iter()
+                .map(|v| (v.workload, v.stock_p999, v.pk_p999))
+                .collect::<Vec<_>>()
+        );
+        assert!(
+            asserts.shedding_bounds_tail,
+            "shed arm must bound p999, hold goodput, and contrast a diverging \
+             unbounded queue: {:?}",
+            asserts
+                .verdicts
+                .iter()
+                .map(|v| (
+                    v.workload,
+                    v.shed_p999,
+                    v.shed_p999_bound,
+                    v.shed_goodput,
+                    v.noshed_queue_end
+                ))
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn report_json_is_deterministic_and_shaped() {
+        let run = || {
+            let grid = run_grid(42);
+            let asserts = assess(&grid);
+            report_json(&grid, &asserts)
+        };
+        let a = run();
+        assert_eq!(a, run(), "artifact must be byte-identical per seed");
+        assert!(a.contains("\"seed\": 42"));
+        assert!(a.contains("\"workload\": \"memcached\""));
+        assert!(a.contains("\"assertions\""));
+        assert!(!table(&run_grid(42)).is_empty());
+    }
+}

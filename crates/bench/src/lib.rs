@@ -9,6 +9,7 @@
 #![warn(missing_docs)]
 
 pub mod chaos;
+pub mod latency;
 pub mod lockdep;
 pub mod profile;
 pub mod scale;

@@ -93,6 +93,78 @@ impl RetryPolicy {
     }
 }
 
+/// What a [`RetryPolicy::run_within`] call produced: a [`RetryOutcome`]
+/// plus whether the deadline budget, not the attempt bound, ended it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeadlineOutcome<T, E> {
+    /// The underlying retry outcome. When the deadline expired, `result`
+    /// still carries the *last transient error* — the caller decides
+    /// how to surface the exhaustion (the kernel maps it to `Timeout`).
+    pub outcome: RetryOutcome<T, E>,
+    /// True when retrying stopped because the accumulated backoff
+    /// would cross `budget_cycles`, with attempts still remaining.
+    pub deadline_exhausted: bool,
+}
+
+impl RetryPolicy {
+    /// [`RetryPolicy::run`] under a deadline: gives up early when the
+    /// *next* backoff would push total charged cycles past
+    /// `budget_cycles` — a request past its SLO budget must not keep a
+    /// worker busy producing a reply nobody is waiting for.
+    ///
+    /// A `budget_cycles` of 0 means no deadline (plain `run`).
+    pub fn run_within<T, E>(
+        &self,
+        seed: u64,
+        token: u64,
+        budget_cycles: u64,
+        mut op: impl FnMut(u32) -> Result<T, E>,
+    ) -> DeadlineOutcome<T, E> {
+        let max = self.max_attempts.max(1);
+        let mut backoff_cycles = 0;
+        let mut attempt = 0;
+        loop {
+            match op(attempt) {
+                Ok(v) => {
+                    return DeadlineOutcome {
+                        outcome: RetryOutcome {
+                            result: Ok(v),
+                            attempts: attempt + 1,
+                            backoff_cycles,
+                        },
+                        deadline_exhausted: false,
+                    }
+                }
+                Err(e) if attempt + 1 >= max => {
+                    return DeadlineOutcome {
+                        outcome: RetryOutcome {
+                            result: Err(e),
+                            attempts: attempt + 1,
+                            backoff_cycles,
+                        },
+                        deadline_exhausted: false,
+                    }
+                }
+                Err(e) => {
+                    let delay = self.delay_cycles(seed, token, attempt);
+                    if budget_cycles > 0 && backoff_cycles + delay > budget_cycles {
+                        return DeadlineOutcome {
+                            outcome: RetryOutcome {
+                                result: Err(e),
+                                attempts: attempt + 1,
+                                backoff_cycles,
+                            },
+                            deadline_exhausted: true,
+                        };
+                    }
+                    backoff_cycles += delay;
+                    attempt += 1;
+                }
+            }
+        }
+    }
+}
+
 /// `u64::checked_shl` that saturates instead of wrapping, so huge attempt
 /// counts cannot shift the base back down to a tiny delay.
 trait SaturatingShl {
@@ -154,6 +226,45 @@ mod tests {
         }
         // Huge attempt numbers must not wrap the shift back down.
         assert!(p.delay_cycles(9, 9, 200) >= 500);
+    }
+
+    #[test]
+    fn deadline_stops_retrying_before_the_attempt_bound() {
+        // Budget smaller than the first backoff: one attempt, flagged.
+        let out = RetryPolicy::DEFAULT.run_within(1, 1, 10, |_| Err::<(), _>("eagain"));
+        assert!(out.deadline_exhausted);
+        assert_eq!(out.outcome.attempts, 1);
+        assert_eq!(out.outcome.result, Err("eagain"));
+        assert!(
+            out.outcome.backoff_cycles <= 10,
+            "never charges past the budget"
+        );
+
+        // A huge budget degenerates to plain `run`.
+        let plain = RetryPolicy::DEFAULT.run(1, 1, |_| Err::<(), _>("eagain"));
+        let within = RetryPolicy::DEFAULT.run_within(1, 1, u64::MAX, |_| Err::<(), _>("eagain"));
+        assert!(!within.deadline_exhausted);
+        assert_eq!(within.outcome.attempts, plain.attempts);
+        assert_eq!(within.outcome.backoff_cycles, plain.backoff_cycles);
+
+        // Zero budget means no deadline at all.
+        let unbounded = RetryPolicy::DEFAULT.run_within(1, 1, 0, |_| Err::<(), _>("eagain"));
+        assert!(!unbounded.deadline_exhausted);
+        assert_eq!(unbounded.outcome.attempts, 4);
+    }
+
+    #[test]
+    fn deadline_success_inside_budget_is_unflagged() {
+        let out =
+            RetryPolicy::DEFAULT.run_within(
+                1,
+                1,
+                u64::MAX,
+                |a| if a < 1 { Err(()) } else { Ok(a) },
+            );
+        assert!(!out.deadline_exhausted);
+        assert_eq!(out.outcome.result, Ok(1));
+        assert_eq!(out.outcome.attempts, 2);
     }
 
     #[test]

@@ -33,6 +33,6 @@ mod backoff;
 mod plane;
 mod schedule;
 
-pub use backoff::{RetryOutcome, RetryPolicy};
+pub use backoff::{DeadlineOutcome, RetryOutcome, RetryPolicy};
 pub use plane::{FaultEvent, FaultPlane, FaultPoint, PointStats};
 pub use schedule::{mix64, FaultSchedule};

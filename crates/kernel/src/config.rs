@@ -3,6 +3,7 @@
 use crate::fixes::FixId;
 use pk_mm::MmConfig;
 use pk_net::NetConfig;
+use pk_sim::OverloadPolicy;
 use pk_vfs::VfsConfig;
 
 /// A kernel build: core count plus the enabled fix set.
@@ -20,6 +21,12 @@ pub struct KernelConfig {
     /// substrate: deferred `call_rcu` (true, the default) or blocking
     /// `synchronize()` on each writer. Orthogonal to the 16 fixes.
     deferred_reclamation: bool,
+    /// Overload-survival posture for the serving layer: admission
+    /// queue bound, shedding policy, SLO budget, deadline propagation
+    /// and degradation hooks. [`OverloadPolicy::NONE`] (the default in
+    /// both presets) reproduces the historical accept-everything
+    /// behaviour, so this axis sweeps orthogonally to the 16 fixes.
+    overload: OverloadPolicy,
 }
 
 impl KernelConfig {
@@ -29,6 +36,7 @@ impl KernelConfig {
             cores,
             fixes: [false; 16],
             deferred_reclamation: true,
+            overload: OverloadPolicy::NONE,
         }
     }
 
@@ -38,6 +46,7 @@ impl KernelConfig {
             cores,
             fixes: [true; 16],
             deferred_reclamation: true,
+            overload: OverloadPolicy::NONE,
         }
     }
 
@@ -53,6 +62,19 @@ impl KernelConfig {
     /// The configured RCU reclamation discipline.
     pub fn deferred_reclamation(&self) -> bool {
         self.deferred_reclamation
+    }
+
+    /// Returns a copy with the overload-survival posture set. Sweeps
+    /// like any other axis: `KernelConfig::stock(48)` vs
+    /// `KernelConfig::pk(48).with_overload(OverloadPolicy::shedding(..))`.
+    pub fn with_overload(mut self, overload: OverloadPolicy) -> Self {
+        self.overload = overload;
+        self
+    }
+
+    /// The configured overload-survival posture.
+    pub fn overload(&self) -> OverloadPolicy {
+        self.overload
     }
 
     fn index(fix: FixId) -> usize {
@@ -110,6 +132,7 @@ impl KernelConfig {
             // not enable (it relies on hardware steering instead).
             software_rfs: false,
             deferred_reclamation: self.deferred_reclamation,
+            accept_backlog_cap: self.overload.admission_cap as usize,
         }
     }
 
@@ -155,5 +178,21 @@ mod tests {
         assert_eq!(stock.net(), NetConfig::stock(48));
         assert_eq!(stock.mm(), MmConfig::stock(48));
         assert_eq!(pk.mm(), MmConfig::pk(48));
+    }
+
+    #[test]
+    fn overload_policy_lowers_onto_the_accept_backlog() {
+        use pk_sim::ShedPolicy;
+        let base = KernelConfig::pk(48);
+        assert_eq!(base.overload(), OverloadPolicy::NONE);
+        assert_eq!(base.net().accept_backlog_cap, 0);
+        let shedding = base.with_overload(OverloadPolicy::shedding(
+            96,
+            ShedPolicy::DropNewest,
+            1_000_000,
+        ));
+        assert_eq!(shedding.net().accept_backlog_cap, 96);
+        // The overload axis is part of config identity, like the fixes.
+        assert_ne!(base, shedding);
     }
 }

@@ -9,7 +9,7 @@
 //! retry is the right response. Permanent errors (ENOENT, EEXIST, …)
 //! must surface immediately.
 
-use pk_mm::OutOfMemory;
+use pk_mm::{FaultError, MmapError, OutOfMemory};
 use pk_net::NetError;
 use pk_proc::ProcError;
 use pk_vfs::VfsError;
@@ -24,6 +24,12 @@ pub enum KernelError {
     Proc(ProcError),
     /// A page allocation failed.
     Mm(OutOfMemory),
+    /// An mmap/munmap call was malformed (empty mapping, unknown
+    /// region). Usage errors, never transient.
+    Mmap(MmapError),
+    /// A page fault could not be served: transient when physical
+    /// memory ran out, permanent for a wild access.
+    Fault(FaultError),
     /// A network operation failed.
     Net(NetError),
     /// A procfs read named a file that does not exist.
@@ -33,6 +39,18 @@ pub enum KernelError {
     /// Carries a static description of what was malformed. Corruption
     /// is never transient: retrying re-reads the same bytes.
     Corrupt(&'static str),
+    /// The kernel refused the request at admission: the bounded
+    /// backlog configured by [`crate::OverloadPolicy`] was full, or a
+    /// load-shedding policy sacrificed this request. Transient by
+    /// definition — shedding exists precisely so clients back off and
+    /// retry into a queue that still has headroom.
+    Overloaded,
+    /// The request exhausted its deadline/SLO budget before the work
+    /// finished. *Not* transient: the budget is gone, so retrying the
+    /// same request inside the same deadline only deepens overload
+    /// (retry amplification); the caller must fail upward or issue a
+    /// fresh request with a fresh budget.
+    Timeout,
 }
 
 impl KernelError {
@@ -48,9 +66,13 @@ impl KernelError {
             Self::Vfs(e) => matches!(e, VfsError::OutOfMemory | VfsError::Busy),
             Self::Proc(e) => matches!(e, ProcError::ResourceExhausted),
             Self::Mm(_) => true,
+            Self::Mmap(_) => false,
+            Self::Fault(e) => matches!(e, FaultError::Oom(_)),
             Self::Net(_) => true,
             Self::NoSuchProcFile => false,
             Self::Corrupt(_) => false,
+            Self::Overloaded => true,
+            Self::Timeout => false,
         }
     }
 }
@@ -61,9 +83,13 @@ impl fmt::Display for KernelError {
             Self::Vfs(e) => write!(f, "vfs: {e}"),
             Self::Proc(e) => write!(f, "proc: {e}"),
             Self::Mm(e) => write!(f, "mm: {e}"),
+            Self::Mmap(e) => write!(f, "mmap: {e}"),
+            Self::Fault(e) => write!(f, "fault: {e}"),
             Self::Net(e) => write!(f, "net: {e}"),
             Self::NoSuchProcFile => f.write_str("no such /proc file"),
             Self::Corrupt(what) => write!(f, "corrupt data: {what}"),
+            Self::Overloaded => f.write_str("overloaded: admission refused"),
+            Self::Timeout => f.write_str("deadline exhausted"),
         }
     }
 }
@@ -85,6 +111,18 @@ impl From<ProcError> for KernelError {
 impl From<OutOfMemory> for KernelError {
     fn from(e: OutOfMemory) -> Self {
         Self::Mm(e)
+    }
+}
+
+impl From<MmapError> for KernelError {
+    fn from(e: MmapError) -> Self {
+        Self::Mmap(e)
+    }
+}
+
+impl From<FaultError> for KernelError {
+    fn from(e: FaultError) -> Self {
+        Self::Fault(e)
     }
 }
 
@@ -110,8 +148,16 @@ mod tests {
         assert!(KernelError::from(VfsError::OutOfMemory).is_transient());
         assert!(KernelError::from(ProcError::ResourceExhausted).is_transient());
         assert!(KernelError::from(OutOfMemory).is_transient());
+        assert!(KernelError::from(FaultError::Oom(OutOfMemory)).is_transient());
+        assert!(!KernelError::from(FaultError::Segfault).is_transient());
+        assert!(!KernelError::from(MmapError::NoSuchRegion).is_transient());
         assert!(KernelError::from(NetError::Backpressure).is_transient());
         assert!(KernelError::from(NetError::Dropped(DropReason::LinkDown)).is_transient());
+
+        // Overload is transient (back off, retry into a drained
+        // queue); a missed deadline is not (the budget is spent).
+        assert!(KernelError::Overloaded.is_transient());
+        assert!(!KernelError::Timeout.is_transient());
 
         assert!(!KernelError::from(VfsError::NotFound).is_transient());
         assert!(!KernelError::from(ProcError::NoSuchProcess).is_transient());
@@ -137,6 +183,11 @@ mod tests {
             KernelError::Corrupt("missing tab").to_string(),
             "corrupt data: missing tab"
         );
+        assert_eq!(
+            KernelError::Overloaded.to_string(),
+            "overloaded: admission refused"
+        );
+        assert_eq!(KernelError::Timeout.to_string(), "deadline exhausted");
     }
 
     #[test]

@@ -26,3 +26,7 @@ pub use cputime::{CpuAccounting, CpuTime};
 pub use error::KernelError;
 pub use fixes::{App, Fix, FixId, FIXES, LINES_ADDED, LINES_REMOVED};
 pub use kernel::Kernel;
+// The overload-policy types live in pk-sim (the open-loop engine
+// consumes them directly); re-exported here because `KernelConfig`
+// carries them as a first-class knob.
+pub use pk_sim::{OverloadPolicy, ShedPolicy};

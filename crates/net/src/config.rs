@@ -39,6 +39,13 @@ pub struct NetConfig {
     /// `synchronize()` grace period. Not a Figure-1 fix; on in both
     /// presets, off for the blocking-writer baseline.
     pub deferred_reclamation: bool,
+    /// Bound on a listener's total accept backlog (across per-core
+    /// queues); 0 = unbounded, the historical behaviour and the
+    /// default in both presets. When the bound is hit, `enqueue`
+    /// refuses the connection and the stack surfaces
+    /// `NetError::Backpressure` — the admission-control hook the
+    /// serving layer's `OverloadPolicy` lowers onto.
+    pub accept_backlog_cap: usize,
 }
 
 impl NetConfig {
@@ -56,6 +63,7 @@ impl NetConfig {
             isolate_false_sharing: false,
             software_rfs: false,
             deferred_reclamation: true,
+            accept_backlog_cap: 0,
         }
     }
 
@@ -73,6 +81,7 @@ impl NetConfig {
             isolate_false_sharing: true,
             software_rfs: false,
             deferred_reclamation: true,
+            accept_backlog_cap: 0,
         }
     }
 

@@ -78,7 +78,18 @@ impl Listener {
     }
 
     /// Enqueues a completed handshake that arrived on `core`'s NIC queue.
-    pub fn enqueue(&self, flow: FlowHash, core: CoreId) {
+    ///
+    /// Returns `false` — refusing the connection — when the config's
+    /// `accept_backlog_cap` is set and the listener's total backlog is
+    /// already at it. A refusal bumps `accept_overflows`; the caller
+    /// (the stack's RX path) surfaces it as backpressure so admission
+    /// control composes with both the shared and per-core layouts.
+    pub fn enqueue(&self, flow: FlowHash, core: CoreId) -> bool {
+        let cap = self.config.accept_backlog_cap as u64;
+        if cap > 0 && self.backlog() >= cap {
+            NetStats::bump(&self.stats.accept_overflows);
+            return false;
+        }
         let req = ConnRequest {
             flow,
             arrived_on: core,
@@ -93,6 +104,7 @@ impl Listener {
             self.shared.lock().push_back(req);
         }
         self.queued.fetch_add(1, Ordering::Release);
+        true
     }
 
     /// Accepts a pending connection on `core`.
@@ -210,6 +222,22 @@ mod tests {
         assert_eq!(l.backlog(), 4);
         l.accept(CoreId(0)).unwrap();
         assert_eq!(l.backlog(), 3);
+    }
+
+    #[test]
+    fn bounded_backlog_refuses_at_the_cap() {
+        let stats = Arc::new(NetStats::new());
+        let mut config = NetConfig::pk(4);
+        config.accept_backlog_cap = 2;
+        let l = Listener::new(80, config, Arc::clone(&stats));
+        assert!(l.enqueue(flow(1), CoreId(0)));
+        assert!(l.enqueue(flow(2), CoreId(1)));
+        assert!(!l.enqueue(flow(3), CoreId(2)), "third must be refused");
+        assert_eq!(l.backlog(), 2);
+        assert_eq!(stats.accept_overflows.load(Ordering::Relaxed), 1);
+        // Draining one slot re-opens admission.
+        l.accept(CoreId(0)).unwrap();
+        assert!(l.enqueue(flow(4), CoreId(3)));
     }
 
     #[test]

@@ -284,6 +284,12 @@ impl NetStack {
     /// A client handshake arriving for `port`: the NIC steers it to a
     /// queue/core, and the connection request joins that core's backlog
     /// (or the shared one, in stock mode).
+    ///
+    /// Returns `false` when no listener is bound to `port` *or* when
+    /// the listener's bounded backlog (`accept_backlog_cap`) refused
+    /// admission — the latter is distinguishable by the
+    /// `accept_overflows` counter, and callers that own the listener
+    /// (the serving drivers) surface it as `Overloaded`.
     pub fn incoming_connection(&self, port: u16, flow: FlowHash) -> bool {
         let l = {
             let g = rcu::read_lock();
@@ -293,8 +299,7 @@ impl NetStack {
             return false;
         };
         let core = CoreId(self.nic.steer(&flow));
-        l.enqueue(flow, core);
-        true
+        l.enqueue(flow, core)
     }
 
     /// Accepts a pending connection on `port` from `core`.
@@ -368,6 +373,35 @@ mod tests {
         assert!(conn.local, "accepted on the steered core");
         assert!(stack.accept(80, steered).is_none());
         assert!(!stack.incoming_connection(81, flow), "no listener");
+    }
+
+    #[test]
+    fn bounded_backlog_refuses_incoming_connections() {
+        let mut cfg = NetConfig::pk(4);
+        cfg.accept_backlog_cap = 3;
+        let stack = NetStack::new(cfg);
+        stack.listen(80);
+        let mk = |p: u16| FlowHash {
+            src_ip: 7,
+            src_port: p,
+            dst_ip: 8,
+            dst_port: 80,
+        };
+        for p in 0..3 {
+            assert!(stack.incoming_connection(80, mk(p)));
+        }
+        assert!(!stack.incoming_connection(80, mk(3)), "cap must refuse");
+        assert_eq!(
+            stack
+                .stats()
+                .accept_overflows
+                .load(std::sync::atomic::Ordering::Relaxed),
+            1
+        );
+        // Accepting a connection frees a slot.
+        let steered = CoreId(stack.nic().steer(&mk(0)));
+        stack.accept(80, steered).unwrap();
+        assert!(stack.incoming_connection(80, mk(4)));
     }
 
     #[test]

@@ -25,6 +25,10 @@ pub struct NetStats {
     pub accept_local_queue: AtomicU64,
     /// Accepts that had to steal from another core's backlog.
     pub accept_steals: AtomicU64,
+    /// Connections refused because the listener's bounded accept
+    /// backlog (`accept_backlog_cap`) was full — admission control in
+    /// action, not packet loss.
+    pub accept_overflows: AtomicU64,
     /// Incoming packets steered to the core that owns the flow.
     pub rx_steered_local: AtomicU64,
     /// Incoming packets misdirected to another core (stock sampling).
@@ -78,6 +82,7 @@ impl NetStats {
             &self.accept_shared_queue,
             &self.accept_local_queue,
             &self.accept_steals,
+            &self.accept_overflows,
             &self.rx_steered_local,
             &self.rx_misdirected,
             &self.rx_fifo_drops,

@@ -154,10 +154,13 @@ impl Histogram {
             .fold(0, |a, s| a + s.count.load(Ordering::Relaxed))
     }
 
-    /// Sum of all recorded samples.
+    /// Sum of all recorded samples. Wraps on overflow, matching the
+    /// per-shard atomic record path (which wraps silently), so the
+    /// merged sum is the same pure function of the sample multiset in
+    /// debug and release builds.
     pub fn sum(&self) -> u64 {
         self.shards
-            .fold(0, |a, s| a + s.sum.load(Ordering::Relaxed))
+            .fold(0u64, |a, s| a.wrapping_add(s.sum.load(Ordering::Relaxed)))
     }
 
     /// Mean of all recorded samples (0.0 when empty).

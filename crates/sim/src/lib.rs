@@ -36,9 +36,14 @@ mod caps;
 pub mod des;
 mod machine;
 mod mva;
+pub mod open;
 mod workload;
 
 pub use caps::{DramModel, L3Model, NicModel};
 pub use machine::{MachineSpec, TopologyError};
 pub use mva::{MvaResult, Network, Station, StationKind};
+pub use open::{
+    simulate_open, simulate_open_with_faults, ArrivalPattern, ClientMix, OpenLoopResult,
+    OverloadPolicy, ShedPolicy,
+};
 pub use workload::{CoreSweep, SweepPoint, WorkloadModel};

@@ -19,7 +19,8 @@
 //!   space," so mid-range core counts run faster.
 
 use crate::common::KernelChoice;
-use pk_kernel::Kernel;
+use pk_fault::FaultPlane;
+use pk_kernel::{Kernel, KernelError};
 use pk_mm::{AddressSpace, PageSize};
 use pk_percpu::CoreId;
 use pk_sim::{CoreSweep, L3Model, MachineSpec, Network, Station, SweepPoint, WorkloadModel};
@@ -78,32 +79,53 @@ pub struct PedsortDriver {
 
 impl PedsortDriver {
     /// Boots a kernel with `files` corpus files and `workers` workers.
-    pub fn new(choice: KernelChoice, cores: usize, files: usize, threads: bool) -> Self {
-        let kernel = Kernel::new(choice.config(cores));
+    pub fn new(
+        choice: KernelChoice,
+        cores: usize,
+        files: usize,
+        threads: bool,
+    ) -> Result<Self, KernelError> {
+        Self::with_faults(
+            choice,
+            cores,
+            files,
+            threads,
+            Arc::new(FaultPlane::disabled()),
+        )
+    }
+
+    /// [`PedsortDriver::new`] on a kernel wired to `plane` — setup
+    /// failures (corpus population under injected ENOMEM / dentry
+    /// faults) surface as typed errors instead of panics.
+    pub fn with_faults(
+        choice: KernelChoice,
+        cores: usize,
+        files: usize,
+        threads: bool,
+        plane: Arc<FaultPlane>,
+    ) -> Result<Self, KernelError> {
+        let kernel = Kernel::with_faults(choice.config(cores), plane);
         let core = CoreId(0);
-        kernel.vfs().mkdir_p("/corpus", core).expect("corpus");
-        kernel.vfs().mkdir_p("/out", core).expect("out");
+        kernel.vfs().mkdir_p("/corpus", core)?;
+        kernel.vfs().mkdir_p("/out", core)?;
         for i in 0..files {
-            kernel
-                .vfs()
-                .write_file(
-                    &format!("/corpus/f{i}"),
-                    format!("word{} common text {}", i % 7, i).as_bytes(),
-                    core,
-                )
-                .expect("corpus file");
+            kernel.vfs().write_file(
+                &format!("/corpus/f{i}"),
+                format!("word{} common text {}", i % 7, i).as_bytes(),
+                core,
+            )?;
         }
         let spaces = if threads {
             vec![kernel.new_address_space()]
         } else {
             (0..cores).map(|_| kernel.new_address_space()).collect()
         };
-        Self {
+        Ok(Self {
             kernel,
             spaces,
             shared_space: threads,
             indexed: AtomicU64::new(0),
-        }
+        })
     }
 
     /// Returns the kernel.
@@ -119,7 +141,11 @@ impl PedsortDriver {
     /// Indexes one corpus file on `core`: mmap the input (libc file
     /// streams "access file contents via mmap"), read it, tokenize into
     /// the per-core table, write an index chunk, munmap.
-    pub fn index_file(&self, core: usize, file_id: usize) -> Result<(), pk_vfs::VfsError> {
+    ///
+    /// Every kernel call propagates as a typed [`KernelError`] — an
+    /// injected allocation failure mid-index unwinds the mapping it
+    /// created instead of panicking the worker.
+    pub fn index_file(&self, core: usize, file_id: usize) -> Result<(), KernelError> {
         let core_id = CoreId(core);
         let space = if self.shared_space {
             &self.spaces[0]
@@ -132,20 +158,22 @@ impl PedsortDriver {
             .read_file(&format!("/corpus/f{file_id}"), core_id)?;
         // The mmap/munmap pair on the (possibly shared) address space —
         // the threaded version's serialization point.
-        let region = space
-            .mmap(data.len().max(1) as u64, PageSize::Base4K)
-            .expect("mmap input");
-        space.touch_all(region, core).expect("fault input");
-        let tokens = data.split(|b| *b == b' ').count();
-        self.kernel
-            .vfs()
-            .write_file(
+        let region = space.mmap(data.len().max(1) as u64, PageSize::Base4K)?;
+        // From here the mapping must not leak: tear it down before
+        // surfacing any later failure.
+        let indexed = (|| -> Result<(), KernelError> {
+            space.touch_all(region, core)?;
+            let tokens = data.split(|b| *b == b' ').count();
+            self.kernel.vfs().write_file(
                 &format!("/out/core{core}-f{file_id}.idx"),
                 format!("{tokens}").as_bytes(),
                 core_id,
-            )
-            .expect("index output");
-        space.munmap(region, core).expect("munmap input");
+            )?;
+            Ok(())
+        })();
+        let unmapped = space.munmap(region, core).map_err(KernelError::from);
+        indexed?;
+        unmapped?;
         self.indexed.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
@@ -288,7 +316,7 @@ mod tests {
     #[test]
     fn driver_indexes_with_shared_and_private_spaces() {
         for threads in [true, false] {
-            let d = PedsortDriver::new(KernelChoice::Stock, 2, 6, threads);
+            let d = PedsortDriver::new(KernelChoice::Stock, 2, 6, threads).unwrap();
             for f in 0..6 {
                 d.index_file(f % 2, f).unwrap();
             }

@@ -20,6 +20,11 @@ pub const NAMES: [&str; 7] = [
     "metis",
 ];
 
+/// The serving subset: workloads that are network servers with
+/// latency SLOs (the open-loop `pk-serve` roster), as opposed to the
+/// batch jobs. Order matches [`NAMES`].
+pub const SERVING: [&str; 3] = ["exim", "memcached", "apache"];
+
 /// Builds the model for `name` under `choice`, following the paper's
 /// before/after pairings (pedsort's "stock" is the threaded version,
 /// Metis's the 4 KB-page version). Names are case-insensitive;

@@ -129,6 +129,41 @@ fn postgres_queries_degrade_gracefully_under_dcache_faults() {
 }
 
 #[test]
+fn pedsort_driver_index_file_fails_typed_under_alloc_faults() {
+    use pk_workloads::pedsort::PedsortDriver;
+    // Boot fault-free, then arm: failures land inside index_file's
+    // mmap/touch/write/munmap path, which used to `expect()` each one.
+    let faults = Arc::new(FaultPlane::with_seed(31));
+    let d = PedsortDriver::with_faults(KernelChoice::Pk, 2, 12, true, Arc::clone(&faults)).unwrap();
+    faults.set("mm.alloc_enomem", FaultSchedule::EveryNth(3));
+    faults.set("vfs.dentry_alloc", FaultSchedule::EveryNth(3));
+    faults.enable();
+    let mut failures = 0;
+    for f in 0..12 {
+        if let Err(e) = d.index_file(f % 2, f) {
+            assert!(e.is_transient(), "alloc faults are transient: {e}");
+            failures += 1;
+        }
+    }
+    assert!(failures > 0, "EveryNth(3) across 12 indexes must fire");
+    faults.disable();
+    assert!(faults.injected_total() > 0);
+    // Recovery: with the plane quiet again, the same driver keeps
+    // indexing — failed files tore their mappings down on the way out.
+    d.index_file(0, 0).unwrap();
+}
+
+#[test]
+fn pedsort_driver_boot_fails_typed_under_dentry_faults() {
+    use pk_workloads::pedsort::PedsortDriver;
+    let faults = plane(37, 3, &["vfs.dentry_alloc"]);
+    match PedsortDriver::with_faults(KernelChoice::Pk, 2, 24, false, faults) {
+        Ok(_) => panic!("corpus population was expected to hit an injected fault"),
+        Err(e) => assert!(e.is_transient(), "ENOMEM is transient: {e}"),
+    }
+}
+
+#[test]
 fn pedsort_run_fails_typed_under_alloc_faults() {
     let faults = Arc::new(FaultPlane::with_seed(23));
     let kernel = Arc::new(Kernel::with_faults(
