@@ -1,0 +1,430 @@
+//! Functional levers: the governor that retunes *live* kernel
+//! structures.
+//!
+//! The [`AdaptController`](crate::AdaptController) decides *policy* over
+//! the queueing model; the [`Governor`] applies the same
+//! observe→hysteresis→act loop to real objects at runtime:
+//!
+//! * a degraded [`SloppyCounter`] whose central line is getting hammered
+//!   is promoted back to per-core banking
+//!   ([`SloppyCounter::restore_per_core`]);
+//! * a banked counter that has gone idle is demoted to exact central
+//!   mode ([`SloppyCounter::degrade_to_central`]) so its drift
+//!   disappears while nobody is paying for exactness;
+//! * a banked counter still taking too many central trips has its
+//!   spare-banking threshold doubled
+//!   ([`SloppyCounter::set_threshold`]) — the drift-vs-contention
+//!   trade tuned from the counter's own `(central, local)` op counts;
+//! * a registered stripe lever (e.g. [`Dcache::split_buckets`]) fires
+//!   when its observed per-stripe load exceeds the configured bound.
+//!
+//! All governor state lives under one [`AdaptiveMutex`] registered with
+//! pk-lockdep as the named class **`adapt.governor`** (kind Blocking).
+//! That registration is load-bearing: a policy flip necessarily takes
+//! this lock, so lockdep can prove a flip is never attempted from an
+//! RCU read-side section — see `tests/lockdep_negative.rs`.
+//!
+//! [`Dcache::split_buckets`]: ../pk_vfs/struct.Dcache.html
+
+use pk_lockdep::{register_class, LockKind};
+use pk_sloppy::SloppyCounter;
+use pk_sync::AdaptiveMutex;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// Tuning for the runtime governor's hysteresis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GovernorPolicy {
+    /// Central-line ops per epoch above which a degraded counter is
+    /// promoted back to per-core banking.
+    pub promote_central_ops: u64,
+    /// Total ops per epoch below which a banked counter is demoted to
+    /// exact central mode. Must sit below `promote_central_ops` — the
+    /// gap is the hysteresis band.
+    pub demote_total_ops: u64,
+    /// A banked counter whose central ops exceed `local_ops /
+    /// tune_divisor` this epoch has its threshold doubled (too much
+    /// excess is being returned — bank more).
+    pub tune_divisor: u64,
+    /// Upper bound for threshold doubling.
+    pub max_threshold: i64,
+    /// Epochs an entry is frozen after any action.
+    pub cooldown_epochs: u32,
+    /// Per-stripe load above which a stripe lever fires.
+    pub split_load: u64,
+    /// Maximum times any one stripe lever may fire.
+    pub max_splits: u32,
+}
+
+impl Default for GovernorPolicy {
+    fn default() -> Self {
+        Self {
+            promote_central_ops: 64,
+            demote_total_ops: 8,
+            tune_divisor: 4,
+            max_threshold: 1 << 20,
+            cooldown_epochs: 2,
+            split_load: 32,
+            max_splits: 4,
+        }
+    }
+}
+
+/// One action the governor committed against a live structure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GovAction {
+    /// Resumed per-core banking on a contended degraded counter.
+    RestoreBanking,
+    /// Degraded an idle banked counter to exact central mode.
+    Degrade,
+    /// Retuned a counter's spare-banking threshold.
+    SetThreshold(i64),
+    /// Fired a stripe lever; payload is the new stripe count.
+    Split(usize),
+}
+
+/// A logged governor action.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GovDecision {
+    /// Governor epoch (1-based) at which the action fired.
+    pub epoch: u32,
+    /// The registered name of the structure acted on.
+    pub name: String,
+    /// What was done.
+    pub action: GovAction,
+}
+
+struct CounterEntry {
+    counter: Arc<SloppyCounter>,
+    last_central: u64,
+    last_local: u64,
+    last_change: Option<u32>,
+    direction_changes: u32,
+}
+
+/// A stripe lever: `load` observes current peak per-stripe load,
+/// `split` doubles the stripe count and returns the new count.
+struct StripeEntry {
+    load: Box<dyn Fn() -> u64 + Send>,
+    split: Box<dyn Fn() -> usize + Send>,
+    splits_done: u32,
+    last_change: Option<u32>,
+}
+
+#[derive(Default)]
+struct GovState {
+    epoch: u32,
+    // Vec keyed by insertion order: registration order is part of the
+    // determinism contract (BTreeMap would also do, but order-of-
+    // registration reads better in logs).
+    counters: Vec<(String, CounterEntry)>,
+    stripes: Vec<(String, StripeEntry)>,
+    log: Vec<GovDecision>,
+}
+
+/// The runtime policy governor. See the module docs for the loop it
+/// runs; all methods are safe to call from any thread.
+pub struct Governor {
+    policy: GovernorPolicy,
+    state: AdaptiveMutex<GovState>,
+}
+
+impl Governor {
+    /// Creates a governor and registers its state lock under the named
+    /// lockdep class `adapt.governor` (Blocking).
+    pub fn new(policy: GovernorPolicy) -> Self {
+        assert!(
+            policy.demote_total_ops < policy.promote_central_ops,
+            "hysteresis requires demote < promote"
+        );
+        let state = AdaptiveMutex::new(GovState::default());
+        state.set_class(register_class(
+            "adapt.governor",
+            "pk-adapt",
+            LockKind::Blocking,
+        ));
+        Self { policy, state }
+    }
+
+    /// Registers a sloppy counter for governance under `name`.
+    pub fn register_counter(&self, name: &str, counter: Arc<SloppyCounter>) {
+        let (central, local) = counter.op_counts();
+        let mut st = self.state.lock();
+        st.counters.push((
+            name.to_string(),
+            CounterEntry {
+                counter,
+                last_central: central,
+                last_local: local,
+                last_change: None,
+                direction_changes: 0,
+            },
+        ));
+    }
+
+    /// Registers a stripe lever under `name`. `load` reports the peak
+    /// per-stripe load; `split` doubles the stripe count and returns
+    /// the new count (e.g. `Dcache::split_buckets`).
+    pub fn register_stripe(
+        &self,
+        name: &str,
+        load: impl Fn() -> u64 + Send + 'static,
+        split: impl Fn() -> usize + Send + 'static,
+    ) {
+        let mut st = self.state.lock();
+        st.stripes.push((
+            name.to_string(),
+            StripeEntry {
+                load: Box::new(load),
+                split: Box::new(split),
+                splits_done: 0,
+                last_change: None,
+            },
+        ));
+    }
+
+    /// Runs one governance epoch: samples every registered structure,
+    /// applies hysteresis, and commits any actions. Returns the actions
+    /// taken this epoch.
+    ///
+    /// Acquires the governor's blocking state lock — must never be
+    /// called from inside an RCU read-side section (pk-lockdep enforces
+    /// this via the `adapt.governor` class).
+    pub fn epoch(&self) -> Vec<GovDecision> {
+        let policy = self.policy;
+        let mut st = self.state.lock();
+        st.epoch += 1;
+        let epoch = st.epoch;
+        let mut made = Vec::new();
+
+        for (name, e) in &mut st.counters {
+            let (central, local) = e.counter.op_counts();
+            let dc = central.saturating_sub(e.last_central);
+            let dl = local.saturating_sub(e.last_local);
+            e.last_central = central;
+            e.last_local = local;
+            if let Some(at) = e.last_change {
+                if epoch - at < policy.cooldown_epochs {
+                    continue;
+                }
+            }
+            let action = if e.counter.is_degraded() {
+                (dc >= policy.promote_central_ops).then(|| {
+                    e.counter.restore_per_core();
+                    e.direction_changes += 1;
+                    GovAction::RestoreBanking
+                })
+            } else if dc + dl <= policy.demote_total_ops {
+                e.counter.degrade_to_central();
+                e.direction_changes += 1;
+                Some(GovAction::Degrade)
+            } else if dc > dl / policy.tune_divisor {
+                // Banking is live but the central line is still hot:
+                // the threshold is too low, excess keeps flowing back.
+                let cur = e.counter.config().threshold;
+                let next = (cur * 2).max(1).min(policy.max_threshold);
+                (next != cur).then(|| {
+                    e.counter.set_threshold(next);
+                    GovAction::SetThreshold(next)
+                })
+            } else {
+                None
+            };
+            if let Some(action) = action {
+                e.last_change = Some(epoch);
+                made.push(GovDecision {
+                    epoch,
+                    name: name.clone(),
+                    action,
+                });
+            }
+        }
+
+        for (name, e) in &mut st.stripes {
+            if e.splits_done >= policy.max_splits {
+                continue;
+            }
+            if let Some(at) = e.last_change {
+                if epoch - at < policy.cooldown_epochs {
+                    continue;
+                }
+            }
+            if (e.load)() >= policy.split_load {
+                let stripes = (e.split)();
+                e.splits_done += 1;
+                e.last_change = Some(epoch);
+                made.push(GovDecision {
+                    epoch,
+                    name: name.clone(),
+                    action: GovAction::Split(stripes),
+                });
+            }
+        }
+
+        st.log.extend(made.iter().cloned());
+        made
+    }
+
+    /// The full action log, in commit order.
+    pub fn decisions(&self) -> Vec<GovDecision> {
+        self.state.lock().log.clone()
+    }
+
+    /// The largest banking direction-change count over all governed
+    /// counters (threshold retunes and splits are monotone and do not
+    /// count as direction changes).
+    pub fn max_direction_changes(&self) -> u32 {
+        self.state
+            .lock()
+            .counters
+            .iter()
+            .map(|(_, e)| e.direction_changes)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Renders the action log as JSON lines (keys in fixed order).
+    pub fn log_json(&self) -> String {
+        let mut out = String::new();
+        for d in self.decisions() {
+            let action = match d.action {
+                GovAction::RestoreBanking => "\"restore_banking\"".to_string(),
+                GovAction::Degrade => "\"degrade\"".to_string(),
+                GovAction::SetThreshold(t) => format!("{{\"set_threshold\":{t}}}"),
+                GovAction::Split(n) => format!("{{\"split\":{n}}}"),
+            };
+            let _ = writeln!(
+                out,
+                "{{\"epoch\":{},\"name\":\"{}\",\"action\":{}}}",
+                d.epoch, d.name, action
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pk_percpu::CoreId;
+    use pk_sloppy::SloppyConfig;
+
+    fn counter(cores: usize, threshold: i64) -> Arc<SloppyCounter> {
+        Arc::new(SloppyCounter::with_config(
+            cores,
+            SloppyConfig {
+                threshold,
+                ..SloppyConfig::default()
+            },
+        ))
+    }
+
+    #[test]
+    fn contended_degraded_counter_is_promoted() {
+        let g = Governor::new(GovernorPolicy::default());
+        let c = counter(4, 8);
+        c.degrade_to_central();
+        g.register_counter("vfs.dentry_ref", Arc::clone(&c));
+        // Degraded mode: every op is a central op.
+        for _ in 0..100 {
+            c.acquire(CoreId(0), 1);
+            c.release(CoreId(0), 1);
+        }
+        let made = g.epoch();
+        assert_eq!(made.len(), 1);
+        assert_eq!(made[0].action, GovAction::RestoreBanking);
+        assert!(!c.is_degraded());
+    }
+
+    #[test]
+    fn idle_banked_counter_is_demoted_after_cooldown() {
+        let g = Governor::new(GovernorPolicy::default());
+        let c = counter(4, 8);
+        g.register_counter("vfs.vfsmount_ref", Arc::clone(&c));
+        // Epoch 1: idle from the start → demote (no prior change, no
+        // cooldown to respect).
+        let made = g.epoch();
+        assert_eq!(made.len(), 1);
+        assert_eq!(made[0].action, GovAction::Degrade);
+        assert!(c.is_degraded());
+        // Still idle: promotion needs real central traffic, none comes.
+        for _ in 0..4 {
+            assert!(g.epoch().is_empty());
+        }
+        assert_eq!(g.max_direction_changes(), 1);
+    }
+
+    #[test]
+    fn hot_central_line_doubles_threshold() {
+        let g = Governor::new(GovernorPolicy::default());
+        // Threshold 0: every release returns excess to central, so
+        // central trips track local ops 1:1 — maximal contention signal.
+        let c = counter(2, 0);
+        g.register_counter("net.dst_ref", Arc::clone(&c));
+        for _ in 0..200 {
+            c.acquire(CoreId(0), 1);
+            c.release(CoreId(0), 1);
+        }
+        let made = g.epoch();
+        assert_eq!(made.len(), 1);
+        assert_eq!(made[0].action, GovAction::SetThreshold(1));
+        assert_eq!(c.config().threshold, 1);
+        // Keep the pressure on past the cooldown: doubles again.
+        for _ in 0..6 {
+            for _ in 0..200 {
+                c.acquire(CoreId(0), 3);
+                c.release(CoreId(0), 3);
+            }
+            g.epoch();
+        }
+        assert!(c.config().threshold > 1);
+        // Threshold tuning is monotone: never a direction change.
+        assert_eq!(g.max_direction_changes(), 0);
+    }
+
+    #[test]
+    fn stripe_lever_fires_on_load_and_respects_caps() {
+        use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+        let g = Governor::new(GovernorPolicy {
+            cooldown_epochs: 1,
+            max_splits: 2,
+            ..GovernorPolicy::default()
+        });
+        let load = Arc::new(AtomicU64::new(100));
+        let stripes = Arc::new(AtomicUsize::new(64));
+        let (l, s) = (Arc::clone(&load), Arc::clone(&stripes));
+        g.register_stripe(
+            "vfs.dcache",
+            move || l.load(Ordering::Relaxed),
+            move || {
+                let n = s.load(Ordering::Relaxed) * 2;
+                s.store(n, Ordering::Relaxed);
+                n
+            },
+        );
+        assert_eq!(g.epoch()[0].action, GovAction::Split(128));
+        assert_eq!(g.epoch()[0].action, GovAction::Split(256));
+        // Cap reached: load stays high but the lever is spent.
+        assert!(g.epoch().is_empty());
+        assert_eq!(stripes.load(Ordering::Relaxed), 256);
+    }
+
+    #[test]
+    fn promote_demote_cycle_preserves_counter_invariant() {
+        let g = Governor::new(GovernorPolicy::default());
+        let c = counter(4, 8);
+        g.register_counter("cycle", Arc::clone(&c));
+        for round in 0..6 {
+            if round % 2 == 0 {
+                for core in 0..4 {
+                    c.acquire(CoreId(core), 5);
+                    c.release(CoreId(core), 5);
+                }
+            }
+            g.epoch();
+            g.epoch(); // burn the cooldown
+            assert_eq!(c.central(), c.in_use() + c.spares());
+        }
+        assert_eq!(c.reconcile(), 0);
+    }
+}

@@ -1,0 +1,61 @@
+//! Negative test: the governor's state is registered under the named
+//! pk-lockdep class `adapt.governor` (kind Blocking), so a policy flip
+//! attempted from inside an RCU read-side section — where a promoted
+//! structure's readers live — is caught as a would-stall-grace-periods
+//! violation rather than silently wedging writers.
+
+#![cfg(feature = "lockdep")]
+
+use pk_adapt::{Governor, GovernorPolicy};
+use pk_lockdep::ViolationKind;
+use pk_sloppy::SloppyCounter;
+use pk_sync::rcu;
+use std::sync::Arc;
+
+#[test]
+fn policy_flip_inside_epoch_section_is_reported() {
+    let g = Governor::new(GovernorPolicy::default());
+    let c = Arc::new(SloppyCounter::new(4));
+    c.degrade_to_central();
+    g.register_counter("negtest.adapt.counter", Arc::clone(&c));
+
+    {
+        // A reader of the promoted structure holds the epoch open; a
+        // governor epoch here would take the blocking state lock while
+        // grace periods wait on this very section.
+        let _epoch = rcu::read_lock();
+        let _ = g.epoch();
+    }
+
+    let v = pk_lockdep::violations()
+        .into_iter()
+        .find(|v| v.kind == ViolationKind::BlockingInEpoch && v.message.contains("adapt.governor"))
+        .unwrap_or_else(|| {
+            panic!(
+                "no BlockingInEpoch violation naming adapt.governor; store: {:#?}",
+                pk_lockdep::violations()
+            )
+        });
+    assert!(
+        v.message.contains("epoch read-side"),
+        "missing epoch diagnosis: {}",
+        v.message
+    );
+}
+
+#[test]
+fn policy_flip_outside_epoch_sections_is_clean() {
+    let g = Governor::new(GovernorPolicy::default());
+    let c = Arc::new(SloppyCounter::new(4));
+    g.register_counter("negtest.adapt.clean", Arc::clone(&c));
+    // Registration and epochs outside any read-side section: the
+    // Blocking class alone must not be flagged.
+    let _ = g.epoch();
+    let _ = g.epoch();
+    assert!(
+        !pk_lockdep::violations()
+            .iter()
+            .any(|v| v.message.contains("negtest.adapt.clean")),
+        "flip outside epoch sections must be clean"
+    );
+}

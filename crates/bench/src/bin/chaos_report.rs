@@ -152,6 +152,29 @@ fn main() {
         }
     }
 
+    println!("\nAdaptive-controller chaos (convergence under scheduler faults):");
+    println!(
+        "{:>10} {:>8} {:>8} {:>7} {:>6} {:>9} {:>16} {:>6}",
+        "workload", "clean", "faulted", "epochs", "flips", "injected", "final ops/cyc", "ok?"
+    );
+    for r in chaos::adaptive_chaos(args.cores, args.seed) {
+        println!(
+            "{:>10} {:>8} {:>8} {:>7} {:>6} {:>9} {:>16.6} {:>6}",
+            r.workload,
+            r.clean_promoted,
+            r.faulted_promoted,
+            r.epochs,
+            r.max_flips,
+            r.faults_injected,
+            r.final_ops_per_cycle,
+            if r.passed() { "pass" } else { "FAIL" }
+        );
+        for v in &r.violations {
+            failed = true;
+            println!("{:>10}   violation: {v}", "");
+        }
+    }
+
     println!("\nOpen-loop overload (2x arrivals, shedding on, 1% net.rx_drop):");
     println!(
         "{:>10} {:>6} {:>9} {:>9} {:>8} {:>8} {:>9} {:>12} {:>9} {:>6}",

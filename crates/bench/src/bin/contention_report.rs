@@ -7,9 +7,13 @@
 //! Usage:
 //!
 //! ```text
-//! contention_report [WORKLOAD] [stock|pk] [CORES] [--top N] [--all] [--no-des] [--functional]
-//!                   [--topology SxC]
+//! contention_report [WORKLOAD] [stock|pk|adaptive] [CORES] [--top N] [--all] [--no-des]
+//!                   [--functional] [--topology SxC]
 //! ```
+//!
+//! The `adaptive` axis first converges the [`pk_adapt::AdaptController`]
+//! over the workload's model (printing its decision log), then reports
+//! on whatever fix subset the controller promoted.
 //!
 //! `--topology 16x12` swaps in a scaled machine (16 sockets × 12
 //! cores), so `CORES` may range up to 192 — the §7 "past 48 cores"
@@ -19,11 +23,34 @@
 //! configuration behind Figure 4's collapse, whose report must name
 //! the vfsmount-table lock first.
 
-use pk_bench::{contention_report_des_on, contention_report_on, header};
+use pk_adapt::{render_log, AdaptController, AdaptPolicy};
+use pk_bench::{
+    contention_report_config_des_on, contention_report_config_on, contention_report_des_on,
+    contention_report_on, header,
+};
+use pk_kernel::KernelConfig;
 use pk_percpu::CoreId;
 use pk_sim::MachineSpec;
 use pk_workloads::exim::EximDriver;
 use pk_workloads::{roster, KernelChoice};
+
+/// Which kernel axis a report runs on: one of the paper's two fixed
+/// configs, or the adaptive personality (converge the controller
+/// first, then report on whatever config it landed on).
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Axis {
+    Fixed(KernelChoice),
+    Adaptive,
+}
+
+impl Axis {
+    fn label(self) -> &'static str {
+        match self {
+            Self::Fixed(c) => c.label(),
+            Self::Adaptive => "adaptive",
+        }
+    }
+}
 
 /// Deterministic seed and per-core op count for the DES cross-check.
 const DES_OPS_PER_CORE: u64 = 2_000;
@@ -31,7 +58,7 @@ const DES_SEED: u64 = 42;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: contention_report [WORKLOAD] [stock|pk] [CORES] [--top N] [--all] [--no-des] [--functional] [--topology SxC]"
+        "usage: contention_report [WORKLOAD] [stock|pk|adaptive] [CORES] [--top N] [--all] [--no-des] [--functional] [--topology SxC]"
     );
     eprintln!("workloads: {}", roster::NAMES.join(", "));
     std::process::exit(2);
@@ -39,7 +66,7 @@ fn usage() -> ! {
 
 struct Args {
     workload: String,
-    choice: KernelChoice,
+    axis: Axis,
     cores: usize,
     top: usize,
     all: bool,
@@ -51,7 +78,7 @@ struct Args {
 fn parse_args() -> Args {
     let mut args = Args {
         workload: "exim".to_string(),
-        choice: KernelChoice::Stock,
+        axis: Axis::Fixed(KernelChoice::Stock),
         cores: 48,
         top: 10,
         all: false,
@@ -84,9 +111,10 @@ fn parse_args() -> Args {
                 match positional {
                     0 => args.workload = a,
                     1 => {
-                        args.choice = match a.to_ascii_lowercase().as_str() {
-                            "stock" => KernelChoice::Stock,
-                            "pk" => KernelChoice::Pk,
+                        args.axis = match a.to_ascii_lowercase().as_str() {
+                            "stock" => Axis::Fixed(KernelChoice::Stock),
+                            "pk" => Axis::Fixed(KernelChoice::Pk),
+                            "adaptive" => Axis::Adaptive,
                             _ => usage(),
                         }
                     }
@@ -102,13 +130,26 @@ fn parse_args() -> Args {
 
 fn report_one(
     workload: &str,
-    choice: KernelChoice,
+    axis: Axis,
     cores: usize,
     top: usize,
     des: bool,
     machine: MachineSpec,
 ) {
-    let Some(analytic) = contention_report_on(workload, choice, cores, machine) else {
+    let (analytic, config) = match axis {
+        Axis::Fixed(choice) => (contention_report_on(workload, choice, cores, machine), None),
+        Axis::Adaptive => {
+            let Some(config) = converge_adaptive(workload, cores, machine) else {
+                eprintln!("unknown workload: {workload}");
+                usage();
+            };
+            (
+                contention_report_config_on(workload, &config, cores, machine),
+                Some(config),
+            )
+        }
+    };
+    let Some(analytic) = analytic else {
         eprintln!("unknown workload: {workload}");
         usage();
     };
@@ -121,12 +162,60 @@ fn report_one(
         );
     }
     if des {
-        let measured =
-            contention_report_des_on(workload, choice, cores, DES_OPS_PER_CORE, DES_SEED, machine)
-                .expect("same roster as the analytic report");
+        let measured = match (axis, &config) {
+            (Axis::Fixed(choice), _) => contention_report_des_on(
+                workload,
+                choice,
+                cores,
+                DES_OPS_PER_CORE,
+                DES_SEED,
+                machine,
+            ),
+            (Axis::Adaptive, Some(config)) => contention_report_config_des_on(
+                workload,
+                config,
+                cores,
+                DES_OPS_PER_CORE,
+                DES_SEED,
+                machine,
+            ),
+            (Axis::Adaptive, None) => unreachable!("adaptive axis always carries its config"),
+        }
+        .expect("same roster as the analytic report");
         println!("cross-check — discrete-event measurement (seed {DES_SEED}):");
         println!("{}", measured.render(top));
     }
+}
+
+/// Converges the adaptive controller for `workload` and prints its
+/// decision log; returns the post-adaptation config. `None` for
+/// unknown workloads.
+fn converge_adaptive(workload: &str, cores: usize, machine: MachineSpec) -> Option<KernelConfig> {
+    // Probe the name before moving it into the build closure.
+    roster::model_with_config(workload, &KernelConfig::adaptive(cores), machine)?;
+    let name = workload.to_string();
+    let build = move |cfg: &KernelConfig| {
+        roster::model_with_config(&name, cfg, machine)
+            .expect("probed above")
+            .network(cores)
+    };
+    let out = AdaptController::new(
+        KernelConfig::adaptive(cores),
+        AdaptPolicy::default(),
+        DES_SEED,
+    )
+    .converge_des(build, cores);
+    println!(
+        "adaptive controller (seed {DES_SEED}): {} epochs, converged={}, \
+         {} promoted, max direction changes {}",
+        out.epochs,
+        out.converged,
+        out.config.enabled_count(),
+        out.max_direction_changes()
+    );
+    print!("{}", render_log(&out.decisions));
+    println!();
+    Some(out.config)
 }
 
 /// Runs the functional Exim driver and prints the kernel's own
@@ -161,32 +250,35 @@ fn main() {
     }
     if args.all {
         for workload in roster::NAMES {
-            for choice in [KernelChoice::Stock, KernelChoice::Pk] {
+            for axis in [
+                Axis::Fixed(KernelChoice::Stock),
+                Axis::Fixed(KernelChoice::Pk),
+                Axis::Adaptive,
+            ] {
                 header(
-                    &format!("{workload} / {}", choice.label()),
+                    &format!("{workload} / {}", axis.label()),
                     "cycle attribution from the MVA solve",
                 );
-                report_one(
-                    workload,
-                    choice,
-                    args.cores,
-                    args.top,
-                    args.des,
-                    args.machine,
-                );
+                report_one(workload, axis, args.cores, args.top, args.des, args.machine);
             }
         }
     } else {
         report_one(
             &args.workload,
-            args.choice,
+            args.axis,
             args.cores,
             args.top,
             args.des,
             args.machine,
         );
         if args.functional && args.workload.eq_ignore_ascii_case("exim") {
-            functional_exim(args.choice, args.cores);
+            // The functional driver runs a booted kernel, so the
+            // adaptive axis boots the zero-fix adaptive personality.
+            let choice = match args.axis {
+                Axis::Fixed(c) => c,
+                Axis::Adaptive => KernelChoice::Stock,
+            };
+            functional_exim(choice, args.cores);
         }
     }
 }

@@ -2,8 +2,10 @@
 //! workloads under both kernels, plus the CI gate on the paper's Exim
 //! headline (§5.2).
 //!
-//! For each workload × {stock, PK} this traces a 48-core discrete-event
-//! run and prints the paper-style "top functions by % of cycles" table.
+//! For each workload × {stock, PK, adaptive} this traces a 48-core
+//! discrete-event run and prints the paper-style "top functions by % of
+//! cycles" table (the adaptive column first converges the
+//! `pk_adapt::AdaptController` and profiles its promoted config).
 //! It then derives the Exim diagnosis — vfsmount-table lock spans must
 //! dominate stock exclusive cycles and disappear under PK — and exits
 //! non-zero if that inversion is not observed. A functional pass runs
@@ -91,6 +93,29 @@ fn main() {
             }
             runs.push(attr);
         }
+        // The adaptive axis: converge the controller, then attribute
+        // cycles under whatever config it promoted.
+        let build = move |cfg: &pk_kernel::KernelConfig| {
+            roster::model_with_config(name, cfg, machine)
+                .expect("roster name resolves")
+                .network(cores)
+        };
+        let out = pk_adapt::AdaptController::new(
+            pk_kernel::KernelConfig::adaptive(cores),
+            pk_adapt::AdaptPolicy::default(),
+            seed,
+        )
+        .converge_des(build, cores);
+        let (attr, _) =
+            profile::run_traced_config_on(name, &out.config, "adaptive", cores, ops, seed, machine)
+                .expect("roster name resolves");
+        println!(
+            "--- {name} / adaptive ({} promoted in {} epochs) ---",
+            out.config.enabled_count(),
+            out.epochs
+        );
+        print!("{}", attr.table);
+        runs.push(attr);
     }
 
     functional_exim_pass();

@@ -477,6 +477,170 @@ pub fn des_chaos(choice: KernelChoice, cores: usize, seed: u64) -> Vec<DesChaosR
         .collect()
 }
 
+/// Measurement epochs' ops/core for the adaptive chaos runs (matches
+/// [`pk_adapt::AdaptPolicy::default`]'s epoch sizing).
+const ADAPT_OPS_PER_CORE: u64 = 200;
+/// Epoch cap for the faulted convergence loop.
+const ADAPT_MAX_EPOCHS: u32 = 32;
+/// Settle window: decision-free epochs before declaring convergence.
+const ADAPT_SETTLE_EPOCHS: u32 = 2;
+
+/// One workload's adaptive-controller convergence under scheduler
+/// faults: the controller leg of the chaos matrix. Every measurement
+/// epoch runs with lock-holder preemption and core stalls armed; the
+/// controller must still settle, keep its flip bound, and land on a
+/// config that performs.
+#[derive(Debug, Clone)]
+pub struct AdaptiveChaosRow {
+    /// Workload model name.
+    pub workload: &'static str,
+    /// Fixes promoted by the fault-free reference convergence.
+    pub clean_promoted: usize,
+    /// Fixes promoted while faults were armed.
+    pub faulted_promoted: usize,
+    /// Epochs the faulted convergence consumed.
+    pub epochs: u32,
+    /// Whether the faulted controller settled before the epoch cap.
+    pub converged: bool,
+    /// Max direction changes of any knob during the faulted run.
+    pub max_flips: u32,
+    /// Scheduler faults injected across the measurement epochs.
+    pub faults_injected: u64,
+    /// Ops/cycle of the faulted run's final config (fault-free
+    /// measurement — the config must perform once the noise is gone).
+    pub final_ops_per_cycle: f64,
+    /// Invariant violations (empty = pass).
+    pub violations: Vec<String>,
+}
+
+impl AdaptiveChaosRow {
+    /// Whether the row passed.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Converges the adaptive controller for every roster workload with
+/// scheduler faults armed during each measurement epoch.
+///
+/// The clean reference uses [`pk_adapt::AdaptController::converge_des`];
+/// the faulted leg drives the same controller manually, measuring each
+/// epoch through [`des::simulate_with_faults`] so lock-holder
+/// preemption and core stalls perturb the contention samples the
+/// controller sees. Gates per workload: the controller must still
+/// settle, no knob may flap (> 3 direction changes), faults must
+/// actually fire, and the converged config must reach 90% of the clean
+/// config's fault-free throughput. Deterministic per `(cores, seed)`.
+pub fn adaptive_chaos(cores: usize, seed: u64) -> Vec<AdaptiveChaosRow> {
+    use pk_adapt::{AdaptController, AdaptPolicy, Observation};
+    use pk_kernel::KernelConfig;
+    use pk_sim::MachineSpec;
+
+    let machine = MachineSpec::paper();
+    roster::NAMES
+        .iter()
+        .map(|&name| {
+            let build = |cfg: &KernelConfig| {
+                roster::model_with_config(name, cfg, machine)
+                    .expect("roster name resolves")
+                    .network(cores)
+            };
+            let policy = AdaptPolicy {
+                ops_per_core: ADAPT_OPS_PER_CORE,
+                max_epochs: ADAPT_MAX_EPOCHS,
+                settle_epochs: ADAPT_SETTLE_EPOCHS,
+                ..AdaptPolicy::default()
+            };
+            let clean = AdaptController::new(KernelConfig::adaptive(cores), policy, seed)
+                .converge_des(build, cores);
+
+            // Faulted convergence: same controller semantics, but every
+            // epoch's measurement runs under armed scheduler faults.
+            let mut ctl = AdaptController::new(KernelConfig::adaptive(cores), policy, seed);
+            let mut faults_injected = 0u64;
+            let mut quiet = 0u32;
+            let mut converged = false;
+            let mut flips: std::collections::BTreeMap<&'static str, (bool, u32)> =
+                std::collections::BTreeMap::new();
+            while ctl.epoch() < ADAPT_MAX_EPOCHS {
+                let net = build(&ctl.config());
+                let epoch_seed = seed ^ (u64::from(ctl.epoch()) + 1).wrapping_mul(0x9E37_79B9);
+                let plane = FaultPlane::with_seed(epoch_seed);
+                plane.set("sim.lock_holder_preempt", FaultSchedule::EveryNth(211));
+                plane.set("sim.core_stall", FaultSchedule::EveryNth(389));
+                plane.enable();
+                let r =
+                    des::simulate_with_faults(&net, cores, ADAPT_OPS_PER_CORE, epoch_seed, &plane);
+                faults_injected += plane.injected_total();
+                let observations: Vec<Observation> = net
+                    .stations()
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(j, st)| {
+                        let class = st.class?;
+                        let residence = st.demand_cycles + r.mean_wait_cycles[j];
+                        let share_bp = (residence / r.cycles_per_op * 10_000.0).round() as u64;
+                        Some(Observation { class, share_bp })
+                    })
+                    .collect();
+                let made = ctl.observe(&observations);
+                for d in &made {
+                    let e = flips.entry(d.class).or_insert((d.enabled, 0));
+                    e.0 = d.enabled;
+                    e.1 += 1;
+                }
+                if made.is_empty() {
+                    quiet += 1;
+                    if quiet >= ADAPT_SETTLE_EPOCHS {
+                        converged = true;
+                        break;
+                    }
+                } else {
+                    quiet = 0;
+                }
+            }
+            let max_flips = flips.values().map(|(_, n)| *n).max().unwrap_or(0);
+            let final_config = ctl.config();
+
+            // Judge both configs fault-free over the same seeded run.
+            let clean_tput =
+                des::simulate(&build(&clean.config), cores, DES_OPS_PER_CORE, seed).ops_per_cycle;
+            let final_ops_per_cycle =
+                des::simulate(&build(&final_config), cores, DES_OPS_PER_CORE, seed).ops_per_cycle;
+
+            let mut violations = Vec::new();
+            if !converged {
+                violations.push(format!(
+                    "controller wedged: no settle within {ADAPT_MAX_EPOCHS} epochs"
+                ));
+            }
+            if max_flips > 3 {
+                violations.push(format!("a knob flapped {max_flips} times under faults"));
+            }
+            if faults_injected == 0 {
+                violations.push("scheduler faults never fired".to_string());
+            }
+            if final_ops_per_cycle < 0.90 * clean_tput {
+                violations.push(format!(
+                    "faulted convergence landed on a bad config: {final_ops_per_cycle:.6} \
+                     vs clean {clean_tput:.6} ops/cycle"
+                ));
+            }
+            AdaptiveChaosRow {
+                workload: name,
+                clean_promoted: clean.config.enabled_count(),
+                faulted_promoted: final_config.enabled_count(),
+                epochs: ctl.epoch(),
+                converged,
+                max_flips,
+                faults_injected,
+                final_ops_per_cycle,
+                violations,
+            }
+        })
+        .collect()
+}
+
 /// Requests per open-loop overload chaos run.
 const OVERLOAD_REQUESTS: u64 = 2_000;
 /// Offered load for the overload rows, percent of PK capacity.
@@ -885,6 +1049,27 @@ mod tests {
             let again = run_rcu_overflow(choice, 4, 7);
             assert_eq!(again.injected, r.injected);
             assert_eq!(again.call_rcu, r.call_rcu);
+        }
+    }
+
+    #[test]
+    fn adaptive_chaos_converges_and_replays() {
+        let rows = adaptive_chaos(8, 7);
+        assert_eq!(rows.len(), roster::NAMES.len());
+        for r in &rows {
+            assert!(r.passed(), "{}: {:?}", r.workload, r.violations);
+            assert!(r.converged, "{}: wedged under faults", r.workload);
+            assert!(r.max_flips <= 3, "{}: flapped", r.workload);
+        }
+        // Faults fire somewhere in the roster (workloads whose stations
+        // are pure delays may see none).
+        assert!(rows.iter().any(|r| r.faults_injected > 0));
+        // Same seed → identical rows: the soak replays.
+        let again = adaptive_chaos(8, 7);
+        for (a, b) in rows.iter().zip(&again) {
+            assert_eq!(a.faulted_promoted, b.faulted_promoted);
+            assert_eq!(a.epochs, b.epochs);
+            assert_eq!(a.faults_injected, b.faults_injected);
         }
     }
 

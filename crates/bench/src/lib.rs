@@ -108,6 +108,52 @@ pub fn contention_report_des_on(
     ))
 }
 
+/// [`contention_report_on`] for an arbitrary kernel fix subset — the
+/// axis the adaptive personality's controller moves along. The report's
+/// config column carries [`pk_workloads::config_label`], so an
+/// adaptive config renders as `Adaptive(n promoted)`.
+pub fn contention_report_config_on(
+    workload: &str,
+    config: &pk_kernel::KernelConfig,
+    cores: usize,
+    machine: pk_sim::MachineSpec,
+) -> Option<ContentionReport> {
+    machine
+        .validate_cores(cores)
+        .expect("core count validated by the caller");
+    let model = pk_workloads::roster::model_with_config(workload, config, machine)?;
+    let solved = model.network(cores).solve(cores);
+    Some(ContentionReport::from_snapshot(
+        display_name(&model.name()),
+        pk_workloads::config_label(config),
+        cores,
+        &solved.snapshot(),
+    ))
+}
+
+/// [`contention_report_des_on`] for an arbitrary kernel fix subset.
+pub fn contention_report_config_des_on(
+    workload: &str,
+    config: &pk_kernel::KernelConfig,
+    cores: usize,
+    ops_per_core: u64,
+    seed: u64,
+    machine: pk_sim::MachineSpec,
+) -> Option<ContentionReport> {
+    machine
+        .validate_cores(cores)
+        .expect("core count validated by the caller");
+    let model = pk_workloads::roster::model_with_config(workload, config, machine)?;
+    let net = model.network(cores);
+    let measured = pk_sim::des::simulate(&net, cores, ops_per_core, seed);
+    Some(ContentionReport::from_snapshot(
+        display_name(&model.name()),
+        pk_workloads::config_label(config),
+        cores,
+        &measured.snapshot(&net),
+    ))
+}
+
 /// Model names embed their config (`Exim/Stock`); the report prints
 /// the config separately, so keep only the application part.
 fn display_name(model_name: &str) -> String {

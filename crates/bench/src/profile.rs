@@ -38,7 +38,7 @@ pub struct ClassShare {
 pub struct WorkloadAttribution {
     /// Roster workload name.
     pub workload: String,
-    /// `"stock"` or `"pk"`.
+    /// `"stock"`, `"pk"`, or `"adaptive"`.
     pub config: &'static str,
     /// Simulated core count.
     pub cores: usize,
@@ -123,6 +123,54 @@ pub fn run_traced_on(
         .validate_cores(cores)
         .expect("core count validated by the caller");
     let model = roster::model_on(workload, choice, machine)?;
+    let label = match choice {
+        KernelChoice::Stock => "stock",
+        KernelChoice::Pk => "pk",
+    };
+    Some(trace_model(
+        model.as_ref(),
+        workload,
+        label,
+        cores,
+        ops_per_core,
+        seed,
+    ))
+}
+
+/// [`run_traced_on`] for an arbitrary kernel fix subset — the adaptive
+/// axis. `label` names the axis in the attribution (`"adaptive"`).
+pub fn run_traced_config_on(
+    workload: &str,
+    config: &pk_kernel::KernelConfig,
+    label: &'static str,
+    cores: usize,
+    ops_per_core: u64,
+    seed: u64,
+    machine: pk_sim::MachineSpec,
+) -> Option<(WorkloadAttribution, Vec<Event>)> {
+    machine
+        .validate_cores(cores)
+        .expect("core count validated by the caller");
+    let model = roster::model_with_config(workload, config, machine)?;
+    Some(trace_model(
+        model.as_ref(),
+        workload,
+        label,
+        cores,
+        ops_per_core,
+        seed,
+    ))
+}
+
+/// Shared tracing + folding behind both axes.
+fn trace_model(
+    model: &dyn pk_sim::WorkloadModel,
+    workload: &str,
+    config: &'static str,
+    cores: usize,
+    ops_per_core: u64,
+    seed: u64,
+) -> (WorkloadAttribution, Vec<Event>) {
     let net = model.network(cores);
     let tracer = Tracer::new(cores, ring_capacity(ops_per_core, net.stations().len()));
     pk_sim::des::simulate_traced(
@@ -148,13 +196,10 @@ pub fn run_traced_on(
             share: t.exclusive as f64 / total as f64,
         })
         .collect();
-    Some((
+    (
         WorkloadAttribution {
             workload: workload.to_string(),
-            config: match choice {
-                KernelChoice::Stock => "stock",
-                KernelChoice::Pk => "pk",
-            },
+            config,
             cores,
             total_cycles: profile.total_cycles,
             dropped_events,
@@ -162,7 +207,7 @@ pub fn run_traced_on(
             table: profile.table(8),
         },
         events,
-    ))
+    )
 }
 
 /// The paper's Exim headline, derived rather than asserted: at 48
@@ -206,8 +251,8 @@ fn json_escape(s: &str) -> String {
 }
 
 /// Renders the deterministic JSON artifact: fixed key order, fixed
-/// 6-decimal float formatting, runs in roster × {stock, pk} order —
-/// byte-identical for a fixed seed.
+/// 6-decimal float formatting, runs in roster × {stock, pk, adaptive}
+/// order — byte-identical for a fixed seed.
 pub fn report_json(
     seed: u64,
     cores: usize,

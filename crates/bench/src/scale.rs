@@ -28,7 +28,8 @@ use std::fmt::Write as _;
 /// Bumped whenever the metric set changes shape, so a `--check` against
 /// a stale baseline fails loudly instead of silently skipping keys.
 /// v2: added `topo.*` large-topology rows (16×12 / 192 cores).
-pub const SCHEMA_VERSION: u64 = 2;
+/// v3: added `adapt.*` adaptive-personality convergence rows.
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// Allowed relative growth in a `*cycles*` metric before `--check`
 /// calls it a regression (the issue's 10% budget).
@@ -319,6 +320,41 @@ pub fn deterministic_metrics(seed: u64) -> Metrics {
         let prefix = format!("topo.16x12.exim.{label}.des.c192");
         m.put_f64(&format!("{prefix}.cycles_per_op"), r.cycles_per_op);
         m.put_u64(&format!("{prefix}.events"), r.events_processed);
+    }
+
+    // Adaptive-personality convergence rows: for every workload, boot
+    // the zero-fix adaptive config, let the controller promote levers
+    // from seeded DES observations, and pin the outcome — promoted-fix
+    // count, epochs, flap bound, and the converged config's measured
+    // cycles/op (regression-checked like every `*cycles*` metric).
+    {
+        use pk_adapt::{AdaptController, AdaptPolicy};
+        use pk_kernel::KernelConfig;
+        let machine = pk_sim::MachineSpec::paper();
+        for name in roster::NAMES {
+            let build = move |cfg: &KernelConfig| {
+                roster::model_with_config(name, cfg, machine)
+                    .expect("roster name resolves")
+                    .network(48)
+            };
+            let out =
+                AdaptController::new(KernelConfig::adaptive(48), AdaptPolicy::default(), seed)
+                    .converge_des(build, 48);
+            let prefix = format!("adapt.{name}.c48");
+            m.put_u64(
+                &format!("{prefix}.promoted"),
+                out.config.enabled_count() as u64,
+            );
+            m.put_u64(&format!("{prefix}.epochs"), u64::from(out.epochs));
+            m.put_u64(&format!("{prefix}.converged"), u64::from(out.converged));
+            m.put_u64(&format!("{prefix}.decisions"), out.decisions.len() as u64);
+            m.put_u64(
+                &format!("{prefix}.max_direction_changes"),
+                u64::from(out.max_direction_changes()),
+            );
+            let r = des::simulate(&build(&out.config), 48, 2_000, seed);
+            m.put_f64(&format!("{prefix}.des.cycles_per_op"), r.cycles_per_op);
+        }
     }
 
     // Writer-stall phases: the same churn under blocking synchronize()

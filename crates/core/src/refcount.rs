@@ -145,6 +145,28 @@ impl SloppyRefCount {
     pub fn op_counts(&self) -> (u64, u64) {
         self.counter.op_counts()
     }
+
+    /// Degrades the backing counter to central-only mode (see
+    /// [`SloppyCounter::degrade_to_central`]).
+    pub fn degrade_to_central(&self) {
+        self.counter.degrade_to_central();
+    }
+
+    /// Resumes per-core banking (see [`SloppyCounter::restore_per_core`]).
+    pub fn restore_per_core(&self) {
+        self.counter.restore_per_core();
+    }
+
+    /// Whether the backing counter is in degraded (central-only) mode.
+    pub fn is_degraded(&self) -> bool {
+        self.counter.is_degraded()
+    }
+
+    /// Retunes the backing counter's banking threshold (see
+    /// [`SloppyCounter::set_threshold`]).
+    pub fn set_threshold(&self, threshold: i64) {
+        self.counter.set_threshold(threshold);
+    }
 }
 
 /// A reference count whose backing is chosen at object-creation time:
@@ -264,6 +286,30 @@ impl RefCount {
     pub fn is_sloppy(&self) -> bool {
         matches!(self, Self::Sloppy(_))
     }
+
+    /// Sets whether per-core banking is live on a sloppy-backed
+    /// refcount: `true` restores per-core banks, `false` degrades to
+    /// central-only mode. A no-op on the atomic variant, which has no
+    /// banks — this is the promotion lever `pk-adapt` pulls, and it has
+    /// to be safe to aim at any object.
+    pub fn set_banking(&self, enabled: bool) {
+        if let Self::Sloppy(rc) = self {
+            if enabled {
+                rc.restore_per_core();
+            } else {
+                rc.degrade_to_central();
+            }
+        }
+    }
+
+    /// Whether get/put currently bounce a shared cache line: true for
+    /// the atomic variant and for a degraded sloppy counter.
+    pub fn is_central_only(&self) -> bool {
+        match self {
+            Self::Atomic { .. } => true,
+            Self::Sloppy(rc) => rc.is_degraded(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -321,6 +367,23 @@ mod tests {
         }
         let (central_after, _) = rc.op_counts();
         assert_eq!(central_before, central_after);
+    }
+
+    #[test]
+    fn banking_lever_flips_sloppy_and_ignores_atomic() {
+        let rc = RefCount::new_sloppy(4);
+        assert!(!rc.is_central_only());
+        rc.set_banking(false);
+        assert!(rc.is_central_only());
+        rc.get(CoreId(2)).unwrap();
+        rc.put(CoreId(2));
+        rc.set_banking(true);
+        assert!(!rc.is_central_only());
+        assert_eq!(rc.references(), 1);
+
+        let atomic = RefCount::new_atomic();
+        atomic.set_banking(true); // no-op, must not panic
+        assert!(atomic.is_central_only());
     }
 
     #[test]

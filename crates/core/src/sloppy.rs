@@ -62,6 +62,12 @@ pub struct SloppyCounter {
     central: AtomicI64,
     local: PerCore<AtomicI64>,
     config: SloppyConfig,
+    /// Live copy of `config.threshold`, runtime-tunable: `pk-adapt`
+    /// retunes it from observed drift-vs-contention ratios while other
+    /// cores keep acquiring/releasing. Reads are Relaxed — a stale
+    /// threshold only shifts *when* excess is returned, never the
+    /// `central = in_use + spares` invariant.
+    threshold: AtomicI64,
     central_ops: AtomicU64,
     local_ops: AtomicU64,
     /// When set, per-core banking is bypassed and every operation goes
@@ -89,6 +95,7 @@ impl SloppyCounter {
             central: AtomicI64::new(0),
             local: PerCore::new_with(cores, |_| AtomicI64::new(0)),
             config,
+            threshold: AtomicI64::new(config.threshold),
             central_ops: AtomicU64::new(0),
             local_ops: AtomicU64::new(0),
             degraded: AtomicBool::new(false),
@@ -155,10 +162,11 @@ impl SloppyCounter {
     /// same spares, and a concurrent `acquire` draining the slot simply
     /// shrinks (or cancels) the claim.
     fn return_excess(&self, slot: &AtomicI64, after: i64) {
-        if after <= self.config.threshold {
+        let threshold = self.threshold.load(Ordering::Relaxed);
+        if after <= threshold {
             return;
         }
-        let excess = after - self.config.threshold;
+        let excess = after - threshold;
         let mut cur = slot.load(Ordering::Relaxed);
         loop {
             let take = excess.min(cur);
@@ -278,9 +286,31 @@ impl SloppyCounter {
         )
     }
 
-    /// Returns the tuning configuration.
+    /// Returns the tuning configuration, with the *current* (possibly
+    /// retuned) threshold.
     pub fn config(&self) -> SloppyConfig {
-        self.config
+        SloppyConfig {
+            threshold: self.threshold.load(Ordering::Relaxed),
+            prefetch: self.config.prefetch,
+        }
+    }
+
+    /// Retunes the spare-banking threshold at runtime.
+    ///
+    /// Raising it banks more spares per core (fewer central ops, more
+    /// slop in `central`); lowering it drains banks toward central on
+    /// each subsequent release. Safe to call concurrently with
+    /// operations on any core: the threshold only decides when excess
+    /// is returned, so the counter invariant is unaffected. Lowering
+    /// does not eagerly flush existing banks — the next release on each
+    /// core does.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold < 0`.
+    pub fn set_threshold(&self, threshold: i64) {
+        assert!(threshold >= 0, "threshold must be non-negative");
+        self.threshold.store(threshold, Ordering::Relaxed);
     }
 }
 
@@ -581,6 +611,32 @@ mod tests {
         }
         assert_eq!(c.in_use(), 0);
         assert_eq!(c.reconcile(), 0);
+    }
+
+    #[test]
+    fn set_threshold_retunes_banking_live() {
+        let c = SloppyCounter::with_config(
+            2,
+            SloppyConfig {
+                threshold: 2,
+                prefetch: 0,
+            },
+        );
+        c.acquire(CoreId(0), 10);
+        c.release(CoreId(0), 10); // threshold 2 → 8 returned, 2 banked
+        assert_eq!(c.spares(), 2);
+        c.set_threshold(16);
+        assert_eq!(c.config().threshold, 16);
+        c.acquire(CoreId(0), 10); // miss (2 spares): central += 10
+        c.release(CoreId(0), 10); // bank of 12 ≤ 16 → all stay banked
+        assert_eq!(c.spares(), 12);
+        assert_invariant(&c, 0);
+        // Lowering drains on the next release.
+        c.set_threshold(1);
+        c.acquire(CoreId(0), 1);
+        c.release(CoreId(0), 1);
+        assert_eq!(c.spares(), 1);
+        assert_invariant(&c, 0);
     }
 
     #[test]

@@ -6,17 +6,39 @@ use pk_net::NetConfig;
 use pk_sim::OverloadPolicy;
 use pk_vfs::VfsConfig;
 
+/// Which kind of kernel this configuration describes.
+///
+/// `Stock` and `Pk` are the paper's two endpoints. `Adaptive` is the
+/// third personality (ROADMAP item 5): it *boots* with the same fix
+/// set as stock — zero hand-placed fixes — but carries the machinery
+/// for `pk-adapt` to enable fixes at runtime from observed contention,
+/// and its functional substrates keep sloppy counters present but
+/// degraded-to-central so the controller can promote them in place.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Personality {
+    /// Stock Linux 2.6.35-rc5 semantics; the fix set is frozen.
+    Stock,
+    /// The hand-patched PK kernel; the fix set is frozen.
+    Pk,
+    /// Fixes start off and are flipped at runtime by `pk-adapt`.
+    Adaptive,
+}
+
 /// A kernel build: core count plus the enabled fix set.
 ///
 /// [`KernelConfig::stock`] is Linux 2.6.35-rc5; [`KernelConfig::pk`]
-/// enables all 16 Figure-1 fixes; [`KernelConfig::with_fix`] toggles
-/// individual fixes for ablation studies.
+/// enables all 16 Figure-1 fixes; [`KernelConfig::adaptive`] starts
+/// from zero fixes and lets the `pk-adapt` controller enable them;
+/// [`KernelConfig::with_fix`] toggles individual fixes for ablation
+/// studies.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct KernelConfig {
     /// Number of cores the kernel serves.
     pub cores: usize,
     /// Which fixes are enabled.
     fixes: [bool; 16],
+    /// Which personality this build is (stock / PK / adaptive).
+    personality: Personality,
     /// Reclamation discipline for RCU-protected structures in every
     /// substrate: deferred `call_rcu` (true, the default) or blocking
     /// `synchronize()` on each writer. Orthogonal to the 16 fixes.
@@ -35,6 +57,7 @@ impl KernelConfig {
         Self {
             cores,
             fixes: [false; 16],
+            personality: Personality::Stock,
             deferred_reclamation: true,
             overload: OverloadPolicy::NONE,
         }
@@ -45,9 +68,31 @@ impl KernelConfig {
         Self {
             cores,
             fixes: [true; 16],
+            personality: Personality::Pk,
             deferred_reclamation: true,
             overload: OverloadPolicy::NONE,
         }
+    }
+
+    /// The adaptive kernel: boots with zero fixes enabled, like stock,
+    /// but tagged [`Personality::Adaptive`] so the substrates keep the
+    /// runtime levers in place (sloppy counters allocated but degraded
+    /// to central mode) for `pk-adapt` to promote once contention is
+    /// observed. Fix flips happen via [`KernelConfig::with_fix`], driven
+    /// by the controller, never by hand.
+    pub fn adaptive(cores: usize) -> Self {
+        Self {
+            cores,
+            fixes: [false; 16],
+            personality: Personality::Adaptive,
+            deferred_reclamation: true,
+            overload: OverloadPolicy::NONE,
+        }
+    }
+
+    /// Which personality this build is.
+    pub fn personality(&self) -> Personality {
+        self.personality
     }
 
     /// Returns a copy with the RCU reclamation discipline set: deferred
@@ -101,11 +146,21 @@ impl KernelConfig {
     }
 
     /// Lowers the fix set onto the VFS substrate's configuration.
+    ///
+    /// The adaptive personality allocates sloppy refcounts even while
+    /// their fixes are off, but boots them degraded to central mode:
+    /// semantically identical to stock's atomic counters, yet leaving
+    /// `restore_per_core` as a lever the controller can pull without a
+    /// structure swap.
     pub fn vfs(&self) -> VfsConfig {
+        let adaptive = self.personality == Personality::Adaptive;
         VfsConfig {
             cores: self.cores,
-            sloppy_dentry_refs: self.has(FixId::SloppyDentryRefs),
-            sloppy_vfsmount_refs: self.has(FixId::SloppyVfsmountRefs),
+            sloppy_dentry_refs: adaptive || self.has(FixId::SloppyDentryRefs),
+            sloppy_vfsmount_refs: adaptive || self.has(FixId::SloppyVfsmountRefs),
+            refs_start_degraded: adaptive
+                && !self.has(FixId::SloppyDentryRefs)
+                && !self.has(FixId::SloppyVfsmountRefs),
             lockfree_dlookup: self.has(FixId::LockFreeDlookup),
             percore_mount_cache: self.has(FixId::PerCoreMountCache),
             percore_open_lists: self.has(FixId::PerCoreOpenLists),
@@ -178,6 +233,26 @@ mod tests {
         assert_eq!(stock.net(), NetConfig::stock(48));
         assert_eq!(stock.mm(), MmConfig::stock(48));
         assert_eq!(pk.mm(), MmConfig::pk(48));
+    }
+
+    #[test]
+    fn adaptive_boots_like_stock_with_levers_armed() {
+        let a = KernelConfig::adaptive(48);
+        assert_eq!(a.enabled_count(), 0, "zero hand-placed fixes at boot");
+        assert_eq!(a.personality(), Personality::Adaptive);
+        let v = a.vfs();
+        assert!(v.sloppy_dentry_refs && v.sloppy_vfsmount_refs);
+        assert!(v.refs_start_degraded, "counters boot degraded to central");
+        // Once the controller promotes the sloppy-counter fixes, fresh
+        // objects boot with per-core banks live.
+        let promoted = a
+            .with_fix(FixId::SloppyDentryRefs, true)
+            .with_fix(FixId::SloppyVfsmountRefs, true);
+        assert!(!promoted.vfs().refs_start_degraded);
+        assert_eq!(promoted.personality(), Personality::Adaptive);
+        // The net/mm substrates boot exactly like stock.
+        assert_eq!(a.net(), KernelConfig::stock(48).net());
+        assert_eq!(a.mm(), KernelConfig::stock(48).mm());
     }
 
     #[test]

@@ -86,12 +86,32 @@ pub struct Fix {
     pub solution: &'static str,
     /// Applications the row names.
     pub apps: &'static [App],
+    /// The kernel structure the fix relieves, as a stable class name.
+    ///
+    /// Workload models tag the [`pk_sim::Station`] that models a
+    /// structure's contention with the same string (`Station::with_class`),
+    /// which is what lets `pk-adapt` go from an *observed* hot structure
+    /// to the lever that relieves it without any per-workload table: the
+    /// mapping lives here, with the fix, not in the controller.
+    pub class: &'static str,
+}
+
+/// Looks up the fix registered for a kernel-structure class name.
+///
+/// This is the kernel-global observation→lever map the adaptive
+/// personality uses: a contended station tagged `"vfs.mount_table"`
+/// resolves to [`FixId::PerCoreMountCache`] no matter which workload
+/// exposed the contention. Returns `None` for classes with no
+/// registered lever (app-level structures).
+pub fn fix_for_class(class: &str) -> Option<FixId> {
+    FIXES.iter().find(|f| f.class == class).map(|f| f.id)
 }
 
 /// All 16 fixes in Figure-1 order.
 pub const FIXES: [Fix; 16] = [
     Fix {
         id: FixId::ParallelAccept,
+        class: "net.accept_queue",
         name: "Parallel accept",
         problem: "Concurrent accept system calls contend on shared socket fields.",
         solution: "User per-core backlog queues for listening sockets.",
@@ -99,6 +119,7 @@ pub const FIXES: [Fix; 16] = [
     },
     Fix {
         id: FixId::SloppyDentryRefs,
+        class: "vfs.dentry_ref",
         name: "dentry reference counting",
         problem: "File name resolution contends on directory entry reference counts.",
         solution: "Use sloppy counters to reference count directory entry objects.",
@@ -106,6 +127,7 @@ pub const FIXES: [Fix; 16] = [
     },
     Fix {
         id: FixId::SloppyVfsmountRefs,
+        class: "vfs.vfsmount_ref",
         name: "Mount point (vfsmount) reference counting",
         problem: "Walking file name paths contends on mount point reference counts.",
         solution: "Use sloppy counters for mount point objects.",
@@ -113,6 +135,7 @@ pub const FIXES: [Fix; 16] = [
     },
     Fix {
         id: FixId::SloppyDstRefs,
+        class: "net.dst_ref",
         name: "IP packet destination (dst entry) reference counting",
         problem: "IP packet transmission contends on routing table entries.",
         solution: "Use sloppy counters for IP routing table entries.",
@@ -120,6 +143,7 @@ pub const FIXES: [Fix; 16] = [
     },
     Fix {
         id: FixId::SloppyProtoAccounting,
+        class: "net.proto_accounting",
         name: "Protocol memory usage tracking",
         problem: "Cores contend on counters for tracking protocol memory consumption.",
         solution: "Use sloppy counters for protocol usage counting.",
@@ -127,6 +151,7 @@ pub const FIXES: [Fix; 16] = [
     },
     Fix {
         id: FixId::LockFreeDlookup,
+        class: "vfs.dentry_lock",
         name: "Acquiring directory entry (dentry) spin locks",
         problem: "Walking file name paths contends on per-directory entry spin locks.",
         solution: "Use a lock-free protocol in dlookup for checking filename matches.",
@@ -134,6 +159,7 @@ pub const FIXES: [Fix; 16] = [
     },
     Fix {
         id: FixId::PerCoreMountCache,
+        class: "vfs.mount_table",
         name: "Mount point table spin lock",
         problem: "Resolving path names to mount points contends on a global spin lock.",
         solution: "Use per-core mount table caches.",
@@ -141,6 +167,7 @@ pub const FIXES: [Fix; 16] = [
     },
     Fix {
         id: FixId::PerCoreOpenLists,
+        class: "vfs.open_list",
         name: "Adding files to the open list",
         problem: "Cores contend on a per-super block list that tracks open files.",
         solution: "Use per-core open file lists for each super block that has open files.",
@@ -148,6 +175,7 @@ pub const FIXES: [Fix; 16] = [
     },
     Fix {
         id: FixId::LocalDmaBuffers,
+        class: "net.dma_node0",
         name: "Allocating DMA buffers",
         problem: "DMA memory allocations contend on the memory node 0 spin lock.",
         solution: "Allocate Ethernet device DMA buffers from the local memory node.",
@@ -155,6 +183,7 @@ pub const FIXES: [Fix; 16] = [
     },
     Fix {
         id: FixId::NetDeviceFalseSharing,
+        class: "net.device_line",
         name: "False sharing in net device and device",
         problem: "False sharing causes contention for read-only structure fields.",
         solution: "Place read-only fields on their own cache lines.",
@@ -162,6 +191,7 @@ pub const FIXES: [Fix; 16] = [
     },
     Fix {
         id: FixId::PageFalseSharing,
+        class: "mm.page_line",
         name: "False sharing in page",
         problem: "False sharing causes contention for read-mostly structure fields.",
         solution: "Place read-only fields on their own cache lines.",
@@ -169,6 +199,7 @@ pub const FIXES: [Fix; 16] = [
     },
     Fix {
         id: FixId::AvoidInodeListLocks,
+        class: "vfs.inode_list",
         name: "inode lists",
         problem: "Cores contend on global locks protecting lists used to track inodes.",
         solution: "Avoid acquiring the locks when not necessary.",
@@ -176,6 +207,7 @@ pub const FIXES: [Fix; 16] = [
     },
     Fix {
         id: FixId::AvoidDcacheListLocks,
+        class: "vfs.dcache_list",
         name: "Dcache lists",
         problem: "Cores contend on global locks protecting lists used to track dentrys.",
         solution: "Avoid acquiring the locks when not necessary.",
@@ -183,6 +215,7 @@ pub const FIXES: [Fix; 16] = [
     },
     Fix {
         id: FixId::AtomicLseek,
+        class: "vfs.inode_lseek_mutex",
         name: "Per-inode mutex",
         problem: "Cores contend on a per-inode mutex in lseek.",
         solution: "Use atomic reads to eliminate the need to acquire the mutex.",
@@ -190,6 +223,7 @@ pub const FIXES: [Fix; 16] = [
     },
     Fix {
         id: FixId::SuperPageFineLocking,
+        class: "mm.super_page_mutex",
         name: "Super-page fine grained locking",
         problem: "Super-page soft page faults contend on a per-process mutex.",
         solution: "Protect each super-page memory mapping with its own mutex.",
@@ -197,6 +231,7 @@ pub const FIXES: [Fix; 16] = [
     },
     Fix {
         id: FixId::NoCacheSuperPageZeroing,
+        class: "mm.super_page_zeroing",
         name: "Zeroing super-pages",
         problem: "Zeroing super-pages flushes the contents of on-chip caches.",
         solution: "Use non-caching instructions to zero the contents of super-pages.",

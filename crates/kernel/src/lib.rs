@@ -21,10 +21,10 @@ mod kernel;
 mod obs;
 pub mod procfs;
 
-pub use config::KernelConfig;
+pub use config::{KernelConfig, Personality};
 pub use cputime::{CpuAccounting, CpuTime};
 pub use error::KernelError;
-pub use fixes::{App, Fix, FixId, FIXES, LINES_ADDED, LINES_REMOVED};
+pub use fixes::{fix_for_class, App, Fix, FixId, FIXES, LINES_ADDED, LINES_REMOVED};
 pub use kernel::Kernel;
 // The overload-policy types live in pk-sim (the open-loop engine
 // consumes them directly); re-exported here because `KernelConfig`

@@ -36,6 +36,14 @@ pub struct Station {
     pub kind: StationKind,
     /// Whether residence here counts as system (kernel) time.
     pub is_system: bool,
+    /// The kernel structure this station models, as a stable class name
+    /// (`"vfs.mount_table"`, `"net.dst_ref"`, …) — the same naming
+    /// convention `pk-lockdep` uses for lock classes. An observational
+    /// fact about the station, not a policy: `pk-adapt` matches it
+    /// against the fix registry to decide which lever relieves the
+    /// contention measured here. `None` for stations with no adaptable
+    /// kernel structure behind them (user code, app-level locks).
+    pub class: Option<&'static str>,
 }
 
 impl Station {
@@ -46,6 +54,7 @@ impl Station {
             demand_cycles,
             kind: StationKind::Delay,
             is_system,
+            class: None,
         }
     }
 
@@ -56,6 +65,7 @@ impl Station {
             demand_cycles,
             kind: StationKind::Queue,
             is_system,
+            class: None,
         }
     }
 
@@ -71,7 +81,14 @@ impl Station {
             demand_cycles,
             kind: StationKind::NonScalable { collapse },
             is_system,
+            class: None,
         }
+    }
+
+    /// Tags the station with the kernel-structure class it models.
+    pub fn with_class(mut self, class: &'static str) -> Self {
+        self.class = Some(class);
+        self
     }
 }
 

@@ -8,9 +8,26 @@ use crate::stats::VfsStats;
 use pk_fault::{FaultPlane, FaultPoint};
 use pk_percpu::CoreId;
 use pk_sync::rcu::{self, RcuCell};
+use pk_sync::AdaptiveMutex;
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+
+/// One generation of the hash table: the bucket array itself is an
+/// RCU-published snapshot, so `pk-adapt` can double the stripe count at
+/// runtime (the §4.4 lock-striping decision made online instead of at
+/// boot) without stopping readers.
+///
+/// The cells are `Arc`-shared between generations in flight: a writer
+/// that captured a cell from the old table can finish its bucket update
+/// and then notice the swap via `version`.
+#[derive(Debug)]
+struct DcacheTable {
+    cells: Vec<Arc<RcuCell<Vec<Arc<Dentry>>>>>,
+    mask: usize,
+    version: u64,
+}
 
 /// A hash table of dentries with RCU buckets.
 ///
@@ -28,10 +45,17 @@ use std::sync::Arc;
 /// taken on the caller's behalf.
 #[derive(Debug)]
 pub struct Dcache {
-    buckets: Vec<RcuCell<Vec<Arc<Dentry>>>>,
-    mask: usize,
+    table: RcuCell<DcacheTable>,
     config: VfsConfig,
     stats: Arc<VfsStats>,
+    /// Serializes table-generation swaps ([`Dcache::split_buckets`]) and
+    /// the shrink walk against each other. Ordinary inserts/removes never
+    /// take it — they detect a concurrent swap by version and re-apply.
+    split_lock: AdaptiveMutex<()>,
+    /// Whether fresh dentries get live per-core refcount banks. The
+    /// adaptive personality boots this off (`refs_start_degraded`) and
+    /// lets the controller flip it via [`Dcache::set_ref_banking`].
+    ref_banking: AtomicBool,
     /// `vfs.dentry_alloc`: a dentry allocation fails with ENOMEM.
     fault_alloc: FaultPoint,
     /// `vfs.dcache_pressure`: a lookup misses as if the entry had been
@@ -56,20 +80,45 @@ impl Dcache {
         faults: &FaultPlane,
     ) -> Self {
         let n = buckets.next_power_of_two().max(1);
+        let split_lock = AdaptiveMutex::new(());
+        split_lock.set_class(pk_lockdep::register_class(
+            "vfs.dcache.split",
+            "pk-vfs",
+            pk_lockdep::LockKind::Blocking,
+        ));
         Self {
-            buckets: (0..n).map(|_| RcuCell::new(Vec::new())).collect(),
-            mask: n - 1,
+            table: RcuCell::new(DcacheTable {
+                cells: (0..n).map(|_| Arc::new(RcuCell::new(Vec::new()))).collect(),
+                mask: n - 1,
+                version: 0,
+            }),
             config,
             stats,
+            split_lock,
+            ref_banking: AtomicBool::new(!config.refs_start_degraded),
             fault_alloc: faults.point("vfs.dentry_alloc"),
             fault_pressure: faults.point("vfs.dcache_pressure"),
         }
     }
 
-    fn bucket(&self, key: &DentryKey) -> &RcuCell<Vec<Arc<Dentry>>> {
+    fn hash_key(key: &DentryKey) -> u64 {
         let mut h = DefaultHasher::new();
         key.hash(&mut h);
-        &self.buckets[(h.finish() as usize) & self.mask]
+        h.finish()
+    }
+
+    /// Captures the bucket for `key` in the current table generation,
+    /// plus that generation's version for the writer's swap check.
+    fn cell_and_version(&self, key: &DentryKey) -> (Arc<RcuCell<Vec<Arc<Dentry>>>>, u64) {
+        let guard = rcu::read_lock();
+        let t = self.table.read(&guard);
+        let cell = Arc::clone(&t.cells[(Self::hash_key(key) as usize) & t.mask]);
+        (cell, t.version)
+    }
+
+    fn table_version(&self) -> u64 {
+        let guard = rcu::read_lock();
+        self.table.read(&guard).version
     }
 
     /// Publishes a rewritten bucket snapshot, retiring the replaced one
@@ -100,7 +149,8 @@ impl Dcache {
             return None;
         }
         let guard = rcu::read_lock();
-        let bucket = self.bucket(key).read(&guard);
+        let t = self.table.read(&guard);
+        let bucket = t.cells[(Self::hash_key(key) as usize) & t.mask].read(&guard);
         for d in bucket.iter() {
             if self.config.lockfree_dlookup {
                 match d.compare_lockfree(key, core) {
@@ -155,17 +205,32 @@ impl Dcache {
             self.config.sloppy_dentry_refs,
             self.config.cores,
         );
+        if !self.ref_banking.load(Ordering::Acquire) {
+            dentry.set_ref_banking(false);
+        }
         // The cache holds the creation reference; take one for the caller.
         // A freshly created dentry can only be dead if something tore it
         // down concurrently — surface that as ESTALE on the syscall path
         // rather than panicking in the kernel.
         dentry.get(core).map_err(|_| VfsError::Stale)?;
         let inserted = Arc::clone(&dentry);
-        Self::replace_bucket(self.bucket(&key), self.config.deferred_reclamation, |v| {
-            let mut v = v.clone();
-            v.push(Arc::clone(&inserted));
-            v
-        });
+        // If a bucket split swaps the table mid-update, the new
+        // generation may or may not have copied our entry; re-apply
+        // against the new bucket, skipping if the copy already landed.
+        loop {
+            let (cell, version) = self.cell_and_version(&key);
+            Self::replace_bucket(&cell, self.config.deferred_reclamation, |v| {
+                if v.iter().any(|d| Arc::ptr_eq(d, &inserted)) {
+                    return v.clone();
+                }
+                let mut v = v.clone();
+                v.push(Arc::clone(&inserted));
+                v
+            });
+            if self.table_version() == version {
+                break;
+            }
+        }
         Ok(dentry)
     }
 
@@ -176,17 +241,29 @@ impl Dcache {
     /// Returns `true` if an entry was removed.
     pub fn remove(&self, key: &DentryKey, core: CoreId) -> bool {
         let mut removed: Option<Arc<Dentry>> = None;
-        Self::replace_bucket(self.bucket(key), self.config.deferred_reclamation, |v| {
-            let mut kept = Vec::with_capacity(v.len());
-            for d in v.iter() {
-                if removed.is_none() && !d.is_unhashed() && d.key == *key {
-                    removed = Some(Arc::clone(d));
-                } else {
-                    kept.push(Arc::clone(d));
+        // Same swap-detection loop as `insert`: once a victim is chosen,
+        // retries only scrub that exact entry from the new generation.
+        loop {
+            let (cell, version) = self.cell_and_version(key);
+            let prior = removed.clone();
+            Self::replace_bucket(&cell, self.config.deferred_reclamation, |v| {
+                if let Some(d) = &prior {
+                    return v.iter().filter(|e| !Arc::ptr_eq(e, d)).cloned().collect();
                 }
+                let mut kept = Vec::with_capacity(v.len());
+                for d in v.iter() {
+                    if removed.is_none() && !d.is_unhashed() && d.key == *key {
+                        removed = Some(Arc::clone(d));
+                    } else {
+                        kept.push(Arc::clone(d));
+                    }
+                }
+                kept
+            });
+            if self.table_version() == version {
+                break;
             }
-            kept
-        });
+        }
         match removed {
             Some(d) => {
                 d.begin_modify().unhash();
@@ -199,6 +276,72 @@ impl Dcache {
         }
     }
 
+    /// Doubles the number of hash buckets (lock striping ×2), rehashing
+    /// every entry into a new table generation published through the
+    /// configured RCU reclamation discipline.
+    ///
+    /// This is the structure-swap lever `pk-adapt` pulls when per-bucket
+    /// contention stays above its bound: readers keep traversing the old
+    /// generation until the swap, writers in flight detect the version
+    /// bump and re-apply. Returns the new bucket count.
+    pub fn split_buckets(&self) -> usize {
+        let _g = self.split_lock.lock();
+        let rebuild = |old: &DcacheTable| {
+            let n = (old.mask + 1) * 2;
+            let mut entries: Vec<Vec<Arc<Dentry>>> = vec![Vec::new(); n];
+            {
+                let guard = rcu::read_lock();
+                for cell in &old.cells {
+                    for d in cell.read(&guard).iter() {
+                        entries[(Self::hash_key(&d.key) as usize) & (n - 1)].push(Arc::clone(d));
+                    }
+                }
+            }
+            DcacheTable {
+                cells: entries
+                    .into_iter()
+                    .map(|v| Arc::new(RcuCell::new(v)))
+                    .collect(),
+                mask: n - 1,
+                version: old.version + 1,
+            }
+        };
+        if self.config.deferred_reclamation {
+            self.table.update_with_deferred(rebuild);
+        } else {
+            self.table.update_with(rebuild);
+        }
+        VfsStats::bump(&self.stats.dcache_splits);
+        self.bucket_count()
+    }
+
+    /// Returns the current number of hash buckets (stripes).
+    pub fn bucket_count(&self) -> usize {
+        let guard = rcu::read_lock();
+        self.table.read(&guard).mask + 1
+    }
+
+    /// Switches per-core refcount banking for every cached dentry and
+    /// for all future inserts: `true` promotes to live sloppy banks,
+    /// `false` degrades to central-only mode. The sweep is the adaptive
+    /// personality's promotion path for [`crate::VfsConfig::refs_start_degraded`]
+    /// objects; a no-op on atomic-backed (stock) refcounts.
+    pub fn set_ref_banking(&self, enabled: bool) {
+        self.ref_banking.store(enabled, Ordering::Release);
+        let guard = rcu::read_lock();
+        let t = self.table.read(&guard);
+        for cell in &t.cells {
+            for d in cell.read(&guard).iter() {
+                d.set_ref_banking(enabled);
+            }
+        }
+    }
+
+    /// Whether fresh dentries currently get live per-core banks.
+    pub fn ref_banking(&self) -> bool {
+        self.ref_banking.load(Ordering::Acquire)
+    }
+
     /// Shrinks the cache: evicts up to `target` dentries that only the
     /// cache itself still references, scanning buckets in order.
     ///
@@ -208,8 +351,15 @@ impl Dcache {
     /// counters should only be used for objects that are relatively
     /// infrequently de-allocated"). Returns the number evicted.
     pub fn shrink(&self, target: usize, core: CoreId) -> usize {
+        // Excludes concurrent bucket splits so the walk sees one stable
+        // generation (maintenance paths serialize; hot paths never wait).
+        let _g = self.split_lock.lock();
+        let cells: Vec<Arc<RcuCell<Vec<Arc<Dentry>>>>> = {
+            let guard = rcu::read_lock();
+            self.table.read(&guard).cells.to_vec()
+        };
         let mut evicted = 0;
-        for bucket in &self.buckets {
+        for bucket in &cells {
             if evicted >= target {
                 break;
             }
@@ -251,7 +401,8 @@ impl Dcache {
     /// buckets).
     pub fn len(&self) -> usize {
         let guard = rcu::read_lock();
-        self.buckets.iter().map(|b| b.read(&guard).len()).sum()
+        let t = self.table.read(&guard);
+        t.cells.iter().map(|b| b.read(&guard).len()).sum()
     }
 
     /// Returns whether the cache is empty.
@@ -388,6 +539,113 @@ mod tests {
         assert_eq!(c.len(), 6);
         assert_eq!(c.shrink(100, core), 6);
         assert!(c.is_empty());
+    }
+
+    #[test]
+    fn split_doubles_buckets_and_keeps_entries() {
+        let c = cache(true);
+        let core = CoreId(0);
+        for i in 0..50u64 {
+            c.insert(
+                DentryKey::new(InodeId(1), format!("s{i}")),
+                InodeId(i),
+                core,
+            )
+            .unwrap();
+        }
+        assert_eq!(c.bucket_count(), 64);
+        assert_eq!(c.split_buckets(), 128);
+        assert_eq!(c.split_buckets(), 256);
+        assert_eq!(c.len(), 50, "rehash loses nothing");
+        for i in 0..50u64 {
+            let key = DentryKey::new(InodeId(1), format!("s{i}"));
+            assert_eq!(c.lookup(&key, core).unwrap().inode(), InodeId(i));
+        }
+        // Removal still works against the rehashed generation.
+        assert!(c.remove(&DentryKey::new(InodeId(1), "s7"), core));
+        assert_eq!(c.len(), 49);
+    }
+
+    #[test]
+    fn split_under_concurrent_writers_loses_no_updates() {
+        // Writers race table swaps: every insert must survive (or be
+        // re-applied past) the generation change, and every remove must
+        // scrub its victim from whichever generation won.
+        for deferred in [true, false] {
+            let mut cfg = VfsConfig::pk(8);
+            cfg.deferred_reclamation = deferred;
+            let c = Arc::new(Dcache::new(4, cfg, Arc::new(VfsStats::new())));
+            let writers: Vec<_> = (0..4)
+                .map(|t| {
+                    let c = Arc::clone(&c);
+                    std::thread::spawn(move || {
+                        for i in 0..100u64 {
+                            let key = DentryKey::new(InodeId(t), format!("w{i}"));
+                            let d = c
+                                .insert(key.clone(), InodeId(i), CoreId(t as usize))
+                                .unwrap();
+                            d.put(CoreId(t as usize));
+                            if i % 3 == 0 {
+                                assert!(c.remove(&key, CoreId(t as usize)));
+                            }
+                        }
+                    })
+                })
+                .collect();
+            let splitter = {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for _ in 0..5 {
+                        c.split_buckets();
+                        std::thread::yield_now();
+                    }
+                })
+            };
+            for w in writers {
+                w.join().unwrap();
+            }
+            splitter.join().unwrap();
+            assert_eq!(c.bucket_count(), 128);
+            // Per writer: 100 inserts, 34 removes → 66 survivors.
+            assert_eq!(c.len(), 4 * 66);
+            for t in 0..4u64 {
+                assert!(c
+                    .lookup(&DentryKey::new(InodeId(t), "w1"), CoreId(0))
+                    .is_some());
+                assert!(c
+                    .lookup(&DentryKey::new(InodeId(t), "w0"), CoreId(0))
+                    .is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn ref_banking_boots_degraded_and_promotes_in_place() {
+        let mut cfg = VfsConfig::pk(4);
+        cfg.refs_start_degraded = true;
+        let c = Dcache::new(16, cfg, Arc::new(VfsStats::new()));
+        let core = CoreId(1);
+        let key = DentryKey::new(InodeId(1), "boot");
+        let d = c.insert(key.clone(), InodeId(9), core).unwrap();
+        // Degraded: every get/put is a central (shared) op.
+        let (central0, local0) = d.refcount_ops();
+        d.get(core).unwrap();
+        d.put(core);
+        let (central1, local1) = d.refcount_ops();
+        assert_eq!(local1, local0, "degraded ops never stay core-local");
+        assert!(central1 > central0);
+        // Promote: the sweep restores banking for cached dentries and
+        // future inserts.
+        assert!(!c.ref_banking());
+        c.set_ref_banking(true);
+        assert!(c.ref_banking());
+        d.get(core).unwrap();
+        d.put(core);
+        d.get(core).unwrap();
+        d.put(core);
+        let (_, local2) = d.refcount_ops();
+        assert!(local2 > local1, "promoted ops bank core-locally");
+        d.put(core);
     }
 
     #[test]

@@ -6,6 +6,7 @@ use pk_percpu::{CoreId, PerCore};
 use pk_sloppy::{DeallocError, RefCount};
 use pk_sync::{rcu, SpinLock};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 /// A mounted file system object (`struct vfsmount`).
@@ -49,6 +50,17 @@ impl VfsMount {
     pub fn refcount_ops(&self) -> (u64, u64) {
         self.refcount.op_counts()
     }
+
+    /// Switches the refcount's per-core banking (`pk-adapt`'s in-place
+    /// promotion lever; no-op on stock atomic refcounts).
+    pub fn set_ref_banking(&self, enabled: bool) {
+        self.refcount.set_banking(enabled);
+    }
+
+    /// Whether get/put currently bounce a shared cache line.
+    pub fn ref_is_central_only(&self) -> bool {
+        self.refcount.is_central_only()
+    }
 }
 
 /// One mapping from mount point to mount, as the central table holds it.
@@ -75,6 +87,10 @@ pub struct MountTable {
     percore: PerCore<SpinLock<Option<MountMap>>>,
     config: VfsConfig,
     stats: Arc<VfsStats>,
+    /// Whether mount refcounts bank per-core. The adaptive personality
+    /// boots this off (`VfsConfig::refs_start_degraded`) and promotes
+    /// via [`MountTable::set_ref_banking`].
+    ref_banking: AtomicBool,
 }
 
 impl MountTable {
@@ -92,6 +108,7 @@ impl MountTable {
                 l.set_class(percore_class);
                 l
             }),
+            ref_banking: AtomicBool::new(!config.refs_start_degraded),
             config,
             stats,
         };
@@ -116,6 +133,9 @@ impl MountTable {
             self.config.sloppy_vfsmount_refs,
             self.config.cores,
         );
+        if !self.ref_banking.load(Ordering::Acquire) {
+            m.set_ref_banking(false);
+        }
         self.central
             .lock()
             .insert(mount_point.to_string(), Arc::clone(&m));
@@ -240,6 +260,22 @@ impl MountTable {
     /// Returns the central-table lock statistics.
     pub fn central_lock_stats(&self) -> &pk_sync::LockStats {
         self.central.stats()
+    }
+
+    /// Switches per-core refcount banking for every installed mount and
+    /// for all future mounts — the adaptive promotion sweep for
+    /// vfsmount refcounts. A no-op per object when the refcounts are
+    /// stock atomics.
+    pub fn set_ref_banking(&self, enabled: bool) {
+        self.ref_banking.store(enabled, Ordering::Release);
+        for m in self.central.lock().values() {
+            m.set_ref_banking(enabled);
+        }
+    }
+
+    /// Whether fresh mounts currently get live per-core banks.
+    pub fn ref_banking(&self) -> bool {
+        self.ref_banking.load(Ordering::Acquire)
     }
 }
 

@@ -43,6 +43,9 @@ pub struct VfsStats {
     pub dentry_alloc_failures: AtomicU64,
     /// Lookup misses forced by injected dcache memory pressure.
     pub dcache_pressure_misses: AtomicU64,
+    /// Runtime bucket splits (`Dcache::split_buckets`): each doubles the
+    /// dcache stripe count under `pk-adapt` control.
+    pub dcache_splits: AtomicU64,
 }
 
 impl VfsStats {
@@ -96,6 +99,7 @@ impl VfsStats {
             &self.dcache_evictions,
             &self.dentry_alloc_failures,
             &self.dcache_pressure_misses,
+            &self.dcache_splits,
         ] {
             c.store(0, Ordering::Relaxed);
         }

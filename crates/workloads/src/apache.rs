@@ -305,15 +305,21 @@ impl WorkloadModel for ApacheModel {
         net.push(Station::delay("user", user, false));
         net.push(Station::delay("kernel-local", kernel_local, true));
         net.push(Station::delay("cross-core misses", cross_core, true));
-        net.push(Station::queue("dentry refcounts", dentry_refs, true));
-        net.push(Station::spinlock("dentry d_lock", dcache_locks, 0.4, true));
-        net.push(Station::queue("open-file list", open_list, true));
-        net.push(Station::queue("dst_entry refcount", dst_refcount, true));
-        net.push(Station::queue(
-            "proto memory counters",
-            proto_counters,
-            true,
-        ));
+        net.push(
+            Station::queue("dentry refcounts", dentry_refs, true).with_class("vfs.dentry_ref"),
+        );
+        net.push(
+            Station::spinlock("dentry d_lock", dcache_locks, 0.4, true)
+                .with_class("vfs.dentry_lock"),
+        );
+        net.push(Station::queue("open-file list", open_list, true).with_class("vfs.open_list"));
+        net.push(
+            Station::queue("dst_entry refcount", dst_refcount, true).with_class("net.dst_ref"),
+        );
+        net.push(
+            Station::queue("proto memory counters", proto_counters, true)
+                .with_class("net.proto_accounting"),
+        );
         net
     }
 

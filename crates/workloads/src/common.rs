@@ -49,8 +49,12 @@ pub fn demand_unless(config: &pk_kernel::KernelConfig, fix: pk_kernel::FixId, de
     }
 }
 
-/// A human-readable label for a config: "Stock", "PK", or "custom(n)".
+/// A human-readable label for a config: "Stock", "PK", "custom(n)", or
+/// — for the adaptive personality — the promoted-fix count.
 pub fn config_label(config: &pk_kernel::KernelConfig) -> String {
+    if config.personality() == pk_kernel::Personality::Adaptive {
+        return format!("Adaptive({} promoted)", config.enabled_count());
+    }
     match config.enabled_count() {
         0 => "Stock".to_string(),
         16 => "PK".to_string(),

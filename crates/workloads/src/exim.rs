@@ -395,19 +395,20 @@ impl WorkloadModel for EximModel {
         net.push(Station::delay("user", user, false));
         net.push(Station::delay("kernel-local", kernel_local, true));
         net.push(Station::delay("cross-core misses", cross_core, true));
-        net.push(Station::spinlock(
-            "vfsmount-table lock",
-            vfsmount_lock,
-            0.35,
-            true,
-        ));
-        net.push(Station::queue("dentry refcounts", dentry_refs, true));
-        net.push(Station::queue("dentry d_lock", dlookup_locks, true));
-        net.push(Station::queue(
-            "page false sharing",
-            page_false_sharing,
-            true,
-        ));
+        net.push(
+            Station::spinlock("vfsmount-table lock", vfsmount_lock, 0.35, true)
+                .with_class("vfs.mount_table"),
+        );
+        net.push(
+            Station::queue("dentry refcounts", dentry_refs, true).with_class("vfs.dentry_ref"),
+        );
+        net.push(
+            Station::queue("dentry d_lock", dlookup_locks, true).with_class("vfs.dentry_lock"),
+        );
+        net.push(
+            Station::queue("page false sharing", page_false_sharing, true)
+                .with_class("mm.page_line"),
+        );
         net.push(Station::queue("spool directories", spool, true));
         net
     }

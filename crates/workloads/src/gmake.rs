@@ -7,9 +7,9 @@
 //! both the stock and PK kernels" — limited only by "serial stages at
 //! the beginning of the build and straggling processes at the end."
 
-use crate::common::KernelChoice;
+use crate::common::{config_label, demand_unless, KernelChoice};
 use pk_fault::FaultPlane;
-use pk_kernel::{Kernel, KernelError};
+use pk_kernel::{FixId, Kernel, KernelConfig, KernelError};
 use pk_percpu::CoreId;
 use pk_proc::Pid;
 use pk_sim::{CoreSweep, MachineSpec, Network, Station, SweepPoint, WorkloadModel};
@@ -118,8 +118,9 @@ impl GmakeDriver {
 /// Figure-9 performance model.
 #[derive(Debug, Clone, Copy)]
 pub struct GmakeModel {
-    /// Stock or PK (the lines nearly coincide).
-    pub choice: KernelChoice,
+    /// The kernel's fix set (any subset of the 16, for ablations; the
+    /// Stock and PK lines nearly coincide).
+    pub config: KernelConfig,
     /// The modelled machine.
     pub machine: MachineSpec,
 }
@@ -127,8 +128,13 @@ pub struct GmakeModel {
 impl GmakeModel {
     /// Creates the model.
     pub fn new(choice: KernelChoice) -> Self {
+        Self::with_config(choice.config(48))
+    }
+
+    /// Creates the model for an arbitrary fix subset.
+    pub fn with_config(config: KernelConfig) -> Self {
         Self {
-            choice,
+            config,
             machine: MachineSpec::paper(),
         }
     }
@@ -140,7 +146,7 @@ impl GmakeModel {
 
 impl WorkloadModel for GmakeModel {
     fn name(&self) -> String {
-        format!("gmake/{}", self.choice.label())
+        format!("gmake/{}", config_label(&self.config))
     }
 
     fn machine(&self) -> MachineSpec {
@@ -158,7 +164,7 @@ impl WorkloadModel for GmakeModel {
         // A little dentry-refcount traffic on the stock kernel ("the PK
         // kernel shows slightly lower system time owing to the changes to
         // the dentry cache"), far too small to matter.
-        let dentry = self.choice.unless_fixed(t * 0.0006);
+        let dentry = demand_unless(&self.config, FixId::SloppyDentryRefs, t * 0.0006);
         let system_local = t * SYSTEM_FRACTION - dentry - t * SERIAL_FRACTION;
         let user = t - t * SYSTEM_FRACTION;
 
@@ -166,7 +172,7 @@ impl WorkloadModel for GmakeModel {
         net.push(Station::delay("compiler (user)", user, false));
         net.push(Station::delay("kernel-local", system_local, true));
         net.push(Station::delay("serial stages + stragglers", serial, false));
-        net.push(Station::queue("dentry refcounts", dentry, true));
+        net.push(Station::queue("dentry refcounts", dentry, true).with_class("vfs.dentry_ref"));
         net
     }
 }

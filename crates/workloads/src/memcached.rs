@@ -246,23 +246,21 @@ impl WorkloadModel for MemcachedModel {
         net.push(Station::delay("user", user, false));
         net.push(Station::delay("kernel-local", kernel_local, true));
         net.push(Station::delay("cross-core misses", cross_core, true));
-        net.push(Station::queue("dst_entry refcount", dst_refcount, true));
-        net.push(Station::queue(
-            "proto memory counters",
-            proto_counters,
-            true,
-        ));
-        net.push(Station::spinlock(
-            "node-0 allocator",
-            node0_alloc,
-            0.15,
-            true,
-        ));
-        net.push(Station::queue(
-            "net_device false sharing",
-            netdev_false_sharing,
-            true,
-        ));
+        net.push(
+            Station::queue("dst_entry refcount", dst_refcount, true).with_class("net.dst_ref"),
+        );
+        net.push(
+            Station::queue("proto memory counters", proto_counters, true)
+                .with_class("net.proto_accounting"),
+        );
+        net.push(
+            Station::spinlock("node-0 allocator", node0_alloc, 0.15, true)
+                .with_class("net.dma_node0"),
+        );
+        net.push(
+            Station::queue("net_device false sharing", netdev_false_sharing, true)
+                .with_class("net.device_line"),
+        );
         net
     }
 

@@ -13,9 +13,9 @@
 //!   scalability is limited primarily by the DRAM bandwidth required by
 //!   the reduce phase" (50.0 of 51.5 GB/s at 48 cores).
 
-use crate::common::KernelChoice;
+use crate::common::{demand_unless, KernelChoice};
 use pk_fault::FaultPlane;
-use pk_kernel::{Kernel, KernelError};
+use pk_kernel::{FixId, Kernel, KernelConfig, KernelError};
 use pk_mapreduce::{InvertedIndex, MapReduce, MapReduceConfig, MemoryHook};
 use pk_mm::PageSize;
 use pk_sim::{CoreSweep, DramModel, MachineSpec, Network, Station, SweepPoint, WorkloadModel};
@@ -116,6 +116,12 @@ impl MetisDriver {
 pub struct MetisModel {
     /// Which line.
     pub variant: MetisVariant,
+    /// When set, kernel demands derive from this fix subset instead of
+    /// the variant pairing (the adaptive axis). The application side is
+    /// always the 2 MB-page Metis — with the super-page kernel fixes
+    /// *off*, its faults contend on the single super-page allocation
+    /// mutex and cache-polluting zeroing until the fixes are promoted.
+    pub config: Option<KernelConfig>,
     /// The modelled machine.
     pub machine: MachineSpec,
 }
@@ -125,6 +131,17 @@ impl MetisModel {
     pub fn new(variant: MetisVariant) -> Self {
         Self {
             variant,
+            config: None,
+            machine: MachineSpec::paper(),
+        }
+    }
+
+    /// Creates the model for an arbitrary kernel fix subset, paired with
+    /// the 2 MB-page Metis (the paper's PK application pairing).
+    pub fn with_config(config: KernelConfig) -> Self {
+        Self {
+            variant: MetisVariant::PkSuperPages,
+            config: Some(config),
             machine: MachineSpec::paper(),
         }
     }
@@ -140,7 +157,10 @@ impl MetisModel {
 
 impl WorkloadModel for MetisModel {
     fn name(&self) -> String {
-        format!("Metis/{}", self.variant.label())
+        match &self.config {
+            Some(cfg) => format!("Metis/2MB pages + {}", crate::common::config_label(cfg)),
+            None => format!("Metis/{}", self.variant.label()),
+        }
     }
 
     fn machine(&self) -> MachineSpec {
@@ -150,6 +170,29 @@ impl WorkloadModel for MetisModel {
     fn network(&self, _cores: usize) -> Network {
         let t = self.total_cycles();
         let mut net = Network::new();
+        if let Some(cfg) = &self.config {
+            // 2 MB pages on an arbitrary kernel: until the super-page
+            // fixes land, every super-page fault funnels through one
+            // allocation mutex and zeroes 2 MB through the cache,
+            // evicting every core's working set (§4.5). Promoting
+            // SuperPageFineLocking gives each mapping its own mutex;
+            // NoCacheSuperPageZeroing moves the zeroing off the caches.
+            let super_mutex = demand_unless(cfg, FixId::SuperPageFineLocking, t * 0.040);
+            let zeroing = demand_unless(cfg, FixId::NoCacheSuperPageZeroing, t * 0.012);
+            let fault_local = t * 0.0015;
+            let user = t - super_mutex - zeroing - fault_local;
+            net.push(Station::delay("map/reduce (user)", user, false));
+            net.push(Station::delay("fault handling", fault_local, true));
+            net.push(
+                Station::queue("super-page alloc mutex", super_mutex, true)
+                    .with_class("mm.super_page_mutex"),
+            );
+            net.push(
+                Station::queue("super-page zeroing", zeroing, true)
+                    .with_class("mm.super_page_zeroing"),
+            );
+            return net;
+        }
         match self.variant {
             MetisVariant::StockSmallPages => {
                 // ~524k soft faults per job; the shared region-list lock
@@ -182,6 +225,8 @@ impl WorkloadModel for MetisModel {
         match self.variant {
             // The stock configuration never gets near DRAM bandwidth.
             MetisVariant::StockSmallPages => None,
+            // The 2 MB-page application (variant pairing or config axis)
+            // is DRAM-bound once kernel time is out of the way.
             MetisVariant::PkSuperPages => {
                 Some(DramModel::new(self.machine).max_ops_per_sec(DRAM_BYTES_PER_JOB))
             }

@@ -19,8 +19,8 @@
 //!   residual limit is an application-level spin lock on the buffer-cache
 //!   page holding the root of the table index.
 
-use crate::common::KernelChoice;
-use pk_kernel::{Kernel, KernelError};
+use crate::common::{demand_unless, KernelChoice};
+use pk_kernel::{FixId, Kernel, KernelConfig, KernelError};
 use pk_percpu::{CacheAligned, CoreId};
 use pk_sim::{CoreSweep, MachineSpec, Network, Station, SweepPoint, WorkloadModel};
 use pk_sync::AdaptiveMutex;
@@ -340,6 +340,11 @@ pub struct PostgresModel {
     pub variant: PgVariant,
     /// 100% reads (Figure 7) or 95/5 read/write (Figure 8).
     pub read_only: bool,
+    /// When set, kernel demands derive from this fix subset instead of
+    /// the variant's stock/PK pairing (the ablation and adaptive axis).
+    /// The application side is always the modified PostgreSQL — the
+    /// config axis covers only the 16 kernel fixes.
+    pub config: Option<KernelConfig>,
     /// The modelled machine.
     pub machine: MachineSpec,
 }
@@ -350,6 +355,18 @@ impl PostgresModel {
         Self {
             variant,
             read_only,
+            config: None,
+            machine: MachineSpec::paper(),
+        }
+    }
+
+    /// Creates the model for an arbitrary kernel fix subset, paired with
+    /// the modified PostgreSQL (the paper's PK application pairing).
+    pub fn with_config(config: KernelConfig, read_only: bool) -> Self {
+        Self {
+            variant: PgVariant::PkModPg,
+            read_only,
+            config: Some(config),
             machine: MachineSpec::paper(),
         }
     }
@@ -361,10 +378,14 @@ impl PostgresModel {
 
 impl WorkloadModel for PostgresModel {
     fn name(&self) -> String {
+        let kernel = match &self.config {
+            Some(cfg) => crate::common::config_label(cfg),
+            None => self.variant.label().to_string(),
+        };
         format!(
             "PostgreSQL {}/{}",
             if self.read_only { "ro" } else { "rw" },
-            self.variant.label()
+            kernel
         )
     }
 
@@ -374,17 +395,20 @@ impl WorkloadModel for PostgresModel {
 
     fn network(&self, cores: usize) -> Network {
         let t = self.total_cycles();
-        let stock_kernel = self.variant.kernel() == KernelChoice::Stock;
-        // The kernel-side lseek inode mutex: present on stock kernels;
-        // PK's atomic read removes it. The starvation-prone adaptive
-        // mutex gives it a collapse term (knee ≈36 cores).
-        let lseek = if stock_kernel { t * 0.028 } else { 0.0 };
+        // The kernel-side lseek inode mutex: present until the atomic-
+        // read fix removes it. The starvation-prone adaptive mutex gives
+        // it a collapse term (knee ≈36 cores).
+        let lseek = match &self.config {
+            Some(cfg) => demand_unless(cfg, FixId::AtomicLseek, t * 0.028),
+            None if self.variant.kernel() == KernelChoice::Stock => t * 0.028,
+            None => 0.0,
+        };
         // The user-level lock manager. Unmodified: 16 partitions; heavy
         // for the read/write mix, light for read-only (which "makes
         // little use of row- and table-level locks"). Modified: 64× more
         // partitions plus the lock-free path.
         let lm_base = if self.read_only { t * 0.005 } else { t * 0.042 };
-        let lock_manager = if self.variant.modified_pg() {
+        let lock_manager = if self.config.is_some() || self.variant.modified_pg() {
             lm_base / 64.0
         } else {
             lm_base
@@ -399,7 +423,10 @@ impl WorkloadModel for PostgresModel {
         net.push(Station::delay("user", user, false));
         net.push(Station::delay("kernel-local", kernel_local, true));
         net.push(Station::delay("cross-core misses", cross_core, true));
-        net.push(Station::spinlock("lseek inode mutex", lseek, 0.13, true));
+        net.push(
+            Station::spinlock("lseek inode mutex", lseek, 0.13, true)
+                .with_class("vfs.inode_lseek_mutex"),
+        );
         net.push(Station::spinlock(
             "PG lock manager",
             lock_manager,

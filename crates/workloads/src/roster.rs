@@ -94,6 +94,61 @@ pub fn model_on(
     Some(m)
 }
 
+/// [`model_on`] for an arbitrary kernel fix subset — the axis the
+/// adaptive personality's controller sweeps. Kernel-side demands derive
+/// from `config`; the application side is pinned to the paper's PK
+/// pairings (modified PostgreSQL, round-robin pedsort processes, 2 MB
+/// Metis pages), because the config axis covers only the 16 kernel
+/// fixes — the application modifications are part of the workload
+/// definition, not levers the kernel can pull.
+pub fn model_with_config(
+    name: &str,
+    config: &pk_kernel::KernelConfig,
+    machine: MachineSpec,
+) -> Option<Box<dyn WorkloadModel>> {
+    let config = *config;
+    let m: Box<dyn WorkloadModel> = match name.to_ascii_lowercase().as_str() {
+        "exim" => {
+            let mut m = exim::EximModel::with_config(config);
+            m.machine = machine;
+            Box::new(m)
+        }
+        "memcached" => {
+            let mut m = memcached::MemcachedModel::with_config(config);
+            m.machine = machine;
+            Box::new(m)
+        }
+        "apache" => {
+            let mut m = apache::ApacheModel::with_config(config);
+            m.machine = machine;
+            Box::new(m)
+        }
+        "postgres" | "postgresql" => {
+            let mut m = postgres::PostgresModel::with_config(config, true);
+            m.machine = machine;
+            Box::new(m)
+        }
+        "gmake" => {
+            let mut m = gmake::GmakeModel::with_config(config);
+            m.machine = machine;
+            Box::new(m)
+        }
+        "pedsort" => {
+            // Purely application-level: no kernel fix moves pedsort.
+            let mut m = pedsort::PedsortModel::new(pedsort::PedsortVariant::ProcsRoundRobin);
+            m.machine = machine;
+            Box::new(m)
+        }
+        "metis" => {
+            let mut m = metis::MetisModel::with_config(config);
+            m.machine = machine;
+            Box::new(m)
+        }
+        _ => return None,
+    };
+    Some(m)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -121,6 +176,37 @@ mod tests {
             assert!(p.per_core_per_sec > 0.0, "{name} solves at 192 cores");
             // Oversubscription is now a typed error at the sweep entry.
             assert!(CoreSweep::try_point(m.as_ref(), 193).is_err());
+        }
+    }
+
+    #[test]
+    fn config_axis_with_all_fixes_matches_the_pk_pairing() {
+        use pk_kernel::KernelConfig;
+        // The config axis at full fix set must reproduce the PK variant
+        // rows exactly — same app pairings, same demands.
+        for name in NAMES {
+            let pk = model(name, KernelChoice::Pk).unwrap();
+            let cfg = model_with_config(name, &KernelConfig::pk(48), MachineSpec::paper()).unwrap();
+            let (a, b) = (pk.network(48).solve(48), cfg.network(48).solve(48));
+            assert!(
+                (a.ops_per_cycle - b.ops_per_cycle).abs() / a.ops_per_cycle < 1e-9,
+                "{name}: PK variant {} vs config axis {}",
+                a.ops_per_cycle,
+                b.ops_per_cycle
+            );
+        }
+    }
+
+    #[test]
+    fn adaptive_boot_config_solves_everywhere() {
+        use pk_kernel::KernelConfig;
+        // Zero fixes promoted: every model must still build and solve
+        // (this is the controller's epoch-0 measurement).
+        let boot = KernelConfig::adaptive(48);
+        for name in NAMES {
+            let m = model_with_config(name, &boot, MachineSpec::paper()).unwrap();
+            let r = m.network(48).solve(48);
+            assert!(r.ops_per_cycle > 0.0, "{name} solves at boot config");
         }
     }
 
