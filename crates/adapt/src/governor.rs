@@ -137,6 +137,10 @@ impl Governor {
             policy.demote_total_ops < policy.promote_central_ops,
             "hysteresis requires demote < promote"
         );
+        assert!(
+            policy.tune_divisor > 0,
+            "tune_divisor must be nonzero (epoch divides by it)"
+        );
         let state = AdaptiveMutex::new(GovState::default());
         state.set_class(register_class(
             "adapt.governor",
@@ -407,6 +411,15 @@ mod tests {
         // Cap reached: load stays high but the lever is spent.
         assert!(g.epoch().is_empty());
         assert_eq!(stripes.load(Ordering::Relaxed), 256);
+    }
+
+    #[test]
+    #[should_panic(expected = "tune_divisor")]
+    fn zero_tune_divisor_is_rejected() {
+        Governor::new(GovernorPolicy {
+            tune_divisor: 0,
+            ..GovernorPolicy::default()
+        });
     }
 
     #[test]

@@ -11,7 +11,7 @@ use pk_sync::rcu::{self, RcuCell};
 use pk_sync::AdaptiveMutex;
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{fence, AtomicBool, Ordering};
 use std::sync::Arc;
 
 /// One generation of the hash table: the bucket array itself is an
@@ -22,6 +22,12 @@ use std::sync::Arc;
 /// The cells are `Arc`-shared between generations in flight: a writer
 /// that captured a cell from the old table can finish its bucket update
 /// and then notice the swap via `version`.
+///
+/// `version` is even for a stable generation and odd for the
+/// intermediate generation [`Dcache::split_buckets`] publishes *before*
+/// it snapshots the buckets. Writers only accept an even, unchanged
+/// version as proof their update cannot have raced a snapshot; anything
+/// else forces a re-apply against the next stable generation.
 #[derive(Debug)]
 struct DcacheTable {
     cells: Vec<Arc<RcuCell<Vec<Arc<Dentry>>>>>,
@@ -50,7 +56,8 @@ pub struct Dcache {
     stats: Arc<VfsStats>,
     /// Serializes table-generation swaps ([`Dcache::split_buckets`]) and
     /// the shrink walk against each other. Ordinary inserts/removes never
-    /// take it — they detect a concurrent swap by version and re-apply.
+    /// take it — they detect a concurrent swap by version (odd = a split
+    /// is mid-snapshot) and re-apply.
     split_lock: AdaptiveMutex<()>,
     /// Whether fresh dentries get live per-core refcount banks. The
     /// adaptive personality boots this off (`refs_start_degraded`) and
@@ -205,7 +212,8 @@ impl Dcache {
             self.config.sloppy_dentry_refs,
             self.config.cores,
         );
-        if !self.ref_banking.load(Ordering::Acquire) {
+        let banking = self.ref_banking.load(Ordering::Acquire);
+        if !banking {
             dentry.set_ref_banking(false);
         }
         // The cache holds the creation reference; take one for the caller.
@@ -227,9 +235,28 @@ impl Dcache {
                 v.push(Arc::clone(&inserted));
                 v
             });
-            if self.table_version() == version {
+            // Pairs with the fence `split_buckets` issues between
+            // publishing the intermediate (odd) generation and reading
+            // its bucket snapshot: if the load below still sees our
+            // even generation, the snapshot saw this bucket update.
+            fence(Ordering::SeqCst);
+            if version & 1 == 0 && self.table_version() == version {
                 break;
             }
+            // Odd version: a split is mid-snapshot; even mismatch: the
+            // table already swapped. Re-apply against the next stable
+            // generation either way.
+            std::thread::yield_now();
+        }
+        // Re-check the banking flag: a `set_ref_banking` sweep may have
+        // walked the buckets before our publish landed while we were
+        // still acting on the old flag. The loop's trailing fence
+        // orders the publish before this load (pairing with the fence
+        // in `set_ref_banking`), so either the sweep saw the dentry or
+        // this load sees the new flag — never neither.
+        let now = self.ref_banking.load(Ordering::Acquire);
+        if now != banking {
+            dentry.set_ref_banking(now);
         }
         Ok(dentry)
     }
@@ -260,9 +287,13 @@ impl Dcache {
                 }
                 kept
             });
-            if self.table_version() == version {
+            // Same discipline as `insert`: only an even, unchanged
+            // version proves the scrub cannot have raced a snapshot.
+            fence(Ordering::SeqCst);
+            if version & 1 == 0 && self.table_version() == version {
                 break;
             }
+            std::thread::yield_now();
         }
         match removed {
             Some(d) => {
@@ -284,8 +315,31 @@ impl Dcache {
     /// contention stays above its bound: readers keep traversing the old
     /// generation until the swap, writers in flight detect the version
     /// bump and re-apply. Returns the new bucket count.
+    ///
+    /// The swap is two-phase so the version bump is observable *before*
+    /// the buckets are snapshotted: phase 1 publishes an intermediate
+    /// generation (same cells, odd version), phase 2 rehashes into the
+    /// next even generation. Without phase 1, a writer could update an
+    /// old bucket after the snapshot copied it, read the pre-split
+    /// version (the rebuilt table not yet being published), and break
+    /// out of its re-apply loop — silently losing the update.
     pub fn split_buckets(&self) -> usize {
         let _g = self.split_lock.lock();
+        let bump = |old: &DcacheTable| DcacheTable {
+            cells: old.cells.clone(),
+            mask: old.mask,
+            version: old.version + 1,
+        };
+        if self.config.deferred_reclamation {
+            self.table.update_with_deferred(bump);
+        } else {
+            self.table.update_with(bump);
+        }
+        // Pairs with the fence in the writers' re-apply loops: either a
+        // racing writer observes the odd generation published above (and
+        // re-applies against the rebuilt table), or its bucket update is
+        // visible to the snapshot below.
+        fence(Ordering::SeqCst);
         let rebuild = |old: &DcacheTable| {
             let n = (old.mask + 1) * 2;
             let mut entries: Vec<Vec<Arc<Dentry>>> = vec![Vec::new(); n];
@@ -327,7 +381,12 @@ impl Dcache {
     /// personality's promotion path for [`crate::VfsConfig::refs_start_degraded`]
     /// objects; a no-op on atomic-backed (stock) refcounts.
     pub fn set_ref_banking(&self, enabled: bool) {
-        self.ref_banking.store(enabled, Ordering::Release);
+        self.ref_banking.store(enabled, Ordering::SeqCst);
+        // Pairs with the post-publish flag re-check in `insert`: a
+        // dentry published concurrently with this call is either
+        // already visible to the sweep below, or its inserter's re-check
+        // sees the flag stored above and applies the mode itself.
+        fence(Ordering::SeqCst);
         let guard = rcu::read_lock();
         let t = self.table.read(&guard);
         for cell in &t.cells {
@@ -646,6 +705,54 @@ mod tests {
         let (_, local2) = d.refcount_ops();
         assert!(local2 > local1, "promoted ops bank core-locally");
         d.put(core);
+    }
+
+    #[test]
+    fn ref_banking_flip_covers_concurrent_inserts() {
+        // Inserts racing the promotion sweep must never strand a dentry
+        // in the pre-flip mode: either the sweep sees the published
+        // dentry, or the inserter's re-check sees the new flag.
+        let mut cfg = VfsConfig::pk(4);
+        cfg.refs_start_degraded = true;
+        let c = Arc::new(Dcache::new(16, cfg, Arc::new(VfsStats::new())));
+        let inserters: Vec<_> = (0..3u64)
+            .map(|t| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for i in 0..200u64 {
+                        let d = c
+                            .insert(
+                                DentryKey::new(InodeId(t), format!("r{i}")),
+                                InodeId(i),
+                                CoreId(t as usize),
+                            )
+                            .unwrap();
+                        d.put(CoreId(t as usize));
+                    }
+                })
+            })
+            .collect();
+        // Flip banking while inserts are in flight, ending promoted.
+        for flips in 0..7 {
+            c.set_ref_banking(flips % 2 == 0);
+            std::thread::yield_now();
+        }
+        for t in inserters {
+            t.join().unwrap();
+        }
+        assert!(c.ref_banking());
+        for t in 0..3u64 {
+            for i in 0..200u64 {
+                let d = c
+                    .lookup(&DentryKey::new(InodeId(t), format!("r{i}")), CoreId(0))
+                    .unwrap();
+                assert!(
+                    !d.ref_is_central_only(),
+                    "dentry stranded in degraded mode after promotion"
+                );
+                d.put(CoreId(0));
+            }
+        }
     }
 
     #[test]

@@ -133,12 +133,17 @@ impl MountTable {
             self.config.sloppy_vfsmount_refs,
             self.config.cores,
         );
-        if !self.ref_banking.load(Ordering::Acquire) {
-            m.set_ref_banking(false);
+        {
+            // The banking mode is decided under the central lock, which
+            // the `set_ref_banking` sweep also holds: either that sweep
+            // finds this mount in the table, or this load sees the new
+            // flag — a mount can never be published in a stale mode.
+            let mut central = self.central.lock();
+            if !self.ref_banking.load(Ordering::Acquire) {
+                m.set_ref_banking(false);
+            }
+            central.insert(mount_point.to_string(), Arc::clone(&m));
         }
-        self.central
-            .lock()
-            .insert(mount_point.to_string(), Arc::clone(&m));
         let swept = self.sweep_percore_caches();
         if !swept.is_empty() {
             self.retire(swept);
@@ -267,8 +272,12 @@ impl MountTable {
     /// vfsmount refcounts. A no-op per object when the refcounts are
     /// stock atomics.
     pub fn set_ref_banking(&self, enabled: bool) {
+        // Flag flip and sweep form one critical section under the
+        // central lock; `mount` decides each new mount's mode under the
+        // same lock, so no mount can miss both.
+        let central = self.central.lock();
         self.ref_banking.store(enabled, Ordering::Release);
-        for m in self.central.lock().values() {
+        for m in central.values() {
             m.set_ref_banking(enabled);
         }
     }
