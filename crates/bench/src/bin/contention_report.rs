@@ -7,7 +7,7 @@
 //! Usage:
 //!
 //! ```text
-//! contention_report [WORKLOAD] [stock|pk|adaptive] [CORES] [--top N] [--all] [--no-des]
+//! contention_report [WORKLOAD] [stock|coarse|pk|adaptive] [CORES] [--top N] [--all] [--no-des]
 //!                   [--functional] [--topology SxC]
 //! ```
 //!
@@ -34,9 +34,10 @@ use pk_sim::MachineSpec;
 use pk_workloads::exim::EximDriver;
 use pk_workloads::{roster, KernelChoice};
 
-/// Which kernel axis a report runs on: one of the paper's two fixed
-/// configs, or the adaptive personality (converge the controller
-/// first, then report on whatever config it landed on).
+/// Which kernel axis a report runs on: one of the three fixed
+/// personalities (stock, coarse-clustered, PK), or the adaptive one
+/// (converge the controller first, then report on whatever config it
+/// landed on).
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum Axis {
     Fixed(KernelChoice),
@@ -58,7 +59,7 @@ const DES_SEED: u64 = 42;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: contention_report [WORKLOAD] [stock|pk|adaptive] [CORES] [--top N] [--all] [--no-des] [--functional] [--topology SxC]"
+        "usage: contention_report [WORKLOAD] [stock|coarse|pk|adaptive] [CORES] [--top N] [--all] [--no-des] [--functional] [--topology SxC]"
     );
     eprintln!("workloads: {}", roster::NAMES.join(", "));
     std::process::exit(2);
@@ -113,6 +114,7 @@ fn parse_args() -> Args {
                     1 => {
                         args.axis = match a.to_ascii_lowercase().as_str() {
                             "stock" => Axis::Fixed(KernelChoice::Stock),
+                            "coarse" => Axis::Fixed(KernelChoice::Coarse),
                             "pk" => Axis::Fixed(KernelChoice::Pk),
                             "adaptive" => Axis::Adaptive,
                             _ => usage(),
@@ -252,6 +254,7 @@ fn main() {
         for workload in roster::NAMES {
             for axis in [
                 Axis::Fixed(KernelChoice::Stock),
+                Axis::Fixed(KernelChoice::Coarse),
                 Axis::Fixed(KernelChoice::Pk),
                 Axis::Adaptive,
             ] {

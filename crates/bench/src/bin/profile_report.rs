@@ -1,22 +1,36 @@
 //! profile_report: cycle-attribution tables for all seven MOSBENCH
-//! workloads under both kernels, plus the CI gate on the paper's Exim
-//! headline (§5.2).
+//! workloads under the four kernel personalities, plus the CI gates on
+//! the paper's Exim headline (§5.2) and the §7 "past 48 cores"
+//! generation-2 inversions.
 //!
-//! For each workload × {stock, PK, adaptive} this traces a 48-core
+//! For each workload × {stock, coarse, PK, adaptive} this traces a
 //! discrete-event run and prints the paper-style "top functions by % of
 //! cycles" table (the adaptive column first converges the
 //! `pk_adapt::AdaptController` and profiles its promoted config).
-//! It then derives the Exim diagnosis — vfsmount-table lock spans must
-//! dominate stock exclusive cycles and disappear under PK — and exits
-//! non-zero if that inversion is not observed. A functional pass runs
-//! the real Exim driver under the global tracer so the lock/syscall/RCU
-//! hook plumbing is exercised end to end.
+//!
+//! Gates, selected by core count:
+//! * **≤ 48 cores** — the Exim diagnosis: vfsmount-table lock spans
+//!   must dominate stock exclusive cycles and disappear under PK.
+//! * **> 48 cores** — the generation-2 inversions: for at least two
+//!   workloads, the named gen-2 structure (path-walk refs, SNZI-less
+//!   refcounts, flow-director table, page freelist) must hold ≥ 40% of
+//!   stock cycles and drop to ≤ 5% under PK's new fixes.
+//!
+//! A functional pass runs the real Exim driver under the global tracer
+//! so the lock/syscall/RCU hook plumbing is exercised end to end
+//! (skipped when `--workloads` filters Exim out).
 //!
 //! Artifacts (paths overridable):
 //! * `--json PATH` — deterministic attribution summary
 //!   (`profile_report.json`), byte-identical for a fixed `--seed`.
 //! * `--perfetto PATH` — Chrome `trace_event` JSON of the stock Exim
 //!   run (`exim_stock.trace.json`), loadable in Perfetto / chrome://tracing.
+//!
+//! `--workloads a,b,c` restricts the roster (CI's `scale1024` job runs
+//! only the two worst collapsing workloads at `--topology 64x16`).
+//! `--ops` defaults to [`profile::OPS_PER_CORE`] at ≤ 48 cores and
+//! scales down inversely with the core count above that, keeping the
+//! total traced event volume (and the ring memory) roughly constant.
 
 use pk_bench::profile;
 use pk_percpu::CoreId;
@@ -27,10 +41,11 @@ use pk_workloads::{roster, KernelChoice};
 fn main() {
     let mut seed = 42u64;
     let mut cores = 48usize;
-    let mut ops = profile::OPS_PER_CORE;
+    let mut ops_arg: Option<u64> = None;
     let mut json_path = "profile_report.json".to_string();
     let mut perfetto_path = "exim_stock.trace.json".to_string();
     let mut machine = MachineSpec::paper();
+    let mut selected: Vec<String> = Vec::new();
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -41,9 +56,22 @@ fn main() {
         match a.as_str() {
             "--seed" => seed = val("--seed").parse().expect("--seed takes a u64"),
             "--cores" => cores = val("--cores").parse().expect("--cores takes a count"),
-            "--ops" => ops = val("--ops").parse().expect("--ops takes a count"),
+            "--ops" => ops_arg = Some(val("--ops").parse().expect("--ops takes a count")),
             "--json" => json_path = val("--json"),
             "--perfetto" => perfetto_path = val("--perfetto"),
+            "--workloads" => {
+                for w in val("--workloads").split(',') {
+                    let w = w.trim().to_string();
+                    if !roster::NAMES.contains(&w.as_str()) {
+                        eprintln!(
+                            "profile_report: unknown workload {w:?} (roster: {})",
+                            roster::NAMES.join(", ")
+                        );
+                        std::process::exit(2);
+                    }
+                    selected.push(w);
+                }
+            }
             "--topology" => {
                 machine = MachineSpec::parse_topology(&val("--topology")).unwrap_or_else(|e| {
                     eprintln!("profile_report: {e}");
@@ -53,7 +81,8 @@ fn main() {
             other => {
                 eprintln!(
                     "unknown arg {other}; usage: profile_report [--seed N] [--cores N] \
-                     [--ops N] [--json PATH] [--perfetto PATH] [--topology SxC]"
+                     [--ops N] [--json PATH] [--perfetto PATH] [--topology SxC] \
+                     [--workloads a,b,c]"
                 );
                 std::process::exit(2);
             }
@@ -64,6 +93,23 @@ fn main() {
         eprintln!("profile_report: {e}");
         std::process::exit(2);
     }
+    // Keep total event volume roughly constant as cores grow: 400
+    // ops/core at 48 cores ≈ 40 ops/core at 1024 with the same ring
+    // memory. An explicit --ops always wins.
+    let ops = ops_arg.unwrap_or_else(|| {
+        if cores <= 48 {
+            profile::OPS_PER_CORE
+        } else {
+            (profile::OPS_PER_CORE * 48 / cores as u64).max(20)
+        }
+    });
+    // Roster order, filtered — keeps the JSON artifact deterministic
+    // regardless of the order given on the command line.
+    let names: Vec<&str> = roster::NAMES
+        .iter()
+        .copied()
+        .filter(|n| selected.is_empty() || selected.iter().any(|s| s == n))
+        .collect();
 
     pk_bench::header(
         "Cycle attribution (pk-trace)",
@@ -71,10 +117,14 @@ fn main() {
     );
 
     let mut runs = Vec::new();
-    let mut exim = Vec::new();
+    let mut exim_pair: Vec<profile::WorkloadAttribution> = Vec::new();
+    let mut gen2_pairs: Vec<(profile::WorkloadAttribution, profile::WorkloadAttribution)> =
+        Vec::new();
     let mut exim_stock_events = Vec::new();
-    for name in roster::NAMES {
-        for choice in [KernelChoice::Stock, KernelChoice::Pk] {
+    for name in &names {
+        let name = *name;
+        let mut stock_attr: Option<profile::WorkloadAttribution> = None;
+        for choice in [KernelChoice::Stock, KernelChoice::Coarse, KernelChoice::Pk] {
             let (attr, events) = profile::run_traced_on(name, choice, cores, ops, seed, machine)
                 .expect("roster name resolves");
             println!("--- {name} / {} ---", attr.config);
@@ -85,11 +135,23 @@ fn main() {
                     attr.dropped_events
                 );
             }
-            if name == "exim" {
-                if choice == KernelChoice::Stock {
-                    exim_stock_events = events;
+            match choice {
+                KernelChoice::Stock => {
+                    if name == "exim" {
+                        exim_stock_events = events;
+                        exim_pair.push(attr.clone());
+                    }
+                    stock_attr = Some(attr.clone());
                 }
-                exim.push(attr.clone());
+                KernelChoice::Pk => {
+                    if name == "exim" {
+                        exim_pair.push(attr.clone());
+                    }
+                    if let Some(stock) = &stock_attr {
+                        gen2_pairs.push((stock.clone(), attr.clone()));
+                    }
+                }
+                KernelChoice::Coarse => {}
             }
             runs.push(attr);
         }
@@ -118,36 +180,89 @@ fn main() {
         runs.push(attr);
     }
 
-    functional_exim_pass();
+    if names.contains(&"exim") {
+        functional_exim_pass();
+    }
 
-    let inversion = profile::exim_inversion(&exim[0], &exim[1]);
-    println!("\nExim vfsmount attribution at {cores} cores:");
-    println!(
-        "  stock: {:5.1}% of cycles (top class: {})",
-        100.0 * inversion.stock_share,
-        inversion.stock_top
-    );
-    println!("  pk:    {:5.1}% of cycles", 100.0 * inversion.pk_share);
+    let inversion = if exim_pair.len() == 2 {
+        let inv = profile::exim_inversion(&exim_pair[0], &exim_pair[1]);
+        println!("\nExim vfsmount attribution at {cores} cores:");
+        println!(
+            "  stock: {:5.1}% of cycles (top class: {})",
+            100.0 * inv.stock_share,
+            inv.stock_top
+        );
+        println!("  pk:    {:5.1}% of cycles", 100.0 * inv.pk_share);
+        Some(inv)
+    } else {
+        None
+    };
 
-    let json = profile::report_json(seed, cores, &runs, &inversion);
+    let gen2: Vec<profile::Gen2Inversion> = gen2_pairs
+        .iter()
+        .filter_map(|(stock, pk)| profile::gen2_inversion(stock, pk))
+        .collect();
+    if cores > 48 && !gen2.is_empty() {
+        println!("\nGeneration-2 inversions at {cores} cores:");
+        for g in &gen2 {
+            println!(
+                "  {:10} {:28} stock {:5.1}% -> pk {:4.1}%  [{}]",
+                g.workload,
+                g.structure,
+                100.0 * g.stock_share.min(1.0),
+                100.0 * g.pk_share,
+                if g.observed { "observed" } else { "NOT observed" }
+            );
+        }
+    }
+
+    let json = profile::report_json(seed, cores, &runs, inversion.as_ref(), &gen2);
     std::fs::write(&json_path, &json).expect("write json artifact");
     println!("wrote {json_path}");
-    let chrome = pk_trace::chrome_trace_json(&exim_stock_events);
-    std::fs::write(&perfetto_path, &chrome).expect("write perfetto artifact");
-    println!("wrote {perfetto_path} ({} events)", exim_stock_events.len());
+    if !exim_stock_events.is_empty() {
+        let chrome = pk_trace::chrome_trace_json(&exim_stock_events);
+        std::fs::write(&perfetto_path, &chrome).expect("write perfetto artifact");
+        println!("wrote {perfetto_path} ({} events)", exim_stock_events.len());
+    }
 
-    if inversion.observed {
-        println!(
-            "PASS: stock cycles concentrate in the vfsmount lock and the \
-             attribution moves off it under PK"
-        );
+    // Gate selection: at the paper's scale the Exim headline is the
+    // gate; past 48 cores the gen-2 inversions are.
+    if cores <= 48 {
+        match &inversion {
+            Some(inv) if inv.observed => {
+                println!(
+                    "PASS: stock cycles concentrate in the vfsmount lock and the \
+                     attribution moves off it under PK"
+                );
+            }
+            Some(_) => {
+                eprintln!(
+                    "FAIL: expected vfsmount dominance >= {:.0}% on stock and <= {:.0}% under PK",
+                    100.0 * profile::STOCK_DOMINANCE,
+                    100.0 * profile::PK_CEILING
+                );
+                std::process::exit(1);
+            }
+            None => println!("exim filtered out; vfsmount gate skipped"),
+        }
     } else {
-        eprintln!(
-            "FAIL: expected vfsmount dominance >= {:.0}% on stock and <= {:.0}% under PK",
-            100.0 * profile::STOCK_DOMINANCE,
-            100.0 * profile::PK_CEILING
-        );
-        std::process::exit(1);
+        let observed = gen2.iter().filter(|g| g.observed).count();
+        let required = gen2.len().min(2);
+        if observed >= required && required > 0 {
+            println!(
+                "PASS: {observed}/{} gen-2 structures dominate stock and vanish under PK",
+                gen2.len()
+            );
+        } else {
+            eprintln!(
+                "FAIL: {observed}/{} gen-2 inversions observed (need >= {required}): \
+                 expected the named structure >= {:.0}% of stock cycles and <= {:.0}% under PK",
+                gen2.len(),
+                100.0 * profile::STOCK_DOMINANCE,
+                100.0 * profile::PK_CEILING
+            );
+            std::process::exit(1);
+        }
     }
 }
 

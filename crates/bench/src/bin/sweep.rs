@@ -20,13 +20,13 @@ use pk_sim::{CoreSweep, WorkloadModel};
 use pk_workloads::{apache, exim, gmake, memcached, metis, pedsort, postgres, KernelChoice};
 
 fn model(app: &str, choice: KernelChoice, rw: bool) -> Option<Box<dyn WorkloadModel>> {
-    Some(match app {
+    let m: Box<dyn WorkloadModel> = match app {
         "exim" => Box::new(exim::EximModel::new(choice)),
         "memcached" => Box::new(memcached::MemcachedModel::new(choice)),
         "apache" => Box::new(apache::ApacheModel::new(choice)),
         "postgres" => {
             let variant = match choice {
-                KernelChoice::Stock => postgres::PgVariant::StockModPg,
+                KernelChoice::Stock | KernelChoice::Coarse => postgres::PgVariant::StockModPg,
                 KernelChoice::Pk => postgres::PgVariant::PkModPg,
             };
             Box::new(postgres::PostgresModel::new(variant, !rw))
@@ -40,12 +40,17 @@ fn model(app: &str, choice: KernelChoice, rw: bool) -> Option<Box<dyn WorkloadMo
         "metis-4k" => Box::new(metis::MetisModel::new(metis::MetisVariant::StockSmallPages)),
         "metis-2m" => Box::new(metis::MetisModel::new(metis::MetisVariant::PkSuperPages)),
         _ => return None,
+    };
+    Some(if choice == KernelChoice::Coarse {
+        Box::new(pk_sim::Coarsened(m))
+    } else {
+        m
     })
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: sweep <app> [--kernel stock|pk] [--cores N[,N,...]] [--rw]\n\
+        "usage: sweep <app> [--kernel stock|coarse|pk] [--cores N[,N,...]] [--rw]\n\
          apps: exim, memcached, apache, postgres, gmake, pedsort-threads,\n\
          \u{20}      pedsort-procs, pedsort-rr, metis-4k, metis-2m"
     );
@@ -63,6 +68,7 @@ fn main() {
         match arg.as_str() {
             "--kernel" => match it.next().map(String::as_str) {
                 Some("stock") => choice = KernelChoice::Stock,
+                Some("coarse") => choice = KernelChoice::Coarse,
                 Some("pk") => choice = KernelChoice::Pk,
                 _ => usage(),
             },

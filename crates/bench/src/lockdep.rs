@@ -51,14 +51,14 @@ pub struct LockdepRow {
 
 fn variant_of(choice: KernelChoice) -> PgVariant {
     match choice {
-        KernelChoice::Stock => PgVariant::Stock,
+        KernelChoice::Stock | KernelChoice::Coarse => PgVariant::Stock,
         KernelChoice::Pk => PgVariant::PkModPg,
     }
 }
 
 fn metis_variant(choice: KernelChoice) -> metis::MetisVariant {
     match choice {
-        KernelChoice::Stock => metis::MetisVariant::StockSmallPages,
+        KernelChoice::Stock | KernelChoice::Coarse => metis::MetisVariant::StockSmallPages,
         KernelChoice::Pk => metis::MetisVariant::PkSuperPages,
     }
 }

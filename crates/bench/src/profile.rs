@@ -57,11 +57,12 @@ impl WorkloadAttribution {
     /// contains `pattern` (holding *and* waiting, since wait spans share
     /// the station's name).
     pub fn share_of(&self, pattern: &str) -> f64 {
-        let hit: u64 = self
+        // u128: a collapsed 1024-core gmake run sums past u64::MAX.
+        let hit: u128 = self
             .classes
             .iter()
             .filter(|c| c.name.contains(pattern))
-            .map(|c| c.exclusive)
+            .map(|c| u128::from(c.exclusive))
             .sum();
         hit as f64 / self.total_cycles.max(1) as f64
     }
@@ -125,6 +126,7 @@ pub fn run_traced_on(
     let model = roster::model_on(workload, choice, machine)?;
     let label = match choice {
         KernelChoice::Stock => "stock",
+        KernelChoice::Coarse => "coarse",
         KernelChoice::Pk => "pk",
     };
     Some(trace_model(
@@ -246,18 +248,78 @@ pub fn exim_inversion(stock: &WorkloadAttribution, pk: &WorkloadAttribution) -> 
     }
 }
 
+/// Per-workload generation-2 collapse structure: the station-name
+/// pattern the §7 extrapolation blames past 48 cores. The same
+/// [`STOCK_DOMINANCE`] / [`PK_CEILING`] thresholds gate it: on a big
+/// topology the named structure must own the stock attribution and the
+/// PK fix set (RCU walk, SNZI refs, per-socket shards) must erase it.
+pub const GEN2_STRUCTURES: &[(&str, &str)] = &[
+    ("exim", "path-walk"),
+    ("apache", "dentry ref saturation"),
+    ("memcached", "flow-director"),
+    ("postgres", "path-walk"),
+    ("gmake", "page freelist"),
+    ("pedsort", "page freelist"),
+    ("metis", "page freelist"),
+];
+
+/// The gen-2 station pattern for `workload`, if it has one.
+pub fn gen2_structure(workload: &str) -> Option<&'static str> {
+    GEN2_STRUCTURES
+        .iter()
+        .find(|(w, _)| *w == workload)
+        .map(|(_, p)| *p)
+}
+
+/// One workload's generation-2 inversion on a big topology: stock
+/// share of the named structure vs the share under PK's new fixes.
+#[derive(Debug, Clone)]
+pub struct Gen2Inversion {
+    /// Roster workload name.
+    pub workload: String,
+    /// Station-name pattern from [`GEN2_STRUCTURES`].
+    pub structure: &'static str,
+    /// Share of stock exclusive cycles in the structure (hold + wait).
+    pub stock_share: f64,
+    /// Same share under PK.
+    pub pk_share: f64,
+    /// `stock_share >= STOCK_DOMINANCE && pk_share <= PK_CEILING`.
+    pub observed: bool,
+}
+
+/// Derives the gen-2 inversion from a workload's stock and PK
+/// attributions. `None` when the workload has no gen-2 structure.
+pub fn gen2_inversion(
+    stock: &WorkloadAttribution,
+    pk: &WorkloadAttribution,
+) -> Option<Gen2Inversion> {
+    let structure = gen2_structure(&stock.workload)?;
+    let stock_share = stock.share_of(structure);
+    let pk_share = pk.share_of(structure);
+    Some(Gen2Inversion {
+        workload: stock.workload.clone(),
+        structure,
+        stock_share,
+        pk_share,
+        observed: stock_share >= STOCK_DOMINANCE && pk_share <= PK_CEILING,
+    })
+}
+
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
 /// Renders the deterministic JSON artifact: fixed key order, fixed
-/// 6-decimal float formatting, runs in roster × {stock, pk, adaptive}
-/// order — byte-identical for a fixed seed.
+/// 6-decimal float formatting, runs in roster × {stock, coarse, pk,
+/// adaptive} order — byte-identical for a fixed seed. `inversion` is
+/// `None` when Exim was filtered out of the run; `gen2` carries the
+/// big-topology inversions (empty on the 48-core paper machine).
 pub fn report_json(
     seed: u64,
     cores: usize,
     runs: &[WorkloadAttribution],
-    inversion: &EximInversion,
+    inversion: Option<&EximInversion>,
+    gen2: &[Gen2Inversion],
 ) -> String {
     use std::fmt::Write as _;
     let mut out = String::from("{\n");
@@ -293,15 +355,33 @@ pub fn report_json(
         let _ = writeln!(out, "    ]}}{comma}");
     }
     out.push_str("  ],\n");
-    let _ = writeln!(
-        out,
-        "  \"exim_inversion\": {{\"stock_vfsmount_share\": {:.6}, \"pk_vfsmount_share\": {:.6}, \"stock_top\": \"{}\", \"observed\": {}}}",
-        inversion.stock_share,
-        inversion.pk_share,
-        json_escape(&inversion.stock_top),
-        inversion.observed
-    );
-    out.push_str("}\n");
+    match inversion {
+        Some(inv) => {
+            let _ = writeln!(
+                out,
+                "  \"exim_inversion\": {{\"stock_vfsmount_share\": {:.6}, \"pk_vfsmount_share\": {:.6}, \"stock_top\": \"{}\", \"observed\": {}}},",
+                inv.stock_share,
+                inv.pk_share,
+                json_escape(&inv.stock_top),
+                inv.observed
+            );
+        }
+        None => out.push_str("  \"exim_inversion\": null,\n"),
+    }
+    out.push_str("  \"gen2_inversions\": [\n");
+    for (i, g) in gen2.iter().enumerate() {
+        let comma = if i + 1 == gen2.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "    {{\"workload\": \"{}\", \"structure\": \"{}\", \"stock_share\": {:.6}, \"pk_share\": {:.6}, \"observed\": {}}}{comma}",
+            json_escape(&g.workload),
+            json_escape(g.structure),
+            g.stock_share,
+            g.pk_share,
+            g.observed
+        );
+    }
+    out.push_str("  ]\n}\n");
     out
 }
 
@@ -339,12 +419,38 @@ mod tests {
             let (stock, _) = run_traced("exim", KernelChoice::Stock, 8, 100, 42).unwrap();
             let (pk, _) = run_traced("exim", KernelChoice::Pk, 8, 100, 42).unwrap();
             let inv = exim_inversion(&stock, &pk);
-            report_json(42, 8, &[stock, pk], &inv)
+            let gen2: Vec<_> = gen2_inversion(&stock, &pk).into_iter().collect();
+            report_json(42, 8, &[stock, pk], Some(&inv), &gen2)
         };
         let a = run();
         assert_eq!(a, run(), "artifact must be byte-identical per seed");
         assert!(a.contains("\"seed\": 42"));
         assert!(a.contains("\"workload\": \"exim\""));
         assert!(a.contains("\"exim_inversion\""));
+        assert!(a.contains("\"gen2_inversions\""));
+        // Filtered runs emit a null exim block but stay parseable JSON.
+        let b = report_json(42, 8, &[], None, &[]);
+        assert!(b.contains("\"exim_inversion\": null"));
+    }
+
+    #[test]
+    fn gen2_structures_invert_past_48_cores() {
+        // The §7 extrapolation: at 64×16 the generation-2 structures own
+        // the stock attribution and the new fixes erase them. Two
+        // workloads (one VFS-side, one net-side) gate the claim; the
+        // full-roster pass lives in profile_report/CI.
+        let machine = pk_sim::MachineSpec::with_topology(64, 16).expect("64x16 valid");
+        for name in ["exim", "memcached"] {
+            let (stock, _) =
+                run_traced_on(name, KernelChoice::Stock, 1024, 40, 42, machine).unwrap();
+            let (pk, _) = run_traced_on(name, KernelChoice::Pk, 1024, 40, 42, machine).unwrap();
+            assert_eq!(stock.dropped_events, 0, "{name} overflowed its ring");
+            let inv = gen2_inversion(&stock, &pk).expect("roster workloads have gen2 entries");
+            assert!(
+                inv.observed,
+                "{name}: structure={} stock={:.3} pk={:.3}",
+                inv.structure, inv.stock_share, inv.pk_share
+            );
+        }
     }
 }

@@ -29,7 +29,9 @@ use std::fmt::Write as _;
 /// a stale baseline fails loudly instead of silently skipping keys.
 /// v2: added `topo.*` large-topology rows (16×12 / 192 cores).
 /// v3: added `adapt.*` adaptive-personality convergence rows.
-pub const SCHEMA_VERSION: u64 = 3;
+/// v4: four-way personality curves (stock/coarse/pk/adaptive) keyed by
+/// topology at 96 (16×6), 192 (16×12), and 1024 (64×16) cores.
+pub const SCHEMA_VERSION: u64 = 4;
 
 /// Allowed relative growth in a `*cycles*` metric before `--check`
 /// calls it a regression (the issue's 10% budget).
@@ -296,30 +298,65 @@ pub fn deterministic_metrics(seed: u64) -> Metrics {
         }
     }
 
-    // Large-topology extrapolation rows (§7): the same roster on a
-    // 16×12 machine at its full 192 cores — deterministic MVA plus one
-    // seeded DES cross-check per kernel on the headline workload. These
-    // keep the sweepable-topology path pinned byte-identically, and the
-    // wheel engine makes the 192-core DES runs cheap enough for CI.
-    let big = pk_sim::MachineSpec::with_topology(16, 12).expect("16x12 is a valid topology");
-    for name in roster::NAMES {
-        for (choice, label) in [(KernelChoice::Stock, "stock"), (KernelChoice::Pk, "pk")] {
-            let model = roster::model_on(name, choice, big).expect("roster name resolves");
-            let p = CoreSweep::try_point(model.as_ref(), 192)
-                .expect("192 cores fit the 16x12 topology");
-            m.put_f64(
-                &format!("topo.16x12.{name}.{label}.c192.per_core_per_sec"),
-                p.per_core_per_sec,
-            );
+    // Large-topology extrapolation rows (§7): the roster's four-way
+    // personality curves (stock / coarse / PK / adaptive) on scaled
+    // machines at 96, 192, and 1024 cores. MVA rows cover every
+    // workload × fixed personality; the adaptive personality converges
+    // the controller per topology on the headline workload (full-roster
+    // adaptive rows at 48 cores live under `adapt.*`). One seeded DES
+    // cross-check per kernel on Exim pins the wheel engine's
+    // large-topology path byte-identically.
+    let topologies = [
+        ("16x6", 16usize, 6usize, 96usize),
+        ("16x12", 16, 12, 192),
+        ("64x16", 64, 16, 1024),
+    ];
+    for (tlabel, sockets, per, cores) in topologies {
+        let big = pk_sim::MachineSpec::with_topology(sockets, per)
+            .expect("sweep topologies are valid");
+        for name in roster::NAMES {
+            for (choice, label) in [
+                (KernelChoice::Stock, "stock"),
+                (KernelChoice::Coarse, "coarse"),
+                (KernelChoice::Pk, "pk"),
+            ] {
+                let model = roster::model_on(name, choice, big).expect("roster name resolves");
+                let p = CoreSweep::try_point(model.as_ref(), cores)
+                    .expect("full-machine core count fits its own topology");
+                m.put_f64(
+                    &format!("topo.{tlabel}.{name}.{label}.c{cores}.per_core_per_sec"),
+                    p.per_core_per_sec,
+                );
+            }
         }
-    }
-    for (choice, label) in [(KernelChoice::Stock, "stock"), (KernelChoice::Pk, "pk")] {
-        let model = roster::model_on("exim", choice, big).expect("exim resolves");
-        let net = model.network(192);
-        let r = des::simulate(&net, 192, 1_000, seed);
-        let prefix = format!("topo.16x12.exim.{label}.des.c192");
-        m.put_f64(&format!("{prefix}.cycles_per_op"), r.cycles_per_op);
-        m.put_u64(&format!("{prefix}.events"), r.events_processed);
+        {
+            use pk_adapt::{AdaptController, AdaptPolicy};
+            use pk_kernel::KernelConfig;
+            let build = move |cfg: &KernelConfig| {
+                roster::model_with_config("exim", cfg, big)
+                    .expect("exim resolves")
+                    .network(cores)
+            };
+            let out =
+                AdaptController::new(KernelConfig::adaptive(cores), AdaptPolicy::default(), seed)
+                    .converge_des(build, cores);
+            let model = roster::model_with_config("exim", &out.config, big).expect("exim resolves");
+            let p = CoreSweep::try_point(model.as_ref(), cores)
+                .expect("full-machine core count fits its own topology");
+            let prefix = format!("topo.{tlabel}.exim.adaptive.c{cores}");
+            m.put_f64(&format!("{prefix}.per_core_per_sec"), p.per_core_per_sec);
+            m.put_u64(&format!("{prefix}.promoted"), out.config.enabled_count() as u64);
+            m.put_u64(&format!("{prefix}.converged"), u64::from(out.converged));
+        }
+        for (choice, label) in [(KernelChoice::Stock, "stock"), (KernelChoice::Pk, "pk")] {
+            let model = roster::model_on("exim", choice, big).expect("exim resolves");
+            let net = model.network(cores);
+            let ops = (192_000 / cores as u64).max(100);
+            let r = des::simulate(&net, cores, ops, seed);
+            let prefix = format!("topo.{tlabel}.exim.{label}.des.c{cores}");
+            m.put_f64(&format!("{prefix}.cycles_per_op"), r.cycles_per_op);
+            m.put_u64(&format!("{prefix}.events"), r.events_processed);
+        }
     }
 
     // Adaptive-personality convergence rows: for every workload, boot

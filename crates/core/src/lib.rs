@@ -46,7 +46,7 @@ mod traits;
 pub use approx::ApproxCounter;
 pub use atomic::AtomicCounter;
 pub use distributed::DistributedCounter;
-pub use refcount::{DeallocError, RefCount, SloppyRefCount};
+pub use refcount::{DeallocError, RefCount, SloppyRefCount, SnziRefCount};
 pub use sloppy::{SloppyConfig, SloppyCounter};
-pub use snzi::SnziCounter;
+pub use snzi::{Snzi, SnziCounter};
 pub use traits::Counter;

@@ -1,6 +1,7 @@
 //! Reference counting with a sloppy counter: the dentry lifecycle.
 
 use crate::sloppy::{SloppyConfig, SloppyCounter};
+use crate::snzi::Snzi;
 use pk_percpu::CoreId;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -169,11 +170,117 @@ impl SloppyRefCount {
     }
 }
 
+/// A SNZI-tree reference count: the generation-2 (§7) backing for
+/// objects whose sloppy counters saturate past 48 cores.
+///
+/// Same lifecycle as [`SloppyRefCount`] — count starts at 1, gets fail
+/// after death, deallocation reconciles — but gets and puts drive a
+/// [`Snzi`] tree shaped like the machine (per-core leaves, per-socket
+/// intermediate nodes), so zero-crossing traffic aggregates per socket
+/// instead of all landing on one central word.
+#[derive(Debug)]
+pub struct SnziRefCount {
+    counter: Snzi,
+    dead: AtomicBool,
+    // Serializes reconcile-and-check against concurrent gets, exactly
+    // as in SloppyRefCount.
+    dealloc: Mutex<()>,
+}
+
+impl SnziRefCount {
+    /// Creates a refcount of 1 over `cores` spread across `sockets`.
+    pub fn new(cores: usize, sockets: usize) -> Self {
+        let counter = Snzi::new(cores, sockets);
+        // Creator's reference charged to core 0 by convention; the
+        // object is not shared yet.
+        let _migrate = pk_lockdep::MigrationScope::enter();
+        counter.arrive(CoreId(0), 1);
+        Self {
+            counter,
+            dead: AtomicBool::new(false),
+            dealloc: Mutex::new(()),
+        }
+    }
+
+    /// Acquires one reference on behalf of `core`; fails after death.
+    pub fn get(&self, core: CoreId) -> Result<(), DeallocError> {
+        if self.dead.load(Ordering::Acquire) {
+            return Err(DeallocError::AlreadyDead);
+        }
+        self.counter.arrive(core, 1);
+        if self.dead.load(Ordering::Acquire) {
+            self.counter.depart(core, 1);
+            return Err(DeallocError::AlreadyDead);
+        }
+        Ok(())
+    }
+
+    /// Releases one reference on behalf of `core`. Cross-socket
+    /// releases are fine: the tree tolerates migrated departs.
+    pub fn put(&self, core: CoreId) {
+        self.counter.depart(core, 1);
+    }
+
+    /// Attempts to deallocate: reconciles the tree and succeeds only if
+    /// no references remain.
+    pub fn try_dealloc(&self) -> Result<(), DeallocError> {
+        let _g = self.dealloc.lock().unwrap_or_else(|e| e.into_inner());
+        if self.dead.load(Ordering::Acquire) {
+            return Err(DeallocError::AlreadyDead);
+        }
+        let remaining = self.counter.reconcile();
+        if remaining == 0 {
+            self.dead.store(true, Ordering::Release);
+            Ok(())
+        } else {
+            Err(DeallocError::InUse { remaining })
+        }
+    }
+
+    /// Whether the object has been deallocated.
+    pub fn is_dead(&self) -> bool {
+        self.dead.load(Ordering::Acquire)
+    }
+
+    /// The exact current reference count (expensive: visits every leaf).
+    pub fn references(&self) -> i64 {
+        self.counter.value()
+    }
+
+    /// The cheap liveness probe: true while any reference may remain.
+    pub fn maybe_referenced(&self) -> bool {
+        self.counter.query()
+    }
+
+    /// `(central_ops, local_ops)` from the underlying tree.
+    pub fn op_counts(&self) -> (u64, u64) {
+        self.counter.op_counts()
+    }
+
+    /// Degrades the tree to central-only mode (see
+    /// [`Snzi::degrade_to_central`]).
+    pub fn degrade_to_central(&self) {
+        self.counter.degrade_to_central();
+    }
+
+    /// Resumes per-core leaf updates (see [`Snzi::restore_per_core`]).
+    pub fn restore_per_core(&self) {
+        self.counter.restore_per_core();
+    }
+
+    /// Whether the tree is in degraded (central-only) mode.
+    pub fn is_degraded(&self) -> bool {
+        self.counter.is_degraded()
+    }
+}
+
 /// A reference count whose backing is chosen at object-creation time:
-/// a single shared atomic (the stock kernel) or a sloppy counter (PK).
+/// a single shared atomic (the stock kernel), a sloppy counter (PK),
+/// or a SNZI tree (PK generation-2, for structures whose sloppy
+/// counters saturate at high core counts).
 ///
 /// This is the switch Figure 1 toggles for `dentry`, `vfsmount`, and
-/// `dst_entry` objects. Both variants expose the same lifecycle so kernel
+/// `dst_entry` objects. All variants expose the same lifecycle so kernel
 /// code is oblivious to which one it got — the backwards compatibility
 /// that makes sloppy counters deployable piecemeal.
 #[derive(Debug)]
@@ -189,6 +296,8 @@ pub enum RefCount {
     },
     /// A sloppy counter (PK).
     Sloppy(SloppyRefCount),
+    /// A per-socket SNZI tree (PK generation-2).
+    Snzi(SnziRefCount),
 }
 
 impl RefCount {
@@ -206,12 +315,29 @@ impl RefCount {
         Self::Sloppy(SloppyRefCount::new(cores))
     }
 
+    /// Creates a SNZI-tree-backed refcount of 1 over `cores` spread
+    /// across `sockets`.
+    pub fn new_snzi(cores: usize, sockets: usize) -> Self {
+        Self::Snzi(SnziRefCount::new(cores, sockets))
+    }
+
     /// Creates the variant selected by `sloppy`.
     pub fn new(sloppy: bool, cores: usize) -> Self {
         if sloppy {
             Self::new_sloppy(cores)
         } else {
             Self::new_atomic()
+        }
+    }
+
+    /// Picks the backing by fix generation: the SNZI tree when both the
+    /// sloppy-counter fix and its generation-2 upgrade are enabled, the
+    /// flat sloppy counter under plain PK, the shared atomic otherwise.
+    pub fn new_scaled(sloppy: bool, snzi: bool, cores: usize, sockets: usize) -> Self {
+        match (sloppy, snzi) {
+            (true, true) => Self::new_snzi(cores, sockets),
+            (true, false) => Self::new_sloppy(cores),
+            (false, _) => Self::new_atomic(),
         }
     }
 
@@ -231,6 +357,7 @@ impl RefCount {
                 Ok(())
             }
             Self::Sloppy(rc) => rc.get(core),
+            Self::Snzi(rc) => rc.get(core),
         }
     }
 
@@ -242,6 +369,7 @@ impl RefCount {
                 count.fetch_sub(1, Ordering::AcqRel);
             }
             Self::Sloppy(rc) => rc.put(core),
+            Self::Snzi(rc) => rc.put(core),
         }
     }
 
@@ -261,6 +389,7 @@ impl RefCount {
                 }
             }
             Self::Sloppy(rc) => rc.try_dealloc(),
+            Self::Snzi(rc) => rc.try_dealloc(),
         }
     }
 
@@ -269,6 +398,7 @@ impl RefCount {
         match self {
             Self::Atomic { count, .. } => count.load(Ordering::Acquire),
             Self::Sloppy(rc) => rc.references(),
+            Self::Snzi(rc) => rc.references(),
         }
     }
 
@@ -279,6 +409,7 @@ impl RefCount {
         match self {
             Self::Atomic { ops, .. } => (ops.load(Ordering::Relaxed), 0),
             Self::Sloppy(rc) => rc.op_counts(),
+            Self::Snzi(rc) => rc.op_counts(),
         }
     }
 
@@ -293,21 +424,32 @@ impl RefCount {
     /// banks — this is the promotion lever `pk-adapt` pulls, and it has
     /// to be safe to aim at any object.
     pub fn set_banking(&self, enabled: bool) {
-        if let Self::Sloppy(rc) = self {
-            if enabled {
-                rc.restore_per_core();
-            } else {
-                rc.degrade_to_central();
+        match self {
+            Self::Atomic { .. } => {}
+            Self::Sloppy(rc) => {
+                if enabled {
+                    rc.restore_per_core();
+                } else {
+                    rc.degrade_to_central();
+                }
+            }
+            Self::Snzi(rc) => {
+                if enabled {
+                    rc.restore_per_core();
+                } else {
+                    rc.degrade_to_central();
+                }
             }
         }
     }
 
     /// Whether get/put currently bounce a shared cache line: true for
-    /// the atomic variant and for a degraded sloppy counter.
+    /// the atomic variant and for a degraded sloppy counter or tree.
     pub fn is_central_only(&self) -> bool {
         match self {
             Self::Atomic { .. } => true,
             Self::Sloppy(rc) => rc.is_degraded(),
+            Self::Snzi(rc) => rc.is_degraded(),
         }
     }
 }
@@ -384,6 +526,45 @@ mod tests {
         let atomic = RefCount::new_atomic();
         atomic.set_banking(true); // no-op, must not panic
         assert!(atomic.is_central_only());
+    }
+
+    #[test]
+    fn snzi_refcount_mirrors_sloppy_lifecycle() {
+        let rc = SnziRefCount::new(16, 4);
+        assert_eq!(rc.references(), 1);
+        rc.get(CoreId(5)).unwrap();
+        rc.put(CoreId(13)); // cross-socket migration
+        assert_eq!(rc.references(), 1);
+        assert!(rc.maybe_referenced());
+        assert_eq!(rc.try_dealloc(), Err(DeallocError::InUse { remaining: 1 }));
+        rc.put(CoreId(0));
+        assert_eq!(rc.try_dealloc(), Ok(()));
+        assert_eq!(rc.get(CoreId(2)), Err(DeallocError::AlreadyDead));
+        assert_eq!(rc.references(), 0, "failed get must not leak");
+    }
+
+    #[test]
+    fn refcount_snzi_variant_wires_the_lever() {
+        let rc = RefCount::new_scaled(true, true, 16, 4);
+        assert!(matches!(rc, RefCount::Snzi(_)));
+        assert!(!rc.is_central_only());
+        rc.set_banking(false);
+        assert!(rc.is_central_only());
+        rc.get(CoreId(9)).unwrap();
+        rc.put(CoreId(2));
+        rc.set_banking(true);
+        assert!(!rc.is_central_only());
+        assert_eq!(rc.references(), 1);
+        // Selection table: sloppy without the gen-2 flag stays sloppy,
+        // no sloppy at all stays atomic whatever the snzi flag says.
+        assert!(matches!(
+            RefCount::new_scaled(true, false, 8, 2),
+            RefCount::Sloppy(_)
+        ));
+        assert!(matches!(
+            RefCount::new_scaled(false, true, 8, 2),
+            RefCount::Atomic { .. }
+        ));
     }
 
     #[test]

@@ -1,6 +1,7 @@
-//! Kernel-wide configuration: which of the 16 fixes are applied.
+//! Kernel-wide configuration: which of the registered fixes are
+//! applied (the 16 Figure-1 rows plus the generation-2 set).
 
-use crate::fixes::FixId;
+use crate::fixes::{FixId, NUM_FIXES};
 use pk_mm::MmConfig;
 use pk_net::NetConfig;
 use pk_sim::OverloadPolicy;
@@ -14,10 +15,18 @@ use pk_vfs::VfsConfig;
 /// for `pk-adapt` to enable fixes at runtime from observed contention,
 /// and its functional substrates keep sloppy counters present but
 /// degraded-to-central so the controller can promote them in place.
+/// `Coarse` is the fourth personality (the coarse-grained-locking
+/// point from the microkernel literature): the named fine-grained lock
+/// classes are clustered into one coarse lock per subsystem, which
+/// beats stock at low core counts (fewer acquisitions) and collapses
+/// harder at scale (one merged queue).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Personality {
     /// Stock Linux 2.6.35-rc5 semantics; the fix set is frozen.
     Stock,
+    /// Stock with its lock classes clustered into a handful of coarse
+    /// subsystem locks; the fix set is frozen at zero.
+    Coarse,
     /// The hand-patched PK kernel; the fix set is frozen.
     Pk,
     /// Fixes start off and are flipped at runtime by `pk-adapt`.
@@ -35,9 +44,15 @@ pub enum Personality {
 pub struct KernelConfig {
     /// Number of cores the kernel serves.
     pub cores: usize,
-    /// Which fixes are enabled.
-    fixes: [bool; 16],
-    /// Which personality this build is (stock / PK / adaptive).
+    /// Sockets the cores are spread over. Per-socket sharding fixes
+    /// (flow tables, page freelists) key their shard counts off this;
+    /// defaults to the paper machine's 8 and is overridden via
+    /// [`KernelConfig::with_sockets`] when lowering for a swept
+    /// topology.
+    sockets: usize,
+    /// Which fixes are enabled (Figure-1 order, then generation 2).
+    fixes: [bool; NUM_FIXES],
+    /// Which personality this build is (stock / coarse / PK / adaptive).
     personality: Personality,
     /// Reclamation discipline for RCU-protected structures in every
     /// substrate: deferred `call_rcu` (true, the default) or blocking
@@ -56,19 +71,39 @@ impl KernelConfig {
     pub fn stock(cores: usize) -> Self {
         Self {
             cores,
-            fixes: [false; 16],
+            sockets: 8,
+            fixes: [false; NUM_FIXES],
             personality: Personality::Stock,
             deferred_reclamation: true,
             overload: OverloadPolicy::NONE,
         }
     }
 
-    /// The PK kernel: all 16 fixes.
+    /// The PK kernel: every registered fix (the 16 Figure-1 rows plus
+    /// the generation-2 set).
     pub fn pk(cores: usize) -> Self {
         Self {
             cores,
-            fixes: [true; 16],
+            sockets: 8,
+            fixes: [true; NUM_FIXES],
             personality: Personality::Pk,
+            deferred_reclamation: true,
+            overload: OverloadPolicy::NONE,
+        }
+    }
+
+    /// The coarse kernel: stock's fix set (none), but tagged
+    /// [`Personality::Coarse`] so the model layer clusters the named
+    /// lock classes into one coarse lock per subsystem
+    /// (`Network::coarsen`). The functional substrates boot
+    /// stock-shaped — coarse clustering is a locking-spectrum point the
+    /// reports sweep, not a separately implemented kernel.
+    pub fn coarse(cores: usize) -> Self {
+        Self {
+            cores,
+            sockets: 8,
+            fixes: [false; NUM_FIXES],
+            personality: Personality::Coarse,
             deferred_reclamation: true,
             overload: OverloadPolicy::NONE,
         }
@@ -83,11 +118,29 @@ impl KernelConfig {
     pub fn adaptive(cores: usize) -> Self {
         Self {
             cores,
-            fixes: [false; 16],
+            sockets: 8,
+            fixes: [false; NUM_FIXES],
             personality: Personality::Adaptive,
             deferred_reclamation: true,
             overload: OverloadPolicy::NONE,
         }
+    }
+
+    /// Returns a copy lowered for a machine with `sockets` sockets.
+    /// Shard counts of the per-socket fixes follow this value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sockets == 0`.
+    pub fn with_sockets(mut self, sockets: usize) -> Self {
+        assert!(sockets > 0, "a machine has at least one socket");
+        self.sockets = sockets;
+        self
+    }
+
+    /// Sockets this build is lowered for.
+    pub fn sockets(&self) -> usize {
+        self.sockets
     }
 
     /// Which personality this build is.
@@ -125,8 +178,9 @@ impl KernelConfig {
     fn index(fix: FixId) -> usize {
         crate::fixes::FIXES
             .iter()
+            .chain(crate::fixes::GEN2_FIXES.iter())
             .position(|f| f.id == fix)
-            .expect("every FixId appears in FIXES")
+            .expect("every FixId appears in FIXES or GEN2_FIXES")
     }
 
     /// Returns whether `fix` is enabled.
@@ -167,6 +221,9 @@ impl KernelConfig {
             atomic_lseek: self.has(FixId::AtomicLseek),
             avoid_inode_list_locks: self.has(FixId::AvoidInodeListLocks),
             avoid_dcache_list_locks: self.has(FixId::AvoidDcacheListLocks),
+            rcu_path_walk: self.has(FixId::RcuPathWalk),
+            snzi_refs: self.has(FixId::SnziVfsRefs),
+            sockets: self.sockets,
             deferred_reclamation: self.deferred_reclamation,
         }
     }
@@ -175,7 +232,13 @@ impl KernelConfig {
     pub fn net(&self) -> NetConfig {
         NetConfig {
             cores: self.cores,
-            numa_nodes: 8,
+            numa_nodes: self.sockets,
+            flow_table_shards: if self.has(FixId::PerSocketFlowTables) {
+                self.sockets
+            } else {
+                1
+            },
+            snzi_dst_refs: self.has(FixId::SnziNetRefs),
             sloppy_dst_refs: self.has(FixId::SloppyDstRefs),
             sloppy_proto_accounting: self.has(FixId::SloppyProtoAccounting),
             percore_skb_pools: self.has(FixId::LocalDmaBuffers),
@@ -192,9 +255,20 @@ impl KernelConfig {
     }
 
     /// Lowers the fix set onto the memory substrate's configuration.
+    ///
+    /// The page-freelist shard count is the NUMA node count: stock
+    /// keeps the historical fixed 8 whatever the topology (the
+    /// generation-2 problem), while [`FixId::PerSocketPageFreelists`]
+    /// keys it off the actual socket count so every socket owns a
+    /// freelist.
     pub fn mm(&self) -> MmConfig {
         let base = MmConfig::stock(self.cores);
         MmConfig {
+            numa_nodes: if self.has(FixId::PerSocketPageFreelists) {
+                self.sockets
+            } else {
+                base.numa_nodes
+            },
             per_mapping_superpage_mutex: self.has(FixId::SuperPageFineLocking),
             nocache_superpage_zeroing: self.has(FixId::NoCacheSuperPageZeroing),
             split_page_layout: self.has(FixId::PageFalseSharing),
@@ -211,7 +285,27 @@ mod tests {
     #[test]
     fn stock_and_pk_extremes() {
         assert_eq!(KernelConfig::stock(48).enabled_count(), 0);
-        assert_eq!(KernelConfig::pk(48).enabled_count(), 16);
+        assert_eq!(KernelConfig::pk(48).enabled_count(), NUM_FIXES);
+        assert_eq!(KernelConfig::coarse(48).enabled_count(), 0);
+        assert_eq!(
+            KernelConfig::coarse(48).personality(),
+            Personality::Coarse,
+            "coarse differs from stock only by personality"
+        );
+    }
+
+    #[test]
+    fn sockets_key_the_per_socket_shards() {
+        let pk = KernelConfig::pk(1024).with_sockets(64);
+        assert_eq!(pk.sockets(), 64);
+        assert_eq!(pk.net().flow_table_shards, 64);
+        assert_eq!(pk.net().numa_nodes, 64);
+        assert_eq!(pk.mm().numa_nodes, 64);
+        // Stock ignores the topology: fixed shard counts are the
+        // generation-2 problem being modeled.
+        let stock = KernelConfig::stock(1024).with_sockets(64);
+        assert_eq!(stock.net().flow_table_shards, 1);
+        assert_eq!(stock.mm().numa_nodes, 8);
     }
 
     #[test]

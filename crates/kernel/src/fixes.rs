@@ -71,6 +71,26 @@ pub enum FixId {
     SuperPageFineLocking,
     /// Non-caching super-page zeroing (§5.8).
     NoCacheSuperPageZeroing,
+    // ---- Generation-2 fixes (the §7 "past 48 cores" extension). ----
+    // These are not Figure-1 rows: they relieve the structures that
+    // become the bottleneck only after the paper's 16 fixes are in and
+    // the core count keeps growing. They live in a separate table
+    // (`GEN2_FIXES`) so the Figure-1 registry stays exactly 16 rows.
+    /// End-to-end RCU-walk path resolution: the whole path walk is
+    /// lock-free and reference-free, validated by dentry seqcounts,
+    /// falling back to the locked walk on a torn generation.
+    RcuPathWalk,
+    /// SNZI-tree refcounts for VFS objects (dentry/vfsmount): a
+    /// per-socket counter tree whose surplus propagation keeps the
+    /// root line quiet where flat sloppy counters saturate.
+    SnziVfsRefs,
+    /// SNZI-tree refcounts for network objects (dst entries).
+    SnziNetRefs,
+    /// Per-socket sharding of the NIC flow-steering tables.
+    PerSocketFlowTables,
+    /// Per-socket sharding of the mm page freelists, keyed off the
+    /// machine topology instead of a fixed node count.
+    PerSocketPageFreelists,
 }
 
 /// Figure-1 metadata for one fix.
@@ -104,8 +124,16 @@ pub struct Fix {
 /// exposed the contention. Returns `None` for classes with no
 /// registered lever (app-level structures).
 pub fn fix_for_class(class: &str) -> Option<FixId> {
-    FIXES.iter().find(|f| f.class == class).map(|f| f.id)
+    FIXES
+        .iter()
+        .chain(GEN2_FIXES.iter())
+        .find(|f| f.class == class)
+        .map(|f| f.id)
 }
+
+/// Total number of registered fixes (Figure-1 plus generation 2) — the
+/// width of [`crate::KernelConfig`]'s fix vector.
+pub const NUM_FIXES: usize = FIXES.len() + GEN2_FIXES.len();
 
 /// All 16 fixes in Figure-1 order.
 pub const FIXES: [Fix; 16] = [
@@ -239,6 +267,65 @@ pub const FIXES: [Fix; 16] = [
     },
 ];
 
+/// The generation-2 fixes: what the roster's post-48-core profiles
+/// attribute the *next* collapse to once the Figure-1 set is applied
+/// and the topology grows past the paper's machine (§7's open
+/// question). Same shape as [`FIXES`] so the adaptive controller's
+/// class→lever map extends to them without new plumbing, but kept in a
+/// separate table: the Figure-1 registry is historical record and must
+/// stay exactly 16 rows.
+pub const GEN2_FIXES: [Fix; 5] = [
+    Fix {
+        id: FixId::RcuPathWalk,
+        class: "vfs.path_walk",
+        name: "End-to-end RCU path walk",
+        problem: "Per-component dentry get/put traffic grows with core count until the \
+                  walk itself is the bottleneck.",
+        solution: "Resolve whole paths lock-free under seqcount validation, falling back \
+                   to the locked walk on rename/unlink races.",
+        apps: &[App::Exim, App::Apache, App::PostgreSql],
+    },
+    Fix {
+        id: FixId::SnziVfsRefs,
+        class: "vfs.dentry_ref_scale",
+        name: "SNZI-tree VFS reference counts",
+        problem: "Flat per-core refcount banks still funnel misses into one central line, \
+                  which saturates past 48 cores.",
+        solution: "Use an SNZI tree of per-socket counters with surplus propagation for \
+                   dentry and vfsmount references.",
+        apps: &[App::Exim, App::Apache],
+    },
+    Fix {
+        id: FixId::SnziNetRefs,
+        class: "net.dst_ref_scale",
+        name: "SNZI-tree network reference counts",
+        problem: "dst-entry refcount misses contend on the central counter line at high \
+                  core counts.",
+        solution: "Use an SNZI tree of per-socket counters for dst entries.",
+        apps: &[App::Memcached, App::Apache],
+    },
+    Fix {
+        id: FixId::PerSocketFlowTables,
+        class: "net.flow_table",
+        name: "Per-socket flow-steering tables",
+        problem: "Flow-director updates from every transmitting core serialize on one \
+                  flow-table lock.",
+        solution: "Shard the flow-steering table per socket, keyed off the machine \
+                   topology.",
+        apps: &[App::Memcached, App::Apache],
+    },
+    Fix {
+        id: FixId::PerSocketPageFreelists,
+        class: "mm.page_freelist",
+        name: "Per-socket page freelists",
+        problem: "A fixed number of page freelists is shared by ever more sockets as the \
+                  topology grows.",
+        solution: "Key the freelist shard count off the machine topology so every socket \
+                   owns a freelist.",
+        apps: &[App::Gmake, App::Pedsort, App::Metis],
+    },
+];
+
 /// Lines of kernel change the paper reports for the whole fix set.
 pub const LINES_ADDED: u32 = 2617;
 /// Lines removed by the fix set.
@@ -255,6 +342,41 @@ mod tests {
         ids.sort();
         ids.dedup();
         assert_eq!(ids.len(), 16, "fix ids are unique");
+    }
+
+    #[test]
+    fn gen2_registry_is_disjoint_and_classed() {
+        assert_eq!(NUM_FIXES, 21);
+        let mut ids: Vec<FixId> = FIXES
+            .iter()
+            .chain(GEN2_FIXES.iter())
+            .map(|f| f.id)
+            .collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), NUM_FIXES, "no id appears in both tables");
+        let mut classes: Vec<&str> = FIXES
+            .iter()
+            .chain(GEN2_FIXES.iter())
+            .map(|f| f.class)
+            .collect();
+        classes.sort();
+        classes.dedup();
+        assert_eq!(classes.len(), NUM_FIXES, "class names stay unique");
+    }
+
+    #[test]
+    fn fix_for_class_resolves_both_generations() {
+        assert_eq!(
+            fix_for_class("vfs.mount_table"),
+            Some(FixId::PerCoreMountCache)
+        );
+        assert_eq!(fix_for_class("vfs.path_walk"), Some(FixId::RcuPathWalk));
+        assert_eq!(
+            fix_for_class("mm.page_freelist"),
+            Some(FixId::PerSocketPageFreelists)
+        );
+        assert_eq!(fix_for_class("app.lock_manager"), None);
     }
 
     #[test]

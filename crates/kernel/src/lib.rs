@@ -24,7 +24,9 @@ pub mod procfs;
 pub use config::{KernelConfig, Personality};
 pub use cputime::{CpuAccounting, CpuTime};
 pub use error::KernelError;
-pub use fixes::{fix_for_class, App, Fix, FixId, FIXES, LINES_ADDED, LINES_REMOVED};
+pub use fixes::{
+    fix_for_class, App, Fix, FixId, FIXES, GEN2_FIXES, LINES_ADDED, LINES_REMOVED, NUM_FIXES,
+};
 pub use kernel::Kernel;
 // The overload-policy types live in pk-sim (the open-loop engine
 // consumes them directly); re-exported here because `KernelConfig`

@@ -46,6 +46,15 @@ pub struct NetConfig {
     /// `NetError::Backpressure` — the admission-control hook the
     /// serving layer's `OverloadPolicy` lowers onto.
     pub accept_backlog_cap: usize,
+    /// Number of independent flow-steering table shards (generation-2,
+    /// §7). Stock keeps the single global table (1); the per-socket
+    /// sharding fix keys this off the machine's socket count so flow
+    /// registration contends only within a socket.
+    pub flow_table_shards: usize,
+    /// Swap the `dst_entry` sloppy counters for SNZI trees
+    /// (generation-2, §7) where the flat per-core banks saturate past
+    /// 48 cores. Off in stock, on in PK.
+    pub snzi_dst_refs: bool,
 }
 
 impl NetConfig {
@@ -64,6 +73,8 @@ impl NetConfig {
             software_rfs: false,
             deferred_reclamation: true,
             accept_backlog_cap: 0,
+            flow_table_shards: 1,
+            snzi_dst_refs: false,
         }
     }
 
@@ -82,6 +93,8 @@ impl NetConfig {
             software_rfs: false,
             deferred_reclamation: true,
             accept_backlog_cap: 0,
+            flow_table_shards: 8,
+            snzi_dst_refs: true,
         }
     }
 

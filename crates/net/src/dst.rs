@@ -27,10 +27,17 @@ pub struct DstEntry {
 impl DstEntry {
     /// Creates an entry with one (cache) reference.
     pub fn new(dest_ip: u32, gateway: u32, sloppy: bool, cores: usize) -> Arc<Self> {
+        Self::with_refcount(dest_ip, gateway, RefCount::new(sloppy, cores))
+    }
+
+    /// [`DstEntry::new`] with an explicit refcount backing — how the
+    /// cache selects the generation-2 SNZI tree when
+    /// `NetConfig::snzi_dst_refs` is set.
+    pub fn with_refcount(dest_ip: u32, gateway: u32, refcount: RefCount) -> Arc<Self> {
         Arc::new(Self {
             dest_ip,
             gateway,
-            refcount: RefCount::new(sloppy, cores),
+            refcount,
         })
     }
 
@@ -91,11 +98,15 @@ impl DstCache {
         let e = table
             .entry(dest_ip)
             .or_insert_with(|| {
-                DstEntry::new(
+                DstEntry::with_refcount(
                     dest_ip,
                     dest_ip ^ 0x0101_0101,
-                    self.config.sloppy_dst_refs,
-                    self.config.cores,
+                    RefCount::new_scaled(
+                        self.config.sloppy_dst_refs,
+                        self.config.snzi_dst_refs,
+                        self.config.cores,
+                        self.config.numa_nodes,
+                    ),
                 )
             })
             .clone();
@@ -154,7 +165,12 @@ mod tests {
 
     fn cache(sloppy: bool) -> DstCache {
         let cfg = if sloppy {
-            NetConfig::pk(4)
+            // Pin the flat sloppy backing: these tests exercise the
+            // §4.3 protocol; the SNZI tree has its own test below.
+            NetConfig {
+                snzi_dst_refs: false,
+                ..NetConfig::pk(4)
+            }
         } else {
             NetConfig::stock(4)
         };
@@ -209,6 +225,31 @@ mod tests {
         e.put(CoreId(0));
         assert!(shared >= 200);
         assert_eq!(local, 0);
+    }
+
+    #[test]
+    fn pk_preset_routes_through_the_snzi_tree() {
+        // The full PK preset (snzi_dst_refs on) backs dst refcounts with
+        // the per-socket tree. Under sustained load a core always has
+        // packets in flight, so its leaf stays nonzero and further
+        // get/put pairs never leave the leaf.
+        let c = DstCache::new(NetConfig::pk(8), Arc::new(NetStats::new()));
+        let pin = c.route(1, CoreId(2)); // keeps core 2's leaf nonzero
+        let e = c.route(1, CoreId(2));
+        let (shared_before, _) = e.refcount_ops();
+        e.put(CoreId(2));
+        for _ in 0..1_000 {
+            let e = c.route(1, CoreId(2));
+            e.put(CoreId(2));
+        }
+        let e = c.route(1, CoreId(2));
+        let (shared_after, _) = e.refcount_ops();
+        e.put(CoreId(2));
+        assert_eq!(
+            shared_before, shared_after,
+            "loaded leaf must stay core-local under the SNZI tree"
+        );
+        pin.put(CoreId(2));
     }
 
     #[test]

@@ -74,7 +74,11 @@ pub struct RxPacket {
 #[derive(Debug)]
 pub struct Nic {
     queues: Vec<SpinLock<VecDeque<RxPacket>>>,
-    flow_table: RwLock<HashMap<u64, usize>>,
+    /// Flow-director state, sharded per socket
+    /// ([`NetConfig::flow_table_shards`]): a sampling update from a core
+    /// only writes its socket's shard, so the rwlock cache line stops
+    /// bouncing between packages (generation-2 fix past 48 cores).
+    flow_table: Vec<RwLock<HashMap<u64, usize>>>,
     port_table: RwLock<HashMap<u16, usize>>,
     tx_counters: PerCore<AtomicU64>,
     queue_capacity: usize,
@@ -113,7 +117,9 @@ impl Nic {
                     q
                 })
                 .collect(),
-            flow_table: RwLock::new(HashMap::new()),
+            flow_table: (0..config.flow_table_shards.max(1))
+                .map(|_| RwLock::new(HashMap::new()))
+                .collect(),
             port_table: RwLock::new(HashMap::new()),
             tx_counters: PerCore::new_with(config.cores, |_| AtomicU64::new(0)),
             queue_capacity: 4096,
@@ -140,7 +146,8 @@ impl Nic {
             return q;
         }
         if !self.config.hash_flow_steering {
-            if let Some(&q) = self.flow_table.read().get(&flow.hash()) {
+            let h = flow.hash();
+            if let Some(&q) = self.flow_shard(h).read().get(&h) {
                 return q;
             }
         }
@@ -217,11 +224,24 @@ impl Nic {
         if !self.config.hash_flow_steering {
             let n = self.tx_counters.get(core).fetch_add(1, Ordering::Relaxed) + 1;
             if n.is_multiple_of(SAMPLE_PERIOD) {
-                self.flow_table
+                let h = flow.hash();
+                self.flow_shard(h)
                     .write()
-                    .insert(flow.hash(), core.index() % self.queues.len());
+                    .insert(h, core.index() % self.queues.len());
             }
         }
+    }
+
+    /// The flow-director shard holding flow hash `h`. With one shard
+    /// (stock) this is the single global table; with per-socket sharding
+    /// the hash picks a stable shard so steer/tx agree on placement.
+    fn flow_shard(&self, h: u64) -> &RwLock<HashMap<u64, usize>> {
+        &self.flow_table[(h as usize) % self.flow_table.len()]
+    }
+
+    /// Number of flow-director shards (1 = unsharded stock layout).
+    pub fn flow_table_shards(&self) -> usize {
+        self.flow_table.len()
     }
 
     /// Returns the number of RX queues.
@@ -288,6 +308,46 @@ mod tests {
         assert_eq!(nic.steer(&f), default_q);
         nic.tx(CoreId(3), f); // the 20th
         assert_eq!(nic.steer(&f), 3);
+    }
+
+    #[test]
+    fn flow_table_shards_follow_topology() {
+        // Stock keeps the single global flow-director table; a PK config
+        // lowered for a multi-socket machine shards it per socket.
+        let stock = Nic::new(NetConfig::stock(8), Arc::new(NetStats::new()));
+        assert_eq!(stock.flow_table_shards(), 1);
+        let pk = Nic::new(
+            NetConfig {
+                flow_table_shards: 64,
+                ..NetConfig::stock(8)
+            },
+            Arc::new(NetStats::new()),
+        );
+        assert_eq!(pk.flow_table_shards(), 64);
+    }
+
+    #[test]
+    fn sharded_sampling_still_steers_correctly() {
+        // Sharding must not change observable steering: the sampled
+        // entry written on tx is found by steer regardless of which
+        // shard the hash lands in.
+        let nic = Nic::new(
+            NetConfig {
+                flow_table_shards: 8,
+                ..NetConfig::stock(8)
+            },
+            Arc::new(NetStats::new()),
+        );
+        for port in 100..108u16 {
+            let f = flow(port);
+            for _ in 0..SAMPLE_PERIOD {
+                nic.tx(CoreId(5), f);
+            }
+        }
+        // 8 flows × 20 tx on one core → 8 sampled updates, one per flow.
+        for port in 100..108u16 {
+            assert_eq!(nic.steer(&flow(port)), 5, "port {port}");
+        }
     }
 
     #[test]

@@ -46,4 +46,4 @@ pub use open::{
     simulate_open, simulate_open_with_faults, ArrivalPattern, ClientMix, OpenLoopResult,
     OverloadPolicy, ShedPolicy,
 };
-pub use workload::{CoreSweep, SweepPoint, WorkloadModel};
+pub use workload::{Coarsened, CoreSweep, SweepPoint, WorkloadModel};

@@ -283,6 +283,44 @@ mod tests {
     }
 
     #[test]
+    fn the_1024_core_topology_validates_at_its_exact_edge() {
+        // The §7 sweep's largest shape: 64 sockets × 16 cores. The
+        // total is a power of two — the shape that breaks any wheel or
+        // mask math quietly tuned for the paper's 8×6 — so the
+        // boundary must be exact: 1024 fits, 1025 is a typed error.
+        let m = MachineSpec::parse_topology("64x16").unwrap();
+        assert_eq!(m.cores(), 1024);
+        assert_eq!(m.validate_cores(1024), Ok(()));
+        assert_eq!(m.sockets_for(1024), Ok(64));
+        assert_eq!(m.sockets_for_rr(1024), Ok(64));
+        // Partial enablement still fills sockets in order.
+        assert_eq!(m.sockets_for(17), Ok(2));
+        assert_eq!(m.sockets_for_rr(17), Ok(17));
+        let err = m.validate_cores(1025).unwrap_err();
+        assert_eq!(
+            err,
+            TopologyError::Oversubscribed {
+                requested: 1025,
+                sockets: 64,
+                cores_per_socket: 16,
+            }
+        );
+        assert!(err.to_string().contains("1025 cores oversubscribe the 64x16"));
+        assert_eq!(m.validate_cores(0), Err(TopologyError::Empty));
+        // Negative and overflowing socket counts are malformed, not
+        // panics or silent wraps.
+        for bad in ["-64x16", "64x-16", "99999999999999999999x16", "64x1.6"] {
+            assert!(
+                matches!(
+                    MachineSpec::parse_topology(bad),
+                    Err(TopologyError::Malformed(_))
+                ),
+                "{bad:?} must be malformed"
+            );
+        }
+    }
+
+    #[test]
     fn coherence_cost_is_hundreds_of_cycles() {
         let m = MachineSpec::paper();
         assert!(m.coherence_miss_cycles > 100.0);

@@ -213,6 +213,64 @@ impl Network {
         &self.stations
     }
 
+    /// Clusters the classed, serialized kernel stations into one coarse
+    /// lock per subsystem — the `coarse` personality's lowering, after
+    /// "An Evaluation of Coarse-Grained Locking for Multicore
+    /// Microkernels": instead of one fine-grained lock per structure,
+    /// the kernel takes a single subsystem lock (`coarse.vfs_lock`,
+    /// `coarse.net_lock`, `coarse.mm_lock`).
+    ///
+    /// Each cluster's demand is the sum of its members' demands times
+    /// [`Self::COARSE_DISCOUNT`] (fewer distinct lock operations per
+    /// syscall — the trade-off's upside), and its collapse factor is the
+    /// worst member's (polling waiters hammer the one lock — the
+    /// downside, which dominates as cores grow). Delay stations and
+    /// unclassed stations (user code, app-level locks) pass through
+    /// untouched, as do classed stations from subsystems outside the
+    /// clustering map.
+    pub fn coarsen(&self) -> Self {
+        /// The per-acquire savings from folding many lock sites into
+        /// one: a coarse kernel executes fewer lock instructions per
+        /// syscall, so serialized demand shrinks modestly.
+        const DISCOUNT: f64 = 0.85;
+        /// Even classes modeled as scalable queues inherit a minimum
+        /// collapse once clustered: a single subsystem lock is a
+        /// classic non-scalable ticket lock.
+        const COLLAPSE_FLOOR: f64 = 0.05;
+        const CLUSTERS: [(&str, &str); 3] = [
+            ("vfs.", "coarse.vfs_lock"),
+            ("net.", "coarse.net_lock"),
+            ("mm.", "coarse.mm_lock"),
+        ];
+        let mut out = Network::new();
+        // (summed demand, max collapse) per cluster, in CLUSTERS order.
+        let mut acc = [(0.0f64, COLLAPSE_FLOOR); CLUSTERS.len()];
+        for st in &self.stations {
+            let cluster = match (st.class, st.kind) {
+                (Some(class), StationKind::Queue | StationKind::NonScalable { .. }) => CLUSTERS
+                    .iter()
+                    .position(|(prefix, _)| class.starts_with(prefix)),
+                _ => None,
+            };
+            match cluster {
+                Some(i) => {
+                    acc[i].0 += st.demand_cycles * DISCOUNT;
+                    if let StationKind::NonScalable { collapse } = st.kind {
+                        acc[i].1 = acc[i].1.max(collapse);
+                    }
+                }
+                None => {
+                    out.push(st.clone());
+                }
+            }
+        }
+        for (i, &(_, name)) in CLUSTERS.iter().enumerate() {
+            let (demand, collapse) = acc[i];
+            out.push(Station::spinlock(name, demand, collapse, true).with_class(name));
+        }
+        out
+    }
+
     /// Solves the network for `cores` customers by exact MVA, extended
     /// with load-dependent service for non-scalable stations.
     ///
@@ -415,6 +473,52 @@ mod tests {
         let mut net = Network::new();
         net.push(Station::delay("user", 1.0, false));
         net.solve(0);
+    }
+
+    #[test]
+    fn coarsen_clusters_classed_kernel_stations() {
+        let mut net = Network::new();
+        net.push(Station::delay("user", 5_000.0, false));
+        net.push(Station::spinlock("dcache", 300.0, 0.3, true).with_class("vfs.dcache"));
+        net.push(Station::queue("mount", 100.0, true).with_class("vfs.mount_table"));
+        net.push(Station::spinlock("dst", 200.0, 0.2, true).with_class("net.dst_ref"));
+        net.push(Station::queue("applock", 50.0, false));
+        let coarse = net.coarsen();
+        let names: Vec<_> = coarse.stations().iter().map(|s| s.name).collect();
+        assert!(names.contains(&"user"), "delay passes through");
+        assert!(names.contains(&"applock"), "unclassed passes through");
+        assert!(names.contains(&"coarse.vfs_lock"));
+        assert!(names.contains(&"coarse.net_lock"));
+        assert!(
+            !names.contains(&"coarse.mm_lock"),
+            "empty clusters have zero demand and are dropped by push"
+        );
+        let vfs = coarse
+            .stations()
+            .iter()
+            .find(|s| s.name == "coarse.vfs_lock")
+            .unwrap();
+        assert!((vfs.demand_cycles - (300.0 + 100.0) * 0.85).abs() < 1e-9);
+        assert_eq!(vfs.kind, StationKind::NonScalable { collapse: 0.3 });
+    }
+
+    #[test]
+    fn coarse_collapses_harder_than_fine_at_scale() {
+        // The coarse-grained trade-off: slightly cheaper at low core
+        // counts (fewer lock ops), much worse at high core counts (one
+        // lock absorbs every subsystem's traffic).
+        let mut fine = Network::new();
+        fine.push(Station::delay("user", 20_000.0, false));
+        fine.push(Station::spinlock("a", 150.0, 0.2, true).with_class("vfs.a"));
+        fine.push(Station::spinlock("b", 150.0, 0.2, true).with_class("vfs.b"));
+        fine.push(Station::spinlock("c", 150.0, 0.2, true).with_class("vfs.c"));
+        let coarse = fine.coarsen();
+        let x_fine = fine.solve(192).ops_per_cycle;
+        let x_coarse = coarse.solve(192).ops_per_cycle;
+        assert!(
+            x_coarse < x_fine,
+            "one clustered lock serializes harder: coarse={x_coarse}, fine={x_fine}"
+        );
     }
 
     #[test]

@@ -29,6 +29,34 @@ pub trait WorkloadModel {
     }
 }
 
+/// Wraps a model so every network it builds is clustered through
+/// [`Network::coarsen`] — the `coarse` kernel personality applied at
+/// the model layer. Hardware ceilings and unit conversions pass
+/// through untouched; only the lock topology changes.
+pub struct Coarsened(pub Box<dyn WorkloadModel>);
+
+impl WorkloadModel for Coarsened {
+    fn name(&self) -> String {
+        self.0.name()
+    }
+
+    fn machine(&self) -> MachineSpec {
+        self.0.machine()
+    }
+
+    fn network(&self, cores: usize) -> Network {
+        self.0.network(cores).coarsen()
+    }
+
+    fn throughput_cap(&self, cores: usize) -> Option<f64> {
+        self.0.throughput_cap(cores)
+    }
+
+    fn ops_per_unit(&self) -> f64 {
+        self.0.ops_per_unit()
+    }
+}
+
 /// One point of a core sweep.
 #[derive(Debug, Clone)]
 pub struct SweepPoint {

@@ -12,8 +12,9 @@
 //!
 //! The grid deliberately crosses every station kind (Delay, Queue,
 //! NonScalable) with fault schedules (none, preempt-heavy,
-//! stall-heavy, both) and core counts from 1 to 192, including the
-//! degenerate single-station and all-delay networks.
+//! stall-heavy, both) and core counts from 1 to 1024 — the §7 sweep
+//! scales (48, 96, 192, 1024) plus the degenerate small counts — on
+//! single-station and all-delay networks included.
 
 use pk_fault::{FaultPlane, FaultSchedule};
 use pk_sim::des::{self, reference, DesResult};
@@ -101,7 +102,7 @@ fn assert_results_identical(ctx: &str, fast: &DesResult, oracle: &DesResult) {
 fn engines_agree_across_kinds_faults_and_scales() {
     for (net_name, net) in networks() {
         for fault in ["none", "preempt", "stall", "both"] {
-            for cores in [1usize, 3, 8, 48, 192] {
+            for cores in [1usize, 3, 8, 48, 96, 192, 1024] {
                 let ctx = format!("{net_name}/{fault}/{cores}c");
                 let seed = 0xC0FFEE ^ cores as u64;
                 let pa = plane(fault, seed);
@@ -147,13 +148,18 @@ fn engines_emit_byte_identical_event_traces() {
 
 #[test]
 fn engines_agree_on_the_roster_scale_defaults() {
-    // The exact configuration scalebench pins: 8 cores, 2000 ops,
-    // seed 42 — the schedule behind BENCH_scale.json's des.* rows.
+    // The exact configurations scalebench pins: the 8-core, 2000-op,
+    // seed-42 schedule behind BENCH_scale.json's des.* rows, plus the
+    // §7 topology rows' (cores, ops) pairs — ops scale down inversely
+    // with the core count, `(192_000 / cores).max(100)`, to keep the
+    // event volume constant.
     let mut net = Network::new();
     net.push(Station::delay("user", 8_000.0, false));
     net.push(Station::queue("vfsmount", 1_000.0, true));
     net.push(Station::spinlock("sem", 400.0, 0.4, true));
-    let fast = des::simulate(&net, 8, 2_000, 42);
-    let oracle = reference::simulate(&net, 8, 2_000, 42);
-    assert_results_identical("scalebench-defaults", &fast, &oracle);
+    for (cores, ops) in [(8usize, 2_000u64), (96, 2_000), (192, 1_000), (1024, 187)] {
+        let fast = des::simulate(&net, cores, ops, 42);
+        let oracle = reference::simulate(&net, cores, ops, 42);
+        assert_results_identical(&format!("scalebench-{cores}c"), &fast, &oracle);
+    }
 }

@@ -38,6 +38,18 @@ pub struct VfsConfig {
     /// a reclamation-discipline switch, on in both presets; turn off to
     /// measure the blocking-writer baseline.
     pub deferred_reclamation: bool,
+    /// End-to-end RCU-walk path resolution (generation-2, §7): resolve
+    /// the whole path lock-free under a seqcount-validated snapshot,
+    /// falling back to the locked walk when a concurrent rename/unlink
+    /// tears the sequence. Off in stock, on in PK.
+    pub rcu_path_walk: bool,
+    /// Swap saturating sloppy counters for SNZI trees (generation-2,
+    /// §7): per-socket intermediate nodes with surplus propagation so
+    /// zero-detection scales past 48 cores. Off in stock, on in PK.
+    pub snzi_refs: bool,
+    /// Number of sockets in the machine topology; keys the SNZI tree
+    /// fan-out (one intermediate node per socket).
+    pub sockets: usize,
 }
 
 impl VfsConfig {
@@ -55,6 +67,9 @@ impl VfsConfig {
             avoid_dcache_list_locks: false,
             refs_start_degraded: false,
             deferred_reclamation: true,
+            rcu_path_walk: false,
+            snzi_refs: false,
+            sockets: 8,
         }
     }
 
@@ -72,6 +87,9 @@ impl VfsConfig {
             avoid_dcache_list_locks: true,
             refs_start_degraded: false,
             deferred_reclamation: true,
+            rcu_path_walk: true,
+            snzi_refs: true,
+            sockets: 8,
         }
     }
 }

@@ -190,6 +190,52 @@ impl Dcache {
         None
     }
 
+    /// The RCU-walk bucket probe: finds `key` without taking any lock or
+    /// reference. Returns `Some(Some(inode))` on a hit, `Some(None)` on
+    /// a definitive miss, or `None` when a candidate's seqcount tore
+    /// mid-read (modification in flight) — the walker must then fall
+    /// back to the reference walk.
+    ///
+    /// A miss is also grounds for fallback at the walk level (the entry
+    /// may simply not be cached yet), but the two are distinguished so
+    /// the stats can attribute fallbacks to churn vs. cold cache.
+    pub fn peek(&self, key: &DentryKey) -> Option<Option<InodeId>> {
+        if self.fault_pressure.should_inject() {
+            // Same degradation as `lookup`: the entry was "evicted"
+            // under memory pressure, so the RCU walk sees a miss and
+            // drops to the reference walk.
+            VfsStats::bump(&self.stats.dcache_pressure_misses);
+            VfsStats::bump(&self.stats.dcache_misses);
+            return Some(None);
+        }
+        let guard = rcu::read_lock();
+        let t = self.table.read(&guard);
+        let bucket = t.cells[(Self::hash_key(key) as usize) & t.mask].read(&guard);
+        for d in bucket.iter() {
+            match d.peek(key) {
+                Some(Some(ino)) => {
+                    VfsStats::bump(&self.stats.dcache_hits);
+                    return Some(Some(ino));
+                }
+                Some(None) => continue,
+                None => return None,
+            }
+        }
+        Some(None)
+    }
+
+    /// Whether the generation-2 whole-path RCU walk is enabled
+    /// ([`VfsConfig::rcu_path_walk`]).
+    pub fn rcu_walk_enabled(&self) -> bool {
+        self.config.rcu_path_walk
+    }
+
+    /// The stats sink shared with the rest of the VFS (for the path
+    /// walker's walk-level counters).
+    pub(crate) fn stats(&self) -> &VfsStats {
+        &self.stats
+    }
+
     /// Inserts a freshly created dentry for `key → inode` and returns it
     /// with one caller reference (plus the cache's own).
     ///
@@ -206,11 +252,15 @@ impl Dcache {
             VfsStats::bump(&self.stats.dentry_alloc_failures);
             return Err(VfsError::OutOfMemory);
         }
-        let dentry = Dentry::new(
+        let dentry = Dentry::with_refcount(
             key.clone(),
             inode,
-            self.config.sloppy_dentry_refs,
-            self.config.cores,
+            pk_sloppy::RefCount::new_scaled(
+                self.config.sloppy_dentry_refs,
+                self.config.snzi_refs,
+                self.config.cores,
+                self.config.sockets,
+            ),
         );
         let banking = self.ref_banking.load(Ordering::Acquire);
         if !banking {

@@ -56,11 +56,18 @@ pub struct Dentry {
 impl Dentry {
     /// Creates a live, hashed dentry with one reference (the cache's).
     pub fn new(key: DentryKey, inode: InodeId, sloppy_refs: bool, cores: usize) -> Arc<Self> {
+        Self::with_refcount(key, inode, RefCount::new(sloppy_refs, cores))
+    }
+
+    /// [`Dentry::new`] with an explicit refcount backing — how the
+    /// dcache selects the generation-2 SNZI tree when
+    /// `VfsConfig::snzi_refs` is set.
+    pub fn with_refcount(key: DentryKey, inode: InodeId, refcount: RefCount) -> Arc<Self> {
         let d = Arc::new(Self {
             key,
             inode: AtomicU64::new(inode.0),
             unhashed: AtomicBool::new(false),
-            refcount: RefCount::new(sloppy_refs, cores),
+            refcount,
             lock: SpinLock::new(()),
             generation: GenCounter::new(),
         });
@@ -146,6 +153,28 @@ impl Dentry {
             // paper's rule is to fall back to the locking protocol.
             Err(DeallocError::AlreadyDead | DeallocError::InUse { .. }) => None,
         }
+    }
+
+    /// The RCU-walk probe: reads the fields under the generation
+    /// seqcount **without touching the refcount** — the step the
+    /// generation-2 path walk repeats per component so a warm walk
+    /// writes no shared memory at all.
+    ///
+    /// Returns `Some(Some(inode))` on a stable match, `Some(None)` on a
+    /// stable non-match, or `None` when the seqcount tore (a
+    /// rename/unlink is in flight) and the caller must fall back to the
+    /// reference walk.
+    pub fn peek(&self, key: &DentryKey) -> Option<Option<InodeId>> {
+        let snapshot = self.generation.begin_read()?;
+        let inode = self.inode.load(Ordering::Acquire);
+        let unhashed = self.unhashed.load(Ordering::Acquire);
+        if !self.generation.validate(snapshot) {
+            return None;
+        }
+        if unhashed || self.key != *key {
+            return Some(None);
+        }
+        Some(Some(InodeId(inode)))
     }
 
     /// Takes an additional reference (e.g. for the cache's own pointer).
@@ -264,6 +293,30 @@ mod tests {
             d.compare_lockfree(&DentryKey::new(InodeId(1), "usr"), CoreId(0)),
             Some(true)
         );
+    }
+
+    #[test]
+    fn peek_never_touches_the_refcount() {
+        let d = dentry(true);
+        let (shared0, local0) = d.refcount_ops();
+        assert_eq!(
+            d.peek(&DentryKey::new(InodeId(1), "usr")),
+            Some(Some(InodeId(2)))
+        );
+        assert_eq!(d.peek(&DentryKey::new(InodeId(1), "var")), Some(None));
+        assert_eq!(d.refcount_ops(), (shared0, local0));
+        assert_eq!(d.references(), 1, "no reference taken");
+    }
+
+    #[test]
+    fn peek_tears_during_modification_then_recovers() {
+        let d = dentry(false);
+        let key = DentryKey::new(InodeId(1), "usr");
+        let guard = d.begin_modify();
+        assert_eq!(d.peek(&key), None, "seqcount parked → documented fallback");
+        guard.set_inode(InodeId(7));
+        drop(guard);
+        assert_eq!(d.peek(&key), Some(Some(InodeId(7))));
     }
 
     #[test]

@@ -25,9 +25,16 @@ pub struct VfsMount {
 impl VfsMount {
     /// Creates a mount object with one (table) reference.
     pub fn new(mount_point: impl Into<String>, sloppy: bool, cores: usize) -> Arc<Self> {
+        Self::with_refcount(mount_point, RefCount::new(sloppy, cores))
+    }
+
+    /// [`VfsMount::new`] with an explicit refcount backing — how the
+    /// mount table selects the generation-2 SNZI tree when
+    /// `VfsConfig::snzi_refs` is set.
+    pub fn with_refcount(mount_point: impl Into<String>, refcount: RefCount) -> Arc<Self> {
         Arc::new(Self {
             mount_point: mount_point.into(),
-            refcount: RefCount::new(sloppy, cores),
+            refcount,
         })
     }
 
@@ -128,10 +135,14 @@ impl MountTable {
     /// snapshot would keep resolving paths the new mount now covers.
     /// The retired snapshots go through the reclamation discipline.
     pub fn mount(&self, mount_point: &str) -> Arc<VfsMount> {
-        let m = VfsMount::new(
+        let m = VfsMount::with_refcount(
             mount_point,
-            self.config.sloppy_vfsmount_refs,
-            self.config.cores,
+            pk_sloppy::RefCount::new_scaled(
+                self.config.sloppy_vfsmount_refs,
+                self.config.snzi_refs,
+                self.config.cores,
+                self.config.sockets,
+            ),
         );
         {
             // The banking mode is decided under the central lock, which
@@ -236,6 +247,22 @@ impl MountTable {
         };
         m.get(core).ok()?;
         Some(m)
+    }
+
+    /// The RCU-walk mount probe: answers "is `path` covered by a mount?"
+    /// from this core's snapshot **without taking any reference** — the
+    /// vfsmount-refcount-free leg of the generation-2 path walk.
+    ///
+    /// Returns `None` when the snapshot is cold (or per-core caching is
+    /// off): the caller must take the reference walk, which refills it.
+    pub fn peek(&self, path: &str, core: CoreId) -> Option<bool> {
+        if !self.config.percore_mount_cache {
+            return None;
+        }
+        let cache = self.percore.get(core).lock();
+        let snapshot = cache.as_ref()?;
+        VfsStats::bump(&self.stats.mount_percore_hits);
+        Some(Self::longest_prefix_in(snapshot, path).is_some())
     }
 
     /// Finds the entry with the longest mount-point prefix of `path` in

@@ -88,9 +88,72 @@ impl<'a> PathWalker<'a> {
         Ok(child)
     }
 
-    /// Resolves `path` to an inode, touching the mount table once and the
-    /// dcache once per component.
+    /// Resolves `path` to an inode.
+    ///
+    /// With [`crate::config::VfsConfig::rcu_path_walk`] enabled, first
+    /// attempts the whole-path RCU walk ([`PathWalker::resolve_rcu`]):
+    /// every component resolved under seqcount validation with **no
+    /// refcount op and no lock anywhere on the path** — the
+    /// generation-2 fix for the per-component get/put that still
+    /// saturates dentry and vfsmount refcounts past 48 cores. Any torn
+    /// seqcount, cold cache entry, or cold mount snapshot drops the
+    /// whole walk to the reference walk below.
+    ///
+    /// Otherwise (or on fallback): the reference walk — the mount table
+    /// once and the dcache once per component, taking and dropping a
+    /// reference each step.
     pub fn resolve(&self, path: &str, core: CoreId) -> Result<Arc<Inode>, VfsError> {
+        if self.dcache.rcu_walk_enabled() {
+            match self.resolve_rcu(path, core) {
+                Some(result) => {
+                    crate::stats::VfsStats::bump(&self.dcache.stats().rcu_walks);
+                    return result;
+                }
+                None => {
+                    crate::stats::VfsStats::bump(&self.dcache.stats().rcu_walk_fallbacks);
+                }
+            }
+        }
+        self.resolve_ref(path, core)
+    }
+
+    /// The RCU-walk leg of [`PathWalker::resolve`]: resolves the whole
+    /// path lock-free, or returns `None` when the walk cannot complete
+    /// without references (the documented fallback).
+    ///
+    /// A `Some(Err(..))` is *definitive* — it reflects stable state
+    /// (bad path shape, a non-directory component, no covering mount) —
+    /// while `None` covers every transient reason: a component whose
+    /// seqcount tore mid-read (rename/unlink in flight), a component not
+    /// in the dcache, an inode racing teardown, or a cold per-core mount
+    /// snapshot.
+    pub fn resolve_rcu(&self, path: &str, core: CoreId) -> Option<Result<Arc<Inode>, VfsError>> {
+        if !self.mounts.peek(path, core)? {
+            return Some(Err(VfsError::NotFound));
+        }
+        let comps = match Self::components(path) {
+            Ok(c) => c,
+            Err(e) => return Some(Err(e)),
+        };
+        let mut cur = match self.fs.get(self.fs.root()) {
+            Ok(i) => i,
+            Err(e) => return Some(Err(e)),
+        };
+        for comp in comps {
+            if cur.kind != InodeKind::Dir {
+                return Some(Err(VfsError::NotADirectory));
+            }
+            let ino = self.dcache.peek(&DentryKey::new(cur.id, comp))??;
+            // A peeked inode may be mid-teardown; only a live read is
+            // trustworthy, anything else drops to the reference walk.
+            cur = self.fs.get(ino).ok()?;
+        }
+        Some(Ok(cur))
+    }
+
+    /// The reference walk: touches the mount table once and the dcache
+    /// once per component, taking and dropping a reference each step.
+    pub fn resolve_ref(&self, path: &str, core: CoreId) -> Result<Arc<Inode>, VfsError> {
         let mount = self.mounts.resolve(path, core).ok_or(VfsError::NotFound)?;
         let result = self.resolve_from_root(path, core);
         mount.put(core);
@@ -245,6 +308,93 @@ mod tests {
             w.resolve_parent("/", CoreId(0)).unwrap_err(),
             VfsError::InvalidArgument
         );
+    }
+
+    #[test]
+    fn warm_rcu_walk_takes_no_references_anywhere() {
+        // The tentpole property: once the path is cached, a resolve
+        // performs zero refcount ops — on dentries *and* the vfsmount.
+        let fx = fixture();
+        let w = PathWalker::new(&fx.fs, &fx.dcache, &fx.mounts);
+        // Warm every core: the dcache entries plus each core's mount
+        // snapshot (a cold snapshot legitimately falls back).
+        for core in 0..4 {
+            w.resolve("/etc/passwd", CoreId(core)).unwrap();
+        }
+        let d = fx
+            .dcache
+            .lookup(&DentryKey::new(fx.fs.root(), "etc"), CoreId(0))
+            .unwrap();
+        d.put(CoreId(0));
+        let ops_before = d.refcount_ops();
+        let mount = fx.mounts.resolve("/", CoreId(0)).unwrap();
+        mount.put(CoreId(0));
+        let mount_ops_before = mount.refcount_ops();
+        let rcu_before = fx.stats.rcu_walks.load(std::sync::atomic::Ordering::Relaxed);
+        for core in 0..4 {
+            w.resolve("/etc/passwd", CoreId(core)).unwrap();
+        }
+        assert_eq!(d.refcount_ops(), ops_before, "dentry refcount untouched");
+        assert_eq!(
+            mount.refcount_ops(),
+            mount_ops_before,
+            "vfsmount refcount untouched"
+        );
+        assert_eq!(
+            fx.stats.rcu_walks.load(std::sync::atomic::Ordering::Relaxed),
+            rcu_before + 4,
+            "all warm walks complete on the RCU leg"
+        );
+    }
+
+    #[test]
+    fn rcu_walk_falls_back_on_cold_cache_and_churn() {
+        let fx = fixture();
+        let w = PathWalker::new(&fx.fs, &fx.dcache, &fx.mounts);
+        let fallbacks =
+            |fx: &Fixture| fx.stats.rcu_walk_fallbacks.load(std::sync::atomic::Ordering::Relaxed);
+        // Cold: both the mount snapshot and the dcache are empty.
+        w.resolve("/etc/passwd", CoreId(0)).unwrap();
+        assert_eq!(fallbacks(&fx), 1, "cold walk drops to the ref walk");
+        // Warm: no new fallback.
+        w.resolve("/etc/passwd", CoreId(0)).unwrap();
+        assert_eq!(fallbacks(&fx), 1);
+        // Unlink churn: the victim leaves the cache, so the next walk of
+        // that path falls back (and correctly reports ENOENT).
+        let root = fx.fs.get(fx.fs.root()).unwrap();
+        let etc = fx.fs.lookup_child(&root, "etc").unwrap();
+        fx.dcache.remove(&DentryKey::new(etc.id, "passwd"), CoreId(0));
+        fx.fs.unlink_child(&etc, "passwd").unwrap();
+        assert_eq!(
+            w.resolve("/etc/passwd", CoreId(0)).unwrap_err(),
+            VfsError::NotFound
+        );
+        assert_eq!(fallbacks(&fx), 2);
+    }
+
+    #[test]
+    fn rcu_leg_reports_fallback_while_modification_in_flight() {
+        // The negative shape of the seqcount protocol: with a rename
+        // mid-flight (generation parked at 0) the RCU leg must refuse —
+        // `None`, never a wrong answer.
+        let fx = fixture();
+        let w = PathWalker::new(&fx.fs, &fx.dcache, &fx.mounts);
+        w.resolve("/etc/passwd", CoreId(0)).unwrap(); // warm
+        let d = fx
+            .dcache
+            .lookup(&DentryKey::new(fx.fs.root(), "etc"), CoreId(0))
+            .unwrap();
+        d.put(CoreId(0));
+        let guard = d.begin_modify();
+        assert!(
+            w.resolve_rcu("/etc/passwd", CoreId(0)).is_none(),
+            "torn seqcount forces the documented fallback"
+        );
+        drop(guard);
+        assert!(matches!(
+            w.resolve_rcu("/etc/passwd", CoreId(0)),
+            Some(Ok(_))
+        ));
     }
 
     #[test]

@@ -46,6 +46,12 @@ pub struct VfsStats {
     /// Runtime bucket splits (`Dcache::split_buckets`): each doubles the
     /// dcache stripe count under `pk-adapt` control.
     pub dcache_splits: AtomicU64,
+    /// Whole-path RCU walks that completed without any shared write —
+    /// no refcount op, no lock, per component (generation-2 fix).
+    pub rcu_walks: AtomicU64,
+    /// RCU walks that dropped to the reference walk (torn seqcount,
+    /// cold dcache entry, or cold mount snapshot).
+    pub rcu_walk_fallbacks: AtomicU64,
 }
 
 impl VfsStats {
@@ -73,6 +79,7 @@ impl VfsStats {
     /// Total core-local events.
     pub fn local_events(&self) -> u64 {
         self.lockfree_lookups.load(Ordering::Relaxed)
+            + self.rcu_walks.load(Ordering::Relaxed)
             + self.mount_percore_hits.load(Ordering::Relaxed)
             + self.open_list_percore_ops.load(Ordering::Relaxed)
             + self.lseek_atomic_reads.load(Ordering::Relaxed)
@@ -100,6 +107,8 @@ impl VfsStats {
             &self.dentry_alloc_failures,
             &self.dcache_pressure_misses,
             &self.dcache_splits,
+            &self.rcu_walks,
+            &self.rcu_walk_fallbacks,
         ] {
             c.store(0, Ordering::Relaxed);
         }

@@ -13,7 +13,7 @@
 //! cannot keep up ... the card's internal receive packet FIFO overflows"
 //! — server idle time reaches 18% at 48 cores.
 
-use crate::common::{config_label, demand_unless, KernelChoice};
+use crate::common::{config_label, demand_unless, gen2_demand, KernelChoice};
 use pk_fault::{FaultPlane, RetryPolicy};
 use pk_kernel::{FixId, Kernel, KernelConfig, KernelError};
 use pk_net::FlowHash;
@@ -300,11 +300,28 @@ impl WorkloadModel for ApacheModel {
         // throughput staying near the anchor through 36 cores, so the
         // CPU-side decline is kept small; the post-36 droop is the card.
         let cross_core = if cores > 1 { t * 0.06 } else { 0.0 };
+        // Generation-2 growth stations: flat sloppy dentry counters
+        // saturate first (every request opens the same few files), with
+        // the reference walk's per-component get/put close behind.
+        let dentry_ref_scale =
+            demand_unless(cfg, FixId::SnziVfsRefs, gen2_demand(t, 0.000_12, cores));
+        let path_walk = demand_unless(cfg, FixId::RcuPathWalk, gen2_demand(t, 0.000_06, cores));
 
         let mut net = Network::new();
         net.push(Station::delay("user", user, false));
         net.push(Station::delay("kernel-local", kernel_local, true));
         net.push(Station::delay("cross-core misses", cross_core, true));
+        // Gen-2 stations precede the gen-1 locks in visit order so the
+        // first station to saturate past ~96 cores — and therefore the
+        // one that captures the collapse queue — is the gen-2 one.
+        net.push(
+            Station::spinlock("dentry ref saturation", dentry_ref_scale, 0.3, true)
+                .with_class("vfs.dentry_ref_scale"),
+        );
+        net.push(
+            Station::spinlock("per-component path-walk refs", path_walk, 0.25, true)
+                .with_class("vfs.path_walk"),
+        );
         net.push(
             Station::queue("dentry refcounts", dentry_refs, true).with_class("vfs.dentry_ref"),
         );

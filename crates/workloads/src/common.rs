@@ -7,7 +7,11 @@ use pk_kernel::KernelConfig;
 pub enum KernelChoice {
     /// Stock Linux 2.6.35-rc5.
     Stock,
-    /// The patched kernel with all 16 fixes.
+    /// Stock with the named lock classes clustered into a few coarse
+    /// locks (the microkernel coarse-grained-locking point on the
+    /// spectrum); no fixes applied.
+    Coarse,
+    /// The patched kernel with every registered fix.
     Pk,
 }
 
@@ -16,6 +20,7 @@ impl KernelChoice {
     pub fn config(self, cores: usize) -> KernelConfig {
         match self {
             Self::Stock => KernelConfig::stock(cores),
+            Self::Coarse => KernelConfig::coarse(cores),
             Self::Pk => KernelConfig::pk(cores),
         }
     }
@@ -24,15 +29,18 @@ impl KernelChoice {
     pub fn label(self) -> &'static str {
         match self {
             Self::Stock => "Stock",
+            Self::Coarse => "Coarse",
             Self::Pk => "PK",
         }
     }
 
     /// Returns 0.0 when this choice enables the fix (PK), `demand`
     /// otherwise — the "a fix stops touching the shared line" lowering.
+    /// Coarse applies no fixes: per-class demands survive and are then
+    /// clustered by [`pk_sim::Network::coarsen`].
     pub fn unless_fixed(self, demand: f64) -> f64 {
         match self {
-            Self::Stock => demand,
+            Self::Stock | Self::Coarse => demand,
             Self::Pk => 0.0,
         }
     }
@@ -49,15 +57,29 @@ pub fn demand_unless(config: &pk_kernel::KernelConfig, fix: pk_kernel::FixId, de
     }
 }
 
+/// Demand of a **generation-2 growth station**: contention invisible at
+/// the paper's 48 cores but linear in core count, so it owns the curve
+/// at several hundred cores. Zero at one core (the single-core anchors
+/// stay exact); well under 1% of `total_cycles` at 48; the dominant
+/// collapse by 1024. Pair with a gen-2 [`pk_kernel::FixId`] via
+/// [`demand_unless`] so the corresponding fix (RCU walk, SNZI trees,
+/// per-socket shards) removes it entirely.
+pub fn gen2_demand(total_cycles: f64, coef: f64, cores: usize) -> f64 {
+    total_cycles * coef * cores.saturating_sub(1) as f64
+}
+
 /// A human-readable label for a config: "Stock", "PK", "custom(n)", or
 /// — for the adaptive personality — the promoted-fix count.
 pub fn config_label(config: &pk_kernel::KernelConfig) -> String {
     if config.personality() == pk_kernel::Personality::Adaptive {
         return format!("Adaptive({} promoted)", config.enabled_count());
     }
+    if config.personality() == pk_kernel::Personality::Coarse {
+        return "Coarse".to_string();
+    }
     match config.enabled_count() {
         0 => "Stock".to_string(),
-        16 => "PK".to_string(),
+        n if n == pk_kernel::NUM_FIXES => "PK".to_string(),
         n => format!("custom({n} fixes)"),
     }
 }
@@ -69,8 +91,17 @@ mod tests {
     #[test]
     fn lowering_matches_presets() {
         assert_eq!(KernelChoice::Stock.config(8), KernelConfig::stock(8));
+        assert_eq!(KernelChoice::Coarse.config(8), KernelConfig::coarse(8));
         assert_eq!(KernelChoice::Pk.config(8), KernelConfig::pk(8));
         assert_eq!(KernelChoice::Stock.unless_fixed(5.0), 5.0);
+        assert_eq!(KernelChoice::Coarse.unless_fixed(5.0), 5.0);
         assert_eq!(KernelChoice::Pk.unless_fixed(5.0), 0.0);
+    }
+
+    #[test]
+    fn labels_cover_all_personalities() {
+        assert_eq!(config_label(&KernelConfig::stock(8)), "Stock");
+        assert_eq!(config_label(&KernelConfig::coarse(8)), "Coarse");
+        assert_eq!(config_label(&KernelConfig::pk(8)), "PK");
     }
 }

@@ -12,7 +12,7 @@
 //! residual limit is application-induced contention on the per-directory
 //! locks of the spool directories.
 
-use crate::common::{config_label, demand_unless, KernelChoice};
+use crate::common::{config_label, demand_unless, gen2_demand, KernelChoice};
 use pk_fault::{FaultPlane, RetryPolicy};
 use pk_kernel::{FixId, Kernel, KernelConfig, KernelError};
 use pk_percpu::CoreId;
@@ -390,11 +390,31 @@ impl WorkloadModel for EximModel {
         // two concurrent deliveries pick the same of the 62 directories
         // grows with core count (§5.2's residual PK bottleneck).
         let spool = 20_000.0 * cores as f64 / SPOOL_DIRS as f64;
+        // Generation-2 growth stations (past 48 cores): the per-component
+        // get/put of the reference walk — invisible under the 48-core
+        // roster, the top collapse at 1024 — and the saturation point of
+        // flat sloppy dentry counters (reconciles scan every core).
+        let path_walk = demand_unless(cfg, FixId::RcuPathWalk, gen2_demand(t, 0.000_12, cores));
+        let dentry_ref_scale =
+            demand_unless(cfg, FixId::SnziVfsRefs, gen2_demand(t, 0.000_06, cores));
 
         let mut net = Network::new();
         net.push(Station::delay("user", user, false));
         net.push(Station::delay("kernel-local", kernel_local, true));
         net.push(Station::delay("cross-core misses", cross_core, true));
+        // The gen-2 stations sit *before* the gen-1 locks in visit
+        // order: under-saturated at 48 cores the pile-up passes through
+        // to the vfsmount lock, past ~96 they saturate first and own
+        // the collapse (first saturated station in order captures the
+        // queue under the §4.1 collapse feedback).
+        net.push(
+            Station::spinlock("per-component path-walk refs", path_walk, 0.3, true)
+                .with_class("vfs.path_walk"),
+        );
+        net.push(
+            Station::spinlock("dentry ref saturation", dentry_ref_scale, 0.25, true)
+                .with_class("vfs.dentry_ref_scale"),
+        );
         net.push(
             Station::spinlock("vfsmount-table lock", vfsmount_lock, 0.35, true)
                 .with_class("vfs.mount_table"),

@@ -7,7 +7,7 @@
 //! both the stock and PK kernels" — limited only by "serial stages at
 //! the beginning of the build and straggling processes at the end."
 
-use crate::common::{config_label, demand_unless, KernelChoice};
+use crate::common::{config_label, demand_unless, gen2_demand, KernelChoice};
 use pk_fault::FaultPlane;
 use pk_kernel::{FixId, Kernel, KernelConfig, KernelError};
 use pk_percpu::CoreId;
@@ -167,11 +167,25 @@ impl WorkloadModel for GmakeModel {
         let dentry = demand_unless(&self.config, FixId::SloppyDentryRefs, t * 0.0006);
         let system_local = t * SYSTEM_FRACTION - dentry - t * SERIAL_FRACTION;
         let user = t - t * SYSTEM_FRACTION;
+        // Generation-2 growth station: every compiler process's
+        // fork/exec/exit churns pages through the global freelist —
+        // nothing at 48 cores, the kernel-side collapse at 1024.
+        let page_freelist = demand_unless(
+            &self.config,
+            FixId::PerSocketPageFreelists,
+            gen2_demand(t, 0.000_06, cores),
+        );
 
         let mut net = Network::new();
         net.push(Station::delay("compiler (user)", user, false));
         net.push(Station::delay("kernel-local", system_local, true));
         net.push(Station::delay("serial stages + stragglers", serial, false));
+        // Gen-2 station first in visit order: past ~96 cores it is the
+        // first to saturate and captures the collapse queue.
+        net.push(
+            Station::spinlock("global page freelist", page_freelist, 0.25, true)
+                .with_class("mm.page_freelist"),
+        );
         net.push(Station::queue("dentry refcounts", dentry, true).with_class("vfs.dentry_ref"));
         net
     }

@@ -12,7 +12,7 @@
 //! number of virtual queues increases" — throughput per core drops off
 //! after 16 cores.
 
-use crate::common::{config_label, demand_unless, KernelChoice};
+use crate::common::{config_label, demand_unless, gen2_demand, KernelChoice};
 use bytes::Bytes;
 use pk_fault::{FaultPlane, RetryPolicy};
 use pk_kernel::{FixId, Kernel, KernelConfig};
@@ -241,11 +241,30 @@ impl WorkloadModel for MemcachedModel {
         let shared = dst_refcount + proto_counters + node0_alloc + netdev_false_sharing;
         let kernel_local = t * KERNEL_FRACTION - shared;
         let cross_core = if cores > 1 { t * 0.05 } else { 0.0 };
+        // Generation-2 growth stations: the flow-director table's rwlock
+        // becomes write-hot once thousands of flows churn per poll
+        // interval, and flat sloppy dst counters hit their reconcile
+        // wall — both invisible at 48 cores.
+        let flow_table =
+            demand_unless(cfg, FixId::PerSocketFlowTables, gen2_demand(t, 0.000_12, cores));
+        let dst_ref_scale =
+            demand_unless(cfg, FixId::SnziNetRefs, gen2_demand(t, 0.000_06, cores));
 
         let mut net = Network::new();
         net.push(Station::delay("user", user, false));
         net.push(Station::delay("kernel-local", kernel_local, true));
         net.push(Station::delay("cross-core misses", cross_core, true));
+        // Gen-2 stations precede the gen-1 locks in visit order so the
+        // first station to saturate past ~96 cores — and therefore the
+        // one that captures the collapse queue — is the gen-2 one.
+        net.push(
+            Station::spinlock("flow-director table lock", flow_table, 0.3, true)
+                .with_class("net.flow_table"),
+        );
+        net.push(
+            Station::spinlock("dst ref saturation", dst_ref_scale, 0.25, true)
+                .with_class("net.dst_ref_scale"),
+        );
         net.push(
             Station::queue("dst_entry refcount", dst_refcount, true).with_class("net.dst_ref"),
         );

@@ -13,7 +13,7 @@
 //!   scalability is limited primarily by the DRAM bandwidth required by
 //!   the reduce phase" (50.0 of 51.5 GB/s at 48 cores).
 
-use crate::common::{demand_unless, KernelChoice};
+use crate::common::{demand_unless, gen2_demand, KernelChoice};
 use pk_fault::FaultPlane;
 use pk_kernel::{FixId, Kernel, KernelConfig, KernelError};
 use pk_mapreduce::{InvertedIndex, MapReduce, MapReduceConfig, MemoryHook};
@@ -167,8 +167,12 @@ impl WorkloadModel for MetisModel {
         self.machine
     }
 
-    fn network(&self, _cores: usize) -> Network {
+    fn network(&self, cores: usize) -> Network {
         let t = self.total_cycles();
+        // Generation-2 growth station: table allocation frees and
+        // refills through the global page freelist; even with super-page
+        // faults fixed, the freelist lock is the collapse at 1024.
+        let g = gen2_demand(t, 0.000_08, cores);
         let mut net = Network::new();
         if let Some(cfg) = &self.config {
             // 2 MB pages on an arbitrary kernel: until the super-page
@@ -183,6 +187,17 @@ impl WorkloadModel for MetisModel {
             let user = t - super_mutex - zeroing - fault_local;
             net.push(Station::delay("map/reduce (user)", user, false));
             net.push(Station::delay("fault handling", fault_local, true));
+            // Gen-2 station first in visit order: past ~96 cores it is
+            // the first to saturate and captures the collapse queue.
+            net.push(
+                Station::spinlock(
+                    "global page freelist",
+                    demand_unless(cfg, FixId::PerSocketPageFreelists, g),
+                    0.25,
+                    true,
+                )
+                .with_class("mm.page_freelist"),
+            );
             net.push(
                 Station::queue("super-page alloc mutex", super_mutex, true)
                     .with_class("mm.super_page_mutex"),
@@ -204,6 +219,11 @@ impl WorkloadModel for MetisModel {
                 let user = t - region_lock - fault_local;
                 net.push(Station::delay("map/reduce (user)", user, false));
                 net.push(Station::delay("fault handling", fault_local, true));
+                // Gen-2 station first in visit order (see above).
+                net.push(
+                    Station::spinlock("global page freelist", g, 0.25, true)
+                        .with_class("mm.page_freelist"),
+                );
                 // The rw-semaphore's shared lock word serializes (reader
                 // counter updates are fair handoffs, so the station
                 // saturates without collapsing).

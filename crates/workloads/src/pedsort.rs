@@ -18,7 +18,7 @@
 //!   sockets: "each new socket provides access to more total L3 cache
 //!   space," so mid-range core counts run faster.
 
-use crate::common::KernelChoice;
+use crate::common::{gen2_demand, KernelChoice};
 use pk_fault::FaultPlane;
 use pk_kernel::{Kernel, KernelError};
 use pk_mm::{AddressSpace, PageSize};
@@ -244,6 +244,21 @@ impl WorkloadModel for PedsortModel {
                 user *= THREAD_LIBC_PENALTY;
                 let mmap_sem = system * 0.75;
                 net.push(Station::delay("kernel-local", system - mmap_sem, true));
+                // Generation-2 growth station, ahead of mmap_sem in
+                // visit order: the shared address space frees sort
+                // temporaries through the global page freelist, and past
+                // ~96 cores it saturates first and owns the collapse.
+                // The per-process variants (the paper's fix) keep frees
+                // socket-local, so only Threads pays it.
+                net.push(
+                    Station::spinlock(
+                        "global page freelist",
+                        gen2_demand(t, 0.000_05, cores),
+                        0.25,
+                        true,
+                    )
+                    .with_class("mm.page_freelist"),
+                );
                 net.push(Station::spinlock(
                     "mmap_sem (shared AS)",
                     mmap_sem,

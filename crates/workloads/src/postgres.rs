@@ -19,7 +19,7 @@
 //!   residual limit is an application-level spin lock on the buffer-cache
 //!   page holding the root of the table index.
 
-use crate::common::{demand_unless, KernelChoice};
+use crate::common::{demand_unless, gen2_demand, KernelChoice};
 use pk_kernel::{FixId, Kernel, KernelConfig, KernelError};
 use pk_percpu::{CacheAligned, CoreId};
 use pk_sim::{CoreSweep, MachineSpec, Network, Station, SweepPoint, WorkloadModel};
@@ -418,11 +418,26 @@ impl WorkloadModel for PostgresModel {
         let kernel_local = t * 0.010;
         let user = t - kernel_local - lseek - lock_manager - root_page;
         let cross_core = if cores > 1 { t * 0.03 } else { 0.0 };
+        // Generation-2 growth station: each query's open/lseek cycle
+        // still pays the reference walk per component; linear in cores,
+        // it owns the stock curve past a few hundred cores.
+        let g = gen2_demand(t, 0.000_08, cores);
+        let path_walk = match &self.config {
+            Some(cfg) => demand_unless(cfg, FixId::RcuPathWalk, g),
+            None if self.variant.kernel() == KernelChoice::Stock => g,
+            None => 0.0,
+        };
 
         let mut net = Network::new();
         net.push(Station::delay("user", user, false));
         net.push(Station::delay("kernel-local", kernel_local, true));
         net.push(Station::delay("cross-core misses", cross_core, true));
+        // Gen-2 station first in visit order: past ~96 cores it is the
+        // first to saturate and captures the collapse queue.
+        net.push(
+            Station::spinlock("per-component path-walk refs", path_walk, 0.25, true)
+                .with_class("vfs.path_walk"),
+        );
         net.push(
             Station::spinlock("lseek inode mutex", lseek, 0.13, true)
                 .with_class("vfs.inode_lseek_mutex"),

@@ -58,8 +58,11 @@ pub fn model_on(
             Box::new(m)
         }
         "postgres" | "postgresql" => {
+            // Coarse is a kernel-side locking regime: the application
+            // keeps its stock pairing (unmodified PostgreSQL, threaded
+            // pedsort, 4 KB-page Metis).
             let variant = match choice {
-                KernelChoice::Stock => postgres::PgVariant::Stock,
+                KernelChoice::Stock | KernelChoice::Coarse => postgres::PgVariant::Stock,
                 KernelChoice::Pk => postgres::PgVariant::PkModPg,
             };
             let mut m = postgres::PostgresModel::new(variant, true);
@@ -73,7 +76,7 @@ pub fn model_on(
         }
         "pedsort" => {
             let variant = match choice {
-                KernelChoice::Stock => pedsort::PedsortVariant::Threads,
+                KernelChoice::Stock | KernelChoice::Coarse => pedsort::PedsortVariant::Threads,
                 KernelChoice::Pk => pedsort::PedsortVariant::ProcsRoundRobin,
             };
             let mut m = pedsort::PedsortModel::new(variant);
@@ -82,7 +85,7 @@ pub fn model_on(
         }
         "metis" => {
             let variant = match choice {
-                KernelChoice::Stock => metis::MetisVariant::StockSmallPages,
+                KernelChoice::Stock | KernelChoice::Coarse => metis::MetisVariant::StockSmallPages,
                 KernelChoice::Pk => metis::MetisVariant::PkSuperPages,
             };
             let mut m = metis::MetisModel::new(variant);
@@ -91,6 +94,11 @@ pub fn model_on(
         }
         _ => return None,
     };
+    // The coarse personality keeps stock's demands but clusters the
+    // named lock classes into per-subsystem coarse locks.
+    if choice == KernelChoice::Coarse {
+        return Some(Box::new(pk_sim::Coarsened(m)));
+    }
     Some(m)
 }
 
@@ -146,6 +154,9 @@ pub fn model_with_config(
         }
         _ => return None,
     };
+    if config.personality() == pk_kernel::Personality::Coarse {
+        return Some(Box::new(pk_sim::Coarsened(m)));
+    }
     Some(m)
 }
 

@@ -1,8 +1,8 @@
 //! Cross-application summaries: Figure 3 and Figure 12.
 
 use crate::common::KernelChoice;
-use crate::{apache, exim, gmake, memcached, metis, pedsort, postgres};
-use pk_sim::{CoreSweep, WorkloadModel};
+use crate::{apache, exim, gmake, memcached, metis, pedsort, postgres, roster};
+use pk_sim::{CoreSweep, MachineSpec, WorkloadModel};
 
 /// One Figure-3 bar pair: per-core throughput at 48 cores relative to
 /// one core, before and after the modifications.
@@ -73,6 +73,39 @@ pub fn figure3(max_cores: usize) -> Vec<Figure3Bar> {
             pk: ratio(&metis::MetisModel::new(metis::MetisVariant::PkSuperPages)),
         },
     ]
+}
+
+/// [`figure3`] on an arbitrary machine topology — the §7 "past 48
+/// cores" axis. The before/after pairings come from the roster's
+/// `KernelChoice` mapping, which encodes exactly the Figure-3 pairs
+/// (threaded vs. round-robin pedsort, 4 KB vs. 2 MB Metis, stock vs.
+/// modified PostgreSQL), so at the paper machine this agrees with
+/// [`figure3`] bar for bar.
+pub fn figure3_on(max_cores: usize, machine: MachineSpec) -> Vec<Figure3Bar> {
+    const PRETTY: [&str; 7] = [
+        "Exim",
+        "memcached",
+        "Apache",
+        "PostgreSQL",
+        "gmake",
+        "pedsort",
+        "Metis",
+    ];
+    roster::NAMES
+        .iter()
+        .zip(PRETTY)
+        .map(|(name, app)| {
+            let ratio = |choice| {
+                let m = roster::model_on(name, choice, machine).expect("roster name resolves");
+                CoreSweep::figure3_ratio(m.as_ref(), max_cores)
+            };
+            Figure3Bar {
+                app,
+                stock: ratio(KernelChoice::Stock),
+                pk: ratio(KernelChoice::Pk),
+            }
+        })
+        .collect()
 }
 
 /// Whether a residual bottleneck is hardware or application structure.

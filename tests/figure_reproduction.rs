@@ -33,6 +33,82 @@ fn figure3_headline() {
     }
 }
 
+/// §7 "past 48 cores": the Figure-3 claims re-evaluated at 96, 192,
+/// and 1024 cores on matching topologies. Stock degrades monotonically
+/// with scale for every application; gmake — the one workload that
+/// scaled at 48 — collapses by 192 cores (its global page freelist is
+/// the generation-2 bottleneck); and at 1024 cores PK's fixes are
+/// worth at least an order of magnitude on every workload.
+#[test]
+fn figure3_claims_past_48_cores() {
+    use mosbench::sim::MachineSpec;
+    let scales = [(8usize, 6usize, 48usize), (16, 6, 96), (16, 12, 192), (64, 16, 1024)];
+    let sweeps: Vec<_> = scales
+        .iter()
+        .map(|&(s, c, cores)| {
+            let machine = MachineSpec::with_topology(s, c).expect("valid topology");
+            (cores, summary::figure3_on(cores, machine))
+        })
+        .collect();
+    // At the paper machine the topology-parameterized path must agree
+    // with the hardwired Figure-3 pairings bar for bar.
+    for (a, b) in summary::figure3(48).iter().zip(sweeps[0].1.iter()) {
+        assert_eq!(a.app, b.app);
+        assert_eq!(a.stock, b.stock, "{}: stock pairing drifted", a.app);
+        assert_eq!(a.pk, b.pk, "{}: pk pairing drifted", a.app);
+    }
+    for (i, (cores, bars)) in sweeps.iter().enumerate() {
+        for (j, b) in bars.iter().enumerate() {
+            // PK never loses to stock, at any scale.
+            assert!(
+                b.pk >= b.stock,
+                "{} at {cores}: pk {} < stock {}",
+                b.app,
+                b.pk,
+                b.stock
+            );
+            // Stock scalability only degrades as the machine grows.
+            if i > 0 {
+                let prev = &sweeps[i - 1].1[j];
+                assert!(
+                    b.stock <= prev.stock,
+                    "{} stock improved from {} to {cores} cores",
+                    b.app,
+                    sweeps[i - 1].0
+                );
+            }
+            // Past 48 cores every app but gmake is collapsed on stock;
+            // gmake holds out until its page freelist saturates at 192.
+            if *cores >= 96 && b.app != "gmake" {
+                assert!(b.stock < 0.2, "{} at {cores}: stock {}", b.app, b.stock);
+            }
+            if *cores >= 192 {
+                assert!(b.stock < 0.1, "{} at {cores}: stock {}", b.app, b.stock);
+            }
+            // At the largest scale the generation-2 fixes are worth at
+            // least an order of magnitude everywhere.
+            if *cores == 1024 {
+                assert!(
+                    b.pk > 10.0 * b.stock,
+                    "{} at {cores}: pk {} vs stock {}",
+                    b.app,
+                    b.pk,
+                    b.stock
+                );
+                assert!(b.pk > 0.01, "{} at {cores}: pk ratio {}", b.app, b.pk);
+            }
+        }
+    }
+    // The gmake exception is generation-bound: it scales at 48 and 96,
+    // and is collapsed by 192.
+    let gmake = |i: usize| {
+        sweeps[i].1.iter().find(|b| b.app == "gmake").unwrap().stock
+    };
+    assert!(gmake(0) > 0.6, "gmake scales at 48: {}", gmake(0));
+    assert!(gmake(1) > 0.5, "gmake still scales at 96: {}", gmake(1));
+    assert!(gmake(2) < 0.05, "gmake collapses by 192: {}", gmake(2));
+}
+
 /// Abstract of the paper: per-core stock throughput at 48 cores is
 /// "much less work per core with 48 cores than with one core."
 #[test]
