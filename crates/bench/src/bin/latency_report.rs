@@ -103,13 +103,37 @@ fn main() {
         asserts.shedding_bounds_tail
     );
 
+    println!("\nTrace ring health (flow engine, rings sized by flow_ring_capacity):");
+    let mut ring_overflow = false;
+    for h in latency::trace_ring_health(args.seed) {
+        println!(
+            "  {:>10}: {} events captured, {} dropped — {}",
+            h.workload,
+            h.events,
+            h.dropped_total,
+            if h.dropped_total == 0 {
+                "ok"
+            } else {
+                "OVERFLOW"
+            }
+        );
+        if h.dropped_total > 0 {
+            ring_overflow = true;
+            eprintln!(
+                "warning: {} trace rings overflowed, per-track drops {:?}; \
+                 span trees folded from this capture would be incomplete",
+                h.workload, h.dropped_by_track
+            );
+        }
+    }
+
     if let Some(path) = &args.json {
         let artifact = latency::report_json(&grid, &asserts);
         std::fs::write(path, artifact).expect("write json artifact");
         println!("wrote {path}");
     }
 
-    if !asserts.ok() {
+    if !asserts.ok() || ring_overflow {
         eprintln!("\nlatency report FAILED: an overload claim did not reproduce");
         std::process::exit(1);
     }

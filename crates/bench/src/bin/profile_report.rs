@@ -211,7 +211,11 @@ fn main() {
                 g.structure,
                 100.0 * g.stock_share.min(1.0),
                 100.0 * g.pk_share,
-                if g.observed { "observed" } else { "NOT observed" }
+                if g.observed {
+                    "observed"
+                } else {
+                    "NOT observed"
+                }
             );
         }
     }

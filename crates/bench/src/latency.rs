@@ -194,6 +194,63 @@ pub fn assess(grid: &LatencyGrid) -> OverloadAssertions {
     }
 }
 
+/// One workload's trace-ring health check: the PK serving network run
+/// through the flow engine with a tracer sized by the documented rule
+/// ([`pk_sim::flow_ring_capacity`]), reporting what each track dropped.
+/// A non-zero drop count means some request's span tree is missing
+/// events — downstream folds would silently under-attribute — so
+/// `latency_report` warns loudly and `tail_report` refuses to run.
+#[derive(Debug, Clone)]
+pub struct RingHealth {
+    /// Roster workload name.
+    pub workload: &'static str,
+    /// Events captured across all tracks.
+    pub events: usize,
+    /// Total ring drops (must be zero for complete span trees).
+    pub dropped_total: u64,
+    /// Drops per track; track [`CORES`] is the admission track.
+    pub dropped_by_track: Vec<u64>,
+}
+
+/// Runs the normal-load traced flow for every serving workload and
+/// reports ring health. Deterministic per seed.
+pub fn trace_ring_health(seed: u64) -> Vec<RingHealth> {
+    use pk_serve::run_serving_flow;
+    use pk_sim::flow_ring_capacity;
+    use pk_trace::Tracer;
+    SERVING
+        .iter()
+        .map(|w| {
+            let net = pk_workloads::roster::model(w, KernelChoice::Pk)
+                .expect("serving workload resolves")
+                .network(CORES);
+            let tracer = Tracer::new(
+                CORES + 1,
+                flow_ring_capacity(REQUESTS, CORES, net.stations().len()),
+            );
+            run_serving_flow(
+                w,
+                &net,
+                CORES,
+                false,
+                NORMAL_LOAD_PCT,
+                REQUESTS,
+                seed,
+                Some(&tracer),
+            )
+            .expect("serving spec exists");
+            let dropped_total = tracer.dropped();
+            let dropped_by_track = tracer.dropped_by_track();
+            RingHealth {
+                workload: w,
+                events: tracer.drain().len(),
+                dropped_total,
+                dropped_by_track,
+            }
+        })
+        .collect()
+}
+
 /// Renders the per-run latency table, one row per run.
 pub fn table(grid: &LatencyGrid) -> String {
     use std::fmt::Write as _;
@@ -362,6 +419,18 @@ mod tests {
                 ))
                 .collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn ring_sizing_rule_covers_the_serving_captures() {
+        for h in trace_ring_health(42) {
+            assert!(h.events > 0, "{}: capture is empty", h.workload);
+            assert_eq!(
+                h.dropped_total, 0,
+                "{}: flow_ring_capacity must cover the run, dropped {:?}",
+                h.workload, h.dropped_by_track
+            );
+        }
     }
 
     #[test]

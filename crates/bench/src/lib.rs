@@ -13,6 +13,7 @@ pub mod latency;
 pub mod lockdep;
 pub mod profile;
 pub mod scale;
+pub mod tail;
 
 /// Serializes tests that read deltas of the process-global `rcu.*`
 /// counters: concurrent churn from a sibling test would perturb the

@@ -312,8 +312,8 @@ pub fn deterministic_metrics(seed: u64) -> Metrics {
         ("64x16", 64, 16, 1024),
     ];
     for (tlabel, sockets, per, cores) in topologies {
-        let big = pk_sim::MachineSpec::with_topology(sockets, per)
-            .expect("sweep topologies are valid");
+        let big =
+            pk_sim::MachineSpec::with_topology(sockets, per).expect("sweep topologies are valid");
         for name in roster::NAMES {
             for (choice, label) in [
                 (KernelChoice::Stock, "stock"),
@@ -345,7 +345,10 @@ pub fn deterministic_metrics(seed: u64) -> Metrics {
                 .expect("full-machine core count fits its own topology");
             let prefix = format!("topo.{tlabel}.exim.adaptive.c{cores}");
             m.put_f64(&format!("{prefix}.per_core_per_sec"), p.per_core_per_sec);
-            m.put_u64(&format!("{prefix}.promoted"), out.config.enabled_count() as u64);
+            m.put_u64(
+                &format!("{prefix}.promoted"),
+                out.config.enabled_count() as u64,
+            );
             m.put_u64(&format!("{prefix}.converged"), u64::from(out.converged));
         }
         for (choice, label) in [(KernelChoice::Stock, "stock"), (KernelChoice::Pk, "pk")] {

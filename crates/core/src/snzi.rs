@@ -309,6 +309,11 @@ impl Snzi {
     /// operations hit the central word. Idempotent.
     pub fn degrade_to_central(&self) {
         if !self.degraded.swap(true, Ordering::AcqRel) {
+            // Every op after this point hits the shared central word, so
+            // record which request triggered the mode switch — degrades
+            // show up in tail attribution as service-time inflation with
+            // no owning lock class otherwise.
+            pk_trace::trace_instant!("snzi.degrade_to_central", pk_trace::current_request());
             self.reconcile();
         }
     }

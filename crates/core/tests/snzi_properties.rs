@@ -198,7 +198,7 @@ proptest! {
         let mut refs: i64 = 1;
         for &(kind, core) in &ops {
             match kind {
-                0 | 1 | 2 => {
+                0..=2 => {
                     rc.get(CoreId(core)).unwrap();
                     refs += 1;
                 }

@@ -120,13 +120,14 @@ impl HistShard {
     }
 }
 
-/// A log2-bucketed histogram of u64 samples (latencies in cycles,
-/// queue lengths), sharded per core like [`Counter`].
+/// A bucketed histogram of u64 samples (latencies in cycles, queue
+/// lengths), sharded per core like [`Counter`].
 ///
-/// Power-of-two buckets trade resolution for a fixed footprint and a
-/// branch-free record path — the same shape as the kernel's own
-/// latency histograms. [`Histogram::quantile`] answers "what value do
-/// q of the samples fall below" to within a factor of two.
+/// Buckets are log2 below `2^TAIL_SPLIT` and 8-per-octave above it
+/// (see [`crate::buckets`]): a fixed footprint and a branch-free
+/// record path, like the kernel's own latency histograms, but
+/// [`Histogram::quantile`] answers "what value do q of the samples
+/// fall below" to within 1/8 everywhere a latency tail can live.
 #[derive(Debug)]
 pub struct Histogram {
     shards: PerCore<HistShard>,
@@ -241,7 +242,7 @@ mod tests {
         assert_eq!(bucket_of(2), 2);
         assert_eq!(bucket_of(3), 2);
         assert_eq!(bucket_of(4), 3);
-        assert_eq!(bucket_of(u64::MAX), 64);
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
     }
 
     #[test]

@@ -50,8 +50,9 @@ pub struct StationSample {
 /// A merged, immutable view of a [`crate::Histogram`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HistogramSnapshot {
-    /// Log2 bucket counts with the boundaries of [`crate::buckets`]:
-    /// bucket 0 holds zeros, bucket `i` holds values in `[2^(i-1), 2^i)`.
+    /// Bucket counts with the boundaries of [`crate::buckets`]: bucket
+    /// 0 holds zeros, log2 buckets below the tail split, 8 sub-buckets
+    /// per octave above it.
     pub buckets: Vec<u64>,
     /// Number of recorded samples.
     pub count: u64,

@@ -88,6 +88,36 @@ proptest! {
         );
     }
 
+    /// Tail fidelity (DESIGN.md §15): on a sparse tail — a body of
+    /// small samples plus a handful of large outliers, the shape a
+    /// p999 sees — the reported p999 overshoots the true order
+    /// statistic by at most `1/SUBDIV` relative error. This is the
+    /// bound the tail-attribution tables depend on; pure log2 buckets
+    /// fail it (their error approaches 100%).
+    #[test]
+    fn p999_error_is_bounded_on_sparse_tails(
+        body in proptest::collection::vec(1u64..4096, 50..400),
+        outliers in proptest::collection::vec(4096u64..(1 << 40), 1..8),
+        scale in 1u64..1_000_000,
+    ) {
+        let mut samples: Vec<u64> = body.clone();
+        samples.extend(outliers.iter().map(|&o| o.saturating_mul(scale.min(1 << 20))));
+        let snap = hist_from(&samples, 4, |i| i);
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let truth = sorted[rank_of(0.999, sorted.len()) - 1];
+        let got = snap.quantile(0.999);
+        prop_assert!(got >= truth);
+        if truth >= 4096 {
+            let rel = (got - truth) as f64 / truth as f64;
+            prop_assert!(
+                rel <= 1.0 / buckets::SUBDIV as f64,
+                "p999 rel error {rel} exceeds 1/{} (truth {truth}, got {got})",
+                buckets::SUBDIV
+            );
+        }
+    }
+
     /// The snapshot is a pure function of the sample multiset: the
     /// same samples spread across cores differently — even on a
     /// histogram with a different core count — merge to identical

@@ -98,6 +98,14 @@ impl Drop for SlotGuard<'_> {
 /// transient-error retries whose accumulated backoff may not exceed
 /// `budget_cycles`.
 ///
+/// Between admission and return the thread carries the request's
+/// causal context ([`pk_trace::RequestScope`], id
+/// `request_id(seed, token, 0)`): kernel hooks under `op` can
+/// attribute to it via `pk_trace::current_request()`, and a worker
+/// that reuses its slot without closing the previous request trips the
+/// ctx-leak detector (DESIGN.md §15 — the propagation rule is one
+/// active context per thread, never leaked across requests).
+///
 /// Error contract, in priority order:
 /// * queue full → `Err(Overloaded)`, nothing charged;
 /// * budget exhausted mid-retry → `Err(Timeout)` (the last transient
@@ -116,6 +124,9 @@ pub fn serve_with_deadline<T>(
     mut op: impl FnMut(u32) -> Result<T, KernelError>,
 ) -> Result<T, KernelError> {
     let _slot = queue.admit()?;
+    // Declared after the slot: the context closes before the slot
+    // frees, so no event can land outside the request's admission.
+    let _scope = pk_trace::RequestScope::enter(pk_trace::request_id(seed, token, 0));
     let d = retry.run_within(seed, token, budget_cycles, |attempt| match op(attempt) {
         Ok(v) => Ok(Ok(v)),
         Err(e) if e.is_transient() => Err(e),
@@ -205,6 +216,54 @@ mod tests {
         });
         assert_eq!(out.unwrap(), 2);
         assert_eq!(q.depth(), 0);
+    }
+
+    #[test]
+    fn request_context_is_pinned_during_service_and_cleared_after() {
+        let q = AdmissionQueue::new(1);
+        let seed = 42;
+        let token = 11;
+        let expect = pk_trace::request_id(seed, token, 0);
+        let out = serve_with_deadline(&q, RetryPolicy::DEFAULT, seed, token, u64::MAX, |_| {
+            Ok(pk_trace::current_request())
+        });
+        assert_eq!(out.unwrap(), expect, "op must see its request context");
+        assert_eq!(
+            pk_trace::current_request(),
+            0,
+            "context must not outlive the request"
+        );
+    }
+
+    #[test]
+    // Under trace-off RequestScope is a ZST and forget is a no-op drop;
+    // the test only asserts anything with tracing compiled in.
+    #[allow(clippy::forget_non_drop)]
+    fn leaked_context_across_slot_reuse_is_caught() {
+        // A buggy worker admits a request, then loses track of its
+        // scope (here: forgets it) and reuses the slot for the next
+        // request. The next serve must catch the stale context — count
+        // the leak, supersede the id — rather than silently
+        // misattributing the new request's events to the old one.
+        let q = AdmissionQueue::new(1);
+        let before = pk_trace::ctx_leaks();
+        let stale = pk_trace::RequestScope::enter(pk_trace::request_id(42, 1, 0));
+        std::mem::forget(stale);
+        let seen = serve_with_deadline(&q, RetryPolicy::DEFAULT, 42, 2, u64::MAX, |_| {
+            Ok(pk_trace::current_request())
+        })
+        .unwrap();
+        assert_eq!(
+            pk_trace::ctx_leaks(),
+            before + 1,
+            "the leak must be counted"
+        );
+        assert_eq!(
+            seen,
+            pk_trace::request_id(42, 2, 0),
+            "the new request must win the thread-local"
+        );
+        assert_eq!(pk_trace::current_request(), 0);
     }
 
     #[test]

@@ -30,7 +30,10 @@ pub use admission::{serve_with_deadline, AdmissionQueue, SlotGuard};
 
 use pk_fault::FaultPlane;
 use pk_kernel::{OverloadPolicy, ShedPolicy};
-use pk_sim::{simulate_open_with_faults, ArrivalPattern, ClientMix, OpenLoopResult};
+use pk_sim::{
+    simulate_flow, simulate_open_with_faults, ArrivalPattern, ClientMix, Network, OpenLoopResult,
+};
+use pk_trace::Tracer;
 use pk_workloads::{roster, KernelChoice};
 
 /// The serving subset of the roster: workloads whose real-world shape
@@ -327,6 +330,96 @@ pub fn run_serving(
     })
 }
 
+/// One request-flow serving run: [`run_serving`]'s counters, produced
+/// by the traced per-station engine instead of the lumped one.
+///
+/// There is no `choice` field: the flow entry takes a *prebuilt*
+/// network so callers can serve on any personality — stock, coarse,
+/// PK, or an adaptive controller's converged config — while the SLO
+/// budget and capacity denominator stay anchored to the PK kernel,
+/// exactly as in [`run_serving`].
+#[derive(Debug, Clone)]
+pub struct FlowRun {
+    /// Roster workload name.
+    pub workload: &'static str,
+    /// The overload policy in force.
+    pub policy: OverloadPolicy,
+    /// Offered load as a fraction of PK saturation capacity, percent.
+    pub load_pct: u32,
+    /// The engine's counters and latency histogram.
+    pub result: OpenLoopResult,
+    /// p50/p99/p999 of completed requests.
+    pub latency: LatencySummary,
+    /// The SLO budget applied, cycles.
+    pub slo_budget_cycles: u64,
+    /// PK saturation capacity, ops/cycle — the goodput denominator.
+    pub capacity_ops_per_cycle: f64,
+}
+
+impl FlowRun {
+    /// Goodput as a fraction of saturation capacity.
+    pub fn goodput_fraction(&self) -> f64 {
+        self.result.goodput_ops_per_cycle() / self.capacity_ops_per_cycle
+    }
+}
+
+/// Runs `workload` as an open-loop server through the request-flow
+/// engine ([`pk_sim::simulate_flow`]): same arrival process, client
+/// mix, policy, and load anchoring as [`run_serving`], but admitted
+/// requests traverse `network`'s stations through real FIFOs, and —
+/// when `tracer` is `Some` — every request's causal path is recorded
+/// for `pk-why` to fold (DESIGN.md §15).
+///
+/// `network` is the serving network of whichever kernel personality is
+/// being measured (`roster::model(w, choice).network(cores)`, or a
+/// `model_with_config` network for the adaptive personality). The
+/// tracer, if any, needs `cores + 1` tracks sized by
+/// [`pk_sim::flow_ring_capacity`].
+///
+/// Returns `None` for non-serving workloads. Deterministic: a pure
+/// function of its arguments, trace stream included.
+#[allow(clippy::too_many_arguments)]
+pub fn run_serving_flow(
+    workload: &str,
+    network: &Network,
+    cores: usize,
+    shed: bool,
+    load_pct: u32,
+    requests: u64,
+    seed: u64,
+    tracer: Option<&Tracer>,
+) -> Option<FlowRun> {
+    let spec = ServingSpec::for_workload(workload)?;
+    let capacity = capacity_ops_per_cycle(spec.workload, cores)?;
+    let slo = slo_budget_cycles(spec.workload, cores)?;
+    let policy = policy_for(&spec, cores, shed, slo);
+
+    let mean_gap = 1.0 / (capacity * load_pct as f64 / 100.0);
+    let pattern = spec.pattern(mean_gap);
+    let horizon = (requests as f64 * pattern.mean_interarrival_cycles()) as u64;
+
+    let result = simulate_flow(
+        network,
+        cores,
+        pattern,
+        spec.clients,
+        policy,
+        horizon.max(1),
+        seed,
+        tracer,
+    );
+    let latency = LatencySummary::of(&result.latency);
+    Some(FlowRun {
+        workload: spec.workload,
+        policy,
+        load_pct,
+        result,
+        latency,
+        slo_budget_cycles: slo,
+        capacity_ops_per_cycle: capacity,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -418,6 +511,48 @@ mod tests {
                 assert!(r.result.completed > 0, "{w}/{choice:?} completed nothing");
                 assert_eq!(r.result.accounted(), r.result.arrivals);
             }
+        }
+    }
+
+    #[test]
+    fn flow_engine_sees_the_same_offered_stream_as_the_lumped_one() {
+        // Same anchoring, same seed: the two engines must agree on
+        // everything on the arrival side of the admission decision.
+        let plane = FaultPlane::disabled();
+        let net = roster::model("exim", KernelChoice::Stock)
+            .unwrap()
+            .network(8);
+        let f = run_serving_flow("exim", &net, 8, true, 120, 2_000, 42, None).unwrap();
+        let o = run_serving("exim", KernelChoice::Stock, 8, true, 120, 2_000, 42, &plane).unwrap();
+        assert_eq!(f.result.arrivals, o.result.arrivals);
+        assert_eq!(f.result.distinct_users, o.result.distinct_users);
+        assert_eq!(f.result.new_connections, o.result.new_connections);
+        assert_eq!(f.result.slow_requests, o.result.slow_requests);
+        assert_eq!(f.slo_budget_cycles, o.slo_budget_cycles);
+        assert_eq!(f.result.accounted(), f.result.arrivals);
+    }
+
+    #[test]
+    fn flow_run_traces_every_personality_without_ring_overflow() {
+        use pk_sim::flow_ring_capacity;
+        use pk_trace::EventKind;
+        let cores = 8;
+        for choice in [KernelChoice::Stock, KernelChoice::Coarse, KernelChoice::Pk] {
+            let net = roster::model("memcached", choice).unwrap().network(cores);
+            let tracer = Tracer::new(
+                cores + 1,
+                flow_ring_capacity(1_500, cores, net.stations().len()),
+            );
+            let r = run_serving_flow("memcached", &net, cores, true, 80, 1_000, 42, Some(&tracer))
+                .unwrap();
+            assert!(r.result.completed > 0, "{choice:?} completed nothing");
+            assert_eq!(tracer.dropped(), 0, "{choice:?} overflowed its rings");
+            let events = tracer.drain();
+            let ends = events
+                .iter()
+                .filter(|e| e.kind == EventKind::CtxEnd)
+                .count() as u64;
+            assert_eq!(ends, r.result.completed, "{choice:?} ctx envelope");
         }
     }
 

@@ -34,12 +34,14 @@
 pub mod bounds;
 mod caps;
 pub mod des;
+pub mod flow;
 mod machine;
 mod mva;
 pub mod open;
 mod workload;
 
 pub use caps::{DramModel, L3Model, NicModel};
+pub use flow::{flow_ring_capacity, simulate_flow};
 pub use machine::{MachineSpec, TopologyError};
 pub use mva::{MvaResult, Network, Station, StationKind};
 pub use open::{

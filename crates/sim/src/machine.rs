@@ -305,7 +305,9 @@ mod tests {
                 cores_per_socket: 16,
             }
         );
-        assert!(err.to_string().contains("1025 cores oversubscribe the 64x16"));
+        assert!(err
+            .to_string()
+            .contains("1025 cores oversubscribe the 64x16"));
         assert_eq!(m.validate_cores(0), Err(TopologyError::Empty));
         // Negative and overflowing socket counts are malformed, not
         // panics or silent wraps.

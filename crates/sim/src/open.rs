@@ -148,8 +148,10 @@ impl ArrivalPattern {
         }
     }
 
-    /// Draws the next arrival time strictly after `now`.
-    fn next_after(&self, now: u64, rng: &mut SmallRng) -> u64 {
+    /// Draws the next arrival time strictly after `now`. Shared with
+    /// the request-flow engine (`flow.rs`) so both draw identical
+    /// arrival streams from the same seed.
+    pub(crate) fn next_after(&self, now: u64, rng: &mut SmallRng) -> u64 {
         match *self {
             Self::Poisson {
                 mean_interarrival_cycles,

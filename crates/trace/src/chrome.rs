@@ -39,7 +39,13 @@ pub fn chrome_trace_json(events: &[Event]) -> String {
     let mut first = true;
     for e in events {
         let name = escape_json(&event_name(e));
-        let cat = if e.kind.is_lock() { "lock" } else { "span" };
+        let cat = if e.kind.is_lock() {
+            "lock"
+        } else if e.kind.is_ctx() {
+            "request"
+        } else {
+            "span"
+        };
         let common = format!(
             "\"name\":\"{name}\",\"cat\":\"{cat}\",\"ts\":{},\"pid\":1,\"tid\":{}",
             e.ts, e.track
@@ -53,6 +59,15 @@ pub fn chrome_trace_json(events: &[Event]) -> String {
                 )
             }
             EventKind::SpanEnd | EventKind::LockEnd => format!("{{{common},\"ph\":\"E\"}}"),
+            // Request contexts render as async events keyed by the
+            // request id, so perfetto groups one request's spans across
+            // whichever tracks it touched.
+            EventKind::CtxBegin => {
+                format!("{{{common},\"ph\":\"b\",\"id\":\"{:#x}\"}}", e.arg)
+            }
+            EventKind::CtxEnd => {
+                format!("{{{common},\"ph\":\"e\",\"id\":\"{:#x}\"}}", e.arg)
+            }
             EventKind::Instant => format!("{{{common},\"ph\":\"i\",\"s\":\"t\"}}"),
             EventKind::Counter => {
                 format!(
@@ -113,6 +128,19 @@ mod tests {
         let c = intern::intern_span("test.chrome.\"quoted\"");
         let json = chrome_trace_json(&[ev(0, EventKind::Instant, c, 0)]);
         assert!(json.contains("test.chrome.\\\"quoted\\\""));
+    }
+
+    #[test]
+    fn ctx_events_become_async_pairs_keyed_by_request_id() {
+        let c = intern::intern_span("test.chrome.request");
+        let json = chrome_trace_json(&[
+            ev(0, EventKind::CtxBegin, c, 0xbeef),
+            ev(9, EventKind::CtxEnd, c, 0xbeef),
+        ]);
+        assert!(json.contains("\"ph\":\"b\""), "{json}");
+        assert!(json.contains("\"ph\":\"e\""), "{json}");
+        assert!(json.contains("\"id\":\"0xbeef\""), "{json}");
+        assert!(json.contains("\"cat\":\"request\""), "{json}");
     }
 
     #[test]

@@ -24,6 +24,13 @@ pub enum EventKind {
     LockBegin = 4,
     /// The matching close of a lock hold span.
     LockEnd = 5,
+    /// A request context opened: everything on this track until the
+    /// matching [`CtxEnd`](Self::CtxEnd) belongs to request `arg`
+    /// (the deterministic `RequestCtx` id). `class` is an interned
+    /// span-class id naming the request kind (`serve.request`).
+    CtxBegin = 6,
+    /// The matching close of a request context; `arg` repeats the id.
+    CtxEnd = 7,
 }
 
 impl EventKind {
@@ -36,6 +43,8 @@ impl EventKind {
             3 => Self::Counter,
             4 => Self::LockBegin,
             5 => Self::LockEnd,
+            6 => Self::CtxBegin,
+            7 => Self::CtxEnd,
             _ => return None,
         })
     }
@@ -48,12 +57,17 @@ impl EventKind {
 
     /// Whether this kind opens a span.
     pub fn is_begin(self) -> bool {
-        matches!(self, Self::SpanBegin | Self::LockBegin)
+        matches!(self, Self::SpanBegin | Self::LockBegin | Self::CtxBegin)
     }
 
     /// Whether this kind closes a span.
     pub fn is_end(self) -> bool {
-        matches!(self, Self::SpanEnd | Self::LockEnd)
+        matches!(self, Self::SpanEnd | Self::LockEnd | Self::CtxEnd)
+    }
+
+    /// Whether this kind delimits a request context.
+    pub fn is_ctx(self) -> bool {
+        matches!(self, Self::CtxBegin | Self::CtxEnd)
     }
 }
 
@@ -115,11 +129,20 @@ mod tests {
 
     #[test]
     fn kind_round_trips() {
-        for raw in 0..=5u8 {
+        for raw in 0..=7u8 {
             let k = EventKind::from_u8(raw).unwrap();
             assert_eq!(k as u8, raw);
         }
-        assert_eq!(EventKind::from_u8(6), None);
+        assert_eq!(EventKind::from_u8(8), None);
+    }
+
+    #[test]
+    fn ctx_kinds_balance_like_spans() {
+        assert!(EventKind::CtxBegin.is_begin());
+        assert!(EventKind::CtxEnd.is_end());
+        assert!(EventKind::CtxBegin.is_ctx() && EventKind::CtxEnd.is_ctx());
+        assert!(!EventKind::CtxBegin.is_lock());
+        assert!(!EventKind::SpanBegin.is_ctx());
     }
 
     #[test]

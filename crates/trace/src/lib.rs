@@ -34,6 +34,7 @@ mod chrome;
 mod event;
 pub mod intern;
 mod profile;
+mod request;
 mod ring;
 mod span;
 mod tracer;
@@ -41,6 +42,9 @@ mod tracer;
 pub use chrome::chrome_trace_json;
 pub use event::{encode_stream, Event, EventKind, ENCODED_EVENT_BYTES};
 pub use profile::{ClassTotals, Profile, ProfileNode};
+pub use request::{
+    ctx_leaks, current_request, request_id, RequestScope, CTX_LEAK_CLASS, REQUEST_CLASS,
+};
 pub use span::{LazySpanClass, SpanGuard};
 pub use tracer::{global, install_global, Tracer, DEFAULT_RING_CAPACITY};
 

@@ -186,12 +186,16 @@ impl Profile {
             state.last_ts = state.last_ts.max(e.ts);
             let key = Key::of(e);
             match e.kind {
-                EventKind::SpanBegin | EventKind::LockBegin => state.stack.push(Frame {
-                    key,
-                    begin: e.ts,
-                    children: 0,
-                }),
-                EventKind::SpanEnd | EventKind::LockEnd => {
+                // Request contexts fold exactly like spans: the ctx
+                // becomes the root frame of its request's subtree.
+                EventKind::SpanBegin | EventKind::LockBegin | EventKind::CtxBegin => {
+                    state.stack.push(Frame {
+                        key,
+                        begin: e.ts,
+                        children: 0,
+                    })
+                }
+                EventKind::SpanEnd | EventKind::LockEnd | EventKind::CtxEnd => {
                     if state.stack.iter().any(|f| f.key == key) {
                         while state.stack.last().map(|f| f.key) != Some(key) {
                             close(state, &mut tree, &mut flat, e.ts);

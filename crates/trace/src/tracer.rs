@@ -119,6 +119,14 @@ impl Tracer {
             + self.out_of_range.load(Ordering::Relaxed)
     }
 
+    /// Per-track drop counts since the last drain, indexed by track id.
+    /// Out-of-range records have no track to charge and are excluded;
+    /// see [`Tracer::dropped`] for the total. A non-zero entry means
+    /// that track's span trees in this capture window are incomplete.
+    pub fn dropped_by_track(&self) -> Vec<u64> {
+        self.rings.iter().map(Ring::dropped).collect()
+    }
+
     /// Drains every ring at a quiescent point, returning the events in
     /// canonical order — by track, then per-track program order — and
     /// resetting the rings and tick clocks for the next capture window.
@@ -181,6 +189,7 @@ mod tests {
         t.record(0, EventKind::Instant, 1, 0, 0);
         t.record(0, EventKind::Instant, 1, 0, 0); // overflow
         assert_eq!(t.dropped(), 1);
+        assert_eq!(t.dropped_by_track(), vec![1]);
         assert_eq!(t.drain().len(), 2);
         assert_eq!(t.dropped(), 0);
         t.record(0, EventKind::Instant, 1, 0, 0);

@@ -111,6 +111,10 @@ impl<'a> PathWalker<'a> {
                 }
                 None => {
                     crate::stats::VfsStats::bump(&self.dcache.stats().rcu_walk_fallbacks);
+                    // Tag the fallback with the request that paid for it:
+                    // the span tree then shows *whose* tail absorbed the
+                    // reference walk, not just that one happened.
+                    pk_trace::trace_instant!("vfs.rcu_walk_fallback", pk_trace::current_request());
                 }
             }
         }
@@ -330,7 +334,10 @@ mod tests {
         let mount = fx.mounts.resolve("/", CoreId(0)).unwrap();
         mount.put(CoreId(0));
         let mount_ops_before = mount.refcount_ops();
-        let rcu_before = fx.stats.rcu_walks.load(std::sync::atomic::Ordering::Relaxed);
+        let rcu_before = fx
+            .stats
+            .rcu_walks
+            .load(std::sync::atomic::Ordering::Relaxed);
         for core in 0..4 {
             w.resolve("/etc/passwd", CoreId(core)).unwrap();
         }
@@ -341,7 +348,9 @@ mod tests {
             "vfsmount refcount untouched"
         );
         assert_eq!(
-            fx.stats.rcu_walks.load(std::sync::atomic::Ordering::Relaxed),
+            fx.stats
+                .rcu_walks
+                .load(std::sync::atomic::Ordering::Relaxed),
             rcu_before + 4,
             "all warm walks complete on the RCU leg"
         );
@@ -351,8 +360,11 @@ mod tests {
     fn rcu_walk_falls_back_on_cold_cache_and_churn() {
         let fx = fixture();
         let w = PathWalker::new(&fx.fs, &fx.dcache, &fx.mounts);
-        let fallbacks =
-            |fx: &Fixture| fx.stats.rcu_walk_fallbacks.load(std::sync::atomic::Ordering::Relaxed);
+        let fallbacks = |fx: &Fixture| {
+            fx.stats
+                .rcu_walk_fallbacks
+                .load(std::sync::atomic::Ordering::Relaxed)
+        };
         // Cold: both the mount snapshot and the dcache are empty.
         w.resolve("/etc/passwd", CoreId(0)).unwrap();
         assert_eq!(fallbacks(&fx), 1, "cold walk drops to the ref walk");
@@ -363,7 +375,8 @@ mod tests {
         // that path falls back (and correctly reports ENOENT).
         let root = fx.fs.get(fx.fs.root()).unwrap();
         let etc = fx.fs.lookup_child(&root, "etc").unwrap();
-        fx.dcache.remove(&DentryKey::new(etc.id, "passwd"), CoreId(0));
+        fx.dcache
+            .remove(&DentryKey::new(etc.id, "passwd"), CoreId(0));
         fx.fs.unlink_child(&etc, "passwd").unwrap();
         assert_eq!(
             w.resolve("/etc/passwd", CoreId(0)).unwrap_err(),

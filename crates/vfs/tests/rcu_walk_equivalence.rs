@@ -71,12 +71,8 @@ fn populate(vfs: &Vfs) {
     for d in 0..5 {
         vfs.mkdir_p(&format!("/d{d}"), core).unwrap();
         for f in 0..8 {
-            vfs.write_file(
-                &format!("/d{d}/f{f}"),
-                format!("{d}:{f}").as_bytes(),
-                core,
-            )
-            .unwrap();
+            vfs.write_file(&format!("/d{d}/f{f}"), format!("{d}:{f}").as_bytes(), core)
+                .unwrap();
         }
     }
     vfs.mkdir_p("/mnt", core).unwrap();
@@ -214,11 +210,7 @@ fn refcounts_balance_when_the_schedule_ends() {
                 let key = DentryKey::new(dir.id, format!("f{f}"));
                 if let Some(dentry) = vfs.dcache().lookup(&key, CoreId(0)) {
                     dentry.put(CoreId(0));
-                    assert_eq!(
-                        dentry.references(),
-                        1,
-                        "{name}: {key:?} leaked a reference"
-                    );
+                    assert_eq!(dentry.references(), 1, "{name}: {key:?} leaked a reference");
                     let (shared, local) = dentry.refcount_ops();
                     op_traffic += shared + local;
                 }

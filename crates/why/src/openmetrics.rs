@@ -1,0 +1,140 @@
+//! Minimal OpenMetrics text-format renderer (no external deps — the
+//! container is offline). Enough of the spec for CI artifacts: gauge
+//! and counter families, `# HELP`/`# TYPE` headers, escaped label
+//! values, samples grouped by family, terminating `# EOF`.
+
+use std::collections::BTreeMap;
+use std::fmt::Write;
+
+struct Family {
+    kind: &'static str,
+    help: String,
+    /// (rendered label block, value) in insertion order.
+    samples: Vec<(String, f64)>,
+}
+
+/// A set of metric families, rendered deterministically: families in
+/// name order, samples in insertion order.
+#[derive(Default)]
+pub struct MetricSet {
+    families: BTreeMap<String, Family>,
+}
+
+fn escape(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn label_block(labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let body: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape(v)))
+        .collect();
+    format!("{{{}}}", body.join(","))
+}
+
+impl MetricSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn push(
+        &mut self,
+        kind: &'static str,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        value: f64,
+    ) {
+        let fam = self
+            .families
+            .entry(name.to_string())
+            .or_insert_with(|| Family {
+                kind,
+                help: help.to_string(),
+                samples: Vec::new(),
+            });
+        assert_eq!(fam.kind, kind, "{name}: family type must not change");
+        fam.samples.push((label_block(labels), value));
+    }
+
+    /// Adds one gauge sample.
+    pub fn gauge(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: f64) {
+        self.push("gauge", name, help, labels, value);
+    }
+
+    /// Adds one counter sample. Counter sample names carry the
+    /// `_total` suffix per the spec; pass the family name bare.
+    pub fn counter(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: f64) {
+        self.push("counter", name, help, labels, value);
+    }
+
+    /// Renders the OpenMetrics text exposition, `# EOF` included.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (name, fam) in &self.families {
+            writeln!(out, "# HELP {name} {}", fam.help).expect("string write");
+            writeln!(out, "# TYPE {name} {}", fam.kind).expect("string write");
+            let suffix = if fam.kind == "counter" { "_total" } else { "" };
+            for (labels, value) in &fam.samples {
+                writeln!(out, "{name}{suffix}{labels} {value}").expect("string write");
+            }
+        }
+        out.push_str("# EOF\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_grouped_escaped_and_terminated() {
+        let mut m = MetricSet::new();
+        m.gauge(
+            "pk_tail_wait_bp",
+            "basis points of tail latency",
+            &[("class", "vfs.mount_table"), ("kernel", "stock")],
+            9_123.0,
+        );
+        m.counter(
+            "pk_requests",
+            "completed requests",
+            &[("kernel", "stock")],
+            2000.0,
+        );
+        m.gauge(
+            "pk_tail_wait_bp",
+            "basis points of tail latency",
+            &[("class", "odd\"name\\x"), ("kernel", "pk")],
+            1.0,
+        );
+        let text = m.render();
+        let lines: Vec<&str> = text.lines().collect();
+        // Families in name order, each contiguous.
+        assert_eq!(lines[0], "# HELP pk_requests completed requests");
+        assert_eq!(lines[1], "# TYPE pk_requests counter");
+        assert_eq!(lines[2], "pk_requests_total{kernel=\"stock\"} 2000");
+        assert_eq!(
+            lines[3],
+            "# HELP pk_tail_wait_bp basis points of tail latency"
+        );
+        assert!(lines[5].contains("class=\"vfs.mount_table\""));
+        assert!(lines[6].contains("odd\\\"name\\\\x"));
+        assert_eq!(*lines.last().unwrap(), "# EOF");
+    }
+
+    #[test]
+    #[should_panic(expected = "family type must not change")]
+    fn mixing_types_in_one_family_is_a_bug() {
+        let mut m = MetricSet::new();
+        m.gauge("x", "h", &[], 1.0);
+        m.counter("x", "h", &[], 1.0);
+    }
+}

@@ -1,0 +1,141 @@
+//! Deterministic exemplars: the K slowest complete requests, kept as
+//! whole span trees so a tail regression comes with its own evidence.
+//!
+//! Selection sorts by latency (slowest first) with a **seeded
+//! tie-break**: equal-latency requests are ordered by
+//! `splitmix64(seed ^ ctx)`, so the choice among ties is arbitrary but
+//! byte-identical across reruns and across track layouts — never "the
+//! one whose worker drained first". A plain `(latency, ctx)` order
+//! would also be deterministic, but it would bias ties toward low
+//! request ids, i.e. toward early arrivals; the seeded hash keeps the
+//! exemplar set unbiased while staying reproducible.
+//!
+//! The canonical encoding embeds resolved class *names*, never raw
+//! interned ids: intern ids depend on registration order, which any
+//! refactor can change without changing behavior. Two captures are the
+//! same evidence iff [`encode_exemplars`] agrees byte-for-byte.
+
+use crate::fold::{RequestCost, RequestTree, SpanNode};
+
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Selects the `k` slowest trees (by accounting-identity latency,
+/// admission wait included), seeded tie-break. Returns references in
+/// slowest-first order; fewer than `k` when the capture has fewer
+/// complete requests.
+pub fn exemplars(trees: &[RequestTree], k: usize, seed: u64) -> Vec<&RequestTree> {
+    let mut keyed: Vec<(u64, u64, &RequestTree)> = trees
+        .iter()
+        .map(|t| (RequestCost::of(t).latency, mix64(seed ^ t.ctx), t))
+        .collect();
+    keyed.sort_by(|a, b| b.0.cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
+    keyed.into_iter().take(k).map(|(_, _, t)| t).collect()
+}
+
+fn encode_node(n: &SpanNode, out: &mut Vec<u8>) {
+    out.push(n.kind.tag());
+    let name = n.name.as_bytes();
+    out.extend_from_slice(&(name.len() as u16).to_le_bytes());
+    out.extend_from_slice(name);
+    out.extend_from_slice(&n.start.to_le_bytes());
+    out.extend_from_slice(&n.end.to_le_bytes());
+    out.extend_from_slice(&n.wait.to_le_bytes());
+    out.extend_from_slice(&(n.children.len() as u32).to_le_bytes());
+    for c in &n.children {
+        encode_node(c, out);
+    }
+}
+
+/// Appends one tree's canonical encoding: ctx id, kind name, envelope,
+/// then the children depth-first. No track ids, no raw class ids.
+pub fn encode_tree(t: &RequestTree, out: &mut Vec<u8>) {
+    out.extend_from_slice(&t.ctx.to_le_bytes());
+    let name = t.kind_name.as_bytes();
+    out.extend_from_slice(&(name.len() as u16).to_le_bytes());
+    out.extend_from_slice(name);
+    out.extend_from_slice(&t.start.to_le_bytes());
+    out.extend_from_slice(&t.end.to_le_bytes());
+    out.extend_from_slice(&(t.children.len() as u32).to_le_bytes());
+    for c in &t.children {
+        encode_node(c, out);
+    }
+}
+
+/// The canonical bytes of an exemplar set, in selection order.
+pub fn encode_exemplars(trees: &[&RequestTree]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&(trees.len() as u32).to_le_bytes());
+    for t in trees {
+        encode_tree(t, &mut out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fold::NodeKind;
+
+    fn tree(ctx: u64, start: u64, width: u64) -> RequestTree {
+        RequestTree {
+            ctx,
+            kind_name: "serve.request".into(),
+            start,
+            end: start + width,
+            children: vec![SpanNode {
+                name: "w".into(),
+                kind: NodeKind::Span,
+                start,
+                end: start + width,
+                wait: 0,
+                children: Vec::new(),
+            }],
+        }
+    }
+
+    #[test]
+    fn selects_the_k_slowest_in_order() {
+        let trees = vec![tree(1, 0, 10), tree(2, 0, 50), tree(3, 0, 30)];
+        let ex = exemplars(&trees, 2, 42);
+        assert_eq!(
+            ex.iter().map(|t| t.ctx).collect::<Vec<_>>(),
+            vec![2, 3],
+            "slowest first"
+        );
+        assert_eq!(exemplars(&trees, 10, 42).len(), 3, "k caps at the capture");
+    }
+
+    #[test]
+    fn ties_break_by_seeded_hash_not_arrival_order() {
+        let trees: Vec<RequestTree> = (1..=8).map(|i| tree(i, 0, 10)).collect();
+        let a: Vec<u64> = exemplars(&trees, 3, 42).iter().map(|t| t.ctx).collect();
+        let b: Vec<u64> = exemplars(&trees, 3, 42).iter().map(|t| t.ctx).collect();
+        assert_eq!(a, b, "same seed, same set");
+        let c: Vec<u64> = exemplars(&trees, 3, 43).iter().map(|t| t.ctx).collect();
+        assert_ne!(a, c, "a different seed must be able to pick different ties");
+        assert_ne!(a, vec![1, 2, 3], "not simply the lowest ids");
+    }
+
+    #[test]
+    fn encoding_embeds_names_and_is_injective_on_shape() {
+        let a = tree(1, 0, 10);
+        let mut b = a.clone();
+        b.children[0].name = "x".into();
+        let enc = |t: &RequestTree| {
+            let mut v = Vec::new();
+            encode_tree(t, &mut v);
+            v
+        };
+        assert_ne!(enc(&a), enc(&b));
+        let bytes = enc(&a);
+        assert!(
+            bytes.windows(1).any(|w| w == b"w"),
+            "names are embedded, not interned ids"
+        );
+    }
+}

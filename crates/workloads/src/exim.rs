@@ -205,6 +205,12 @@ impl EximDriver {
         user: usize,
     ) -> Result<(), KernelError> {
         let k = &self.kernel;
+        // One delivery = one request for causal tracing: every lock wait
+        // and RCU-walk fallback below lands inside this context, so the
+        // tail attribution can name the message that paid for it. The id
+        // is a pure function of (connection, user, message) — reruns
+        // fold to byte-identical span trees.
+        let _req = pk_trace::RequestScope::enter(pk_trace::request_id(conn.0, user as u64, msg_id));
         // Berkeley DB consults the core count while opening its hints
         // database (stock BDB: a fresh /proc/stat read per message).
         let _cores = self.bdb_cpu_count()?;
@@ -489,6 +495,32 @@ mod tests {
             pk_central <= 2,
             "per-core mount caches kill central lookups, got {pk_central}"
         );
+    }
+
+    #[test]
+    fn deliveries_are_request_scoped_for_causal_tracing() {
+        // One delivery = one context: the global tracer sees exactly one
+        // CtxBegin/CtxEnd pair carrying request_id(conn, user, msg), and
+        // the scope leaves nothing pinned on the thread afterwards.
+        let t = pk_trace::install_global(1 << 16);
+        let d = EximDriver::new(KernelChoice::Stock, 2).unwrap();
+        let conn = d.kernel().fork(Pid(1), CoreId(0)).unwrap();
+        let leaks_before = pk_trace::ctx_leaks();
+        t.enable();
+        d.deliver_message(CoreId(0), conn, 7, 3).unwrap();
+        t.disable();
+        let id = pk_trace::request_id(conn.0, 3, 7);
+        let events = t.drain();
+        let count = |kind: pk_trace::EventKind| {
+            events
+                .iter()
+                .filter(|e| e.kind == kind && e.arg == id)
+                .count()
+        };
+        assert_eq!(count(pk_trace::EventKind::CtxBegin), 1);
+        assert_eq!(count(pk_trace::EventKind::CtxEnd), 1);
+        assert_eq!(pk_trace::ctx_leaks(), leaks_before, "scope closed cleanly");
+        assert_eq!(pk_trace::current_request(), 0, "nothing pinned after");
     }
 
     #[test]

@@ -245,10 +245,12 @@ impl WorkloadModel for MemcachedModel {
         // becomes write-hot once thousands of flows churn per poll
         // interval, and flat sloppy dst counters hit their reconcile
         // wall — both invisible at 48 cores.
-        let flow_table =
-            demand_unless(cfg, FixId::PerSocketFlowTables, gen2_demand(t, 0.000_12, cores));
-        let dst_ref_scale =
-            demand_unless(cfg, FixId::SnziNetRefs, gen2_demand(t, 0.000_06, cores));
+        let flow_table = demand_unless(
+            cfg,
+            FixId::PerSocketFlowTables,
+            gen2_demand(t, 0.000_12, cores),
+        );
+        let dst_ref_scale = demand_unless(cfg, FixId::SnziNetRefs, gen2_demand(t, 0.000_06, cores));
 
         let mut net = Network::new();
         net.push(Station::delay("user", user, false));

@@ -42,7 +42,12 @@ fn figure3_headline() {
 #[test]
 fn figure3_claims_past_48_cores() {
     use mosbench::sim::MachineSpec;
-    let scales = [(8usize, 6usize, 48usize), (16, 6, 96), (16, 12, 192), (64, 16, 1024)];
+    let scales = [
+        (8usize, 6usize, 48usize),
+        (16, 6, 96),
+        (16, 12, 192),
+        (64, 16, 1024),
+    ];
     let sweeps: Vec<_> = scales
         .iter()
         .map(|&(s, c, cores)| {
@@ -101,9 +106,7 @@ fn figure3_claims_past_48_cores() {
     }
     // The gmake exception is generation-bound: it scales at 48 and 96,
     // and is collapsed by 192.
-    let gmake = |i: usize| {
-        sweeps[i].1.iter().find(|b| b.app == "gmake").unwrap().stock
-    };
+    let gmake = |i: usize| sweeps[i].1.iter().find(|b| b.app == "gmake").unwrap().stock;
     assert!(gmake(0) > 0.6, "gmake scales at 48: {}", gmake(0));
     assert!(gmake(1) > 0.5, "gmake still scales at 96: {}", gmake(1));
     assert!(gmake(2) < 0.05, "gmake collapses by 192: {}", gmake(2));
